@@ -1,0 +1,83 @@
+//! Criterion versions of the §III-C design-choice ablations (see also
+//! `figures ablation` for the annotated text report).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use plssvm_core::backend::serial::SerialBackend;
+use plssvm_core::kernel::{dot, kernel_soa};
+use plssvm_data::dense::SoAMatrix;
+use plssvm_data::model::KernelSpec;
+use plssvm_data::synthetic::{generate_planes, PlanesConfig};
+
+fn bench_ablations(c: &mut Criterion) {
+    let m = 256usize;
+    let d = 64usize;
+    let data = generate_planes::<f64>(&PlanesConfig::new(m, d, 6)).unwrap();
+    let soa = SoAMatrix::from_dense(&data.x, 64);
+    let n = m - 1;
+    let v: Vec<f64> = (0..n).map(|i| (i as f64 * 0.2).cos()).collect();
+    let kernel = KernelSpec::Linear;
+    let backend = SerialBackend::new(data.x.clone(), kernel, 1.0);
+    let mut out = vec![0.0; n];
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+
+    group.bench_function("q_cached_triangular", |b| {
+        b.iter(|| {
+            backend.kernel_matvec(black_box(&v), &mut out);
+            black_box(out[0])
+        })
+    });
+
+    group.bench_function("full_matrix_no_mirror", |b| {
+        b.iter(|| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for (j, &vj) in v.iter().enumerate() {
+                    acc += kernel_soa(&kernel, &soa, i, j) * vj;
+                }
+                *slot = acc;
+            }
+            black_box(out[0])
+        })
+    });
+
+    group.bench_function("layout_aos_row_major", |b| {
+        b.iter(|| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                let ri = data.x.row(i);
+                let mut acc = 0.0;
+                for (j, &vj) in v.iter().enumerate() {
+                    acc += dot(ri, data.x.row(j)) * vj;
+                }
+                *slot = acc;
+            }
+            black_box(out[0])
+        })
+    });
+
+    group.bench_function("factored_linear_xxtv", |b| {
+        let mut w = vec![0.0; d];
+        b.iter(|| {
+            w.fill(0.0);
+            for (f, wf) in w.iter_mut().enumerate() {
+                let col = soa.feature_column(f);
+                *wf = v.iter().zip(col).map(|(a, b)| a * b).sum();
+            }
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = w
+                    .iter()
+                    .enumerate()
+                    .map(|(f, &wf)| soa.get(i, f) * wf)
+                    .sum();
+            }
+            black_box(out[0])
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

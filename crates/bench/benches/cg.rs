@@ -1,0 +1,47 @@
+//! Full CG training solves (the paper's `cg` component) per backend and
+//! per tolerance.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use plssvm_core::backend::BackendSelection;
+use plssvm_core::svm::LsSvm;
+use plssvm_data::synthetic::{generate_planes, PlanesConfig};
+use plssvm_simgpu::{hw, Backend as DeviceApi};
+
+fn bench_cg_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cg_solve");
+    group.sample_size(10);
+    let data = generate_planes::<f64>(&PlanesConfig::new(256, 32, 3)).unwrap();
+    for (name, selection) in [
+        ("serial", BackendSelection::Serial),
+        ("openmp", BackendSelection::OpenMp { threads: None }),
+        (
+            "simgpu_cuda",
+            BackendSelection::sim_gpu(hw::A100, DeviceApi::Cuda),
+        ),
+    ] {
+        group.bench_function(BenchmarkId::new("backend", name), |bench| {
+            let trainer = LsSvm::new()
+                .with_epsilon(1e-6)
+                .with_backend(selection.clone());
+            bench.iter(|| black_box(trainer.train(&data).unwrap().iterations))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cg_epsilon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cg_epsilon");
+    group.sample_size(10);
+    let data = generate_planes::<f64>(&PlanesConfig::new(256, 32, 4)).unwrap();
+    for exp in [2i32, 6, 10] {
+        group.bench_function(BenchmarkId::new("eps", format!("1e-{exp}")), |bench| {
+            let trainer = LsSvm::new().with_epsilon(10f64.powi(-exp));
+            bench.iter(|| black_box(trainer.train(&data).unwrap().iterations))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cg_backends, bench_cg_epsilon);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Microbenchmarks of the three kernel functions (§II-E) over both
+//! memory layouts.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use plssvm_core::kernel::{kernel_row, kernel_soa};
+use plssvm_data::dense::SoAMatrix;
+use plssvm_data::model::KernelSpec;
+use plssvm_data::synthetic::{generate_planes, PlanesConfig};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_eval");
+    group.sample_size(20);
+    for &d in &[64usize, 1024] {
+        let data = generate_planes::<f64>(&PlanesConfig::new(4, d, 1)).unwrap();
+        let soa = SoAMatrix::from_dense(&data.x, 1);
+        let a = data.x.row(0).to_vec();
+        let b = data.x.row(1).to_vec();
+        for (name, kernel) in [
+            ("linear", KernelSpec::Linear),
+            (
+                "polynomial",
+                KernelSpec::Polynomial {
+                    degree: 3,
+                    gamma: 0.5,
+                    coef0: 1.0,
+                },
+            ),
+            ("rbf", KernelSpec::Rbf { gamma: 0.5 }),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/row_major"), d),
+                &d,
+                |bench, _| bench.iter(|| kernel_row(&kernel, black_box(&a), black_box(&b))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/soa"), d),
+                &d,
+                |bench, _| bench.iter(|| kernel_soa(&kernel, black_box(&soa), 0, 1)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

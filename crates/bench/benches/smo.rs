@@ -1,0 +1,50 @@
+//! The SMO baselines: LIBSVM-style (sparse and dense rows) and the
+//! ThunderSVM-style batched solver vs the LS-SVM.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use plssvm_core::svm::LsSvm;
+use plssvm_data::synthetic::{generate_planes, PlanesConfig};
+use plssvm_smo::{SmoConfig, ThunderConfig, ThunderSolver};
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_comparison");
+    group.sample_size(10);
+    for &m in &[128usize, 512] {
+        let data = generate_planes::<f64>(&PlanesConfig::new(m, 32, 5)).unwrap();
+        group.bench_with_input(BenchmarkId::new("plssvm", m), &m, |bench, _| {
+            let trainer = LsSvm::new().with_epsilon(1e-3);
+            bench.iter(|| black_box(trainer.train(&data).unwrap().iterations))
+        });
+        group.bench_with_input(BenchmarkId::new("libsvm_sparse", m), &m, |bench, _| {
+            bench.iter(|| {
+                black_box(
+                    plssvm_smo::solver::train_sparse(&data, &SmoConfig::default())
+                        .unwrap()
+                        .iterations,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("libsvm_dense", m), &m, |bench, _| {
+            bench.iter(|| {
+                black_box(
+                    plssvm_smo::solver::train_dense(&data, &SmoConfig::default())
+                        .unwrap()
+                        .iterations,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("thundersvm", m), &m, |bench, _| {
+            let solver = ThunderSolver::new(ThunderConfig {
+                working_set_size: 64,
+                ..Default::default()
+            })
+            .unwrap();
+            bench.iter(|| black_box(solver.train(&data).unwrap().outer_iterations))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! `figures` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! figures <id>... [--scale small|medium]
+//! figures all [--scale small|medium]
+//! figures --list
+//! ```
+//!
+//! Output: aligned tables on stdout plus CSV files under `bench_results/`.
+//! See `EXPERIMENTS.md` for the experiment index and a recorded run.
+
+use std::process::ExitCode;
+
+use plssvm_bench::figures::{self, Scale, ALL_IDS};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
+        eprintln!(
+            "usage: figures <id>... [--scale small|medium]\n       figures all\n       figures --list\nids: {}",
+            ALL_IDS.join(", ")
+        );
+        return ExitCode::from(2);
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in ALL_IDS {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut scale = Scale::Medium;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => match it.next().and_then(|s| Scale::parse(s)) {
+                Some(s) => scale = s,
+                None => {
+                    eprintln!("figures: --scale needs 'small' or 'medium'");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "all" => ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
+            other => ids.push(other.to_string()),
+        }
+    }
+
+    let mut failed = false;
+    for id in &ids {
+        match figures::run(id, scale) {
+            Some(report) => println!("{report}"),
+            None => {
+                eprintln!("figures: unknown experiment '{id}' (try --list)");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,317 @@
+//! Ablation studies for the design choices of §III-C.
+//!
+//! The paper motivates several implementation decisions without isolating
+//! them; these studies quantify each one:
+//!
+//! 1. **Tiling size** (§III-C-1/3/4) — modeled global traffic and time on
+//!    the simulated A100 for several tile edge lengths.
+//! 2. **`q⃗` caching** (§III-C-2) — implicit matvec with the cached `q`
+//!    (one kernel evaluation per entry) vs the naive Eq. 16 (three
+//!    evaluations per entry), executed.
+//! 3. **Triangular mirroring** (§III-C-1) — exploiting symmetry halves the
+//!    kernel evaluations; executed serial comparison.
+//! 4. **Data layout** — row-major (AoS) vs column-major (SoA) kernel
+//!    matvec on the *CPU*; the SoA layout is chosen for GPU coalescing
+//!    (§III-A), and on a cache-based CPU core the row-major layout wins —
+//!    which is exactly why the layouts are swapped per backend.
+//! 5. **Explicit-w factorization** (future work in §V) — for the linear
+//!    kernel `K·v = X·(Xᵀv)` costs `O(m·d)` instead of `O(m²·d)`; executed.
+
+use std::time::Instant;
+
+use plssvm_core::backend::serial::SerialBackend;
+use plssvm_core::backend::simgpu::TilingConfig;
+use plssvm_core::kernel::{dot, kernel_soa};
+use plssvm_data::dense::SoAMatrix;
+use plssvm_data::model::KernelSpec;
+use plssvm_simgpu::{hw, Backend as DeviceApi};
+
+use crate::figures::common::{fmt_secs, planes_data, FigureReport, Scale, Table};
+use crate::workmodel::LsSvmWorkModel;
+
+fn time_it(mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64()
+}
+
+/// Runs all ablations.
+pub fn run(scale: Scale) -> FigureReport {
+    let (m, d) = match scale {
+        Scale::Small => (128, 32),
+        Scale::Medium => (768, 128),
+    };
+    let data = planes_data(m, d, 1234);
+    let soa = SoAMatrix::from_dense(&data.x, 64);
+    let n = m - 1;
+    let v: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.37).sin()).collect();
+    let kernel = KernelSpec::Linear;
+    let mut body = String::new();
+    let mut csvs = Vec::new();
+
+    // --- 1: tiling sweep (modeled A100 traffic/time) ---
+    let iters = 28;
+    let calls = LsSvmWorkModel::matvec_calls(iters);
+    let mut t1 = Table::new(&["tile", "matvec traffic/call", "modeled run time"]);
+    for (tb, ib) in [(4usize, 1usize), (16, 1), (16, 4), (16, 8), (32, 4)] {
+        let tiling = TilingConfig {
+            thread_block: tb,
+            internal_block: ib,
+            feature_chunk: 64,
+        };
+        let mut model = LsSvmWorkModel::new(1 << 14, 1 << 10, kernel);
+        model.tiling = tiling;
+        let w = model.device_work(0);
+        t1.row(vec![
+            format!("{}x{}={}", tb, ib, tiling.tile()),
+            format!("{:.1} MiB", w.matvec_bytes as f64 / (1 << 20) as f64),
+            fmt_secs(model.sim_time_s(&hw::A100, DeviceApi::Cuda, calls)),
+        ]);
+    }
+    body.push_str("### 1. Tiling size (modeled, 2^14 x 2^10 on A100)\n");
+    body.push_str(&t1.to_aligned());
+    body.push_str("Larger tiles reuse each loaded feature chunk for more entries, cutting global traffic.\n\n");
+    csvs.push(t1.write_csv("ablation_tiling.csv"));
+
+    // --- 2: q caching (executed) ---
+    let backend = SerialBackend::new(data.x.clone(), kernel, 1.0);
+    let params = backend.params().clone();
+    let mut out = vec![0.0; n];
+    let t_cached = time_it(|| {
+        backend.kernel_matvec(&v, &mut out);
+        params.apply_corrections(&v, &mut out);
+    });
+    let last = m - 1;
+    let t_naive = time_it(|| {
+        // naive Eq. 16: three kernel evaluations per entry, no cached q
+        for (i, slot) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (j, &vj) in v.iter().enumerate() {
+                let e = kernel_soa(&kernel, &soa, i, j)
+                    + if i == j { 1.0 } else { 0.0 }
+                    - kernel_soa(&kernel, &soa, last, j)
+                    - kernel_soa(&kernel, &soa, i, last)
+                    + kernel_soa(&kernel, &soa, last, last)
+                    + 1.0;
+                acc += e * vj;
+            }
+            *slot = acc;
+        }
+    });
+    let mut t2 = Table::new(&["variant", "matvec time", "kernel evals/entry"]);
+    t2.row(vec!["cached q (paper)".into(), fmt_secs(t_cached), "1".into()]);
+    t2.row(vec!["naive Eq. 16".into(), fmt_secs(t_naive), "3 (+k_mm)".into()]);
+    body.push_str(&format!(
+        "### 2. q-vector caching (executed, {m} x {d})\n{}speedup {:.2}x (paper's §III-C-2 motivation: 3 scalar products -> 1).\n\n",
+        t2.to_aligned(),
+        t_naive / t_cached
+    ));
+    csvs.push(t2.write_csv("ablation_qcache.csv"));
+
+    // --- 3: triangular mirroring (executed) ---
+    let t_tri = time_it(|| backend.kernel_matvec(&v, &mut out));
+    let t_full = time_it(|| {
+        for (i, slot) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (j, &vj) in v.iter().enumerate() {
+                acc += kernel_soa(&kernel, &soa, i, j) * vj;
+            }
+            *slot = acc;
+        }
+    });
+    let mut t3 = Table::new(&["variant", "matvec time"]);
+    t3.row(vec!["triangular + mirror".into(), fmt_secs(t_tri)]);
+    t3.row(vec!["full matrix".into(), fmt_secs(t_full)]);
+    body.push_str(&format!(
+        "### 3. Triangular mirroring (executed)\n{}speedup {:.2}x (ideal 2x; mirroring writes cost some of it back).\n\n",
+        t3.to_aligned(),
+        t_full / t_tri
+    ));
+    csvs.push(t3.write_csv("ablation_triangular.csv"));
+
+    // --- 4: data layout on the CPU (executed) ---
+    let t_soa = time_it(|| {
+        for (i, slot) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (j, &vj) in v.iter().enumerate() {
+                acc += soa.dot(i, j) * vj;
+            }
+            *slot = acc;
+        }
+    });
+    let t_aos = time_it(|| {
+        for (i, slot) in out.iter_mut().enumerate() {
+            let ri = data.x.row(i);
+            let mut acc = 0.0;
+            for (j, &vj) in v.iter().enumerate() {
+                acc += dot(ri, data.x.row(j)) * vj;
+            }
+            *slot = acc;
+        }
+    });
+    let mut t4 = Table::new(&["layout", "matvec time"]);
+    t4.row(vec!["SoA (column-major, device layout)".into(), fmt_secs(t_soa)]);
+    t4.row(vec!["AoS (row-major, host layout)".into(), fmt_secs(t_aos)]);
+    body.push_str(&format!(
+        "### 4. Data layout on a CPU core (executed)\n{}On a cache-based core the row-major layout is {:.2}x faster — the SoA \
+         layout exists for GPU memory coalescing (§III-A), which is why PLSSVM \
+         transforms the data only for the device backends.\n\n",
+        t4.to_aligned(),
+        t_soa / t_aos
+    ));
+    csvs.push(t4.write_csv("ablation_layout.csv"));
+
+    // --- 5: explicit-w factorization for the linear kernel (executed) ---
+    let t_implicit = t_tri;
+    let mut w_vec = vec![0.0; d];
+    let mut out_w = vec![0.0; n];
+    let t_factored = time_it(|| {
+        // w = Xᵀ v over the first n points, then out = X w
+        w_vec.fill(0.0);
+        for f in 0..d {
+            let col = soa.feature_column(f);
+            let mut acc = 0.0;
+            for (j, &vj) in v.iter().enumerate() {
+                acc += col[j] * vj;
+            }
+            w_vec[f] = acc;
+        }
+        for (i, slot) in out_w.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (f, &wf) in w_vec.iter().enumerate() {
+                acc += soa.get(i, f) * wf;
+            }
+            *slot = acc;
+        }
+    });
+    // correctness: factored result equals implicit result
+    backend.kernel_matvec(&v, &mut out);
+    let max_err = out
+        .iter()
+        .zip(&out_w)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    let mut t5 = Table::new(&["variant", "matvec time", "complexity"]);
+    t5.row(vec![
+        "implicit K·v (paper)".into(),
+        fmt_secs(t_implicit),
+        "O(m^2 d)".into(),
+    ]);
+    t5.row(vec![
+        "factored X(X^T v)".into(),
+        fmt_secs(t_factored),
+        "O(m d)".into(),
+    ]);
+    body.push_str(&format!(
+        "### 5. Explicit-w factorization, linear kernel only (executed)\n{}speedup {:.0}x at max abs deviation {max_err:.2e} — the \"implicit \
+         matrix-vector multiplication implementations available\" the paper's \
+         §V names as future work; it changes the complexity class but only \
+         exists for the linear kernel.\n",
+        t5.to_aligned(),
+        t_implicit / t_factored
+    ));
+    csvs.push(t5.write_csv("ablation_factored.csv"));
+
+    // --- 6: sparse CG backend (the §V extension) vs density (executed) ---
+    use plssvm_core::backend::sparse::SparseBackend;
+    let mut t6 = Table::new(&["density", "dense backend", "sparse backend", "ratio"]);
+    for keep_every in [1usize, 3, 10] {
+        let mut x = data.x.clone();
+        for p in 0..x.rows() {
+            for f in 0..x.cols() {
+                if (p + f) % keep_every != 0 {
+                    x.set(p, f, 0.0);
+                }
+            }
+        }
+        let density = 1.0 / keep_every as f64;
+        let dense_b = SerialBackend::new(x.clone(), kernel, 1.0);
+        let sparse_b = SparseBackend::new(&x, kernel, 1.0, Some(1)).unwrap();
+        let mut out_d = vec![0.0; n];
+        let mut out_s = vec![0.0; n];
+        let t_dense = time_it(|| dense_b.kernel_matvec(&v, &mut out_d));
+        let t_sparse = time_it(|| sparse_b.kernel_matvec(&v, &mut out_s));
+        t6.row(vec![
+            format!("{:.0}%", 100.0 * density),
+            fmt_secs(t_dense),
+            fmt_secs(t_sparse),
+            format!("{:.2}x", t_dense / t_sparse),
+        ]);
+    }
+    body.push_str(&format!(
+        "### 6. Sparse CG backend vs data density (executed, {m} x {d})\n{}The paper (§V) names sparse data structures for the CG solver as future \
+         work and recommends ThunderSVM for very sparse data in the meantime; \
+         the CSR backend removes that caveat once the density drops low enough \
+         for the index-merge to beat the dense FMA stream.\n",
+        t6.to_aligned()
+    ));
+    csvs.push(t6.write_csv("ablation_sparse.csv"));
+
+    // --- 7: Jacobi-preconditioned CG (solver extension, executed) ---
+    use plssvm_core::backend::BackendSelection;
+    use plssvm_core::svm::LsSvm;
+    let weights: Vec<f64> = (0..m)
+        .map(|i| if i % 4 == 0 { 1e-4 } else { 1.0 })
+        .collect();
+    // LIBSVM's default γ = 1/d keeps kernel structure at this dimension
+    // (a large γ drives K → I, where nothing needs preconditioning)
+    let trainer = |pc: bool| {
+        LsSvm::new()
+            .with_kernel(KernelSpec::Rbf { gamma: 1.0 / d as f64 })
+            .with_epsilon(1e-8)
+            .with_sample_weights(weights.clone())
+            .with_jacobi_preconditioner(pc)
+            .with_backend(BackendSelection::OpenMp { threads: None })
+    };
+    let plain = trainer(false).train(&data).expect("plain CG");
+    let pcg = trainer(true).train(&data).expect("PCG");
+    let mut t7 = Table::new(&["solver", "CG iterations", "converged"]);
+    t7.row(vec![
+        "plain CG (paper)".into(),
+        plain.iterations.to_string(),
+        plain.converged.to_string(),
+    ]);
+    t7.row(vec![
+        "Jacobi PCG".into(),
+        pcg.iterations.to_string(),
+        pcg.converged.to_string(),
+    ]);
+    body.push_str(&format!(
+        "### 7. Jacobi-preconditioned CG (executed, weighted LS-SVM with a          10^4-spread ridge, {m} x {d})
+{}Per-sample weights (the robust weighted LS-SVM) put orders of magnitude          on diag(Q̃); the diagonal preconditioner removes exactly that, cutting          the iteration count — plain CG is what the paper uses and is optimal          for its unweighted, well-scaled benchmarks.
+",
+        t7.to_aligned()
+    ));
+    csvs.push(t7.write_csv("ablation_pcg.csv"));
+
+    FigureReport {
+        id: "ablation".into(),
+        title: "design choice ablations (§III-C + §V)".into(),
+        body,
+        csv_files: csvs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablations_run_and_report_all_sections() {
+        let r = run(Scale::Small);
+        for s in [
+            "Tiling size",
+            "q-vector caching",
+            "Triangular mirroring",
+            "Data layout",
+            "Explicit-w factorization",
+            "Sparse CG backend",
+            "Jacobi-preconditioned CG",
+        ] {
+            assert!(r.body.contains(s), "missing section {s}");
+        }
+        assert_eq!(r.csv_files.len(), 7);
+        // the factored path must be numerically equivalent
+        assert!(r.body.contains("max abs deviation"));
+    }
+}

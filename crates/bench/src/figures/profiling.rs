@@ -1,0 +1,162 @@
+//! §IV-C profiling claims — kernel launch counts and fraction of peak.
+//!
+//! The paper's Nsight observations: PLSSVM spawns only a handful of
+//! distinct compute kernels, its implicit matvec reaching >3.1 TFLOP/s
+//! (32 % of the A100's FP64 peak), while ThunderSVM issues >1600 tiny
+//! kernels with its best kernel at ~233 GFLOP/s (2.4 % of peak).
+//!
+//! The PLSSVM side is *executed* on the simulated A100 and read from the
+//! device counters; the ThunderSVM side runs the batched solver
+//! functionally (counting its launches) and converts to the paper's
+//! scenario size via the measured outer-iteration growth.
+
+use plssvm_core::backend::BackendSelection;
+use plssvm_data::model::KernelSpec;
+use plssvm_simgpu::{hw, Backend as DeviceApi, Precision};
+use plssvm_smo::thunder::LAUNCHES_PER_OUTER;
+use plssvm_smo::{ThunderConfig, ThunderSolver};
+
+use crate::figures::common::{planes_data, timed_lssvm_train, FigureReport, Scale, Table};
+use crate::workmodel::ThunderWorkModel;
+
+/// Runs the profiling comparison.
+pub fn run(scale: Scale) -> FigureReport {
+    // The fraction-of-peak number is launch-overhead-bound at toy sizes
+    // (6 µs dispatch vs µs-scale kernels), so medium uses a problem large
+    // enough for the matvec kernel to dominate its own launch cost.
+    let (m, d) = match scale {
+        Scale::Small => (128, 32),
+        Scale::Medium => (1024, 512),
+    };
+    let data = planes_data(m, d, 77);
+    let (out, _) = timed_lssvm_train(
+        &data,
+        KernelSpec::Linear,
+        1e-6,
+        BackendSelection::sim_gpu(hw::A100, DeviceApi::Cuda),
+    );
+    let report = out.device.unwrap();
+    let dev = &report.per_device[0];
+    let matvec = &dev.per_kernel["svm_kernel"];
+    let achieved_tflops = matvec.achieved_flops() / 1e12;
+    let peak_frac = dev.peak_fraction("svm_kernel", &hw::A100, Precision::F64);
+
+    // ThunderSVM launches: one executed run at a feasible size plus the
+    // total-updates law u·m/q for the paper's profiled scenario (2^14
+    // points — the paper counted >1600 launches there).
+    let measured = {
+        let data = planes_data(256, 32, 600);
+        ThunderSolver::new(ThunderConfig {
+            working_set_size: 64,
+            ..Default::default()
+        })
+        .unwrap()
+        .train(&data)
+        .unwrap()
+    };
+    let u = crate::figures::fig1::thunder_updates_per_point(scale);
+    let paper_m = 1usize << 14;
+    let thunder_model = ThunderWorkModel::new(paper_m, 1 << 12);
+    let thunder_launches = thunder_model.outer_iterations(u) * LAUNCHES_PER_OUTER;
+
+    let mut table = Table::new(&["metric", "PLSSVM", "ThunderSVM"]);
+    table.row(vec![
+        "distinct compute kernels".into(),
+        dev.per_kernel.len().to_string(),
+        format!("many tiny ({LAUNCHES_PER_OUTER}/outer iter)"),
+    ]);
+    table.row(vec![
+        "kernel launches (this run)".into(),
+        dev.kernel_launches.to_string(),
+        format!("{} (measured m=256)", measured.kernel_launches),
+    ]);
+    table.row(vec![
+        "launches at paper scenario (m=2^14)".to_string(),
+        (1 + crate::workmodel::LsSvmWorkModel::matvec_calls(out.iterations)).to_string(),
+        format!("~{thunder_launches} (paper measured >1600)"),
+    ]);
+    table.row(vec![
+        "matvec throughput".into(),
+        format!("{achieved_tflops:.2} TFLOP/s"),
+        "~0.233 TFLOP/s (paper)".into(),
+    ]);
+    table.row(vec![
+        "fraction of FP64 peak".into(),
+        format!("{:.1}%", 100.0 * peak_frac),
+        "2.4% (paper)".into(),
+    ]);
+    let csv = table.write_csv("profiling.csv");
+    FigureReport {
+        id: "profiling".into(),
+        title: "kernel launches and fraction of peak (paper §IV-C)".into(),
+        body: format!(
+            "{}\nPLSSVM numbers read from the simulated-A100 counters of an executed \
+             run ({m}x{d}); ThunderSVM launch count from the total-updates law \
+             (u = {u:.1} updates/point measured from executed batched-SMO runs). \
+             Paper: 3 kernels at 32% of peak vs >1600 launches at 2.4%. At small \
+             problem sizes the achieved fraction is bounded by the 6 µs launch \
+             overhead rather than the arithmetic.\n",
+            table.to_aligned()
+        ),
+        csv_files: vec![csv],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plssvm_has_few_kernels_and_a_bounded_peak_fraction() {
+        let r = run(Scale::Small);
+        // few distinct kernels (the paper's "only 3 compute kernels")
+        let line = r
+            .body
+            .lines()
+            .find(|l| l.contains("distinct compute kernels"))
+            .unwrap();
+        let plssvm_kernels: usize = line
+            .split_whitespace()
+            .filter_map(|t| t.parse().ok())
+            .next()
+            .unwrap();
+        assert!(plssvm_kernels <= 3, "{line}");
+
+        // the PLSSVM fraction-of-peak cell parses and cannot exceed the
+        // fitted 32 % ceiling (launch overhead only lowers it)
+        let line = r
+            .body
+            .lines()
+            .find(|l| l.contains("fraction of FP64 peak"))
+            .unwrap();
+        let frac: f64 = line
+            .split_whitespace()
+            .find(|t| t.ends_with('%'))
+            .unwrap()
+            .trim_end_matches('%')
+            .parse()
+            .unwrap();
+        assert!(frac > 0.0 && frac <= 32.0 + 1e-9, "{line}");
+
+        // ThunderSVM's modeled launches at the paper scenario are in the
+        // same ballpark as the paper's >1600 (within ~5x either way)
+        let line = r
+            .body
+            .lines()
+            .find(|l| l.contains("launches at paper scenario"))
+            .unwrap();
+        let launches: f64 = line
+            .split('~')
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(
+            (320.0..16_000.0).contains(&launches),
+            "thunder launches {launches}"
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Experiment harness for the PLSSVM reproduction.
+//!
+//! One module per concern:
+//!
+//! * [`protocol`] — the paper's ε-search measurement protocol (§IV-B):
+//!   decrease ε by ×0.1 starting from 0.1 until the model reaches ≥ 97 %
+//!   training accuracy or the accuracy converges in its first three
+//!   decimals.
+//! * [`workmodel`] — closed-form predictions of the device backend's
+//!   counted work (FLOPs, traffic, transfers, launches, peak memory) for
+//!   arbitrary problem sizes. Validated against the *executed* counters in
+//!   tests, then evaluated at paper scale where functional execution is
+//!   infeasible on this machine.
+//! * [`stats`] — means, standard deviations, coefficients of variation.
+//! * [`figures`] — one driver per table/figure of the paper; see
+//!   `EXPERIMENTS.md` for the index and `src/bin/figures.rs` for the CLI.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod protocol;
+pub mod stats;
+pub mod workmodel;
+
+/// Where figure drivers write their CSV outputs.
+pub const RESULTS_DIR: &str = "bench_results";
+
+/// Ensures the results directory exists and returns the path for a file.
+pub fn results_path(name: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new(RESULTS_DIR);
+    std::fs::create_dir_all(dir).ok();
+    dir.join(name)
+}

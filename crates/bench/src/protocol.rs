@@ -1,0 +1,148 @@
+//! The paper's measurement protocol (§IV-B).
+//!
+//! "We start with 0.1 and increment the epsilon in steps of ×0.1 (i.e.,
+//! 0.01, 0.001, etc.) until an accuracy of more than 97 % was reached on
+//! the training data. If the training data was non-separable … we compared
+//! the runs that converged in accuracy in the first three digits."
+
+use std::time::{Duration, Instant};
+
+/// One trained-and-measured run at a fixed ε.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProtocolRun {
+    /// The ε used.
+    pub epsilon: f64,
+    /// Training accuracy reached.
+    pub accuracy: f64,
+    /// Wall-clock of the training call.
+    pub time: Duration,
+    /// Solver iterations (CG or SMO, whatever the trainer reports).
+    pub iterations: usize,
+}
+
+/// Outcome of the ε search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolResult {
+    /// The accepted run.
+    pub chosen: ProtocolRun,
+    /// Every run performed during the search, in ε order.
+    pub runs: Vec<ProtocolRun>,
+    /// True if the 97 % target was reached (false: accuracy-convergence
+    /// stop on non-separable data).
+    pub reached_target: bool,
+}
+
+/// Target training accuracy of the protocol.
+pub const TARGET_ACCURACY: f64 = 0.97;
+
+/// Smallest ε the search will try before giving up.
+pub const MIN_EPSILON: f64 = 1e-12;
+
+/// Runs the ε search. `train` maps an ε to `(accuracy, iterations)`;
+/// timing is recorded around each call.
+pub fn epsilon_search(
+    mut train: impl FnMut(f64) -> (f64, usize),
+) -> ProtocolResult {
+    let mut runs = Vec::new();
+    let mut epsilon = 0.1;
+    loop {
+        let t0 = Instant::now();
+        let (accuracy, iterations) = train(epsilon);
+        let run = ProtocolRun {
+            epsilon,
+            accuracy,
+            time: t0.elapsed(),
+            iterations,
+        };
+        runs.push(run);
+        if accuracy > TARGET_ACCURACY {
+            return ProtocolResult {
+                chosen: run,
+                runs,
+                reached_target: true,
+            };
+        }
+        // accuracy converged in the first three decimals → non-separable
+        if runs.len() >= 2 {
+            let prev = runs[runs.len() - 2].accuracy;
+            if (accuracy - prev).abs() < 5e-4 {
+                return ProtocolResult {
+                    chosen: run,
+                    runs,
+                    reached_target: false,
+                };
+            }
+        }
+        epsilon *= 0.1;
+        if epsilon < MIN_EPSILON {
+            return ProtocolResult {
+                chosen: run,
+                runs,
+                reached_target: false,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stops_at_target_accuracy() {
+        // accuracy improves with tighter epsilon: 0.5, 0.9, 0.98
+        let accs = [0.5, 0.9, 0.98, 1.0];
+        let mut i = 0;
+        let r = epsilon_search(|_| {
+            let a = accs[i];
+            i += 1;
+            (a, 10 * i)
+        });
+        assert!(r.reached_target);
+        assert_eq!(r.runs.len(), 3);
+        assert_eq!(r.chosen.accuracy, 0.98);
+        assert!((r.chosen.epsilon - 1e-3).abs() < 1e-15);
+        assert_eq!(r.chosen.iterations, 30);
+    }
+
+    #[test]
+    fn stops_on_three_digit_convergence() {
+        // plateaus at 0.912 — never reaches 97 %
+        let accs = [0.80, 0.90, 0.912, 0.9121, 0.95];
+        let mut i = 0;
+        let r = epsilon_search(|_| {
+            let a = accs[i];
+            i += 1;
+            (a, 1)
+        });
+        assert!(!r.reached_target);
+        assert_eq!(r.runs.len(), 4); // stops when 0.9121 ≈ 0.912
+        assert!((r.chosen.accuracy - 0.9121).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gives_up_below_min_epsilon() {
+        // oscillating accuracy never converging nor reaching target
+        let mut flip = false;
+        let r = epsilon_search(|_| {
+            flip = !flip;
+            (if flip { 0.5 } else { 0.6 }, 1)
+        });
+        assert!(!r.reached_target);
+        assert!(r.chosen.epsilon >= MIN_EPSILON / 10.0);
+        assert!(r.runs.len() >= 10);
+    }
+
+    #[test]
+    fn epsilon_sequence_is_powers_of_ten() {
+        let mut count = 0;
+        let r = epsilon_search(|_| {
+            count += 1;
+            (if count >= 3 { 0.99 } else { 0.3 * count as f64 }, 1)
+        });
+        let eps: Vec<f64> = r.runs.iter().map(|r| r.epsilon).collect();
+        assert!((eps[0] - 0.1).abs() < 1e-15);
+        assert!((eps[1] - 0.01).abs() < 1e-15);
+        assert!((eps[2] - 0.001).abs() < 1e-15);
+    }
+}

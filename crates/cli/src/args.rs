@@ -1,0 +1,633 @@
+//! Argument parsing for the CLI binaries (hand rolled, LIBSVM style).
+
+use std::fmt;
+
+use plssvm_core::backend::simgpu::TilingConfig;
+use plssvm_core::backend::BackendSelection;
+use plssvm_data::model::KernelSpec;
+use plssvm_simgpu::hw;
+use plssvm_simgpu::Backend as DeviceApi;
+
+/// Errors from command line parsing.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Which solver `svm-train` runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// The least squares SVM (PLSSVM, the default).
+    LsSvm,
+    /// LIBSVM-style SMO over sparse rows.
+    Smo,
+    /// LIBSVM-style SMO over dense rows.
+    SmoDense,
+    /// ThunderSVM-style batched SMO.
+    Thunder,
+}
+
+/// Multi-class strategy selection for `svm-train`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McStrategy {
+    /// One-vs-one (LIBSVM's scheme, the default).
+    Ovo,
+    /// One-vs-rest.
+    Ovr,
+}
+
+/// Parsed `svm-train` invocation.
+#[derive(Debug, Clone)]
+pub struct TrainArgs {
+    /// LIBSVM `-s`: 0 = C-SVC classification (default), 3 = epsilon-SVR
+    /// regression (solved as LS-SVR).
+    pub svm_type: u8,
+    /// Cross-validation folds (LIBSVM `-v`); reports CV accuracy instead
+    /// of writing a model.
+    pub cv_folds: Option<usize>,
+    /// Multi-class decomposition (`--multiclass ovo|ovr`), used when the
+    /// training file has more than two classes.
+    pub multiclass: McStrategy,
+    /// Kernel: 0 = linear, 1 = polynomial, 2 = rbf, 3 = sigmoid (LIBSVM
+    /// `-t`). Gamma defaults to `1/num_features` at run time when not
+    /// given.
+    pub kernel_type: u8,
+    /// Polynomial degree (`-d`).
+    pub degree: i32,
+    /// Kernel γ (`-g`); `None` = `1/num_features`.
+    pub gamma: Option<f64>,
+    /// Polynomial offset (`-r`).
+    pub coef0: f64,
+    /// Cost `C` (`-c`).
+    pub cost: f64,
+    /// Termination criterion ε (`-e`).
+    pub epsilon: f64,
+    /// Per-label weights on `C` (LIBSVM `-wi`): `(label, weight)` pairs.
+    pub label_weights: Vec<(i32, f64)>,
+    /// Shrinking heuristic for the SMO algorithms (LIBSVM `-h`, default
+    /// on).
+    pub shrinking: bool,
+    /// Kernel cache budget in MB (LIBSVM `-m`, default 100).
+    pub cache_mb: usize,
+    /// Solver selection (`-a`).
+    pub algorithm: Algorithm,
+    /// Execution backend (`--backend`), LS-SVM only.
+    pub backend: BackendSelection,
+    /// Input data file.
+    pub input: String,
+    /// Output model file (default: `<input>.model`).
+    pub model: String,
+}
+
+/// Parses `svm-train` arguments.
+pub fn parse_train(args: &[String]) -> Result<TrainArgs, CliError> {
+    let mut out = TrainArgs {
+        svm_type: 0,
+        cv_folds: None,
+        multiclass: McStrategy::Ovo,
+        kernel_type: 0,
+        degree: 3,
+        gamma: None,
+        coef0: 0.0,
+        cost: 1.0,
+        epsilon: 1e-3,
+        label_weights: Vec::new(),
+        shrinking: true,
+        cache_mb: 100,
+        algorithm: Algorithm::LsSvm,
+        backend: BackendSelection::default(),
+        input: String::new(),
+        model: String::new(),
+    };
+    let mut backend_name = "openmp".to_owned();
+    let mut devices = 1usize;
+    let mut row_split = false;
+    let mut threads: Option<usize> = None;
+    let mut hardware = "a100".to_owned();
+    let mut positional = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| {
+            it.next()
+                .map(|s| s.to_owned())
+                .ok_or_else(|| err(format!("missing value for {name}")))
+        };
+        match arg.as_str() {
+            "-s" => out.svm_type = parse_num(&take("-s")?, "-s")?,
+            "-v" => out.cv_folds = Some(parse_num(&take("-v")?, "-v")?),
+            "--multiclass" => {
+                out.multiclass = match take("--multiclass")?.as_str() {
+                    "ovo" => McStrategy::Ovo,
+                    "ovr" => McStrategy::Ovr,
+                    other => return Err(err(format!("unknown multiclass strategy '{other}'"))),
+                }
+            }
+            "-t" => out.kernel_type = parse_num(&take("-t")?, "-t")?,
+            "-d" => out.degree = parse_num(&take("-d")?, "-d")?,
+            "-g" => out.gamma = Some(parse_num(&take("-g")?, "-g")?),
+            "-r" => out.coef0 = parse_num(&take("-r")?, "-r")?,
+            "-c" => out.cost = parse_num(&take("-c")?, "-c")?,
+            "-e" => out.epsilon = parse_num(&take("-e")?, "-e")?,
+            "-h" => {
+                let v: u8 = parse_num(&take("-h")?, "-h")?;
+                out.shrinking = v != 0;
+            }
+            "-m" => out.cache_mb = parse_num(&take("-m")?, "-m")?,
+            w if w.starts_with("-w") && w.len() > 2 && w[2..].parse::<i32>().is_ok() => {
+                let label: i32 = w[2..].parse().unwrap();
+                let weight: f64 = parse_num(&take(w)?, w)?;
+                if weight <= 0.0 {
+                    return Err(err(format!("weight for label {label} must be positive")));
+                }
+                out.label_weights.push((label, weight));
+            }
+            "-a" | "--algorithm" => {
+                out.algorithm = match take("-a")?.as_str() {
+                    "lssvm" => Algorithm::LsSvm,
+                    "smo" => Algorithm::Smo,
+                    "smo-dense" => Algorithm::SmoDense,
+                    "thunder" => Algorithm::Thunder,
+                    other => return Err(err(format!("unknown algorithm '{other}'"))),
+                }
+            }
+            "-b" | "--backend" => backend_name = take("--backend")?,
+            "-n" | "--devices" => devices = parse_num(&take("--devices")?, "--devices")?,
+            "-T" | "--threads" => threads = Some(parse_num(&take("--threads")?, "--threads")?),
+            "--hardware" => hardware = take("--hardware")?,
+            "--split" => {
+                row_split = match take("--split")?.as_str() {
+                    "rows" => true,
+                    "features" => false,
+                    other => return Err(err(format!("unknown split '{other}'"))),
+                }
+            }
+            flag if flag.starts_with('-') && flag.len() > 1 && !flag[1..2].chars().next().unwrap().is_ascii_digit() => {
+                return Err(err(format!("unknown option '{flag}'")))
+            }
+            _ => positional.push(arg.clone()),
+        }
+    }
+
+    match positional.len() {
+        0 => return Err(err("missing training_set_file")),
+        1 => {
+            out.input = positional[0].clone();
+            out.model = format!("{}.model", positional[0]);
+        }
+        2 => {
+            out.input = positional[0].clone();
+            out.model = positional[1].clone();
+        }
+        _ => return Err(err("too many positional arguments")),
+    }
+    if out.kernel_type > 3 {
+        return Err(err(
+            "kernel type must be 0 (linear), 1 (polynomial), 2 (rbf) or 3 (sigmoid)",
+        ));
+    }
+    if out.svm_type != 0 && out.svm_type != 3 {
+        return Err(err("svm type must be 0 (c_svc) or 3 (epsilon_svr)"));
+    }
+    if let Some(v) = out.cv_folds {
+        if v < 2 {
+            return Err(err("cross validation needs at least 2 folds"));
+        }
+    }
+
+    out.backend = match backend_name.as_str() {
+        "serial" => BackendSelection::Serial,
+        "openmp" => BackendSelection::OpenMp { threads },
+        "sparse" => BackendSelection::SparseCpu { threads },
+        api @ ("cuda" | "opencl" | "sycl" | "dpcpp") => {
+            let api = match api {
+                "cuda" => DeviceApi::Cuda,
+                "opencl" => DeviceApi::OpenCl,
+                "sycl" => DeviceApi::SyclHip,
+                _ => DeviceApi::SyclDpcpp,
+            };
+            let spec = lookup_hardware(&hardware)?;
+            if row_split {
+                BackendSelection::SimGpuRows {
+                    hardware: spec,
+                    api,
+                    devices,
+                    tiling: TilingConfig::default(),
+                }
+            } else {
+                BackendSelection::SimGpu {
+                    hardware: spec,
+                    api,
+                    devices,
+                    tiling: TilingConfig::default(),
+                }
+            }
+        }
+        other => return Err(err(format!("unknown backend '{other}'"))),
+    };
+    Ok(out)
+}
+
+impl TrainArgs {
+    /// The `-wi` weight of a label (1.0 when not given).
+    pub fn weight_of(&self, label: i32) -> f64 {
+        self.label_weights
+            .iter()
+            .rev()
+            .find(|(l, _)| *l == label)
+            .map(|(_, w)| *w)
+            .unwrap_or(1.0)
+    }
+}
+
+/// Maps a hardware name to the simulated catalog.
+pub fn lookup_hardware(name: &str) -> Result<hw::GpuSpec, CliError> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "a100" => hw::A100,
+        "v100" => hw::V100,
+        "p100" => hw::P100,
+        "gtx1080ti" | "1080ti" => hw::GTX_1080_TI,
+        "rtx3080" | "3080" => hw::RTX_3080,
+        "radeonvii" | "radeon7" => hw::RADEON_VII,
+        "p630" | "intel" => hw::INTEL_P630,
+        other => return Err(err(format!("unknown hardware '{other}'"))),
+    })
+}
+
+/// Builds the kernel spec, resolving the default γ against the data.
+pub fn kernel_from_args(args: &TrainArgs, num_features: usize) -> KernelSpec<f64> {
+    let gamma = args
+        .gamma
+        .unwrap_or_else(|| 1.0 / num_features.max(1) as f64);
+    match args.kernel_type {
+        0 => KernelSpec::Linear,
+        1 => KernelSpec::Polynomial {
+            degree: args.degree,
+            gamma,
+            coef0: args.coef0,
+        },
+        2 => KernelSpec::Rbf { gamma },
+        _ => KernelSpec::Sigmoid {
+            gamma,
+            coef0: args.coef0,
+        },
+    }
+}
+
+/// Parsed `svm-predict` invocation: `svm-predict test_file model_file output_file`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredictArgs {
+    /// Test data file (labels used for the accuracy report).
+    pub test: String,
+    /// Model file from `svm-train`.
+    pub model: String,
+    /// Output file, one predicted label per line.
+    pub output: String,
+}
+
+/// Parses `svm-predict` arguments.
+pub fn parse_predict(args: &[String]) -> Result<PredictArgs, CliError> {
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
+    if let Some(flag) = args.iter().find(|a| a.starts_with('-') && a.len() > 1) {
+        return Err(err(format!("unknown option '{flag}'")));
+    }
+    if positional.len() != 3 {
+        return Err(err("usage: svm-predict test_file model_file output_file"));
+    }
+    Ok(PredictArgs {
+        test: positional[0].clone(),
+        model: positional[1].clone(),
+        output: positional[2].clone(),
+    })
+}
+
+/// Parsed `svm-scale` invocation.
+#[derive(Debug, Clone)]
+pub struct ScaleArgs {
+    /// Target lower bound (`-l`, default −1).
+    pub lower: f64,
+    /// Target upper bound (`-u`, default +1).
+    pub upper: f64,
+    /// Write fitted ranges to this file (`-s`).
+    pub save: Option<String>,
+    /// Restore ranges from this file instead of fitting (`-r`).
+    pub restore: Option<String>,
+    /// Input data file; scaled data goes to stdout (LIBSVM behaviour).
+    pub input: String,
+}
+
+/// Parses `svm-scale` arguments.
+pub fn parse_scale(args: &[String]) -> Result<ScaleArgs, CliError> {
+    let mut out = ScaleArgs {
+        lower: -1.0,
+        upper: 1.0,
+        save: None,
+        restore: None,
+        input: String::new(),
+    };
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| {
+            it.next()
+                .map(|s| s.to_owned())
+                .ok_or_else(|| err(format!("missing value for {name}")))
+        };
+        match arg.as_str() {
+            "-l" => out.lower = parse_num(&take("-l")?, "-l")?,
+            "-u" => out.upper = parse_num(&take("-u")?, "-u")?,
+            "-s" => out.save = Some(take("-s")?),
+            "-r" => out.restore = Some(take("-r")?),
+            flag if flag.starts_with('-') && flag.len() > 1 && !flag[1..2].chars().next().unwrap().is_ascii_digit() => {
+                return Err(err(format!("unknown option '{flag}'")))
+            }
+            _ => positional.push(arg.clone()),
+        }
+    }
+    if positional.len() != 1 {
+        return Err(err("usage: svm-scale [options] data_file"));
+    }
+    if out.save.is_some() && out.restore.is_some() {
+        return Err(err("-s and -r are mutually exclusive"));
+    }
+    out.input = positional[0].clone();
+    Ok(out)
+}
+
+/// Parsed `generate-data` invocation.
+#[derive(Debug, Clone)]
+pub struct GenerateArgs {
+    /// Number of data points.
+    pub points: usize,
+    /// Number of features ("planes" problem only; SAT-6 is 28×28×4).
+    pub features: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Cluster separation ("planes").
+    pub cluster_sep: f64,
+    /// Label flip fraction ("planes").
+    pub flip: f64,
+    /// Generate the SAT-6-like image set instead of "planes".
+    pub sat6: bool,
+    /// Write ARFF instead of LIBSVM format.
+    pub arff: bool,
+    /// Output file.
+    pub output: String,
+}
+
+/// Parses `generate-data` arguments.
+pub fn parse_generate(args: &[String]) -> Result<GenerateArgs, CliError> {
+    let mut out = GenerateArgs {
+        points: 1024,
+        features: 16,
+        seed: 42,
+        cluster_sep: 2.0,
+        flip: 0.01,
+        sat6: false,
+        arff: false,
+        output: String::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| {
+            it.next()
+                .map(|s| s.to_owned())
+                .ok_or_else(|| err(format!("missing value for {name}")))
+        };
+        match arg.as_str() {
+            "--points" | "-p" => out.points = parse_num(&take("--points")?, "--points")?,
+            "--features" | "-f" => out.features = parse_num(&take("--features")?, "--features")?,
+            "--seed" | "-s" => out.seed = parse_num(&take("--seed")?, "--seed")?,
+            "--sep" => out.cluster_sep = parse_num(&take("--sep")?, "--sep")?,
+            "--flip" => out.flip = parse_num(&take("--flip")?, "--flip")?,
+            "--sat6" => out.sat6 = true,
+            "--format" => {
+                out.arff = match take("--format")?.as_str() {
+                    "arff" => true,
+                    "libsvm" => false,
+                    other => return Err(err(format!("unknown format '{other}'"))),
+                }
+            }
+            "-o" | "--output" => out.output = take("--output")?,
+            other => return Err(err(format!("unknown option '{other}'"))),
+        }
+    }
+    if out.output.is_empty() {
+        return Err(err("missing -o output file"));
+    }
+    Ok(out)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, CliError> {
+    s.parse()
+        .map_err(|_| err(format!("invalid value '{s}' for {flag}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn train_defaults() {
+        let a = parse_train(&sv(&["data.txt"])).unwrap();
+        assert_eq!(a.kernel_type, 0);
+        assert_eq!(a.cost, 1.0);
+        assert_eq!(a.epsilon, 1e-3);
+        assert_eq!(a.algorithm, Algorithm::LsSvm);
+        assert_eq!(a.input, "data.txt");
+        assert_eq!(a.model, "data.txt.model");
+        assert!(matches!(a.backend, BackendSelection::OpenMp { threads: None }));
+    }
+
+    #[test]
+    fn train_libsvm_flags() {
+        let a = parse_train(&sv(&[
+            "-t", "2", "-g", "0.5", "-c", "10", "-e", "1e-6", "train.dat", "out.model",
+        ]))
+        .unwrap();
+        assert_eq!(a.kernel_type, 2);
+        assert_eq!(a.gamma, Some(0.5));
+        assert_eq!(a.cost, 10.0);
+        assert_eq!(a.epsilon, 1e-6);
+        assert_eq!(a.model, "out.model");
+        assert!(matches!(
+            kernel_from_args(&a, 4),
+            KernelSpec::Rbf { gamma } if gamma == 0.5
+        ));
+    }
+
+    #[test]
+    fn train_default_gamma_is_one_over_features() {
+        let a = parse_train(&sv(&["-t", "2", "x.dat"])).unwrap();
+        assert!(matches!(
+            kernel_from_args(&a, 8),
+            KernelSpec::Rbf { gamma } if gamma == 0.125
+        ));
+    }
+
+    #[test]
+    fn train_backend_selection() {
+        let a = parse_train(&sv(&["--backend", "cuda", "-n", "4", "x.dat"])).unwrap();
+        match a.backend {
+            BackendSelection::SimGpu { devices, api, .. } => {
+                assert_eq!(devices, 4);
+                assert_eq!(api, DeviceApi::Cuda);
+            }
+            other => panic!("{other:?}"),
+        }
+        let a = parse_train(&sv(&["--backend", "openmp", "-T", "8", "x.dat"])).unwrap();
+        assert!(matches!(a.backend, BackendSelection::OpenMp { threads: Some(8) }));
+        let a = parse_train(&sv(&["--backend", "serial", "x.dat"])).unwrap();
+        assert!(matches!(a.backend, BackendSelection::Serial));
+    }
+
+    #[test]
+    fn train_hardware_lookup() {
+        let a = parse_train(&sv(&["--backend", "opencl", "--hardware", "radeonvii", "x"])).unwrap();
+        match a.backend {
+            BackendSelection::SimGpu { hardware, .. } => {
+                assert_eq!(hardware.name, "AMD Radeon VII")
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_train(&sv(&["--hardware", "tpu", "--backend", "cuda", "x"])).is_err());
+    }
+
+    #[test]
+    fn train_algorithms() {
+        for (name, expected) in [
+            ("lssvm", Algorithm::LsSvm),
+            ("smo", Algorithm::Smo),
+            ("smo-dense", Algorithm::SmoDense),
+            ("thunder", Algorithm::Thunder),
+        ] {
+            let a = parse_train(&sv(&["-a", name, "x.dat"])).unwrap();
+            assert_eq!(a.algorithm, expected);
+        }
+        assert!(parse_train(&sv(&["-a", "qp", "x.dat"])).is_err());
+    }
+
+    #[test]
+    fn train_new_flags() {
+        let a = parse_train(&sv(&["-s", "3", "x.dat"])).unwrap();
+        assert_eq!(a.svm_type, 3);
+        let a = parse_train(&sv(&["-v", "5", "x.dat"])).unwrap();
+        assert_eq!(a.cv_folds, Some(5));
+        let a = parse_train(&sv(&["--multiclass", "ovr", "x.dat"])).unwrap();
+        assert_eq!(a.multiclass, McStrategy::Ovr);
+        assert!(parse_train(&sv(&["-s", "1", "x.dat"])).is_err());
+        assert!(parse_train(&sv(&["-v", "1", "x.dat"])).is_err());
+        assert!(parse_train(&sv(&["--multiclass", "tree", "x.dat"])).is_err());
+        // sigmoid kernel id parses
+        let a = parse_train(&sv(&["-t", "3", "-r", "0.5", "x.dat"])).unwrap();
+        assert!(matches!(
+            kernel_from_args(&a, 4),
+            KernelSpec::Sigmoid { gamma, coef0 } if gamma == 0.25 && coef0 == 0.5
+        ));
+        assert!(parse_train(&sv(&["-t", "4", "x.dat"])).is_err());
+    }
+
+    #[test]
+    fn train_split_mode_flag() {
+        let a = parse_train(&sv(&["--backend", "cuda", "-n", "2", "--split", "rows", "x.dat"]))
+            .unwrap();
+        assert!(matches!(
+            a.backend,
+            BackendSelection::SimGpuRows { devices: 2, .. }
+        ));
+        assert!(parse_train(&sv(&["--split", "diagonal", "x.dat"])).is_err());
+    }
+
+    #[test]
+    fn train_weight_shrinking_cache_flags() {
+        let a = parse_train(&sv(&["-w1", "5", "-w-1", "2", "x.dat"])).unwrap();
+        assert_eq!(a.weight_of(1), 5.0);
+        assert_eq!(a.weight_of(-1), 2.0);
+        assert_eq!(a.weight_of(7), 1.0);
+        assert!(parse_train(&sv(&["-w1", "-3", "x.dat"])).is_err());
+
+        let a = parse_train(&sv(&["-h", "0", "x.dat"])).unwrap();
+        assert!(!a.shrinking);
+        let a = parse_train(&sv(&["-m", "250", "x.dat"])).unwrap();
+        assert_eq!(a.cache_mb, 250);
+        let a = parse_train(&sv(&["x.dat"])).unwrap();
+        assert!(a.shrinking);
+        assert_eq!(a.cache_mb, 100);
+    }
+
+    #[test]
+    fn train_rejects_bad_input() {
+        assert!(parse_train(&sv(&[])).is_err());
+        assert!(parse_train(&sv(&["-t"])).is_err());
+        assert!(parse_train(&sv(&["-t", "9", "x"])).is_err());
+        assert!(parse_train(&sv(&["-z", "1", "x"])).is_err());
+        assert!(parse_train(&sv(&["a", "b", "c"])).is_err());
+        assert!(parse_train(&sv(&["--backend", "vulkan", "x"])).is_err());
+    }
+
+    #[test]
+    fn train_negative_numbers_not_mistaken_for_flags() {
+        let a = parse_train(&sv(&["-r", "-1.5", "x.dat"])).unwrap();
+        assert_eq!(a.coef0, -1.5);
+    }
+
+    #[test]
+    fn predict_args() {
+        let a = parse_predict(&sv(&["t.dat", "m.model", "out.txt"])).unwrap();
+        assert_eq!(
+            a,
+            PredictArgs {
+                test: "t.dat".into(),
+                model: "m.model".into(),
+                output: "out.txt".into()
+            }
+        );
+        assert!(parse_predict(&sv(&["a", "b"])).is_err());
+        assert!(parse_predict(&sv(&["-x", "a", "b", "c"])).is_err());
+    }
+
+    #[test]
+    fn scale_args() {
+        let a = parse_scale(&sv(&["-l", "0", "-u", "2", "-s", "r.txt", "d.dat"])).unwrap();
+        assert_eq!(a.lower, 0.0);
+        assert_eq!(a.upper, 2.0);
+        assert_eq!(a.save.as_deref(), Some("r.txt"));
+        assert_eq!(a.input, "d.dat");
+        let a = parse_scale(&sv(&["-r", "r.txt", "d.dat"])).unwrap();
+        assert_eq!(a.restore.as_deref(), Some("r.txt"));
+        assert_eq!((a.lower, a.upper), (-1.0, 1.0));
+        assert!(parse_scale(&sv(&["-s", "a", "-r", "b", "d.dat"])).is_err());
+        assert!(parse_scale(&sv(&[])).is_err());
+        // negative bound values parse
+        let a = parse_scale(&sv(&["-l", "-2", "d.dat"])).unwrap();
+        assert_eq!(a.lower, -2.0);
+    }
+
+    #[test]
+    fn generate_args() {
+        let a = parse_generate(&sv(&[
+            "--points", "100", "--features", "8", "--seed", "7", "-o", "out.dat",
+        ]))
+        .unwrap();
+        assert_eq!((a.points, a.features, a.seed), (100, 8, 7));
+        assert!(!a.sat6);
+        let a = parse_generate(&sv(&["--sat6", "-o", "x.dat"])).unwrap();
+        assert!(a.sat6);
+        assert!(parse_generate(&sv(&["--points", "10"])).is_err()); // no -o
+        assert!(parse_generate(&sv(&["--bogus", "-o", "x"])).is_err());
+    }
+}

@@ -1,0 +1,19 @@
+//! `svm-predict` — LIBSVM-compatible prediction front end.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match plssvm_cli::args::parse_predict(&args).map_err(|e| e.to_string())
+        .and_then(|a| plssvm_cli::commands::run_predict(&a).map_err(|e| e.to_string()))
+    {
+        Ok(summary) => {
+            print!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("svm-predict: {e}\nusage: svm-predict test_file model_file output_file");
+            ExitCode::FAILURE
+        }
+    }
+}

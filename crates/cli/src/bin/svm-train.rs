@@ -1,0 +1,45 @@
+//! `svm-train` — LIBSVM-compatible training front end.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "-h" || a == "--help") || args.is_empty() {
+        eprintln!(
+            "usage: svm-train [options] training_set_file [model_file]\n\
+             options:\n\
+             \x20 -s svm_type    : 0 C-SVC classification (default), 3 epsilon-SVR regression\n\
+             \x20 -t kernel_type : 0 linear (default), 1 polynomial, 2 rbf, 3 sigmoid\n\
+             \x20 -d degree      : polynomial degree (default 3)\n\
+             \x20 -g gamma       : kernel gamma (default 1/num_features)\n\
+             \x20 -r coef0       : polynomial coef0 (default 0)\n\
+             \x20 -c cost        : C parameter (default 1)\n\
+             \x20 -e epsilon     : termination criterion (default 0.001)\n\
+             \x20 -a algorithm   : lssvm (default) | smo | smo-dense | thunder\n\
+             \x20 -v folds       : k-fold cross validation (no model file written)\n\
+             \x20 -wLABEL weight : per-class weight on C (e.g. -w1 5 -w-1 1)\n\
+             \x20 -h 0|1         : shrinking heuristic for SMO algorithms (default 1)\n\
+             \x20 -m megabytes   : SMO kernel cache size (default 100)\n\
+             \x20 --multiclass s : ovo (default) | ovr for files with >2 classes\n\
+             \x20 -b backend     : serial | openmp (default) | sparse | cuda | opencl | sycl | dpcpp\n\
+             \x20 -n devices     : simulated device count (default 1)\n\
+             \x20 -T threads     : openmp thread count (default all cores)\n\
+             \x20 --hardware hw  : a100 (default) | v100 | p100 | gtx1080ti | rtx3080 | radeonvii | p630\n\
+             \x20 --split mode   : features (default, linear only) | rows (any kernel)\n\
+             input files: LIBSVM format, or ARFF when the extension is .arff"
+        );
+        return ExitCode::from(2);
+    }
+    match plssvm_cli::args::parse_train(&args).map_err(|e| e.to_string())
+        .and_then(|a| plssvm_cli::commands::run_train(&a).map_err(|e| e.to_string()))
+    {
+        Ok(summary) => {
+            print!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("svm-train: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,685 @@
+//! Command implementations shared by the binaries (testable without
+//! spawning processes).
+
+use std::error::Error;
+use std::fs;
+use std::path::Path;
+
+use plssvm_core::multiclass::{train_multiclass, MultiClassModel, MultiClassStrategy};
+use plssvm_core::regression::{mean_squared_error, predict_values, r_squared, LsSvr};
+use plssvm_core::svm::{accuracy, predict_labels, LsSvm};
+use plssvm_core::validation::cross_validate;
+use plssvm_data::arff::read_arff_file;
+use plssvm_data::libsvm::{
+    read_libsvm_file, read_libsvm_regression_file, write_libsvm_string, LabeledData,
+    RegressionData,
+};
+use plssvm_data::model::{peek_svm_type, SvmModel, SvrModel};
+use plssvm_data::multiclass::read_libsvm_multiclass_file;
+use plssvm_data::sat6::{generate_sat6, Sat6Config};
+use plssvm_data::scale::ScalingParams;
+use plssvm_data::synthetic::{generate_planes, PlanesConfig};
+
+use crate::args::{
+    kernel_from_args, Algorithm, GenerateArgs, McStrategy, PredictArgs, ScaleArgs, TrainArgs,
+};
+
+/// True if the path names an ARFF file (PLSSVM's second input format).
+fn is_arff(path: &str) -> bool {
+    std::path::Path::new(path)
+        .extension()
+        .is_some_and(|e| e.eq_ignore_ascii_case("arff"))
+}
+
+/// Reads a binary classification file, dispatching on the extension
+/// (`.arff` → ARFF, anything else → LIBSVM format).
+fn read_classification(path: &str) -> Result<LabeledData<f64>, Box<dyn Error>> {
+    Ok(if is_arff(path) {
+        read_arff_file::<f64>(path)?
+    } else {
+        read_libsvm_file::<f64>(path, None)?
+    })
+}
+
+/// Runs `svm-train`; returns the human-readable summary printed to stdout.
+pub fn run_train(args: &TrainArgs) -> Result<String, Box<dyn Error>> {
+    // -s 3: regression (LS-SVR)
+    if args.svm_type == 3 {
+        return run_train_regression(args);
+    }
+    // classification: detect the class count first (multi-class detection
+    // applies to LIBSVM input; ARFF input is binary in PLSSVM v1 style)
+    if !is_arff(&args.input) {
+        let multi = read_libsvm_multiclass_file::<f64>(&args.input, None)?;
+        if multi.num_classes() > 2 {
+            return run_train_multiclass(args, &multi);
+        }
+    }
+    let data = read_classification(&args.input)?;
+    let kernel = kernel_from_args(args, data.features());
+    let mut summary = String::new();
+
+    // -v k: cross validation instead of model training (LIBSVM behaviour)
+    if let Some(folds) = args.cv_folds {
+        if args.algorithm != Algorithm::LsSvm {
+            return Err("cross validation is implemented for the lssvm algorithm".into());
+        }
+        let trainer = LsSvm::new()
+            .with_kernel(kernel)
+            .with_cost(args.cost)
+            .with_epsilon(args.epsilon)
+            .with_backend(args.backend.clone());
+        let cv = cross_validate(&data, &trainer, folds, 42)?;
+        return Ok(format!(
+            "Cross Validation Accuracy = {:.4}% ({folds}-fold)\n",
+            100.0 * cv.accuracy
+        ));
+    }
+
+    match args.algorithm {
+        Algorithm::LsSvm => {
+            let mut trainer = LsSvm::new()
+                .with_kernel(kernel)
+                .with_cost(args.cost)
+                .with_epsilon(args.epsilon)
+                .with_backend(args.backend.clone());
+            if !args.label_weights.is_empty() {
+                // -wi: class weights become per-sample weights of the
+                // weighted LS-SVM (the error term of sample i is C·wᵢ)
+                let weights: Vec<f64> = (0..data.points())
+                    .map(|i| args.weight_of(data.original_label(data.y[i])))
+                    .collect();
+                trainer = trainer.with_sample_weights(weights);
+            }
+            let out = if is_arff(&args.input) {
+                let out = trainer.train(&data)?;
+                out.model.save(&args.model)?;
+                out
+            } else {
+                trainer.train_from_file(&args.input, Some(Path::new(&args.model)))?
+            };
+            summary.push_str(&format!(
+                "PLSSVM (LS-SVM) trained on {} points x {} features\n",
+                data.points(),
+                data.features()
+            ));
+            summary.push_str(&format!("backend: {}\n", out.backend_name));
+            summary.push_str(&format!(
+                "CG iterations: {} (converged: {}, relative residual {:.3e})\n",
+                out.iterations, out.converged, out.relative_residual
+            ));
+            summary.push_str(&format!("timings: {}\n", out.times));
+            if let Some(device) = &out.device {
+                summary.push_str(&format!(
+                    "simulated device time: {:.3} s, peak memory/device: {:.3} GiB\n",
+                    device.sim_parallel_time_s,
+                    device.peak_memory_per_device_bytes as f64 / (1u64 << 30) as f64
+                ));
+            }
+            summary.push_str(&format!(
+                "training accuracy: {:.2}%\n",
+                100.0 * accuracy(&out.model, &data)
+            ));
+        }
+        Algorithm::Smo | Algorithm::SmoDense => {
+            let config = plssvm_smo::SmoConfig {
+                kernel,
+                cost: args.cost,
+                epsilon: args.epsilon,
+                shrinking: args.shrinking,
+                cache_bytes: args.cache_mb << 20,
+                class_weights: [
+                    args.weight_of(data.label_map[0]),
+                    args.weight_of(data.label_map[1]),
+                ],
+                ..Default::default()
+            };
+            let out = if args.algorithm == Algorithm::Smo {
+                plssvm_smo::solver::train_sparse(&data, &config)?
+            } else {
+                plssvm_smo::solver::train_dense(&data, &config)?
+            };
+            out.model.save(&args.model)?;
+            summary.push_str(&format!(
+                "SMO ({}) trained: {} iterations, {} SVs, obj {:.6}\n",
+                if args.algorithm == Algorithm::Smo {
+                    "sparse"
+                } else {
+                    "dense"
+                },
+                out.iterations,
+                out.model.total_sv(),
+                out.objective
+            ));
+            summary.push_str(&format!(
+                "training accuracy: {:.2}%\n",
+                100.0 * accuracy(&out.model, &data)
+            ));
+        }
+        Algorithm::Thunder => {
+            let config = plssvm_smo::ThunderConfig {
+                kernel,
+                cost: args.cost,
+                epsilon: args.epsilon,
+                ..Default::default()
+            };
+            let out = plssvm_smo::ThunderSolver::new(config)?.train(&data)?;
+            out.model.save(&args.model)?;
+            summary.push_str(&format!(
+                "ThunderSVM-style trained: {} outer / {} inner iterations, {} SVs\n",
+                out.outer_iterations,
+                out.inner_iterations,
+                out.model.total_sv()
+            ));
+            summary.push_str(&format!(
+                "training accuracy: {:.2}%\n",
+                100.0 * accuracy(&out.model, &data)
+            ));
+        }
+    }
+    Ok(summary)
+}
+
+fn run_train_regression(args: &TrainArgs) -> Result<String, Box<dyn Error>> {
+    if args.algorithm != Algorithm::LsSvm {
+        return Err("regression is implemented for the lssvm algorithm (LS-SVR)".into());
+    }
+    let data: RegressionData<f64> = read_libsvm_regression_file(&args.input, None)?;
+    let kernel = kernel_from_args(args, data.features());
+    let out = LsSvr::new()
+        .with_kernel(kernel)
+        .with_cost(args.cost)
+        .with_epsilon(args.epsilon)
+        .with_backend(args.backend.clone())
+        .train(&data)?;
+    out.model.save(&args.model)?;
+    Ok(format!(
+        "LS-SVR trained on {} points x {} features\nCG iterations: {} (converged: {})\ntraining MSE: {:.6e}, R^2: {:.4}\n",
+        data.points(),
+        data.features(),
+        out.iterations,
+        out.converged,
+        mean_squared_error(&out.model, &data),
+        r_squared(&out.model, &data),
+    ))
+}
+
+fn run_train_multiclass(
+    args: &TrainArgs,
+    data: &plssvm_data::multiclass::MultiClassData<f64>,
+) -> Result<String, Box<dyn Error>> {
+    if args.algorithm != Algorithm::LsSvm {
+        return Err(format!(
+            "the training file has {} classes; multi-class is implemented for the lssvm algorithm",
+            data.num_classes()
+        )
+        .into());
+    }
+    if args.cv_folds.is_some() {
+        return Err("cross validation currently supports binary problems only".into());
+    }
+    let kernel = kernel_from_args(args, data.features());
+    let trainer = LsSvm::new()
+        .with_kernel(kernel)
+        .with_cost(args.cost)
+        .with_epsilon(args.epsilon)
+        .with_backend(args.backend.clone());
+    let strategy = match args.multiclass {
+        McStrategy::Ovo => MultiClassStrategy::OneVsOne,
+        McStrategy::Ovr => MultiClassStrategy::OneVsRest,
+    };
+    let model = train_multiclass(data, &trainer, strategy)?;
+    model.save(&args.model)?;
+    Ok(format!(
+        "multi-class LS-SVM ({}) trained: {} classes, {} binary models\ntraining accuracy: {:.2}%\n",
+        strategy.name(),
+        model.classes.len(),
+        model.num_models(),
+        100.0 * model.accuracy(data),
+    ))
+}
+
+/// Runs `svm-predict`; writes one label per line and returns the summary.
+pub fn run_predict(args: &PredictArgs) -> Result<String, Box<dyn Error>> {
+    let content = fs::read_to_string(&args.model)?;
+    // dispatch on the model kind: multiclass container, SVR, or binary
+    if content.starts_with("plssvm_multiclass") {
+        let model = MultiClassModel::<f64>::from_container_string(&content)?;
+        let data = read_libsvm_multiclass_file::<f64>(&args.test, None)?;
+        let labels = model.predict(&data.x);
+        let mut out = String::with_capacity(labels.len() * 4);
+        for l in &labels {
+            out.push_str(&l.to_string());
+            out.push('\n');
+        }
+        fs::write(&args.output, out)?;
+        let correct = labels
+            .iter()
+            .zip(&data.labels)
+            .filter(|(p, l)| p == l)
+            .count();
+        return Ok(format!(
+            "Accuracy = {:.4}% ({}/{}) (multi-class classification)\n",
+            100.0 * correct as f64 / labels.len() as f64,
+            correct,
+            labels.len()
+        ));
+    }
+    if peek_svm_type(&content) == Some("epsilon_svr") {
+        let model = SvrModel::<f64>::from_model_string(&content)?;
+        let data: RegressionData<f64> =
+            read_libsvm_regression_file(&args.test, Some(model.features()))?;
+        let values = predict_values(&model, &data.x);
+        let mut out = String::with_capacity(values.len() * 12);
+        for v in &values {
+            out.push_str(&format!("{v}\n"));
+        }
+        fs::write(&args.output, out)?;
+        let mse = mean_squared_error(&model, &data);
+        return Ok(format!(
+            "Mean squared error = {mse:.6} (regression)\nSquared correlation coefficient R^2 = {:.6} (regression)\n",
+            r_squared(&model, &data)
+        ));
+    }
+    let model = SvmModel::<f64>::load(&args.model)?;
+    let data = if is_arff(&args.test) {
+        read_arff_file::<f64>(&args.test)?
+    } else {
+        read_libsvm_file::<f64>(&args.test, Some(model.features()))?
+    };
+    let labels = predict_labels(&model, &data.x);
+    let mut out = String::with_capacity(labels.len() * 4);
+    for l in &labels {
+        out.push_str(&l.to_string());
+        out.push('\n');
+    }
+    fs::write(&args.output, out)?;
+
+    let correct = labels
+        .iter()
+        .zip(&data.y)
+        .filter(|(&l, &y)| {
+            let truth = if y > 0.0 { model.labels[0] } else { model.labels[1] };
+            l == truth
+        })
+        .count();
+    Ok(format!(
+        "Accuracy = {:.4}% ({}/{}) (classification)\n",
+        100.0 * correct as f64 / labels.len() as f64,
+        correct,
+        labels.len()
+    ))
+}
+
+/// Runs `svm-scale`; returns the scaled data set in LIBSVM format (the
+/// binary prints it to stdout, like LIBSVM).
+pub fn run_scale(args: &ScaleArgs) -> Result<String, Box<dyn Error>> {
+    let mut data = read_libsvm_file::<f64>(&args.input, None)?;
+    let params = match &args.restore {
+        Some(path) => ScalingParams::<f64>::load(path)?,
+        None => ScalingParams::fit(&data.x, args.lower, args.upper)?,
+    };
+    params.apply(&mut data.x)?;
+    if let Some(path) = &args.save {
+        params.save(path)?;
+    }
+    Ok(write_libsvm_string(&data, true))
+}
+
+/// Runs `generate-data`; writes the file and returns a summary.
+pub fn run_generate(args: &GenerateArgs) -> Result<String, Box<dyn Error>> {
+    let data = if args.sat6 {
+        generate_sat6::<f64>(&Sat6Config::new(args.points, args.seed))?
+    } else {
+        generate_planes::<f64>(
+            &PlanesConfig::new(args.points, args.features, args.seed)
+                .with_cluster_sep(args.cluster_sep)
+                .with_flip_fraction(args.flip),
+        )?
+    };
+    if args.arff {
+        plssvm_data::arff::write_arff_file(&args.output, &data, "generated")?;
+    } else {
+        plssvm_data::write_libsvm_file(&args.output, &data, true)?;
+    }
+    Ok(format!(
+        "wrote {} points x {} features to {}\n",
+        data.points(),
+        data.features(),
+        args.output
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::{parse_generate, parse_predict, parse_scale, parse_train};
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("plssvm_cli_test").join(name);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn end_to_end_generate_train_predict() {
+        let dir = tmpdir("e2e");
+        let data = dir.join("train.dat");
+        let model = dir.join("train.model");
+        let preds = dir.join("preds.txt");
+
+        let gen = parse_generate(&sv(&[
+            "--points", "80", "--features", "6", "--seed", "3", "--sep", "4.0", "--flip", "0.0",
+            "-o", data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let msg = run_generate(&gen).unwrap();
+        assert!(msg.contains("80 points"));
+
+        let train = parse_train(&sv(&[
+            "-e", "1e-8", data.to_str().unwrap(), model.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let msg = run_train(&train).unwrap();
+        assert!(msg.contains("PLSSVM"), "{msg}");
+        assert!(model.exists());
+
+        let predict = parse_predict(&sv(&[
+            data.to_str().unwrap(),
+            model.to_str().unwrap(),
+            preds.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let msg = run_predict(&predict).unwrap();
+        assert!(msg.contains("Accuracy"), "{msg}");
+        let lines = std::fs::read_to_string(&preds).unwrap();
+        assert_eq!(lines.lines().count(), 80);
+        // separable data at tight epsilon → near-perfect accuracy
+        let acc: f64 = msg
+            .split('=')
+            .nth(1)
+            .unwrap()
+            .trim()
+            .split('%')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(acc >= 97.0, "{msg}");
+    }
+
+    #[test]
+    fn train_all_algorithms_produce_models() {
+        let dir = tmpdir("algos");
+        let data = dir.join("train.dat");
+        run_generate(
+            &parse_generate(&sv(&[
+                "--points", "60", "--features", "4", "--seed", "5", "--sep", "4.0", "--flip",
+                "0.0", "-o", data.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        for algo in ["lssvm", "smo", "smo-dense", "thunder"] {
+            let model = dir.join(format!("{algo}.model"));
+            let train = parse_train(&sv(&[
+                "-a", algo, data.to_str().unwrap(), model.to_str().unwrap(),
+            ]))
+            .unwrap();
+            let msg = run_train(&train).unwrap();
+            assert!(model.exists(), "{algo}: {msg}");
+            let loaded = SvmModel::<f64>::load(&model).unwrap();
+            assert!(loaded.total_sv() > 0);
+        }
+    }
+
+    #[test]
+    fn train_on_simulated_gpu_reports_device() {
+        let dir = tmpdir("gpu");
+        let data = dir.join("train.dat");
+        run_generate(
+            &parse_generate(&sv(&[
+                "--points", "40", "--features", "8", "--seed", "9", "-o",
+                data.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        let train = parse_train(&sv(&[
+            "--backend", "cuda", "-n", "2", data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let msg = run_train(&train).unwrap();
+        assert!(msg.contains("simulated device time"), "{msg}");
+        assert!(msg.contains("2x"), "{msg}");
+    }
+
+    #[test]
+    fn scale_fit_save_restore() {
+        let dir = tmpdir("scale");
+        let data = dir.join("d.dat");
+        std::fs::write(&data, "1 1:0 2:10\n-1 1:4 2:20\n").unwrap();
+        let ranges = dir.join("r.txt");
+
+        let scaled = run_scale(
+            &parse_scale(&sv(&["-s", ranges.to_str().unwrap(), data.to_str().unwrap()])).unwrap(),
+        )
+        .unwrap();
+        assert!(scaled.contains("-1") && ranges.exists(), "{scaled}");
+
+        // restoring on the same data gives identical output
+        let restored = run_scale(
+            &parse_scale(&sv(&["-r", ranges.to_str().unwrap(), data.to_str().unwrap()])).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(scaled, restored);
+    }
+
+    #[test]
+    fn generate_sat6_shape() {
+        let dir = tmpdir("sat6");
+        let out = dir.join("sat.dat");
+        let msg = run_generate(
+            &parse_generate(&sv(&["--sat6", "--points", "6", "-o", out.to_str().unwrap()]))
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(msg.contains("3136 features"), "{msg}");
+    }
+
+    #[test]
+    fn regression_train_and_predict() {
+        let dir = tmpdir("svr");
+        let data = dir.join("sinc.dat");
+        let model = dir.join("sinc.model");
+        let preds = dir.join("preds.txt");
+        // write a tiny sinc regression file
+        let sinc = plssvm_data::synthetic::generate_sinc::<f64>(
+            &plssvm_data::synthetic::SincConfig::new(80, 1).with_noise(0.0),
+        )
+        .unwrap();
+        std::fs::write(
+            &data,
+            plssvm_data::libsvm::write_libsvm_regression_string(&sinc, false),
+        )
+        .unwrap();
+
+        let train = parse_train(&sv(&[
+            "-s", "3", "-t", "2", "-g", "0.5", "-c", "100", "-e", "1e-8",
+            data.to_str().unwrap(), model.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let msg = run_train(&train).unwrap();
+        assert!(msg.contains("LS-SVR"), "{msg}");
+        assert!(model.exists());
+
+        let predict = parse_predict(&sv(&[
+            data.to_str().unwrap(),
+            model.to_str().unwrap(),
+            preds.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let msg = run_predict(&predict).unwrap();
+        assert!(msg.contains("Mean squared error"), "{msg}");
+        let mse: f64 = msg
+            .split('=')
+            .nth(1)
+            .unwrap()
+            .trim()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(mse < 1e-4, "{msg}");
+        assert_eq!(std::fs::read_to_string(&preds).unwrap().lines().count(), 80);
+    }
+
+    #[test]
+    fn multiclass_train_and_predict() {
+        let dir = tmpdir("mc");
+        let data = dir.join("blobs.dat");
+        let model = dir.join("blobs.model");
+        let preds = dir.join("preds.txt");
+        let blobs = plssvm_data::synthetic::generate_blobs::<f64>(
+            &plssvm_data::synthetic::BlobsConfig::new(90, 4, 3, 5).with_separation(6.0),
+        )
+        .unwrap();
+        let mut content = String::new();
+        for p in 0..blobs.points() {
+            content.push_str(&blobs.labels[p].to_string());
+            for f in 0..blobs.features() {
+                content.push_str(&format!(" {}:{}", f + 1, blobs.x.get(p, f)));
+            }
+            content.push('\n');
+        }
+        std::fs::write(&data, content).unwrap();
+
+        let train = parse_train(&sv(&[
+            "-e", "1e-8", data.to_str().unwrap(), model.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let msg = run_train(&train).unwrap();
+        assert!(msg.contains("multi-class"), "{msg}");
+        assert!(msg.contains("3 binary models"), "{msg}");
+
+        let predict = parse_predict(&sv(&[
+            data.to_str().unwrap(),
+            model.to_str().unwrap(),
+            preds.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let msg = run_predict(&predict).unwrap();
+        assert!(msg.contains("multi-class classification"), "{msg}");
+        let acc: f64 = msg
+            .split('=')
+            .nth(1)
+            .unwrap()
+            .trim()
+            .split('%')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(acc >= 95.0, "{msg}");
+    }
+
+    #[test]
+    fn cross_validation_mode() {
+        let dir = tmpdir("cv");
+        let data = dir.join("train.dat");
+        run_generate(
+            &parse_generate(&sv(&[
+                "--points", "80", "--features", "4", "--seed", "8", "--sep", "4.0", "--flip",
+                "0.0", "-o", data.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        let train = parse_train(&sv(&["-v", "5", "-e", "1e-6", data.to_str().unwrap()])).unwrap();
+        let msg = run_train(&train).unwrap();
+        assert!(msg.contains("Cross Validation Accuracy"), "{msg}");
+        // no model file in CV mode
+        assert!(!dir.join("train.dat.model").exists());
+    }
+
+    #[test]
+    fn sigmoid_kernel_via_cli() {
+        let dir = tmpdir("sigmoid");
+        let data = dir.join("train.dat");
+        run_generate(
+            &parse_generate(&sv(&[
+                "--points", "60", "--features", "4", "--seed", "2", "--sep", "4.0", "--flip",
+                "0.0", "-o", data.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        // sigmoid works cleanly with SMO (no PSD requirement)
+        let train = parse_train(&sv(&[
+            "-t", "3", "-g", "0.1", "-a", "smo", data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let msg = run_train(&train).unwrap();
+        assert!(msg.contains("SMO"), "{msg}");
+    }
+
+    #[test]
+    fn arff_train_and_predict() {
+        let dir = tmpdir("arff");
+        let data = dir.join("train.arff");
+        let model = dir.join("train.model");
+        let preds = dir.join("preds.txt");
+        // generate directly in ARFF format
+        run_generate(
+            &parse_generate(&sv(&[
+                "--points", "60", "--features", "4", "--seed", "6", "--sep", "4.0", "--flip",
+                "0.0", "--format", "arff", "-o", data.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&data).unwrap();
+        assert!(content.starts_with("@RELATION"), "{content}");
+
+        let train = parse_train(&sv(&[
+            "-e", "1e-8", data.to_str().unwrap(), model.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let msg = run_train(&train).unwrap();
+        assert!(msg.contains("PLSSVM"), "{msg}");
+
+        let predict = parse_predict(&sv(&[
+            data.to_str().unwrap(),
+            model.to_str().unwrap(),
+            preds.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let msg = run_predict(&predict).unwrap();
+        let acc: f64 = msg
+            .split('=')
+            .nth(1)
+            .unwrap()
+            .trim()
+            .split('%')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(acc >= 97.0, "{msg}");
+    }
+
+    #[test]
+    fn missing_files_error_cleanly() {
+        let train = parse_train(&sv(&["/nonexistent/file.dat"])).unwrap();
+        assert!(run_train(&train).is_err());
+        let predict = parse_predict(&sv(&["/no/t.dat", "/no/m.model", "/no/o.txt"])).unwrap();
+        assert!(run_predict(&predict).is_err());
+        let scale = parse_scale(&sv(&["/no/d.dat"])).unwrap();
+        assert!(run_scale(&scale).is_err());
+    }
+}

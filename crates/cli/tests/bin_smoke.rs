@@ -1,0 +1,151 @@
+//! End-to-end smoke tests of the real CLI binaries (spawned processes,
+//! exactly as a user would run them).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("plssvm_bin_smoke").join(name);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run(bin: &str, args: &[&str]) -> (bool, String, String) {
+    let exe = match bin {
+        "svm-train" => env!("CARGO_BIN_EXE_svm-train"),
+        "svm-predict" => env!("CARGO_BIN_EXE_svm-predict"),
+        "svm-scale" => env!("CARGO_BIN_EXE_svm-scale"),
+        "generate-data" => env!("CARGO_BIN_EXE_generate-data"),
+        _ => panic!("unknown binary {bin}"),
+    };
+    let out = Command::new(exe).args(args).output().expect("spawn");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn full_pipeline_through_the_binaries() {
+    let dir = tmpdir("pipeline");
+    let data = dir.join("train.dat");
+    let scaled = dir.join("scaled.dat");
+    let model = dir.join("train.model");
+    let preds = dir.join("preds.txt");
+
+    // generate
+    let (ok, stdout, stderr) = run(
+        "generate-data",
+        &[
+            "--points", "80", "--features", "6", "--seed", "4", "--sep", "4.0", "--flip", "0.0",
+            "-o", data.to_str().unwrap(),
+        ],
+    );
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("80 points"), "{stdout}");
+
+    // scale (stdout → file)
+    let (ok, scaled_content, stderr) = run(
+        "svm-scale",
+        &["-l", "-1", "-u", "1", data.to_str().unwrap()],
+    );
+    assert!(ok, "{stderr}");
+    std::fs::write(&scaled, &scaled_content).unwrap();
+    assert_eq!(scaled_content.lines().count(), 80);
+
+    // train on the simulated GPU
+    let (ok, stdout, stderr) = run(
+        "svm-train",
+        &[
+            "-e", "1e-8", "--backend", "cuda", "-n", "2",
+            scaled.to_str().unwrap(), model.to_str().unwrap(),
+        ],
+    );
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("simulated device time"), "{stdout}");
+    assert!(model.exists());
+
+    // predict
+    let (ok, stdout, stderr) = run(
+        "svm-predict",
+        &[
+            scaled.to_str().unwrap(),
+            model.to_str().unwrap(),
+            preds.to_str().unwrap(),
+        ],
+    );
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("Accuracy"), "{stdout}");
+    let acc: f64 = stdout
+        .split('=')
+        .nth(1)
+        .unwrap()
+        .trim()
+        .split('%')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(acc >= 97.0, "{stdout}");
+    assert_eq!(
+        std::fs::read_to_string(&preds).unwrap().lines().count(),
+        80
+    );
+}
+
+#[test]
+fn train_help_and_errors_exit_nonzero() {
+    let (ok, _, stderr) = run("svm-train", &["--help"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"), "{stderr}");
+    assert!(stderr.contains("-t kernel_type"), "{stderr}");
+
+    let (ok, _, stderr) = run("svm-train", &["/nonexistent/input.dat"]);
+    assert!(!ok);
+    assert!(stderr.contains("svm-train:"), "{stderr}");
+
+    let (ok, _, stderr) = run("svm-predict", &["only-one-arg"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"), "{stderr}");
+
+    let (ok, _, stderr) = run("svm-scale", &[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"), "{stderr}");
+
+    let (ok, _, stderr) = run("generate-data", &["--points", "10"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"), "{stderr}");
+}
+
+#[test]
+fn cross_validation_through_the_binary() {
+    let dir = tmpdir("cv");
+    let data = dir.join("train.dat");
+    run(
+        "generate-data",
+        &[
+            "--points", "60", "--features", "4", "--seed", "5", "--sep", "4.0", "--flip", "0.0",
+            "-o", data.to_str().unwrap(),
+        ],
+    );
+    let (ok, stdout, stderr) = run("svm-train", &["-v", "4", data.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("Cross Validation Accuracy"), "{stdout}");
+}
+
+#[test]
+fn arff_input_through_the_binary() {
+    let dir = tmpdir("arff");
+    let data = dir.join("train.arff");
+    run(
+        "generate-data",
+        &[
+            "--points", "50", "--features", "4", "--seed", "6", "--sep", "4.0", "--flip", "0.0",
+            "--format", "arff", "-o", data.to_str().unwrap(),
+        ],
+    );
+    let (ok, stdout, stderr) = run("svm-train", &["-e", "1e-8", data.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("training accuracy"), "{stdout}");
+}

@@ -1,0 +1,575 @@
+//! Interchangeable execution backends (§III).
+//!
+//! The paper implements the expensive implicit matrix–vector product with
+//! four frameworks — OpenMP, CUDA, OpenCL, SYCL — selectable at runtime.
+//! This reproduction mirrors that architecture:
+//!
+//! * [`serial`] — a single-threaded reference implementation (ground truth
+//!   for tests),
+//! * [`parallel`] — the "OpenMP" CPU backend: multi-threaded via a rayon
+//!   pool with a configurable thread count (used for the paper's many-core
+//!   scaling study, Fig. 4a). Like the paper's OpenMP backend it is
+//!   deliberately less tuned than the device backends,
+//! * [`simgpu`] — the device backend: the paper's tiled GPU kernels
+//!   (blocking, `q⃗` caching, block-level/thread-level tiling, triangular
+//!   scheduling with atomic mirroring, §III-C) executed on the simulated
+//!   GPGPU devices of `plssvm-simgpu`, standing in for CUDA, OpenCL and
+//!   SYCL. Supports multi-device execution for the linear kernel via the
+//!   feature-wise split of §III-C-5.
+//!
+//! All backends produce the *same numbers* (up to floating point
+//! reassociation); they differ in how the work is executed and what gets
+//! counted.
+
+pub mod parallel;
+pub mod serial;
+pub mod simgpu;
+pub mod sparse;
+
+use plssvm_data::dense::{DenseMatrix, SoAMatrix};
+use plssvm_data::model::KernelSpec;
+use plssvm_simgpu::device::AtomicScalar;
+use plssvm_simgpu::{Backend as DeviceApi, GpuSpec, PerfReport};
+
+use crate::cg::LinOp;
+use crate::error::SvmError;
+use crate::matrix_free::QTildeParams;
+
+/// Runtime backend selection (the paper's `--backend` switch).
+#[derive(Debug, Clone)]
+pub enum BackendSelection {
+    /// Single-threaded reference CPU implementation.
+    Serial,
+    /// Multi-threaded CPU backend ("OpenMP"). `threads = None` uses all
+    /// available cores.
+    OpenMp {
+        /// Number of worker threads; `None` = all logical cores.
+        threads: Option<usize>,
+    },
+    /// Sparse (CSR) CPU backend — the §V "sparse data structures for the
+    /// CG solver" extension. `threads = None` uses all available cores.
+    SparseCpu {
+        /// Number of worker threads; `None` = all logical cores.
+        threads: Option<usize>,
+    },
+    /// Simulated device backend (stands in for CUDA/OpenCL/SYCL).
+    SimGpu {
+        /// Hardware model from the `plssvm_simgpu::hw` catalog.
+        hardware: GpuSpec,
+        /// Which device API's efficiency profile to simulate.
+        api: DeviceApi,
+        /// Number of devices (multi-GPU only for the linear kernel).
+        devices: usize,
+        /// Tiling configuration of the device kernels.
+        tiling: simgpu::TilingConfig,
+    },
+    /// Simulated multi-device backend with the **row-split** extension:
+    /// data replicated per device, output rows partitioned — works for
+    /// *every* kernel function, lifting the paper's linear-only multi-GPU
+    /// restriction at the cost of full per-device memory.
+    SimGpuRows {
+        /// Hardware model from the `plssvm_simgpu::hw` catalog.
+        hardware: GpuSpec,
+        /// Which device API's efficiency profile to simulate.
+        api: DeviceApi,
+        /// Number of devices.
+        devices: usize,
+        /// Tiling configuration of the device kernels.
+        tiling: simgpu::TilingConfig,
+    },
+    /// Simulated **multi-node** cluster of (possibly heterogeneous)
+    /// devices — the paper's §V long-term goal. Linear kernel only.
+    SimCluster {
+        /// The nodes with their devices.
+        nodes: Vec<plssvm_simgpu::NodeConfig>,
+        /// The inter-node network model.
+        interconnect: plssvm_simgpu::Interconnect,
+        /// Tiling configuration of the device kernels.
+        tiling: simgpu::TilingConfig,
+        /// Weight the feature split by device throughput (heterogeneous
+        /// load balancing) instead of splitting evenly.
+        balance: bool,
+    },
+}
+
+impl Default for BackendSelection {
+    fn default() -> Self {
+        BackendSelection::OpenMp { threads: None }
+    }
+}
+
+impl BackendSelection {
+    /// A single simulated device with default tiling — the configuration
+    /// of the paper's single-GPU experiments (A100 + CUDA).
+    pub fn sim_gpu(hardware: GpuSpec, api: DeviceApi) -> Self {
+        BackendSelection::SimGpu {
+            hardware,
+            api,
+            devices: 1,
+            tiling: simgpu::TilingConfig::default(),
+        }
+    }
+
+    /// `n` simulated devices with default tiling (linear kernel only).
+    pub fn sim_multi_gpu(hardware: GpuSpec, api: DeviceApi, devices: usize) -> Self {
+        BackendSelection::SimGpu {
+            hardware,
+            api,
+            devices,
+            tiling: simgpu::TilingConfig::default(),
+        }
+    }
+
+    /// `n` simulated devices in **row-split** mode (any kernel; data
+    /// replicated per device).
+    pub fn sim_multi_gpu_rows(hardware: GpuSpec, api: DeviceApi, devices: usize) -> Self {
+        BackendSelection::SimGpuRows {
+            hardware,
+            api,
+            devices,
+            tiling: simgpu::TilingConfig::default(),
+        }
+    }
+
+    /// A multi-node cluster with default tiling and throughput-balanced
+    /// feature split.
+    pub fn sim_cluster(
+        nodes: Vec<plssvm_simgpu::NodeConfig>,
+        interconnect: plssvm_simgpu::Interconnect,
+    ) -> Self {
+        BackendSelection::SimCluster {
+            nodes,
+            interconnect,
+            tiling: simgpu::TilingConfig::default(),
+            balance: true,
+        }
+    }
+
+    /// Human-readable backend name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            BackendSelection::Serial => "serial".to_owned(),
+            BackendSelection::OpenMp { threads: None } => "openmp".to_owned(),
+            BackendSelection::OpenMp { threads: Some(t) } => format!("openmp[{t}]"),
+            BackendSelection::SparseCpu { threads: None } => "sparse".to_owned(),
+            BackendSelection::SparseCpu { threads: Some(t) } => format!("sparse[{t}]"),
+            BackendSelection::SimGpu {
+                hardware,
+                api,
+                devices,
+                ..
+            } => format!("{} on {}x {}", api.name(), devices, hardware.name),
+            BackendSelection::SimGpuRows {
+                hardware,
+                api,
+                devices,
+                ..
+            } => format!(
+                "{} on {}x {} (row split)",
+                api.name(),
+                devices,
+                hardware.name
+            ),
+            BackendSelection::SimCluster { nodes, .. } => {
+                let total: usize = nodes.iter().map(|n| n.devices.len()).sum();
+                format!("cluster of {} nodes / {} devices", nodes.len(), total)
+            }
+        }
+    }
+}
+
+/// Counters collected by a device backend during one training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceReport {
+    /// Per-device performance snapshots.
+    pub per_device: Vec<PerfReport>,
+    /// Simulated wall-clock assuming devices run concurrently (max over
+    /// devices of kernels + transfers), in seconds.
+    pub sim_parallel_time_s: f64,
+    /// Largest per-device peak memory in bytes.
+    pub peak_memory_per_device_bytes: usize,
+    /// Number of cluster nodes the devices are spread over (1 =
+    /// single-node, the paper's configuration).
+    pub nodes: usize,
+    /// Simulated seconds spent in inter-node allreduces (0 single-node).
+    pub network_time_s: f64,
+    /// Number of inter-node collectives performed.
+    pub network_collectives: usize,
+}
+
+impl DeviceReport {
+    /// Device time plus network time — the simulated wall-clock of a
+    /// multi-node run.
+    pub fn total_sim_time_s(&self) -> f64 {
+        self.sim_parallel_time_s + self.network_time_s
+    }
+}
+
+/// A backend that has been set up for a specific training set: data is
+/// uploaded (device backends) and the `q⃗` cache is computed.
+///
+/// Implements [`LinOp`] as the full `Q̃` operator: the backend computes the
+/// heavy kernel-matrix part, [`QTildeParams`] folds in the diagonal and
+/// rank-one corrections.
+pub struct Prepared<T: AtomicScalar> {
+    imp: PreparedImpl<T>,
+    params: QTildeParams<T>,
+}
+
+enum PreparedImpl<T: AtomicScalar> {
+    Serial(serial::SerialBackend<T>),
+    Parallel(parallel::ParallelBackend<T>),
+    Sparse(sparse::SparseBackend<T>),
+    SimGpu(simgpu::SimGpuBackend<T>),
+}
+
+impl<T: AtomicScalar> std::fmt::Debug for Prepared<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let variant = match &self.imp {
+            PreparedImpl::Serial(_) => "serial",
+            PreparedImpl::Parallel(_) => "openmp",
+            PreparedImpl::Sparse(_) => "sparse",
+            PreparedImpl::SimGpu(_) => "simgpu",
+        };
+        f.debug_struct("Prepared")
+            .field("backend", &variant)
+            .field("dim", &self.params.dim())
+            .finish()
+    }
+}
+
+impl<T: AtomicScalar> Prepared<T> {
+    /// Sets up the selected backend for the training data.
+    ///
+    /// The CPU backends consume the row-major `dense` matrix directly (the
+    /// paper's SoA transform is applied only for the device backends,
+    /// §IV-E). For the device backend, pass the padded SoA transform in
+    /// `soa` (so its cost can be attributed to the `transform` component);
+    /// when `None`, the transform runs here. `cost` is the LS-SVM
+    /// weighting constant `C`.
+    pub fn new(
+        selection: &BackendSelection,
+        dense: &DenseMatrix<T>,
+        soa: Option<&SoAMatrix<T>>,
+        kernel: &KernelSpec<T>,
+        cost: T,
+    ) -> Result<Self, SvmError> {
+        kernel.validate()?;
+        if dense.rows() < 2 {
+            return Err(SvmError::Solver(
+                "training needs at least two data points".into(),
+            ));
+        }
+        if !(cost.to_f64() > 0.0) {
+            return Err(SvmError::Solver(format!(
+                "the cost parameter C must be positive, got {cost}"
+            )));
+        }
+        let (imp, params) = match selection {
+            BackendSelection::Serial => {
+                let b = serial::SerialBackend::new(dense.clone(), *kernel, cost);
+                let params = b.params().clone();
+                (PreparedImpl::Serial(b), params)
+            }
+            BackendSelection::OpenMp { threads } => {
+                let b = parallel::ParallelBackend::new(dense.clone(), *kernel, cost, *threads)?;
+                let params = b.params().clone();
+                (PreparedImpl::Parallel(b), params)
+            }
+            BackendSelection::SparseCpu { threads } => {
+                let b = sparse::SparseBackend::new(dense, *kernel, cost, *threads)?;
+                let params = b.params().clone();
+                (PreparedImpl::Sparse(b), params)
+            }
+            BackendSelection::SimGpu {
+                hardware,
+                api,
+                devices,
+                tiling,
+            } => {
+                let owned;
+                let soa = match soa {
+                    Some(s) => s,
+                    None => {
+                        owned = SoAMatrix::from_dense(dense, tiling.tile());
+                        &owned
+                    }
+                };
+                let b = simgpu::SimGpuBackend::new(
+                    soa,
+                    *kernel,
+                    cost,
+                    hardware.clone(),
+                    *api,
+                    *devices,
+                    *tiling,
+                )?;
+                let params = b.params().clone();
+                (PreparedImpl::SimGpu(b), params)
+            }
+            BackendSelection::SimGpuRows {
+                hardware,
+                api,
+                devices,
+                tiling,
+            } => {
+                let owned;
+                let soa = match soa {
+                    Some(s) => s,
+                    None => {
+                        owned = SoAMatrix::from_dense(dense, tiling.tile());
+                        &owned
+                    }
+                };
+                let b = simgpu::SimGpuBackend::new_row_split(
+                    soa,
+                    *kernel,
+                    cost,
+                    hardware.clone(),
+                    *api,
+                    *devices,
+                    *tiling,
+                )?;
+                let params = b.params().clone();
+                (PreparedImpl::SimGpu(b), params)
+            }
+            BackendSelection::SimCluster {
+                nodes,
+                interconnect,
+                tiling,
+                balance,
+            } => {
+                let owned;
+                let soa = match soa {
+                    Some(s) => s,
+                    None => {
+                        owned = SoAMatrix::from_dense(dense, tiling.tile());
+                        &owned
+                    }
+                };
+                let b = simgpu::SimGpuBackend::new_cluster(
+                    soa,
+                    *kernel,
+                    cost,
+                    nodes,
+                    *interconnect,
+                    *tiling,
+                    *balance,
+                )?;
+                let params = b.params().clone();
+                (PreparedImpl::SimGpu(b), params)
+            }
+        };
+        Ok(Self { imp, params })
+    }
+
+    /// The shared `Q̃` parameters (cached `q⃗`, `k_mm`, `1/C`).
+    pub fn params(&self) -> &QTildeParams<T> {
+        &self.params
+    }
+
+    /// Installs per-sample weights (weighted LS-SVM, Suykens et al. \[25\]):
+    /// only the host-side diagonal corrections change, so every backend —
+    /// including the device ones — supports weighting without re-uploading
+    /// anything.
+    pub fn set_sample_weights(&mut self, weights: &[T], cost: T) -> Result<(), SvmError> {
+        self.params
+            .set_sample_weights(weights, cost)
+            .map_err(SvmError::Solver)
+    }
+
+    /// Computes the explicit normal vector `w = Σᵢ αᵢ·xᵢ` (Eq. 15) for the
+    /// **linear kernel** on every backend. On the device backend this
+    /// launches the paper's third compute kernel (`w_kernel`); the CPU
+    /// backends accumulate on the host (the sparse backend over its CSR
+    /// rows). `alpha` must hold all `m` support values. Not meaningful for
+    /// nonlinear kernels (their `w` lives in feature space) — the caller
+    /// gates on the kernel kind.
+    pub fn compute_linear_w(&self, alpha: &[T]) -> Result<Option<Vec<T>>, SvmError> {
+        match &self.imp {
+            PreparedImpl::SimGpu(b) => b.compute_w(alpha).map(Some),
+            PreparedImpl::Serial(b) => Ok(Some(host_linear_w(b.data(), alpha))),
+            PreparedImpl::Parallel(b) => Ok(Some(host_linear_w(b.data(), alpha))),
+            PreparedImpl::Sparse(b) => Ok(Some(b.linear_w(alpha))),
+        }
+    }
+
+    /// Device counters, if this is a device backend.
+    pub fn device_report(&self) -> Option<DeviceReport> {
+        match &self.imp {
+            PreparedImpl::SimGpu(b) => Some(b.report()),
+            _ => None,
+        }
+    }
+}
+
+/// Host-side `w = Σᵢ αᵢ·xᵢ` over row-major data.
+fn host_linear_w<T: plssvm_data::Real>(data: &DenseMatrix<T>, alpha: &[T]) -> Vec<T> {
+    let mut w = vec![T::ZERO; data.cols()];
+    for (p, &a) in alpha.iter().enumerate() {
+        for (f, &x) in data.row(p).iter().enumerate() {
+            w[f] = a.mul_add(x, w[f]);
+        }
+    }
+    w
+}
+
+impl<T: AtomicScalar> LinOp<T> for Prepared<T> {
+    fn dim(&self) -> usize {
+        self.params.dim()
+    }
+
+    fn apply(&self, v: &[T], out: &mut [T]) {
+        match &self.imp {
+            PreparedImpl::Serial(b) => b.kernel_matvec(v, out),
+            PreparedImpl::Parallel(b) => b.kernel_matvec(v, out),
+            PreparedImpl::Sparse(b) => b.kernel_matvec(v, out),
+            PreparedImpl::SimGpu(b) => b.kernel_matvec(v, out),
+        }
+        self.params.apply_corrections(v, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plssvm_data::dense::DenseMatrix;
+    use plssvm_data::synthetic::{generate_planes, PlanesConfig};
+    use plssvm_simgpu::hw;
+
+    fn sample_dense(points: usize, features: usize) -> (DenseMatrix<f64>, Vec<f64>) {
+        let d = generate_planes(&PlanesConfig::new(points, features, 31)).unwrap();
+        (d.x, d.y)
+    }
+
+    fn all_selections() -> Vec<BackendSelection> {
+        vec![
+            BackendSelection::Serial,
+            BackendSelection::OpenMp { threads: Some(2) },
+            BackendSelection::OpenMp { threads: None },
+            BackendSelection::SparseCpu { threads: Some(2) },
+            BackendSelection::sim_gpu(hw::A100, DeviceApi::Cuda),
+            BackendSelection::sim_multi_gpu(hw::A100, DeviceApi::Cuda, 3),
+        ]
+    }
+
+    #[test]
+    fn backends_agree_on_q_tilde_matvec_linear() {
+        let (data, _) = sample_dense(33, 9);
+        let kernel = KernelSpec::Linear;
+        let n = data.rows() - 1;
+        let v: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.17).sin()).collect();
+
+        let reference = {
+            let p = Prepared::new(&BackendSelection::Serial, &data, None, &kernel, 1.5).unwrap();
+            let mut out = vec![0.0; n];
+            p.apply(&v, &mut out);
+            out
+        };
+        for sel in all_selections() {
+            let p = Prepared::new(&sel, &data, None, &kernel, 1.5).unwrap();
+            assert_eq!(p.dim(), n);
+            let mut out = vec![0.0; n];
+            p.apply(&v, &mut out);
+            for i in 0..n {
+                assert!(
+                    (out[i] - reference[i]).abs() < 1e-8,
+                    "{} row {i}: {} vs {}",
+                    sel.name(),
+                    out[i],
+                    reference[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_nonlinear_kernels_single_device() {
+        let (data, _) = sample_dense(21, 5);
+        for kernel in [
+            KernelSpec::Polynomial {
+                degree: 3,
+                gamma: 0.3,
+                coef0: 1.0,
+            },
+            KernelSpec::Rbf { gamma: 0.6 },
+        ] {
+            let n = data.rows() - 1;
+            let v: Vec<f64> = (0..n).map(|i| ((i * 7 % 5) as f64) - 2.0).collect();
+            let reference = {
+                let p = Prepared::new(&BackendSelection::Serial, &data, None, &kernel, 2.0).unwrap();
+                let mut out = vec![0.0; n];
+                p.apply(&v, &mut out);
+                out
+            };
+            for sel in [
+                BackendSelection::OpenMp { threads: Some(3) },
+                BackendSelection::sim_gpu(hw::V100, DeviceApi::OpenCl),
+            ] {
+                let p = Prepared::new(&sel, &data, None, &kernel, 2.0).unwrap();
+                let mut out = vec![0.0; n];
+                p.apply(&v, &mut out);
+                for i in 0..n {
+                    assert!(
+                        (out[i] - reference[i]).abs() < 1e-8,
+                        "{:?} {} row {i}",
+                        kernel,
+                        sel.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_device_nonlinear_rejected() {
+        let (data, _) = sample_dense(12, 4);
+        let sel = BackendSelection::sim_multi_gpu(hw::A100, DeviceApi::Cuda, 2);
+        let err = Prepared::new(&sel, &data, None, &KernelSpec::Rbf { gamma: 0.5 }, 1.0).unwrap_err();
+        assert!(err.to_string().contains("linear"), "{err}");
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let (data, _) = sample_dense(8, 3);
+        // C <= 0
+        assert!(Prepared::new(&BackendSelection::Serial, &data, None, &KernelSpec::Linear, 0.0).is_err());
+        assert!(
+            Prepared::new(&BackendSelection::Serial, &data, None, &KernelSpec::Linear, -1.0).is_err()
+        );
+        // invalid kernel hyperparameters
+        assert!(Prepared::new(
+            &BackendSelection::Serial,
+            &data, None,
+            &KernelSpec::Rbf { gamma: -0.5 },
+            1.0
+        )
+        .is_err());
+        // one data point
+        let tiny = DenseMatrix::from_rows(vec![vec![1.0f64, 2.0]]).unwrap();
+        assert!(Prepared::new(&BackendSelection::Serial, &tiny, None, &KernelSpec::Linear, 1.0).is_err());
+    }
+
+    #[test]
+    fn device_report_only_for_device_backends() {
+        let (data, _) = sample_dense(10, 3);
+        let p = Prepared::new(&BackendSelection::Serial, &data, None, &KernelSpec::Linear, 1.0).unwrap();
+        assert!(p.device_report().is_none());
+        let p = Prepared::new(
+            &BackendSelection::sim_gpu(hw::A100, DeviceApi::Cuda),
+            &data, None,
+            &KernelSpec::Linear,
+            1.0,
+        )
+        .unwrap();
+        assert!(p.device_report().is_some());
+    }
+
+    #[test]
+    fn selection_names() {
+        assert_eq!(BackendSelection::Serial.name(), "serial");
+        assert_eq!(BackendSelection::OpenMp { threads: Some(8) }.name(), "openmp[8]");
+        let n = BackendSelection::sim_multi_gpu(hw::A100, DeviceApi::Cuda, 4).name();
+        assert!(n.contains("4x") && n.contains("A100"), "{n}");
+    }
+}

@@ -1,0 +1,151 @@
+//! Single-threaded reference backend.
+//!
+//! Computes the implicit kernel matrix–vector product exactly as written in
+//! the paper's equations, one entry at a time, exploiting symmetry (each
+//! off-diagonal entry is evaluated once and used for both `out[i]` and
+//! `out[j]`). This is the ground truth the parallel and device backends are
+//! tested against.
+//!
+//! Like the paper's CPU path, this backend works on the untransformed
+//! row-major layout — the SoA transform exists for GPU memory coalescing
+//! and is applied only by the device backend (§III-A, §IV-E).
+
+use plssvm_data::dense::DenseMatrix;
+use plssvm_data::model::KernelSpec;
+use plssvm_data::Real;
+
+use crate::kernel::kernel_row;
+use crate::matrix_free::QTildeParams;
+
+/// The serial CPU backend.
+pub struct SerialBackend<T> {
+    data: DenseMatrix<T>,
+    kernel: KernelSpec<T>,
+    params: QTildeParams<T>,
+}
+
+impl<T: Real> SerialBackend<T> {
+    /// Prepares the backend: computes the cached `q⃗` and `k_mm`.
+    pub fn new(data: DenseMatrix<T>, kernel: KernelSpec<T>, cost: T) -> Self {
+        let params = QTildeParams::compute_dense(&data, &kernel, cost);
+        Self {
+            data,
+            kernel,
+            params,
+        }
+    }
+
+    /// The shared `Q̃` parameters.
+    pub fn params(&self) -> &QTildeParams<T> {
+        &self.params
+    }
+
+    /// The training data.
+    pub fn data(&self) -> &DenseMatrix<T> {
+        &self.data
+    }
+
+    /// `out = K·v` with `Kᵢⱼ = k(xᵢ,xⱼ)` over the first `m−1` points.
+    pub fn kernel_matvec(&self, v: &[T], out: &mut [T]) {
+        let n = self.params.dim();
+        debug_assert_eq!(v.len(), n);
+        debug_assert_eq!(out.len(), n);
+        out.fill(T::ZERO);
+        for i in 0..n {
+            let row_i = self.data.row(i);
+            // diagonal
+            let kii = kernel_row(&self.kernel, row_i, row_i);
+            out[i] = kii.mul_add(v[i], out[i]);
+            // strict upper triangle, mirrored
+            for j in (i + 1)..n {
+                let k = kernel_row(&self.kernel, row_i, self.data.row(j));
+                out[i] = k.mul_add(v[j], out[i]);
+                out[j] = k.mul_add(v[i], out[j]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plssvm_data::synthetic::{generate_planes, PlanesConfig};
+
+    fn backend(kernel: KernelSpec<f64>) -> SerialBackend<f64> {
+        let d = generate_planes(&PlanesConfig::new(17, 4, 5)).unwrap();
+        SerialBackend::new(d.x, kernel, 1.0)
+    }
+
+    #[test]
+    fn matches_naive_double_loop() {
+        for kernel in [
+            KernelSpec::Linear,
+            KernelSpec::Polynomial {
+                degree: 2,
+                gamma: 0.5,
+                coef0: 0.25,
+            },
+            KernelSpec::Rbf { gamma: 0.3 },
+        ] {
+            let b = backend(kernel);
+            let n = b.params.dim();
+            let v: Vec<f64> = (0..n).map(|i| (i as f64 - 7.0) / 3.0).collect();
+            let mut fast = vec![0.0; n];
+            b.kernel_matvec(&v, &mut fast);
+
+            // naive O(n²) without symmetry
+            let mut naive = vec![0.0; n];
+            for i in 0..n {
+                for j in 0..n {
+                    naive[i] += kernel_row(&b.kernel, b.data.row(i), b.data.row(j)) * v[j];
+                }
+            }
+            for i in 0..n {
+                assert!((fast[i] - naive[i]).abs() < 1e-10, "{kernel:?} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn params_match_soa_computation() {
+        let d = generate_planes::<f64>(&PlanesConfig::new(17, 4, 5)).unwrap();
+        let soa = plssvm_data::dense::SoAMatrix::from_dense(&d.x, 8);
+        for kernel in [KernelSpec::Linear, KernelSpec::Rbf { gamma: 0.7 }] {
+            let dense = QTildeParams::compute_dense(&d.x, &kernel, 2.0);
+            let via_soa = QTildeParams::compute(&soa, &kernel, 2.0);
+            assert_eq!(dense.dim(), via_soa.dim());
+            for i in 0..dense.dim() {
+                assert!((dense.q[i] - via_soa.q[i]).abs() < 1e-12);
+            }
+            assert!((dense.k_mm - via_soa.k_mm).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matvec_with_zero_vector_is_zero() {
+        let b = backend(KernelSpec::Linear);
+        let n = b.params.dim();
+        let mut out = vec![1.0; n]; // must be overwritten
+        b.kernel_matvec(&vec![0.0; n], &mut out);
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn matvec_is_linear() {
+        let b = backend(KernelSpec::Rbf { gamma: 0.8 });
+        let n = b.params.dim();
+        let v1: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let v2: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        let combo: Vec<f64> = v1.iter().zip(&v2).map(|(a, b)| 2.0 * a - 0.5 * b).collect();
+        let mut out1 = vec![0.0; n];
+        let mut out2 = vec![0.0; n];
+        let mut out_combo = vec![0.0; n];
+        b.kernel_matvec(&v1, &mut out1);
+        b.kernel_matvec(&v2, &mut out2);
+        b.kernel_matvec(&combo, &mut out_combo);
+        for i in 0..n {
+            let expected = 2.0 * out1[i] - 0.5 * out2[i];
+            assert!((out_combo[i] - expected).abs() < 1e-9);
+        }
+    }
+}

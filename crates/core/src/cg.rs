@@ -1,0 +1,498 @@
+//! The Conjugate Gradients solver (§III-B).
+//!
+//! Implements the variant of Shewchuk's *"An Introduction to the Conjugate
+//! Gradient Method Without the Agonizing Pain"* used by PLSSVM: plain
+//! (unpreconditioned) CG on an SPD operator, started at `x₀ = 0`, with the
+//! **relative residual** termination criterion
+//! `‖rₖ‖ ≤ ε·‖r₀‖` (the paper's `epsilon`, studied in Fig. 3), and the
+//! usual periodic exact-residual recomputation to limit floating point
+//! drift.
+//!
+//! The operator is abstract ([`LinOp`]) — in PLSSVM it is the implicit `Q̃`
+//! provided by one of the [`crate::backend`]s, which is where all the
+//! parallelism lives; the vector updates here are `O(m)` and negligible
+//! (the paper measures the matvec at >92 % of total runtime).
+
+use plssvm_data::Real;
+
+use crate::kernel::dot;
+
+/// An abstract symmetric positive definite linear operator.
+pub trait LinOp<T: Real>: Sync {
+    /// The dimension `n` of the square operator.
+    fn dim(&self) -> usize;
+    /// Computes `out = A·v`. `v` and `out` have length [`LinOp::dim`].
+    fn apply(&self, v: &[T], out: &mut [T]);
+}
+
+/// CG solver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CgConfig<T> {
+    /// Relative residual tolerance ε: stop once `‖r‖ ≤ ε·‖r₀‖`.
+    /// PLSSVM's command line default is `1e-3`.
+    pub epsilon: T,
+    /// Upper bound on iterations; `None` uses `max(2·n, 128)`. Exact
+    /// arithmetic CG terminates in `n` steps, but rounding destroys finite
+    /// termination on ill-conditioned systems, so the default budget
+    /// leaves headroom (the paper's problems converge in ≪ n iterations
+    /// either way).
+    pub max_iterations: Option<usize>,
+    /// Recompute the exact residual `r = b − A·x` every this many
+    /// iterations to cancel accumulated rounding (Shewchuk §B.2).
+    pub residual_refresh_interval: usize,
+}
+
+impl<T: Real> Default for CgConfig<T> {
+    fn default() -> Self {
+        Self {
+            epsilon: T::from_f64(1e-3),
+            max_iterations: None,
+            residual_refresh_interval: 50,
+        }
+    }
+}
+
+impl<T: Real> CgConfig<T> {
+    /// A configuration with the given tolerance and defaults otherwise.
+    pub fn with_epsilon(epsilon: T) -> Self {
+        Self {
+            epsilon,
+            ..Self::default()
+        }
+    }
+}
+
+/// The outcome of a CG solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgResult<T> {
+    /// The solution vector.
+    pub x: Vec<T>,
+    /// Iterations performed (matrix–vector products, excluding residual
+    /// refreshes).
+    pub iterations: usize,
+    /// `‖r₀‖ = ‖b‖` (for `x₀ = 0`).
+    pub initial_residual_norm: T,
+    /// Final residual norm `‖rₖ‖` (recurrence value).
+    pub residual_norm: T,
+    /// Whether the relative-residual criterion was met within the
+    /// iteration budget.
+    pub converged: bool,
+}
+
+impl<T: Real> CgResult<T> {
+    /// `‖rₖ‖ / ‖r₀‖`, the quantity the paper's ε bounds.
+    pub fn relative_residual(&self) -> T {
+        if self.initial_residual_norm.to_f64() == 0.0 {
+            T::ZERO
+        } else {
+            self.residual_norm / self.initial_residual_norm
+        }
+    }
+}
+
+/// Solves `A·x = b` with Conjugate Gradients from `x₀ = 0`.
+///
+/// ```
+/// use plssvm_core::cg::{conjugate_gradients, CgConfig, LinOp};
+///
+/// struct Diag(Vec<f64>);
+/// impl LinOp<f64> for Diag {
+///     fn dim(&self) -> usize { self.0.len() }
+///     fn apply(&self, v: &[f64], out: &mut [f64]) {
+///         for i in 0..v.len() { out[i] = self.0[i] * v[i]; }
+///     }
+/// }
+/// let op = Diag(vec![2.0, 4.0, 8.0]);
+/// let r = conjugate_gradients(&op, &[2.0, 4.0, 8.0], &CgConfig::with_epsilon(1e-12));
+/// assert!(r.converged);
+/// for x in &r.x { assert!((x - 1.0).abs() < 1e-10); }
+/// ```
+///
+/// # Panics
+/// Panics if `b.len() != op.dim()` or ε is not positive and finite.
+pub fn conjugate_gradients<T: Real>(
+    op: &dyn LinOp<T>,
+    b: &[T],
+    config: &CgConfig<T>,
+) -> CgResult<T> {
+    conjugate_gradients_impl(op, b, config, None)
+}
+
+/// Solves `A·x = b` with **Jacobi-preconditioned** CG: `M = diag(A)`,
+/// passed as `diagonal`. Termination still checks the *unpreconditioned*
+/// relative residual `‖r‖ ≤ ε·‖r₀‖` so iteration counts stay directly
+/// comparable to [`conjugate_gradients`]. An extension past the paper
+/// (which uses plain CG); on ill-conditioned kernels the diagonal scaling
+/// cuts the iteration count — see the `ablation` figure.
+///
+/// # Panics
+/// Panics on length mismatches, non-positive ε, or a diagonal entry that
+/// is not strictly positive (the SPD precondition).
+pub fn conjugate_gradients_jacobi<T: Real>(
+    op: &dyn LinOp<T>,
+    b: &[T],
+    diagonal: &[T],
+    config: &CgConfig<T>,
+) -> CgResult<T> {
+    assert_eq!(diagonal.len(), op.dim(), "diagonal length mismatch");
+    assert!(
+        diagonal.iter().all(|d| d.to_f64() > 0.0),
+        "Jacobi preconditioner needs a strictly positive diagonal"
+    );
+    conjugate_gradients_impl(op, b, config, Some(diagonal))
+}
+
+fn conjugate_gradients_impl<T: Real>(
+    op: &dyn LinOp<T>,
+    b: &[T],
+    config: &CgConfig<T>,
+    diagonal: Option<&[T]>,
+) -> CgResult<T> {
+    let n = op.dim();
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    assert!(
+        config.epsilon.to_f64() > 0.0 && config.epsilon.is_finite(),
+        "epsilon must be positive and finite"
+    );
+    let max_iterations = config.max_iterations.unwrap_or_else(|| (2 * n).max(128));
+
+    let mut x = vec![T::ZERO; n];
+    // r = b − A·x₀ = b
+    let mut r = b.to_vec();
+    // z = M⁻¹·r (identity without a preconditioner)
+    let precondition = |r: &[T], z: &mut Vec<T>| match diagonal {
+        Some(diag) => {
+            z.clear();
+            z.extend(r.iter().zip(diag).map(|(&ri, &di)| ri / di));
+        }
+        None => {
+            z.clear();
+            z.extend_from_slice(r);
+        }
+    };
+    let mut z = Vec::with_capacity(n);
+    precondition(&r, &mut z);
+    let mut d = z.clone();
+    // rho = rᵀz drives the recurrences; delta = rᵀr drives termination
+    let mut rho = dot(&r, &z);
+    let mut delta = dot(&r, &r);
+    let delta0 = delta;
+    let initial_norm = delta0.sqrt();
+    let threshold = config.epsilon * config.epsilon * delta0;
+
+    let mut q = vec![T::ZERO; n];
+    let mut iterations = 0usize;
+    let mut converged = delta <= threshold || delta.to_f64() == 0.0;
+
+    while !converged && iterations < max_iterations {
+        op.apply(&d, &mut q);
+        let dq = dot(&d, &q);
+        if dq.to_f64() <= 0.0 || !dq.is_finite() {
+            // Operator is numerically not SPD along d — stop with the best
+            // iterate so far rather than diverging.
+            break;
+        }
+        let alpha = rho / dq;
+        for i in 0..n {
+            x[i] = alpha.mul_add(d[i], x[i]);
+        }
+        iterations += 1;
+        if iterations % config.residual_refresh_interval == 0 {
+            // exact residual to cancel drift
+            op.apply(&x, &mut q);
+            for i in 0..n {
+                r[i] = b[i] - q[i];
+            }
+        } else {
+            for i in 0..n {
+                r[i] = (-alpha).mul_add(q[i], r[i]);
+            }
+        }
+        precondition(&r, &mut z);
+        let rho_new = dot(&r, &z);
+        let beta = rho_new / rho;
+        for i in 0..n {
+            d[i] = beta.mul_add(d[i], z[i]);
+        }
+        rho = rho_new;
+        delta = dot(&r, &r);
+        converged = delta <= threshold;
+    }
+
+    CgResult {
+        x,
+        iterations,
+        initial_residual_norm: initial_norm,
+        residual_norm: delta.max(T::ZERO).sqrt(),
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A dense SPD matrix as a LinOp, for testing.
+    pub(crate) struct DenseOp {
+        pub n: usize,
+        pub a: Vec<f64>, // row-major n×n
+    }
+
+    impl LinOp<f64> for DenseOp {
+        fn dim(&self) -> usize {
+            self.n
+        }
+        fn apply(&self, v: &[f64], out: &mut [f64]) {
+            for i in 0..self.n {
+                out[i] = dot(&self.a[i * self.n..(i + 1) * self.n], v);
+            }
+        }
+    }
+
+    fn identity(n: usize) -> DenseOp {
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            a[i * n + i] = 1.0;
+        }
+        DenseOp { n, a }
+    }
+
+    /// Random SPD matrix M = Bᵀ·B + n·I.
+    pub(crate) fn random_spd(n: usize, seed: u64) -> DenseOp {
+        use rand::prelude::*;
+        use rand::rngs::StdRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b: Vec<f64> = (0..n * n).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += b[k * n + i] * b[k * n + j];
+                }
+                a[i * n + j] = s + if i == j { n as f64 } else { 0.0 };
+            }
+        }
+        DenseOp { n, a }
+    }
+
+    #[test]
+    fn identity_converges_instantly() {
+        let op = identity(5);
+        let b = vec![1.0, -2.0, 3.0, 0.5, 0.0];
+        let r = conjugate_gradients(&op, &b, &CgConfig::with_epsilon(1e-10));
+        assert!(r.converged);
+        assert_eq!(r.iterations, 1);
+        for (xi, bi) in r.x.iter().zip(&b) {
+            assert!((xi - bi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_rhs_needs_no_iterations() {
+        let op = random_spd(8, 1);
+        let r = conjugate_gradients(&op, &vec![0.0; 8], &CgConfig::default());
+        assert!(r.converged);
+        assert_eq!(r.iterations, 0);
+        assert_eq!(r.x, vec![0.0; 8]);
+        assert_eq!(r.relative_residual(), 0.0);
+    }
+
+    #[test]
+    fn solves_random_spd_system() {
+        let n = 40;
+        let op = random_spd(n, 7);
+        let x_true: Vec<f64> = (0..n).map(|i| ((i * 13 % 17) as f64 - 8.0) / 4.0).collect();
+        let mut b = vec![0.0; n];
+        op.apply(&x_true, &mut b);
+        let r = conjugate_gradients(&op, &b, &CgConfig::with_epsilon(1e-12));
+        assert!(r.converged);
+        for i in 0..n {
+            assert!((r.x[i] - x_true[i]).abs() < 1e-7, "x[{i}]");
+        }
+    }
+
+    #[test]
+    fn residual_claim_is_accurate() {
+        let n = 30;
+        let op = random_spd(n, 3);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        let r = conjugate_gradients(&op, &b, &CgConfig::with_epsilon(1e-8));
+        // verify the reported residual against the true residual
+        let mut ax = vec![0.0; n];
+        op.apply(&r.x, &mut ax);
+        let true_norm: f64 = b
+            .iter()
+            .zip(&ax)
+            .map(|(bi, axi)| (bi - axi) * (bi - axi))
+            .sum::<f64>()
+            .sqrt();
+        assert!((true_norm - r.residual_norm).abs() < 1e-9);
+        assert!(r.relative_residual() <= 1e-8);
+    }
+
+    #[test]
+    fn tighter_epsilon_needs_more_iterations() {
+        let n = 60;
+        let op = random_spd(n, 11);
+        let b: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.31).sin()).collect();
+        let loose = conjugate_gradients(&op, &b, &CgConfig::with_epsilon(1e-2));
+        let tight = conjugate_gradients(&op, &b, &CgConfig::with_epsilon(1e-12));
+        assert!(loose.converged && tight.converged);
+        assert!(
+            tight.iterations > loose.iterations,
+            "{} vs {}",
+            tight.iterations,
+            loose.iterations
+        );
+    }
+
+    #[test]
+    fn iteration_budget_respected() {
+        let n = 50;
+        let op = random_spd(n, 5);
+        let b = vec![1.0; n];
+        let cfg = CgConfig {
+            epsilon: 1e-14,
+            max_iterations: Some(2),
+            residual_refresh_interval: 50,
+        };
+        let r = conjugate_gradients(&op, &b, &cfg);
+        assert_eq!(r.iterations, 2);
+        assert!(!r.converged);
+    }
+
+    #[test]
+    fn residual_refresh_does_not_break_convergence() {
+        let n = 64;
+        let op = random_spd(n, 13);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sqrt()).collect();
+        let cfg = CgConfig {
+            epsilon: 1e-10,
+            max_iterations: None,
+            residual_refresh_interval: 3, // refresh aggressively
+        };
+        let r = conjugate_gradients(&op, &b, &cfg);
+        assert!(r.converged);
+        let mut ax = vec![0.0; n];
+        op.apply(&r.x, &mut ax);
+        let rel: f64 = b
+            .iter()
+            .zip(&ax)
+            .map(|(bi, axi)| (bi - axi) * (bi - axi))
+            .sum::<f64>()
+            .sqrt()
+            / b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(rel <= 1e-9, "relative residual {rel}");
+    }
+
+    #[test]
+    fn converges_in_at_most_n_iterations() {
+        let n = 25;
+        let op = random_spd(n, 21);
+        let b = vec![1.0; n];
+        let r = conjugate_gradients(&op, &b, &CgConfig::with_epsilon(1e-9));
+        assert!(r.converged);
+        assert!(r.iterations <= n);
+    }
+
+    #[test]
+    #[should_panic(expected = "rhs length mismatch")]
+    fn rhs_length_checked() {
+        let op = identity(3);
+        let _ = conjugate_gradients(&op, &[1.0; 4], &CgConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn epsilon_checked() {
+        let op = identity(3);
+        let _ = conjugate_gradients(&op, &[1.0; 3], &CgConfig::with_epsilon(-1.0));
+    }
+
+    /// An SPD matrix with a badly scaled diagonal — the case Jacobi
+    /// preconditioning is made for.
+    fn ill_scaled_spd(n: usize) -> DenseOp {
+        let mut op = random_spd(n, 99);
+        // scale row/column i by s_i with s spanning 5 orders of magnitude
+        let scales: Vec<f64> = (0..n).map(|i| 10f64.powf(5.0 * i as f64 / n as f64)).collect();
+        for i in 0..n {
+            for j in 0..n {
+                op.a[i * n + j] *= scales[i] * scales[j];
+            }
+        }
+        op
+    }
+
+    #[test]
+    fn jacobi_pcg_solves_and_matches_plain_cg() {
+        let n = 40;
+        let op = random_spd(n, 8);
+        let b: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.4).sin()).collect();
+        let diag: Vec<f64> = (0..n).map(|i| op.a[i * n + i]).collect();
+        let plain = conjugate_gradients(&op, &b, &CgConfig::with_epsilon(1e-10));
+        let pcg = conjugate_gradients_jacobi(&op, &b, &diag, &CgConfig::with_epsilon(1e-10));
+        assert!(plain.converged && pcg.converged);
+        for i in 0..n {
+            assert!((plain.x[i] - pcg.x[i]).abs() < 1e-6, "x[{i}]");
+        }
+        // the reported residual is the true unpreconditioned residual
+        let mut ax = vec![0.0; n];
+        op.apply(&pcg.x, &mut ax);
+        let true_norm: f64 = b
+            .iter()
+            .zip(&ax)
+            .map(|(bi, axi)| (bi - axi) * (bi - axi))
+            .sum::<f64>()
+            .sqrt();
+        assert!((true_norm - pcg.residual_norm).abs() < 1e-8);
+    }
+
+    #[test]
+    fn jacobi_pcg_cuts_iterations_on_ill_scaled_systems() {
+        let n = 60;
+        let op = ill_scaled_spd(n);
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.7).cos()).collect();
+        let diag: Vec<f64> = (0..n).map(|i| op.a[i * n + i]).collect();
+        let cfg = CgConfig {
+            epsilon: 1e-8,
+            max_iterations: Some(10 * n),
+            residual_refresh_interval: 50,
+        };
+        let plain = conjugate_gradients(&op, &b, &cfg);
+        let pcg = conjugate_gradients_jacobi(&op, &b, &diag, &cfg);
+        assert!(pcg.converged);
+        assert!(
+            pcg.iterations * 2 < plain.iterations.max(1) || !plain.converged,
+            "pcg {} vs plain {} iterations",
+            pcg.iterations,
+            plain.iterations
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive diagonal")]
+    fn jacobi_rejects_nonpositive_diagonal() {
+        let op = identity(3);
+        let _ = conjugate_gradients_jacobi(&op, &[1.0; 3], &[1.0, 0.0, 1.0], &CgConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal length mismatch")]
+    fn jacobi_checks_diagonal_length() {
+        let op = identity(3);
+        let _ = conjugate_gradients_jacobi(&op, &[1.0; 3], &[1.0; 4], &CgConfig::default());
+    }
+
+    #[test]
+    fn indefinite_operator_stops_gracefully() {
+        // -I is not SPD; CG must bail out instead of diverging.
+        let mut op = identity(4);
+        for v in &mut op.a {
+            *v = -*v;
+        }
+        let r = conjugate_gradients(&op, &[1.0; 4], &CgConfig::with_epsilon(1e-6));
+        assert!(!r.converged);
+        assert_eq!(r.iterations, 0);
+    }
+}

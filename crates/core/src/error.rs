@@ -1,0 +1,70 @@
+//! Error type for training and prediction.
+
+use std::fmt;
+
+use plssvm_data::DataError;
+use plssvm_simgpu::SimGpuError;
+
+/// Errors produced by the LS-SVM solver.
+#[derive(Debug)]
+pub enum SvmError {
+    /// Invalid or unreadable input data.
+    Data(DataError),
+    /// A simulated-device failure (typically out of device memory).
+    Device(SimGpuError),
+    /// Invalid solver parameters or a solver-level failure.
+    Solver(String),
+}
+
+impl fmt::Display for SvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SvmError::Data(e) => write!(f, "data error: {e}"),
+            SvmError::Device(e) => write!(f, "device error: {e}"),
+            SvmError::Solver(msg) => write!(f, "solver error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SvmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SvmError::Data(e) => Some(e),
+            SvmError::Device(e) => Some(e),
+            SvmError::Solver(_) => None,
+        }
+    }
+}
+
+impl From<DataError> for SvmError {
+    fn from(e: DataError) -> Self {
+        SvmError::Data(e)
+    }
+}
+
+impl From<SimGpuError> for SvmError {
+    fn from(e: SimGpuError) -> Self {
+        SvmError::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_source() {
+        let e = SvmError::from(DataError::Invalid("x".into()));
+        assert!(e.to_string().contains("data error"));
+        assert!(e.source().is_some());
+
+        let e = SvmError::from(SimGpuError::InvalidLaunch("y".into()));
+        assert!(e.to_string().contains("device error"));
+        assert!(e.source().is_some());
+
+        let e = SvmError::Solver("diverged".into());
+        assert!(e.to_string().contains("diverged"));
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,234 @@
+//! Kernel function evaluation (§II-E).
+//!
+//! PLSSVM provides three kernel functions:
+//!
+//! ```text
+//! linear:      ⟨x, x'⟩
+//! polynomial:  (γ·⟨x, x'⟩ + r)^d          γ > 0, d ∈ ℤ
+//! radial:      exp(−γ·‖x − x'‖²)          γ > 0
+//! sigmoid:     tanh(γ·⟨x, x'⟩ + r)        γ > 0   (LIBSVM-parity extension)
+//! ```
+//!
+//! The hyperparameter container [`KernelSpec`] lives in `plssvm-data`
+//! because it is part of the model file format; this module adds the
+//! evaluation code for both the row-major and the SoA layouts.
+
+use plssvm_data::dense::SoAMatrix;
+use plssvm_data::model::KernelSpec;
+use plssvm_data::Real;
+
+/// LIBSVM's default `γ = 1 / num_features`.
+pub fn default_gamma<T: Real>(num_features: usize) -> T {
+    T::ONE / T::from_usize(num_features.max(1))
+}
+
+/// Scalar product of two feature rows.
+#[inline]
+pub fn dot<T: Real>(a: &[T], b: &[T]) -> T {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = T::ZERO;
+    for (&x, &y) in a.iter().zip(b) {
+        acc = x.mul_add(y, acc);
+    }
+    acc
+}
+
+/// Squared euclidean distance of two feature rows.
+#[inline]
+pub fn dist_sq<T: Real>(a: &[T], b: &[T]) -> T {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = T::ZERO;
+    for (&x, &y) in a.iter().zip(b) {
+        let d = x - y;
+        acc = d.mul_add(d, acc);
+    }
+    acc
+}
+
+/// Evaluates the kernel function on two feature rows.
+#[inline]
+pub fn kernel_row<T: Real>(spec: &KernelSpec<T>, a: &[T], b: &[T]) -> T {
+    match *spec {
+        KernelSpec::Linear => dot(a, b),
+        KernelSpec::Polynomial {
+            degree,
+            gamma,
+            coef0,
+        } => gamma.mul_add(dot(a, b), coef0).powi(degree),
+        KernelSpec::Rbf { gamma } => (-gamma * dist_sq(a, b)).exp(),
+        KernelSpec::Sigmoid { gamma, coef0 } => gamma.mul_add(dot(a, b), coef0).tanh(),
+    }
+}
+
+/// Evaluates the kernel function on two points of an SoA matrix.
+#[inline]
+pub fn kernel_soa<T: Real>(spec: &KernelSpec<T>, data: &SoAMatrix<T>, i: usize, j: usize) -> T {
+    match *spec {
+        KernelSpec::Linear => data.dot(i, j),
+        KernelSpec::Polynomial {
+            degree,
+            gamma,
+            coef0,
+        } => gamma.mul_add(data.dot(i, j), coef0).powi(degree),
+        KernelSpec::Rbf { gamma } => (-gamma * data.dist_sq(i, j)).exp(),
+        KernelSpec::Sigmoid { gamma, coef0 } => gamma.mul_add(data.dot(i, j), coef0).tanh(),
+    }
+}
+
+/// Applies the kernel's scalar-product postprocessing to an
+/// already-computed inner product. Only valid for kernels defined on the
+/// inner product (linear and polynomial) — this is the operation that makes
+/// the feature-wise multi-device split work for the linear kernel: partial
+/// dot products are summed first, the (identity) postprocessing applied
+/// once.
+#[inline]
+pub fn finish_inner_product<T: Real>(spec: &KernelSpec<T>, ip: T) -> T {
+    match *spec {
+        KernelSpec::Linear => ip,
+        KernelSpec::Polynomial {
+            degree,
+            gamma,
+            coef0,
+        } => gamma.mul_add(ip, coef0).powi(degree),
+        KernelSpec::Sigmoid { gamma, coef0 } => gamma.mul_add(ip, coef0).tanh(),
+        KernelSpec::Rbf { .. } => {
+            unreachable!("the RBF kernel is not an inner-product kernel")
+        }
+    }
+}
+
+/// The FLOPs of one kernel evaluation over `d` features. Used by the
+/// simulated backend's work tallies (fused multiply-add counted as 2).
+pub fn kernel_flops(spec: &KernelSpec<impl Real>, d: usize) -> u64 {
+    let d = d as u64;
+    match spec {
+        KernelSpec::Linear => 2 * d,
+        // dot (2d) + scale/offset (2) + pow (~2·degree)
+        KernelSpec::Polynomial { degree, .. } => 2 * d + 2 + 2 * (*degree as u64),
+        // diff+square+add (3d) + scale (1) + exp (~10)
+        KernelSpec::Rbf { .. } => 3 * d + 11,
+        // dot (2d) + scale/offset (2) + tanh (~10)
+        KernelSpec::Sigmoid { .. } => 2 * d + 12,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plssvm_data::dense::DenseMatrix;
+
+    fn a() -> Vec<f64> {
+        vec![1.0, 2.0, 3.0]
+    }
+    fn b() -> Vec<f64> {
+        vec![-1.0, 0.5, 2.0]
+    }
+
+    #[test]
+    fn dot_and_dist() {
+        assert_eq!(dot(&a(), &b()), -1.0 + 1.0 + 6.0);
+        assert_eq!(dist_sq(&a(), &b()), 4.0 + 2.25 + 1.0);
+    }
+
+    #[test]
+    fn linear_kernel_is_dot() {
+        assert_eq!(kernel_row(&KernelSpec::Linear, &a(), &b()), 6.0);
+    }
+
+    #[test]
+    fn polynomial_kernel() {
+        let spec = KernelSpec::Polynomial {
+            degree: 2,
+            gamma: 0.5,
+            coef0: 1.0,
+        };
+        // (0.5*6 + 1)^2 = 16
+        assert_eq!(kernel_row(&spec, &a(), &b()), 16.0);
+    }
+
+    #[test]
+    fn rbf_kernel() {
+        let spec = KernelSpec::Rbf { gamma: 0.1 };
+        let expected = (-0.1f64 * 7.25).exp();
+        assert!((kernel_row(&spec, &a(), &b()) - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rbf_of_identical_points_is_one() {
+        let spec = KernelSpec::Rbf { gamma: 2.0 };
+        assert_eq!(kernel_row(&spec, &a(), &a()), 1.0);
+    }
+
+    #[test]
+    fn sigmoid_kernel() {
+        let spec = KernelSpec::Sigmoid {
+            gamma: 0.25,
+            coef0: -0.5,
+        };
+        let expected = (0.25f64 * 6.0 - 0.5).tanh();
+        assert!((kernel_row(&spec, &a(), &b()) - expected).abs() < 1e-15);
+        // bounded in (-1, 1)
+        assert!(kernel_row(&spec, &a(), &a()).abs() < 1.0);
+        // inner-product finish agrees
+        assert_eq!(
+            finish_inner_product(&spec, dot(&a(), &b())),
+            kernel_row(&spec, &a(), &b())
+        );
+    }
+
+    #[test]
+    fn soa_matches_row_major() {
+        let m = DenseMatrix::from_rows(vec![a(), b()]).unwrap();
+        let s = SoAMatrix::from_dense(&m, 4);
+        for spec in [
+            KernelSpec::Linear,
+            KernelSpec::Polynomial {
+                degree: 3,
+                gamma: 0.25,
+                coef0: 0.5,
+            },
+            KernelSpec::Rbf { gamma: 0.75 },
+            KernelSpec::Sigmoid {
+                gamma: 0.3,
+                coef0: 0.1,
+            },
+        ] {
+            let row = kernel_row(&spec, &a(), &b());
+            let soa = kernel_soa(&spec, &s, 0, 1);
+            assert!((row - soa).abs() < 1e-12, "{spec:?}: {row} vs {soa}");
+        }
+    }
+
+    #[test]
+    fn finish_inner_product_matches_full_eval() {
+        let ip = dot(&a(), &b());
+        assert_eq!(finish_inner_product(&KernelSpec::Linear, ip), 6.0);
+        let spec = KernelSpec::Polynomial {
+            degree: 2,
+            gamma: 0.5,
+            coef0: 1.0,
+        };
+        assert_eq!(
+            finish_inner_product(&spec, ip),
+            kernel_row(&spec, &a(), &b())
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn finish_inner_product_rejects_rbf() {
+        let _ = finish_inner_product(&KernelSpec::Rbf { gamma: 1.0f64 }, 1.0);
+    }
+
+    #[test]
+    fn default_gamma_is_reciprocal() {
+        assert_eq!(default_gamma::<f64>(4), 0.25);
+        assert_eq!(default_gamma::<f64>(0), 1.0); // clamped, no div by zero
+    }
+
+    #[test]
+    fn kernel_flops_scale_with_dimension() {
+        assert_eq!(kernel_flops(&KernelSpec::<f64>::Linear, 10), 20);
+        assert!(kernel_flops(&KernelSpec::Rbf { gamma: 1.0f64 }, 10) > 30);
+    }
+}

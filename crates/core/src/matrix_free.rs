@@ -1,0 +1,364 @@
+//! The implicit reduced matrix `Q̃` (§II-F, §III-B).
+//!
+//! Following Chu et al., the augmented LS-SVM system (Eq. 11) is reduced to
+//! an `(m−1)×(m−1)` SPD system `Q̃·α̃ = ȳ − y_m·1` (Eq. 14) with
+//!
+//! ```text
+//! Q̃ᵢⱼ = k(xᵢ,xⱼ) + δᵢⱼ/C − k(x_m,xⱼ) − k(xᵢ,x_m) + k(x_m,x_m) + 1/C   (Eq. 16)
+//! ```
+//!
+//! Since `Q̃` has `(m−1)²` entries it is never stored; backends compute the
+//! heavy part — the kernel matrix–vector product `K·v` with
+//! `Kᵢⱼ = k(xᵢ,xⱼ)` — implicitly, and the remaining terms of Eq. 16 are all
+//! diagonal or rank-one and are folded in with `O(m)` work by
+//! [`QTildeParams::apply_corrections`]. The `q` vector
+//! (`qᵢ = k(xᵢ, x_m)`) is precomputed once, the paper's §III-C-2 "caching"
+//! optimization: it reduces the scalar products per matrix element from
+//! three to one.
+
+use plssvm_data::dense::{DenseMatrix, SoAMatrix};
+use plssvm_data::model::KernelSpec;
+use plssvm_data::Real;
+
+use crate::kernel::{dot, kernel_soa};
+
+/// The cheap (diagonal + rank-one) part of `Q̃`, shared by all backends.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QTildeParams<T> {
+    /// `qᵢ = k(xᵢ, x_m)` for `i = 0..m−1` (the paper's cached `q⃗`).
+    pub q: Vec<T>,
+    /// `k(x_m, x_m)`.
+    pub k_mm: T,
+    /// `1/C` (the ridge shift).
+    pub inv_c: T,
+    /// Per-sample ridge `1/(C·vᵢ)` for the **weighted LS-SVM** (Suykens et
+    /// al., the paper's reference \[25\]): length `m`, overriding the
+    /// uniform `inv_c` when present. Entry `m−1` is the ridge of the
+    /// eliminated point (enters through `Q_mm`).
+    pub ridge_diag: Option<Vec<T>>,
+}
+
+impl<T: Real> QTildeParams<T> {
+    /// Reference (host) computation of the parameters from SoA data with
+    /// `m = data.points()` training points.
+    pub fn compute(data: &SoAMatrix<T>, kernel: &KernelSpec<T>, cost: T) -> Self {
+        let m = data.points();
+        assert!(m >= 2, "need at least two data points");
+        let last = m - 1;
+        let q = (0..last).map(|i| kernel_soa(kernel, data, i, last)).collect();
+        Self {
+            q,
+            k_mm: kernel_soa(kernel, data, last, last),
+            inv_c: T::ONE / cost,
+            ridge_diag: None,
+        }
+    }
+
+    /// Same computation over row-major data (the CPU backends work on the
+    /// untransformed layout — the paper applies the SoA transform only for
+    /// its GPU backends, §IV-E).
+    pub fn compute_dense(data: &DenseMatrix<T>, kernel: &KernelSpec<T>, cost: T) -> Self {
+        let m = data.rows();
+        assert!(m >= 2, "need at least two data points");
+        let last = data.row(m - 1);
+        let q = (0..m - 1)
+            .map(|i| crate::kernel::kernel_row(kernel, data.row(i), last))
+            .collect();
+        Self {
+            q,
+            k_mm: crate::kernel::kernel_row(kernel, last, last),
+            inv_c: T::ONE / cost,
+            ridge_diag: None,
+        }
+    }
+
+    /// Dimension `n = m − 1` of the reduced system.
+    pub fn dim(&self) -> usize {
+        self.q.len()
+    }
+
+    /// The ridge of sample `i` (`1/C` uniformly, or `1/(C·vᵢ)` weighted).
+    #[inline]
+    pub fn ridge(&self, i: usize) -> T {
+        match &self.ridge_diag {
+            Some(diag) => diag[i],
+            None => self.inv_c,
+        }
+    }
+
+    /// `Q_mm = k(x_m, x_m) + ridge_m` from the unreduced matrix.
+    pub fn q_mm(&self) -> T {
+        self.k_mm + self.ridge(self.q.len())
+    }
+
+    /// Installs per-sample weights `vᵢ > 0` (weighted LS-SVM): the ridge
+    /// of sample `i` becomes `1/(C·vᵢ)`. `weights.len()` must equal the
+    /// number of training points `m = dim() + 1`.
+    pub fn set_sample_weights(&mut self, weights: &[T], cost: T) -> Result<(), String> {
+        if weights.len() != self.dim() + 1 {
+            return Err(format!(
+                "{} weights for {} training points",
+                weights.len(),
+                self.dim() + 1
+            ));
+        }
+        if let Some(bad) = weights.iter().find(|w| !(w.to_f64() > 0.0)) {
+            return Err(format!("sample weights must be positive, got {bad}"));
+        }
+        self.ridge_diag = Some(
+            weights
+                .iter()
+                .map(|&w| T::ONE / (cost * w))
+                .collect(),
+        );
+        Ok(())
+    }
+
+    /// Completes `out = Q̃·v` given `out = K·v` (the kernel part computed
+    /// by a backend):
+    ///
+    /// ```text
+    /// outᵢ += vᵢ/C − qᵢ·Σⱼvⱼ − ⟨q,v⟩ + (k_mm + 1/C)·Σⱼvⱼ
+    /// ```
+    pub fn apply_corrections(&self, v: &[T], out: &mut [T]) {
+        let n = self.dim();
+        assert_eq!(v.len(), n);
+        assert_eq!(out.len(), n);
+        let s: T = v.iter().copied().sum();
+        let qv = dot(&self.q, v);
+        let shift = self.q_mm() * s - qv;
+        for i in 0..n {
+            out[i] += self.ridge(i) * v[i] - self.q[i] * s + shift;
+        }
+    }
+
+    /// One explicit entry of `Q̃` (Eq. 16) — reference implementation used
+    /// for testing and the explicit assembly.
+    pub fn entry(&self, data: &SoAMatrix<T>, kernel: &KernelSpec<T>, i: usize, j: usize) -> T {
+        let delta = if i == j { self.ridge(i) } else { T::ZERO };
+        kernel_soa(kernel, data, i, j) + delta - self.q[j] - self.q[i] + self.q_mm()
+    }
+}
+
+/// Explicitly assembles `Q̃` — `O(m²·d)` work and `O(m²)` memory, for tests
+/// and tiny problems only.
+pub fn assemble_q_tilde<T: Real>(
+    data: &SoAMatrix<T>,
+    kernel: &KernelSpec<T>,
+    cost: T,
+) -> DenseMatrix<T> {
+    let params = QTildeParams::compute(data, kernel, cost);
+    let n = params.dim();
+    let mut out = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            out.set(i, j, params.entry(data, kernel, i, j));
+        }
+    }
+    out
+}
+
+/// The right-hand side `ȳ − y_m·1` of the reduced system (Eq. 14).
+pub fn reduced_rhs<T: Real>(y: &[T]) -> Vec<T> {
+    assert!(y.len() >= 2, "need at least two labels");
+    let y_m = y[y.len() - 1];
+    y[..y.len() - 1].iter().map(|&v| v - y_m).collect()
+}
+
+/// Reconstructs the bias `b = y_m + Q_mm·⟨1,α̃⟩ − ⟨q,α̃⟩` (Eq. 15).
+pub fn bias<T: Real>(params: &QTildeParams<T>, y: &[T], alpha_tilde: &[T]) -> T {
+    assert_eq!(alpha_tilde.len(), params.dim());
+    let y_m = y[y.len() - 1];
+    let s: T = alpha_tilde.iter().copied().sum();
+    y_m + params.q_mm() * s - dot(&params.q, alpha_tilde)
+}
+
+/// Extends `α̃` with `α_m = −Σᵢ α̃ᵢ` (the eliminated equality constraint
+/// `Σᵢ αᵢ = 0`), yielding the weights of all `m` support vectors.
+pub fn full_alpha<T: Real>(alpha_tilde: &[T]) -> Vec<T> {
+    let s: T = alpha_tilde.iter().copied().sum();
+    let mut out = Vec::with_capacity(alpha_tilde.len() + 1);
+    out.extend_from_slice(alpha_tilde);
+    out.push(-s);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plssvm_data::synthetic::{generate_planes, PlanesConfig};
+
+    fn sample(kernel: KernelSpec<f64>) -> (SoAMatrix<f64>, Vec<f64>, KernelSpec<f64>) {
+        let d = generate_planes(&PlanesConfig::new(12, 3, 99)).unwrap();
+        (SoAMatrix::from_dense(&d.x, 4), d.y, kernel)
+    }
+
+    #[test]
+    fn params_match_direct_kernel_evals() {
+        let (data, _, kernel) = sample(KernelSpec::Rbf { gamma: 0.5 });
+        let p = QTildeParams::compute(&data, &kernel, 2.0);
+        assert_eq!(p.dim(), 11);
+        assert_eq!(p.inv_c, 0.5);
+        assert!((p.k_mm - 1.0).abs() < 1e-12); // rbf(x,x) = 1
+        for i in 0..11 {
+            assert!((p.q[i] - kernel_soa(&kernel, &data, i, 11)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn corrections_match_explicit_matrix() {
+        for kernel in [
+            KernelSpec::Linear,
+            KernelSpec::Polynomial {
+                degree: 3,
+                gamma: 0.2,
+                coef0: 1.0,
+            },
+            KernelSpec::Rbf { gamma: 0.7 },
+        ] {
+            let (data, _, kernel) = sample(kernel);
+            let cost = 1.5;
+            let params = QTildeParams::compute(&data, &kernel, cost);
+            let q_tilde = assemble_q_tilde(&data, &kernel, cost);
+            let n = params.dim();
+            let v: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+
+            // explicit: out = Q̃ v
+            let mut explicit = vec![0.0; n];
+            for i in 0..n {
+                explicit[i] = (0..n).map(|j| q_tilde.get(i, j) * v[j]).sum();
+            }
+            // implicit: out = K v, then corrections
+            let mut implicit = vec![0.0; n];
+            for i in 0..n {
+                implicit[i] = (0..n).map(|j| kernel_soa(&kernel, &data, i, j) * v[j]).sum();
+            }
+            params.apply_corrections(&v, &mut implicit);
+
+            for i in 0..n {
+                assert!(
+                    (explicit[i] - implicit[i]).abs() < 1e-9,
+                    "{kernel:?} row {i}: {} vs {}",
+                    explicit[i],
+                    implicit[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn q_tilde_is_symmetric() {
+        let (data, _, kernel) = sample(KernelSpec::Rbf { gamma: 1.0 });
+        let m = assemble_q_tilde(&data, &kernel, 1.0);
+        for i in 0..m.rows() {
+            for j in 0..m.cols() {
+                assert!((m.get(i, j) - m.get(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn q_tilde_is_positive_definite() {
+        // All eigenvalues positive ⟺ Cholesky succeeds.
+        let (data, _, kernel) = sample(KernelSpec::Linear);
+        let a = assemble_q_tilde(&data, &kernel, 1.0);
+        let n = a.rows();
+        let mut l = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a.get(i, j);
+                for k in 0..j {
+                    sum -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    assert!(sum > 0.0, "not positive definite at {i}");
+                    l[i * n + i] = sum.sqrt();
+                } else {
+                    l[i * n + j] = sum / l[j * n + j];
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_solution_satisfies_full_system() {
+        // Solve the reduced system by dense Gaussian elimination, rebuild
+        // [α; b], and verify it satisfies the original augmented system
+        // (Eq. 11). This validates Eq. 13-15 end to end.
+        let (data, y, kernel) = sample(KernelSpec::Rbf { gamma: 0.4 });
+        let cost = 2.0;
+        let params = QTildeParams::compute(&data, &kernel, cost);
+        let a = assemble_q_tilde(&data, &kernel, cost);
+        let rhs = reduced_rhs(&y);
+        let n = rhs.len();
+
+        // Gaussian elimination with partial pivoting.
+        let mut aug: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let mut row: Vec<f64> = (0..n).map(|j| a.get(i, j)).collect();
+                row.push(rhs[i]);
+                row
+            })
+            .collect();
+        for col in 0..n {
+            let piv = (col..n)
+                .max_by(|&r1, &r2| aug[r1][col].abs().partial_cmp(&aug[r2][col].abs()).unwrap())
+                .unwrap();
+            aug.swap(col, piv);
+            let p = aug[col][col];
+            assert!(p.abs() > 1e-12);
+            for r in 0..n {
+                if r != col {
+                    let f = aug[r][col] / p;
+                    for c in col..=n {
+                        let v = aug[col][c];
+                        aug[r][c] -= f * v;
+                    }
+                }
+            }
+        }
+        let alpha_tilde: Vec<f64> = (0..n).map(|i| aug[i][n] / aug[i][i]).collect();
+
+        let b = bias(&params, &y, &alpha_tilde);
+        let alpha = full_alpha(&alpha_tilde);
+        let m = data.points();
+        assert_eq!(alpha.len(), m);
+
+        // Eq. 11 row i: Σⱼ (k(xᵢ,xⱼ) + δᵢⱼ/C)·αⱼ + b = yᵢ
+        for i in 0..m {
+            let mut lhs = b;
+            for j in 0..m {
+                let k = kernel_soa(&kernel, &data, i, j)
+                    + if i == j { 1.0 / cost } else { 0.0 };
+                lhs += k * alpha[j];
+            }
+            assert!((lhs - y[i]).abs() < 1e-8, "row {i}: {lhs} vs {}", y[i]);
+        }
+        // Eq. 11 last row: Σ αᵢ = 0
+        let s: f64 = alpha.iter().sum();
+        assert!(s.abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_alpha_sums_to_zero() {
+        let alpha_tilde = vec![0.5, -1.25, 2.0];
+        let alpha = full_alpha(&alpha_tilde);
+        assert_eq!(alpha.len(), 4);
+        assert_eq!(alpha[3], -1.25);
+        assert!(alpha.iter().sum::<f64>().abs() < 1e-15);
+    }
+
+    #[test]
+    fn reduced_rhs_subtracts_last_label() {
+        let y = vec![1.0, -1.0, 1.0, -1.0];
+        assert_eq!(reduced_rhs(&y), vec![2.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two data points")]
+    fn single_point_rejected() {
+        let m = DenseMatrix::from_rows(vec![vec![1.0f64]]).unwrap();
+        let s = SoAMatrix::from_dense(&m, 1);
+        let _ = QTildeParams::compute(&s, &KernelSpec::Linear, 1.0);
+    }
+}

@@ -1,0 +1,360 @@
+//! Least squares support vector regression (LS-SVR) — the paper's §V
+//! "regression tasks" extension.
+//!
+//! The beauty of the least squares formulation is that regression needs no
+//! new machinery at all: the augmented KKT system of Eq. 11 never uses the
+//! fact that `y ∈ {±1}`, so with real-valued targets the *identical*
+//! reduced system `Q̃·α̃ = ȳ − y_m·1` yields the ridge-regression-in-
+//! feature-space estimator of Saunders et al. (the paper's reference \[33\]).
+//! Every backend, the CG solver and the multi-device split work unchanged;
+//! only the model file and the prediction (no sign function) differ.
+
+use rayon::prelude::*;
+
+use plssvm_data::dense::{DenseMatrix, SoAMatrix};
+use plssvm_data::libsvm::RegressionData;
+use plssvm_data::model::{KernelSpec, SvrModel};
+use plssvm_data::Real;
+use plssvm_simgpu::device::AtomicScalar;
+
+use crate::backend::{BackendSelection, DeviceReport, Prepared};
+use crate::cg::{conjugate_gradients, CgConfig};
+use crate::error::SvmError;
+use crate::kernel::kernel_row;
+use crate::matrix_free::{bias, full_alpha, reduced_rhs};
+
+/// LS-SVR trainer configuration (mirrors [`crate::svm::LsSvm`]).
+///
+/// ```
+/// use plssvm_core::prelude::*;
+/// use plssvm_data::synthetic::{generate_sinc, SincConfig};
+///
+/// let data = generate_sinc::<f64>(&SincConfig::new(100, 7).with_noise(0.0))?;
+/// let out = LsSvr::new()
+///     .with_kernel(KernelSpec::Rbf { gamma: 0.5 })
+///     .with_cost(100.0)
+///     .with_epsilon(1e-8)
+///     .train(&data)?;
+/// assert!(mean_squared_error(&out.model, &data) < 1e-4);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LsSvr<T> {
+    /// Kernel function (default linear).
+    pub kernel: KernelSpec<T>,
+    /// The regularization constant `C > 0` (LS-SVM's `γ` in Suykens'
+    /// notation).
+    pub cost: T,
+    /// CG relative-residual termination criterion ε.
+    pub epsilon: T,
+    /// Optional CG iteration cap.
+    pub max_iterations: Option<usize>,
+    /// Execution backend.
+    pub backend: BackendSelection,
+}
+
+impl<T: Real> Default for LsSvr<T> {
+    fn default() -> Self {
+        Self {
+            kernel: KernelSpec::Linear,
+            cost: T::ONE,
+            epsilon: T::from_f64(1e-3),
+            max_iterations: None,
+            backend: BackendSelection::default(),
+        }
+    }
+}
+
+/// Everything a regression training run produces.
+#[derive(Debug)]
+pub struct SvrTrainOutput<T> {
+    /// The trained regression model.
+    pub model: SvrModel<T>,
+    /// CG iterations performed.
+    pub iterations: usize,
+    /// Whether CG met the ε criterion.
+    pub converged: bool,
+    /// Final `‖r‖/‖r₀‖`.
+    pub relative_residual: f64,
+    /// Device counters (simulated backends only).
+    pub device: Option<DeviceReport>,
+}
+
+impl<T: AtomicScalar> LsSvr<T> {
+    /// A trainer with all defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the kernel function.
+    pub fn with_kernel(mut self, kernel: KernelSpec<T>) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Sets the regularization constant `C`.
+    pub fn with_cost(mut self, cost: T) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Sets the CG tolerance ε.
+    pub fn with_epsilon(mut self, epsilon: T) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Selects the execution backend.
+    pub fn with_backend(mut self, backend: BackendSelection) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Trains on a regression data set.
+    pub fn train(&self, data: &RegressionData<T>) -> Result<SvrTrainOutput<T>, SvmError> {
+        if data.points() < 2 {
+            return Err(SvmError::Solver(
+                "regression needs at least two data points".into(),
+            ));
+        }
+        let soa = match &self.backend {
+            BackendSelection::SimGpu { tiling, .. }
+            | BackendSelection::SimGpuRows { tiling, .. }
+            | BackendSelection::SimCluster { tiling, .. } => {
+                Some(SoAMatrix::from_dense(&data.x, tiling.tile()))
+            }
+            _ => None,
+        };
+        let prepared =
+            Prepared::new(&self.backend, &data.x, soa.as_ref(), &self.kernel, self.cost)?;
+        let rhs = reduced_rhs(&data.y);
+        let cfg = CgConfig {
+            epsilon: self.epsilon,
+            max_iterations: self.max_iterations,
+            ..CgConfig::default()
+        };
+        let solve = conjugate_gradients(&prepared, &rhs, &cfg);
+        let b = bias(prepared.params(), &data.y, &solve.x);
+        let alpha = full_alpha(&solve.x);
+        let model = SvrModel {
+            kernel: self.kernel,
+            rho: -b,
+            sv: data.x.clone(),
+            coef: alpha,
+        };
+        Ok(SvrTrainOutput {
+            model,
+            iterations: solve.iterations,
+            converged: solve.converged,
+            relative_residual: solve.relative_residual().to_f64(),
+            device: prepared.device_report(),
+        })
+    }
+}
+
+/// Predicted regression values `f(x) = Σᵢ coefᵢ·k(svᵢ, x) + b` for every
+/// row of `x`.
+pub fn predict_values<T: Real>(model: &SvrModel<T>, x: &DenseMatrix<T>) -> Vec<T> {
+    assert_eq!(
+        x.cols(),
+        model.features(),
+        "test data has {} features, model expects {}",
+        x.cols(),
+        model.features()
+    );
+    let b = model.bias();
+    (0..x.rows())
+        .into_par_iter()
+        .map(|p| {
+            let row = x.row(p);
+            let mut acc = b;
+            for (i, sv) in model.sv.rows_iter().enumerate() {
+                acc = model.coef[i].mul_add(kernel_row(&model.kernel, sv, row), acc);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Mean squared error of the model on a labeled regression set.
+pub fn mean_squared_error<T: Real>(model: &SvrModel<T>, data: &RegressionData<T>) -> f64 {
+    let predictions = predict_values(model, &data.x);
+    predictions
+        .iter()
+        .zip(&data.y)
+        .map(|(p, y)| {
+            let e = (*p - *y).to_f64();
+            e * e
+        })
+        .sum::<f64>()
+        / data.points() as f64
+}
+
+/// Coefficient of determination `R²` on a labeled regression set.
+pub fn r_squared<T: Real>(model: &SvrModel<T>, data: &RegressionData<T>) -> f64 {
+    let mean = data.y.iter().map(|v| v.to_f64()).sum::<f64>() / data.points() as f64;
+    let ss_tot: f64 = data
+        .y
+        .iter()
+        .map(|v| {
+            let d = v.to_f64() - mean;
+            d * d
+        })
+        .sum();
+    if ss_tot == 0.0 {
+        return 1.0;
+    }
+    1.0 - mean_squared_error(model, data) * data.points() as f64 / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plssvm_data::synthetic::{generate_sinc, SincConfig};
+    use plssvm_simgpu::{hw, Backend as DeviceApi};
+
+    fn sinc(points: usize, noise: f64, seed: u64) -> RegressionData<f64> {
+        generate_sinc(&SincConfig::new(points, seed).with_noise(noise)).unwrap()
+    }
+
+    fn rbf_svr() -> LsSvr<f64> {
+        LsSvr::new()
+            .with_kernel(KernelSpec::Rbf { gamma: 0.5 })
+            .with_cost(100.0)
+            .with_epsilon(1e-8)
+    }
+
+    #[test]
+    fn fits_noiseless_sinc_tightly() {
+        let data = sinc(200, 0.0, 1);
+        let out = rbf_svr().train(&data).unwrap();
+        assert!(out.converged);
+        let mse = mean_squared_error(&out.model, &data);
+        assert!(mse < 1e-5, "mse {mse}");
+        assert!(r_squared(&out.model, &data) > 0.999);
+    }
+
+    #[test]
+    fn generalizes_from_noisy_data() {
+        let train = sinc(200, 0.05, 2);
+        let test = sinc(100, 0.0, 3); // clean targets measure the true fit
+        let out = LsSvr::new()
+            .with_kernel(KernelSpec::Rbf { gamma: 0.5 })
+            .with_cost(10.0) // moderate C: smooth, doesn't chase noise
+            .with_epsilon(1e-8)
+            .train(&train)
+            .unwrap();
+        let mse = mean_squared_error(&out.model, &test);
+        assert!(mse < 0.01, "test mse {mse}");
+        assert!(r_squared(&out.model, &test) > 0.9);
+    }
+
+    #[test]
+    fn linear_svr_recovers_a_linear_function() {
+        // y = 2x₁ − 3x₂ + 1, exactly representable by the linear LS-SVR
+        let mut x = DenseMatrix::<f64>::zeros(50, 2);
+        let mut y = Vec::new();
+        for p in 0..50 {
+            let a = (p as f64) / 10.0 - 2.5;
+            let b = ((p * 7 % 13) as f64) / 3.0 - 2.0;
+            x.set(p, 0, a);
+            x.set(p, 1, b);
+            y.push(2.0 * a - 3.0 * b + 1.0);
+        }
+        let data = RegressionData::new(x, y).unwrap();
+        let out = LsSvr::new()
+            .with_cost(1e6) // tiny ridge → near-interpolation
+            .with_epsilon(1e-12)
+            .train(&data)
+            .unwrap();
+        let mse = mean_squared_error(&out.model, &data);
+        assert!(mse < 1e-6, "mse {mse}");
+    }
+
+    #[test]
+    fn all_backends_agree_on_regression() {
+        let data = sinc(80, 0.02, 4);
+        let reference = rbf_svr()
+            .with_backend(BackendSelection::Serial)
+            .train(&data)
+            .unwrap();
+        for backend in [
+            BackendSelection::OpenMp { threads: Some(2) },
+            BackendSelection::SparseCpu { threads: None },
+            BackendSelection::sim_gpu(hw::A100, DeviceApi::Cuda),
+        ] {
+            let out = rbf_svr().with_backend(backend.clone()).train(&data).unwrap();
+            assert!(
+                (out.model.rho - reference.model.rho).abs() < 1e-6,
+                "{backend:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_device_regression_linear_kernel() {
+        let data = {
+            // multi-feature linear regression set
+            let mut x = DenseMatrix::<f64>::zeros(60, 6);
+            let mut y = Vec::new();
+            for p in 0..60 {
+                let mut t = 0.5;
+                for f in 0..6 {
+                    let v = ((p * (f + 3)) % 17) as f64 / 5.0 - 1.5;
+                    x.set(p, f, v);
+                    t += (f as f64 - 2.5) * v;
+                }
+                y.push(t);
+            }
+            RegressionData::new(x, y).unwrap()
+        };
+        let single = LsSvr::new()
+            .with_epsilon(1e-10)
+            .with_backend(BackendSelection::sim_gpu(hw::A100, DeviceApi::Cuda))
+            .train(&data)
+            .unwrap();
+        let quad = LsSvr::new()
+            .with_epsilon(1e-10)
+            .with_backend(BackendSelection::sim_multi_gpu(hw::A100, DeviceApi::Cuda, 3))
+            .train(&data)
+            .unwrap();
+        assert!((single.model.rho - quad.model.rho).abs() < 1e-6);
+        assert!(quad.device.unwrap().per_device.len() == 3);
+    }
+
+    #[test]
+    fn model_file_roundtrip_preserves_predictions() {
+        let data = sinc(60, 0.05, 5);
+        let out = rbf_svr().train(&data).unwrap();
+        let dir = std::env::temp_dir().join("plssvm_svr_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sinc.model");
+        out.model.save(&path).unwrap();
+        let loaded = SvrModel::<f64>::load(&path).unwrap();
+        let a = predict_values(&out.model, &data.x);
+        let b = predict_values(&loaded, &data.x);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        let one = RegressionData::new(
+            DenseMatrix::from_rows(vec![vec![1.0f64]]).unwrap(),
+            vec![1.0],
+        )
+        .unwrap();
+        assert!(LsSvr::new().train(&one).is_err());
+    }
+
+    #[test]
+    fn r_squared_of_constant_targets_is_one_for_perfect_fit() {
+        let x = DenseMatrix::from_rows(vec![vec![1.0f64], vec![2.0], vec![3.0]]).unwrap();
+        let data = RegressionData::new(x, vec![5.0, 5.0, 5.0]).unwrap();
+        let out = LsSvr::new().with_epsilon(1e-10).train(&data).unwrap();
+        assert!(mean_squared_error(&out.model, &data) < 1e-10);
+        assert_eq!(r_squared(&out.model, &data), 1.0);
+    }
+}

@@ -1,0 +1,717 @@
+//! The public LS-SVM training and prediction API.
+//!
+//! Training follows the paper's four steps (§III): (1) read the training
+//! data, (2) transform it into the padded SoA layout and load it onto the
+//! device, (3) solve the reduced system `Q̃·α̃ = ȳ − y_m·1` with CG on the
+//! selected backend, (4) assemble (and optionally save) the model file.
+//! Every step is timed individually (Fig. 2).
+
+use std::path::Path;
+use std::time::Instant;
+
+use rayon::prelude::*;
+
+use plssvm_data::dense::{DenseMatrix, SoAMatrix};
+use plssvm_data::libsvm::{read_libsvm_file, LabeledData};
+use plssvm_data::model::{KernelSpec, SvmModel};
+use plssvm_data::Real;
+use plssvm_simgpu::device::AtomicScalar;
+
+use crate::backend::{BackendSelection, DeviceReport, Prepared};
+use crate::cg::{conjugate_gradients, conjugate_gradients_jacobi, CgConfig};
+use crate::error::SvmError;
+use crate::kernel::kernel_row;
+use crate::matrix_free::{bias, full_alpha, reduced_rhs};
+use crate::timing::ComponentTimes;
+
+/// LS-SVM trainer configuration (builder style).
+///
+/// Defaults mirror PLSSVM's command line: linear kernel, `C = 1`,
+/// `ε = 1e-3` relative residual, the multi-threaded CPU backend.
+///
+/// ```
+/// use plssvm_core::prelude::*;
+/// use plssvm_data::synthetic::{generate_planes, PlanesConfig};
+///
+/// let data = generate_planes::<f64>(&PlanesConfig::new(64, 8, 42))?;
+/// let out = LsSvm::new()
+///     .with_kernel(KernelSpec::Linear)
+///     .with_epsilon(1e-6)
+///     .train(&data)?;
+/// assert!(out.converged);
+/// assert!(accuracy(&out.model, &data) > 0.9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LsSvm<T> {
+    /// Kernel function (default linear).
+    pub kernel: KernelSpec<T>,
+    /// The weighting constant `C > 0` of the LS-SVM objective.
+    pub cost: T,
+    /// CG relative-residual termination criterion ε.
+    pub epsilon: T,
+    /// Optional CG iteration cap (`None`: the system dimension).
+    pub max_iterations: Option<usize>,
+    /// Execution backend.
+    pub backend: BackendSelection,
+    /// Optional per-sample weights `vᵢ > 0` (weighted LS-SVM, Suykens et
+    /// al. \[25\]): the error term of sample `i` is weighted `C·vᵢ`, i.e.
+    /// small weights let suspected outliers violate the margin cheaply.
+    pub sample_weights: Option<Vec<T>>,
+    /// Solve with Jacobi-preconditioned CG instead of plain CG (an
+    /// extension past the paper; helps on badly scaled kernels).
+    pub jacobi_preconditioner: bool,
+}
+
+impl<T: Real> Default for LsSvm<T> {
+    fn default() -> Self {
+        Self {
+            kernel: KernelSpec::Linear,
+            cost: T::ONE,
+            epsilon: T::from_f64(1e-3),
+            max_iterations: None,
+            backend: BackendSelection::default(),
+            sample_weights: None,
+            jacobi_preconditioner: false,
+        }
+    }
+}
+
+impl<T: AtomicScalar> LsSvm<T> {
+    /// A trainer with all defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the kernel function.
+    pub fn with_kernel(mut self, kernel: KernelSpec<T>) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Sets the cost parameter `C`.
+    pub fn with_cost(mut self, cost: T) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Sets the CG tolerance ε.
+    pub fn with_epsilon(mut self, epsilon: T) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Caps the number of CG iterations.
+    pub fn with_max_iterations(mut self, iters: usize) -> Self {
+        self.max_iterations = Some(iters);
+        self
+    }
+
+    /// Selects the execution backend.
+    pub fn with_backend(mut self, backend: BackendSelection) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Installs per-sample weights (weighted LS-SVM).
+    pub fn with_sample_weights(mut self, weights: Vec<T>) -> Self {
+        self.sample_weights = Some(weights);
+        self
+    }
+
+    /// Enables the Jacobi-preconditioned CG solver.
+    pub fn with_jacobi_preconditioner(mut self, enabled: bool) -> Self {
+        self.jacobi_preconditioner = enabled;
+        self
+    }
+
+    /// Trains on an in-memory data set (the `read` component is zero).
+    pub fn train(&self, data: &LabeledData<T>) -> Result<TrainOutput<T>, SvmError> {
+        self.train_inner(data, std::time::Duration::ZERO, None)
+    }
+
+    /// Trains from a LIBSVM data file, timing the `read` component, and
+    /// optionally writes the model file (timed as `write`).
+    pub fn train_from_file(
+        &self,
+        train_path: impl AsRef<Path>,
+        model_path: Option<&Path>,
+    ) -> Result<TrainOutput<T>, SvmError> {
+        let t0 = Instant::now();
+        let data = read_libsvm_file::<T>(train_path, None)?;
+        let read = t0.elapsed();
+        self.train_inner(&data, read, model_path)
+    }
+
+    fn train_inner(
+        &self,
+        data: &LabeledData<T>,
+        read: std::time::Duration,
+        model_path: Option<&Path>,
+    ) -> Result<TrainOutput<T>, SvmError> {
+        let t_total = Instant::now();
+        if data.points() < 2 {
+            return Err(SvmError::Solver(
+                "training needs at least two data points".into(),
+            ));
+        }
+
+        // (2a) transform: 2D row-major → padded column-major SoA. The
+        // paper applies this step only for its GPU backends (§IV-E); the
+        // CPU backends work on the row-major layout directly.
+        let t = Instant::now();
+        let soa = match &self.backend {
+            BackendSelection::SimGpu { tiling, .. }
+            | BackendSelection::SimGpuRows { tiling, .. }
+            | BackendSelection::SimCluster { tiling, .. } => {
+                Some(SoAMatrix::from_dense(&data.x, tiling.tile()))
+            }
+            _ => None,
+        };
+        let transform = t.elapsed();
+
+        // (2b + 3) device setup, upload and CG solve
+        let t = Instant::now();
+        let mut prepared =
+            Prepared::new(&self.backend, &data.x, soa.as_ref(), &self.kernel, self.cost)?;
+        if let Some(weights) = &self.sample_weights {
+            if weights.len() != data.points() {
+                return Err(SvmError::Solver(format!(
+                    "{} sample weights for {} data points",
+                    weights.len(),
+                    data.points()
+                )));
+            }
+            prepared.set_sample_weights(weights, self.cost)?;
+        }
+        let rhs = reduced_rhs(&data.y);
+        let cg_cfg = CgConfig {
+            epsilon: self.epsilon,
+            max_iterations: self.max_iterations,
+            ..CgConfig::default()
+        };
+        let solve = if self.jacobi_preconditioner {
+            // diag(Q̃)ᵢ = k(xᵢ,xᵢ) + ridgeᵢ − 2qᵢ + Q_mm, O(m·d) on the host
+            let params = prepared.params();
+            let diagonal: Vec<T> = (0..params.dim())
+                .map(|i| {
+                    kernel_row(&self.kernel, data.x.row(i), data.x.row(i)) + params.ridge(i)
+                        - T::TWO * params.q[i]
+                        + params.q_mm()
+                })
+                .collect();
+            conjugate_gradients_jacobi(&prepared, &rhs, &diagonal, &cg_cfg)
+        } else {
+            conjugate_gradients(&prepared, &rhs, &cg_cfg)
+        };
+        let cg = t.elapsed();
+
+        // (4) assemble the model (and optionally write it)
+        let t = Instant::now();
+        let b = bias(prepared.params(), &data.y, &solve.x);
+        let alpha = full_alpha(&solve.x);
+        // Eq. 15: for the linear kernel the explicit normal vector w is
+        // materialized (the paper's third compute kernel, `w_kernel`) so
+        // prediction costs O(d) per point instead of O(m·d)
+        let linear_w = if matches!(self.kernel, KernelSpec::Linear) {
+            prepared.compute_linear_w(&alpha)?
+        } else {
+            None
+        };
+        let (pos, neg) = data.class_counts();
+        let model = SvmModel {
+            kernel: self.kernel,
+            labels: data.label_map,
+            rho: -b,
+            sv: data.x.clone(),
+            coef: alpha,
+            nr_sv: [pos, neg],
+        };
+        if let Some(path) = model_path {
+            model.save(path)?;
+        }
+        let write = t.elapsed();
+
+        Ok(TrainOutput {
+            model,
+            times: ComponentTimes {
+                read,
+                transform,
+                cg,
+                write,
+                total: t_total.elapsed() + read,
+            },
+            iterations: solve.iterations,
+            converged: solve.converged,
+            relative_residual: solve.relative_residual().to_f64(),
+            backend_name: self.backend.name(),
+            linear_w,
+            device: prepared.device_report(),
+        })
+    }
+}
+
+/// Everything a training run produces.
+#[derive(Debug)]
+pub struct TrainOutput<T> {
+    /// The trained model (all `m` training points as support vectors).
+    pub model: SvmModel<T>,
+    /// Component wall-clock timings.
+    pub times: ComponentTimes,
+    /// CG iterations performed.
+    pub iterations: usize,
+    /// Whether CG met the ε criterion within its budget.
+    pub converged: bool,
+    /// Final `‖r‖/‖r₀‖`.
+    pub relative_residual: f64,
+    /// Human-readable backend description.
+    pub backend_name: String,
+    /// The explicit normal vector `w = Σᵢ αᵢ·xᵢ` (Eq. 15), materialized
+    /// for the linear kernel on every backend (the paper's `w_kernel` on
+    /// the simulated devices); enables O(d) prediction via
+    /// [`predict_linear`].
+    pub linear_w: Option<Vec<T>>,
+    /// Device counters (simulated backends only).
+    pub device: Option<DeviceReport>,
+}
+
+/// Trains with the given configuration — convenience wrapper around
+/// [`LsSvm::train`].
+pub fn train<T: AtomicScalar>(
+    data: &LabeledData<T>,
+    config: &LsSvm<T>,
+) -> Result<TrainOutput<T>, SvmError> {
+    config.train(data)
+}
+
+/// Decision values `f(x) = Σᵢ coefᵢ·k(svᵢ, x) + b` for every row of `x`
+/// (Eq. 10), computed in parallel over the test points.
+pub fn predict_decision_values<T: Real>(model: &SvmModel<T>, x: &DenseMatrix<T>) -> Vec<T> {
+    assert_eq!(
+        x.cols(),
+        model.features(),
+        "test data has {} features, model expects {}",
+        x.cols(),
+        model.features()
+    );
+    let b = model.bias();
+    (0..x.rows())
+        .into_par_iter()
+        .map(|p| {
+            let row = x.row(p);
+            let mut acc = b;
+            for (i, sv) in model.sv.rows_iter().enumerate() {
+                acc = model.coef[i].mul_add(kernel_row(&model.kernel, sv, row), acc);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Predicted ±1 signs for every row of `x`.
+pub fn predict<T: Real>(model: &SvmModel<T>, x: &DenseMatrix<T>) -> Vec<T> {
+    predict_decision_values(model, x)
+        .into_iter()
+        .map(|d| if d.to_f64() >= 0.0 { T::ONE } else { -T::ONE })
+        .collect()
+}
+
+/// Predicted original class labels for every row of `x`.
+pub fn predict_labels<T: Real>(model: &SvmModel<T>, x: &DenseMatrix<T>) -> Vec<i32> {
+    predict_decision_values(model, x)
+        .into_iter()
+        .map(|d| model.decide(d))
+        .collect()
+}
+
+/// Fast linear-kernel prediction from the explicit normal vector:
+/// `f(x) = ⟨w, x⟩ + b` — O(d) per point instead of the O(m·d) kernel sum
+/// (Eq. 4 of the paper). `bias` is `−rho`.
+pub fn predict_linear<T: Real>(w: &[T], bias: T, x: &DenseMatrix<T>) -> Vec<T> {
+    assert_eq!(w.len(), x.cols(), "w has {} features, data {}", w.len(), x.cols());
+    (0..x.rows())
+        .into_par_iter()
+        .map(|p| crate::kernel::dot(w, x.row(p)) + bias)
+        .collect()
+}
+
+/// Fraction of correctly classified points of a labeled data set.
+pub fn accuracy<T: Real>(model: &SvmModel<T>, data: &LabeledData<T>) -> f64 {
+    let signs = predict(model, &data.x);
+    let correct = signs
+        .iter()
+        .zip(&data.y)
+        .filter(|(p, y)| p.to_f64() == y.to_f64())
+        .count();
+    correct as f64 / data.points() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plssvm_data::synthetic::{generate_planes, PlanesConfig};
+    use plssvm_simgpu::hw;
+    use plssvm_simgpu::Backend as DeviceApi;
+
+    fn planes(points: usize, features: usize, seed: u64) -> LabeledData<f64> {
+        generate_planes(
+            &PlanesConfig::new(points, features, seed)
+                .with_cluster_sep(3.0)
+                .with_flip_fraction(0.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn trains_separable_problem_to_high_accuracy() {
+        let data = planes(120, 8, 1);
+        let out = LsSvm::new()
+            .with_epsilon(1e-6)
+            .train(&data)
+            .unwrap();
+        assert!(out.converged);
+        assert!(out.iterations >= 1);
+        let acc = accuracy(&out.model, &data);
+        assert!(acc >= 0.97, "accuracy {acc}");
+    }
+
+    #[test]
+    fn all_backends_reach_same_accuracy() {
+        let data = planes(80, 6, 2);
+        let mut accs = Vec::new();
+        for backend in [
+            BackendSelection::Serial,
+            BackendSelection::OpenMp { threads: Some(2) },
+            BackendSelection::sim_gpu(hw::A100, DeviceApi::Cuda),
+            BackendSelection::sim_multi_gpu(hw::A100, DeviceApi::Cuda, 2),
+        ] {
+            let out = LsSvm::new()
+                .with_epsilon(1e-8)
+                .with_backend(backend)
+                .train(&data)
+                .unwrap();
+            accs.push(accuracy(&out.model, &data));
+        }
+        for w in accs.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-12, "{accs:?}");
+        }
+        assert!(accs[0] >= 0.97);
+    }
+
+    #[test]
+    fn backends_produce_nearly_identical_models() {
+        let data = planes(60, 5, 3);
+        let serial = LsSvm::new()
+            .with_epsilon(1e-10)
+            .with_backend(BackendSelection::Serial)
+            .train(&data)
+            .unwrap();
+        let device = LsSvm::new()
+            .with_epsilon(1e-10)
+            .with_backend(BackendSelection::sim_gpu(hw::V100, DeviceApi::OpenCl))
+            .train(&data)
+            .unwrap();
+        assert!((serial.model.rho - device.model.rho).abs() < 1e-6);
+        for (a, b) in serial.model.coef.iter().zip(&device.model.coef) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rbf_kernel_solves_nonlinear_problem() {
+        // XOR-like data: not linearly separable, easy for RBF.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                let (a, b) = (i as f64 / 5.0 - 1.0, j as f64 / 5.0 - 1.0);
+                rows.push(vec![a, b]);
+                y.push(if (a > 0.0) == (b > 0.0) { 1.0 } else { -1.0 });
+            }
+        }
+        let data = LabeledData::new(DenseMatrix::from_rows(rows).unwrap(), y).unwrap();
+        let out = LsSvm::new()
+            .with_kernel(KernelSpec::Rbf { gamma: 2.0 })
+            .with_cost(10.0)
+            .with_epsilon(1e-8)
+            .train(&data)
+            .unwrap();
+        let acc = accuracy(&out.model, &data);
+        assert!(acc >= 0.97, "rbf accuracy {acc}");
+
+        // the linear kernel cannot do much better than chance here
+        let lin = LsSvm::new().with_epsilon(1e-8).train(&data).unwrap();
+        assert!(accuracy(&lin.model, &data) < 0.75);
+    }
+
+    #[test]
+    fn model_has_all_points_as_support_vectors() {
+        let data = planes(30, 4, 4);
+        let out = LsSvm::new().train(&data).unwrap();
+        assert_eq!(out.model.total_sv(), 30);
+        assert_eq!(out.model.coef.len(), 30);
+        // the eliminated constraint: Σ αᵢ = 0
+        let s: f64 = out.model.coef.iter().sum();
+        assert!(s.abs() < 1e-8);
+    }
+
+    #[test]
+    fn tighter_epsilon_more_iterations_not_worse_accuracy() {
+        let data = planes(100, 6, 5);
+        let loose = LsSvm::new().with_epsilon(1e-1).train(&data).unwrap();
+        let tight = LsSvm::new().with_epsilon(1e-10).train(&data).unwrap();
+        assert!(tight.iterations >= loose.iterations);
+        assert!(tight.relative_residual <= 1e-10);
+    }
+
+    #[test]
+    fn file_roundtrip_preserves_predictions() {
+        let data = planes(40, 5, 6);
+        let out = LsSvm::new().with_epsilon(1e-8).train(&data).unwrap();
+        let dir = std::env::temp_dir().join("plssvm_core_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trained.model");
+        out.model.save(&path).unwrap();
+        let loaded = SvmModel::<f64>::load(&path).unwrap();
+        let a = predict_labels(&out.model, &data.x);
+        let b = predict_labels(&loaded, &data.x);
+        assert_eq!(a, b);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn train_from_file_times_read_and_write() {
+        let data = planes(30, 4, 7);
+        let dir = std::env::temp_dir().join("plssvm_core_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let train_path = dir.join("train.libsvm");
+        let model_path = dir.join("out.model");
+        plssvm_data::write_libsvm_file(&train_path, &data, true).unwrap();
+
+        let out = LsSvm::<f64>::new()
+            .train_from_file(&train_path, Some(&model_path))
+            .unwrap();
+        assert!(out.times.read.as_nanos() > 0);
+        assert!(out.times.cg.as_nanos() > 0);
+        assert!(model_path.exists());
+        assert!(out.times.total >= out.times.cg);
+        std::fs::remove_file(&train_path).ok();
+        std::fs::remove_file(&model_path).ok();
+    }
+
+    #[test]
+    fn device_backend_reports_counters() {
+        let data = planes(50, 8, 8);
+        let out = LsSvm::new()
+            .with_backend(BackendSelection::sim_gpu(hw::A100, DeviceApi::Cuda))
+            .train(&data)
+            .unwrap();
+        let report = out.device.expect("device report");
+        assert_eq!(report.per_device.len(), 1);
+        let r = &report.per_device[0];
+        // one q_kernel + one svm_kernel per CG iteration (plus refreshes)
+        assert!(r.per_kernel["svm_kernel"].launches as usize >= out.iterations);
+        assert!(r.total_flops > 0);
+        assert!(report.sim_parallel_time_s > 0.0);
+        assert!(report.peak_memory_per_device_bytes > 0);
+    }
+
+    #[test]
+    fn jacobi_preconditioned_training_matches_plain() {
+        let data = planes(80, 6, 30);
+        let plain = LsSvm::new().with_epsilon(1e-10).train(&data).unwrap();
+        let pcg = LsSvm::new()
+            .with_epsilon(1e-10)
+            .with_jacobi_preconditioner(true)
+            .train(&data)
+            .unwrap();
+        assert!(pcg.converged);
+        assert!((plain.model.rho - pcg.model.rho).abs() < 1e-6);
+        assert!((accuracy(&plain.model, &data) - accuracy(&pcg.model, &data)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jacobi_helps_on_badly_scaled_ridge() {
+        // extreme per-sample weights make diag(Q̃) span orders of
+        // magnitude (ridge 1/(C·vᵢ) from 1 to 10⁴) — exactly the structure
+        // Jacobi preconditioning removes
+        let data = planes(100, 6, 31);
+        let weights: Vec<f64> = (0..100)
+            .map(|i| if i % 4 == 0 { 1e-4 } else { 1.0 })
+            .collect();
+        let cfg = |pc: bool| {
+            LsSvm::new()
+                .with_kernel(KernelSpec::Rbf { gamma: 0.5 })
+                .with_epsilon(1e-8)
+                .with_sample_weights(weights.clone())
+                .with_jacobi_preconditioner(pc)
+        };
+        let plain = cfg(false).train(&data).unwrap();
+        let pcg = cfg(true).train(&data).unwrap();
+        assert!(pcg.converged);
+        assert!(
+            pcg.iterations < plain.iterations || !plain.converged,
+            "pcg {} vs plain {} iterations",
+            pcg.iterations,
+            plain.iterations
+        );
+        // both reach the same solution when both converge
+        if plain.converged {
+            assert!((plain.model.rho - pcg.model.rho).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn linear_w_matches_kernel_predictions() {
+        let data = planes(50, 6, 20);
+        for backend in [
+            BackendSelection::Serial,
+            BackendSelection::OpenMp { threads: Some(2) },
+            BackendSelection::SparseCpu { threads: None },
+            BackendSelection::sim_gpu(hw::A100, DeviceApi::Cuda),
+            BackendSelection::sim_multi_gpu(hw::A100, DeviceApi::Cuda, 3),
+        ] {
+            let out = LsSvm::new()
+                .with_epsilon(1e-10)
+                .with_backend(backend.clone())
+                .train(&data)
+                .unwrap();
+            let w = out.linear_w.as_ref().expect("linear w");
+            assert_eq!(w.len(), data.features());
+            // w = Σ αᵢ xᵢ computed on the host as ground truth
+            for f in 0..data.features() {
+                let expected: f64 = (0..data.points())
+                    .map(|p| out.model.coef[p] * data.x.get(p, f))
+                    .sum();
+                assert!((w[f] - expected).abs() < 1e-9, "{backend:?} w[{f}]");
+            }
+            // fast prediction equals the kernel-sum prediction
+            let fast = predict_linear(w, out.model.bias(), &data.x);
+            let slow = predict_decision_values(&out.model, &data.x);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!((a - b).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn nonlinear_kernels_have_no_linear_w() {
+        let data = planes(20, 4, 21);
+        let out = LsSvm::new()
+            .with_kernel(KernelSpec::Rbf { gamma: 0.5 })
+            .train(&data)
+            .unwrap();
+        assert!(out.linear_w.is_none());
+    }
+
+    #[test]
+    fn device_backend_launches_three_kernel_kinds() {
+        // the paper's profiling claim: "our implementation only spawns 3
+        // compute kernels" — q_kernel, svm_kernel, w_kernel
+        let data = planes(40, 6, 22);
+        let out = LsSvm::new()
+            .with_backend(BackendSelection::sim_gpu(hw::A100, DeviceApi::Cuda))
+            .train(&data)
+            .unwrap();
+        let report = out.device.unwrap();
+        let kernels: Vec<&String> = report.per_device[0].per_kernel.keys().collect();
+        assert_eq!(kernels.len(), 3, "{kernels:?}");
+        assert!(report.per_device[0].per_kernel.contains_key("w_kernel"));
+        assert_eq!(report.per_device[0].per_kernel["w_kernel"].launches, 1);
+    }
+
+    #[test]
+    fn minimal_two_point_problem_trains_on_every_backend() {
+        // m = 2 → the reduced system is 1x1; every backend and kernel must
+        // handle the degenerate tiling (single partial tile)
+        let x = DenseMatrix::from_rows(vec![vec![1.0f64, 0.5], vec![-1.0, -0.5]]).unwrap();
+        let data = LabeledData::new(x, vec![1.0, -1.0]).unwrap();
+        for backend in [
+            BackendSelection::Serial,
+            BackendSelection::OpenMp { threads: Some(2) },
+            BackendSelection::SparseCpu { threads: None },
+            BackendSelection::sim_gpu(hw::A100, DeviceApi::Cuda),
+            BackendSelection::sim_multi_gpu(hw::A100, DeviceApi::Cuda, 2),
+            BackendSelection::sim_multi_gpu_rows(hw::A100, DeviceApi::Cuda, 2),
+        ] {
+            for kernel in [KernelSpec::Linear, KernelSpec::Rbf { gamma: 1.0 }] {
+                if matches!(kernel, KernelSpec::Rbf { .. })
+                    && matches!(backend, BackendSelection::SimGpu { devices: 2, .. })
+                {
+                    continue; // feature-split multi-GPU is linear-only
+                }
+                let out = LsSvm::new()
+                    .with_kernel(kernel)
+                    .with_epsilon(1e-10)
+                    .with_backend(backend.clone())
+                    .train(&data)
+                    .unwrap();
+                assert!(out.converged, "{kernel:?} on {}", backend.name());
+                assert_eq!(
+                    accuracy(&out.model, &data),
+                    1.0,
+                    "{kernel:?} on {}",
+                    backend.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn three_point_training_with_duplicates() {
+        // duplicated points keep Q̃ SPD thanks to the ridge
+        let x = DenseMatrix::from_rows(vec![
+            vec![1.0f64, 1.0],
+            vec![1.0, 1.0],
+            vec![-1.0, -1.0],
+        ])
+        .unwrap();
+        let data = LabeledData::new(x, vec![1.0, 1.0, -1.0]).unwrap();
+        let out = LsSvm::new().with_epsilon(1e-10).train(&data).unwrap();
+        assert!(out.converged);
+        assert_eq!(accuracy(&out.model, &data), 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        let one = LabeledData::new(
+            DenseMatrix::from_rows(vec![vec![1.0f64]]).unwrap(),
+            vec![1.0],
+        )
+        .unwrap();
+        assert!(LsSvm::new().train(&one).is_err());
+    }
+
+    #[test]
+    fn single_class_data_trains_and_predicts_that_class() {
+        let x = DenseMatrix::from_rows(vec![vec![1.0f64, 0.0], vec![0.9, 0.1], vec![1.1, -0.1]])
+            .unwrap();
+        let data = LabeledData::new(x, vec![1.0, 1.0, 1.0]).unwrap();
+        let out = LsSvm::new().with_epsilon(1e-8).train(&data).unwrap();
+        assert_eq!(accuracy(&out.model, &data), 1.0);
+    }
+
+    #[test]
+    fn prediction_feature_mismatch_panics() {
+        let data = planes(20, 4, 9);
+        let out = LsSvm::new().train(&data).unwrap();
+        let wrong = DenseMatrix::from_rows(vec![vec![1.0f64, 2.0]]).unwrap();
+        let result = std::panic::catch_unwind(|| predict(&out.model, &wrong));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn f32_training_works() {
+        let data = generate_planes::<f32>(
+            &PlanesConfig::new(60, 4, 10)
+                .with_cluster_sep(3.0)
+                .with_flip_fraction(0.0),
+        )
+        .unwrap();
+        let out = LsSvm::<f32>::new()
+            .with_epsilon(1e-4f32)
+            .train(&data)
+            .unwrap();
+        assert!(accuracy(&out.model, &data) >= 0.95);
+    }
+}

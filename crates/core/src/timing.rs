@@ -1,0 +1,103 @@
+//! Per-component training timings (the paper's Fig. 2 breakdown).
+//!
+//! The paper decomposes a training run into `read` (parse the input file),
+//! `transform` (2D row-major → padded 1D SoA), `cg` (solve the system of
+//! linear equations on the selected backend, including device transfers)
+//! and `write` (produce the model file); `total` covers the complete run
+//! including everything not attributed to a component.
+
+use std::time::Duration;
+
+/// Wall-clock durations of the four training steps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ComponentTimes {
+    /// Reading and parsing the training data file.
+    pub read: Duration,
+    /// Transforming the 2D data into the padded SoA device layout.
+    pub transform: Duration,
+    /// Solving the system of linear equations (backend setup, transfers
+    /// and the CG iterations).
+    pub cg: Duration,
+    /// Building and (if requested) writing the model file.
+    pub write: Duration,
+    /// The complete training run.
+    pub total: Duration,
+}
+
+impl ComponentTimes {
+    /// The component durations as `(name, seconds)` rows, in the paper's
+    /// plotting order.
+    pub fn rows(&self) -> [(&'static str, f64); 5] {
+        [
+            ("read", self.read.as_secs_f64()),
+            ("transform", self.transform.as_secs_f64()),
+            ("cg", self.cg.as_secs_f64()),
+            ("write", self.write.as_secs_f64()),
+            ("total", self.total.as_secs_f64()),
+        ]
+    }
+
+    /// Fraction of the total runtime spent in the CG component (the paper
+    /// reports 92 % for large data sets).
+    pub fn cg_fraction(&self) -> f64 {
+        let total = self.total.as_secs_f64();
+        if total > 0.0 {
+            self.cg.as_secs_f64() / total
+        } else {
+            0.0
+        }
+    }
+}
+
+impl std::fmt::Display for ComponentTimes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "read {:.3}s | transform {:.3}s | cg {:.3}s | write {:.3}s | total {:.3}s",
+            self.read.as_secs_f64(),
+            self.transform.as_secs_f64(),
+            self.cg.as_secs_f64(),
+            self.write.as_secs_f64(),
+            self.total.as_secs_f64()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_in_paper_order() {
+        let t = ComponentTimes {
+            read: Duration::from_millis(100),
+            transform: Duration::from_millis(50),
+            cg: Duration::from_millis(800),
+            write: Duration::from_millis(25),
+            total: Duration::from_millis(1000),
+        };
+        let rows = t.rows();
+        assert_eq!(rows[0].0, "read");
+        assert_eq!(rows[2], ("cg", 0.8));
+        assert_eq!(rows[4].0, "total");
+    }
+
+    #[test]
+    fn cg_fraction() {
+        let t = ComponentTimes {
+            cg: Duration::from_millis(920),
+            total: Duration::from_millis(1000),
+            ..Default::default()
+        };
+        assert!((t.cg_fraction() - 0.92).abs() < 1e-12);
+        assert_eq!(ComponentTimes::default().cg_fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_all_components() {
+        let s = ComponentTimes::default().to_string();
+        for name in ["read", "transform", "cg", "write", "total"] {
+            assert!(s.contains(name));
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Weighted (robust) LS-SVM — Suykens et al., *"Weighted least squares
+//! support vector machines: robustness and sparse approximation"* (the
+//! paper's reference \[25\]).
+//!
+//! The LS-SVM's squared loss makes it sensitive to outliers and label
+//! noise: every point pulls on the hyperplane proportionally to its
+//! residual. The weighted procedure repairs this in two stages:
+//!
+//! 1. train the plain LS-SVM; its support values give the error variables
+//!    `ξᵢ = αᵢ/C` directly,
+//! 2. compute robust weights `vᵢ` from the standardized residuals using a
+//!    robust scale estimate (`ŝ = MAD/0.6745`) with Hampel-style cutoffs
+//!    `c₁ = 2.5`, `c₂ = 3.0`, and retrain with the per-sample ridge
+//!    `1/(C·vᵢ)`.
+//!
+//! Mechanically, only the diagonal of the LS-SVM system changes, which the
+//! [`crate::matrix_free::QTildeParams`] per-sample ridge supports on every
+//! backend.
+
+use plssvm_data::libsvm::LabeledData;
+use plssvm_data::Real;
+use plssvm_simgpu::device::AtomicScalar;
+
+use crate::error::SvmError;
+use crate::svm::{LsSvm, TrainOutput};
+
+/// Hampel cutoffs of Suykens' weighting function.
+pub const C1: f64 = 2.5;
+/// See [`C1`].
+pub const C2: f64 = 3.0;
+/// Weight floor (Suykens uses 10⁻⁴) so the system stays positive definite.
+pub const MIN_WEIGHT: f64 = 1e-4;
+
+/// Robust weights from LS-SVM support values: `ξᵢ = αᵢ/C`, standardized by
+/// the MAD-based robust scale, mapped through the Hampel function
+///
+/// ```text
+/// v(ξ/ŝ) = 1                     if |ξ/ŝ| ≤ c₁
+///        = (c₂ − |ξ/ŝ|)/(c₂−c₁)  if c₁ < |ξ/ŝ| ≤ c₂
+///        = MIN_WEIGHT            otherwise
+/// ```
+pub fn robust_weights<T: Real>(alpha: &[T], cost: T) -> Vec<T> {
+    assert!(!alpha.is_empty());
+    let xi: Vec<f64> = alpha.iter().map(|a| a.to_f64() / cost.to_f64()).collect();
+    // robust scale: median absolute deviation about the median
+    let mut sorted = xi.clone();
+    sorted.sort_by(f64::total_cmp);
+    let median = sorted[sorted.len() / 2];
+    let mut deviations: Vec<f64> = xi.iter().map(|v| (v - median).abs()).collect();
+    deviations.sort_by(f64::total_cmp);
+    let mad = deviations[deviations.len() / 2];
+    let scale = (mad / 0.6745).max(f64::MIN_POSITIVE);
+
+    xi.iter()
+        .map(|&v| {
+            let z = ((v - median) / scale).abs();
+            let w = if z <= C1 {
+                1.0
+            } else if z <= C2 {
+                (C2 - z) / (C2 - C1)
+            } else {
+                MIN_WEIGHT
+            };
+            T::from_f64(w.max(MIN_WEIGHT))
+        })
+        .collect()
+}
+
+/// Output of the two-stage robust training.
+#[derive(Debug)]
+pub struct RobustTrainOutput<T> {
+    /// Stage 1: the unweighted LS-SVM.
+    pub unweighted: TrainOutput<T>,
+    /// Stage 2: the reweighted LS-SVM.
+    pub weighted: TrainOutput<T>,
+    /// The weights applied in stage 2.
+    pub weights: Vec<T>,
+    /// How many points received a weight below 1 (suspected outliers).
+    pub downweighted: usize,
+}
+
+/// Runs the two-stage weighted LS-SVM procedure of \[25\] with `trainer`'s
+/// configuration.
+pub fn train_robust<T: AtomicScalar>(
+    data: &LabeledData<T>,
+    trainer: &LsSvm<T>,
+) -> Result<RobustTrainOutput<T>, SvmError> {
+    if trainer.sample_weights.is_some() {
+        return Err(SvmError::Solver(
+            "train_robust derives its own weights; remove with_sample_weights".into(),
+        ));
+    }
+    let unweighted = trainer.train(data)?;
+    let weights = robust_weights(&unweighted.model.coef, trainer.cost);
+    let downweighted = weights.iter().filter(|w| w.to_f64() < 1.0).count();
+    let weighted = trainer
+        .clone()
+        .with_sample_weights(weights.clone())
+        .train(data)?;
+    Ok(RobustTrainOutput {
+        unweighted,
+        weighted,
+        weights,
+        downweighted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::svm::accuracy;
+    use plssvm_data::synthetic::{generate_planes, PlanesConfig};
+
+    fn data_with_outliers(seed: u64) -> (LabeledData<f64>, Vec<usize>) {
+        // clean separable data, then flip a few labels AND blow up the
+        // corresponding points so they act as leverage outliers
+        let mut d = generate_planes::<f64>(
+            &PlanesConfig::new(120, 4, seed)
+                .with_cluster_sep(3.0)
+                .with_flip_fraction(0.0),
+        )
+        .unwrap();
+        let outliers = vec![3usize, 47, 90];
+        for &i in &outliers {
+            d.y[i] = -d.y[i];
+            for f in 0..4 {
+                let v = d.x.get(i, f);
+                d.x.set(i, f, v * 1.5);
+            }
+        }
+        (d, outliers)
+    }
+
+    #[test]
+    fn weights_flag_outliers() {
+        let (data, outliers) = data_with_outliers(11);
+        let trainer = LsSvm::new().with_epsilon(1e-8);
+        let out = train_robust(&data, &trainer).unwrap();
+        assert!(out.downweighted >= outliers.len());
+        // the injected outliers must be among the most downweighted points
+        for &i in &outliers {
+            assert!(
+                out.weights[i] < 0.9,
+                "outlier {i} kept weight {}",
+                out.weights[i]
+            );
+        }
+        // the weighted model should not be worse on the clean points
+        let clean_indices: Vec<usize> =
+            (0..data.points()).filter(|i| !outliers.contains(i)).collect();
+        let clean = LabeledData::with_label_map(
+            data.x.select_rows(&clean_indices),
+            clean_indices.iter().map(|&i| data.y[i]).collect(),
+            data.label_map,
+        )
+        .unwrap();
+        let acc_u = accuracy(&out.unweighted.model, &clean);
+        let acc_w = accuracy(&out.weighted.model, &clean);
+        assert!(acc_w >= acc_u, "weighted {acc_w} vs unweighted {acc_u}");
+        assert!(acc_w >= 0.97);
+    }
+
+    #[test]
+    fn clean_data_keeps_full_weights() {
+        let data = generate_planes::<f64>(
+            &PlanesConfig::new(80, 4, 12)
+                .with_cluster_sep(3.0)
+                .with_flip_fraction(0.0),
+        )
+        .unwrap();
+        let out = train_robust(&data, &LsSvm::new().with_epsilon(1e-8)).unwrap();
+        // on clean data the residual distribution is tight: most points
+        // keep weight 1 and the model barely changes
+        let full: usize = out.weights.iter().filter(|w| **w == 1.0).count();
+        assert!(full as f64 / out.weights.len() as f64 > 0.8);
+        assert!((out.unweighted.model.rho - out.weighted.model.rho).abs() < 0.2);
+    }
+
+    #[test]
+    fn hampel_shape() {
+        // construct alphas with one extreme value
+        let mut alpha = vec![0.01f64; 50];
+        alpha[7] = 10.0;
+        let w = robust_weights(&alpha, 1.0);
+        assert_eq!(w[7], MIN_WEIGHT);
+        assert!(w.iter().enumerate().all(|(i, &v)| i == 7 || v == 1.0));
+    }
+
+    #[test]
+    fn weights_are_bounded() {
+        let alpha: Vec<f64> = (0..100).map(|i| ((i * 37 % 19) as f64 - 9.0) / 3.0).collect();
+        let w = robust_weights(&alpha, 2.0);
+        for v in w {
+            assert!((MIN_WEIGHT..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn robust_rejects_preset_weights() {
+        let data = generate_planes::<f64>(&PlanesConfig::new(20, 3, 13)).unwrap();
+        let trainer = LsSvm::new().with_sample_weights(vec![1.0; 20]);
+        assert!(train_robust(&data, &trainer).is_err());
+    }
+
+    #[test]
+    fn invalid_weights_rejected_by_trainer() {
+        let data = generate_planes::<f64>(&PlanesConfig::new(20, 3, 14)).unwrap();
+        // wrong length
+        assert!(LsSvm::new()
+            .with_sample_weights(vec![1.0; 5])
+            .train(&data)
+            .is_err());
+        // non-positive weight
+        let mut w = vec![1.0; 20];
+        w[3] = 0.0;
+        assert!(LsSvm::new().with_sample_weights(w).train(&data).is_err());
+    }
+
+    #[test]
+    fn weighted_system_still_solves_exactly() {
+        // weighted training must still satisfy the weighted KKT system:
+        // Σⱼ (k(xᵢ,xⱼ) + δᵢⱼ/(C·vᵢ))·αⱼ + b = yᵢ
+        let data = generate_planes::<f64>(&PlanesConfig::new(30, 3, 15)).unwrap();
+        let weights: Vec<f64> = (0..30).map(|i| 0.5 + (i % 3) as f64 * 0.25).collect();
+        let cost = 2.0;
+        let out = LsSvm::new()
+            .with_cost(cost)
+            .with_epsilon(1e-12)
+            .with_sample_weights(weights.clone())
+            .train(&data)
+            .unwrap();
+        assert!(out.converged);
+        let alpha = &out.model.coef;
+        let b = -out.model.rho;
+        for i in 0..30 {
+            let mut lhs = b;
+            for j in 0..30 {
+                let k = crate::kernel::kernel_row(
+                    &plssvm_data::model::KernelSpec::Linear,
+                    data.x.row(i),
+                    data.x.row(j),
+                ) + if i == j { 1.0 / (cost * weights[i]) } else { 0.0 };
+                lhs += k * alpha[j];
+            }
+            assert!(
+                (lhs - data.y[i]).abs() < 1e-6,
+                "weighted KKT row {i}: {lhs} vs {}",
+                data.y[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Error type shared by all data handling code.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced while reading, writing or generating data sets.
+#[derive(Debug)]
+pub enum DataError {
+    /// An underlying I/O failure (file not found, permission, …).
+    Io(io::Error),
+    /// A syntactically invalid input file. Carries the 1-based line number
+    /// and a description of what was wrong.
+    Parse {
+        /// 1-based line number in the offending file.
+        line: usize,
+        /// Human readable description of the problem.
+        message: String,
+    },
+    /// Structurally invalid data (e.g. zero data points, inconsistent
+    /// dimensions, more than two classes for binary classification).
+    Invalid(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Io(e) => write!(f, "I/O error: {e}"),
+            DataError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            DataError::Invalid(msg) => write!(f, "invalid data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DataError {
+    fn from(e: io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+impl DataError {
+    /// Convenience constructor for parse errors.
+    pub fn parse(line: usize, message: impl Into<String>) -> Self {
+        DataError::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = DataError::parse(3, "bad token");
+        assert_eq!(e.to_string(), "parse error on line 3: bad token");
+        let e = DataError::Invalid("empty".into());
+        assert_eq!(e.to_string(), "invalid data: empty");
+        let e = DataError::from(io::Error::new(io::ErrorKind::NotFound, "nope"));
+        assert!(e.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        use std::error::Error;
+        let e = DataError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(e.source().is_some());
+        assert!(DataError::Invalid("x".into()).source().is_none());
+    }
+}

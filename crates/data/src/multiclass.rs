@@ -1,0 +1,273 @@
+//! Multi-class data sets — the paper's §V "multi-class classifications"
+//! extension.
+//!
+//! PLSSVM v1 supports only binary classification; LIBSVM handles
+//! multi-class problems by one-vs-one decomposition over binary solvers.
+//! This module provides the data side: reading LIBSVM files with more than
+//! two labels and carving out the binary subproblems the decomposition
+//! strategies need (`plssvm-core::multiclass` implements the solvers).
+
+use std::path::Path;
+
+use crate::dense::DenseMatrix;
+use crate::error::DataError;
+use crate::libsvm::LabeledData;
+use crate::real::Real;
+
+/// A labeled data set with an arbitrary number of classes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiClassData<T> {
+    /// The feature matrix: one row per data point.
+    pub x: DenseMatrix<T>,
+    /// Original integer label of every point.
+    pub labels: Vec<i32>,
+    /// The distinct classes, sorted ascending.
+    pub classes: Vec<i32>,
+}
+
+impl<T: Real> MultiClassData<T> {
+    /// Builds a data set, collecting and sorting the distinct classes.
+    pub fn new(x: DenseMatrix<T>, labels: Vec<i32>) -> Result<Self, DataError> {
+        if x.rows() != labels.len() {
+            return Err(DataError::Invalid(format!(
+                "{} data points but {} labels",
+                x.rows(),
+                labels.len()
+            )));
+        }
+        let mut classes: Vec<i32> = labels.clone();
+        classes.sort_unstable();
+        classes.dedup();
+        if classes.is_empty() {
+            return Err(DataError::Invalid("no data points".into()));
+        }
+        Ok(Self { x, labels, classes })
+    }
+
+    /// Number of data points.
+    pub fn points(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Number of features.
+    pub fn features(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Number of distinct classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Points per class, in `classes` order.
+    pub fn class_counts(&self) -> Vec<usize> {
+        self.classes
+            .iter()
+            .map(|c| self.labels.iter().filter(|l| *l == c).count())
+            .collect()
+    }
+
+    /// The binary one-vs-one subproblem of classes `a` (+1) vs `b` (−1):
+    /// only points of those two classes, labels mapped to ±1 with
+    /// `label_map = [a, b]`.
+    pub fn pair_subset(&self, a: i32, b: i32) -> Result<LabeledData<T>, DataError> {
+        if a == b {
+            return Err(DataError::Invalid("pair classes must differ".into()));
+        }
+        let indices: Vec<usize> = (0..self.points())
+            .filter(|&i| self.labels[i] == a || self.labels[i] == b)
+            .collect();
+        if indices.is_empty() {
+            return Err(DataError::Invalid(format!(
+                "no points with class {a} or {b}"
+            )));
+        }
+        let y: Vec<T> = indices
+            .iter()
+            .map(|&i| if self.labels[i] == a { T::ONE } else { -T::ONE })
+            .collect();
+        LabeledData::with_label_map(self.x.select_rows(&indices), y, [a, b])
+    }
+
+    /// The binary one-vs-rest subproblem of class `c` (+1) vs all others
+    /// (−1, marked with the sentinel `i32::MIN` in the label map).
+    pub fn one_vs_rest(&self, c: i32) -> Result<LabeledData<T>, DataError> {
+        if !self.classes.contains(&c) {
+            return Err(DataError::Invalid(format!("class {c} not in data")));
+        }
+        let y: Vec<T> = self
+            .labels
+            .iter()
+            .map(|&l| if l == c { T::ONE } else { -T::ONE })
+            .collect();
+        LabeledData::with_label_map(self.x.clone(), y, [c, i32::MIN])
+    }
+
+    /// Restricts the data to the binary case if exactly two classes are
+    /// present (lets callers reuse the binary pipeline transparently).
+    pub fn as_binary(&self) -> Option<Result<LabeledData<T>, DataError>> {
+        if self.classes.len() == 2 {
+            Some(self.pair_subset(self.classes[0], self.classes[1]))
+        } else {
+            None
+        }
+    }
+}
+
+/// Parses LIBSVM content with any number of integer labels.
+pub fn read_libsvm_multiclass_str<T: Real>(
+    content: &str,
+    num_features: Option<usize>,
+) -> Result<MultiClassData<T>, DataError> {
+    let mut rows: Vec<(i32, Vec<(usize, T)>)> = Vec::new();
+    let mut max_index = 0usize;
+    for (lineno, line) in content.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tokens = line.split_ascii_whitespace();
+        let label_tok = tokens.next().expect("non-empty line");
+        let label: f64 = label_tok
+            .parse()
+            .map_err(|_| DataError::parse(lineno, format!("invalid label '{label_tok}'")))?;
+        if !label.is_finite() || label.fract() != 0.0 || label.abs() > i32::MAX as f64 {
+            return Err(DataError::parse(
+                lineno,
+                format!("classification labels must be integers, got '{label_tok}'"),
+            ));
+        }
+        let mut entries = Vec::new();
+        for tok in tokens {
+            let (idx_s, val_s) = tok.split_once(':').ok_or_else(|| {
+                DataError::parse(lineno, format!("expected 'index:value', got '{tok}'"))
+            })?;
+            let idx: usize = idx_s
+                .trim()
+                .parse()
+                .map_err(|_| DataError::parse(lineno, format!("invalid index '{idx_s}'")))?;
+            if idx == 0 {
+                return Err(DataError::parse(lineno, "feature indices are 1-based"));
+            }
+            let val: T = val_s
+                .trim()
+                .parse()
+                .map_err(|_| DataError::parse(lineno, format!("invalid value '{val_s}'")))?;
+            max_index = max_index.max(idx);
+            entries.push((idx - 1, val));
+        }
+        rows.push((label as i32, entries));
+    }
+    if rows.is_empty() {
+        return Err(DataError::Invalid("data file contains no data points".into()));
+    }
+    let features = match num_features {
+        Some(n) if n >= max_index => n,
+        Some(n) => {
+            return Err(DataError::Invalid(format!(
+                "requested {n} features but data contains index {max_index}"
+            )))
+        }
+        None => max_index,
+    };
+    if features == 0 {
+        return Err(DataError::Invalid("data file contains no feature entries".into()));
+    }
+    let mut x = DenseMatrix::zeros(rows.len(), features);
+    let mut labels = Vec::with_capacity(rows.len());
+    for (p, (label, entries)) in rows.into_iter().enumerate() {
+        labels.push(label);
+        let row = x.row_mut(p);
+        for (idx, val) in entries {
+            row[idx] = val;
+        }
+    }
+    MultiClassData::new(x, labels)
+}
+
+/// Reads a multi-class LIBSVM file from disk.
+pub fn read_libsvm_multiclass_file<T: Real>(
+    path: impl AsRef<Path>,
+    num_features: Option<usize>,
+) -> Result<MultiClassData<T>, DataError> {
+    let content = std::fs::read_to_string(path)?;
+    read_libsvm_multiclass_str(&content, num_features)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+3 1:1 2:0.5
+1 1:-1
+2 2:2
+3 1:0.5 2:0.5
+1 2:-1
+";
+
+    #[test]
+    fn parses_three_classes() {
+        let d: MultiClassData<f64> = read_libsvm_multiclass_str(SAMPLE, None).unwrap();
+        assert_eq!(d.points(), 5);
+        assert_eq!(d.features(), 2);
+        assert_eq!(d.classes, vec![1, 2, 3]);
+        assert_eq!(d.num_classes(), 3);
+        assert_eq!(d.class_counts(), vec![2, 1, 2]);
+        assert_eq!(d.labels, vec![3, 1, 2, 3, 1]);
+    }
+
+    #[test]
+    fn pair_subset_maps_labels() {
+        let d: MultiClassData<f64> = read_libsvm_multiclass_str(SAMPLE, None).unwrap();
+        let pair = d.pair_subset(3, 1).unwrap();
+        assert_eq!(pair.points(), 4);
+        assert_eq!(pair.label_map, [3, 1]);
+        assert_eq!(pair.y, vec![1.0, -1.0, 1.0, -1.0]);
+        // rows preserved in order
+        assert_eq!(pair.x.row(0), d.x.row(0));
+        assert_eq!(pair.x.row(1), d.x.row(1));
+        assert!(d.pair_subset(1, 1).is_err());
+        assert!(d.pair_subset(7, 9).is_err());
+    }
+
+    #[test]
+    fn one_vs_rest_covers_all_points() {
+        let d: MultiClassData<f64> = read_libsvm_multiclass_str(SAMPLE, None).unwrap();
+        let ovr = d.one_vs_rest(2).unwrap();
+        assert_eq!(ovr.points(), 5);
+        assert_eq!(ovr.y, vec![-1.0, -1.0, 1.0, -1.0, -1.0]);
+        assert_eq!(ovr.label_map, [2, i32::MIN]);
+        assert!(d.one_vs_rest(99).is_err());
+    }
+
+    #[test]
+    fn binary_detection() {
+        let d: MultiClassData<f64> =
+            read_libsvm_multiclass_str("1 1:1\n-1 1:2\n1 1:3\n", None).unwrap();
+        let bin = d.as_binary().unwrap().unwrap();
+        assert_eq!(bin.label_map, [-1, 1]); // classes sorted ascending
+        let d3: MultiClassData<f64> = read_libsvm_multiclass_str(SAMPLE, None).unwrap();
+        assert!(d3.as_binary().is_none());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(read_libsvm_multiclass_str::<f64>("", None).is_err());
+        assert!(read_libsvm_multiclass_str::<f64>("1.5 1:1\n", None).is_err());
+        assert!(read_libsvm_multiclass_str::<f64>("1 0:1\n", None).is_err());
+        assert!(read_libsvm_multiclass_str::<f64>("1 1:1 2:b\n", None).is_err());
+        assert!(read_libsvm_multiclass_str::<f64>("1 4:1\n", Some(2)).is_err());
+        let x = DenseMatrix::from_rows(vec![vec![1.0f64]]).unwrap();
+        assert!(MultiClassData::new(x, vec![1, 2]).is_err());
+    }
+
+    #[test]
+    fn single_class_is_allowed_at_data_level() {
+        let d: MultiClassData<f64> =
+            read_libsvm_multiclass_str("5 1:1\n5 1:2\n", None).unwrap();
+        assert_eq!(d.num_classes(), 1);
+        assert!(d.as_binary().is_none());
+    }
+}

@@ -1,0 +1,183 @@
+//! The floating point abstraction used throughout the workspace.
+//!
+//! The paper's C++ implementation is templated over a single `real_type`
+//! parameter that may be `float` or `double`; the [`Real`] trait is the Rust
+//! equivalent. All solver code is generic over it and all experiments use
+//! `f64` (the paper measures everything in FP64).
+
+use std::fmt::{Debug, Display, LowerExp};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// A floating point scalar (`f32` or `f64`).
+///
+/// This mirrors the single `real_type` template parameter of the paper's C++
+/// implementation. The trait deliberately only exposes the operations the
+/// solver actually needs so that both precisions stay trivially supported.
+pub trait Real:
+    Copy
+    + Debug
+    + Display
+    + LowerExp
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + FromStr
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Two.
+    const TWO: Self;
+    /// Machine epsilon of the underlying type.
+    const EPSILON: Self;
+    /// The number of bytes one scalar occupies (4 or 8).
+    const BYTES: usize;
+
+    /// Lossless conversion from `f64` (lossy for `f32`, used for constants
+    /// and parameters that are specified in double precision).
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64` for reporting and accuracy accounting.
+    fn to_f64(self) -> f64;
+    /// Conversion from a usize count (exact for all realistic sizes).
+    fn from_usize(v: usize) -> Self;
+    /// `e^self`.
+    fn exp(self) -> Self;
+    /// Hyperbolic tangent (the sigmoid kernel).
+    fn tanh(self) -> Self;
+    /// `self^v` with an integer exponent (the polynomial kernel degree).
+    fn powi(self, v: i32) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Larger of two values (NaN-propagating like `f64::max` is fine here).
+    fn max(self, other: Self) -> Self;
+    /// Smaller of two values.
+    fn min(self, other: Self) -> Self;
+    /// True if the value is finite (not NaN or ±inf).
+    fn is_finite(self) -> bool;
+    /// Fused multiply-add `self * a + b` (maps to the hardware FMA).
+    fn mul_add(self, a: Self, b: Self) -> Self;
+}
+
+macro_rules! impl_real {
+    ($t:ty, $bytes:expr) => {
+        impl Real for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const TWO: Self = 2.0;
+            const EPSILON: Self = <$t>::EPSILON;
+            const BYTES: usize = $bytes;
+
+            #[inline(always)]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn from_usize(v: usize) -> Self {
+                v as $t
+            }
+            #[inline(always)]
+            fn exp(self) -> Self {
+                <$t>::exp(self)
+            }
+            #[inline(always)]
+            fn tanh(self) -> Self {
+                <$t>::tanh(self)
+            }
+            #[inline(always)]
+            fn powi(self, v: i32) -> Self {
+                <$t>::powi(self, v)
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn max(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+            #[inline(always)]
+            fn min(self, other: Self) -> Self {
+                <$t>::min(self, other)
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                <$t>::mul_add(self, a, b)
+            }
+        }
+    };
+}
+
+impl_real!(f32, 4);
+impl_real!(f64, 8);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops_roundtrip<T: Real>() {
+        let two = T::TWO;
+        assert_eq!(two.to_f64(), 2.0);
+        assert_eq!(T::from_f64(2.0).to_f64(), 2.0);
+        assert_eq!(T::from_usize(7).to_f64(), 7.0);
+        assert!((two.sqrt().to_f64() - std::f64::consts::SQRT_2).abs() < 1e-6);
+        assert_eq!(two.powi(10).to_f64(), 1024.0);
+        assert_eq!((-two).abs().to_f64(), 2.0);
+        assert_eq!(two.max(T::ONE).to_f64(), 2.0);
+        assert_eq!(two.min(T::ONE).to_f64(), 1.0);
+        assert!(two.is_finite());
+        assert!(!(two / T::ZERO).is_finite());
+        assert_eq!(two.mul_add(T::TWO, T::ONE).to_f64(), 5.0);
+    }
+
+    #[test]
+    fn f32_ops() {
+        ops_roundtrip::<f32>();
+        assert_eq!(f32::BYTES, 4);
+    }
+
+    #[test]
+    fn f64_ops() {
+        ops_roundtrip::<f64>();
+        assert_eq!(f64::BYTES, 8);
+    }
+
+    #[test]
+    fn exp_matches_std() {
+        assert!((Real::exp(1.0f64) - std::f64::consts::E).abs() < 1e-12);
+        assert!((Real::exp(1.0f32) - std::f32::consts::E).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tanh_matches_std() {
+        assert!((Real::tanh(0.5f64) - 0.5f64.tanh()).abs() < 1e-15);
+        assert_eq!(Real::tanh(0.0f32), 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Train/test splitting utilities.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::error::DataError;
+use crate::libsvm::LabeledData;
+use crate::real::Real;
+
+/// Splits a data set into a training and a test portion.
+///
+/// `test_fraction` of the points (rounded) go into the test set. With
+/// `stratified == true` the split preserves the class ratio of the input
+/// (like scikit-learn's `train_test_split(stratify=y)`); otherwise points
+/// are drawn uniformly.
+pub fn train_test_split<T: Real>(
+    data: &LabeledData<T>,
+    test_fraction: f64,
+    stratified: bool,
+    seed: u64,
+) -> Result<(LabeledData<T>, LabeledData<T>), DataError> {
+    if !(0.0..1.0).contains(&test_fraction) || test_fraction <= 0.0 {
+        return Err(DataError::Invalid(
+            "test fraction must be in (0, 1)".into(),
+        ));
+    }
+    let m = data.points();
+    let n_test = ((m as f64) * test_fraction).round() as usize;
+    if n_test == 0 || n_test >= m {
+        return Err(DataError::Invalid(format!(
+            "test fraction {test_fraction} leaves an empty split for {m} points"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let test_indices: Vec<usize> = if stratified {
+        let mut pos: Vec<usize> = (0..m).filter(|&i| data.y[i].to_f64() > 0.0).collect();
+        let mut neg: Vec<usize> = (0..m).filter(|&i| data.y[i].to_f64() < 0.0).collect();
+        pos.shuffle(&mut rng);
+        neg.shuffle(&mut rng);
+        let n_pos_test = ((pos.len() as f64) * test_fraction).round() as usize;
+        let n_neg_test = n_test.saturating_sub(n_pos_test).min(neg.len());
+        let mut t: Vec<usize> = pos[..n_pos_test.min(pos.len())].to_vec();
+        t.extend_from_slice(&neg[..n_neg_test]);
+        t
+    } else {
+        let mut all: Vec<usize> = (0..m).collect();
+        all.shuffle(&mut rng);
+        all[..n_test].to_vec()
+    };
+
+    let mut is_test = vec![false; m];
+    for &i in &test_indices {
+        is_test[i] = true;
+    }
+    let train_indices: Vec<usize> = (0..m).filter(|&i| !is_test[i]).collect();
+    let test_indices: Vec<usize> = (0..m).filter(|&i| is_test[i]).collect();
+
+    let make = |idx: &[usize]| -> Result<LabeledData<T>, DataError> {
+        LabeledData::with_label_map(
+            data.x.select_rows(idx),
+            idx.iter().map(|&i| data.y[i]).collect(),
+            data.label_map,
+        )
+    };
+    Ok((make(&train_indices)?, make(&test_indices)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{generate_planes, PlanesConfig};
+
+    fn sample() -> LabeledData<f64> {
+        generate_planes(&PlanesConfig::new(100, 4, 42).with_flip_fraction(0.0)).unwrap()
+    }
+
+    #[test]
+    fn split_sizes_add_up() {
+        let d = sample();
+        let (train, test) = train_test_split(&d, 0.25, false, 1).unwrap();
+        assert_eq!(train.points(), 75);
+        assert_eq!(test.points(), 25);
+        assert_eq!(train.features(), d.features());
+        assert_eq!(train.label_map, d.label_map);
+    }
+
+    #[test]
+    fn stratified_preserves_class_ratio() {
+        let d = sample();
+        let (train, test) = train_test_split(&d, 0.2, true, 3).unwrap();
+        let (tp, tn) = train.class_counts();
+        let (sp, sn) = test.class_counts();
+        assert_eq!(tp + sp, 50);
+        assert_eq!(tn + sn, 50);
+        assert_eq!(sp, 10);
+        assert_eq!(sn, 10);
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let d = sample();
+        let (train, test) = train_test_split(&d, 0.3, false, 7).unwrap();
+        // every original row appears exactly once across both splits
+        let mut seen = std::collections::HashSet::new();
+        for part in [&train, &test] {
+            for p in 0..part.points() {
+                let key: Vec<u64> = part.x.row(p).iter().map(|v| v.to_bits()).collect();
+                assert!(seen.insert(key), "duplicate row across splits");
+            }
+        }
+        assert_eq!(seen.len(), d.points());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = sample();
+        let (a, _) = train_test_split(&d, 0.2, true, 9).unwrap();
+        let (b, _) = train_test_split(&d, 0.2, true, 9).unwrap();
+        assert_eq!(a, b);
+        let (c, _) = train_test_split(&d, 0.2, true, 10).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn degenerate_fractions_rejected() {
+        let d = sample();
+        assert!(train_test_split(&d, 0.0, false, 0).is_err());
+        assert!(train_test_split(&d, 1.0, false, 0).is_err());
+        assert!(train_test_split(&d, -0.5, false, 0).is_err());
+        assert!(train_test_split(&d, 0.001, false, 0).is_err()); // rounds to 0 test points
+    }
+}

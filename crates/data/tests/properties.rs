@@ -1,0 +1,117 @@
+//! Property-based tests of the data substrate.
+
+use proptest::prelude::*;
+
+use plssvm_data::arff::{read_arff_str, write_arff_string};
+use plssvm_data::dense::{weighted_allocation, DenseMatrix, SoAMatrix};
+use plssvm_data::libsvm::LabeledData;
+use plssvm_data::scale::ScalingParams;
+use plssvm_data::sparse::CsrMatrix;
+
+fn matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = DenseMatrix<f64>> {
+    (1..max_rows, 1..max_cols)
+        .prop_flat_map(|(r, c)| {
+            proptest::collection::vec(proptest::collection::vec(-100.0..100.0f64, c..=c), r..=r)
+        })
+        .prop_map(|rows| DenseMatrix::from_rows(rows).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Dense → SoA → dense is the identity for every padding granularity.
+    #[test]
+    fn soa_roundtrip(m in matrix(12, 10), pad in 1usize..70) {
+        let soa = SoAMatrix::from_dense(&m, pad);
+        prop_assert_eq!(soa.to_dense(), m);
+        prop_assert_eq!(soa.padded_points() % pad, 0);
+        prop_assert!(soa.padded_points() >= soa.points());
+        prop_assert!(soa.padded_points() < soa.points() + pad);
+    }
+
+    /// Dense → CSR → dense is the identity, and CSR dots match dense dots.
+    #[test]
+    fn csr_roundtrip_and_dots(m in matrix(10, 8)) {
+        let csr = CsrMatrix::from_dense(&m);
+        prop_assert_eq!(csr.to_dense(), m.clone());
+        for i in 0..m.rows() {
+            for j in 0..m.rows() {
+                let dense: f64 = (0..m.cols()).map(|f| m.get(i, f) * m.get(j, f)).sum();
+                let scale = dense.abs().max(1.0);
+                prop_assert!((csr.sparse_dot(i, j) - dense).abs() < 1e-9 * scale);
+            }
+        }
+    }
+
+    /// The weighted allocation always sums to the total, respects the
+    /// ordering of weights (up to the one-item remainder granularity),
+    /// and equals the even split for equal weights.
+    #[test]
+    fn weighted_allocation_properties(total in 0usize..500,
+                                      weights in proptest::collection::vec(0.01..100.0f64, 1..8)) {
+        let counts = weighted_allocation(total, &weights);
+        prop_assert_eq!(counts.len(), weights.len());
+        prop_assert_eq!(counts.iter().sum::<usize>(), total);
+        // a chunk with at least twice the weight never gets fewer items
+        // than a chunk it dominates, beyond remainder granularity
+        for a in 0..weights.len() {
+            for b in 0..weights.len() {
+                if weights[a] >= 2.0 * weights[b] {
+                    prop_assert!(counts[a] + 1 >= counts[b],
+                        "w={weights:?} c={counts:?}");
+                }
+            }
+        }
+        let even = weighted_allocation(total, &vec![1.0; weights.len()]);
+        let max = even.iter().max().unwrap();
+        let min = even.iter().min().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    /// Scaling into any non-empty interval bounds the fitted data and is
+    /// idempotent on already-scaled data when ranges are refit.
+    #[test]
+    fn scaling_bounds(m in matrix(8, 6), lo in -5.0..4.9f64, width in 0.1..5.0f64) {
+        let hi = lo + width;
+        let mut scaled = m.clone();
+        let params = ScalingParams::fit(&m, lo, hi).unwrap();
+        params.apply(&mut scaled).unwrap();
+        for p in 0..scaled.rows() {
+            for f in 0..scaled.cols() {
+                let v = scaled.get(p, f);
+                let (fmin, fmax) = params.ranges[f];
+                if fmin == fmax {
+                    // constant features map to 0 (svm-scale drops them
+                    // from its sparse output), even outside [lo, hi]
+                    prop_assert_eq!(v, 0.0);
+                } else {
+                    prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+                }
+            }
+        }
+        // refit + reapply is idempotent up to fp error
+        let params2 = ScalingParams::fit(&scaled, lo, hi).unwrap();
+        let mut twice = scaled.clone();
+        params2.apply(&mut twice).unwrap();
+        for p in 0..twice.rows() {
+            for f in 0..twice.cols() {
+                prop_assert!((twice.get(p, f) - scaled.get(p, f)).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// ARFF serialization round-trips arbitrary binary data sets (in
+    /// original label space).
+    #[test]
+    fn arff_roundtrip(m in matrix(8, 5),
+                      labels in proptest::collection::vec(prop_oneof![Just(1.0f64), Just(-1.0)], 8)) {
+        let y: Vec<f64> = (0..m.rows()).map(|i| labels[i % labels.len()]).collect();
+        let data = LabeledData::new(m, y).unwrap();
+        let text = write_arff_string(&data, "prop");
+        let back: LabeledData<f64> = read_arff_str(&text).unwrap();
+        prop_assert_eq!(&data.x, &back.x);
+        for i in 0..data.points() {
+            prop_assert_eq!(data.original_label(data.y[i]), back.original_label(back.y[i]));
+        }
+    }
+}

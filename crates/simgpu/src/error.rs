@@ -1,0 +1,66 @@
+//! Error type for device operations.
+
+use std::fmt;
+
+/// Errors produced by the simulated device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimGpuError {
+    /// A device allocation exceeded the remaining global memory.
+    OutOfMemory {
+        /// Bytes the allocation asked for.
+        requested: usize,
+        /// Bytes still free on the device.
+        available: usize,
+        /// Total device memory in bytes.
+        capacity: usize,
+    },
+    /// A structurally invalid kernel launch (empty grid, zero block size…).
+    InvalidLaunch(String),
+    /// A host↔device transfer with mismatched buffer sizes.
+    TransferSizeMismatch {
+        /// Elements in the source.
+        src: usize,
+        /// Elements in the destination.
+        dst: usize,
+    },
+}
+
+impl fmt::Display for SimGpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimGpuError::OutOfMemory {
+                requested,
+                available,
+                capacity,
+            } => write!(
+                f,
+                "device out of memory: requested {requested} B, {available} B of {capacity} B free"
+            ),
+            SimGpuError::InvalidLaunch(msg) => write!(f, "invalid kernel launch: {msg}"),
+            SimGpuError::TransferSizeMismatch { src, dst } => {
+                write!(f, "transfer size mismatch: {src} source vs {dst} destination elements")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimGpuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_numbers() {
+        let e = SimGpuError::OutOfMemory {
+            requested: 100,
+            available: 10,
+            capacity: 50,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100") && s.contains("10") && s.contains("50"));
+        assert!(SimGpuError::InvalidLaunch("x".into()).to_string().contains('x'));
+        let s = SimGpuError::TransferSizeMismatch { src: 1, dst: 2 }.to_string();
+        assert!(s.contains('1') && s.contains('2'));
+    }
+}

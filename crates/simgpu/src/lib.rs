@@ -1,0 +1,39 @@
+//! A simulated GPGPU device substrate.
+//!
+//! The PLSSVM paper runs its solver on real GPUs through four backends
+//! (OpenMP, CUDA, OpenCL, SYCL). This environment has no GPU, so this crate
+//! provides the substitution described in `DESIGN.md`: a **software device**
+//! that
+//!
+//! 1. executes kernels written against the CUDA execution model — a grid of
+//!    thread blocks with per-block shared memory — on host threads
+//!    ([`exec`]),
+//! 2. accounts device **global memory** exactly (allocation, peak usage,
+//!    out-of-memory failures — needed for the paper's Fig. 4b memory
+//!    numbers) ([`device`]),
+//! 3. counts the work kernels perform — FLOPs, global-memory traffic,
+//!    kernel launches, host↔device transfers ([`perf`]), and
+//! 4. converts counted work into **simulated wall-clock time** with a
+//!    roofline model over a catalog of real hardware specifications
+//!    ([`hw`]), so the paper's cross-hardware tables keep their shape.
+//!
+//! Functional results are computed exactly (the kernels really run); only
+//! the *time* is modeled.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod device;
+pub mod error;
+pub mod exec;
+pub mod hw;
+pub mod multi;
+pub mod perf;
+
+pub use cluster::{ClusterContext, Interconnect, NodeConfig};
+pub use device::{AtomicBuffer, DeviceBuffer, SimDevice};
+pub use error::SimGpuError;
+pub use exec::{BlockId, Grid, KernelCtx, LaunchConfig};
+pub use hw::{backend_profile, Backend, BackendProfile, GpuSpec, Precision};
+pub use multi::MultiDeviceContext;
+pub use perf::{KernelStats, PerfReport};

@@ -1,0 +1,149 @@
+//! Multi-device contexts (§III-C-5).
+//!
+//! The paper distributes the linear-kernel computation across up to four
+//! GPUs by splitting every data point *feature-wise*; the partial result
+//! vectors of the devices are then summed on the host. A
+//! [`MultiDeviceContext`] owns the simulated devices of one such system
+//! (homogeneous, like the quad-A100 node of §IV-A) and aggregates their
+//! counters.
+//!
+//! Because the real devices run concurrently, the simulated wall-clock of a
+//! multi-device phase is the **maximum** over the devices' accumulated
+//! times, not the sum — [`MultiDeviceContext::sim_parallel_time_s`].
+
+use crate::device::SimDevice;
+use crate::hw::{Backend, GpuSpec};
+use crate::perf::PerfReport;
+
+/// A homogeneous group of simulated devices.
+pub struct MultiDeviceContext {
+    devices: Vec<SimDevice>,
+}
+
+impl MultiDeviceContext {
+    /// Creates `n` devices of the given hardware type and backend.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or the backend cannot drive the hardware.
+    pub fn new(spec: GpuSpec, backend: Backend, n: usize) -> Self {
+        assert!(n >= 1, "need at least one device");
+        Self {
+            devices: (0..n)
+                .map(|id| SimDevice::with_id(spec.clone(), backend, id))
+                .collect(),
+        }
+    }
+
+    /// Number of devices in the context.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True if the context holds no devices (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The devices.
+    pub fn devices(&self) -> &[SimDevice] {
+        &self.devices
+    }
+
+    /// Device `i`.
+    pub fn device(&self, i: usize) -> &SimDevice {
+        &self.devices[i]
+    }
+
+    /// Per-device performance snapshots.
+    pub fn reports(&self) -> Vec<PerfReport> {
+        self.devices.iter().map(|d| d.perf_report()).collect()
+    }
+
+    /// Simulated wall-clock of the context assuming all devices ran their
+    /// recorded work concurrently (kernels + transfers): the slowest device
+    /// determines the elapsed time.
+    pub fn sim_parallel_time_s(&self) -> f64 {
+        self.devices
+            .iter()
+            .map(|d| d.perf_report().sim_total_time_s())
+            .fold(0.0, f64::max)
+    }
+
+    /// Largest per-device peak memory, in bytes (the paper reports
+    /// "memory used per GPU" in Fig. 4b's discussion).
+    pub fn peak_memory_per_device_bytes(&self) -> usize {
+        self.devices
+            .iter()
+            .map(|d| d.peak_allocated_bytes())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Resets the performance counters of every device.
+    pub fn reset_perf(&self) {
+        for d in &self.devices {
+            d.reset_perf();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{Grid, LaunchConfig};
+    use crate::hw::{Precision, A100};
+
+    #[test]
+    fn creates_n_devices_with_ids() {
+        let ctx = MultiDeviceContext::new(A100, Backend::Cuda, 4);
+        assert_eq!(ctx.len(), 4);
+        assert!(!ctx.is_empty());
+        for (i, d) in ctx.devices().iter().enumerate() {
+            assert_eq!(d.id(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn zero_devices_panics() {
+        let _ = MultiDeviceContext::new(A100, Backend::Cuda, 0);
+    }
+
+    #[test]
+    fn devices_have_independent_memory() {
+        let ctx = MultiDeviceContext::new(A100, Backend::Cuda, 2);
+        let _buf = ctx.device(0).alloc::<f64>(100).unwrap();
+        assert_eq!(ctx.device(0).allocated_bytes(), 800);
+        assert_eq!(ctx.device(1).allocated_bytes(), 0);
+        assert_eq!(ctx.peak_memory_per_device_bytes(), 800);
+    }
+
+    #[test]
+    fn parallel_time_is_max_not_sum() {
+        let ctx = MultiDeviceContext::new(A100, Backend::Cuda, 2);
+        let cfg = LaunchConfig::new("work", Grid::one_d(1), Precision::F64);
+        // device 0 does twice the work of device 1
+        ctx.device(0)
+            .launch(&cfg, |_, c| c.add_flops(2_000_000_000_000))
+            .unwrap();
+        ctx.device(1)
+            .launch(&cfg, |_, c| c.add_flops(1_000_000_000_000))
+            .unwrap();
+        let t0 = ctx.device(0).perf_report().sim_total_time_s();
+        let t1 = ctx.device(1).perf_report().sim_total_time_s();
+        assert!(t0 > t1);
+        assert_eq!(ctx.sim_parallel_time_s(), t0);
+    }
+
+    #[test]
+    fn reset_clears_all_devices() {
+        let ctx = MultiDeviceContext::new(A100, Backend::Cuda, 2);
+        let cfg = LaunchConfig::new("w", Grid::one_d(1), Precision::F64);
+        for d in ctx.devices() {
+            d.launch(&cfg, |_, c| c.add_flops(10)).unwrap();
+        }
+        ctx.reset_perf();
+        assert!(ctx.reports().iter().all(|r| r.kernel_launches == 0));
+        assert_eq!(ctx.sim_parallel_time_s(), 0.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests of the simulated device substrate.
+
+use proptest::prelude::*;
+use rayon::prelude::*;
+
+use plssvm_simgpu::{hw, Backend, Grid, Interconnect, LaunchConfig, Precision, SimDevice};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Memory accounting balances over arbitrary alloc/free sequences and
+    /// the peak is the true high-water mark.
+    #[test]
+    fn memory_accounting_balances(ops in proptest::collection::vec(0usize..4096, 1..24)) {
+        let dev = SimDevice::new(hw::A100, Backend::Cuda);
+        let mut live = Vec::new();
+        let mut expected = 0usize;
+        let mut peak = 0usize;
+        for (i, &len) in ops.iter().enumerate() {
+            if i % 3 == 2 && !live.is_empty() {
+                // free the oldest buffer
+                let (buf, bytes): (plssvm_simgpu::DeviceBuffer<f64>, usize) = live.remove(0);
+                drop(buf);
+                expected -= bytes;
+            } else {
+                let buf = dev.alloc::<f64>(len).unwrap();
+                expected += len * 8;
+                peak = peak.max(expected);
+                live.push((buf, len * 8));
+            }
+            prop_assert_eq!(dev.allocated_bytes(), expected);
+        }
+        prop_assert!(dev.peak_allocated_bytes() >= peak);
+        drop(live);
+        prop_assert_eq!(dev.allocated_bytes(), 0);
+    }
+
+    /// Concurrent atomicAdd accumulation is exact for integral values
+    /// regardless of scheduling.
+    #[test]
+    fn atomic_adds_are_exact(n in 1usize..2000, slots in 1usize..8) {
+        let dev = SimDevice::new(hw::A100, Backend::Cuda);
+        let buf = dev.alloc_atomic::<f64>(slots).unwrap();
+        (0..n).into_par_iter().for_each(|i| buf.add(i % slots, 1.0));
+        let total: f64 = buf.read_to_host().iter().sum();
+        prop_assert_eq!(total, n as f64);
+    }
+
+    /// Launch tallies are deterministic: the same kernel twice produces
+    /// identical per-launch counters and times.
+    #[test]
+    fn launch_tallies_deterministic(blocks in 1usize..32, flops in 1u64..10_000) {
+        let dev = SimDevice::new(hw::V100, Backend::OpenCl);
+        let cfg = LaunchConfig::new("k", Grid::one_d(blocks), Precision::F64);
+        let a = dev.launch(&cfg, |_, ctx| ctx.add_flops(flops)).unwrap();
+        let b = dev.launch(&cfg, |_, ctx| ctx.add_flops(flops)).unwrap();
+        prop_assert_eq!(a.flops, b.flops);
+        prop_assert_eq!(a.flops, flops * blocks as u64);
+        prop_assert!((a.sim_time_s - b.sim_time_s).abs() < 1e-15);
+        let report = dev.perf_report();
+        prop_assert_eq!(report.kernel_launches, 2);
+        prop_assert_eq!(report.total_flops, u128::from(flops) * 2 * blocks as u128);
+    }
+
+    /// The roofline is monotone: more work never simulates faster.
+    #[test]
+    fn roofline_is_monotone(f1 in 0u64..1_000_000, f2 in 0u64..1_000_000,
+                            b1 in 0u64..1_000_000, b2 in 0u64..1_000_000) {
+        let profile = plssvm_simgpu::backend_profile(Backend::Cuda, &hw::A100);
+        let t = |f, b| plssvm_simgpu::perf::kernel_time_s(&hw::A100, &profile, Precision::F64, f, b);
+        let (flo, fhi) = (f1.min(f2), f1.max(f2));
+        let (blo, bhi) = (b1.min(b2), b1.max(b2));
+        prop_assert!(t(flo, blo) <= t(fhi, bhi) + 1e-18);
+    }
+
+    /// Allreduce cost is monotone in bytes and in node count, and zero for
+    /// one node.
+    #[test]
+    fn allreduce_monotone(bytes in 1u64..(1 << 30), nodes in 2usize..64) {
+        let net = Interconnect::HDR_INFINIBAND;
+        prop_assert_eq!(net.allreduce_time_s(bytes, 1), 0.0);
+        let t = net.allreduce_time_s(bytes, nodes);
+        prop_assert!(t > 0.0);
+        prop_assert!(net.allreduce_time_s(bytes * 2, nodes) > t);
+        prop_assert!(net.allreduce_time_s(bytes, nodes + 1) > t);
+    }
+}
+
+#[test]
+fn oom_failures_never_corrupt_accounting() {
+    let mut spec = hw::A100;
+    spec.memory_gib = 1.0 / (1 << 20) as f64; // 1 KiB budget
+    let dev = SimDevice::new(spec, Backend::Cuda);
+    let ok = dev.alloc::<f64>(64).unwrap(); // 512 B
+    assert!(dev.alloc::<f64>(128).is_err()); // 1024 B > remaining
+    assert_eq!(dev.allocated_bytes(), 512);
+    drop(ok);
+    assert_eq!(dev.allocated_bytes(), 0);
+    // now the bigger allocation fits
+    assert!(dev.alloc::<f64>(128).is_ok());
+}

@@ -1,0 +1,153 @@
+//! LRU kernel-row cache (LIBSVM's `Cache`).
+//!
+//! SMO revisits the same working points many times; recomputing a kernel
+//! row costs `O(m·d)`, so LIBSVM keeps recently used rows in a fixed-size
+//! cache with least-recently-used eviction. This is the equivalent,
+//! sized in bytes like LIBSVM's `-m` parameter (default 100 MB).
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use plssvm_data::Real;
+
+/// Cache statistics for instrumentation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Rows served from the cache.
+    pub hits: u64,
+    /// Rows that had to be computed.
+    pub misses: u64,
+    /// Rows evicted to stay within budget.
+    pub evictions: u64,
+}
+
+struct Inner<T> {
+    rows: HashMap<usize, (Arc<[T]>, u64)>,
+    lru: BTreeMap<u64, usize>,
+    stamp: u64,
+    stats: CacheStats,
+}
+
+/// A byte-budgeted LRU cache of kernel rows.
+pub struct KernelCache<T> {
+    inner: Mutex<Inner<T>>,
+    max_rows: usize,
+    row_len: usize,
+}
+
+impl<T: Real> KernelCache<T> {
+    /// Creates a cache for rows of `row_len` entries within `budget_bytes`
+    /// (at least one row is always cached).
+    pub fn new(row_len: usize, budget_bytes: usize) -> Self {
+        let bytes_per_row = row_len * T::BYTES;
+        let max_rows = (budget_bytes / bytes_per_row.max(1)).max(1);
+        Self {
+            inner: Mutex::new(Inner {
+                rows: HashMap::new(),
+                lru: BTreeMap::new(),
+                stamp: 0,
+                stats: CacheStats::default(),
+            }),
+            max_rows,
+            row_len,
+        }
+    }
+
+    /// Maximum number of rows the budget admits.
+    pub fn capacity_rows(&self) -> usize {
+        self.max_rows
+    }
+
+    /// Fetches row `i`, computing it with `compute` on a miss.
+    pub fn get(&self, i: usize, compute: impl FnOnce(&mut [T])) -> Arc<[T]> {
+        let mut inner = self.inner.lock();
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        if let Some((row, old_stamp)) = inner.rows.get(&i).map(|(r, s)| (Arc::clone(r), *s)) {
+            inner.lru.remove(&old_stamp);
+            inner.lru.insert(stamp, i);
+            inner.rows.insert(i, (Arc::clone(&row), stamp));
+            inner.stats.hits += 1;
+            return row;
+        }
+        inner.stats.misses += 1;
+        // compute outside the map borrow but inside the lock: SMO is
+        // single-threaded per solver, so this is not a contention point
+        let mut buf = vec![T::ZERO; self.row_len];
+        compute(&mut buf);
+        let row: Arc<[T]> = buf.into();
+        while inner.rows.len() >= self.max_rows {
+            let (&oldest, &victim) = inner.lru.iter().next().expect("lru tracks every row");
+            inner.lru.remove(&oldest);
+            inner.rows.remove(&victim);
+            inner.stats.evictions += 1;
+        }
+        inner.lru.insert(stamp, i);
+        inner.rows.insert(i, (Arc::clone(&row), stamp));
+        row
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(v: f64) -> impl FnOnce(&mut [f64]) {
+        move |out| out.fill(v)
+    }
+
+    #[test]
+    fn computes_on_miss_serves_on_hit() {
+        let cache = KernelCache::<f64>::new(4, 1024);
+        let row = cache.get(0, fill(1.0));
+        assert_eq!(&row[..], &[1.0; 4]);
+        // second access must not recompute
+        let row = cache.get(0, |_| panic!("recomputed a cached row"));
+        assert_eq!(&row[..], &[1.0; 4]);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (1, 1, 0));
+    }
+
+    #[test]
+    fn capacity_from_byte_budget() {
+        // 4 entries/row × 8 B = 32 B per row; 100 B budget → 3 rows
+        let cache = KernelCache::<f64>::new(4, 100);
+        assert_eq!(cache.capacity_rows(), 3);
+        // degenerate budgets still hold one row
+        let cache = KernelCache::<f64>::new(1000, 1);
+        assert_eq!(cache.capacity_rows(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let cache = KernelCache::<f64>::new(2, 2 * 2 * 8); // 2 rows
+        cache.get(0, fill(0.0));
+        cache.get(1, fill(1.0));
+        cache.get(0, fill(99.0)); // touch 0 → 1 becomes LRU
+        cache.get(2, fill(2.0)); // evicts 1
+        cache.get(0, |_| panic!("0 was evicted but should be resident"));
+        let mut recomputed = false;
+        cache.get(1, |out| {
+            recomputed = true;
+            out.fill(1.0);
+        });
+        assert!(recomputed, "1 must have been evicted");
+        assert!(cache.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn distinct_rows_are_distinct() {
+        let cache = KernelCache::<f64>::new(3, 10_000);
+        let a = cache.get(5, fill(5.0));
+        let b = cache.get(7, fill(7.0));
+        assert_eq!(&a[..], &[5.0; 3]);
+        assert_eq!(&b[..], &[7.0; 3]);
+    }
+}

@@ -1,0 +1,33 @@
+//! Sequential Minimal Optimization baselines.
+//!
+//! The paper compares PLSSVM against two SMO-based implementations:
+//! **LIBSVM 3.25** (sparse and dense variants, CPU) and **ThunderSVM**
+//! (CPU and GPU). Neither is linkable from Rust, so this crate implements
+//! both algorithm families from scratch:
+//!
+//! * [`solver`] — a faithful LIBSVM-style C-SVC solver: second-order
+//!   working-set selection (WSS2), the exact two-variable analytic update
+//!   with clipping, an LRU kernel-row [`cache`], and the KKT-violation
+//!   stopping rule. Single-threaded like LIBSVM.
+//! * [`rows`] — kernel-row evaluation over dense rows (LIBSVM's dense
+//!   fork) or CSR sparse rows (standard LIBSVM).
+//! * [`thunder`] — a ThunderSVM-style batched solver: per outer iteration
+//!   a working set of the `q` most violating points is selected, its
+//!   kernel rows are computed in parallel (on a GPU this is the flood of
+//!   small kernel launches the paper profiles), the subproblem is solved
+//!   locally, and the global gradient is updated in bulk.
+//!
+//! Both produce standard [`SvmModel`](plssvm_data::model::SvmModel)s and
+//! share the prediction path of `plssvm-core`, so accuracies are directly
+//! comparable with the LS-SVM.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod rows;
+pub mod solver;
+pub mod thunder;
+
+pub use rows::{DenseRows, KernelRows, SparseRows};
+pub use solver::{SmoConfig, SmoOutput, SmoSolver};
+pub use thunder::{ThunderConfig, ThunderOutput, ThunderSolver};

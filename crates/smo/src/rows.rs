@@ -1,0 +1,255 @@
+//! Kernel-row evaluation for the SMO solvers.
+//!
+//! SMO needs whole kernel rows `K(xᵢ, ·)`. LIBSVM computes them from sparse
+//! (CSR) rows, its dense fork from contiguous dense rows — the paper
+//! benchmarks both variants (Fig. 1a/1b), so both paths exist here behind
+//! the [`KernelRows`] trait. Self-dot products are precomputed so the RBF
+//! kernel can use `‖a−b‖² = ⟨a,a⟩ + ⟨b,b⟩ − 2⟨a,b⟩`, like LIBSVM does.
+
+use plssvm_core::kernel::dot;
+use plssvm_data::dense::DenseMatrix;
+use plssvm_data::sparse::CsrMatrix;
+use plssvm_data::model::KernelSpec;
+use plssvm_data::Real;
+
+/// Abstract kernel-row provider.
+pub trait KernelRows<T: Real>: Sync {
+    /// Number of training points.
+    fn points(&self) -> usize;
+    /// Writes `K(xᵢ, xⱼ)` for all `j` into `out` (length [`KernelRows::points`]).
+    fn compute_row(&self, i: usize, out: &mut [T]);
+    /// `K(xᵢ, xᵢ)`.
+    fn diag(&self, i: usize) -> T;
+}
+
+fn finish<T: Real>(kernel: &KernelSpec<T>, ip: T, aa: T, bb: T) -> T {
+    match *kernel {
+        KernelSpec::Linear => ip,
+        KernelSpec::Polynomial {
+            degree,
+            gamma,
+            coef0,
+        } => gamma.mul_add(ip, coef0).powi(degree),
+        KernelSpec::Rbf { gamma } => {
+            let dist_sq = (aa + bb - T::TWO * ip).max(T::ZERO);
+            (-gamma * dist_sq).exp()
+        }
+        KernelSpec::Sigmoid { gamma, coef0 } => gamma.mul_add(ip, coef0).tanh(),
+    }
+}
+
+/// Dense-row kernel evaluation (LIBSVM's dense fork).
+pub struct DenseRows<T> {
+    x: DenseMatrix<T>,
+    kernel: KernelSpec<T>,
+    self_dots: Vec<T>,
+}
+
+impl<T: Real> DenseRows<T> {
+    /// Builds the provider, precomputing all self-dot products.
+    pub fn new(x: DenseMatrix<T>, kernel: KernelSpec<T>) -> Self {
+        let self_dots = (0..x.rows()).map(|i| dot(x.row(i), x.row(i))).collect();
+        Self {
+            x,
+            kernel,
+            self_dots,
+        }
+    }
+
+    /// The training data.
+    pub fn data(&self) -> &DenseMatrix<T> {
+        &self.x
+    }
+}
+
+impl<T: Real> KernelRows<T> for DenseRows<T> {
+    fn points(&self) -> usize {
+        self.x.rows()
+    }
+
+    fn compute_row(&self, i: usize, out: &mut [T]) {
+        let a = self.x.row(i);
+        let aa = self.self_dots[i];
+        for (j, slot) in out.iter_mut().enumerate() {
+            let ip = dot(a, self.x.row(j));
+            *slot = finish(&self.kernel, ip, aa, self.self_dots[j]);
+        }
+    }
+
+    fn diag(&self, i: usize) -> T {
+        finish(
+            &self.kernel,
+            self.self_dots[i],
+            self.self_dots[i],
+            self.self_dots[i],
+        )
+    }
+}
+
+/// Sparse-row kernel evaluation (standard LIBSVM).
+pub struct SparseRows<T> {
+    csr: CsrMatrix<T>,
+    kernel: KernelSpec<T>,
+    self_dots: Vec<T>,
+}
+
+impl<T: Real> SparseRows<T> {
+    /// Builds the provider from dense input (compressed internally).
+    pub fn new(x: &DenseMatrix<T>, kernel: KernelSpec<T>) -> Self {
+        let csr = CsrMatrix::from_dense(x);
+        let self_dots = (0..csr.rows()).map(|i| csr.sparse_dot(i, i)).collect();
+        Self {
+            csr,
+            kernel,
+            self_dots,
+        }
+    }
+
+    /// The underlying CSR matrix.
+    pub fn csr(&self) -> &CsrMatrix<T> {
+        &self.csr
+    }
+}
+
+impl<T: Real> KernelRows<T> for SparseRows<T> {
+    fn points(&self) -> usize {
+        self.csr.rows()
+    }
+
+    fn compute_row(&self, i: usize, out: &mut [T]) {
+        let aa = self.self_dots[i];
+        for (j, slot) in out.iter_mut().enumerate() {
+            let ip = self.csr.sparse_dot(i, j);
+            *slot = finish(&self.kernel, ip, aa, self.self_dots[j]);
+        }
+    }
+
+    fn diag(&self, i: usize) -> T {
+        finish(
+            &self.kernel,
+            self.self_dots[i],
+            self.self_dots[i],
+            self.self_dots[i],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plssvm_core::kernel::kernel_row;
+    use plssvm_data::synthetic::{generate_planes, PlanesConfig};
+
+    fn sample() -> DenseMatrix<f64> {
+        generate_planes(&PlanesConfig::new(15, 6, 3)).unwrap().x
+    }
+
+    fn sparse_sample() -> DenseMatrix<f64> {
+        // every second entry zeroed → genuinely sparse rows
+        let mut x = sample();
+        for p in 0..x.rows() {
+            for f in 0..x.cols() {
+                if (p + f) % 2 == 0 {
+                    x.set(p, f, 0.0);
+                }
+            }
+        }
+        x
+    }
+
+    fn kernels() -> Vec<KernelSpec<f64>> {
+        vec![
+            KernelSpec::Linear,
+            KernelSpec::Polynomial {
+                degree: 3,
+                gamma: 0.5,
+                coef0: 1.0,
+            },
+            KernelSpec::Rbf { gamma: 0.4 },
+            KernelSpec::Sigmoid {
+                gamma: 0.3,
+                coef0: 0.25,
+            },
+        ]
+    }
+
+    #[test]
+    fn dense_rows_match_direct_evaluation() {
+        let x = sample();
+        for kernel in kernels() {
+            let rows = DenseRows::new(x.clone(), kernel);
+            let mut out = vec![0.0; x.rows()];
+            for i in 0..x.rows() {
+                rows.compute_row(i, &mut out);
+                for j in 0..x.rows() {
+                    let direct = kernel_row(&kernel, x.row(i), x.row(j));
+                    assert!(
+                        (out[j] - direct).abs() < 1e-10,
+                        "{kernel:?} K[{i},{j}]: {} vs {direct}",
+                        out[j]
+                    );
+                }
+                assert!((rows.diag(i) - kernel_row(&kernel, x.row(i), x.row(i))).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_rows_match_dense_rows() {
+        let x = sparse_sample();
+        for kernel in kernels() {
+            let dense = DenseRows::new(x.clone(), kernel);
+            let sparse = SparseRows::new(&x, kernel);
+            assert_eq!(dense.points(), sparse.points());
+            let mut a = vec![0.0; x.rows()];
+            let mut b = vec![0.0; x.rows()];
+            for i in 0..x.rows() {
+                dense.compute_row(i, &mut a);
+                sparse.compute_row(i, &mut b);
+                for j in 0..x.rows() {
+                    assert!((a[j] - b[j]).abs() < 1e-10, "{kernel:?} K[{i},{j}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn csr_compression() {
+        let x = sparse_sample();
+        let csr = CsrMatrix::from_dense(&x);
+        assert_eq!(csr.rows(), x.rows());
+        let dense_nnz = x
+            .as_slice()
+            .iter()
+            .filter(|v| **v != 0.0)
+            .count();
+        assert_eq!(csr.nnz(), dense_nnz);
+        assert!(csr.nnz() < x.rows() * x.cols());
+    }
+
+    #[test]
+    fn sparse_dot_merges_indices() {
+        let x = DenseMatrix::from_rows(vec![
+            vec![1.0, 0.0, 2.0, 0.0],
+            vec![0.0, 3.0, 4.0, 0.0],
+        ])
+        .unwrap();
+        let csr = CsrMatrix::from_dense(&x);
+        assert_eq!(csr.sparse_dot(0, 1), 8.0); // only feature 2 overlaps
+        assert_eq!(csr.sparse_dot(0, 0), 5.0);
+        assert_eq!(csr.sparse_dot(1, 1), 25.0);
+    }
+
+    #[test]
+    fn rbf_distance_identity_is_robust() {
+        // identical points must give exactly k = 1 even with the dot-product
+        // distance identity (max(0, ·) guards rounding)
+        let x = sample();
+        let rows = DenseRows::new(x.clone(), KernelSpec::Rbf { gamma: 10.0 });
+        let mut out = vec![0.0; x.rows()];
+        for i in 0..x.rows() {
+            rows.compute_row(i, &mut out);
+            assert!((out[i] - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,793 @@
+//! The LIBSVM-style SMO solver for C-SVC.
+//!
+//! Solves the dual problem (the paper's Eq. 7/9)
+//!
+//! ```text
+//! min ½·αᵀQα − eᵀα    s.t.  0 ≤ αᵢ ≤ C,  yᵀα = 0,    Qᵢⱼ = yᵢyⱼ·k(xᵢ,xⱼ)
+//! ```
+//!
+//! with Platt's Sequential Minimal Optimization as implemented by LIBSVM:
+//! second-order working-set selection (WSS2, Fan et al.), the exact
+//! two-variable analytic update with box clipping, an LRU kernel-row cache,
+//! and termination once the maximal KKT violation drops below ε. Like
+//! LIBSVM, the solver is **single-threaded** — this is precisely the
+//! "inherently sequential" structure the paper contrasts the LS-SVM
+//! against (§II-G).
+
+use plssvm_data::libsvm::LabeledData;
+use plssvm_data::model::{KernelSpec, SvmModel};
+use plssvm_data::{DataError, Real};
+
+use crate::cache::{CacheStats, KernelCache};
+use crate::rows::{DenseRows, KernelRows, SparseRows};
+
+/// Numerical floor for the quadratic coefficient (LIBSVM's `TAU`).
+const TAU: f64 = 1e-12;
+
+/// SMO solver configuration. Defaults mirror `svm-train`:
+/// `C = 1`, `ε = 1e-3`, 100 MB kernel cache.
+#[derive(Debug, Clone)]
+pub struct SmoConfig<T> {
+    /// Kernel function.
+    pub kernel: KernelSpec<T>,
+    /// Upper box bound `C`.
+    pub cost: T,
+    /// KKT violation tolerance (LIBSVM `-e`).
+    pub epsilon: T,
+    /// Kernel cache budget in bytes (LIBSVM `-m`, default 100 MB).
+    pub cache_bytes: usize,
+    /// Iteration cap; `None` = `max(10 000, 100·m)` like LIBSVM.
+    pub max_iterations: Option<usize>,
+    /// LIBSVM's shrinking heuristic (`-h`, default on): periodically
+    /// remove variables stuck at their bounds from the working set and
+    /// reconstruct the gradient before the final convergence check.
+    pub shrinking: bool,
+    /// Per-class multipliers on `C` (LIBSVM `-wi`): index 0 applies to the
+    /// `+1` class, index 1 to the `−1` class. Used to counter class
+    /// imbalance by making minority-class errors more expensive.
+    pub class_weights: [f64; 2],
+}
+
+impl<T: Real> Default for SmoConfig<T> {
+    fn default() -> Self {
+        Self {
+            kernel: KernelSpec::Linear,
+            cost: T::ONE,
+            epsilon: T::from_f64(1e-3),
+            cache_bytes: 100 << 20,
+            max_iterations: None,
+            shrinking: true,
+            class_weights: [1.0, 1.0],
+        }
+    }
+}
+
+/// The result of an SMO training run.
+#[derive(Debug)]
+pub struct SmoOutput<T> {
+    /// The trained model (only points with `αᵢ > 0` are support vectors).
+    pub model: SvmModel<T>,
+    /// SMO iterations (two-variable updates) performed.
+    pub iterations: usize,
+    /// Whether the KKT criterion was met within the iteration budget.
+    pub converged: bool,
+    /// Final dual objective `½αᵀQα − eᵀα`.
+    pub objective: f64,
+    /// Kernel cache statistics.
+    pub cache: CacheStats,
+}
+
+/// A prepared SMO solver: labels + kernel-row provider.
+pub struct SmoSolver<'a, T, R> {
+    rows: &'a R,
+    y: Vec<T>,
+    config: SmoConfig<T>,
+}
+
+/// Trains with dense kernel rows (the paper's "LIBSVM-DENSE" baseline).
+pub fn train_dense<T: Real>(
+    data: &LabeledData<T>,
+    config: &SmoConfig<T>,
+) -> Result<SmoOutput<T>, DataError> {
+    let rows = DenseRows::new(data.x.clone(), config.kernel);
+    SmoSolver::new(&rows, data.y.clone(), config.clone())?.train(data)
+}
+
+/// Trains with CSR sparse kernel rows (the paper's "LIBSVM" baseline).
+pub fn train_sparse<T: Real>(
+    data: &LabeledData<T>,
+    config: &SmoConfig<T>,
+) -> Result<SmoOutput<T>, DataError> {
+    let rows = SparseRows::new(&data.x, config.kernel);
+    SmoSolver::new(&rows, data.y.clone(), config.clone())?.train(data)
+}
+
+impl<'a, T: Real, R: KernelRows<T>> SmoSolver<'a, T, R> {
+    /// Creates a solver over `rows` with ±1 labels `y`.
+    pub fn new(rows: &'a R, y: Vec<T>, config: SmoConfig<T>) -> Result<Self, DataError> {
+        config.kernel.validate()?;
+        if y.len() != rows.points() {
+            return Err(DataError::Invalid(format!(
+                "{} labels for {} points",
+                y.len(),
+                rows.points()
+            )));
+        }
+        if !(config.cost.to_f64() > 0.0) {
+            return Err(DataError::Invalid("C must be positive".into()));
+        }
+        if !(config.epsilon.to_f64() > 0.0) {
+            return Err(DataError::Invalid("epsilon must be positive".into()));
+        }
+        if config.class_weights.iter().any(|w| !(*w > 0.0)) {
+            return Err(DataError::Invalid(
+                "class weights must be positive".into(),
+            ));
+        }
+        let pos = y.iter().filter(|v| v.to_f64() > 0.0).count();
+        if pos == 0 || pos == y.len() {
+            return Err(DataError::Invalid(
+                "SMO needs at least one point of each class".into(),
+            ));
+        }
+        Ok(Self { rows, y, config })
+    }
+
+    /// Runs SMO to convergence and assembles the model.
+    pub fn train(&self, data: &LabeledData<T>) -> Result<SmoOutput<T>, DataError> {
+        let m = self.rows.points();
+        let c = self.config.cost.to_f64();
+        let eps = self.config.epsilon.to_f64();
+        let max_iterations = self
+            .config
+            .max_iterations
+            .unwrap_or_else(|| (100 * m).max(10_000));
+
+        let y: Vec<f64> = self.y.iter().map(|v| v.to_f64()).collect();
+        // per-class box bound (LIBSVM -wi): C⁺ for y=+1, C⁻ for y=−1
+        let c_of: Vec<f64> = y
+            .iter()
+            .map(|&yi| {
+                c * if yi > 0.0 {
+                    self.config.class_weights[0]
+                } else {
+                    self.config.class_weights[1]
+                }
+            })
+            .collect();
+        let diag: Vec<f64> = (0..m).map(|i| self.rows.diag(i).to_f64()).collect();
+        let cache = KernelCache::<T>::new(m, self.config.cache_bytes);
+        let row = |i: usize| cache.get(i, |out| self.rows.compute_row(i, out));
+
+        let mut alpha = vec![0.0f64; m];
+        let mut grad = vec![-1.0f64; m]; // G = Qα − e, α = 0
+
+        // --- shrinking state (LIBSVM -h): `active` lists the positions
+        // still in the working set; gradients of inactive positions go
+        // stale and are reconstructed on demand ---
+        let mut active: Vec<usize> = (0..m).collect();
+        let mut is_active = vec![true; m];
+        let mut shrunk = false;
+        let mut unshrink = false;
+        let shrink_interval = m.min(1000);
+        let mut since_shrink = 0usize;
+
+        // reconstructs stale gradients of the inactive positions from the
+        // non-zero α rows: G_t = −1 + Σ_j y_t·y_j·α_j·K_jt
+        let reconstruct_gradient =
+            |grad: &mut [f64], is_active: &[bool], alpha: &[f64]| {
+                let stale: Vec<usize> = (0..m).filter(|&t| !is_active[t]).collect();
+                if stale.is_empty() {
+                    return;
+                }
+                for &t in &stale {
+                    grad[t] = -1.0;
+                }
+                for j in 0..m {
+                    if alpha[j] > 0.0 {
+                        let row_j = row(j);
+                        for &t in &stale {
+                            grad[t] += y[t] * y[j] * alpha[j] * row_j[t].to_f64();
+                        }
+                    }
+                }
+            };
+
+        let mut iterations = 0usize;
+        let mut converged = false;
+        'outer: while iterations < max_iterations {
+            // --- shrinking pass (LIBSVM do_shrinking) ---
+            since_shrink += 1;
+            if self.config.shrinking && since_shrink >= shrink_interval {
+                since_shrink = 0;
+                let mut gmax1 = f64::NEG_INFINITY; // max −y·G over I_up
+                let mut gmax2 = f64::NEG_INFINITY; // max  y·G over I_low
+                for &t in &active {
+                    if y[t] > 0.0 {
+                        if alpha[t] < c_of[t] {
+                            gmax1 = gmax1.max(-grad[t]);
+                        }
+                        if alpha[t] > 0.0 {
+                            gmax2 = gmax2.max(grad[t]);
+                        }
+                    } else {
+                        if alpha[t] > 0.0 {
+                            gmax1 = gmax1.max(grad[t]);
+                        }
+                        if alpha[t] < c_of[t] {
+                            gmax2 = gmax2.max(-grad[t]);
+                        }
+                    }
+                }
+                if !unshrink && gmax1 + gmax2 <= eps * 10.0 {
+                    // nearly converged: bring everything back once so the
+                    // final iterations run on the true problem
+                    unshrink = true;
+                    reconstruct_gradient(&mut grad, &is_active, &alpha);
+                    active = (0..m).collect();
+                    is_active.fill(true);
+                    shrunk = false;
+                }
+                let be_shrunk = |t: usize| -> bool {
+                    if alpha[t] >= c_of[t] {
+                        if y[t] > 0.0 {
+                            -grad[t] > gmax1
+                        } else {
+                            -grad[t] > gmax2
+                        }
+                    } else if alpha[t] <= 0.0 {
+                        if y[t] > 0.0 {
+                            grad[t] > gmax2
+                        } else {
+                            grad[t] > gmax1
+                        }
+                    } else {
+                        false
+                    }
+                };
+                let before = active.len();
+                active.retain(|&t| {
+                    let keep = !be_shrunk(t);
+                    if !keep {
+                        is_active[t] = false;
+                    }
+                    keep
+                });
+                if active.len() < before {
+                    shrunk = true;
+                }
+            }
+
+            // --- WSS2 working set selection (Fan, Chen, Lin 2005) ---
+            let mut gmax = f64::NEG_INFINITY;
+            let mut i = usize::MAX;
+            for &t in &active {
+                if y[t] > 0.0 {
+                    if alpha[t] < c_of[t] && -grad[t] >= gmax {
+                        gmax = -grad[t];
+                        i = t;
+                    }
+                } else if alpha[t] > 0.0 && grad[t] >= gmax {
+                    gmax = grad[t];
+                    i = t;
+                }
+            }
+            let (j, gmax2) = if i == usize::MAX {
+                (usize::MAX, f64::NEG_INFINITY)
+            } else {
+                let row_i = row(i);
+                let mut gmax2 = f64::NEG_INFINITY;
+                let mut obj_min = f64::INFINITY;
+                let mut j = usize::MAX;
+                for &t in &active {
+                    let in_low = if y[t] > 0.0 { alpha[t] > 0.0 } else { alpha[t] < c_of[t] };
+                    if !in_low {
+                        continue;
+                    }
+                    let neg_ygt = if y[t] > 0.0 { grad[t] } else { -grad[t] };
+                    if neg_ygt >= gmax2 {
+                        gmax2 = neg_ygt;
+                    }
+                    let grad_diff = gmax + neg_ygt;
+                    if grad_diff > 0.0 {
+                        let k_it = row_i[t].to_f64();
+                        let quad = (diag[i] + diag[t] - 2.0 * k_it).max(TAU);
+                        let obj = -(grad_diff * grad_diff) / quad;
+                        if obj <= obj_min {
+                            obj_min = obj;
+                            j = t;
+                        }
+                    }
+                }
+                (j, gmax2)
+            };
+            if i == usize::MAX || j == usize::MAX || gmax + gmax2 < eps {
+                if shrunk {
+                    // converged on the shrunk problem: reconstruct and
+                    // re-check on the full one (LIBSVM's retry path)
+                    reconstruct_gradient(&mut grad, &is_active, &alpha);
+                    active = (0..m).collect();
+                    is_active.fill(true);
+                    shrunk = false;
+                    since_shrink = 0;
+                    continue 'outer;
+                }
+                converged = true;
+                break;
+            }
+            let row_i = row(i);
+
+            // --- two-variable analytic update with clipping (LIBSVM) ---
+            let row_j = row(j);
+            let k_ij = row_i[j].to_f64();
+            let (old_ai, old_aj) = (alpha[i], alpha[j]);
+            let (ci, cj) = (c_of[i], c_of[j]);
+            if y[i] != y[j] {
+                // LIBSVM's QD[i]+QD[j]+2·Q_ij with Q_ij = yᵢyⱼK_ij = −K_ij here
+                let quad = (diag[i] + diag[j] - 2.0 * k_ij).max(TAU);
+                let delta = (-grad[i] - grad[j]) / quad;
+                let diff = alpha[i] - alpha[j];
+                alpha[i] += delta;
+                alpha[j] += delta;
+                if diff > 0.0 {
+                    if alpha[j] < 0.0 {
+                        alpha[j] = 0.0;
+                        alpha[i] = diff;
+                    }
+                } else if alpha[i] < 0.0 {
+                    alpha[i] = 0.0;
+                    alpha[j] = -diff;
+                }
+                if diff > ci - cj {
+                    if alpha[i] > ci {
+                        alpha[i] = ci;
+                        alpha[j] = ci - diff;
+                    }
+                } else if alpha[j] > cj {
+                    alpha[j] = cj;
+                    alpha[i] = cj + diff;
+                }
+            } else {
+                let quad = (diag[i] + diag[j] - 2.0 * k_ij).max(TAU);
+                let delta = (grad[i] - grad[j]) / quad;
+                let sum = alpha[i] + alpha[j];
+                alpha[i] -= delta;
+                alpha[j] += delta;
+                if sum > ci {
+                    if alpha[i] > ci {
+                        alpha[i] = ci;
+                        alpha[j] = sum - ci;
+                    }
+                } else if alpha[j] < 0.0 {
+                    alpha[j] = 0.0;
+                    alpha[i] = sum;
+                }
+                if sum > cj {
+                    if alpha[j] > cj {
+                        alpha[j] = cj;
+                        alpha[i] = sum - cj;
+                    }
+                } else if alpha[i] < 0.0 {
+                    alpha[i] = 0.0;
+                    alpha[j] = sum;
+                }
+            }
+
+            // --- gradient update over the active set ---
+            let dai = alpha[i] - old_ai;
+            let daj = alpha[j] - old_aj;
+            for &t in &active {
+                grad[t] += y[t]
+                    * (y[i] * row_i[t].to_f64() * dai + y[j] * row_j[t].to_f64() * daj);
+            }
+            iterations += 1;
+        }
+
+        // the iteration budget may expire while shrunk — fix the stale
+        // gradients so rho and the objective are computed on true values
+        if shrunk {
+            reconstruct_gradient(&mut grad, &is_active, &alpha);
+        }
+
+        // --- rho (LIBSVM calculate_rho) ---
+        let mut ub = f64::INFINITY;
+        let mut lb = f64::NEG_INFINITY;
+        let mut sum_free = 0.0;
+        let mut nr_free = 0usize;
+        for t in 0..m {
+            let yg = y[t] * grad[t];
+            if alpha[t] >= c_of[t] {
+                if y[t] < 0.0 {
+                    ub = ub.min(yg);
+                } else {
+                    lb = lb.max(yg);
+                }
+            } else if alpha[t] <= 0.0 {
+                if y[t] > 0.0 {
+                    ub = ub.min(yg);
+                } else {
+                    lb = lb.max(yg);
+                }
+            } else {
+                nr_free += 1;
+                sum_free += yg;
+            }
+        }
+        let rho = if nr_free > 0 {
+            sum_free / nr_free as f64
+        } else {
+            (ub + lb) / 2.0
+        };
+
+        // objective = ½·Σ αᵢ(Gᵢ + pᵢ) with p = −e
+        let objective: f64 = alpha
+            .iter()
+            .zip(&grad)
+            .map(|(a, g)| a * (g - 1.0))
+            .sum::<f64>()
+            / 2.0;
+
+        // --- assemble the model from the support vectors ---
+        let sv_indices: Vec<usize> = (0..m).filter(|&t| alpha[t] > 0.0).collect();
+        if sv_indices.is_empty() {
+            return Err(DataError::Invalid(
+                "SMO produced no support vectors (degenerate problem)".into(),
+            ));
+        }
+        let sv = data.x.select_rows(&sv_indices);
+        let coef: Vec<T> = sv_indices
+            .iter()
+            .map(|&t| T::from_f64(alpha[t] * y[t]))
+            .collect();
+        let pos_sv = sv_indices.iter().filter(|&&t| y[t] > 0.0).count();
+        let model = SvmModel {
+            kernel: self.config.kernel,
+            labels: data.label_map,
+            rho: T::from_f64(rho),
+            sv,
+            coef,
+            nr_sv: [pos_sv, sv_indices.len() - pos_sv],
+        };
+        Ok(SmoOutput {
+            model,
+            iterations,
+            converged,
+            objective,
+            cache: cache.stats(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plssvm_core::svm::accuracy;
+    use plssvm_data::dense::DenseMatrix;
+    use plssvm_data::synthetic::{generate_planes, PlanesConfig};
+
+    fn planes(points: usize, seed: u64) -> LabeledData<f64> {
+        generate_planes(
+            &PlanesConfig::new(points, 6, seed)
+                .with_cluster_sep(3.0)
+                .with_flip_fraction(0.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn separable_data_trained_to_high_accuracy() {
+        let data = planes(100, 1);
+        let out = train_dense(&data, &SmoConfig::default()).unwrap();
+        assert!(out.converged);
+        assert!(out.iterations > 0);
+        let acc = accuracy(&out.model, &data);
+        assert!(acc >= 0.97, "accuracy {acc}");
+        // separable data needs few support vectors — the SMO selling point
+        assert!(out.model.total_sv() < data.points() / 2);
+    }
+
+    #[test]
+    fn sparse_and_dense_agree() {
+        let data = planes(60, 2);
+        let a = train_dense(&data, &SmoConfig::default()).unwrap();
+        let b = train_sparse(&data, &SmoConfig::default()).unwrap();
+        assert_eq!(a.iterations, b.iterations);
+        assert!((a.model.rho - b.model.rho).abs() < 1e-10);
+        assert!((a.objective - b.objective).abs() < 1e-10);
+        assert_eq!(a.model.total_sv(), b.model.total_sv());
+    }
+
+    #[test]
+    fn rbf_solves_xor() {
+        let mut rows_v = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..8 {
+            for j in 0..8 {
+                let (a, b) = (i as f64 / 4.0 - 1.0, j as f64 / 4.0 - 1.0);
+                rows_v.push(vec![a, b]);
+                y.push(if (a > 0.0) == (b > 0.0) { 1.0 } else { -1.0 });
+            }
+        }
+        let data = LabeledData::new(DenseMatrix::from_rows(rows_v).unwrap(), y).unwrap();
+        let cfg = SmoConfig {
+            kernel: KernelSpec::Rbf { gamma: 2.0 },
+            cost: 10.0,
+            ..Default::default()
+        };
+        let out = train_dense(&data, &cfg).unwrap();
+        assert!(accuracy(&out.model, &data) >= 0.97);
+    }
+
+    #[test]
+    fn kkt_conditions_hold_at_solution() {
+        // After convergence the maximal violation must be below epsilon:
+        // recompute the gradient from scratch and check m(α) − M(α) < ε.
+        let data = planes(50, 3);
+        let cfg = SmoConfig::default();
+        let out = train_dense(&data, &cfg).unwrap();
+        assert!(out.converged);
+
+        // reconstruct alpha (coef = α y) on the SV subset; non-SVs have α=0
+        let rows = DenseRows::new(data.x.clone(), cfg.kernel);
+        let m = data.points();
+        let mut alpha = vec![0.0; m];
+        // map SVs back to training indices by matching rows
+        for (k, sv) in out.model.sv.rows_iter().enumerate() {
+            let idx = (0..m).find(|&t| data.x.row(t) == sv).unwrap();
+            alpha[idx] = out.model.coef[k] * data.y[idx]; // α = coef·y
+            assert!(alpha[idx] > 0.0 && alpha[idx] <= cfg.cost + 1e-12);
+        }
+        let mut grad = vec![-1.0; m];
+        let mut buf = vec![0.0; m];
+        for t in 0..m {
+            if alpha[t] != 0.0 {
+                rows.compute_row(t, &mut buf);
+                for s in 0..m {
+                    grad[s] += data.y[s] * data.y[t] * buf[s] * alpha[t];
+                }
+            }
+        }
+        let c = cfg.cost;
+        let mut up = f64::NEG_INFINITY;
+        let mut low = f64::INFINITY;
+        for t in 0..m {
+            let v = -data.y[t] * grad[t];
+            let in_up = if data.y[t] > 0.0 { alpha[t] < c } else { alpha[t] > 0.0 };
+            let in_low = if data.y[t] > 0.0 { alpha[t] > 0.0 } else { alpha[t] < c };
+            if in_up {
+                up = up.max(v);
+            }
+            if in_low {
+                low = low.min(v);
+            }
+        }
+        assert!(up - low < cfg.epsilon + 1e-9, "violation {}", up - low);
+    }
+
+    #[test]
+    fn dual_constraint_sum_alpha_y_zero() {
+        let data = planes(40, 4);
+        let out = train_dense(&data, &SmoConfig::default()).unwrap();
+        // Σ αᵢyᵢ = Σ coefᵢ = 0 (model coefficients are αᵢyᵢ)
+        let s: f64 = out.model.coef.iter().sum();
+        assert!(s.abs() < 1e-9, "Σαy = {s}");
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let data = planes(80, 5);
+        let cfg = SmoConfig {
+            max_iterations: Some(3),
+            ..Default::default()
+        };
+        let out = train_dense(&data, &cfg).unwrap();
+        assert_eq!(out.iterations, 3);
+        assert!(!out.converged);
+    }
+
+    #[test]
+    fn objective_is_negative_at_solution() {
+        // dual optimum of a non-trivial problem is < 0 (α ≠ 0)
+        let data = planes(40, 6);
+        let out = train_dense(&data, &SmoConfig::default()).unwrap();
+        assert!(out.objective < 0.0);
+    }
+
+    #[test]
+    fn smaller_cost_bounds_alphas() {
+        let data = generate_planes(
+            &PlanesConfig::new(60, 4, 7).with_cluster_sep(0.5), // hard overlap
+        )
+        .unwrap();
+        let cfg = SmoConfig {
+            cost: 0.1,
+            ..Default::default()
+        };
+        let out = train_dense(&data, &cfg).unwrap();
+        for (k, coef) in out.model.coef.iter().enumerate() {
+            let a = coef.abs();
+            assert!(a <= 0.1 + 1e-12, "α[{k}] = {a} exceeds C");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        let x = DenseMatrix::from_rows(vec![vec![1.0f64], vec![2.0]]).unwrap();
+        let single_class = LabeledData::new(x.clone(), vec![1.0, 1.0]).unwrap();
+        assert!(train_dense(&single_class, &SmoConfig::default()).is_err());
+
+        let data = LabeledData::new(x, vec![1.0, -1.0]).unwrap();
+        let bad_c = SmoConfig {
+            cost: -1.0,
+            ..Default::default()
+        };
+        assert!(train_dense(&data, &bad_c).is_err());
+        let bad_eps = SmoConfig {
+            epsilon: 0.0,
+            ..Default::default()
+        };
+        assert!(train_dense(&data, &bad_eps).is_err());
+    }
+
+    #[test]
+    fn shrinking_on_and_off_agree() {
+        // shrinking is a pure optimization: the solution must match
+        for seed in [1u64, 2, 3] {
+            let data: LabeledData<f64> = generate_planes(
+                &PlanesConfig::new(150, 6, seed).with_cluster_sep(1.0),
+            )
+            .unwrap();
+            // tight epsilon: both paths approach the unique dual optimum,
+            // so the solutions must agree to solver tolerance (shrinking
+            // changes the iteration *path*, not the limit)
+            let cfg = |shrinking| SmoConfig {
+                epsilon: 1e-6,
+                shrinking,
+                ..Default::default()
+            };
+            let on = train_dense(&data, &cfg(true)).unwrap();
+            let off = train_dense(&data, &cfg(false)).unwrap();
+            assert!(on.converged && off.converged);
+            assert!(
+                (on.model.rho - off.model.rho).abs() < 1e-4,
+                "seed {seed}: rho {} vs {}",
+                on.model.rho,
+                off.model.rho
+            );
+            assert!(
+                (on.objective - off.objective).abs() < 1e-6,
+                "seed {seed}: obj {} vs {}",
+                on.objective,
+                off.objective
+            );
+            let a = plssvm_core::svm::predict(&on.model, &data.x);
+            let b = plssvm_core::svm::predict(&off.model, &data.x);
+            let diff = a.iter().zip(&b).filter(|(x, y)| x != y).count();
+            assert!(diff <= 1, "seed {seed}: {diff} prediction differences");
+        }
+    }
+
+    #[test]
+    fn shrinking_actually_shrinks_on_bounded_problems() {
+        // hard overlap + small C: many α hit the C bound and should be
+        // removed from the working set; the solver must still converge to
+        // the same answer (checked above); here we check it converges and
+        // satisfies the dual constraints
+        let data: LabeledData<f64> = generate_planes(
+            &PlanesConfig::new(400, 4, 9)
+                .with_cluster_sep(0.5)
+                .with_flip_fraction(0.1),
+        )
+        .unwrap();
+        let cfg = SmoConfig {
+            cost: 0.5,
+            shrinking: true,
+            ..Default::default()
+        };
+        let out = train_dense(&data, &cfg).unwrap();
+        assert!(out.converged);
+        let bounded = out
+            .model
+            .coef
+            .iter()
+            .filter(|v| (v.abs() - 0.5).abs() < 1e-9)
+            .count();
+        assert!(bounded > 50, "expected many bounded SVs, got {bounded}");
+        let s: f64 = out.model.coef.iter().sum();
+        assert!(s.abs() < 1e-7);
+    }
+
+    #[test]
+    fn class_weights_shift_the_boundary_toward_the_minority() {
+        // imbalanced, overlapping data: 85% positive / 15% negative. With
+        // uniform C the minority class gets sacrificed; weighting its C up
+        // must recover minority recall.
+        use rand::prelude::*;
+        use rand::rngs::StdRng;
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..200 {
+            let minority = i % 7 == 0; // ~15%
+            let center = if minority { -0.6 } else { 0.6 };
+            rows.push(vec![
+                center + rng.random_range(-1.2..1.2),
+                rng.random_range(-1.0..1.0),
+            ]);
+            labels.push(if minority { -1.0 } else { 1.0 });
+        }
+        let data = LabeledData::new(DenseMatrix::from_rows(rows).unwrap(), labels).unwrap();
+
+        let recall_neg = |cfg: &SmoConfig<f64>| -> f64 {
+            let out = train_dense(&data, cfg).unwrap();
+            let preds = plssvm_core::svm::predict(&out.model, &data.x);
+            let neg: Vec<usize> = (0..data.points()).filter(|&i| data.y[i] < 0.0).collect();
+            let hit = neg.iter().filter(|&&i| preds[i] < 0.0).count();
+            hit as f64 / neg.len() as f64
+        };
+        let uniform = recall_neg(&SmoConfig {
+            cost: 0.2,
+            ..Default::default()
+        });
+        let weighted = recall_neg(&SmoConfig {
+            cost: 0.2,
+            class_weights: [1.0, 8.0], // make −1 errors 8x more expensive
+            ..Default::default()
+        });
+        assert!(
+            weighted > uniform + 0.1,
+            "minority recall {uniform:.2} -> {weighted:.2}"
+        );
+
+        // bounds respect the per-class C
+        let out = train_dense(
+            &data,
+            &SmoConfig {
+                cost: 0.2,
+                class_weights: [1.0, 8.0],
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for (k, sv) in out.model.sv.rows_iter().enumerate() {
+            let idx = (0..data.points()).find(|&t| data.x.row(t) == sv).unwrap();
+            let cap = 0.2 * if data.y[idx] > 0.0 { 1.0 } else { 8.0 };
+            assert!(out.model.coef[k].abs() <= cap + 1e-9);
+        }
+    }
+
+    #[test]
+    fn invalid_class_weights_rejected() {
+        let data: LabeledData<f64> = generate_planes(&PlanesConfig::new(20, 3, 1)).unwrap();
+        let cfg = SmoConfig {
+            class_weights: [1.0, 0.0],
+            ..Default::default()
+        };
+        assert!(train_dense(&data, &cfg).is_err());
+    }
+
+    #[test]
+    fn cache_reports_hits() {
+        let data = planes(60, 8);
+        let out = train_dense(&data, &SmoConfig::default()).unwrap();
+        assert!(out.cache.hits > 0, "SMO revisits rows: {:?}", out.cache);
+    }
+
+    #[test]
+    fn tiny_cache_still_converges() {
+        let data = planes(50, 9);
+        let big = train_dense(&data, &SmoConfig::default()).unwrap();
+        let small = train_dense(
+            &data,
+            &SmoConfig {
+                cache_bytes: 1, // one row only
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(small.converged);
+        assert_eq!(big.iterations, small.iterations);
+        assert!((big.model.rho - small.model.rho).abs() < 1e-10);
+        assert!(small.cache.evictions > 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests of the SMO baselines: the KKT conditions and dual
+//! feasibility must hold at every solution on random data.
+
+use proptest::prelude::*;
+
+use plssvm_data::dense::DenseMatrix;
+use plssvm_data::libsvm::LabeledData;
+use plssvm_data::model::KernelSpec;
+use plssvm_smo::{SmoConfig, ThunderConfig, ThunderSolver};
+
+fn labeled(max_points: usize, max_features: usize) -> impl Strategy<Value = LabeledData<f64>> {
+    (4..max_points, 1..max_features)
+        .prop_flat_map(|(m, d)| {
+            (
+                proptest::collection::vec(
+                    proptest::collection::vec(-3.0..3.0f64, d..=d),
+                    m..=m,
+                ),
+                proptest::collection::vec(prop_oneof![Just(1.0), Just(-1.0)], m..=m),
+            )
+        })
+        .prop_filter("both classes present", |(_, y)| {
+            y.iter().any(|&v| v > 0.0) && y.iter().any(|&v| v < 0.0)
+        })
+        .prop_map(|(rows, y)| LabeledData::new(DenseMatrix::from_rows(rows).unwrap(), y).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// SMO solutions are dual-feasible: 0 ≤ α ≤ C and Σ αᵢyᵢ = 0, for both
+    /// row providers and several kernels and costs.
+    #[test]
+    fn smo_solutions_are_dual_feasible(data in labeled(24, 6), c in 0.1..10.0f64, rbf in any::<bool>()) {
+        let cfg = SmoConfig {
+            kernel: if rbf {
+                KernelSpec::Rbf { gamma: 0.5 }
+            } else {
+                KernelSpec::Linear
+            },
+            cost: c,
+            ..Default::default()
+        };
+        for sparse in [false, true] {
+            let out = if sparse {
+                plssvm_smo::solver::train_sparse(&data, &cfg)
+            } else {
+                plssvm_smo::solver::train_dense(&data, &cfg)
+            };
+            let out = match out {
+                Ok(o) => o,
+                // degenerate random data can end with no support vectors
+                Err(_) => continue,
+            };
+            // coefficients are αᵢyᵢ: |coef| ≤ C, and they sum to 0
+            let mut sum = 0.0;
+            for &coef in &out.model.coef {
+                prop_assert!(coef.abs() <= c + 1e-9, "|{coef}| > C={c}");
+                sum += coef;
+            }
+            prop_assert!(sum.abs() < 1e-7, "Σαy = {sum}");
+            // dual objective at a feasible nonzero point is negative
+            prop_assert!(out.objective <= 1e-12, "objective {}", out.objective);
+        }
+    }
+
+    /// The batched (ThunderSVM-style) solver maintains the same dual
+    /// feasibility invariants.
+    #[test]
+    fn thunder_solutions_are_dual_feasible(data in labeled(24, 5), ws in 4usize..16) {
+        let solver = ThunderSolver::new(ThunderConfig {
+            working_set_size: ws,
+            ..Default::default()
+        })
+        .unwrap();
+        let out = match solver.train(&data) {
+            Ok(o) => o,
+            Err(_) => return Ok(()),
+        };
+        let mut sum = 0.0;
+        for &coef in &out.model.coef {
+            prop_assert!(coef.abs() <= 1.0 + 1e-9);
+            sum += coef;
+        }
+        prop_assert!(sum.abs() < 1e-7, "Σαy = {sum}");
+        prop_assert!(out.kernel_launches >= out.outer_iterations);
+    }
+
+    /// Plain SMO and batched SMO agree in prediction on the training set
+    /// once both converge (same convex problem).
+    #[test]
+    fn smo_and_thunder_agree(data in labeled(20, 4)) {
+        let smo = plssvm_smo::solver::train_dense(&data, &SmoConfig {
+            epsilon: 1e-5,
+            ..Default::default()
+        });
+        let thunder = ThunderSolver::new(ThunderConfig {
+            working_set_size: 8,
+            epsilon: 1e-5,
+            ..Default::default()
+        })
+        .unwrap()
+        .train(&data);
+        let (smo, thunder) = match (smo, thunder) {
+            (Ok(a), Ok(b)) if a.converged && b.converged => (a, b),
+            _ => return Ok(()),
+        };
+        let a = plssvm_core::svm::predict(&smo.model, &data.x);
+        let b = plssvm_core::svm::predict(&thunder.model, &data.x);
+        let diff = a.iter().zip(&b).filter(|(x, y)| x != y).count();
+        // points on the margin may flip; the bulk must agree
+        prop_assert!(diff * 10 <= data.points(), "{diff}/{} differ", data.points());
+    }
+}

@@ -1,0 +1,59 @@
+//! The CG termination criterion ε (paper §IV-F, Fig. 3): how tolerance
+//! affects iterations, runtime and accuracy — and why "the exact choice
+//! is not critical".
+//!
+//! ```sh
+//! cargo run --release --example epsilon_study
+//! ```
+
+use std::time::Instant;
+
+use plssvm::core::backend::BackendSelection;
+use plssvm::core::svm::{accuracy, LsSvm};
+use plssvm::data::model::KernelSpec;
+use plssvm::data::synthetic::{generate_planes, PlanesConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = generate_planes::<f64>(&PlanesConfig::new(1024, 128, 31))?;
+    println!(
+        "{} points x {} features, linear kernel\n",
+        data.points(),
+        data.features()
+    );
+    println!(
+        "{:>8}  {:>10}  {:>10}  {:>14}  {:>16}",
+        "epsilon", "iterations", "runtime", "train accuracy", "rel. residual"
+    );
+    let mut knee_time = None;
+    let mut last_time = 0.0;
+    for exp in 1..=12 {
+        let eps = 10f64.powi(-exp);
+        let t0 = Instant::now();
+        let out = LsSvm::new()
+            .with_kernel(KernelSpec::Linear)
+            .with_epsilon(eps)
+            .with_backend(BackendSelection::OpenMp { threads: None })
+            .train(&data)?;
+        let t = t0.elapsed().as_secs_f64();
+        last_time = t;
+        if exp == 7 {
+            knee_time = Some(t);
+        }
+        println!(
+            "{:>8}  {:>10}  {:>9.3}s  {:>13.2}%  {:>16.3e}",
+            format!("1e-{exp:02}"),
+            out.iterations,
+            t,
+            100.0 * accuracy(&out.model, &data),
+            out.relative_residual,
+        );
+    }
+    if let Some(k) = knee_time {
+        println!(
+            "\ntightening ε from 1e-07 to 1e-12 costs only {:.2}x runtime \
+             (paper: ~1.83x over eight decades) — pick a small ε and stop worrying.",
+            last_time / k
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Hyperparameter selection — LIBSVM's `grid.py` workflow on the LS-SVM:
+//! sweep `(C, γ)` with stratified cross-validation and train the final
+//! model at the winner.
+//!
+//! ```sh
+//! cargo run --release --example grid_search
+//! ```
+
+use plssvm::core::backend::BackendSelection;
+use plssvm::core::model_selection::{grid_search, GridSearchConfig};
+use plssvm::core::svm::{accuracy, LsSvm};
+use plssvm::data::model::KernelSpec;
+use plssvm::data::split::train_test_split;
+use plssvm::data::synthetic::{generate_planes, PlanesConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // a problem with overlap: the right (C, γ) genuinely matters
+    let data = generate_planes::<f64>(
+        &PlanesConfig::new(400, 8, 7)
+            .with_cluster_sep(1.2)
+            .with_flip_fraction(0.03),
+    )?;
+    let (train, test) = train_test_split(&data, 0.25, true, 3)?;
+    println!(
+        "grid search on {} train points ({} held out), RBF kernel\n",
+        train.points(),
+        test.points()
+    );
+
+    let template = LsSvm::new()
+        .with_kernel(KernelSpec::Rbf { gamma: 1.0 })
+        .with_epsilon(1e-6)
+        .with_backend(BackendSelection::OpenMp { threads: None });
+    let config = GridSearchConfig {
+        costs: vec![0.125, 1.0, 8.0, 64.0],
+        gammas: vec![0.001, 0.01, 0.1, 1.0],
+        folds: 4,
+        seed: 11,
+    };
+    let result = grid_search(&train, &template, &config)?;
+
+    println!("{:>8}  {:>8}  {:>12}", "C", "gamma", "CV accuracy");
+    for point in &result.evaluated {
+        let gamma = match point.kernel {
+            KernelSpec::Rbf { gamma } => gamma,
+            _ => unreachable!(),
+        };
+        let marker = if point == &result.best { "  <- best" } else { "" };
+        println!(
+            "{:>8}  {:>8}  {:>11.2}%{marker}",
+            point.cost,
+            gamma,
+            100.0 * point.cv_accuracy
+        );
+    }
+
+    // train the final model at the winner and evaluate held out
+    let final_model = template
+        .clone()
+        .with_kernel(result.best.kernel)
+        .with_cost(result.best.cost)
+        .train(&train)?;
+    println!(
+        "\nfinal model at (C={}, {:?}): test accuracy {:.2}%",
+        result.best.cost,
+        result.best.kernel,
+        100.0 * accuracy(&final_model.model, &test)
+    );
+    Ok(())
+}

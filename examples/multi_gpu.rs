@@ -1,0 +1,93 @@
+//! Multi-GPU training via the feature-wise split (paper §III-C-5).
+//!
+//! Trains the same linear-kernel problem on 1–4 simulated A100 devices,
+//! shows that the results are identical, and reports the simulated-time
+//! speedup and the per-device memory reduction that lets larger-than-one-
+//! GPU data sets be trained.
+//!
+//! ```sh
+//! cargo run --release --example multi_gpu
+//! ```
+
+use plssvm::core::backend::BackendSelection;
+use plssvm::core::svm::{accuracy, LsSvm};
+use plssvm::data::model::KernelSpec;
+use plssvm::data::synthetic::{generate_planes, PlanesConfig};
+use plssvm::simgpu::{hw, Backend as DeviceApi};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = generate_planes::<f64>(&PlanesConfig::new(512, 256, 99))?;
+    println!(
+        "training {} points x {} features, linear kernel, on simulated A100s\n",
+        data.points(),
+        data.features()
+    );
+
+    let mut baseline_time = None;
+    let mut baseline_rho = None;
+    println!(
+        "{:>5}  {:>12}  {:>9}  {:>12}  {:>10}",
+        "GPUs", "sim time", "speedup", "mem/GPU", "accuracy"
+    );
+    for devices in 1..=4usize {
+        let out = LsSvm::new()
+            .with_kernel(KernelSpec::Linear)
+            .with_epsilon(1e-8)
+            .with_backend(BackendSelection::sim_multi_gpu(
+                hw::A100,
+                DeviceApi::Cuda,
+                devices,
+            ))
+            .train(&data)?;
+        let report = out.device.expect("device backend");
+        let t = report.sim_parallel_time_s;
+        let speedup = baseline_time.get_or_insert(t).to_owned() / t;
+        // identical model regardless of the split (linearity of the
+        // feature-wise decomposition)
+        let rho = out.model.rho;
+        if let Some(base) = baseline_rho {
+            let diff: f64 = rho - base;
+            assert!(diff.abs() < 1e-8, "multi-device result diverged");
+        }
+        baseline_rho.get_or_insert(rho);
+        println!(
+            "{:>5}  {:>12}  {:>8.2}x  {:>9.1} KiB  {:>9.2}%",
+            devices,
+            format!("{:.3} ms", t * 1e3),
+            speedup,
+            report.peak_memory_per_device_bytes as f64 / 1024.0,
+            100.0 * accuracy(&out.model, &data),
+        );
+    }
+    println!(
+        "\nThe paper reports 3.71x on four A100s at 2^16 x 2^14 (where the matvec\n\
+         dominates the fixed per-iteration transfers far more than at this demo size),\n\
+         and a memory drop from 8.15 GiB to 2.14 GiB per GPU."
+    );
+
+    // the polynomial and radial kernels are single-device, as in the paper
+    let err = LsSvm::new()
+        .with_kernel(KernelSpec::Rbf { gamma: 0.1 })
+        .with_backend(BackendSelection::sim_multi_gpu(hw::A100, DeviceApi::Cuda, 2))
+        .train(&data)
+        .unwrap_err();
+    println!("\nRBF on two devices is rejected, as in the paper:\n  {err}");
+
+    // the row-split extension lifts that restriction (data replicated,
+    // output rows partitioned — every kernel parallelizes)
+    let out = LsSvm::new()
+        .with_kernel(KernelSpec::Rbf { gamma: 0.1 })
+        .with_epsilon(1e-8)
+        .with_backend(BackendSelection::sim_multi_gpu_rows(
+            hw::A100,
+            DeviceApi::Cuda,
+            2,
+        ))
+        .train(&data)?;
+    println!(
+        "…but the row-split extension runs it: {} on 2 devices, accuracy {:.2}%",
+        out.backend_name,
+        100.0 * accuracy(&out.model, &data)
+    );
+    Ok(())
+}

@@ -1,0 +1,110 @@
+//! Multi-node, heterogeneous multi-GPU training — the paper's §V
+//! long-term goal, runnable today on the simulated cluster substrate.
+//!
+//! Trains the same linear-kernel problem on
+//! * one A100,
+//! * one node with four A100s,
+//! * two nodes with mixed hardware (A100+P100 / 2×V100) over InfiniBand,
+//!   with and without throughput-weighted load balancing,
+//!
+//! and shows that all configurations produce the identical model while the
+//! simulated cost varies.
+//!
+//! ```sh
+//! cargo run --release --example multi_node
+//! ```
+
+use plssvm::core::backend::simgpu::TilingConfig;
+use plssvm::core::backend::BackendSelection;
+use plssvm::core::svm::LsSvm;
+use plssvm::data::model::KernelSpec;
+use plssvm::data::synthetic::{generate_planes, PlanesConfig};
+use plssvm::simgpu::{hw, Backend as DeviceApi, Interconnect, NodeConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = generate_planes::<f64>(&PlanesConfig::new(512, 256, 77))?;
+    let trainer = |backend| {
+        LsSvm::new()
+            .with_kernel(KernelSpec::Linear)
+            .with_epsilon(1e-8)
+            .with_backend(backend)
+    };
+
+    let mixed_nodes = vec![
+        NodeConfig {
+            devices: vec![(hw::A100, DeviceApi::Cuda), (hw::P100, DeviceApi::Cuda)],
+        },
+        NodeConfig::homogeneous(hw::V100, DeviceApi::Cuda, 2),
+    ];
+
+    let configs: Vec<(&str, BackendSelection)> = vec![
+        (
+            "1x A100",
+            BackendSelection::sim_gpu(hw::A100, DeviceApi::Cuda),
+        ),
+        (
+            "1 node, 4x A100",
+            BackendSelection::sim_multi_gpu(hw::A100, DeviceApi::Cuda, 4),
+        ),
+        (
+            "2 nodes, mixed, even split",
+            BackendSelection::SimCluster {
+                nodes: mixed_nodes.clone(),
+                interconnect: Interconnect::HDR_INFINIBAND,
+                tiling: TilingConfig::default(),
+                balance: false,
+            },
+        ),
+        (
+            "2 nodes, mixed, balanced",
+            BackendSelection::SimCluster {
+                nodes: mixed_nodes.clone(),
+                interconnect: Interconnect::HDR_INFINIBAND,
+                tiling: TilingConfig::default(),
+                balance: true,
+            },
+        ),
+        (
+            "2 nodes, mixed, balanced, 10GbE",
+            BackendSelection::SimCluster {
+                nodes: mixed_nodes,
+                interconnect: Interconnect::TEN_GBE,
+                tiling: TilingConfig::default(),
+                balance: true,
+            },
+        ),
+    ];
+
+    println!(
+        "{:<34} {:>12} {:>12} {:>12} {:>10}",
+        "configuration", "device time", "network", "total", "rho"
+    );
+    let mut reference: Option<f64> = None;
+    for (name, backend) in configs {
+        let out = trainer(backend).train(&data)?;
+        let report = out.device.expect("device backend");
+        let rho: f64 = out.model.rho;
+        if let Some(r) = reference {
+            assert!(
+                (rho - r).abs() < 1e-7,
+                "{name}: model diverged ({rho} vs {r})"
+            );
+        }
+        reference.get_or_insert(rho);
+        println!(
+            "{:<34} {:>10.3}ms {:>10.3}ms {:>10.3}ms {:>10.5}",
+            name,
+            report.sim_parallel_time_s * 1e3,
+            report.network_time_s * 1e3,
+            report.total_sim_time_s() * 1e3,
+            rho,
+        );
+    }
+    println!(
+        "\nEvery configuration computes the identical model (asserted above).\n\
+         Balancing shifts features from the P100 to the A100; the slow network\n\
+         only adds the per-iteration allreduce. At paper-plus scale (2^16 x 2^14,\n\
+         see `figures multinode`) 4 nodes x 4 A100s reach ~16x on InfiniBand."
+    );
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Quickstart: generate a synthetic classification problem, train an
+//! LS-SVM, inspect the result, and round-trip the model through a
+//! LIBSVM-compatible model file.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use plssvm::core::backend::BackendSelection;
+use plssvm::core::svm::{accuracy, predict_labels, LsSvm};
+use plssvm::data::model::{KernelSpec, SvmModel};
+use plssvm::data::split::train_test_split;
+use plssvm::data::synthetic::{generate_planes, PlanesConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A "planes" problem: two Gaussian clusters separated by a random
+    //    hyperplane, 1 % label noise (the paper's synthetic workload).
+    let data = generate_planes::<f64>(&PlanesConfig::new(1024, 64, 42))?;
+    let (train, test) = train_test_split(&data, 0.2, true, 7)?;
+    println!(
+        "data: {} train / {} test points, {} features",
+        train.points(),
+        test.points(),
+        train.features()
+    );
+
+    // 2. Train. Training an LS-SVM = solving one SPD linear system with
+    //    CG; every training point becomes a support vector.
+    let out = LsSvm::new()
+        .with_kernel(KernelSpec::Linear)
+        .with_cost(1.0)
+        .with_epsilon(1e-6)
+        .with_backend(BackendSelection::OpenMp { threads: None })
+        .train(&train)?;
+    println!(
+        "trained with {} CG iterations (converged: {}, relative residual {:.2e})",
+        out.iterations, out.converged, out.relative_residual
+    );
+    println!("timings: {}", out.times);
+
+    // 3. Evaluate.
+    println!(
+        "train accuracy: {:.2}%  |  test accuracy: {:.2}%",
+        100.0 * accuracy(&out.model, &train),
+        100.0 * accuracy(&out.model, &test),
+    );
+
+    // 4. Save / load the LIBSVM-compatible model file.
+    let path = std::env::temp_dir().join("plssvm_quickstart.model");
+    out.model.save(&path)?;
+    let reloaded = SvmModel::<f64>::load(&path)?;
+    let labels = predict_labels(&reloaded, &test.x);
+    println!(
+        "model file round trip: {} -> {} predictions, first five: {:?}",
+        path.display(),
+        labels.len(),
+        &labels[..5]
+    );
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

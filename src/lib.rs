@@ -1,0 +1,16 @@
+//! PLSSVM — Parallel Least Squares Support Vector Machine.
+//!
+//! Umbrella crate re-exporting the workspace members. See the individual
+//! crates for details:
+//!
+//! * [`plssvm_core`] — the LS-SVM trainer (kernels, CG, backends),
+//! * [`plssvm_data`] — matrices, LIBSVM file formats, generators,
+//! * [`plssvm_simgpu`] — the simulated GPGPU device substrate,
+//! * [`plssvm_smo`] — the LIBSVM/ThunderSVM-style SMO baselines.
+
+pub use plssvm_core as core;
+pub use plssvm_data as data;
+pub use plssvm_simgpu as simgpu;
+pub use plssvm_smo as smo;
+
+pub use plssvm_core::prelude;
