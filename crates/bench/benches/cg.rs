@@ -5,6 +5,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 
 use plssvm_core::backend::BackendSelection;
 use plssvm_core::svm::LsSvm;
+use plssvm_core::trace::Telemetry;
 use plssvm_data::synthetic::{generate_planes, PlanesConfig};
 use plssvm_simgpu::{hw, Backend as DeviceApi};
 
@@ -30,6 +31,28 @@ fn bench_cg_backends(c: &mut Criterion) {
     group.finish();
 }
 
+/// Telemetry must be pay-for-what-you-use: the disabled path adds one
+/// branch per matvec and should stay within noise (<5 %) of the baseline;
+/// the enabled path shows the full recording cost for comparison.
+fn bench_cg_telemetry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cg_telemetry");
+    group.sample_size(10);
+    let data = generate_planes::<f64>(&PlanesConfig::new(256, 32, 5)).unwrap();
+    group.bench_function("disabled", |bench| {
+        let trainer = LsSvm::new().with_epsilon(1e-6);
+        bench.iter(|| black_box(trainer.train(&data).unwrap().iterations))
+    });
+    group.bench_function("enabled", |bench| {
+        bench.iter(|| {
+            let trainer = LsSvm::new()
+                .with_epsilon(1e-6)
+                .with_metrics(Telemetry::shared());
+            black_box(trainer.train(&data).unwrap().iterations)
+        })
+    });
+    group.finish();
+}
+
 fn bench_cg_epsilon(c: &mut Criterion) {
     let mut group = c.benchmark_group("cg_epsilon");
     group.sample_size(10);
@@ -43,5 +66,10 @@ fn bench_cg_epsilon(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cg_backends, bench_cg_epsilon);
+criterion_group!(
+    benches,
+    bench_cg_backends,
+    bench_cg_telemetry_overhead,
+    bench_cg_epsilon
+);
 criterion_main!(benches);

@@ -87,8 +87,7 @@ pub fn run(scale: Scale) -> FigureReport {
         for (i, slot) in out.iter_mut().enumerate() {
             let mut acc = 0.0;
             for (j, &vj) in v.iter().enumerate() {
-                let e = kernel_soa(&kernel, &soa, i, j)
-                    + if i == j { 1.0 } else { 0.0 }
+                let e = kernel_soa(&kernel, &soa, i, j) + if i == j { 1.0 } else { 0.0 }
                     - kernel_soa(&kernel, &soa, last, j)
                     - kernel_soa(&kernel, &soa, i, last)
                     + kernel_soa(&kernel, &soa, last, last)
@@ -99,8 +98,16 @@ pub fn run(scale: Scale) -> FigureReport {
         }
     });
     let mut t2 = Table::new(&["variant", "matvec time", "kernel evals/entry"]);
-    t2.row(vec!["cached q (paper)".into(), fmt_secs(t_cached), "1".into()]);
-    t2.row(vec!["naive Eq. 16".into(), fmt_secs(t_naive), "3 (+k_mm)".into()]);
+    t2.row(vec![
+        "cached q (paper)".into(),
+        fmt_secs(t_cached),
+        "1".into(),
+    ]);
+    t2.row(vec![
+        "naive Eq. 16".into(),
+        fmt_secs(t_naive),
+        "3 (+k_mm)".into(),
+    ]);
     body.push_str(&format!(
         "### 2. q-vector caching (executed, {m} x {d})\n{}speedup {:.2}x (paper's §III-C-2 motivation: 3 scalar products -> 1).\n\n",
         t2.to_aligned(),
@@ -150,7 +157,10 @@ pub fn run(scale: Scale) -> FigureReport {
         }
     });
     let mut t4 = Table::new(&["layout", "matvec time"]);
-    t4.row(vec!["SoA (column-major, device layout)".into(), fmt_secs(t_soa)]);
+    t4.row(vec![
+        "SoA (column-major, device layout)".into(),
+        fmt_secs(t_soa),
+    ]);
     t4.row(vec!["AoS (row-major, host layout)".into(), fmt_secs(t_aos)]);
     body.push_str(&format!(
         "### 4. Data layout on a CPU core (executed)\n{}On a cache-based core the row-major layout is {:.2}x faster — the SoA \
@@ -168,13 +178,13 @@ pub fn run(scale: Scale) -> FigureReport {
     let t_factored = time_it(|| {
         // w = Xᵀ v over the first n points, then out = X w
         w_vec.fill(0.0);
-        for f in 0..d {
+        for (f, w) in w_vec.iter_mut().enumerate() {
             let col = soa.feature_column(f);
             let mut acc = 0.0;
             for (j, &vj) in v.iter().enumerate() {
                 acc += col[j] * vj;
             }
-            w_vec[f] = acc;
+            *w = acc;
         }
         for (i, slot) in out_w.iter_mut().enumerate() {
             let mut acc = 0.0;
@@ -257,7 +267,9 @@ pub fn run(scale: Scale) -> FigureReport {
     // (a large γ drives K → I, where nothing needs preconditioning)
     let trainer = |pc: bool| {
         LsSvm::new()
-            .with_kernel(KernelSpec::Rbf { gamma: 1.0 / d as f64 })
+            .with_kernel(KernelSpec::Rbf {
+                gamma: 1.0 / d as f64,
+            })
             .with_epsilon(1e-8)
             .with_sample_weights(weights.clone())
             .with_jacobi_preconditioner(pc)

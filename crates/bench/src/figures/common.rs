@@ -5,6 +5,7 @@ use std::time::{Duration, Instant};
 
 use plssvm_core::backend::BackendSelection;
 use plssvm_core::svm::{accuracy, LsSvm, TrainOutput};
+use plssvm_core::trace::Telemetry;
 use plssvm_data::libsvm::LabeledData;
 use plssvm_data::model::KernelSpec;
 use plssvm_data::synthetic::{generate_planes, PlanesConfig};
@@ -147,6 +148,10 @@ pub fn planes_data(points: usize, features: usize, seed: u64) -> LabeledData<f64
 }
 
 /// Trains an LS-SVM and measures the wall-clock of the `train` call.
+///
+/// Always attaches a unified telemetry sink, so `out.telemetry` is `Some`
+/// and the figure drivers read the [`plssvm_core::trace`] counters instead
+/// of backend-private bookkeeping.
 pub fn timed_lssvm_train(
     data: &LabeledData<f64>,
     kernel: KernelSpec<f64>,
@@ -156,7 +161,8 @@ pub fn timed_lssvm_train(
     let trainer = LsSvm::new()
         .with_kernel(kernel)
         .with_epsilon(epsilon)
-        .with_backend(backend);
+        .with_backend(backend)
+        .with_metrics(Telemetry::shared());
     let t0 = Instant::now();
     let out = trainer.train(data).expect("training failed");
     (out, t0.elapsed())
@@ -226,6 +232,6 @@ mod tests {
     #[test]
     fn measured_iterations_reasonable() {
         let iters = measured_iterations(128, 16, 7);
-        assert!(iters >= 2 && iters <= 128, "{iters}");
+        assert!((2..=128).contains(&iters), "{iters}");
     }
 }

@@ -14,26 +14,34 @@ use std::time::Instant;
 
 use plssvm_core::backend::BackendSelection;
 use plssvm_core::svm::LsSvm;
+use plssvm_core::trace::{spans, Telemetry};
 use plssvm_data::model::KernelSpec;
 use plssvm_smo::{SmoConfig, ThunderConfig, ThunderSolver};
 
 use crate::figures::common::{planes_data, FigureReport, Scale, Table};
 use crate::stats::coefficient_of_variation;
 
-/// One repetition: wall time and solver iterations.
+/// One repetition: wall time and solver iterations. The PLSSVM row reads
+/// both from the unified telemetry (the `train` span and the CG sample
+/// count); the SMO baselines have no telemetry and are timed directly.
 fn run_once(method: &str, m: usize, d: usize, seed: u64) -> (f64, f64) {
     let data = planes_data(m, d, seed);
+    if method == "plssvm" {
+        let out = LsSvm::new()
+            .with_kernel(KernelSpec::Linear)
+            .with_epsilon(1e-6)
+            .with_backend(BackendSelection::OpenMp { threads: None })
+            .with_metrics(Telemetry::shared())
+            .train(&data)
+            .unwrap();
+        let report = out.telemetry.expect("telemetry attached");
+        return (
+            report.span(spans::TRAIN).as_secs_f64(),
+            report.iterations() as f64,
+        );
+    }
     let t0 = Instant::now();
     let iterations = match method {
-        "plssvm" => {
-            LsSvm::new()
-                .with_kernel(KernelSpec::Linear)
-                .with_epsilon(1e-6)
-                .with_backend(BackendSelection::OpenMp { threads: None })
-                .train(&data)
-                .unwrap()
-                .iterations
-        }
         "libsvm" => {
             plssvm_smo::solver::train_sparse(&data, &SmoConfig::default())
                 .unwrap()

@@ -305,7 +305,12 @@ mod tests {
         let r = run_fig1c(Scale::Small);
         // at 2^12 points the modeled speedup must be > 1 (the paper's
         // headline: PLSSVM clearly ahead of ThunderSVM on GPUs)
-        let last = r.body.lines().filter(|l| l.starts_with(" ")).last().unwrap().to_string();
+        let last = r
+            .body
+            .lines()
+            .rfind(|l| l.starts_with(" "))
+            .unwrap()
+            .to_string();
         assert!(last.contains('x'), "{last}");
     }
 

@@ -10,13 +10,15 @@ use std::path::Path;
 
 use plssvm_core::backend::BackendSelection;
 use plssvm_core::svm::LsSvm;
+use plssvm_core::timing::ComponentTimes;
+use plssvm_core::trace::Telemetry;
 use plssvm_data::model::KernelSpec;
 use plssvm_data::write_libsvm_file;
 use plssvm_simgpu::{hw, Backend as DeviceApi};
 
 use crate::figures::common::{fmt_secs, planes_data, FigureReport, Scale, Table};
 
-fn component_run(points: usize, features: usize, seed: u64) -> (plssvm_core::timing::ComponentTimes, usize) {
+fn component_run(points: usize, features: usize, seed: u64) -> (ComponentTimes, usize) {
     let dir = std::env::temp_dir().join("plssvm_bench_fig2");
     std::fs::create_dir_all(&dir).ok();
     let train_path = dir.join(format!("train_{points}_{features}.dat"));
@@ -28,11 +30,14 @@ fn component_run(points: usize, features: usize, seed: u64) -> (plssvm_core::tim
         .with_kernel(KernelSpec::Linear)
         .with_epsilon(1e-6)
         .with_backend(BackendSelection::sim_gpu(hw::A100, DeviceApi::Cuda))
+        .with_metrics(Telemetry::shared())
         .train_from_file(&train_path, Some(Path::new(&model_path)))
         .expect("training");
     std::fs::remove_file(&train_path).ok();
     std::fs::remove_file(&model_path).ok();
-    (out.times, out.iterations)
+    // project the paper's component breakdown from the unified timing spans
+    let report = out.telemetry.expect("telemetry attached");
+    (ComponentTimes::from_spans(&report.spans), out.iterations)
 }
 
 fn sweep(id: &str, title: &str, sizes: &[(usize, usize)], vary_points: bool) -> FigureReport {

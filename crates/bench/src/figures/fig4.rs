@@ -114,11 +114,8 @@ pub fn run_fig4b(scale: Scale) -> FigureReport {
     let (m, d) = (1usize << 16, 1usize << 14);
     let gib = |b: u64| b as f64 / (1u64 << 30) as f64;
 
-    let t1 = LsSvmWorkModel::new(m, d, KernelSpec::Linear).sim_time_s(
-        &hw::A100,
-        DeviceApi::Cuda,
-        calls,
-    );
+    let t1 =
+        LsSvmWorkModel::new(m, d, KernelSpec::Linear).sim_time_s(&hw::A100, DeviceApi::Cuda, calls);
     let mut table = Table::new(&["GPUs", "sim time", "speedup", "memory/GPU"]);
     for devices in 1..=4usize {
         let model = LsSvmWorkModel::new(m, d, KernelSpec::Linear).with_devices(devices);

@@ -26,8 +26,22 @@ pub use common::{FigureReport, Scale};
 
 /// Every experiment id the `figures` binary accepts.
 pub const ALL_IDS: &[&str] = &[
-    "table1", "fig1a", "fig1b", "fig1c", "fig1d", "fig2a", "fig2b", "fig3", "fig4a", "fig4b",
-    "sat6", "profiling", "cov", "ablation", "multinode", "precision",
+    "table1",
+    "fig1a",
+    "fig1b",
+    "fig1c",
+    "fig1d",
+    "fig2a",
+    "fig2b",
+    "fig3",
+    "fig4a",
+    "fig4b",
+    "sat6",
+    "profiling",
+    "cov",
+    "ablation",
+    "multinode",
+    "precision",
 ];
 
 /// Runs one experiment by id.

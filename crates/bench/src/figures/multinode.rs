@@ -109,7 +109,10 @@ pub fn run(scale: Scale) -> FigureReport {
         ),
         (
             "A100 + Radeon VII (OpenCL)",
-            vec![(hw::A100, DeviceApi::Cuda), (hw::RADEON_VII, DeviceApi::OpenCl)],
+            vec![
+                (hw::A100, DeviceApi::Cuda),
+                (hw::RADEON_VII, DeviceApi::OpenCl),
+            ],
         ),
     ] {
         let base = ClusterWorkModel {

@@ -6,9 +6,9 @@
 //! kernels with its best kernel at ~233 GFLOP/s (2.4 % of peak).
 //!
 //! The PLSSVM side is *executed* on the simulated A100 and read from the
-//! device counters; the ThunderSVM side runs the batched solver
-//! functionally (counting its launches) and converts to the paper's
-//! scenario size via the measured outer-iteration growth.
+//! unified [`plssvm_core::trace`] counters; the ThunderSVM side runs the
+//! batched solver functionally (counting its launches) and converts to
+//! the paper's scenario size via the measured outer-iteration growth.
 
 use plssvm_core::backend::BackendSelection;
 use plssvm_data::model::KernelSpec;
@@ -35,11 +35,10 @@ pub fn run(scale: Scale) -> FigureReport {
         1e-6,
         BackendSelection::sim_gpu(hw::A100, DeviceApi::Cuda),
     );
-    let report = out.device.unwrap();
-    let dev = &report.per_device[0];
-    let matvec = &dev.per_kernel["svm_kernel"];
+    let report = out.telemetry.as_ref().expect("telemetry attached");
+    let matvec = &report.kernels["svm_kernel"];
     let achieved_tflops = matvec.achieved_flops() / 1e12;
-    let peak_frac = dev.peak_fraction("svm_kernel", &hw::A100, Precision::F64);
+    let peak_frac = matvec.achieved_flops() / hw::A100.peak_flops(Precision::F64);
 
     // ThunderSVM launches: one executed run at a feasible size plus the
     // total-updates law u·m/q for the paper's profiled scenario (2^14
@@ -62,12 +61,12 @@ pub fn run(scale: Scale) -> FigureReport {
     let mut table = Table::new(&["metric", "PLSSVM", "ThunderSVM"]);
     table.row(vec![
         "distinct compute kernels".into(),
-        dev.per_kernel.len().to_string(),
+        report.kernels.len().to_string(),
         format!("many tiny ({LAUNCHES_PER_OUTER}/outer iter)"),
     ]);
     table.row(vec![
         "kernel launches (this run)".into(),
-        dev.kernel_launches.to_string(),
+        report.total_launches().to_string(),
         format!("{} (measured m=256)", measured.kernel_launches),
     ]);
     table.row(vec![
@@ -90,8 +89,8 @@ pub fn run(scale: Scale) -> FigureReport {
         id: "profiling".into(),
         title: "kernel launches and fraction of peak (paper §IV-C)".into(),
         body: format!(
-            "{}\nPLSSVM numbers read from the simulated-A100 counters of an executed \
-             run ({m}x{d}); ThunderSVM launch count from the total-updates law \
+            "{}\nPLSSVM numbers read from the unified telemetry counters of an \
+             executed simulated-A100 run ({m}x{d}); ThunderSVM launch count from the total-updates law \
              (u = {u:.1} updates/point measured from executed batched-SMO runs). \
              Paper: 3 kernels at 32% of peak vs >1600 launches at 2.4%. At small \
              problem sizes the achieved fraction is bounded by the 6 µs launch \

@@ -85,7 +85,9 @@ pub fn run(scale: Scale) -> FigureReport {
     let model = crate::workmodel::LsSvmWorkModel::new(
         324_000,
         3136,
-        KernelSpec::Rbf { gamma: 1.0 / 3136.0 },
+        KernelSpec::Rbf {
+            gamma: 1.0 / 3136.0,
+        },
     );
     let per_iter = model.sim_time_s(&hw_a100(), plssvm_simgpu::Backend::Cuda, 1)
         - model.sim_time_s(&hw_a100(), plssvm_simgpu::Backend::Cuda, 0);

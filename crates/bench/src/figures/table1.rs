@@ -81,7 +81,12 @@ mod tests {
             .lines()
             .skip(2)
             .take(6)
-            .map(|l| l.split("  ").filter(|c| !c.trim().is_empty()).map(|c| c.trim()).collect())
+            .map(|l| {
+                l.split("  ")
+                    .filter(|c| !c.trim().is_empty())
+                    .map(|c| c.trim())
+                    .collect()
+            })
             .collect();
         assert_eq!(rows.len(), 6, "{}", r.body);
 

@@ -40,9 +40,7 @@ pub const MIN_EPSILON: f64 = 1e-12;
 
 /// Runs the ε search. `train` maps an ε to `(accuracy, iterations)`;
 /// timing is recorded around each call.
-pub fn epsilon_search(
-    mut train: impl FnMut(f64) -> (f64, usize),
-) -> ProtocolResult {
+pub fn epsilon_search(mut train: impl FnMut(f64) -> (f64, usize)) -> ProtocolResult {
     let mut runs = Vec::new();
     let mut epsilon = 0.1;
     loop {

@@ -157,12 +157,7 @@ impl LsSvmWorkModel {
         // --- w_kernel (training epilogue, linear kernel only) ---
         let m = n as u64 + 1;
         let (w_flops, w_bytes, h2d_w, d2h_w) = if matches!(self.kernel, KernelSpec::Linear) {
-            (
-                d * 2 * m,
-                (d * m + m) * B + d * B,
-                m * B,
-                d * B,
-            )
+            (d * 2 * m, (d * m + m) * B + d * B, m * B, d * B)
         } else {
             (0, 0, 0, 0)
         };
@@ -209,8 +204,8 @@ impl LsSvmWorkModel {
                 );
                 let t_setup =
                     transfer_time_s(spec, w.h2d_setup) + transfer_time_s(spec, w.d2h_setup);
-                let t_call = transfer_time_s(spec, w.h2d_per_call)
-                    + transfer_time_s(spec, w.d2h_per_call);
+                let t_call =
+                    transfer_time_s(spec, w.h2d_per_call) + transfer_time_s(spec, w.d2h_per_call);
                 let t_w = if w.w_flops > 0 {
                     kernel_time_s(spec, &profile, Precision::F64, w.w_flops, w.w_bytes)
                         + transfer_time_s(spec, w.h2d_w)
@@ -340,8 +335,8 @@ impl ClusterWorkModel {
                 };
                 let t_setup =
                     transfer_time_s(spec, w.h2d_setup) + transfer_time_s(spec, w.d2h_setup);
-                let t_call = transfer_time_s(spec, w.h2d_per_call)
-                    + transfer_time_s(spec, w.d2h_per_call);
+                let t_call =
+                    transfer_time_s(spec, w.h2d_per_call) + transfer_time_s(spec, w.d2h_per_call);
                 t_setup + t_q + matvec_calls as f64 * (t_mv + t_call) + t_w
             })
             .fold(0.0, f64::max);
@@ -387,7 +382,9 @@ impl ThunderWorkModel {
     /// at `m = 2¹⁴` ⇒ ~270 outer iterations ⇒ `u ≈ 270·512/2¹⁴ ≈ 8.4`.
     pub fn outer_iterations(&self, updates_per_point: f64) -> usize {
         let q = self.working_set.min(self.points) as f64;
-        ((updates_per_point * self.points as f64) / q).ceil().max(1.0) as usize
+        ((updates_per_point * self.points as f64) / q)
+            .ceil()
+            .max(1.0) as usize
     }
 
     /// FLOPs of one outer iteration: the row batch (`q` kernel rows of
@@ -673,7 +670,7 @@ mod tests {
     }
 
     #[test]
-    fn multinode_scaling_is_near_linear_on_fast_network(){
+    fn multinode_scaling_is_near_linear_on_fast_network() {
         use plssvm_simgpu::Interconnect;
         let calls = LsSvmWorkModel::matvec_calls(30);
         let t = |nodes: usize, net: Interconnect| {

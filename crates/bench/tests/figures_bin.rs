@@ -19,8 +19,22 @@ fn list_names_every_experiment() {
     let (ok, stdout, _) = run(&["--list"]);
     assert!(ok);
     for id in [
-        "table1", "fig1a", "fig1b", "fig1c", "fig1d", "fig2a", "fig2b", "fig3", "fig4a",
-        "fig4b", "sat6", "profiling", "cov", "ablation", "multinode", "precision",
+        "table1",
+        "fig1a",
+        "fig1b",
+        "fig1c",
+        "fig1d",
+        "fig2a",
+        "fig2b",
+        "fig3",
+        "fig4a",
+        "fig4b",
+        "sat6",
+        "profiling",
+        "cov",
+        "ablation",
+        "multinode",
+        "precision",
     ] {
         assert!(stdout.lines().any(|l| l == id), "missing {id}:\n{stdout}");
     }

@@ -83,6 +83,13 @@ pub struct TrainArgs {
     pub algorithm: Algorithm,
     /// Execution backend (`--backend`), LS-SVM only.
     pub backend: BackendSelection,
+    /// Write unified telemetry as JSON lines to this file
+    /// (`--metrics-out`), LS-SVM / LS-SVR only.
+    pub metrics_out: Option<String>,
+    /// Suppress informational output (`-q` / `--quiet`).
+    pub quiet: bool,
+    /// Print per-kernel telemetry counters with the summary (`--verbose`).
+    pub verbose: bool,
     /// Input data file.
     pub input: String,
     /// Output model file (default: `<input>.model`).
@@ -106,6 +113,9 @@ pub fn parse_train(args: &[String]) -> Result<TrainArgs, CliError> {
         cache_mb: 100,
         algorithm: Algorithm::LsSvm,
         backend: BackendSelection::default(),
+        metrics_out: None,
+        quiet: false,
+        verbose: false,
         input: String::new(),
         model: String::new(),
     };
@@ -164,6 +174,9 @@ pub fn parse_train(args: &[String]) -> Result<TrainArgs, CliError> {
             "-b" | "--backend" => backend_name = take("--backend")?,
             "-n" | "--devices" => devices = parse_num(&take("--devices")?, "--devices")?,
             "-T" | "--threads" => threads = Some(parse_num(&take("--threads")?, "--threads")?),
+            "--metrics-out" => out.metrics_out = Some(take("--metrics-out")?),
+            "-q" | "--quiet" => out.quiet = true,
+            "--verbose" => out.verbose = true,
             "--hardware" => hardware = take("--hardware")?,
             "--split" => {
                 row_split = match take("--split")?.as_str() {
@@ -172,7 +185,10 @@ pub fn parse_train(args: &[String]) -> Result<TrainArgs, CliError> {
                     other => return Err(err(format!("unknown split '{other}'"))),
                 }
             }
-            flag if flag.starts_with('-') && flag.len() > 1 && !flag[1..2].chars().next().unwrap().is_ascii_digit() => {
+            flag if flag.starts_with('-')
+                && flag.len() > 1
+                && !flag[1..2].chars().next().unwrap().is_ascii_digit() =>
+            {
                 return Err(err(format!("unknown option '{flag}'")))
             }
             _ => positional.push(arg.clone()),
@@ -203,6 +219,9 @@ pub fn parse_train(args: &[String]) -> Result<TrainArgs, CliError> {
         if v < 2 {
             return Err(err("cross validation needs at least 2 folds"));
         }
+    }
+    if out.quiet && out.verbose {
+        return Err(err("-q and --verbose are mutually exclusive"));
     }
 
     out.backend = match backend_name.as_str() {
@@ -284,7 +303,8 @@ pub fn kernel_from_args(args: &TrainArgs, num_features: usize) -> KernelSpec<f64
     }
 }
 
-/// Parsed `svm-predict` invocation: `svm-predict test_file model_file output_file`.
+/// Parsed `svm-predict` invocation:
+/// `svm-predict [options] test_file model_file output_file`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PredictArgs {
     /// Test data file (labels used for the accuracy report).
@@ -293,21 +313,55 @@ pub struct PredictArgs {
     pub model: String,
     /// Output file, one predicted label per line.
     pub output: String,
+    /// Write prediction telemetry as JSON lines to this file
+    /// (`--metrics-out`).
+    pub metrics_out: Option<String>,
+    /// Suppress informational output (`-q` / `--quiet`).
+    pub quiet: bool,
+    /// Print timing details with the summary (`--verbose`).
+    pub verbose: bool,
 }
 
 /// Parses `svm-predict` arguments.
 pub fn parse_predict(args: &[String]) -> Result<PredictArgs, CliError> {
-    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
-    if let Some(flag) = args.iter().find(|a| a.starts_with('-') && a.len() > 1) {
-        return Err(err(format!("unknown option '{flag}'")));
+    let mut metrics_out = None;
+    let mut quiet = false;
+    let mut verbose = false;
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--metrics-out" => {
+                metrics_out = Some(
+                    it.next()
+                        .map(|s| s.to_owned())
+                        .ok_or_else(|| err("missing value for --metrics-out"))?,
+                )
+            }
+            "-q" | "--quiet" => quiet = true,
+            "--verbose" => verbose = true,
+            flag if flag.starts_with('-') && flag.len() > 1 => {
+                return Err(err(format!("unknown option '{flag}'")))
+            }
+            _ => positional.push(arg.clone()),
+        }
+    }
+    if quiet && verbose {
+        return Err(err("-q and --verbose are mutually exclusive"));
     }
     if positional.len() != 3 {
-        return Err(err("usage: svm-predict test_file model_file output_file"));
+        return Err(err(format!(
+            "expected 3 positional arguments (test_file model_file output_file), got {}",
+            positional.len()
+        )));
     }
     Ok(PredictArgs {
         test: positional[0].clone(),
         model: positional[1].clone(),
         output: positional[2].clone(),
+        metrics_out,
+        quiet,
+        verbose,
     })
 }
 
@@ -348,7 +402,10 @@ pub fn parse_scale(args: &[String]) -> Result<ScaleArgs, CliError> {
             "-u" => out.upper = parse_num(&take("-u")?, "-u")?,
             "-s" => out.save = Some(take("-s")?),
             "-r" => out.restore = Some(take("-r")?),
-            flag if flag.starts_with('-') && flag.len() > 1 && !flag[1..2].chars().next().unwrap().is_ascii_digit() => {
+            flag if flag.starts_with('-')
+                && flag.len() > 1
+                && !flag[1..2].chars().next().unwrap().is_ascii_digit() =>
+            {
                 return Err(err(format!("unknown option '{flag}'")))
             }
             _ => positional.push(arg.clone()),
@@ -450,13 +507,25 @@ mod tests {
         assert_eq!(a.algorithm, Algorithm::LsSvm);
         assert_eq!(a.input, "data.txt");
         assert_eq!(a.model, "data.txt.model");
-        assert!(matches!(a.backend, BackendSelection::OpenMp { threads: None }));
+        assert!(matches!(
+            a.backend,
+            BackendSelection::OpenMp { threads: None }
+        ));
     }
 
     #[test]
     fn train_libsvm_flags() {
         let a = parse_train(&sv(&[
-            "-t", "2", "-g", "0.5", "-c", "10", "-e", "1e-6", "train.dat", "out.model",
+            "-t",
+            "2",
+            "-g",
+            "0.5",
+            "-c",
+            "10",
+            "-e",
+            "1e-6",
+            "train.dat",
+            "out.model",
         ]))
         .unwrap();
         assert_eq!(a.kernel_type, 2);
@@ -490,14 +559,24 @@ mod tests {
             other => panic!("{other:?}"),
         }
         let a = parse_train(&sv(&["--backend", "openmp", "-T", "8", "x.dat"])).unwrap();
-        assert!(matches!(a.backend, BackendSelection::OpenMp { threads: Some(8) }));
+        assert!(matches!(
+            a.backend,
+            BackendSelection::OpenMp { threads: Some(8) }
+        ));
         let a = parse_train(&sv(&["--backend", "serial", "x.dat"])).unwrap();
         assert!(matches!(a.backend, BackendSelection::Serial));
     }
 
     #[test]
     fn train_hardware_lookup() {
-        let a = parse_train(&sv(&["--backend", "opencl", "--hardware", "radeonvii", "x"])).unwrap();
+        let a = parse_train(&sv(&[
+            "--backend",
+            "opencl",
+            "--hardware",
+            "radeonvii",
+            "x",
+        ]))
+        .unwrap();
         match a.backend {
             BackendSelection::SimGpu { hardware, .. } => {
                 assert_eq!(hardware.name, "AMD Radeon VII")
@@ -543,8 +622,16 @@ mod tests {
 
     #[test]
     fn train_split_mode_flag() {
-        let a = parse_train(&sv(&["--backend", "cuda", "-n", "2", "--split", "rows", "x.dat"]))
-            .unwrap();
+        let a = parse_train(&sv(&[
+            "--backend",
+            "cuda",
+            "-n",
+            "2",
+            "--split",
+            "rows",
+            "x.dat",
+        ]))
+        .unwrap();
         assert!(matches!(
             a.backend,
             BackendSelection::SimGpuRows { devices: 2, .. }
@@ -593,11 +680,43 @@ mod tests {
             PredictArgs {
                 test: "t.dat".into(),
                 model: "m.model".into(),
-                output: "out.txt".into()
+                output: "out.txt".into(),
+                metrics_out: None,
+                quiet: false,
+                verbose: false,
             }
         );
         assert!(parse_predict(&sv(&["a", "b"])).is_err());
         assert!(parse_predict(&sv(&["-x", "a", "b", "c"])).is_err());
+    }
+
+    #[test]
+    fn metrics_and_verbosity_flags() {
+        let a = parse_train(&sv(&["--metrics-out", "m.jsonl", "x.dat"])).unwrap();
+        assert_eq!(a.metrics_out.as_deref(), Some("m.jsonl"));
+        assert!(!a.quiet && !a.verbose);
+        let a = parse_train(&sv(&["-q", "x.dat"])).unwrap();
+        assert!(a.quiet);
+        let a = parse_train(&sv(&["--verbose", "x.dat"])).unwrap();
+        assert!(a.verbose);
+        assert!(parse_train(&sv(&["-q", "--verbose", "x.dat"])).is_err());
+        assert!(parse_train(&sv(&["--metrics-out"])).is_err());
+
+        let a = parse_predict(&sv(&[
+            "--metrics-out",
+            "m.jsonl",
+            "--verbose",
+            "t.dat",
+            "m.model",
+            "out.txt",
+        ]))
+        .unwrap();
+        assert_eq!(a.metrics_out.as_deref(), Some("m.jsonl"));
+        assert!(a.verbose);
+        let a = parse_predict(&sv(&["-q", "t.dat", "m.model", "out.txt"])).unwrap();
+        assert!(a.quiet);
+        assert!(parse_predict(&sv(&["-q", "--verbose", "a", "b", "c"])).is_err());
+        assert!(parse_predict(&sv(&["--metrics-out"])).is_err());
     }
 
     #[test]
@@ -620,7 +739,14 @@ mod tests {
     #[test]
     fn generate_args() {
         let a = parse_generate(&sv(&[
-            "--points", "100", "--features", "8", "--seed", "7", "-o", "out.dat",
+            "--points",
+            "100",
+            "--features",
+            "8",
+            "--seed",
+            "7",
+            "-o",
+            "out.dat",
         ]))
         .unwrap();
         assert_eq!((a.points, a.features, a.seed), (100, 8, 7));

@@ -4,7 +4,8 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match plssvm_cli::args::parse_predict(&args).map_err(|e| e.to_string())
+    match plssvm_cli::args::parse_predict(&args)
+        .map_err(|e| e.to_string())
         .and_then(|a| plssvm_cli::commands::run_predict(&a).map_err(|e| e.to_string()))
     {
         Ok(summary) => {
@@ -12,7 +13,11 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("svm-predict: {e}\nusage: svm-predict test_file model_file output_file");
+            eprintln!(
+                "svm-predict: {e}\n\
+                 usage: svm-predict [options] test_file model_file output_file\n\
+                 options: --metrics-out file | -q, --quiet | --verbose"
+            );
             ExitCode::FAILURE
         }
     }

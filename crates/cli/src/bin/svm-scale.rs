@@ -4,7 +4,8 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match plssvm_cli::args::parse_scale(&args).map_err(|e| e.to_string())
+    match plssvm_cli::args::parse_scale(&args)
+        .map_err(|e| e.to_string())
         .and_then(|a| plssvm_cli::commands::run_scale(&a).map_err(|e| e.to_string()))
     {
         Ok(scaled) => {

@@ -26,11 +26,15 @@ fn main() -> ExitCode {
              \x20 -T threads     : openmp thread count (default all cores)\n\
              \x20 --hardware hw  : a100 (default) | v100 | p100 | gtx1080ti | rtx3080 | radeonvii | p630\n\
              \x20 --split mode   : features (default, linear only) | rows (any kernel)\n\
+             \x20 --metrics-out f: write solver telemetry as JSON lines (LS-SVM/LS-SVR only)\n\
+             \x20 -q, --quiet    : suppress the training summary\n\
+             \x20 --verbose      : append per-kernel telemetry counters to the summary\n\
              input files: LIBSVM format, or ARFF when the extension is .arff"
         );
         return ExitCode::from(2);
     }
-    match plssvm_cli::args::parse_train(&args).map_err(|e| e.to_string())
+    match plssvm_cli::args::parse_train(&args)
+        .map_err(|e| e.to_string())
         .and_then(|a| plssvm_cli::commands::run_train(&a).map_err(|e| e.to_string()))
     {
         Ok(summary) => {

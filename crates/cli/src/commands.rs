@@ -4,15 +4,17 @@
 use std::error::Error;
 use std::fs;
 use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
 
 use plssvm_core::multiclass::{train_multiclass, MultiClassModel, MultiClassStrategy};
 use plssvm_core::regression::{mean_squared_error, predict_values, r_squared, LsSvr};
 use plssvm_core::svm::{accuracy, predict_labels, LsSvm};
+use plssvm_core::trace::{MetricsSink, Telemetry, TelemetryReport};
 use plssvm_core::validation::cross_validate;
 use plssvm_data::arff::read_arff_file;
 use plssvm_data::libsvm::{
-    read_libsvm_file, read_libsvm_regression_file, write_libsvm_string, LabeledData,
-    RegressionData,
+    read_libsvm_file, read_libsvm_regression_file, write_libsvm_string, LabeledData, RegressionData,
 };
 use plssvm_data::model::{peek_svm_type, SvmModel, SvrModel};
 use plssvm_data::multiclass::read_libsvm_multiclass_file;
@@ -39,6 +41,39 @@ fn read_classification(path: &str) -> Result<LabeledData<f64>, Box<dyn Error>> {
     } else {
         read_libsvm_file::<f64>(path, None)?
     })
+}
+
+/// Fresh telemetry sink when `--metrics-out` or `--verbose` asked for one.
+fn telemetry_for(args: &TrainArgs) -> Option<Arc<Telemetry>> {
+    (args.metrics_out.is_some() || args.verbose).then(Telemetry::shared)
+}
+
+/// Writes the unified telemetry as JSON lines when `--metrics-out` was
+/// given, and appends the per-kernel counters to the summary when
+/// `--verbose` was.
+fn emit_telemetry(
+    args: &TrainArgs,
+    report: &TelemetryReport,
+    summary: &mut String,
+) -> Result<(), Box<dyn Error>> {
+    if let Some(path) = &args.metrics_out {
+        fs::write(path, report.to_json_lines())?;
+    }
+    if args.verbose {
+        summary.push_str(&format!(
+            "telemetry: {} kernel launches, {} FLOPs, {} bytes moved\n",
+            report.total_launches(),
+            report.total_flops(),
+            report.total_bytes()
+        ));
+        for (name, k) in &report.kernels {
+            summary.push_str(&format!(
+                "  {name}: {} launches, {} FLOPs, {} bytes, {:.3e} s simulated\n",
+                k.launches, k.flops, k.bytes, k.sim_time_s
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Runs `svm-train`; returns the human-readable summary printed to stdout.
@@ -91,6 +126,10 @@ pub fn run_train(args: &TrainArgs) -> Result<String, Box<dyn Error>> {
                     .collect();
                 trainer = trainer.with_sample_weights(weights);
             }
+            let telemetry = telemetry_for(args);
+            if let Some(t) = &telemetry {
+                trainer = trainer.with_metrics(Arc::clone(t));
+            }
             let out = if is_arff(&args.input) {
                 let out = trainer.train(&data)?;
                 out.model.save(&args.model)?;
@@ -98,28 +137,35 @@ pub fn run_train(args: &TrainArgs) -> Result<String, Box<dyn Error>> {
             } else {
                 trainer.train_from_file(&args.input, Some(Path::new(&args.model)))?
             };
-            summary.push_str(&format!(
-                "PLSSVM (LS-SVM) trained on {} points x {} features\n",
-                data.points(),
-                data.features()
-            ));
-            summary.push_str(&format!("backend: {}\n", out.backend_name));
-            summary.push_str(&format!(
-                "CG iterations: {} (converged: {}, relative residual {:.3e})\n",
-                out.iterations, out.converged, out.relative_residual
-            ));
-            summary.push_str(&format!("timings: {}\n", out.times));
-            if let Some(device) = &out.device {
+            if !args.quiet {
                 summary.push_str(&format!(
-                    "simulated device time: {:.3} s, peak memory/device: {:.3} GiB\n",
-                    device.sim_parallel_time_s,
-                    device.peak_memory_per_device_bytes as f64 / (1u64 << 30) as f64
+                    "PLSSVM (LS-SVM) trained on {} points x {} features\n",
+                    data.points(),
+                    data.features()
+                ));
+                summary.push_str(&format!("backend: {}\n", out.backend_name));
+                summary.push_str(&format!(
+                    "CG iterations: {} (converged: {}, relative residual {:.3e})\n",
+                    out.iterations, out.converged, out.relative_residual
+                ));
+                summary.push_str(&format!("timings: {}\n", out.times));
+                if let Some(device) = &out.device {
+                    summary.push_str(&format!(
+                        "simulated device time: {:.3} s, peak memory/device: {:.3} GiB\n",
+                        device.sim_parallel_time_s,
+                        device.peak_memory_per_device_bytes as f64 / (1u64 << 30) as f64
+                    ));
+                }
+            }
+            if let Some(report) = &out.telemetry {
+                emit_telemetry(args, report, &mut summary)?;
+            }
+            if !args.quiet {
+                summary.push_str(&format!(
+                    "training accuracy: {:.2}%\n",
+                    100.0 * accuracy(&out.model, &data)
                 ));
             }
-            summary.push_str(&format!(
-                "training accuracy: {:.2}%\n",
-                100.0 * accuracy(&out.model, &data)
-            ));
         }
         Algorithm::Smo | Algorithm::SmoDense => {
             let config = plssvm_smo::SmoConfig {
@@ -186,22 +232,33 @@ fn run_train_regression(args: &TrainArgs) -> Result<String, Box<dyn Error>> {
     }
     let data: RegressionData<f64> = read_libsvm_regression_file(&args.input, None)?;
     let kernel = kernel_from_args(args, data.features());
-    let out = LsSvr::new()
+    let mut trainer = LsSvr::new()
         .with_kernel(kernel)
         .with_cost(args.cost)
         .with_epsilon(args.epsilon)
-        .with_backend(args.backend.clone())
-        .train(&data)?;
+        .with_backend(args.backend.clone());
+    let telemetry = telemetry_for(args);
+    if let Some(t) = &telemetry {
+        trainer = trainer.with_metrics(Arc::clone(t));
+    }
+    let out = trainer.train(&data)?;
     out.model.save(&args.model)?;
-    Ok(format!(
-        "LS-SVR trained on {} points x {} features\nCG iterations: {} (converged: {})\ntraining MSE: {:.6e}, R^2: {:.4}\n",
-        data.points(),
-        data.features(),
-        out.iterations,
-        out.converged,
-        mean_squared_error(&out.model, &data),
-        r_squared(&out.model, &data),
-    ))
+    let mut summary = String::new();
+    if !args.quiet {
+        summary.push_str(&format!(
+            "LS-SVR trained on {} points x {} features\nCG iterations: {} (converged: {})\ntraining MSE: {:.6e}, R^2: {:.4}\n",
+            data.points(),
+            data.features(),
+            out.iterations,
+            out.converged,
+            mean_squared_error(&out.model, &data),
+            r_squared(&out.model, &data),
+        ));
+    }
+    if let Some(report) = &out.telemetry {
+        emit_telemetry(args, report, &mut summary)?;
+    }
+    Ok(summary)
 }
 
 fn run_train_multiclass(
@@ -241,6 +298,32 @@ fn run_train_multiclass(
 
 /// Runs `svm-predict`; writes one label per line and returns the summary.
 pub fn run_predict(args: &PredictArgs) -> Result<String, Box<dyn Error>> {
+    let start = Instant::now();
+    let accuracy_summary = predict_inner(args)?;
+    let wall = start.elapsed();
+    if let Some(path) = &args.metrics_out {
+        let telemetry = Telemetry::new();
+        telemetry.record_span("predict", wall);
+        fs::write(path, telemetry.report().to_json_lines())?;
+    }
+    let mut summary = if args.quiet {
+        String::new()
+    } else {
+        accuracy_summary
+    };
+    if args.verbose {
+        summary.push_str(&format!(
+            "prediction wall time: {:.3} s\n",
+            wall.as_secs_f64()
+        ));
+    }
+    Ok(summary)
+}
+
+/// The prediction pipeline proper: dispatches on the model kind
+/// (multiclass container, SVR, or binary) and returns the accuracy /
+/// error report.
+fn predict_inner(args: &PredictArgs) -> Result<String, Box<dyn Error>> {
     let content = fs::read_to_string(&args.model)?;
     // dispatch on the model kind: multiclass container, SVR, or binary
     if content.starts_with("plssvm_multiclass") {
@@ -299,7 +382,11 @@ pub fn run_predict(args: &PredictArgs) -> Result<String, Box<dyn Error>> {
         .iter()
         .zip(&data.y)
         .filter(|(&l, &y)| {
-            let truth = if y > 0.0 { model.labels[0] } else { model.labels[1] };
+            let truth = if y > 0.0 {
+                model.labels[0]
+            } else {
+                model.labels[1]
+            };
             l == truth
         })
         .count();
@@ -373,15 +460,28 @@ mod tests {
         let preds = dir.join("preds.txt");
 
         let gen = parse_generate(&sv(&[
-            "--points", "80", "--features", "6", "--seed", "3", "--sep", "4.0", "--flip", "0.0",
-            "-o", data.to_str().unwrap(),
+            "--points",
+            "80",
+            "--features",
+            "6",
+            "--seed",
+            "3",
+            "--sep",
+            "4.0",
+            "--flip",
+            "0.0",
+            "-o",
+            data.to_str().unwrap(),
         ]))
         .unwrap();
         let msg = run_generate(&gen).unwrap();
         assert!(msg.contains("80 points"));
 
         let train = parse_train(&sv(&[
-            "-e", "1e-8", data.to_str().unwrap(), model.to_str().unwrap(),
+            "-e",
+            "1e-8",
+            data.to_str().unwrap(),
+            model.to_str().unwrap(),
         ]))
         .unwrap();
         let msg = run_train(&train).unwrap();
@@ -418,8 +518,18 @@ mod tests {
         let data = dir.join("train.dat");
         run_generate(
             &parse_generate(&sv(&[
-                "--points", "60", "--features", "4", "--seed", "5", "--sep", "4.0", "--flip",
-                "0.0", "-o", data.to_str().unwrap(),
+                "--points",
+                "60",
+                "--features",
+                "4",
+                "--seed",
+                "5",
+                "--sep",
+                "4.0",
+                "--flip",
+                "0.0",
+                "-o",
+                data.to_str().unwrap(),
             ]))
             .unwrap(),
         )
@@ -427,7 +537,10 @@ mod tests {
         for algo in ["lssvm", "smo", "smo-dense", "thunder"] {
             let model = dir.join(format!("{algo}.model"));
             let train = parse_train(&sv(&[
-                "-a", algo, data.to_str().unwrap(), model.to_str().unwrap(),
+                "-a",
+                algo,
+                data.to_str().unwrap(),
+                model.to_str().unwrap(),
             ]))
             .unwrap();
             let msg = run_train(&train).unwrap();
@@ -443,14 +556,24 @@ mod tests {
         let data = dir.join("train.dat");
         run_generate(
             &parse_generate(&sv(&[
-                "--points", "40", "--features", "8", "--seed", "9", "-o",
+                "--points",
+                "40",
+                "--features",
+                "8",
+                "--seed",
+                "9",
+                "-o",
                 data.to_str().unwrap(),
             ]))
             .unwrap(),
         )
         .unwrap();
         let train = parse_train(&sv(&[
-            "--backend", "cuda", "-n", "2", data.to_str().unwrap(),
+            "--backend",
+            "cuda",
+            "-n",
+            "2",
+            data.to_str().unwrap(),
         ]))
         .unwrap();
         let msg = run_train(&train).unwrap();
@@ -466,14 +589,24 @@ mod tests {
         let ranges = dir.join("r.txt");
 
         let scaled = run_scale(
-            &parse_scale(&sv(&["-s", ranges.to_str().unwrap(), data.to_str().unwrap()])).unwrap(),
+            &parse_scale(&sv(&[
+                "-s",
+                ranges.to_str().unwrap(),
+                data.to_str().unwrap(),
+            ]))
+            .unwrap(),
         )
         .unwrap();
         assert!(scaled.contains("-1") && ranges.exists(), "{scaled}");
 
         // restoring on the same data gives identical output
         let restored = run_scale(
-            &parse_scale(&sv(&["-r", ranges.to_str().unwrap(), data.to_str().unwrap()])).unwrap(),
+            &parse_scale(&sv(&[
+                "-r",
+                ranges.to_str().unwrap(),
+                data.to_str().unwrap(),
+            ]))
+            .unwrap(),
         )
         .unwrap();
         assert_eq!(scaled, restored);
@@ -484,8 +617,14 @@ mod tests {
         let dir = tmpdir("sat6");
         let out = dir.join("sat.dat");
         let msg = run_generate(
-            &parse_generate(&sv(&["--sat6", "--points", "6", "-o", out.to_str().unwrap()]))
-                .unwrap(),
+            &parse_generate(&sv(&[
+                "--sat6",
+                "--points",
+                "6",
+                "-o",
+                out.to_str().unwrap(),
+            ]))
+            .unwrap(),
         )
         .unwrap();
         assert!(msg.contains("3136 features"), "{msg}");
@@ -509,8 +648,18 @@ mod tests {
         .unwrap();
 
         let train = parse_train(&sv(&[
-            "-s", "3", "-t", "2", "-g", "0.5", "-c", "100", "-e", "1e-8",
-            data.to_str().unwrap(), model.to_str().unwrap(),
+            "-s",
+            "3",
+            "-t",
+            "2",
+            "-g",
+            "0.5",
+            "-c",
+            "100",
+            "-e",
+            "1e-8",
+            data.to_str().unwrap(),
+            model.to_str().unwrap(),
         ]))
         .unwrap();
         let msg = run_train(&train).unwrap();
@@ -529,7 +678,6 @@ mod tests {
             .split('=')
             .nth(1)
             .unwrap()
-            .trim()
             .split_whitespace()
             .next()
             .unwrap()
@@ -560,7 +708,10 @@ mod tests {
         std::fs::write(&data, content).unwrap();
 
         let train = parse_train(&sv(&[
-            "-e", "1e-8", data.to_str().unwrap(), model.to_str().unwrap(),
+            "-e",
+            "1e-8",
+            data.to_str().unwrap(),
+            model.to_str().unwrap(),
         ]))
         .unwrap();
         let msg = run_train(&train).unwrap();
@@ -594,8 +745,18 @@ mod tests {
         let data = dir.join("train.dat");
         run_generate(
             &parse_generate(&sv(&[
-                "--points", "80", "--features", "4", "--seed", "8", "--sep", "4.0", "--flip",
-                "0.0", "-o", data.to_str().unwrap(),
+                "--points",
+                "80",
+                "--features",
+                "4",
+                "--seed",
+                "8",
+                "--sep",
+                "4.0",
+                "--flip",
+                "0.0",
+                "-o",
+                data.to_str().unwrap(),
             ]))
             .unwrap(),
         )
@@ -613,15 +774,31 @@ mod tests {
         let data = dir.join("train.dat");
         run_generate(
             &parse_generate(&sv(&[
-                "--points", "60", "--features", "4", "--seed", "2", "--sep", "4.0", "--flip",
-                "0.0", "-o", data.to_str().unwrap(),
+                "--points",
+                "60",
+                "--features",
+                "4",
+                "--seed",
+                "2",
+                "--sep",
+                "4.0",
+                "--flip",
+                "0.0",
+                "-o",
+                data.to_str().unwrap(),
             ]))
             .unwrap(),
         )
         .unwrap();
         // sigmoid works cleanly with SMO (no PSD requirement)
         let train = parse_train(&sv(&[
-            "-t", "3", "-g", "0.1", "-a", "smo", data.to_str().unwrap(),
+            "-t",
+            "3",
+            "-g",
+            "0.1",
+            "-a",
+            "smo",
+            data.to_str().unwrap(),
         ]))
         .unwrap();
         let msg = run_train(&train).unwrap();
@@ -637,8 +814,20 @@ mod tests {
         // generate directly in ARFF format
         run_generate(
             &parse_generate(&sv(&[
-                "--points", "60", "--features", "4", "--seed", "6", "--sep", "4.0", "--flip",
-                "0.0", "--format", "arff", "-o", data.to_str().unwrap(),
+                "--points",
+                "60",
+                "--features",
+                "4",
+                "--seed",
+                "6",
+                "--sep",
+                "4.0",
+                "--flip",
+                "0.0",
+                "--format",
+                "arff",
+                "-o",
+                data.to_str().unwrap(),
             ]))
             .unwrap(),
         )
@@ -647,7 +836,10 @@ mod tests {
         assert!(content.starts_with("@RELATION"), "{content}");
 
         let train = parse_train(&sv(&[
-            "-e", "1e-8", data.to_str().unwrap(), model.to_str().unwrap(),
+            "-e",
+            "1e-8",
+            data.to_str().unwrap(),
+            model.to_str().unwrap(),
         ]))
         .unwrap();
         let msg = run_train(&train).unwrap();
@@ -671,6 +863,210 @@ mod tests {
             .parse()
             .unwrap();
         assert!(acc >= 97.0, "{msg}");
+    }
+
+    #[test]
+    fn metrics_out_emits_documented_json_lines_and_predict_round_trips() {
+        let dir = tmpdir("metrics");
+        let data = dir.join("train.dat");
+        run_generate(
+            &parse_generate(&sv(&[
+                "--points",
+                "60",
+                "--features",
+                "5",
+                "--seed",
+                "11",
+                "--sep",
+                "4.0",
+                "--flip",
+                "0.0",
+                "-o",
+                data.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+
+        // plain training: the reference model and accuracy
+        let plain_model = dir.join("plain.model");
+        let train = parse_train(&sv(&[
+            "-e",
+            "1e-8",
+            data.to_str().unwrap(),
+            plain_model.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let plain_msg = run_train(&train).unwrap();
+
+        // instrumented training: --metrics-out writes JSON lines
+        let traced_model = dir.join("traced.model");
+        let metrics = dir.join("train.jsonl");
+        let train = parse_train(&sv(&[
+            "-e",
+            "1e-8",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            data.to_str().unwrap(),
+            traced_model.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let traced_msg = run_train(&train).unwrap();
+
+        // golden shape: one JSON object per line, with the documented keys
+        let json = std::fs::read_to_string(&metrics).unwrap();
+        assert!(!json.is_empty());
+        for line in json.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"type\":\""), "{line}");
+        }
+        for key in [
+            "\"type\":\"cg_start\"",
+            "\"type\":\"cg_iteration\"",
+            "\"type\":\"kernel\"",
+            "\"type\":\"span\"",
+            "\"name\":\"q_kernel\"",
+            "\"name\":\"svm_kernel\"",
+            "\"name\":\"w_kernel\"",
+            "\"path\":\"train/cg\"",
+            "\"residual_norm\":",
+            "\"flops\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+
+        // telemetry must not change the trained model: identical
+        // predictions and an identical accuracy report
+        assert_eq!(
+            std::fs::read_to_string(&plain_model).unwrap(),
+            std::fs::read_to_string(&traced_model).unwrap()
+        );
+        let plain_acc = plain_msg.lines().last().unwrap().to_owned();
+        let traced_acc = traced_msg.lines().last().unwrap().to_owned();
+        assert_eq!(plain_acc, traced_acc);
+        let preds_a = dir.join("a.txt");
+        let preds_b = dir.join("b.txt");
+        let pa = run_predict(
+            &parse_predict(&sv(&[
+                data.to_str().unwrap(),
+                plain_model.to_str().unwrap(),
+                preds_a.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        let pb = run_predict(
+            &parse_predict(&sv(&[
+                data.to_str().unwrap(),
+                traced_model.to_str().unwrap(),
+                preds_b.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(pa, pb);
+        assert_eq!(
+            std::fs::read_to_string(&preds_a).unwrap(),
+            std::fs::read_to_string(&preds_b).unwrap()
+        );
+    }
+
+    #[test]
+    fn quiet_and_verbose_modes() {
+        let dir = tmpdir("verbosity");
+        let data = dir.join("train.dat");
+        run_generate(
+            &parse_generate(&sv(&[
+                "--points",
+                "40",
+                "--features",
+                "4",
+                "--seed",
+                "13",
+                "--sep",
+                "4.0",
+                "--flip",
+                "0.0",
+                "-o",
+                data.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        let model = dir.join("q.model");
+        let train = parse_train(&sv(&[
+            "-q",
+            data.to_str().unwrap(),
+            model.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(run_train(&train).unwrap(), "");
+        assert!(model.exists());
+
+        let train = parse_train(&sv(&[
+            "--verbose",
+            data.to_str().unwrap(),
+            model.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let msg = run_train(&train).unwrap();
+        assert!(msg.contains("telemetry:"), "{msg}");
+        assert!(msg.contains("svm_kernel"), "{msg}");
+        assert!(msg.contains("training accuracy"), "{msg}");
+
+        // predict: --metrics-out writes a span line, -q silences the report
+        let preds = dir.join("p.txt");
+        let pm = dir.join("predict.jsonl");
+        let predict = parse_predict(&sv(&[
+            "--metrics-out",
+            pm.to_str().unwrap(),
+            "-q",
+            data.to_str().unwrap(),
+            model.to_str().unwrap(),
+            preds.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(run_predict(&predict).unwrap(), "");
+        let json = std::fs::read_to_string(&pm).unwrap();
+        assert!(json.contains("\"type\":\"span\""), "{json}");
+        assert!(json.contains("\"path\":\"predict\""), "{json}");
+    }
+
+    #[test]
+    fn regression_metrics_out() {
+        let dir = tmpdir("svr_metrics");
+        let data = dir.join("sinc.dat");
+        let model = dir.join("sinc.model");
+        let metrics = dir.join("svr.jsonl");
+        let sinc = plssvm_data::synthetic::generate_sinc::<f64>(
+            &plssvm_data::synthetic::SincConfig::new(50, 1).with_noise(0.0),
+        )
+        .unwrap();
+        std::fs::write(
+            &data,
+            plssvm_data::libsvm::write_libsvm_regression_string(&sinc, false),
+        )
+        .unwrap();
+        let train = parse_train(&sv(&[
+            "-s",
+            "3",
+            "-t",
+            "2",
+            "-g",
+            "0.5",
+            "-c",
+            "100",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            data.to_str().unwrap(),
+            model.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let msg = run_train(&train).unwrap();
+        assert!(msg.contains("LS-SVR"), "{msg}");
+        let json = std::fs::read_to_string(&metrics).unwrap();
+        assert!(json.contains("\"type\":\"cg_iteration\""), "{json}");
+        assert!(json.contains("\"name\":\"svm_kernel\""), "{json}");
     }
 
     #[test]

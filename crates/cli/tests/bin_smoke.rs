@@ -38,8 +38,18 @@ fn full_pipeline_through_the_binaries() {
     let (ok, stdout, stderr) = run(
         "generate-data",
         &[
-            "--points", "80", "--features", "6", "--seed", "4", "--sep", "4.0", "--flip", "0.0",
-            "-o", data.to_str().unwrap(),
+            "--points",
+            "80",
+            "--features",
+            "6",
+            "--seed",
+            "4",
+            "--sep",
+            "4.0",
+            "--flip",
+            "0.0",
+            "-o",
+            data.to_str().unwrap(),
         ],
     );
     assert!(ok, "{stderr}");
@@ -58,8 +68,14 @@ fn full_pipeline_through_the_binaries() {
     let (ok, stdout, stderr) = run(
         "svm-train",
         &[
-            "-e", "1e-8", "--backend", "cuda", "-n", "2",
-            scaled.to_str().unwrap(), model.to_str().unwrap(),
+            "-e",
+            "1e-8",
+            "--backend",
+            "cuda",
+            "-n",
+            "2",
+            scaled.to_str().unwrap(),
+            model.to_str().unwrap(),
         ],
     );
     assert!(ok, "{stderr}");
@@ -88,10 +104,7 @@ fn full_pipeline_through_the_binaries() {
         .parse()
         .unwrap();
     assert!(acc >= 97.0, "{stdout}");
-    assert_eq!(
-        std::fs::read_to_string(&preds).unwrap().lines().count(),
-        80
-    );
+    assert_eq!(std::fs::read_to_string(&preds).unwrap().lines().count(), 80);
 }
 
 #[test]
@@ -125,8 +138,18 @@ fn cross_validation_through_the_binary() {
     run(
         "generate-data",
         &[
-            "--points", "60", "--features", "4", "--seed", "5", "--sep", "4.0", "--flip", "0.0",
-            "-o", data.to_str().unwrap(),
+            "--points",
+            "60",
+            "--features",
+            "4",
+            "--seed",
+            "5",
+            "--sep",
+            "4.0",
+            "--flip",
+            "0.0",
+            "-o",
+            data.to_str().unwrap(),
         ],
     );
     let (ok, stdout, stderr) = run("svm-train", &["-v", "4", data.to_str().unwrap()]);
@@ -141,8 +164,20 @@ fn arff_input_through_the_binary() {
     run(
         "generate-data",
         &[
-            "--points", "50", "--features", "4", "--seed", "6", "--sep", "4.0", "--flip", "0.0",
-            "--format", "arff", "-o", data.to_str().unwrap(),
+            "--points",
+            "50",
+            "--features",
+            "4",
+            "--seed",
+            "6",
+            "--sep",
+            "4.0",
+            "--flip",
+            "0.0",
+            "--format",
+            "arff",
+            "-o",
+            data.to_str().unwrap(),
         ],
     );
     let (ok, stdout, stderr) = run("svm-train", &["-e", "1e-8", data.to_str().unwrap()]);

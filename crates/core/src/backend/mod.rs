@@ -26,6 +26,8 @@ pub mod serial;
 pub mod simgpu;
 pub mod sparse;
 
+use std::sync::Arc;
+
 use plssvm_data::dense::{DenseMatrix, SoAMatrix};
 use plssvm_data::model::KernelSpec;
 use plssvm_simgpu::device::AtomicScalar;
@@ -33,7 +35,9 @@ use plssvm_simgpu::{Backend as DeviceApi, GpuSpec, PerfReport};
 
 use crate::cg::LinOp;
 use crate::error::SvmError;
+use crate::kernel::kernel_flops;
 use crate::matrix_free::QTildeParams;
+use crate::trace::MetricsSink;
 
 /// Runtime backend selection (the paper's `--backend` switch).
 #[derive(Debug, Clone)]
@@ -203,6 +207,19 @@ impl DeviceReport {
     pub fn total_sim_time_s(&self) -> f64 {
         self.sim_parallel_time_s + self.network_time_s
     }
+
+    /// Folds the per-device kernel counters into the unified metrics
+    /// schema of [`crate::trace`]: launches, FLOPs, bytes and simulated
+    /// time are summed across devices under each kernel's name. This is
+    /// how the device backend's private bookkeeping joins the
+    /// [`MetricsSink`] counters the CPU backends record directly.
+    pub fn fold_into(&self, sink: &dyn MetricsSink) {
+        for dev in &self.per_device {
+            for (name, k) in &dev.per_kernel {
+                sink.record_launch(name, k.launches, k.flops, k.global_bytes, k.sim_time_s);
+            }
+        }
+    }
 }
 
 /// A backend that has been set up for a specific training set: data is
@@ -214,6 +231,10 @@ impl DeviceReport {
 pub struct Prepared<T: AtomicScalar> {
     imp: PreparedImpl<T>,
     params: QTildeParams<T>,
+    kernel: KernelSpec<T>,
+    points: usize,
+    features: usize,
+    metrics: Option<Arc<dyn MetricsSink>>,
 }
 
 enum PreparedImpl<T: AtomicScalar> {
@@ -260,6 +281,8 @@ impl<T: AtomicScalar> Prepared<T> {
                 "training needs at least two data points".into(),
             ));
         }
+        // the negated comparison deliberately rejects NaN as well
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !(cost.to_f64() > 0.0) {
             return Err(SvmError::Solver(format!(
                 "the cost parameter C must be positive, got {cost}"
@@ -360,12 +383,74 @@ impl<T: AtomicScalar> Prepared<T> {
                 (PreparedImpl::SimGpu(b), params)
             }
         };
-        Ok(Self { imp, params })
+        Ok(Self {
+            imp,
+            params,
+            kernel: *kernel,
+            points: dense.rows(),
+            features: dense.cols(),
+            metrics: None,
+        })
     }
 
     /// The shared `Q̃` parameters (cached `q⃗`, `k_mm`, `1/C`).
     pub fn params(&self) -> &QTildeParams<T> {
         &self.params
+    }
+
+    /// Attaches a [`MetricsSink`]: from now on every implicit matvec
+    /// reports one `svm_kernel` launch and [`Prepared::compute_linear_w`]
+    /// one `w_kernel` launch.
+    ///
+    /// The CPU backends record the *logical* cost of each launch (every
+    /// `K·v` entry evaluated once — see [`crate::trace`] for the counting
+    /// convention), so this call also retroactively records the one
+    /// `q_kernel` setup launch they performed in [`Prepared::new`]. The
+    /// device backend counts its real tiled launches on-device instead;
+    /// fold them in at the end of a run with [`DeviceReport::fold_into`].
+    pub fn set_metrics(&mut self, sink: Arc<dyn MetricsSink>) {
+        if self.is_cpu() {
+            let (flops, bytes) = self.q_kernel_cost();
+            sink.record_launch("q_kernel", 1, flops, bytes, 0.0);
+        }
+        self.metrics = Some(sink);
+    }
+
+    fn is_cpu(&self) -> bool {
+        !matches!(self.imp, PreparedImpl::SimGpu(_))
+    }
+
+    /// Logical cost of the `q⃗` setup pass: `m` kernel evaluations
+    /// `q_i = k(x_i, x_m)` over all `m` rows (`k_mm` is row `m` itself) —
+    /// the same accounting the device's `q_kernel` reports.
+    fn q_kernel_cost(&self) -> (u128, u128) {
+        let m = self.points as u128;
+        let d = self.features as u128;
+        let scalar = std::mem::size_of::<T>() as u128;
+        let flops = m * u128::from(kernel_flops(&self.kernel, self.features));
+        let bytes = (m + 1) * d * scalar + m * scalar;
+        (flops, bytes)
+    }
+
+    /// Logical cost of one implicit `K·v` matvec: `n²` kernel evaluations
+    /// plus one fused multiply–add per entry, reading the data and `v`
+    /// once and writing `out` once.
+    fn matvec_cost(&self) -> (u128, u128) {
+        let n = self.params.dim() as u128;
+        let d = self.features as u128;
+        let scalar = std::mem::size_of::<T>() as u128;
+        let flops = n * n * (u128::from(kernel_flops(&self.kernel, self.features)) + 2);
+        let bytes = (n * d + 2 * n) * scalar;
+        (flops, bytes)
+    }
+
+    /// Logical cost of `w = Σᵢ αᵢ·xᵢ`: one fused multiply–add per matrix
+    /// entry, reading the data and `α` once and writing `w` once.
+    fn w_kernel_cost(&self) -> (u128, u128) {
+        let m = self.points as u128;
+        let d = self.features as u128;
+        let scalar = std::mem::size_of::<T>() as u128;
+        (2 * m * d, (m * d + m + d) * scalar)
     }
 
     /// Installs per-sample weights (weighted LS-SVM, Suykens et al. \[25\]):
@@ -386,12 +471,19 @@ impl<T: AtomicScalar> Prepared<T> {
     /// nonlinear kernels (their `w` lives in feature space) — the caller
     /// gates on the kernel kind.
     pub fn compute_linear_w(&self, alpha: &[T]) -> Result<Option<Vec<T>>, SvmError> {
-        match &self.imp {
+        let w = match &self.imp {
             PreparedImpl::SimGpu(b) => b.compute_w(alpha).map(Some),
             PreparedImpl::Serial(b) => Ok(Some(host_linear_w(b.data(), alpha))),
             PreparedImpl::Parallel(b) => Ok(Some(host_linear_w(b.data(), alpha))),
             PreparedImpl::Sparse(b) => Ok(Some(b.linear_w(alpha))),
+        };
+        if w.is_ok() && self.is_cpu() {
+            if let Some(sink) = &self.metrics {
+                let (flops, bytes) = self.w_kernel_cost();
+                sink.record_launch("w_kernel", 1, flops, bytes, 0.0);
+            }
         }
+        w
     }
 
     /// Device counters, if this is a device backend.
@@ -427,6 +519,12 @@ impl<T: AtomicScalar> LinOp<T> for Prepared<T> {
             PreparedImpl::SimGpu(b) => b.kernel_matvec(v, out),
         }
         self.params.apply_corrections(v, out);
+        if self.is_cpu() {
+            if let Some(sink) = &self.metrics {
+                let (flops, bytes) = self.matvec_cost();
+                sink.record_launch("svm_kernel", 1, flops, bytes, 0.0);
+            }
+        }
     }
 }
 
@@ -497,7 +595,8 @@ mod tests {
             let n = data.rows() - 1;
             let v: Vec<f64> = (0..n).map(|i| ((i * 7 % 5) as f64) - 2.0).collect();
             let reference = {
-                let p = Prepared::new(&BackendSelection::Serial, &data, None, &kernel, 2.0).unwrap();
+                let p =
+                    Prepared::new(&BackendSelection::Serial, &data, None, &kernel, 2.0).unwrap();
                 let mut out = vec![0.0; n];
                 p.apply(&v, &mut out);
                 out
@@ -525,7 +624,8 @@ mod tests {
     fn multi_device_nonlinear_rejected() {
         let (data, _) = sample_dense(12, 4);
         let sel = BackendSelection::sim_multi_gpu(hw::A100, DeviceApi::Cuda, 2);
-        let err = Prepared::new(&sel, &data, None, &KernelSpec::Rbf { gamma: 0.5 }, 1.0).unwrap_err();
+        let err =
+            Prepared::new(&sel, &data, None, &KernelSpec::Rbf { gamma: 0.5 }, 1.0).unwrap_err();
         assert!(err.to_string().contains("linear"), "{err}");
     }
 
@@ -533,31 +633,59 @@ mod tests {
     fn invalid_parameters_rejected() {
         let (data, _) = sample_dense(8, 3);
         // C <= 0
-        assert!(Prepared::new(&BackendSelection::Serial, &data, None, &KernelSpec::Linear, 0.0).is_err());
-        assert!(
-            Prepared::new(&BackendSelection::Serial, &data, None, &KernelSpec::Linear, -1.0).is_err()
-        );
+        assert!(Prepared::new(
+            &BackendSelection::Serial,
+            &data,
+            None,
+            &KernelSpec::Linear,
+            0.0
+        )
+        .is_err());
+        assert!(Prepared::new(
+            &BackendSelection::Serial,
+            &data,
+            None,
+            &KernelSpec::Linear,
+            -1.0
+        )
+        .is_err());
         // invalid kernel hyperparameters
         assert!(Prepared::new(
             &BackendSelection::Serial,
-            &data, None,
+            &data,
+            None,
             &KernelSpec::Rbf { gamma: -0.5 },
             1.0
         )
         .is_err());
         // one data point
         let tiny = DenseMatrix::from_rows(vec![vec![1.0f64, 2.0]]).unwrap();
-        assert!(Prepared::new(&BackendSelection::Serial, &tiny, None, &KernelSpec::Linear, 1.0).is_err());
+        assert!(Prepared::new(
+            &BackendSelection::Serial,
+            &tiny,
+            None,
+            &KernelSpec::Linear,
+            1.0
+        )
+        .is_err());
     }
 
     #[test]
     fn device_report_only_for_device_backends() {
         let (data, _) = sample_dense(10, 3);
-        let p = Prepared::new(&BackendSelection::Serial, &data, None, &KernelSpec::Linear, 1.0).unwrap();
+        let p = Prepared::new(
+            &BackendSelection::Serial,
+            &data,
+            None,
+            &KernelSpec::Linear,
+            1.0,
+        )
+        .unwrap();
         assert!(p.device_report().is_none());
         let p = Prepared::new(
             &BackendSelection::sim_gpu(hw::A100, DeviceApi::Cuda),
-            &data, None,
+            &data,
+            None,
             &KernelSpec::Linear,
             1.0,
         )
@@ -566,9 +694,70 @@ mod tests {
     }
 
     #[test]
+    fn cpu_backends_record_identical_unified_counters() {
+        use crate::trace::Telemetry;
+        let (data, _) = sample_dense(20, 6);
+        let n = data.rows() - 1;
+        let v: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos()).collect();
+        let mut reports = Vec::new();
+        for sel in [
+            BackendSelection::Serial,
+            BackendSelection::OpenMp { threads: Some(2) },
+            BackendSelection::SparseCpu { threads: Some(2) },
+        ] {
+            let mut p = Prepared::new(&sel, &data, None, &KernelSpec::Linear, 1.5).unwrap();
+            let t = Telemetry::shared();
+            p.set_metrics(t.clone());
+            let mut out = vec![0.0; n];
+            p.apply(&v, &mut out);
+            p.apply(&v, &mut out);
+            p.compute_linear_w(&vec![1.0; data.rows()]).unwrap();
+            reports.push((sel.name(), t.report()));
+        }
+        let (ref_name, reference) = &reports[0];
+        assert_eq!(reference.kernels["q_kernel"].launches, 1);
+        assert_eq!(reference.kernels["svm_kernel"].launches, 2);
+        assert_eq!(reference.kernels["w_kernel"].launches, 1);
+        assert!(reference.kernels["svm_kernel"].flops > 0);
+        // the logical counting convention makes every CPU backend report
+        // the exact same counters, traversal strategy notwithstanding
+        for (name, r) in &reports[1..] {
+            assert_eq!(r.kernels, reference.kernels, "{name} vs {ref_name}");
+        }
+    }
+
+    #[test]
+    fn device_report_folds_into_unified_schema() {
+        use crate::trace::Telemetry;
+        let (data, _) = sample_dense(20, 6);
+        let p = Prepared::new(
+            &BackendSelection::sim_gpu(hw::A100, DeviceApi::Cuda),
+            &data,
+            None,
+            &KernelSpec::Linear,
+            1.5,
+        )
+        .unwrap();
+        let n = data.rows() - 1;
+        let v = vec![0.5; n];
+        let mut out = vec![0.0; n];
+        p.apply(&v, &mut out);
+        let t = Telemetry::new();
+        p.device_report().unwrap().fold_into(&t);
+        let r = t.report();
+        assert_eq!(r.kernels["q_kernel"].launches, 1);
+        assert_eq!(r.kernels["svm_kernel"].launches, 1);
+        assert!(r.kernels["svm_kernel"].flops > 0);
+        assert!(r.kernels["svm_kernel"].sim_time_s > 0.0);
+    }
+
+    #[test]
     fn selection_names() {
         assert_eq!(BackendSelection::Serial.name(), "serial");
-        assert_eq!(BackendSelection::OpenMp { threads: Some(8) }.name(), "openmp[8]");
+        assert_eq!(
+            BackendSelection::OpenMp { threads: Some(8) }.name(),
+            "openmp[8]"
+        );
         let n = BackendSelection::sim_multi_gpu(hw::A100, DeviceApi::Cuda, 4).name();
         assert!(n.contains("4x") && n.contains("A100"), "{n}");
     }

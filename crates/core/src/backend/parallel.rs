@@ -48,9 +48,7 @@ impl<T: Real> ParallelBackend<T> {
     ) -> Result<Self, SvmError> {
         let pool = match threads {
             None => None,
-            Some(0) => {
-                return Err(SvmError::Solver("thread count must be at least 1".into()))
-            }
+            Some(0) => return Err(SvmError::Solver("thread count must be at least 1".into())),
             Some(t) => Some(
                 rayon::ThreadPoolBuilder::new()
                     .num_threads(t)
@@ -122,16 +120,15 @@ mod tests {
     use plssvm_data::synthetic::{generate_planes, PlanesConfig};
 
     fn sample(points: usize) -> DenseMatrix<f64> {
-        generate_planes(&PlanesConfig::new(points, 6, 77)).unwrap().x
+        generate_planes(&PlanesConfig::new(points, 6, 77))
+            .unwrap()
+            .x
     }
 
     #[test]
     fn matches_serial_backend() {
         let data = sample(70); // spans multiple row blocks
-        for kernel in [
-            KernelSpec::Linear,
-            KernelSpec::Rbf { gamma: 0.4 },
-        ] {
+        for kernel in [KernelSpec::Linear, KernelSpec::Rbf { gamma: 0.4 }] {
             let serial = SerialBackend::new(data.clone(), kernel, 1.0);
             let par = ParallelBackend::new(data.clone(), kernel, 1.0, Some(4)).unwrap();
             let n = serial.params().dim();

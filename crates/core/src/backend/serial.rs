@@ -67,6 +67,8 @@ impl<T: Real> SerialBackend<T> {
 }
 
 #[cfg(test)]
+// index loops in these tests mirror the paper's subscript notation
+#[allow(clippy::needless_range_loop)]
 mod tests {
     use super::*;
     use plssvm_data::synthetic::{generate_planes, PlanesConfig};

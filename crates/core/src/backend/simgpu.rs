@@ -33,7 +33,7 @@ use plssvm_data::model::KernelSpec;
 use plssvm_simgpu::cluster::{Interconnect, NodeConfig};
 use plssvm_simgpu::device::AtomicScalar;
 use plssvm_simgpu::{
-    Backend as DeviceApi, DeviceBuffer, Grid, GpuSpec, LaunchConfig, Precision, SimDevice,
+    Backend as DeviceApi, DeviceBuffer, GpuSpec, Grid, LaunchConfig, Precision, SimDevice,
 };
 
 use crate::backend::DeviceReport;
@@ -621,11 +621,8 @@ impl<T: AtomicScalar> SimGpuBackend<T> {
                 }
                 let alpha_dev = dev.copy_to_device(alpha)?;
                 let w_dev = dev.alloc_atomic::<T>(d)?;
-                let cfg = LaunchConfig::new(
-                    "w_kernel",
-                    Grid::one_d(d.div_ceil(tile)),
-                    self.precision,
-                );
+                let cfg =
+                    LaunchConfig::new("w_kernel", Grid::one_d(d.div_ceil(tile)), self.precision);
                 dev.launch(&cfg, |blk, ctx| {
                     let f0 = blk.x * tile;
                     let f1 = (f0 + tile).min(d);
@@ -702,9 +699,7 @@ impl<T: AtomicScalar> SimGpuBackend<T> {
                             let rows = i1 - i0;
                             let cols = j1 - j0;
                             let mut acc = vec![T::ZERO; rows * cols];
-                            accumulate_tile(
-                                buf, padded, d, chunk, mode, i0, i1, j0, j1, &mut acc,
-                            );
+                            accumulate_tile(buf, padded, d, chunk, mode, i0, i1, j0, j1, &mut acc);
                             // finish entries and scatter with atomicAdd mirroring
                             let diagonal_block = blk.x == blk.y;
                             let mut entries = 0u64;
@@ -761,9 +756,7 @@ impl<T: AtomicScalar> SimGpuBackend<T> {
                             let rows = i1 - i0;
                             let cols = j1 - j0;
                             let mut acc = vec![T::ZERO; rows * cols];
-                            accumulate_tile(
-                                buf, padded, d, chunk, mode, i0, i1, j0, j1, &mut acc,
-                            );
+                            accumulate_tile(buf, padded, d, chunk, mode, i0, i1, j0, j1, &mut acc);
                             for r in 0..rows {
                                 let i = i0 + r;
                                 for c in 0..cols {
@@ -858,11 +851,7 @@ mod tests {
         SoAMatrix::from_dense(&d.x, TilingConfig::default().tile())
     }
 
-    fn gpu(
-        data: &SoAMatrix<f64>,
-        kernel: KernelSpec<f64>,
-        devices: usize,
-    ) -> SimGpuBackend<f64> {
+    fn gpu(data: &SoAMatrix<f64>, kernel: KernelSpec<f64>, devices: usize) -> SimGpuBackend<f64> {
         SimGpuBackend::new(
             data,
             kernel,
@@ -1054,10 +1043,7 @@ mod tests {
             let mut out = vec![0.0; n];
             b.kernel_matvec(&v, &mut out);
             for i in 0..n {
-                assert!(
-                    (out[i] - reference[i]).abs() < 1e-9,
-                    "{tiling:?} row {i}"
-                );
+                assert!((out[i] - reference[i]).abs() < 1e-9, "{tiling:?} row {i}");
             }
         }
     }

@@ -46,9 +46,7 @@ impl<T: Real> SparseBackend<T> {
     ) -> Result<Self, SvmError> {
         let pool = match threads {
             None => None,
-            Some(0) => {
-                return Err(SvmError::Solver("thread count must be at least 1".into()))
-            }
+            Some(0) => return Err(SvmError::Solver("thread count must be at least 1".into())),
             Some(t) => Some(
                 rayon::ThreadPoolBuilder::new()
                     .num_threads(t)
@@ -60,9 +58,7 @@ impl<T: Real> SparseBackend<T> {
         let self_dots: Vec<T> = (0..csr.rows()).map(|i| csr.sparse_dot(i, i)).collect();
         let m = csr.rows();
         let last = m - 1;
-        let eval = |i: usize, j: usize| {
-            kernel_sparse(&kernel, &csr, &self_dots, i, j)
-        };
+        let eval = |i: usize, j: usize| kernel_sparse(&kernel, &csr, &self_dots, i, j);
         let params = QTildeParams {
             q: (0..last).map(|i| eval(i, last)).collect(),
             k_mm: eval(last, last),
@@ -150,9 +146,7 @@ fn kernel_sparse<T: Real>(
                 (self_dots[i] + self_dots[j] - T::TWO * csr.sparse_dot(i, j)).max(T::ZERO);
             (-gamma * dist_sq).exp()
         }
-        KernelSpec::Sigmoid { gamma, coef0 } => {
-            gamma.mul_add(csr.sparse_dot(i, j), coef0).tanh()
-        }
+        KernelSpec::Sigmoid { gamma, coef0 } => gamma.mul_add(csr.sparse_dot(i, j), coef0).tanh(),
     }
 }
 
@@ -231,7 +225,9 @@ mod tests {
 
     #[test]
     fn works_on_fully_dense_data() {
-        let data = generate_planes::<f64>(&PlanesConfig::new(20, 4, 3)).unwrap().x;
+        let data = generate_planes::<f64>(&PlanesConfig::new(20, 4, 3))
+            .unwrap()
+            .x;
         let dense = SerialBackend::new(data.clone(), KernelSpec::Linear, 1.0);
         let sparse = SparseBackend::new(&data, KernelSpec::Linear, 1.0, None).unwrap();
         let n = dense.params().dim();

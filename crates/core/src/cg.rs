@@ -13,9 +13,12 @@
 //! parallelism lives; the vector updates here are `O(m)` and negligible
 //! (the paper measures the matvec at >92 % of total runtime).
 
+use std::time::{Duration, Instant};
+
 use plssvm_data::Real;
 
 use crate::kernel::dot;
+use crate::trace::{CgIterationSample, MetricsSink};
 
 /// An abstract symmetric positive definite linear operator.
 pub trait LinOp<T: Real>: Sync {
@@ -115,7 +118,24 @@ pub fn conjugate_gradients<T: Real>(
     b: &[T],
     config: &CgConfig<T>,
 ) -> CgResult<T> {
-    conjugate_gradients_impl(op, b, config, None)
+    conjugate_gradients_impl(op, b, config, None, None)
+}
+
+/// [`conjugate_gradients`] with per-iteration telemetry: each iteration's
+/// residual norm, α, β and matvec wall time is reported to `metrics` (see
+/// [`crate::trace`]). Passing `None` is exactly [`conjugate_gradients`] —
+/// the disabled path costs a single branch per iteration and performs no
+/// timing.
+///
+/// # Panics
+/// Same contract as [`conjugate_gradients`].
+pub fn conjugate_gradients_with_metrics<T: Real>(
+    op: &dyn LinOp<T>,
+    b: &[T],
+    config: &CgConfig<T>,
+    metrics: Option<&dyn MetricsSink>,
+) -> CgResult<T> {
+    conjugate_gradients_impl(op, b, config, None, metrics)
 }
 
 /// Solves `A·x = b` with **Jacobi-preconditioned** CG: `M = diag(A)`,
@@ -134,12 +154,27 @@ pub fn conjugate_gradients_jacobi<T: Real>(
     diagonal: &[T],
     config: &CgConfig<T>,
 ) -> CgResult<T> {
+    conjugate_gradients_jacobi_with_metrics(op, b, diagonal, config, None)
+}
+
+/// [`conjugate_gradients_jacobi`] with per-iteration telemetry, analogous
+/// to [`conjugate_gradients_with_metrics`].
+///
+/// # Panics
+/// Same contract as [`conjugate_gradients_jacobi`].
+pub fn conjugate_gradients_jacobi_with_metrics<T: Real>(
+    op: &dyn LinOp<T>,
+    b: &[T],
+    diagonal: &[T],
+    config: &CgConfig<T>,
+    metrics: Option<&dyn MetricsSink>,
+) -> CgResult<T> {
     assert_eq!(diagonal.len(), op.dim(), "diagonal length mismatch");
     assert!(
         diagonal.iter().all(|d| d.to_f64() > 0.0),
         "Jacobi preconditioner needs a strictly positive diagonal"
     );
-    conjugate_gradients_impl(op, b, config, Some(diagonal))
+    conjugate_gradients_impl(op, b, config, Some(diagonal), metrics)
 }
 
 fn conjugate_gradients_impl<T: Real>(
@@ -147,6 +182,7 @@ fn conjugate_gradients_impl<T: Real>(
     b: &[T],
     config: &CgConfig<T>,
     diagonal: Option<&[T]>,
+    metrics: Option<&dyn MetricsSink>,
 ) -> CgResult<T> {
     let n = op.dim();
     assert_eq!(b.len(), n, "rhs length mismatch");
@@ -180,12 +216,18 @@ fn conjugate_gradients_impl<T: Real>(
     let initial_norm = delta0.sqrt();
     let threshold = config.epsilon * config.epsilon * delta0;
 
+    if let Some(sink) = metrics {
+        sink.record_cg_start(n, initial_norm.to_f64());
+    }
+
     let mut q = vec![T::ZERO; n];
     let mut iterations = 0usize;
     let mut converged = delta <= threshold || delta.to_f64() == 0.0;
 
     while !converged && iterations < max_iterations {
+        let matvec_start = metrics.map(|_| Instant::now());
         op.apply(&d, &mut q);
+        let matvec_wall = matvec_start.map_or(Duration::ZERO, |t| t.elapsed());
         let dq = dot(&d, &q);
         if dq.to_f64() <= 0.0 || !dq.is_finite() {
             // Operator is numerically not SPD along d — stop with the best
@@ -197,7 +239,7 @@ fn conjugate_gradients_impl<T: Real>(
             x[i] = alpha.mul_add(d[i], x[i]);
         }
         iterations += 1;
-        if iterations % config.residual_refresh_interval == 0 {
+        if iterations.is_multiple_of(config.residual_refresh_interval) {
             // exact residual to cancel drift
             op.apply(&x, &mut q);
             for i in 0..n {
@@ -217,6 +259,15 @@ fn conjugate_gradients_impl<T: Real>(
         rho = rho_new;
         delta = dot(&r, &r);
         converged = delta <= threshold;
+        if let Some(sink) = metrics {
+            sink.record_cg_iteration(CgIterationSample {
+                iteration: iterations,
+                residual_norm: delta.max(T::ZERO).sqrt().to_f64(),
+                alpha: alpha.to_f64(),
+                beta: beta.to_f64(),
+                matvec_wall,
+            });
+        }
     }
 
     CgResult {
@@ -229,6 +280,8 @@ fn conjugate_gradients_impl<T: Real>(
 }
 
 #[cfg(test)]
+// index loops in these tests mirror the paper's subscript notation
+#[allow(clippy::needless_range_loop)]
 mod tests {
     use super::*;
 
@@ -291,7 +344,7 @@ mod tests {
     #[test]
     fn zero_rhs_needs_no_iterations() {
         let op = random_spd(8, 1);
-        let r = conjugate_gradients(&op, &vec![0.0; 8], &CgConfig::default());
+        let r = conjugate_gradients(&op, &[0.0; 8], &CgConfig::default());
         assert!(r.converged);
         assert_eq!(r.iterations, 0);
         assert_eq!(r.x, vec![0.0; 8]);
@@ -415,7 +468,9 @@ mod tests {
     fn ill_scaled_spd(n: usize) -> DenseOp {
         let mut op = random_spd(n, 99);
         // scale row/column i by s_i with s spanning 5 orders of magnitude
-        let scales: Vec<f64> = (0..n).map(|i| 10f64.powf(5.0 * i as f64 / n as f64)).collect();
+        let scales: Vec<f64> = (0..n)
+            .map(|i| 10f64.powf(5.0 * i as f64 / n as f64))
+            .collect();
         for i in 0..n {
             for j in 0..n {
                 op.a[i * n + j] *= scales[i] * scales[j];
@@ -482,6 +537,30 @@ mod tests {
     fn jacobi_checks_diagonal_length() {
         let op = identity(3);
         let _ = conjugate_gradients_jacobi(&op, &[1.0; 3], &[1.0; 4], &CgConfig::default());
+    }
+
+    #[test]
+    fn metrics_sink_receives_per_iteration_samples() {
+        use crate::trace::Telemetry;
+        let n = 30;
+        let op = random_spd(n, 3);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        let t = Telemetry::new();
+        let r = conjugate_gradients_with_metrics(&op, &b, &CgConfig::with_epsilon(1e-8), Some(&t));
+        let report = t.report();
+        assert_eq!(report.iterations(), r.iterations);
+        assert_eq!(report.cg_dim, Some(n));
+        assert_eq!(
+            report.cg_initial_residual_norm,
+            Some(r.initial_residual_norm)
+        );
+        let hist = report.residual_history();
+        assert!(hist.iter().all(|x| x.is_finite()));
+        assert_eq!(*hist.last().unwrap(), r.residual_norm);
+        // telemetry must not perturb the numerics
+        let plain = conjugate_gradients(&op, &b, &CgConfig::with_epsilon(1e-8));
+        assert_eq!(plain.x, r.x);
+        assert_eq!(plain.iterations, r.iterations);
     }
 
     #[test]

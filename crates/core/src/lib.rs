@@ -29,11 +29,14 @@ pub mod multiclass;
 pub mod regression;
 pub mod svm;
 pub mod timing;
+pub mod trace;
 pub mod validation;
 pub mod weighted;
 
 pub use error::SvmError;
-pub use svm::{accuracy, predict, predict_decision_values, predict_labels, train, LsSvm, TrainOutput};
+pub use svm::{
+    accuracy, predict, predict_decision_values, predict_labels, train, LsSvm, TrainOutput,
+};
 
 /// Convenient glob-import surface for downstream users.
 pub mod prelude {
@@ -41,10 +44,15 @@ pub mod prelude {
     pub use crate::model_selection::{grid_search, GridSearchConfig, GridSearchResult};
     pub use crate::multiclass::{train_multiclass, MultiClassModel, MultiClassStrategy};
     pub use crate::regression::{mean_squared_error, predict_values, r_squared, LsSvr};
-    pub use crate::svm::{accuracy, predict, predict_labels, predict_linear, train, LsSvm, TrainOutput};
+    pub use crate::svm::{
+        accuracy, predict, predict_labels, predict_linear, train, LsSvm, TrainOutput,
+    };
+    pub use crate::trace::{MetricsSink, Telemetry, TelemetryReport};
     pub use crate::validation::{cross_validate, CvResult};
     pub use crate::weighted::{robust_weights, train_robust, RobustTrainOutput};
-    pub use plssvm_data::libsvm::{read_libsvm_file, write_libsvm_file, LabeledData, RegressionData};
+    pub use plssvm_data::libsvm::{
+        read_libsvm_file, write_libsvm_file, LabeledData, RegressionData,
+    };
     pub use plssvm_data::model::{KernelSpec, SvmModel, SvrModel};
     pub use plssvm_data::Real;
 }

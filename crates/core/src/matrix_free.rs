@@ -45,7 +45,9 @@ impl<T: Real> QTildeParams<T> {
         let m = data.points();
         assert!(m >= 2, "need at least two data points");
         let last = m - 1;
-        let q = (0..last).map(|i| kernel_soa(kernel, data, i, last)).collect();
+        let q = (0..last)
+            .map(|i| kernel_soa(kernel, data, i, last))
+            .collect();
         Self {
             q,
             k_mm: kernel_soa(kernel, data, last, last),
@@ -102,15 +104,12 @@ impl<T: Real> QTildeParams<T> {
                 self.dim() + 1
             ));
         }
+        // the negated comparison deliberately rejects NaN as well
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if let Some(bad) = weights.iter().find(|w| !(w.to_f64() > 0.0)) {
             return Err(format!("sample weights must be positive, got {bad}"));
         }
-        self.ridge_diag = Some(
-            weights
-                .iter()
-                .map(|&w| T::ONE / (cost * w))
-                .collect(),
-        );
+        self.ridge_diag = Some(weights.iter().map(|&w| T::ONE / (cost * w)).collect());
         Ok(())
     }
 
@@ -184,6 +183,8 @@ pub fn full_alpha<T: Real>(alpha_tilde: &[T]) -> Vec<T> {
 }
 
 #[cfg(test)]
+// index loops in these tests mirror the paper's subscript notation
+#[allow(clippy::needless_range_loop)]
 mod tests {
     use super::*;
     use plssvm_data::synthetic::{generate_planes, PlanesConfig};
@@ -231,7 +232,9 @@ mod tests {
             // implicit: out = K v, then corrections
             let mut implicit = vec![0.0; n];
             for i in 0..n {
-                implicit[i] = (0..n).map(|j| kernel_soa(&kernel, &data, i, j) * v[j]).sum();
+                implicit[i] = (0..n)
+                    .map(|j| kernel_soa(&kernel, &data, i, j) * v[j])
+                    .sum();
             }
             params.apply_corrections(&v, &mut implicit);
 
@@ -328,8 +331,7 @@ mod tests {
         for i in 0..m {
             let mut lhs = b;
             for j in 0..m {
-                let k = kernel_soa(&kernel, &data, i, j)
-                    + if i == j { 1.0 / cost } else { 0.0 };
+                let k = kernel_soa(&kernel, &data, i, j) + if i == j { 1.0 / cost } else { 0.0 };
                 lhs += k * alpha[j];
             }
             assert!((lhs - y[i]).abs() < 1e-8, "row {i}: {lhs} vs {}", y[i]);

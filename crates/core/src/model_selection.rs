@@ -110,10 +110,7 @@ pub fn grid_search<T: AtomicScalar>(
     for &cost in &config.costs {
         for &gamma in gammas {
             let kernel = with_gamma(&template.kernel, gamma);
-            let trainer = template
-                .clone()
-                .with_kernel(kernel)
-                .with_cost(cost);
+            let trainer = template.clone().with_kernel(kernel).with_cost(cost);
             let cv = cross_validate(data, &trainer, config.folds, config.seed)?;
             let point = GridPoint {
                 cost,

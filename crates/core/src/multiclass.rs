@@ -110,9 +110,7 @@ impl<T: Real> MultiClassModel<T> {
                     }
                     let best = (0..k)
                         .max_by(|&i, &j| {
-                            votes[i]
-                                .cmp(&votes[j])
-                                .then(score[i].total_cmp(&score[j]))
+                            votes[i].cmp(&votes[j]).then(score[i].total_cmp(&score[j]))
                         })
                         .unwrap();
                     self.classes[best]
@@ -406,7 +404,9 @@ mod tests {
         // wrong model count
         let data = blobs(3, 7);
         let model = train_multiclass(&data, &trainer(), MultiClassStrategy::OneVsOne).unwrap();
-        let text = model.to_container_string().replace("nr_class 3", "nr_class 4");
+        let text = model
+            .to_container_string()
+            .replace("nr_class 3", "nr_class 4");
         let text = text.replace("classes 1 2 3", "classes 1 2 3 4");
         assert!(MultiClassModel::<f64>::from_container_string(&text).is_err());
     }
@@ -429,7 +429,7 @@ mod tests {
             let class = i % 3;
             let radius = 1.0 + 2.0 * class as f64;
             rows.push(vec![radius * angle.cos(), radius * angle.sin()]);
-            labels.push(class as i32 + 1);
+            labels.push(class + 1);
         }
         let data = MultiClassData::new(DenseMatrix::from_rows(rows).unwrap(), labels).unwrap();
         let t = LsSvm::new()

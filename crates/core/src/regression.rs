@@ -9,6 +9,9 @@
 //! Every backend, the CG solver and the multi-device split work unchanged;
 //! only the model file and the prediction (no sign function) differ.
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use rayon::prelude::*;
 
 use plssvm_data::dense::{DenseMatrix, SoAMatrix};
@@ -18,10 +21,11 @@ use plssvm_data::Real;
 use plssvm_simgpu::device::AtomicScalar;
 
 use crate::backend::{BackendSelection, DeviceReport, Prepared};
-use crate::cg::{conjugate_gradients, CgConfig};
+use crate::cg::{conjugate_gradients_with_metrics, CgConfig};
 use crate::error::SvmError;
 use crate::kernel::kernel_row;
 use crate::matrix_free::{bias, full_alpha, reduced_rhs};
+use crate::trace::{spans, MetricsSink, SpanRecorder, Telemetry, TelemetryReport};
 
 /// LS-SVR trainer configuration (mirrors [`crate::svm::LsSvm`]).
 ///
@@ -51,6 +55,9 @@ pub struct LsSvr<T> {
     pub max_iterations: Option<usize>,
     /// Execution backend.
     pub backend: BackendSelection,
+    /// Optional observability sink (see [`crate::trace`]); mirrors
+    /// [`crate::svm::LsSvm::metrics`].
+    pub metrics: Option<Arc<Telemetry>>,
 }
 
 impl<T: Real> Default for LsSvr<T> {
@@ -61,6 +68,7 @@ impl<T: Real> Default for LsSvr<T> {
             epsilon: T::from_f64(1e-3),
             max_iterations: None,
             backend: BackendSelection::default(),
+            metrics: None,
         }
     }
 }
@@ -78,6 +86,9 @@ pub struct SvrTrainOutput<T> {
     pub relative_residual: f64,
     /// Device counters (simulated backends only).
     pub device: Option<DeviceReport>,
+    /// The unified observability report (`Some` iff a sink was attached
+    /// via [`LsSvr::with_metrics`]).
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl<T: AtomicScalar> LsSvr<T> {
@@ -110,30 +121,55 @@ impl<T: AtomicScalar> LsSvr<T> {
         self
     }
 
+    /// Attaches an observability sink; mirrors
+    /// [`crate::svm::LsSvm::with_metrics`].
+    pub fn with_metrics(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.metrics = Some(telemetry);
+        self
+    }
+
     /// Trains on a regression data set.
     pub fn train(&self, data: &RegressionData<T>) -> Result<SvrTrainOutput<T>, SvmError> {
+        let t_total = Instant::now();
         if data.points() < 2 {
             return Err(SvmError::Solver(
                 "regression needs at least two data points".into(),
             ));
         }
-        let soa = match &self.backend {
+        let mut rec = SpanRecorder::new();
+        let soa = rec.time(spans::TRANSFORM, || match &self.backend {
             BackendSelection::SimGpu { tiling, .. }
             | BackendSelection::SimGpuRows { tiling, .. }
             | BackendSelection::SimCluster { tiling, .. } => {
                 Some(SoAMatrix::from_dense(&data.x, tiling.tile()))
             }
             _ => None,
-        };
-        let prepared =
-            Prepared::new(&self.backend, &data.x, soa.as_ref(), &self.kernel, self.cost)?;
+        });
+        let t_cg = Instant::now();
+        let t_setup = Instant::now();
+        let mut prepared = Prepared::new(
+            &self.backend,
+            &data.x,
+            soa.as_ref(),
+            &self.kernel,
+            self.cost,
+        )?;
+        if let Some(sink) = &self.metrics {
+            prepared.set_metrics(Arc::clone(sink) as Arc<dyn MetricsSink>);
+        }
         let rhs = reduced_rhs(&data.y);
+        rec.record(spans::CG_SETUP, t_setup.elapsed());
         let cfg = CgConfig {
             epsilon: self.epsilon,
             max_iterations: self.max_iterations,
             ..CgConfig::default()
         };
-        let solve = conjugate_gradients(&prepared, &rhs, &cfg);
+        let metrics_ref = self.metrics.as_deref().map(|t| t as &dyn MetricsSink);
+        let t_solve = Instant::now();
+        let solve = conjugate_gradients_with_metrics(&prepared, &rhs, &cfg, metrics_ref);
+        rec.record(spans::CG_SOLVE, t_solve.elapsed());
+        rec.record(spans::CG, t_cg.elapsed());
+        let t_write = Instant::now();
         let b = bias(prepared.params(), &data.y, &solve.x);
         let alpha = full_alpha(&solve.x);
         let model = SvrModel {
@@ -142,12 +178,23 @@ impl<T: AtomicScalar> LsSvr<T> {
             sv: data.x.clone(),
             coef: alpha,
         };
+        rec.record(spans::WRITE, t_write.elapsed());
+        rec.record(spans::TRAIN, t_total.elapsed());
+        let device = prepared.device_report();
+        let telemetry = self.metrics.as_ref().map(|t| {
+            if let Some(dev) = &device {
+                dev.fold_into(&**t);
+            }
+            rec.flush_into(&**t);
+            t.report()
+        });
         Ok(SvrTrainOutput {
             model,
             iterations: solve.iterations,
             converged: solve.converged,
             relative_residual: solve.relative_residual().to_f64(),
-            device: prepared.device_report(),
+            device,
+            telemetry,
         })
     }
 }
@@ -283,7 +330,10 @@ mod tests {
             BackendSelection::SparseCpu { threads: None },
             BackendSelection::sim_gpu(hw::A100, DeviceApi::Cuda),
         ] {
-            let out = rbf_svr().with_backend(backend.clone()).train(&data).unwrap();
+            let out = rbf_svr()
+                .with_backend(backend.clone())
+                .train(&data)
+                .unwrap();
             assert!(
                 (out.model.rho - reference.model.rho).abs() < 1e-6,
                 "{backend:?}"
@@ -315,7 +365,11 @@ mod tests {
             .unwrap();
         let quad = LsSvr::new()
             .with_epsilon(1e-10)
-            .with_backend(BackendSelection::sim_multi_gpu(hw::A100, DeviceApi::Cuda, 3))
+            .with_backend(BackendSelection::sim_multi_gpu(
+                hw::A100,
+                DeviceApi::Cuda,
+                3,
+            ))
             .train(&data)
             .unwrap();
         assert!((single.model.rho - quad.model.rho).abs() < 1e-6);
@@ -337,6 +391,19 @@ mod tests {
             assert!((x - y).abs() < 1e-12);
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn telemetry_mirrors_classification_api() {
+        use crate::trace::{spans, Telemetry};
+        let data = sinc(80, 0.02, 4);
+        let t = Telemetry::shared();
+        let out = rbf_svr().with_metrics(t.clone()).train(&data).unwrap();
+        let report = out.telemetry.expect("telemetry");
+        assert_eq!(report.iterations(), out.iterations);
+        assert!(report.kernels["svm_kernel"].launches >= out.iterations as u64);
+        assert!(report.span(spans::CG) >= report.span(spans::CG_SOLVE));
+        assert!(report.span(spans::TRAIN) >= report.span(spans::CG));
     }
 
     #[test]

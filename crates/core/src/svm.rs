@@ -7,6 +7,7 @@
 //! Every step is timed individually (Fig. 2).
 
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
 use rayon::prelude::*;
@@ -18,11 +19,14 @@ use plssvm_data::Real;
 use plssvm_simgpu::device::AtomicScalar;
 
 use crate::backend::{BackendSelection, DeviceReport, Prepared};
-use crate::cg::{conjugate_gradients, conjugate_gradients_jacobi, CgConfig};
+use crate::cg::{
+    conjugate_gradients_jacobi_with_metrics, conjugate_gradients_with_metrics, CgConfig,
+};
 use crate::error::SvmError;
 use crate::kernel::kernel_row;
 use crate::matrix_free::{bias, full_alpha, reduced_rhs};
 use crate::timing::ComponentTimes;
+use crate::trace::{spans, MetricsSink, SpanRecorder, Telemetry, TelemetryReport};
 
 /// LS-SVM trainer configuration (builder style).
 ///
@@ -61,6 +65,11 @@ pub struct LsSvm<T> {
     /// Solve with Jacobi-preconditioned CG instead of plain CG (an
     /// extension past the paper; helps on badly scaled kernels).
     pub jacobi_preconditioner: bool,
+    /// Optional observability sink (see [`crate::trace`]): when set, the
+    /// run records per-iteration CG telemetry, unified kernel-launch
+    /// counters and timing spans, and [`TrainOutput::telemetry`] carries
+    /// the report. `None` (the default) records nothing.
+    pub metrics: Option<Arc<Telemetry>>,
 }
 
 impl<T: Real> Default for LsSvm<T> {
@@ -73,6 +82,7 @@ impl<T: Real> Default for LsSvm<T> {
             backend: BackendSelection::default(),
             sample_weights: None,
             jacobi_preconditioner: false,
+            metrics: None,
         }
     }
 }
@@ -125,6 +135,14 @@ impl<T: AtomicScalar> LsSvm<T> {
         self
     }
 
+    /// Attaches an observability sink: the training run records CG
+    /// telemetry, unified kernel counters and timing spans into it, and
+    /// [`TrainOutput::telemetry`] carries the resulting report.
+    pub fn with_metrics(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.metrics = Some(telemetry);
+        self
+    }
+
     /// Trains on an in-memory data set (the `read` component is zero).
     pub fn train(&self, data: &LabeledData<T>) -> Result<TrainOutput<T>, SvmError> {
         self.train_inner(data, std::time::Duration::ZERO, None)
@@ -155,25 +173,34 @@ impl<T: AtomicScalar> LsSvm<T> {
                 "training needs at least two data points".into(),
             ));
         }
+        let mut rec = SpanRecorder::new();
+        rec.record(spans::READ, read);
 
         // (2a) transform: 2D row-major → padded column-major SoA. The
         // paper applies this step only for its GPU backends (§IV-E); the
         // CPU backends work on the row-major layout directly.
-        let t = Instant::now();
-        let soa = match &self.backend {
+        let soa = rec.time(spans::TRANSFORM, || match &self.backend {
             BackendSelection::SimGpu { tiling, .. }
             | BackendSelection::SimGpuRows { tiling, .. }
             | BackendSelection::SimCluster { tiling, .. } => {
                 Some(SoAMatrix::from_dense(&data.x, tiling.tile()))
             }
             _ => None,
-        };
-        let transform = t.elapsed();
+        });
 
         // (2b + 3) device setup, upload and CG solve
-        let t = Instant::now();
-        let mut prepared =
-            Prepared::new(&self.backend, &data.x, soa.as_ref(), &self.kernel, self.cost)?;
+        let t_cg = Instant::now();
+        let t_setup = Instant::now();
+        let mut prepared = Prepared::new(
+            &self.backend,
+            &data.x,
+            soa.as_ref(),
+            &self.kernel,
+            self.cost,
+        )?;
+        if let Some(sink) = &self.metrics {
+            prepared.set_metrics(Arc::clone(sink) as Arc<dyn MetricsSink>);
+        }
         if let Some(weights) = &self.sample_weights {
             if weights.len() != data.points() {
                 return Err(SvmError::Solver(format!(
@@ -185,11 +212,14 @@ impl<T: AtomicScalar> LsSvm<T> {
             prepared.set_sample_weights(weights, self.cost)?;
         }
         let rhs = reduced_rhs(&data.y);
+        rec.record(spans::CG_SETUP, t_setup.elapsed());
         let cg_cfg = CgConfig {
             epsilon: self.epsilon,
             max_iterations: self.max_iterations,
             ..CgConfig::default()
         };
+        let metrics_ref = self.metrics.as_deref().map(|t| t as &dyn MetricsSink);
+        let t_solve = Instant::now();
         let solve = if self.jacobi_preconditioner {
             // diag(Q̃)ᵢ = k(xᵢ,xᵢ) + ridgeᵢ − 2qᵢ + Q_mm, O(m·d) on the host
             let params = prepared.params();
@@ -200,14 +230,21 @@ impl<T: AtomicScalar> LsSvm<T> {
                         + params.q_mm()
                 })
                 .collect();
-            conjugate_gradients_jacobi(&prepared, &rhs, &diagonal, &cg_cfg)
+            conjugate_gradients_jacobi_with_metrics(
+                &prepared,
+                &rhs,
+                &diagonal,
+                &cg_cfg,
+                metrics_ref,
+            )
         } else {
-            conjugate_gradients(&prepared, &rhs, &cg_cfg)
+            conjugate_gradients_with_metrics(&prepared, &rhs, &cg_cfg, metrics_ref)
         };
-        let cg = t.elapsed();
+        rec.record(spans::CG_SOLVE, t_solve.elapsed());
+        rec.record(spans::CG, t_cg.elapsed());
 
         // (4) assemble the model (and optionally write it)
-        let t = Instant::now();
+        let t_write = Instant::now();
         let b = bias(prepared.params(), &data.y, &solve.x);
         let alpha = full_alpha(&solve.x);
         // Eq. 15: for the linear kernel the explicit normal vector w is
@@ -230,23 +267,30 @@ impl<T: AtomicScalar> LsSvm<T> {
         if let Some(path) = model_path {
             model.save(path)?;
         }
-        let write = t.elapsed();
+        rec.record(spans::WRITE, t_write.elapsed());
+        rec.record(spans::TRAIN, t_total.elapsed() + read);
+
+        let device = prepared.device_report();
+        let telemetry = self.metrics.as_ref().map(|t| {
+            // the device backend's counters live on-device; fold them into
+            // the unified schema now that the run is over
+            if let Some(dev) = &device {
+                dev.fold_into(&**t);
+            }
+            rec.flush_into(&**t);
+            t.report()
+        });
 
         Ok(TrainOutput {
             model,
-            times: ComponentTimes {
-                read,
-                transform,
-                cg,
-                write,
-                total: t_total.elapsed() + read,
-            },
+            times: ComponentTimes::from_spans(rec.spans()),
             iterations: solve.iterations,
             converged: solve.converged,
             relative_residual: solve.relative_residual().to_f64(),
             backend_name: self.backend.name(),
             linear_w,
-            device: prepared.device_report(),
+            device,
+            telemetry,
         })
     }
 }
@@ -273,6 +317,10 @@ pub struct TrainOutput<T> {
     pub linear_w: Option<Vec<T>>,
     /// Device counters (simulated backends only).
     pub device: Option<DeviceReport>,
+    /// The unified observability report (`Some` iff a sink was attached
+    /// via [`LsSvm::with_metrics`]): per-iteration CG telemetry, unified
+    /// kernel-launch counters and hierarchical timing spans.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 /// Trains with the given configuration — convenience wrapper around
@@ -328,7 +376,13 @@ pub fn predict_labels<T: Real>(model: &SvmModel<T>, x: &DenseMatrix<T>) -> Vec<i
 /// `f(x) = ⟨w, x⟩ + b` — O(d) per point instead of the O(m·d) kernel sum
 /// (Eq. 4 of the paper). `bias` is `−rho`.
 pub fn predict_linear<T: Real>(w: &[T], bias: T, x: &DenseMatrix<T>) -> Vec<T> {
-    assert_eq!(w.len(), x.cols(), "w has {} features, data {}", w.len(), x.cols());
+    assert_eq!(
+        w.len(),
+        x.cols(),
+        "w has {} features, data {}",
+        w.len(),
+        x.cols()
+    );
     (0..x.rows())
         .into_par_iter()
         .map(|p| crate::kernel::dot(w, x.row(p)) + bias)
@@ -347,6 +401,8 @@ pub fn accuracy<T: Real>(model: &SvmModel<T>, data: &LabeledData<T>) -> f64 {
 }
 
 #[cfg(test)]
+// index loops in these tests mirror the paper's subscript notation
+#[allow(clippy::needless_range_loop)]
 mod tests {
     use super::*;
     use plssvm_data::synthetic::{generate_planes, PlanesConfig};
@@ -365,10 +421,7 @@ mod tests {
     #[test]
     fn trains_separable_problem_to_high_accuracy() {
         let data = planes(120, 8, 1);
-        let out = LsSvm::new()
-            .with_epsilon(1e-6)
-            .train(&data)
-            .unwrap();
+        let out = LsSvm::new().with_epsilon(1e-6).train(&data).unwrap();
         assert!(out.converged);
         assert!(out.iterations >= 1);
         let acc = accuracy(&out.model, &data);
@@ -660,12 +713,8 @@ mod tests {
     #[test]
     fn three_point_training_with_duplicates() {
         // duplicated points keep Q̃ SPD thanks to the ridge
-        let x = DenseMatrix::from_rows(vec![
-            vec![1.0f64, 1.0],
-            vec![1.0, 1.0],
-            vec![-1.0, -1.0],
-        ])
-        .unwrap();
+        let x = DenseMatrix::from_rows(vec![vec![1.0f64, 1.0], vec![1.0, 1.0], vec![-1.0, -1.0]])
+            .unwrap();
         let data = LabeledData::new(x, vec![1.0, 1.0, -1.0]).unwrap();
         let out = LsSvm::new().with_epsilon(1e-10).train(&data).unwrap();
         assert!(out.converged);

@@ -5,8 +5,14 @@
 //! linear equations on the selected backend, including device transfers)
 //! and `write` (produce the model file); `total` covers the complete run
 //! including everything not attributed to a component.
+//!
+//! Since the observability layer ([`crate::trace`]) was introduced, this
+//! breakdown is a *derived projection* of the hierarchical timing spans
+//! recorded during training — see [`ComponentTimes::from_spans`].
 
 use std::time::Duration;
+
+use crate::trace::{spans, SpanRecord};
 
 /// Wall-clock durations of the four training steps.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -25,6 +31,27 @@ pub struct ComponentTimes {
 }
 
 impl ComponentTimes {
+    /// Projects the hierarchical timing spans of a training run onto the
+    /// paper's four-component breakdown. Spans not part of the projection
+    /// (e.g. the `train/cg/*` children) are simply ignored; a missing
+    /// component is zero.
+    pub fn from_spans(recorded: &[SpanRecord]) -> Self {
+        let get = |path: &str| -> Duration {
+            recorded
+                .iter()
+                .filter(|s| s.path == path)
+                .map(|s| s.wall)
+                .sum()
+        };
+        Self {
+            read: get(spans::READ),
+            transform: get(spans::TRANSFORM),
+            cg: get(spans::CG),
+            write: get(spans::WRITE),
+            total: get(spans::TRAIN),
+        }
+    }
+
     /// The component durations as `(name, seconds)` rows, in the paper's
     /// plotting order.
     pub fn rows(&self) -> [(&'static str, f64); 5] {
@@ -91,6 +118,33 @@ mod tests {
         };
         assert!((t.cg_fraction() - 0.92).abs() < 1e-12);
         assert_eq!(ComponentTimes::default().cg_fraction(), 0.0);
+    }
+
+    #[test]
+    fn from_spans_projects_the_canonical_paths() {
+        let recorded = vec![
+            SpanRecord {
+                path: spans::READ.into(),
+                wall: Duration::from_millis(100),
+            },
+            SpanRecord {
+                path: spans::CG.into(),
+                wall: Duration::from_millis(800),
+            },
+            SpanRecord {
+                path: spans::CG_SOLVE.into(),
+                wall: Duration::from_millis(700),
+            },
+            SpanRecord {
+                path: spans::TRAIN.into(),
+                wall: Duration::from_millis(1000),
+            },
+        ];
+        let t = ComponentTimes::from_spans(&recorded);
+        assert_eq!(t.read, Duration::from_millis(100));
+        assert_eq!(t.cg, Duration::from_millis(800)); // children not double counted
+        assert_eq!(t.transform, Duration::ZERO);
+        assert_eq!(t.total, Duration::from_millis(1000));
     }
 
     #[test]

@@ -1,0 +1,567 @@
+//! Unified solver observability: CG telemetry, kernel-launch metrics and
+//! hierarchical timing spans.
+//!
+//! The paper argues its performance case with three kinds of evidence:
+//! per-ε CG iteration counts (Fig. 3), kernel launch counts / achieved
+//! FLOP rates from Nsight profiles (§IV-C), and a per-component runtime
+//! breakdown (Fig. 2). This module gives the repository one schema for all
+//! three so every backend — serial, "OpenMP", sparse and the simulated
+//! devices — reports into the same place:
+//!
+//! * [`MetricsSink`] — the recording interface. Backends call
+//!   [`MetricsSink::record_launch`] once per (logical) kernel launch, the
+//!   CG solver calls [`MetricsSink::record_cg_iteration`] once per
+//!   iteration, and the training drivers record wall-clock
+//!   [`MetricsSink::record_span`]s.
+//! * [`Telemetry`] — the standard sink: a lock-protected collector that
+//!   can be snapshotted into a [`TelemetryReport`] at any time.
+//! * [`TelemetryReport`] — the immutable result attached to
+//!   [`crate::svm::TrainOutput::telemetry`], with a deterministic subset
+//!   ([`TelemetryReport::deterministic_summary`]) and a line-oriented JSON
+//!   serialization ([`TelemetryReport::to_json_lines`]) for the CLI's
+//!   `--metrics-out`.
+//!
+//! **Counting convention.** The CPU backends record the *logical* work of
+//! the implicit operator (every entry of `K·v` evaluated once), so the
+//! serial, "OpenMP" and sparse counters are identical by construction —
+//! symmetry tricks and sparse storage are implementation details that do
+//! not change what is mathematically computed. The device backend records
+//! what its tiled kernels *actually* execute (triangular blocking with
+//! atomic mirroring, §III-C), folded out of the per-device
+//! `plssvm_simgpu::PerfReport`s into the same schema. Counters and
+//! simulated times are deterministic; wall-clock spans and per-matvec wall
+//! times are not, and are therefore excluded from the deterministic
+//! subset.
+//!
+//! Telemetry is strictly opt-in: a disabled sink costs one `Option` branch
+//! per CG iteration and per matvec — nothing is timed or allocated.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Canonical span paths used by the training drivers (the hierarchical
+/// replacement of the ad-hoc `ComponentTimes` plumbing).
+pub mod spans {
+    /// The complete training run.
+    pub const TRAIN: &str = "train";
+    /// Reading and parsing the input file.
+    pub const READ: &str = "train/read";
+    /// 2D row-major → padded SoA transform.
+    pub const TRANSFORM: &str = "train/transform";
+    /// The `cg` component: backend setup, transfers and the CG solve.
+    pub const CG: &str = "train/cg";
+    /// Backend setup and data upload (child of [`CG`]).
+    pub const CG_SETUP: &str = "train/cg/setup";
+    /// The CG iterations themselves (child of [`CG`]).
+    pub const CG_SOLVE: &str = "train/cg/solve";
+    /// Model assembly and (optional) model file write.
+    pub const WRITE: &str = "train/write";
+}
+
+/// One CG iteration's telemetry sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgIterationSample {
+    /// 1-based iteration number.
+    pub iteration: usize,
+    /// `‖rₖ‖` after this iteration (recurrence value, deterministic).
+    pub residual_norm: f64,
+    /// Step length α of this iteration (deterministic).
+    pub alpha: f64,
+    /// Direction update β of this iteration (deterministic).
+    pub beta: f64,
+    /// Wall-clock time of this iteration's `A·d` matvec (not
+    /// deterministic; excluded from the deterministic subset).
+    pub matvec_wall: Duration,
+}
+
+/// Aggregated counters for one kernel name — the unified schema the
+/// per-backend bookkeeping folds into.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelCounter {
+    /// Number of launches (CPU backends: one per logical kernel
+    /// invocation; device backends: one per device launch).
+    pub launches: u64,
+    /// Floating point operations across all launches.
+    pub flops: u128,
+    /// Global memory traffic in bytes across all launches (CPU backends:
+    /// the logical minimum traffic; device backends: counted traffic).
+    pub bytes: u128,
+    /// Simulated seconds (roofline model; 0 for CPU backends).
+    pub sim_time_s: f64,
+}
+
+impl KernelCounter {
+    /// Achieved arithmetic throughput in FLOP/s against the *simulated*
+    /// time (0 if no simulated time was recorded).
+    pub fn achieved_flops(&self) -> f64 {
+        if self.sim_time_s > 0.0 {
+            self.flops as f64 / self.sim_time_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One recorded wall-clock span. Paths are `/`-separated for hierarchy
+/// (`train/cg/solve` is a child of `train/cg`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Hierarchical span path (see [`spans`] for the canonical names).
+    pub path: String,
+    /// Wall-clock duration of the span.
+    pub wall: Duration,
+}
+
+/// The recording interface of the observability layer.
+///
+/// Every backend reports into a `MetricsSink`; [`Telemetry`] is the
+/// standard implementation. Implementations must be thread-safe — device
+/// backends record from the (potentially parallel) launch path.
+pub trait MetricsSink: Send + Sync {
+    /// Records `launches` launches of kernel `name` with the given
+    /// aggregate cost.
+    fn record_launch(&self, name: &str, launches: u64, flops: u128, bytes: u128, sim_time_s: f64);
+
+    /// Records the start of a CG solve (`dim` unknowns, `‖r₀‖`).
+    fn record_cg_start(&self, dim: usize, initial_residual_norm: f64);
+
+    /// Records one CG iteration.
+    fn record_cg_iteration(&self, sample: CgIterationSample);
+
+    /// Records one wall-clock span.
+    fn record_span(&self, path: &str, wall: Duration);
+}
+
+#[derive(Debug, Default)]
+struct TelemetryState {
+    kernels: BTreeMap<String, KernelCounter>,
+    cg_dim: Option<usize>,
+    cg_initial_residual_norm: Option<f64>,
+    cg: Vec<CgIterationSample>,
+    spans: Vec<SpanRecord>,
+}
+
+/// The standard [`MetricsSink`]: collects everything behind a lock and
+/// snapshots into a [`TelemetryReport`].
+///
+/// ```
+/// use std::sync::Arc;
+/// use plssvm_core::prelude::*;
+/// use plssvm_core::trace::Telemetry;
+/// use plssvm_data::synthetic::{generate_planes, PlanesConfig};
+///
+/// let data = generate_planes::<f64>(&PlanesConfig::new(64, 8, 42))?;
+/// let telemetry = Telemetry::shared();
+/// let out = LsSvm::new()
+///     .with_epsilon(1e-6)
+///     .with_metrics(Arc::clone(&telemetry))
+///     .train(&data)?;
+/// let report = out.telemetry.expect("telemetry was enabled");
+/// assert_eq!(report.iterations(), out.iterations);
+/// assert!(report.kernels.contains_key("svm_kernel"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    state: Mutex<TelemetryState>,
+}
+
+impl Telemetry {
+    /// A fresh, empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A fresh collector already wrapped in the [`Arc`] the training APIs
+    /// take.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TelemetryState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Snapshots the collected data.
+    pub fn report(&self) -> TelemetryReport {
+        let s = self.lock();
+        TelemetryReport {
+            kernels: s.kernels.clone(),
+            cg_dim: s.cg_dim,
+            cg_initial_residual_norm: s.cg_initial_residual_norm,
+            cg: s.cg.clone(),
+            spans: s.spans.clone(),
+        }
+    }
+
+    /// Clears all collected data (for sink reuse across runs).
+    pub fn reset(&self) {
+        *self.lock() = TelemetryState::default();
+    }
+}
+
+impl MetricsSink for Telemetry {
+    fn record_launch(&self, name: &str, launches: u64, flops: u128, bytes: u128, sim_time_s: f64) {
+        let mut s = self.lock();
+        let entry = s.kernels.entry(name.to_owned()).or_default();
+        entry.launches += launches;
+        entry.flops += flops;
+        entry.bytes += bytes;
+        entry.sim_time_s += sim_time_s;
+    }
+
+    fn record_cg_start(&self, dim: usize, initial_residual_norm: f64) {
+        let mut s = self.lock();
+        s.cg_dim = Some(dim);
+        s.cg_initial_residual_norm = Some(initial_residual_norm);
+        s.cg.clear();
+    }
+
+    fn record_cg_iteration(&self, sample: CgIterationSample) {
+        self.lock().cg.push(sample);
+    }
+
+    fn record_span(&self, path: &str, wall: Duration) {
+        self.lock().spans.push(SpanRecord {
+            path: path.to_owned(),
+            wall,
+        });
+    }
+}
+
+/// Immutable snapshot of one training run's telemetry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetryReport {
+    /// Unified kernel counters, keyed by kernel name (`q_kernel`,
+    /// `svm_kernel`, `w_kernel`).
+    pub kernels: BTreeMap<String, KernelCounter>,
+    /// Dimension of the reduced CG system (`m − 1`), when a solve ran.
+    pub cg_dim: Option<usize>,
+    /// `‖r₀‖` of the CG solve, when a solve ran.
+    pub cg_initial_residual_norm: Option<f64>,
+    /// Per-iteration CG samples, in iteration order.
+    pub cg: Vec<CgIterationSample>,
+    /// Recorded wall-clock spans, in recording order.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl TelemetryReport {
+    /// Number of CG iterations recorded.
+    pub fn iterations(&self) -> usize {
+        self.cg.len()
+    }
+
+    /// The per-iteration residual norms, in iteration order.
+    pub fn residual_history(&self) -> Vec<f64> {
+        self.cg.iter().map(|s| s.residual_norm).collect()
+    }
+
+    /// Total kernel launches across all kernels.
+    pub fn total_launches(&self) -> u64 {
+        self.kernels.values().map(|k| k.launches).sum()
+    }
+
+    /// Total FLOPs across all kernels.
+    pub fn total_flops(&self) -> u128 {
+        self.kernels.values().map(|k| k.flops).sum()
+    }
+
+    /// Total global memory traffic across all kernels, in bytes.
+    pub fn total_bytes(&self) -> u128 {
+        self.kernels.values().map(|k| k.bytes).sum()
+    }
+
+    /// Sum of the wall-clock of all spans matching `path` (0 when absent).
+    pub fn span(&self, path: &str) -> Duration {
+        self.spans
+            .iter()
+            .filter(|s| s.path == path)
+            .map(|s| s.wall)
+            .sum()
+    }
+
+    /// The deterministic subset of the telemetry, serialized to a string
+    /// that is byte-identical across repeated runs on identical inputs:
+    /// the iteration count, per-kernel launch/FLOP/byte counters, and the
+    /// bit-exact residual history. Wall-clock (and simulated) times are
+    /// excluded.
+    pub fn deterministic_summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "iterations={}", self.cg.len());
+        if let Some(dim) = self.cg_dim {
+            let _ = writeln!(out, "cg_dim={dim}");
+        }
+        if let Some(r0) = self.cg_initial_residual_norm {
+            let _ = writeln!(out, "initial_residual_bits={:016x}", r0.to_bits());
+        }
+        for (name, k) in &self.kernels {
+            let _ = writeln!(
+                out,
+                "kernel={name} launches={} flops={} bytes={}",
+                k.launches, k.flops, k.bytes
+            );
+        }
+        for s in &self.cg {
+            let _ = writeln!(
+                out,
+                "iter={} residual_bits={:016x} alpha_bits={:016x} beta_bits={:016x}",
+                s.iteration,
+                s.residual_norm.to_bits(),
+                s.alpha.to_bits(),
+                s.beta.to_bits()
+            );
+        }
+        out
+    }
+
+    /// Serializes the full report as line-oriented JSON (one object per
+    /// line), the format of the CLI's `--metrics-out`.
+    ///
+    /// Documented line types and keys:
+    /// * `{"type":"cg_start","dim":n,"initial_residual_norm":x}`
+    /// * `{"type":"cg_iteration","iteration":k,"residual_norm":x,`
+    ///   `"alpha":x,"beta":x,"matvec_wall_s":x}`
+    /// * `{"type":"kernel","name":"svm_kernel","launches":n,"flops":n,`
+    ///   `"bytes":n,"sim_time_s":x}`
+    /// * `{"type":"span","path":"train/cg","wall_s":x}`
+    ///
+    /// Non-finite floats serialize as `null`; all other values are plain
+    /// JSON numbers or strings.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        if let (Some(dim), Some(r0)) = (self.cg_dim, self.cg_initial_residual_norm) {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"cg_start\",\"dim\":{dim},\"initial_residual_norm\":{}}}",
+                json_f64(r0)
+            );
+        }
+        for s in &self.cg {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"cg_iteration\",\"iteration\":{},\"residual_norm\":{},\
+                 \"alpha\":{},\"beta\":{},\"matvec_wall_s\":{}}}",
+                s.iteration,
+                json_f64(s.residual_norm),
+                json_f64(s.alpha),
+                json_f64(s.beta),
+                json_f64(s.matvec_wall.as_secs_f64())
+            );
+        }
+        for (name, k) in &self.kernels {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"kernel\",\"name\":{},\"launches\":{},\"flops\":{},\
+                 \"bytes\":{},\"sim_time_s\":{}}}",
+                json_str(name),
+                k.launches,
+                k.flops,
+                k.bytes,
+                json_f64(k.sim_time_s)
+            );
+        }
+        for s in &self.spans {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"span\",\"path\":{},\"wall_s\":{}}}",
+                json_str(&s.path),
+                json_f64(s.wall.as_secs_f64())
+            );
+        }
+        out
+    }
+}
+
+/// Formats an `f64` as a JSON value (`null` for non-finite values).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v:?}");
+        // Rust renders integral floats as "1.0" — already valid JSON.
+        s
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Formats a string as a JSON string literal with minimal escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A local, lock-free span collector used by the training drivers.
+///
+/// Spans are always collected (they are how [`crate::timing::ComponentTimes`]
+/// is derived) and flushed into the optional [`MetricsSink`] at the end of
+/// the run.
+#[derive(Debug, Default)]
+pub struct SpanRecorder {
+    spans: Vec<SpanRecord>,
+}
+
+impl SpanRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a pre-measured span.
+    pub fn record(&mut self, path: impl Into<String>, wall: Duration) {
+        self.spans.push(SpanRecord {
+            path: path.into(),
+            wall,
+        });
+    }
+
+    /// Runs `f`, recording its wall-clock under `path`.
+    pub fn time<R>(&mut self, path: &str, f: impl FnOnce() -> R) -> R {
+        let t0 = std::time::Instant::now();
+        let result = f();
+        self.record(path, t0.elapsed());
+        result
+    }
+
+    /// The spans recorded so far, in recording order.
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.spans
+    }
+
+    /// Replays every recorded span into a sink.
+    pub fn flush_into(&self, sink: &dyn MetricsSink) {
+        for s in &self.spans {
+            sink.record_span(&s.path, s.wall);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(i: usize) -> CgIterationSample {
+        CgIterationSample {
+            iteration: i,
+            residual_norm: 1.0 / (i as f64 + 1.0),
+            alpha: 0.5,
+            beta: 0.25,
+            matvec_wall: Duration::from_micros(10),
+        }
+    }
+
+    #[test]
+    fn kernel_counters_accumulate() {
+        let t = Telemetry::new();
+        t.record_launch("svm_kernel", 1, 100, 10, 0.5);
+        t.record_launch("svm_kernel", 2, 100, 10, 0.5);
+        t.record_launch("q_kernel", 1, 7, 3, 0.25);
+        let r = t.report();
+        assert_eq!(r.kernels["svm_kernel"].launches, 3);
+        assert_eq!(r.kernels["svm_kernel"].flops, 200);
+        assert_eq!(r.total_launches(), 4);
+        assert_eq!(r.total_flops(), 207);
+        assert_eq!(r.total_bytes(), 23);
+        assert_eq!(r.kernels["svm_kernel"].achieved_flops(), 200.0);
+    }
+
+    #[test]
+    fn cg_samples_in_order_and_start_resets() {
+        let t = Telemetry::new();
+        t.record_cg_start(8, 2.0);
+        t.record_cg_iteration(sample(1));
+        t.record_cg_iteration(sample(2));
+        // a second solve on the same sink restarts the history
+        t.record_cg_start(8, 2.0);
+        t.record_cg_iteration(sample(1));
+        let r = t.report();
+        assert_eq!(r.iterations(), 1);
+        assert_eq!(r.cg_dim, Some(8));
+        assert_eq!(r.cg_initial_residual_norm, Some(2.0));
+        assert_eq!(r.residual_history(), vec![0.5]);
+    }
+
+    #[test]
+    fn deterministic_summary_is_stable_and_ignores_walltime() {
+        let build = |wall_us: u64| {
+            let t = Telemetry::new();
+            t.record_cg_start(4, 1.5);
+            t.record_launch("svm_kernel", 1, 123, 456, 0.75);
+            t.record_cg_iteration(CgIterationSample {
+                matvec_wall: Duration::from_micros(wall_us),
+                ..sample(1)
+            });
+            t.record_span(spans::CG, Duration::from_micros(wall_us));
+            t.report().deterministic_summary()
+        };
+        assert_eq!(build(10), build(99_999));
+        assert!(build(1).contains("kernel=svm_kernel launches=1 flops=123 bytes=456"));
+    }
+
+    #[test]
+    fn json_lines_have_documented_shape() {
+        let t = Telemetry::new();
+        t.record_cg_start(4, 1.5);
+        t.record_cg_iteration(sample(1));
+        t.record_launch("q_kernel", 1, 10, 20, 0.0);
+        t.record_span(spans::TRAIN, Duration::from_millis(5));
+        let json = t.report().to_json_lines();
+        let lines: Vec<&str> = json.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(lines[0].contains("\"type\":\"cg_start\""));
+        assert!(lines[1].contains("\"type\":\"cg_iteration\""));
+        assert!(lines[2].contains("\"name\":\"q_kernel\""));
+        assert!(lines[3].contains("\"path\":\"train\""));
+    }
+
+    #[test]
+    fn json_escaping_and_nonfinite_floats() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(1.0), "1.0");
+        assert_eq!(json_f64(1e-7), "1e-7");
+    }
+
+    #[test]
+    fn span_recorder_times_and_flushes() {
+        let mut rec = SpanRecorder::new();
+        let v = rec.time(spans::CG, || 41 + 1);
+        assert_eq!(v, 42);
+        rec.record(spans::READ, Duration::from_millis(3));
+        assert_eq!(rec.spans().len(), 2);
+        let t = Telemetry::new();
+        rec.flush_into(&t);
+        let r = t.report();
+        assert_eq!(r.spans.len(), 2);
+        assert_eq!(r.span(spans::READ), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let t = Telemetry::new();
+        t.record_launch("k", 1, 1, 1, 0.0);
+        t.record_cg_start(2, 1.0);
+        t.record_cg_iteration(sample(1));
+        t.reset();
+        assert_eq!(t.report(), TelemetryReport::default());
+    }
+}

@@ -115,8 +115,7 @@ mod tests {
         let fold_of = stratified_folds(&data, 5, 7);
         assert_eq!(fold_of.len(), 100);
         for fold in 0..5 {
-            let members: Vec<usize> =
-                (0..100).filter(|&i| fold_of[i] == fold).collect();
+            let members: Vec<usize> = (0..100).filter(|&i| fold_of[i] == fold).collect();
             assert_eq!(members.len(), 20);
             let pos = members.iter().filter(|&&i| data.y[i] > 0.0).count();
             // each fold has a proportional class share (±1)
@@ -170,7 +169,10 @@ mod tests {
         let full = trainer.train(&data).unwrap();
         let train_acc = crate::svm::accuracy(&full.model, &data);
         let cv = cross_validate(&data, &trainer, 5, 11).unwrap();
-        assert!(train_acc > 0.95, "overfit model should memorize: {train_acc}");
+        assert!(
+            train_acc > 0.95,
+            "overfit model should memorize: {train_acc}"
+        );
         assert!(
             cv.accuracy < train_acc - 0.15,
             "cv {} vs train {train_acc}",

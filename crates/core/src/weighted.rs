@@ -106,6 +106,8 @@ pub fn train_robust<T: AtomicScalar>(
 }
 
 #[cfg(test)]
+// index loops in these tests mirror the paper's subscript notation
+#[allow(clippy::needless_range_loop)]
 mod tests {
     use super::*;
     use crate::svm::accuracy;
@@ -146,8 +148,9 @@ mod tests {
             );
         }
         // the weighted model should not be worse on the clean points
-        let clean_indices: Vec<usize> =
-            (0..data.points()).filter(|i| !outliers.contains(i)).collect();
+        let clean_indices: Vec<usize> = (0..data.points())
+            .filter(|i| !outliers.contains(i))
+            .collect();
         let clean = LabeledData::with_label_map(
             data.x.select_rows(&clean_indices),
             clean_indices.iter().map(|&i| data.y[i]).collect(),
@@ -188,7 +191,9 @@ mod tests {
 
     #[test]
     fn weights_are_bounded() {
-        let alpha: Vec<f64> = (0..100).map(|i| ((i * 37 % 19) as f64 - 9.0) / 3.0).collect();
+        let alpha: Vec<f64> = (0..100)
+            .map(|i| ((i * 37 % 19) as f64 - 9.0) / 3.0)
+            .collect();
         let w = robust_weights(&alpha, 2.0);
         for v in w {
             assert!((MIN_WEIGHT..=1.0).contains(&v));
@@ -239,7 +244,11 @@ mod tests {
                     &plssvm_data::model::KernelSpec::Linear,
                     data.x.row(i),
                     data.x.row(j),
-                ) + if i == j { 1.0 / (cost * weights[i]) } else { 0.0 };
+                ) + if i == j {
+                    1.0 / (cost * weights[i])
+                } else {
+                    0.0
+                };
                 lhs += k * alpha[j];
             }
             assert!(

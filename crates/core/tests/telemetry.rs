@@ -1,0 +1,187 @@
+//! Cross-backend conformance and determinism tests for the unified
+//! observability layer (`plssvm_core::trace`).
+//!
+//! These back the paper's profiling claims end-to-end: identical seeded
+//! runs produce byte-identical deterministic telemetry on every backend,
+//! the CPU backends report the exact same logical counters, the device
+//! backend launches exactly the paper's three compute kernels on the
+//! linear path (§IV-C), and the CG residual history is finite, ends below
+//! ε·‖r₀‖ and has exactly one sample per reported iteration.
+
+use std::sync::Arc;
+
+use plssvm_core::backend::BackendSelection;
+use plssvm_core::kernel::kernel_flops;
+use plssvm_core::svm::{LsSvm, TrainOutput};
+use plssvm_core::trace::{spans, Telemetry, TelemetryReport};
+use plssvm_data::libsvm::LabeledData;
+use plssvm_data::model::KernelSpec;
+use plssvm_data::synthetic::{generate_planes, PlanesConfig};
+use plssvm_simgpu::{hw, Backend as DeviceApi};
+
+fn planes(points: usize, features: usize, seed: u64) -> LabeledData<f64> {
+    generate_planes(
+        &PlanesConfig::new(points, features, seed)
+            .with_cluster_sep(3.0)
+            .with_flip_fraction(0.0),
+    )
+    .unwrap()
+}
+
+fn train_with_metrics(
+    backend: BackendSelection,
+    data: &LabeledData<f64>,
+    epsilon: f64,
+) -> (TrainOutput<f64>, TelemetryReport) {
+    let telemetry = Telemetry::shared();
+    let out = LsSvm::new()
+        .with_epsilon(epsilon)
+        .with_backend(backend)
+        .with_metrics(Arc::clone(&telemetry))
+        .train(data)
+        .unwrap();
+    let report = out.telemetry.clone().expect("telemetry enabled");
+    (out, report)
+}
+
+fn all_backends() -> Vec<BackendSelection> {
+    vec![
+        BackendSelection::Serial,
+        BackendSelection::OpenMp { threads: Some(2) },
+        BackendSelection::SparseCpu { threads: None },
+        BackendSelection::sim_gpu(hw::A100, DeviceApi::Cuda),
+        BackendSelection::sim_multi_gpu(hw::A100, DeviceApi::Cuda, 2),
+    ]
+}
+
+#[test]
+fn identical_seeded_runs_produce_byte_identical_telemetry() {
+    let data = planes(48, 6, 1234);
+    for backend in all_backends() {
+        let (_, first) = train_with_metrics(backend.clone(), &data, 1e-6);
+        let (_, second) = train_with_metrics(backend.clone(), &data, 1e-6);
+        assert_eq!(
+            first.deterministic_summary(),
+            second.deterministic_summary(),
+            "backend {}",
+            backend.name()
+        );
+        // and the deterministic subset really is populated
+        assert!(first.iterations() > 0, "backend {}", backend.name());
+        assert!(first.total_launches() > 0, "backend {}", backend.name());
+        assert!(first.total_flops() > 0, "backend {}", backend.name());
+        assert!(first.total_bytes() > 0, "backend {}", backend.name());
+    }
+}
+
+#[test]
+fn serial_and_parallel_counters_agree_exactly() {
+    let data = planes(40, 5, 7);
+    let (serial_out, serial) = train_with_metrics(BackendSelection::Serial, &data, 1e-8);
+    let (parallel_out, parallel) =
+        train_with_metrics(BackendSelection::OpenMp { threads: Some(2) }, &data, 1e-8);
+    // the logical counting convention: both backends compute the same
+    // mathematical operator, so their counters are identical even though
+    // the serial backend exploits symmetry and the parallel one does not
+    assert_eq!(serial.kernels, parallel.kernels);
+    assert_eq!(serial_out.iterations, parallel_out.iterations);
+    assert_eq!(serial.cg.len(), parallel.cg.len());
+    for name in ["q_kernel", "svm_kernel", "w_kernel"] {
+        assert!(serial.kernels.contains_key(name), "missing {name}");
+    }
+}
+
+#[test]
+fn simgpu_linear_training_reports_exactly_three_kernels() {
+    // the paper's §IV-C profiling claim: the linear training path spawns
+    // exactly three distinct compute kernels
+    let data = planes(40, 6, 22);
+    let (out, report) = train_with_metrics(
+        BackendSelection::sim_gpu(hw::A100, DeviceApi::Cuda),
+        &data,
+        1e-6,
+    );
+    let names: Vec<&String> = report.kernels.keys().collect();
+    assert_eq!(names.len(), 3, "{names:?}");
+    assert_eq!(report.kernels["q_kernel"].launches, 1);
+    assert_eq!(report.kernels["w_kernel"].launches, 1);
+    assert!(report.kernels["svm_kernel"].launches as usize >= out.iterations);
+    assert!(report.kernels["svm_kernel"].sim_time_s > 0.0);
+}
+
+#[test]
+fn simgpu_flops_match_cpu_within_tiled_accounting() {
+    let data = planes(50, 8, 9);
+    let (_, cpu) = train_with_metrics(BackendSelection::Serial, &data, 1e-6);
+    let (_, gpu) = train_with_metrics(
+        BackendSelection::sim_gpu(hw::A100, DeviceApi::Cuda),
+        &data,
+        1e-6,
+    );
+    // q_kernel: both count m+1 kernel evaluations over real (unpadded)
+    // rows, so the FLOP counts agree exactly
+    assert_eq!(cpu.kernels["q_kernel"].flops, gpu.kernels["q_kernel"].flops);
+    // svm_kernel: the CPU convention counts every K·v entry (n² evals at
+    // kf+2 FLOPs); the device's triangular scheduling evaluates the lower
+    // triangle only, mirroring via atomics (n(n+1)/2 entries at kf+4
+    // FLOPs, §III-C). Compare per-launch costs against that accounting.
+    let n = (data.points() - 1) as u128;
+    let kf = u128::from(kernel_flops(&KernelSpec::<f64>::Linear, data.features()));
+    let cpu_per_launch =
+        cpu.kernels["svm_kernel"].flops / u128::from(cpu.kernels["svm_kernel"].launches);
+    let gpu_per_launch =
+        gpu.kernels["svm_kernel"].flops / u128::from(gpu.kernels["svm_kernel"].launches);
+    assert_eq!(cpu_per_launch, n * n * (kf + 2));
+    assert_eq!(gpu_per_launch, n * (n + 1) / 2 * (kf + 4));
+    let ratio = gpu_per_launch as f64 / cpu_per_launch as f64;
+    assert!((0.25..1.0).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn residual_history_is_finite_converged_and_complete() {
+    let epsilon = 1e-8;
+    let data = planes(64, 6, 77);
+    for backend in all_backends() {
+        let (out, report) = train_with_metrics(backend.clone(), &data, epsilon);
+        assert!(out.converged, "backend {}", backend.name());
+        let history = report.residual_history();
+        assert_eq!(history.len(), out.iterations, "backend {}", backend.name());
+        assert!(
+            history.iter().all(|r| r.is_finite()),
+            "backend {}",
+            backend.name()
+        );
+        let r0 = report.cg_initial_residual_norm.expect("initial residual");
+        assert!(r0.is_finite() && r0 > 0.0);
+        let last = *history.last().unwrap();
+        assert!(
+            last <= epsilon * r0,
+            "backend {}: {last} > {epsilon}·{r0}",
+            backend.name()
+        );
+    }
+}
+
+#[test]
+fn component_times_are_a_projection_of_the_spans() {
+    let data = planes(40, 5, 3);
+    let (out, report) = train_with_metrics(BackendSelection::Serial, &data, 1e-6);
+    assert_eq!(out.times.cg, report.span(spans::CG));
+    assert_eq!(out.times.transform, report.span(spans::TRANSFORM));
+    assert_eq!(out.times.write, report.span(spans::WRITE));
+    assert_eq!(out.times.total, report.span(spans::TRAIN));
+    // the hierarchical children nest inside their parent
+    assert!(report.span(spans::CG) >= report.span(spans::CG_SOLVE));
+    assert!(report.span(spans::CG) >= report.span(spans::CG_SETUP));
+}
+
+#[test]
+fn telemetry_does_not_perturb_training() {
+    let data = planes(60, 6, 15);
+    let plain = LsSvm::new().with_epsilon(1e-8).train(&data).unwrap();
+    let (tracked, _) = train_with_metrics(BackendSelection::default(), &data, 1e-8);
+    assert!(plain.telemetry.is_none());
+    assert_eq!(plain.iterations, tracked.iterations);
+    assert_eq!(plain.model.rho, tracked.model.rho);
+    assert_eq!(plain.model.coef, tracked.model.coef);
+}

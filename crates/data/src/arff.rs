@@ -105,9 +105,10 @@ pub fn read_arff_str<T: Real>(content: &str) -> Result<LabeledData<T>, DataError
             }
             let mut values = Vec::with_capacity(features);
             for tok in &tokens[..features] {
-                values.push(tok.parse().map_err(|_| {
-                    DataError::parse(lineno, format!("invalid value '{tok}'"))
-                })?);
+                values.push(
+                    tok.parse()
+                        .map_err(|_| DataError::parse(lineno, format!("invalid value '{tok}'")))?,
+                );
             }
             let label = parse_label(tokens[features], lineno)?;
             rows.push((label, values));
@@ -231,7 +232,8 @@ mod tests {
 
     #[test]
     fn case_insensitive_keywords_and_comments() {
-        let content = "% c\n@relation r\n@attribute a numeric\n@attribute class {0,1}\n@data\n1.0,0\n2.0,1\n";
+        let content =
+            "% c\n@relation r\n@attribute a numeric\n@attribute class {0,1}\n@data\n1.0,0\n2.0,1\n";
         let d: LabeledData<f64> = read_arff_str(content).unwrap();
         assert_eq!(d.points(), 2);
         assert_eq!(d.label_map, [0, 1]);

@@ -163,9 +163,7 @@ pub fn weighted_allocation(total: usize, weights: &[f64]) -> Vec<usize> {
     let mut counts: Vec<usize> = exact.iter().map(|e| e.floor() as usize).collect();
     let mut remaining = total - counts.iter().sum::<usize>();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
-        (exact[b] - exact[b].floor()).total_cmp(&(exact[a] - exact[a].floor()))
-    });
+    order.sort_by(|&a, &b| (exact[b] - exact[b].floor()).total_cmp(&(exact[a] - exact[a].floor())));
     for &k in order.iter().cycle().take(remaining) {
         counts[k] += 1;
         remaining -= 1;
@@ -481,8 +479,8 @@ mod tests {
 
     #[test]
     fn weighted_split_proportions_and_reassembly() {
-        let m = DenseMatrix::from_rows(vec![(0..10).map(|f| f as f64).collect::<Vec<_>>(); 4])
-            .unwrap();
+        let m =
+            DenseMatrix::from_rows(vec![(0..10).map(|f| f as f64).collect::<Vec<_>>(); 4]).unwrap();
         let s = SoAMatrix::from_dense(&m, 2);
         // weights 3:1 over 10 features → 7-8 vs 2-3 features
         let parts = s.split_features_weighted(&[3.0, 1.0]);
@@ -501,8 +499,7 @@ mod tests {
 
     #[test]
     fn weighted_split_exact_total_with_awkward_weights() {
-        let m = DenseMatrix::from_rows(vec![(0..7).map(|f| f as f64).collect::<Vec<_>>()])
-            .unwrap();
+        let m = DenseMatrix::from_rows(vec![(0..7).map(|f| f as f64).collect::<Vec<_>>()]).unwrap();
         let s = SoAMatrix::from_dense(&m, 1);
         let parts = s.split_features_weighted(&[0.3, 0.3, 0.4]);
         let total: usize = parts.iter().map(|p| p.features()).sum();

@@ -164,7 +164,9 @@ pub fn read_libsvm_regression_str<T: Real>(
         rows.push((target, entries));
     }
     if rows.is_empty() {
-        return Err(DataError::Invalid("data file contains no data points".into()));
+        return Err(DataError::Invalid(
+            "data file contains no data points".into(),
+        ));
     }
     let features = match num_features {
         Some(n) if n >= max_index => n,
@@ -176,7 +178,9 @@ pub fn read_libsvm_regression_str<T: Real>(
         None => max_index,
     };
     if features == 0 {
-        return Err(DataError::Invalid("data file contains no feature entries".into()));
+        return Err(DataError::Invalid(
+            "data file contains no feature entries".into(),
+        ));
     }
     let mut x = DenseMatrix::zeros(rows.len(), features);
     let mut y = Vec::with_capacity(rows.len());
@@ -439,8 +443,7 @@ mod tests {
     #[test]
     fn parses_explicit_plus_labels_and_scientific_values() {
         // LIBSVM tools commonly write "+1" labels and exponent values
-        let d: LabeledData<f64> =
-            read_libsvm_str("+1 1:1.5e-3 2:-2E+1\n-1 1:1e0\n", None).unwrap();
+        let d: LabeledData<f64> = read_libsvm_str("+1 1:1.5e-3 2:-2E+1\n-1 1:1e0\n", None).unwrap();
         assert_eq!(d.label_map, [1, -1]);
         assert_eq!(d.y, vec![1.0, -1.0]);
         assert_eq!(d.x.get(0, 0), 1.5e-3);
@@ -540,7 +543,7 @@ mod tests {
 
     #[test]
     fn fractional_values_roundtrip_exactly() {
-        let v = 0.123456789012345678f64; // not exactly representable
+        let v = 0.123_456_789_012_345_68_f64; // not exactly representable
         let content = format!("1 1:{v}\n-1 1:1\n");
         let d: LabeledData<f64> = read_libsvm_str(&content, None).unwrap();
         let s = write_libsvm_string(&d, true);

@@ -72,9 +72,13 @@ impl<T: Real> KernelSpec<T> {
             KernelSpec::Linear => Ok(()),
             KernelSpec::Polynomial { degree, gamma, .. } => {
                 if gamma.to_f64() <= 0.0 {
-                    Err(DataError::Invalid("polynomial kernel needs gamma > 0".into()))
+                    Err(DataError::Invalid(
+                        "polynomial kernel needs gamma > 0".into(),
+                    ))
                 } else if degree < 1 {
-                    Err(DataError::Invalid("polynomial kernel needs degree >= 1".into()))
+                    Err(DataError::Invalid(
+                        "polynomial kernel needs degree >= 1".into(),
+                    ))
                 } else {
                     Ok(())
                 }
@@ -126,9 +130,7 @@ impl<T: Real> SvmModel<T> {
             )));
         }
         if self.nr_sv[0] + self.nr_sv[1] != self.sv.rows() {
-            return Err(DataError::Invalid(
-                "nr_sv does not sum to total_sv".into(),
-            ));
+            return Err(DataError::Invalid("nr_sv does not sum to total_sv".into()));
         }
         Ok(())
     }
@@ -369,7 +371,9 @@ fn parse_model<T: Real>(
         )));
     }
     if sv_rows.is_empty() {
-        return Err(DataError::Invalid("model contains no support vectors".into()));
+        return Err(DataError::Invalid(
+            "model contains no support vectors".into(),
+        ));
     }
 
     let kernel = match kernel_type.as_str() {
@@ -384,8 +388,7 @@ fn parse_model<T: Real>(
             gamma: gamma.ok_or_else(|| DataError::Invalid("rbf model misses gamma".into()))?,
         },
         "sigmoid" => KernelSpec::Sigmoid {
-            gamma: gamma
-                .ok_or_else(|| DataError::Invalid("sigmoid model misses gamma".into()))?,
+            gamma: gamma.ok_or_else(|| DataError::Invalid("sigmoid model misses gamma".into()))?,
             coef0,
         },
         other => {
@@ -643,7 +646,9 @@ fn parse_svr_model<T: Real>(content: &str) -> Result<SvrModel<T>, DataError> {
         )));
     }
     if sv_rows.is_empty() {
-        return Err(DataError::Invalid("model contains no support vectors".into()));
+        return Err(DataError::Invalid(
+            "model contains no support vectors".into(),
+        ));
     }
     let kernel = match kernel_type.as_str() {
         "linear" => KernelSpec::Linear,
@@ -657,8 +662,7 @@ fn parse_svr_model<T: Real>(content: &str) -> Result<SvrModel<T>, DataError> {
             gamma: gamma.ok_or_else(|| DataError::Invalid("rbf model misses gamma".into()))?,
         },
         "sigmoid" => KernelSpec::Sigmoid {
-            gamma: gamma
-                .ok_or_else(|| DataError::Invalid("sigmoid model misses gamma".into()))?,
+            gamma: gamma.ok_or_else(|| DataError::Invalid("sigmoid model misses gamma".into()))?,
             coef0,
         },
         other => {

@@ -160,7 +160,9 @@ pub fn read_libsvm_multiclass_str<T: Real>(
         rows.push((label as i32, entries));
     }
     if rows.is_empty() {
-        return Err(DataError::Invalid("data file contains no data points".into()));
+        return Err(DataError::Invalid(
+            "data file contains no data points".into(),
+        ));
     }
     let features = match num_features {
         Some(n) if n >= max_index => n,
@@ -172,7 +174,9 @@ pub fn read_libsvm_multiclass_str<T: Real>(
         None => max_index,
     };
     if features == 0 {
-        return Err(DataError::Invalid("data file contains no feature entries".into()));
+        return Err(DataError::Invalid(
+            "data file contains no feature entries".into(),
+        ));
     }
     let mut x = DenseMatrix::zeros(rows.len(), features);
     let mut labels = Vec::with_capacity(rows.len());
@@ -265,8 +269,7 @@ mod tests {
 
     #[test]
     fn single_class_is_allowed_at_data_level() {
-        let d: MultiClassData<f64> =
-            read_libsvm_multiclass_str("5 1:1\n5 1:2\n", None).unwrap();
+        let d: MultiClassData<f64> = read_libsvm_multiclass_str("5 1:1\n5 1:2\n", None).unwrap();
         assert_eq!(d.num_classes(), 1);
         assert!(d.as_binary().is_none());
     }

@@ -153,8 +153,7 @@ fn render_patch(rng: &mut StdRng, config: &Sat6Config, man_made: bool, out: &mut
             for col in 0..s {
                 let v = base
                     + ir_shift
-                    + amp
-                        * ((fx * row as f64 + phase_x).cos() + (fy * col as f64 + phase_y).cos())
+                    + amp * ((fx * row as f64 + phase_x).cos() + (fy * col as f64 + phase_y).cos())
                         / 2.0;
                 out[ch * s * s + row * s + col] = v;
             }
@@ -203,7 +202,8 @@ mod tests {
 
     #[test]
     fn values_are_normalized() {
-        let d: LabeledData<f64> = generate_sat6(&Sat6Config::new(10, 2).with_image_size(8)).unwrap();
+        let d: LabeledData<f64> =
+            generate_sat6(&Sat6Config::new(10, 2).with_image_size(8)).unwrap();
         for p in 0..d.points() {
             for f in 0..d.features() {
                 let v = d.x.get(p, f);
@@ -214,7 +214,8 @@ mod tests {
 
     #[test]
     fn class_balance_matches_config() {
-        let d: LabeledData<f64> = generate_sat6(&Sat6Config::new(100, 3).with_image_size(8)).unwrap();
+        let d: LabeledData<f64> =
+            generate_sat6(&Sat6Config::new(100, 3).with_image_size(8)).unwrap();
         let (pos, neg) = d.class_counts();
         // man_made_fraction ≈ 0.598 → 60 man-made (−1) and 40 natural (+1)
         assert_eq!(neg, 60);
@@ -237,9 +238,8 @@ mod tests {
         let cfg = Sat6Config::new(60, 4).with_image_size(8);
         let d: LabeledData<f64> = generate_sat6(&cfg).unwrap();
         let s = 8 * 8;
-        let ir = |p: usize| -> f64 {
-            (0..s).map(|i| d.x.get(p, 3 * s + i)).sum::<f64>() / s as f64
-        };
+        let ir =
+            |p: usize| -> f64 { (0..s).map(|i| d.x.get(p, 3 * s + i)).sum::<f64>() / s as f64 };
         let mut nat = (0.0, 0);
         let mut man = (0.0, 0);
         for p in 0..d.points() {

@@ -82,7 +82,11 @@ impl<T: Real> ScalingParams<T> {
     /// Serializes the ranges in LIBSVM's range-file format (`svm-scale -s`).
     pub fn to_range_string(&self) -> String {
         let mut out = String::from("x\n");
-        out.push_str(&format!("{} {}\n", FmtReal(self.lower), FmtReal(self.upper)));
+        out.push_str(&format!(
+            "{} {}\n",
+            FmtReal(self.lower),
+            FmtReal(self.upper)
+        ));
         for (f, &(lo, hi)) in self.ranges.iter().enumerate() {
             out.push_str(&format!("{} {} {}\n", f + 1, FmtReal(lo), FmtReal(hi)));
         }
@@ -157,7 +161,9 @@ impl<T: Real> ScalingParams<T> {
             ranges: out,
         };
         if lower.to_f64() >= upper.to_f64() {
-            return Err(DataError::Invalid("range file has an empty interval".into()));
+            return Err(DataError::Invalid(
+                "range file has an empty interval".into(),
+            ));
         }
         Ok(params)
     }

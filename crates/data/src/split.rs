@@ -20,9 +20,7 @@ pub fn train_test_split<T: Real>(
     seed: u64,
 ) -> Result<(LabeledData<T>, LabeledData<T>), DataError> {
     if !(0.0..1.0).contains(&test_fraction) || test_fraction <= 0.0 {
-        return Err(DataError::Invalid(
-            "test fraction must be in (0, 1)".into(),
-        ));
+        return Err(DataError::Invalid("test fraction must be in (0, 1)".into()));
     }
     let m = data.points();
     let n_test = ((m as f64) * test_fraction).round() as usize;

@@ -205,7 +205,9 @@ pub fn generate_blobs<T: Real>(
         return Err(DataError::Invalid("need at least 2 classes".into()));
     }
     if config.points < config.classes {
-        return Err(DataError::Invalid("need at least one point per class".into()));
+        return Err(DataError::Invalid(
+            "need at least one point per class".into(),
+        ));
     }
     if config.features == 0 {
         return Err(DataError::Invalid("need at least 1 feature".into()));
@@ -303,12 +305,16 @@ pub fn generate_sinc<T: Real>(
         let xv: f64 = rng.random_range(-config.width..config.width);
         let clean = if xv.abs() < 1e-12 { 1.0 } else { xv.sin() / xv };
         x.set(p, 0, T::from_f64(xv));
-        y.push(T::from_f64(clean + config.noise * standard_normal(&mut rng)));
+        y.push(T::from_f64(
+            clean + config.noise * standard_normal(&mut rng),
+        ));
     }
     crate::libsvm::RegressionData::new(x, y)
 }
 
 #[cfg(test)]
+// index loops in these tests mirror the paper's subscript notation
+#[allow(clippy::needless_range_loop)]
 mod tests {
     use super::*;
 
@@ -376,22 +382,13 @@ mod tests {
 
     #[test]
     fn flip_fraction_controls_noise() {
-        let clean: LabeledData<f64> = generate_planes(
-            &PlanesConfig::new(1000, 4, 5).with_flip_fraction(0.0),
-        )
-        .unwrap();
-        let noisy: LabeledData<f64> = generate_planes(
-            &PlanesConfig::new(1000, 4, 5).with_flip_fraction(0.5),
-        )
-        .unwrap();
+        let clean: LabeledData<f64> =
+            generate_planes(&PlanesConfig::new(1000, 4, 5).with_flip_fraction(0.0)).unwrap();
+        let noisy: LabeledData<f64> =
+            generate_planes(&PlanesConfig::new(1000, 4, 5).with_flip_fraction(0.5)).unwrap();
         // same seed → same points; labels differ in about half of them
         assert_eq!(clean.x, noisy.x);
-        let diff = clean
-            .y
-            .iter()
-            .zip(&noisy.y)
-            .filter(|(a, b)| a != b)
-            .count();
+        let diff = clean.y.iter().zip(&noisy.y).filter(|(a, b)| a != b).count();
         assert_eq!(diff, 500);
     }
 
@@ -426,8 +423,8 @@ mod tests {
     #[test]
     fn blobs_are_separable_at_high_separation() {
         // nearest-centroid classification must be near-perfect
-        let d = generate_blobs::<f64>(&BlobsConfig::new(150, 8, 3, 3).with_separation(10.0))
-            .unwrap();
+        let d =
+            generate_blobs::<f64>(&BlobsConfig::new(150, 8, 3, 3).with_separation(10.0)).unwrap();
         // estimate centroids from the labels
         let mut centroids = vec![vec![0.0; 8]; 3];
         let counts = d.class_counts();
@@ -441,8 +438,12 @@ mod tests {
         for p in 0..d.points() {
             let best = (0..3)
                 .min_by(|&a, &b| {
-                    let da: f64 = (0..8).map(|f| (d.x.get(p, f) - centroids[a][f]).powi(2)).sum();
-                    let db: f64 = (0..8).map(|f| (d.x.get(p, f) - centroids[b][f]).powi(2)).sum();
+                    let da: f64 = (0..8)
+                        .map(|f| (d.x.get(p, f) - centroids[a][f]).powi(2))
+                        .sum();
+                    let db: f64 = (0..8)
+                        .map(|f| (d.x.get(p, f) - centroids[b][f]).powi(2))
+                        .sum();
                     da.total_cmp(&db)
                 })
                 .unwrap();

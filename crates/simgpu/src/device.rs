@@ -158,7 +158,10 @@ impl SimDevice {
 
     /// Allocates a zeroed atomically-updatable buffer (the simulated
     /// equivalent of a buffer written with `atomicAdd`).
-    pub fn alloc_atomic<T: AtomicScalar>(&self, len: usize) -> Result<AtomicBuffer<T>, SimGpuError> {
+    pub fn alloc_atomic<T: AtomicScalar>(
+        &self,
+        len: usize,
+    ) -> Result<AtomicBuffer<T>, SimGpuError> {
         let bytes = len * T::BYTES;
         self.state.alloc_bytes(bytes)?;
         Ok(AtomicBuffer {
@@ -248,7 +251,10 @@ impl<T: Real> DeviceBuffer<T> {
         self.data.copy_from_slice(src);
         let bytes = self.bytes;
         let t = transfer_time_s(&self.state.spec, bytes as u64);
-        self.state.perf.lock().record_transfer(true, bytes as u64, t);
+        self.state
+            .perf
+            .lock()
+            .record_transfer(true, bytes as u64, t);
         Ok(())
     }
 
@@ -414,7 +420,10 @@ impl<T: AtomicScalar> AtomicBuffer<T> {
         }
         let bytes = self.bytes;
         let t = transfer_time_s(&self.state.spec, bytes as u64);
-        self.state.perf.lock().record_transfer(true, bytes as u64, t);
+        self.state
+            .perf
+            .lock()
+            .record_transfer(true, bytes as u64, t);
         Ok(())
     }
 }
@@ -517,7 +526,9 @@ mod tests {
         use rayon::prelude::*;
         let dev = device();
         let buf = dev.alloc_atomic::<f64>(1).unwrap();
-        (0..10_000usize).into_par_iter().for_each(|_| buf.add(0, 1.0));
+        (0..10_000usize)
+            .into_par_iter()
+            .for_each(|_| buf.add(0, 1.0));
         assert_eq!(buf.get(0), 10_000.0);
     }
 

@@ -38,7 +38,10 @@ impl fmt::Display for SimGpuError {
             ),
             SimGpuError::InvalidLaunch(msg) => write!(f, "invalid kernel launch: {msg}"),
             SimGpuError::TransferSizeMismatch { src, dst } => {
-                write!(f, "transfer size mismatch: {src} source vs {dst} destination elements")
+                write!(
+                    f,
+                    "transfer size mismatch: {src} source vs {dst} destination elements"
+                )
             }
         }
     }
@@ -59,7 +62,9 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("100") && s.contains("10") && s.contains("50"));
-        assert!(SimGpuError::InvalidLaunch("x".into()).to_string().contains('x'));
+        assert!(SimGpuError::InvalidLaunch("x".into())
+            .to_string()
+            .contains('x'));
         let s = SimGpuError::TransferSizeMismatch { src: 1, dst: 2 }.to_string();
         assert!(s.contains('1') && s.contains('2'));
     }

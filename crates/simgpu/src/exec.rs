@@ -251,7 +251,9 @@ mod tests {
     #[test]
     fn kernel_can_use_device_buffers() {
         let dev = device();
-        let input = dev.copy_to_device(&(0..64).map(|i| i as f64).collect::<Vec<_>>()).unwrap();
+        let input = dev
+            .copy_to_device(&(0..64).map(|i| i as f64).collect::<Vec<_>>())
+            .unwrap();
         let output = dev.alloc_atomic::<f64>(1).unwrap();
         let cfg = LaunchConfig::new("reduce", Grid::one_d(8), Precision::F64);
         // each block sums its 8-element tile

@@ -141,7 +141,8 @@ pub fn kernel_time_s(
     global_bytes: u64,
 ) -> f64 {
     let compute = flops as f64 / (spec.peak_flops(precision) * profile.compute_efficiency);
-    let memory = global_bytes as f64 / (spec.mem_bandwidth_gbs * 1e9 * profile.bandwidth_efficiency);
+    let memory =
+        global_bytes as f64 / (spec.mem_bandwidth_gbs * 1e9 * profile.bandwidth_efficiency);
     let overhead = spec.launch_overhead_us * profile.launch_overhead_factor * 1e-6;
     overhead + compute.max(memory)
 }

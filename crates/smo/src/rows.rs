@@ -8,8 +8,8 @@
 
 use plssvm_core::kernel::dot;
 use plssvm_data::dense::DenseMatrix;
-use plssvm_data::sparse::CsrMatrix;
 use plssvm_data::model::KernelSpec;
+use plssvm_data::sparse::CsrMatrix;
 use plssvm_data::Real;
 
 /// Abstract kernel-row provider.
@@ -135,6 +135,8 @@ impl<T: Real> KernelRows<T> for SparseRows<T> {
 }
 
 #[cfg(test)]
+// index loops in these tests mirror the paper's subscript notation
+#[allow(clippy::needless_range_loop)]
 mod tests {
     use super::*;
     use plssvm_core::kernel::kernel_row;
@@ -218,22 +220,15 @@ mod tests {
         let x = sparse_sample();
         let csr = CsrMatrix::from_dense(&x);
         assert_eq!(csr.rows(), x.rows());
-        let dense_nnz = x
-            .as_slice()
-            .iter()
-            .filter(|v| **v != 0.0)
-            .count();
+        let dense_nnz = x.as_slice().iter().filter(|v| **v != 0.0).count();
         assert_eq!(csr.nnz(), dense_nnz);
         assert!(csr.nnz() < x.rows() * x.cols());
     }
 
     #[test]
     fn sparse_dot_merges_indices() {
-        let x = DenseMatrix::from_rows(vec![
-            vec![1.0, 0.0, 2.0, 0.0],
-            vec![0.0, 3.0, 4.0, 0.0],
-        ])
-        .unwrap();
+        let x = DenseMatrix::from_rows(vec![vec![1.0, 0.0, 2.0, 0.0], vec![0.0, 3.0, 4.0, 0.0]])
+            .unwrap();
         let csr = CsrMatrix::from_dense(&x);
         assert_eq!(csr.sparse_dot(0, 1), 8.0); // only feature 2 overlaps
         assert_eq!(csr.sparse_dot(0, 0), 5.0);

@@ -113,16 +113,18 @@ impl<'a, T: Real, R: KernelRows<T>> SmoSolver<'a, T, R> {
                 rows.points()
             )));
         }
+        // the negated comparison deliberately rejects NaN as well
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !(config.cost.to_f64() > 0.0) {
             return Err(DataError::Invalid("C must be positive".into()));
         }
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !(config.epsilon.to_f64() > 0.0) {
             return Err(DataError::Invalid("epsilon must be positive".into()));
         }
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if config.class_weights.iter().any(|w| !(*w > 0.0)) {
-            return Err(DataError::Invalid(
-                "class weights must be positive".into(),
-            ));
+            return Err(DataError::Invalid("class weights must be positive".into()));
         }
         let pos = y.iter().filter(|v| v.to_f64() > 0.0).count();
         if pos == 0 || pos == y.len() {
@@ -174,24 +176,23 @@ impl<'a, T: Real, R: KernelRows<T>> SmoSolver<'a, T, R> {
 
         // reconstructs stale gradients of the inactive positions from the
         // non-zero α rows: G_t = −1 + Σ_j y_t·y_j·α_j·K_jt
-        let reconstruct_gradient =
-            |grad: &mut [f64], is_active: &[bool], alpha: &[f64]| {
-                let stale: Vec<usize> = (0..m).filter(|&t| !is_active[t]).collect();
-                if stale.is_empty() {
-                    return;
-                }
-                for &t in &stale {
-                    grad[t] = -1.0;
-                }
-                for j in 0..m {
-                    if alpha[j] > 0.0 {
-                        let row_j = row(j);
-                        for &t in &stale {
-                            grad[t] += y[t] * y[j] * alpha[j] * row_j[t].to_f64();
-                        }
+        let reconstruct_gradient = |grad: &mut [f64], is_active: &[bool], alpha: &[f64]| {
+            let stale: Vec<usize> = (0..m).filter(|&t| !is_active[t]).collect();
+            if stale.is_empty() {
+                return;
+            }
+            for &t in &stale {
+                grad[t] = -1.0;
+            }
+            for j in 0..m {
+                if alpha[j] > 0.0 {
+                    let row_j = row(j);
+                    for &t in &stale {
+                        grad[t] += y[t] * y[j] * alpha[j] * row_j[t].to_f64();
                     }
                 }
-            };
+            }
+        };
 
         let mut iterations = 0usize;
         let mut converged = false;
@@ -280,7 +281,11 @@ impl<'a, T: Real, R: KernelRows<T>> SmoSolver<'a, T, R> {
                 let mut obj_min = f64::INFINITY;
                 let mut j = usize::MAX;
                 for &t in &active {
-                    let in_low = if y[t] > 0.0 { alpha[t] > 0.0 } else { alpha[t] < c_of[t] };
+                    let in_low = if y[t] > 0.0 {
+                        alpha[t] > 0.0
+                    } else {
+                        alpha[t] < c_of[t]
+                    };
                     if !in_low {
                         continue;
                     }
@@ -377,8 +382,7 @@ impl<'a, T: Real, R: KernelRows<T>> SmoSolver<'a, T, R> {
             let dai = alpha[i] - old_ai;
             let daj = alpha[j] - old_aj;
             for &t in &active {
-                grad[t] += y[t]
-                    * (y[i] * row_i[t].to_f64() * dai + y[j] * row_j[t].to_f64() * daj);
+                grad[t] += y[t] * (y[i] * row_i[t].to_f64() * dai + y[j] * row_j[t].to_f64() * daj);
             }
             iterations += 1;
         }
@@ -459,6 +463,8 @@ impl<'a, T: Real, R: KernelRows<T>> SmoSolver<'a, T, R> {
 }
 
 #[cfg(test)]
+// index loops in these tests mirror the paper's subscript notation
+#[allow(clippy::needless_range_loop)]
 mod tests {
     use super::*;
     use plssvm_core::svm::accuracy;
@@ -552,8 +558,16 @@ mod tests {
         let mut low = f64::INFINITY;
         for t in 0..m {
             let v = -data.y[t] * grad[t];
-            let in_up = if data.y[t] > 0.0 { alpha[t] < c } else { alpha[t] > 0.0 };
-            let in_low = if data.y[t] > 0.0 { alpha[t] > 0.0 } else { alpha[t] < c };
+            let in_up = if data.y[t] > 0.0 {
+                alpha[t] < c
+            } else {
+                alpha[t] > 0.0
+            };
+            let in_low = if data.y[t] > 0.0 {
+                alpha[t] > 0.0
+            } else {
+                alpha[t] < c
+            };
             if in_up {
                 up = up.max(v);
             }
@@ -633,10 +647,8 @@ mod tests {
     fn shrinking_on_and_off_agree() {
         // shrinking is a pure optimization: the solution must match
         for seed in [1u64, 2, 3] {
-            let data: LabeledData<f64> = generate_planes(
-                &PlanesConfig::new(150, 6, seed).with_cluster_sep(1.0),
-            )
-            .unwrap();
+            let data: LabeledData<f64> =
+                generate_planes(&PlanesConfig::new(150, 6, seed).with_cluster_sep(1.0)).unwrap();
             // tight epsilon: both paths approach the unique dual optimum,
             // so the solutions must agree to solver tolerance (shrinking
             // changes the iteration *path*, not the limit)

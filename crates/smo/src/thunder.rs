@@ -90,9 +90,12 @@ impl<T: Real> ThunderSolver<T> {
     /// Creates a solver with the given configuration.
     pub fn new(config: ThunderConfig<T>) -> Result<Self, DataError> {
         config.kernel.validate()?;
+        // the negated comparison deliberately rejects NaN as well
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !(config.cost.to_f64() > 0.0) {
             return Err(DataError::Invalid("C must be positive".into()));
         }
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !(config.epsilon.to_f64() > 0.0) {
             return Err(DataError::Invalid("epsilon must be positive".into()));
         }
@@ -151,8 +154,16 @@ impl<T: Real> ThunderSolver<T> {
             let mut gmin = f64::INFINITY;
             for t in 0..m {
                 let v = -y[t] * grad[t];
-                let in_up = if y[t] > 0.0 { alpha[t] < c } else { alpha[t] > 0.0 };
-                let in_low = if y[t] > 0.0 { alpha[t] > 0.0 } else { alpha[t] < c };
+                let in_up = if y[t] > 0.0 {
+                    alpha[t] < c
+                } else {
+                    alpha[t] > 0.0
+                };
+                let in_low = if y[t] > 0.0 {
+                    alpha[t] > 0.0
+                } else {
+                    alpha[t] < c
+                };
                 if in_up {
                     gmax = gmax.max(v);
                 }
@@ -168,11 +179,23 @@ impl<T: Real> ThunderSolver<T> {
 
             // --- working set: q/2 most violating from I_up, q/2 from I_low ---
             let mut ups: Vec<(f64, usize)> = (0..m)
-                .filter(|&t| if y[t] > 0.0 { alpha[t] < c } else { alpha[t] > 0.0 })
+                .filter(|&t| {
+                    if y[t] > 0.0 {
+                        alpha[t] < c
+                    } else {
+                        alpha[t] > 0.0
+                    }
+                })
                 .map(|t| (-y[t] * grad[t], t))
                 .collect();
             let mut lows: Vec<(f64, usize)> = (0..m)
-                .filter(|&t| if y[t] > 0.0 { alpha[t] > 0.0 } else { alpha[t] < c })
+                .filter(|&t| {
+                    if y[t] > 0.0 {
+                        alpha[t] > 0.0
+                    } else {
+                        alpha[t] < c
+                    }
+                })
                 .map(|t| (-y[t] * grad[t], t))
                 .collect();
             ups.sort_by(|a, b| b.0.total_cmp(&a.0)); // descending violation
@@ -218,8 +241,16 @@ impl<T: Real> ThunderSolver<T> {
                 for u in 0..w {
                     let t = ws[u];
                     let v = -y[t] * g_loc[u];
-                    let in_up = if y[t] > 0.0 { a_loc[u] < c } else { a_loc[u] > 0.0 };
-                    let in_low = if y[t] > 0.0 { a_loc[u] > 0.0 } else { a_loc[u] < c };
+                    let in_up = if y[t] > 0.0 {
+                        a_loc[u] < c
+                    } else {
+                        a_loc[u] > 0.0
+                    };
+                    let in_low = if y[t] > 0.0 {
+                        a_loc[u] > 0.0
+                    } else {
+                        a_loc[u] < c
+                    };
                     if in_up && v > lmax {
                         lmax = v;
                         li = u;
@@ -441,7 +472,10 @@ mod tests {
         .unwrap()
         .train(&data)
         .unwrap();
-        assert_eq!(out.kernel_launches, out.outer_iterations * LAUNCHES_PER_OUTER);
+        assert_eq!(
+            out.kernel_launches,
+            out.outer_iterations * LAUNCHES_PER_OUTER
+        );
         assert!(out.rows_computed >= out.outer_iterations.min(1));
     }
 

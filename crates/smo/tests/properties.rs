@@ -12,10 +12,7 @@ fn labeled(max_points: usize, max_features: usize) -> impl Strategy<Value = Labe
     (4..max_points, 1..max_features)
         .prop_flat_map(|(m, d)| {
             (
-                proptest::collection::vec(
-                    proptest::collection::vec(-3.0..3.0f64, d..=d),
-                    m..=m,
-                ),
+                proptest::collection::vec(proptest::collection::vec(-3.0..3.0f64, d..=d), m..=m),
                 proptest::collection::vec(prop_oneof![Just(1.0), Just(-1.0)], m..=m),
             )
         })

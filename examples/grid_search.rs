@@ -45,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             KernelSpec::Rbf { gamma } => gamma,
             _ => unreachable!(),
         };
-        let marker = if point == &result.best { "  <- best" } else { "" };
+        let marker = if point == &result.best {
+            "  <- best"
+        } else {
+            ""
+        };
         println!(
             "{:>8}  {:>8}  {:>11.2}%{marker}",
             point.cost,

@@ -68,7 +68,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the polynomial and radial kernels are single-device, as in the paper
     let err = LsSvm::new()
         .with_kernel(KernelSpec::Rbf { gamma: 0.1 })
-        .with_backend(BackendSelection::sim_multi_gpu(hw::A100, DeviceApi::Cuda, 2))
+        .with_backend(BackendSelection::sim_multi_gpu(
+            hw::A100,
+            DeviceApi::Cuda,
+            2,
+        ))
         .train(&data)
         .unwrap_err();
     println!("\nRBF on two devices is rejected, as in the paper:\n  {err}");

@@ -1,0 +1,279 @@
+//! Vendored, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors the harness API subset its `[[bench]]` targets use.
+//! Semantics follow criterion's CLI contract: `cargo bench` passes
+//! `--bench`, which selects measurement mode (warmup + timed samples,
+//! min/mean/max printed per benchmark); any other invocation (e.g.
+//! `cargo test` running the bench target) runs each benchmark body once as
+//! a smoke test.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier `group/function/parameter` for one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter into an id.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Accepts both `&str` and [`BenchmarkId`] where benchmarks are named.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Measurement settings shared by a run.
+#[derive(Debug, Clone, Copy)]
+struct Mode {
+    /// Timed measurement (`--bench`) vs. run-once smoke test.
+    measure: bool,
+}
+
+/// The benchmark manager handed to `criterion_group!` targets.
+#[derive(Debug)]
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let measure = std::env::args().any(|a| a == "--bench");
+        Self {
+            mode: Mode { measure },
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: group_name.to_string(),
+            sample_size: 10,
+            mode: self.mode,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mode = self.mode;
+        run_benchmark(&id.into_id(), 10, mode, f);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    mode: Mode,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_benchmark(&full, self.sample_size, self.mode, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_benchmark(&full, self.sample_size, self.mode, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (report flushing happens per-benchmark here).
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark timer handle; the body calls [`Bencher::iter`] exactly
+/// once with the routine to measure.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine` (or runs it once in smoke-test mode).
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if !self.mode.measure {
+            black_box(routine());
+            return;
+        }
+        // Warmup, then choose an iteration count targeting ~10 ms/sample so
+        // sub-microsecond routines still get stable timings.
+        let warmup = Instant::now();
+        black_box(routine());
+        let once = warmup.elapsed().max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 1_000_000);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let per_iter = t0.elapsed().as_secs_f64() * 1e9 / iters as f64;
+            self.samples_ns.push(per_iter);
+        }
+    }
+}
+
+fn run_benchmark<F>(id: &str, sample_size: usize, mode: Mode, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        mode,
+        sample_size,
+        samples_ns: Vec::new(),
+    };
+    f(&mut bencher);
+    if !mode.measure {
+        println!("{id}: ok (smoke test)");
+        return;
+    }
+    let s = &mut bencher.samples_ns;
+    if s.is_empty() {
+        println!("{id}: no samples recorded");
+        return;
+    }
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min = s[0];
+    let max = s[s.len() - 1];
+    let mean = s.iter().sum::<f64>() / s.len() as f64;
+    println!(
+        "{id}  time: [{} {} {}]",
+        format_ns(min),
+        format_ns(mean),
+        format_ns(max)
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion {
+            mode: Mode { measure: false },
+        };
+        let mut runs = 0;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).bench_function("f", |b| {
+            b.iter(|| runs += 1);
+        });
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measure_mode_collects_samples() {
+        let mut c = Criterion {
+            mode: Mode { measure: true },
+        };
+        let mut runs = 0u64;
+        c.bench_function(BenchmarkId::new("f", 1), |b| b.iter(|| runs += 1));
+        assert!(runs > 10, "{runs}");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("eps", "1e-6").id, "eps/1e-6");
+    }
+}

@@ -1,0 +1,255 @@
+//! Vendored, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors the property-testing API subset its tests use:
+//! numeric range strategies, tuples, `Just`, `prop_oneof!`, collection
+//! vectors, `prop_map`/`prop_flat_map`/`prop_filter`, and the `proptest!`
+//! macro with `prop_assert!`/`prop_assert_eq!`/`prop_assume!`.
+//!
+//! Differences from real proptest, chosen deliberately for this repo:
+//! - **Deterministic**: case seeds derive from the test name, so every run
+//!   generates the same inputs (no `proptest-regressions` churn, no flaky
+//!   CI).
+//! - **No shrinking**: a failure reports the case number and seed instead
+//!   of a minimized input.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::collection` — strategies for collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::{Rejected, TestRng};
+
+    /// Inclusive bounds on a generated collection length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            Self {
+                min: exact,
+                max: exact,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            Self {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            Self {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of elements from an inner strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Result<Vec<S::Value>, Rejected> {
+            let len = rng.uniform_usize(self.size.min, self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `proptest::arbitrary` — the `any::<T>()` entry point.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::{Rejected, TestRng};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates one arbitrary value.
+        fn arbitrary_from(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_from(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for u8 {
+        fn arbitrary_from(rng: &mut TestRng) -> u8 {
+            rng.next_u64() as u8
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary_from(rng: &mut TestRng) -> u32 {
+            rng.next_u64() as u32
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary_from(rng: &mut TestRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Arbitrary for usize {
+        fn arbitrary_from(rng: &mut TestRng) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+
+    /// Strategy generating any value of `T`.
+    #[derive(Debug)]
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T> Clone for AnyStrategy<T> {
+        fn clone(&self) -> Self {
+            Self(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> Result<T, Rejected> {
+            Ok(T::arbitrary_from(rng))
+        }
+    }
+
+    /// `proptest::prelude::any::<T>()`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+/// Glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Fails the current property case with a formatted message unless the
+/// condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current property case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Rejects the current case (drawing a fresh one) unless the condition
+/// holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+/// Picks uniformly between alternative strategies for the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares deterministic property tests; see the crate docs for the
+/// differences from real proptest.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr);) => {};
+    (($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run_proptest($config, stringify!($name), |__rng| {
+                $(
+                    let $arg = match $crate::strategy::Strategy::generate(&($strategy), __rng) {
+                        ::core::result::Result::Ok(v) => v,
+                        ::core::result::Result::Err(r) => {
+                            return ::core::result::Result::Err(
+                                $crate::test_runner::TestCaseError::Reject(r.into_reason()),
+                            )
+                        }
+                    };
+                )+
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_items!(($config); $($rest)*);
+    };
+}

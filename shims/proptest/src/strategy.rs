@@ -1,0 +1,245 @@
+//! Value-generation strategies: what to feed a property test.
+
+use crate::test_runner::{Rejected, TestRng};
+
+/// A recipe for generating values of one type.
+///
+/// Object-safe core (`generate`) plus `Sized`-gated combinators, so
+/// `Box<dyn Strategy<Value = T>>` works for heterogeneous unions.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value, or reports that this draw was rejected (e.g. a
+    /// filter never matched).
+    fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejected>;
+
+    /// Transforms generated values.
+    fn prop_map<O, F>(self, fun: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, fun }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S, F>(self, fun: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, fun }
+    }
+
+    /// Discards values failing the predicate (resampling up to an internal
+    /// retry limit before rejecting the case).
+    fn prop_filter<R, F>(self, whence: R, fun: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        R: Into<String>,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            source: self,
+            whence: whence.into(),
+            fun,
+        }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Result<T, Rejected> {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Result<S::Value, Rejected> {
+        (**self).generate(rng)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> Result<T, Rejected> {
+        Ok(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    fun: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> Result<O, Rejected> {
+        Ok((self.fun)(self.source.generate(rng)?))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    source: S,
+    fun: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> Result<S2::Value, Rejected> {
+        (self.fun)(self.source.generate(rng)?).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    source: S,
+    whence: String,
+    fun: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Result<S::Value, Rejected> {
+        const LOCAL_RETRIES: usize = 256;
+        for _ in 0..LOCAL_RETRIES {
+            let value = self.source.generate(rng)?;
+            if (self.fun)(&value) {
+                return Ok(value);
+            }
+        }
+        Err(Rejected::new(self.whence.clone()))
+    }
+}
+
+/// Uniform choice between same-typed strategies (the `prop_oneof!` macro).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over at least one alternative.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Result<T, Rejected> {
+        let pick = rng.uniform_usize(0, self.options.len() - 1);
+        self.options[pick].generate(rng)
+    }
+}
+
+impl std::fmt::Debug for Union<()> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Union({} options)", self.options.len())
+    }
+}
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Result<$t, Rejected> {
+                assert!(self.start < self.end, "empty range strategy");
+                let u = rng.unit_f64() as $t;
+                Ok(self.start + u * (self.end - self.start))
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Result<$t, Rejected> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let u = rng.unit_f64() as $t;
+                Ok(lo + u * (hi - lo))
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f64, f32);
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Result<$t, Rejected> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                Ok(self.start + (rng.next_u64() % span) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Result<$t, Rejected> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return Ok(rng.next_u64() as $t);
+                }
+                Ok(lo + (rng.next_u64() % (span + 1)) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+macro_rules! tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejected> {
+                Ok(($(self.$idx.generate(rng)?,)+))
+            }
+        }
+    };
+}
+
+tuple_strategy!(A: 0);
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);

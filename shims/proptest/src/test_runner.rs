@@ -1,0 +1,240 @@
+//! The property-test driver: configuration, RNG, and the case loop.
+
+/// Runtime configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Global rejection budget (assumption failures / exhausted filters)
+    /// before the test errors out.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A default configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// Why one drawn case did not count as a pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was invalid (failed `prop_assume!` or a filter); draw
+    /// another.
+    Reject(String),
+    /// The property was falsified.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds the failure variant.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Builds the rejection variant.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "failed: {r}"),
+        }
+    }
+}
+
+/// Result type of one property case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A strategy draw that produced no value (filter exhausted its retries).
+#[derive(Debug, Clone)]
+pub struct Rejected {
+    reason: String,
+}
+
+impl Rejected {
+    /// Wraps the human-readable rejection reason.
+    pub fn new(reason: impl Into<String>) -> Self {
+        Self {
+            reason: reason.into(),
+        }
+    }
+
+    /// Unwraps the reason string.
+    pub fn into_reason(self) -> String {
+        self.reason
+    }
+}
+
+/// The deterministic case RNG (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator for one case seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi]`.
+    pub fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as u64;
+        if span == u64::MAX {
+            return self.next_u64() as usize;
+        }
+        lo + (self.next_u64() % (span + 1)) as usize
+    }
+}
+
+/// FNV-1a, used to derive a per-test seed base from the test name.
+fn fnv1a(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Drives one `proptest!`-declared test: draws cases until `config.cases`
+/// pass, panicking on the first falsified case.
+pub fn run_proptest<F>(config: ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let base = fnv1a(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut attempt = 0u64;
+    while passed < config.cases {
+        let seed = base.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        attempt += 1;
+        let mut rng = TestRng::new(seed);
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest {name}: too many global rejects \
+                         ({rejected} rejects for {passed} passes)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(reason)) => {
+                panic!(
+                    "proptest {name}: case #{} falsified (seed {seed:#018x})\n{reason}",
+                    passed + 1
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use crate::strategy::Strategy as _;
+
+    #[test]
+    fn runner_is_deterministic() {
+        let collect = |_| {
+            let mut seen = Vec::new();
+            run_proptest(ProptestConfig::with_cases(10), "det", |rng| {
+                seen.push(rng.next_u64());
+                Ok(())
+            });
+            seen
+        };
+        assert_eq!(collect(()), collect(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn failures_panic() {
+        run_proptest(ProptestConfig::with_cases(4), "fails", |rng| {
+            let x = (0u64..100).generate(rng).unwrap();
+            prop_assert!(x < 1, "x = {x}");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn rejections_draw_new_cases() {
+        let mut draws = 0u32;
+        run_proptest(ProptestConfig::with_cases(5), "rej", |rng| {
+            draws += 1;
+            let x: u64 = (0u64..10).generate(rng).unwrap();
+            prop_assume!(x.is_multiple_of(2));
+            Ok(())
+        });
+        assert!(draws >= 5);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_patterns((a, b) in (0usize..10, 10usize..20), flag in any::<bool>()) {
+            prop_assert!(a < 10 && (10..20).contains(&b));
+            let _ = flag;
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in crate::collection::vec(0.0..1.0f64, 3..=7)) {
+            prop_assert!((3..=7).contains(&v.len()));
+            for x in &v {
+                prop_assert!((0.0..1.0).contains(x));
+            }
+        }
+
+        #[test]
+        fn oneof_and_filter(x in prop_oneof![Just(1i32), Just(2), 5i32..8]
+                                .prop_filter("not two", |v| *v != 2)) {
+            prop_assert!(x == 1 || (5..8).contains(&x));
+        }
+
+        #[test]
+        fn flat_map_dependent(v in (1usize..5).prop_flat_map(|n| {
+            crate::collection::vec(Just(n), n..=n)
+        })) {
+            prop_assert!(!v.is_empty());
+            prop_assert!(v.iter().all(|&x| x == v.len()));
+        }
+    }
+}

@@ -21,10 +21,8 @@ fn tmp(name: &str) -> std::path::PathBuf {
 #[test]
 fn generate_scale_split_train_save_load_predict() {
     // 1. generate
-    let mut data = generate_planes::<f64>(
-        &PlanesConfig::new(300, 12, 424).with_cluster_sep(3.0),
-    )
-    .unwrap();
+    let mut data =
+        generate_planes::<f64>(&PlanesConfig::new(300, 12, 424).with_cluster_sep(3.0)).unwrap();
     // 2. scale to [-1, 1]
     let params = ScalingParams::fit(&data.x, -1.0, 1.0).unwrap();
     params.apply(&mut data.x).unwrap();
@@ -106,10 +104,8 @@ fn all_backends_produce_interchangeable_models() {
 #[test]
 fn lssvm_and_smo_reach_comparable_accuracy() {
     // the paper's central accuracy claim: LS-SVM accuracy on par with SMO
-    let data = generate_planes::<f64>(
-        &PlanesConfig::new(200, 16, 7).with_cluster_sep(2.5),
-    )
-    .unwrap();
+    let data =
+        generate_planes::<f64>(&PlanesConfig::new(200, 16, 7).with_cluster_sep(2.5)).unwrap();
     let ls = LsSvm::new().with_epsilon(1e-8).train(&data).unwrap();
     let smo = plssvm::smo::solver::train_dense(&data, &SmoConfig::default()).unwrap();
     let thunder = ThunderSolver::new(ThunderConfig {
@@ -176,8 +172,14 @@ fn f32_and_f64_models_agree_on_easy_data() {
             .with_flip_fraction(0.0),
     )
     .unwrap();
-    let out64 = LsSvm::<f64>::new().with_epsilon(1e-6).train(&data64).unwrap();
-    let out32 = LsSvm::<f32>::new().with_epsilon(1e-4).train(&data32).unwrap();
+    let out64 = LsSvm::<f64>::new()
+        .with_epsilon(1e-6)
+        .train(&data64)
+        .unwrap();
+    let out32 = LsSvm::<f32>::new()
+        .with_epsilon(1e-4)
+        .train(&data32)
+        .unwrap();
     assert_eq!(accuracy(&out64.model, &data64), 1.0);
     assert_eq!(accuracy(&out32.model, &data32), 1.0);
 }

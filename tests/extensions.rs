@@ -109,7 +109,11 @@ fn regression_on_simulated_multi_gpu() {
     let out = LsSvr::new()
         .with_cost(1e4)
         .with_epsilon(1e-10)
-        .with_backend(BackendSelection::sim_multi_gpu(hw::A100, DeviceApi::Cuda, 4))
+        .with_backend(BackendSelection::sim_multi_gpu(
+            hw::A100,
+            DeviceApi::Cuda,
+            4,
+        ))
         .train(&data)
         .unwrap();
     assert!(out.device.unwrap().per_device.len() == 4);
@@ -150,8 +154,8 @@ fn rbf_training_on_four_row_split_devices() {
 
 #[test]
 fn multiclass_on_device_backend_with_rbf() {
-    let data = generate_blobs::<f64>(&BlobsConfig::new(120, 5, 3, 24).with_separation(5.0))
-        .unwrap();
+    let data =
+        generate_blobs::<f64>(&BlobsConfig::new(120, 5, 3, 24).with_separation(5.0)).unwrap();
     let trainer = LsSvm::new()
         .with_kernel(KernelSpec::Rbf { gamma: 0.2 })
         .with_epsilon(1e-8)

@@ -2,6 +2,9 @@
 //! invariants of the reproduction hold on *random* data, not just on the
 //! hand-picked fixtures of the unit tests.
 
+// index loops mirror the paper's subscript notation
+#![allow(clippy::needless_range_loop)]
+
 use proptest::prelude::*;
 
 use plssvm::core::backend::{BackendSelection, Prepared};
@@ -20,16 +23,11 @@ fn labeled_data(max_points: usize, max_features: usize) -> impl Strategy<Value =
     (2..max_points, 1..max_features)
         .prop_flat_map(|(m, d)| {
             (
-                proptest::collection::vec(
-                    proptest::collection::vec(-5.0..5.0f64, d..=d),
-                    m..=m,
-                ),
+                proptest::collection::vec(proptest::collection::vec(-5.0..5.0f64, d..=d), m..=m),
                 proptest::collection::vec(prop_oneof![Just(1.0), Just(-1.0)], m..=m),
             )
         })
-        .prop_map(|(rows, y)| {
-            LabeledData::new(DenseMatrix::from_rows(rows).unwrap(), y).unwrap()
-        })
+        .prop_map(|(rows, y)| LabeledData::new(DenseMatrix::from_rows(rows).unwrap(), y).unwrap())
 }
 
 fn kernels() -> impl Strategy<Value = KernelSpec<f64>> {
