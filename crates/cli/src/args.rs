@@ -7,6 +7,7 @@ use plssvm_core::backend::BackendSelection;
 use plssvm_data::model::KernelSpec;
 use plssvm_simgpu::hw;
 use plssvm_simgpu::Backend as DeviceApi;
+use plssvm_simgpu::FaultPlan;
 
 /// Errors from command line parsing.
 #[derive(Debug, PartialEq, Eq)]
@@ -86,6 +87,15 @@ pub struct TrainArgs {
     /// Write unified telemetry as JSON lines to this file
     /// (`--metrics-out`), LS-SVM / LS-SVR only.
     pub metrics_out: Option<String>,
+    /// Deterministic device-fault injection plan (`--fault-plan`),
+    /// simulated device backends only. Spec grammar:
+    /// `fail:DEV@LAUNCH`, `transient:DEV@LAUNCH[xCOUNT]`,
+    /// `slow:DEV@LAUNCH[xFACTOR]`, separated by `;` or `,`, or
+    /// `seed:N` for a randomized plan.
+    pub fault_plan: Option<FaultPlan>,
+    /// Snapshot CG state every this many iterations
+    /// (`--checkpoint-every`), LS-SVM / LS-SVR only.
+    pub checkpoint_every: Option<usize>,
     /// Suppress informational output (`-q` / `--quiet`).
     pub quiet: bool,
     /// Print per-kernel telemetry counters with the summary (`--verbose`).
@@ -114,11 +124,14 @@ pub fn parse_train(args: &[String]) -> Result<TrainArgs, CliError> {
         algorithm: Algorithm::LsSvm,
         backend: BackendSelection::default(),
         metrics_out: None,
+        fault_plan: None,
+        checkpoint_every: None,
         quiet: false,
         verbose: false,
         input: String::new(),
         model: String::new(),
     };
+    let mut fault_spec: Option<String> = None;
     let mut backend_name = "openmp".to_owned();
     let mut devices = 1usize;
     let mut row_split = false;
@@ -175,6 +188,14 @@ pub fn parse_train(args: &[String]) -> Result<TrainArgs, CliError> {
             "-n" | "--devices" => devices = parse_num(&take("--devices")?, "--devices")?,
             "-T" | "--threads" => threads = Some(parse_num(&take("--threads")?, "--threads")?),
             "--metrics-out" => out.metrics_out = Some(take("--metrics-out")?),
+            "--fault-plan" => fault_spec = Some(take("--fault-plan")?),
+            "--checkpoint-every" => {
+                let k: usize = parse_num(&take("--checkpoint-every")?, "--checkpoint-every")?;
+                if k == 0 {
+                    return Err(err("--checkpoint-every must be at least 1"));
+                }
+                out.checkpoint_every = Some(k);
+            }
             "-q" | "--quiet" => out.quiet = true,
             "--verbose" => out.verbose = true,
             "--hardware" => hardware = take("--hardware")?,
@@ -254,6 +275,31 @@ pub fn parse_train(args: &[String]) -> Result<TrainArgs, CliError> {
         }
         other => return Err(err(format!("unknown backend '{other}'"))),
     };
+    if let Some(spec) = fault_spec {
+        let simulated = matches!(
+            out.backend,
+            BackendSelection::SimGpu { .. } | BackendSelection::SimGpuRows { .. }
+        );
+        if !simulated {
+            return Err(err(
+                "--fault-plan requires a simulated device backend (cuda, opencl, sycl or dpcpp)",
+            ));
+        }
+        let plan = match spec.strip_prefix("seed:") {
+            Some(seed) => {
+                let seed: u64 = parse_num(seed.trim(), "--fault-plan seed")?;
+                FaultPlan::seeded(seed, devices, 32)
+            }
+            None => FaultPlan::parse(&spec).map_err(err)?,
+        };
+        if plan.max_device().is_some_and(|d| d >= devices) {
+            return Err(err(format!(
+                "--fault-plan addresses device {} but only {devices} device(s) are configured",
+                plan.max_device().unwrap()
+            )));
+        }
+        out.fault_plan = Some(plan);
+    }
     Ok(out)
 }
 
@@ -717,6 +763,67 @@ mod tests {
         assert!(a.quiet);
         assert!(parse_predict(&sv(&["-q", "--verbose", "a", "b", "c"])).is_err());
         assert!(parse_predict(&sv(&["--metrics-out"])).is_err());
+    }
+
+    #[test]
+    fn train_fault_plan_and_checkpoint_flags() {
+        let a = parse_train(&sv(&[
+            "--backend",
+            "cuda",
+            "-n",
+            "4",
+            "--fault-plan",
+            "fail:1@4;transient:2@0x2",
+            "--checkpoint-every",
+            "8",
+            "x.dat",
+        ]))
+        .unwrap();
+        let plan = a.fault_plan.expect("plan parsed");
+        assert_eq!(plan, FaultPlan::new().fail_stop(1, 4).transient(2, 0, 2));
+        assert_eq!(a.checkpoint_every, Some(8));
+
+        // seeded plans resolve against the configured device count
+        let a = parse_train(&sv(&[
+            "--backend",
+            "cuda",
+            "-n",
+            "4",
+            "--fault-plan",
+            "seed:7",
+            "x.dat",
+        ]))
+        .unwrap();
+        let plan = a.fault_plan.expect("seeded plan");
+        assert_eq!(plan, FaultPlan::seeded(7, 4, 32));
+        assert!(plan.max_device().is_some_and(|d| d < 4));
+
+        // CPU backends cannot inject device faults
+        assert!(parse_train(&sv(&["--fault-plan", "fail:0@1", "x.dat"])).is_err());
+        // plan must fit the device count
+        assert!(parse_train(&sv(&[
+            "--backend",
+            "cuda",
+            "-n",
+            "2",
+            "--fault-plan",
+            "fail:5@1",
+            "x.dat",
+        ]))
+        .is_err());
+        // malformed specs and zero intervals are rejected
+        assert!(parse_train(&sv(&[
+            "--backend",
+            "cuda",
+            "--fault-plan",
+            "explode:0@1",
+            "x.dat",
+        ]))
+        .is_err());
+        assert!(parse_train(&sv(&["--checkpoint-every", "0", "x.dat"])).is_err());
+        // defaults stay off
+        let a = parse_train(&sv(&["x.dat"])).unwrap();
+        assert!(a.fault_plan.is_none() && a.checkpoint_every.is_none());
     }
 
     #[test]

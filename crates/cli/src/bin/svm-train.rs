@@ -27,6 +27,9 @@ fn main() -> ExitCode {
              \x20 --hardware hw  : a100 (default) | v100 | p100 | gtx1080ti | rtx3080 | radeonvii | p630\n\
              \x20 --split mode   : features (default, linear only) | rows (any kernel)\n\
              \x20 --metrics-out f: write solver telemetry as JSON lines (LS-SVM/LS-SVR only)\n\
+             \x20 --fault-plan p : inject device faults, e.g. 'fail:1@4;transient:0@2x2;slow:2@0x4'\n\
+             \x20                  or 'seed:N' for a random plan (simulated backends only)\n\
+             \x20 --checkpoint-every k : snapshot CG state every k iterations (LS-SVM/LS-SVR only)\n\
              \x20 -q, --quiet    : suppress the training summary\n\
              \x20 --verbose      : append per-kernel telemetry counters to the summary\n\
              input files: LIBSVM format, or ARFF when the extension is .arff"

@@ -111,6 +111,9 @@ pub fn run_train(args: &TrainArgs) -> Result<String, Box<dyn Error>> {
         ));
     }
 
+    if args.fault_plan.is_some() && args.algorithm != Algorithm::LsSvm {
+        return Err("--fault-plan is implemented for the lssvm algorithm".into());
+    }
     match args.algorithm {
         Algorithm::LsSvm => {
             let mut trainer = LsSvm::new()
@@ -118,6 +121,12 @@ pub fn run_train(args: &TrainArgs) -> Result<String, Box<dyn Error>> {
                 .with_cost(args.cost)
                 .with_epsilon(args.epsilon)
                 .with_backend(args.backend.clone());
+            if let Some(plan) = &args.fault_plan {
+                trainer = trainer.with_fault_plan(plan.clone());
+            }
+            if let Some(k) = args.checkpoint_every {
+                trainer = trainer.with_checkpoint_interval(k);
+            }
             if !args.label_weights.is_empty() {
                 // -wi: class weights become per-sample weights of the
                 // weighted LS-SVM (the error term of sample i is C·wᵢ)
@@ -237,6 +246,12 @@ fn run_train_regression(args: &TrainArgs) -> Result<String, Box<dyn Error>> {
         .with_cost(args.cost)
         .with_epsilon(args.epsilon)
         .with_backend(args.backend.clone());
+    if let Some(plan) = &args.fault_plan {
+        trainer = trainer.with_fault_plan(plan.clone());
+    }
+    if let Some(k) = args.checkpoint_every {
+        trainer = trainer.with_checkpoint_interval(k);
+    }
     let telemetry = telemetry_for(args);
     if let Some(t) = &telemetry {
         trainer = trainer.with_metrics(Arc::clone(t));
@@ -1067,6 +1082,96 @@ mod tests {
         let json = std::fs::read_to_string(&metrics).unwrap();
         assert!(json.contains("\"type\":\"cg_iteration\""), "{json}");
         assert!(json.contains("\"name\":\"svm_kernel\""), "{json}");
+    }
+
+    #[test]
+    fn fault_injected_training_recovers_and_logs_recovery_telemetry() {
+        let dir = tmpdir("fault");
+        let data = dir.join("train.dat");
+        run_generate(
+            &parse_generate(&sv(&[
+                "--points",
+                "60",
+                "--features",
+                "8",
+                "--seed",
+                "17",
+                "--sep",
+                "4.0",
+                "--flip",
+                "0.0",
+                "-o",
+                data.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        let model = dir.join("fault.model");
+        let metrics = dir.join("fault.jsonl");
+        let train = parse_train(&sv(&[
+            "--backend",
+            "cuda",
+            "-n",
+            "4",
+            "--fault-plan",
+            "fail:1@4;transient:2@0x2",
+            "--checkpoint-every",
+            "4",
+            "-e",
+            "1e-8",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            data.to_str().unwrap(),
+            model.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let msg = run_train(&train).unwrap();
+        assert!(msg.contains("converged: true"), "{msg}");
+        assert!(model.exists());
+        let json = std::fs::read_to_string(&metrics).unwrap();
+        for key in [
+            "\"type\":\"recovery\"",
+            "\"kind\":\"failover\"",
+            "\"kind\":\"retry\"",
+            "\"kind\":\"checkpoint\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        // the recovered model still predicts the training set well
+        let preds = dir.join("p.txt");
+        let pm = run_predict(
+            &parse_predict(&sv(&[
+                data.to_str().unwrap(),
+                model.to_str().unwrap(),
+                preds.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        let acc: f64 = pm
+            .split('=')
+            .nth(1)
+            .unwrap()
+            .trim()
+            .split('%')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(acc >= 97.0, "{pm}");
+
+        // fault plans are rejected for solvers without a recovery driver
+        let bad = parse_train(&sv(&[
+            "-a",
+            "smo",
+            "--backend",
+            "cuda",
+            "--fault-plan",
+            "fail:0@1",
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(run_train(&bad).is_err());
     }
 
     #[test]

@@ -108,6 +108,78 @@ fn full_pipeline_through_the_binaries() {
 }
 
 #[test]
+fn fault_injected_training_through_the_binary() {
+    let dir = tmpdir("fault");
+    let data = dir.join("train.dat");
+    let model = dir.join("train.model");
+    let metrics = dir.join("metrics.jsonl");
+    let (ok, _, stderr) = run(
+        "generate-data",
+        &[
+            "--points",
+            "60",
+            "--features",
+            "8",
+            "--seed",
+            "21",
+            "--sep",
+            "4.0",
+            "--flip",
+            "0.0",
+            "-o",
+            data.to_str().unwrap(),
+        ],
+    );
+    assert!(ok, "{stderr}");
+
+    // fail-stop device 1 of 4 mid-solve, with transient noise and
+    // periodic CG checkpoints; training must still converge
+    let (ok, stdout, stderr) = run(
+        "svm-train",
+        &[
+            "-e",
+            "1e-8",
+            "--backend",
+            "cuda",
+            "-n",
+            "4",
+            "--fault-plan",
+            "fail:1@4;transient:3@1x2",
+            "--checkpoint-every",
+            "4",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            data.to_str().unwrap(),
+            model.to_str().unwrap(),
+        ],
+    );
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("converged: true"), "{stdout}");
+    assert!(stdout.contains("training accuracy"), "{stdout}");
+    assert!(model.exists());
+
+    let json = std::fs::read_to_string(&metrics).unwrap();
+    assert!(json.contains("\"type\":\"recovery\""), "{json}");
+    assert!(json.contains("\"kind\":\"failover\""), "{json}");
+    assert!(json.contains("\"kind\":\"retry\""), "{json}");
+    assert!(json.contains("\"kind\":\"checkpoint\""), "{json}");
+
+    // a malformed plan is a usage error, not a crash
+    let (ok, _, stderr) = run(
+        "svm-train",
+        &[
+            "--backend",
+            "cuda",
+            "--fault-plan",
+            "explode:0@1",
+            data.to_str().unwrap(),
+        ],
+    );
+    assert!(!ok);
+    assert!(stderr.contains("fault"), "{stderr}");
+}
+
+#[test]
 fn train_help_and_errors_exit_nonzero() {
     let (ok, _, stderr) = run("svm-train", &["--help"]);
     assert!(!ok);

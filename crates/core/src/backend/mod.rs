@@ -31,7 +31,7 @@ use std::sync::Arc;
 use plssvm_data::dense::{DenseMatrix, SoAMatrix};
 use plssvm_data::model::KernelSpec;
 use plssvm_simgpu::device::AtomicScalar;
-use plssvm_simgpu::{Backend as DeviceApi, GpuSpec, PerfReport};
+use plssvm_simgpu::{Backend as DeviceApi, FaultPlan, GpuSpec, PerfReport};
 
 use crate::cg::LinOp;
 use crate::error::SvmError;
@@ -483,14 +483,53 @@ impl<T: AtomicScalar> Prepared<T> {
                 sink.record_launch("w_kernel", 1, flops, bytes, 0.0);
             }
         }
+        self.drain_recovery();
         w
     }
 
-    /// Device counters, if this is a device backend.
+    /// Device counters, if this is a device backend. Also drains any
+    /// pending recovery events into the attached metrics sink.
     pub fn device_report(&self) -> Option<DeviceReport> {
+        self.drain_recovery();
         match &self.imp {
             PreparedImpl::SimGpu(b) => Some(b.report()),
             _ => None,
+        }
+    }
+
+    /// Installs a deterministic [`FaultPlan`] on the simulated devices:
+    /// subsequent launches are gated by the plan and the recovery policy
+    /// (retry-with-backoff, fail-stop shard redistribution, straggler
+    /// rebalancing) engages. Errors on CPU backends — fault injection is a
+    /// device-backend concept.
+    pub fn install_fault_plan(&self, plan: &FaultPlan) -> Result<(), SvmError> {
+        match &self.imp {
+            PreparedImpl::SimGpu(b) => b.install_fault_plan(plan),
+            _ => Err(SvmError::Solver(
+                "fault injection requires a simulated device backend \
+                 (simgpu, simgpu-rows or cluster)"
+                    .into(),
+            )),
+        }
+    }
+
+    /// Number of devices that have not fail-stopped (CPU backends report
+    /// their single host "device").
+    pub fn live_devices(&self) -> usize {
+        match &self.imp {
+            PreparedImpl::SimGpu(b) => b.live_devices(),
+            _ => 1,
+        }
+    }
+
+    /// Moves recovery events accumulated by the device backend into the
+    /// attached metrics sink (no-op without a sink or on CPU backends;
+    /// events stay queued on the backend until a sink is available).
+    fn drain_recovery(&self) {
+        if let (PreparedImpl::SimGpu(b), Some(sink)) = (&self.imp, &self.metrics) {
+            for sample in b.drain_recovery_events() {
+                sink.record_recovery(sample);
+            }
         }
     }
 }
@@ -516,7 +555,16 @@ impl<T: AtomicScalar> LinOp<T> for Prepared<T> {
             PreparedImpl::Serial(b) => b.kernel_matvec(v, out),
             PreparedImpl::Parallel(b) => b.kernel_matvec(v, out),
             PreparedImpl::Sparse(b) => b.kernel_matvec(v, out),
-            PreparedImpl::SimGpu(b) => b.kernel_matvec(v, out),
+            // `LinOp::apply` is infallible by contract; the device matvec
+            // recovers from injected faults internally and only errors
+            // when no device survives (or on a real device error such as
+            // out-of-memory mid-solve)
+            PreparedImpl::SimGpu(b) => {
+                if let Err(e) = b.kernel_matvec(v, out) {
+                    panic!("device matvec failed beyond recovery: {e}");
+                }
+                self.drain_recovery();
+            }
         }
         self.params.apply_corrections(v, out);
         if self.is_cpu() {

@@ -26,20 +26,30 @@
 
 use rayon::prelude::*;
 
-use std::sync::Mutex;
+use std::sync::{Mutex, RwLock};
 
 use plssvm_data::dense::SoAMatrix;
 use plssvm_data::model::KernelSpec;
 use plssvm_simgpu::cluster::{Interconnect, NodeConfig};
 use plssvm_simgpu::device::AtomicScalar;
 use plssvm_simgpu::{
-    Backend as DeviceApi, DeviceBuffer, GpuSpec, Grid, LaunchConfig, Precision, SimDevice,
+    Backend as DeviceApi, DeviceBuffer, FaultPlan, GpuSpec, Grid, LaunchConfig, Precision,
+    SimDevice, SimGpuError,
 };
 
 use crate::backend::DeviceReport;
 use crate::error::SvmError;
 use crate::kernel::kernel_flops;
 use crate::matrix_free::QTildeParams;
+use crate::trace::{RecoveryKind, RecoverySample};
+
+/// Transient launch timeouts are retried this many times (with simulated
+/// exponential backoff) before the device is declared fail-stopped.
+const MAX_TRANSIENT_RETRIES: u32 = 8;
+
+/// A device whose per-matvec kernel time exceeds this multiple of the
+/// live-device median is flagged a straggler and the work is rebalanced.
+const STRAGGLER_FACTOR: f64 = 2.5;
 
 /// Tiling parameters of the device kernels (the paper's two compile-time
 /// blocking sizes plus the feature chunk of the shared-memory stage).
@@ -139,7 +149,16 @@ pub struct SimGpuBackend<T: AtomicScalar> {
     nodes: usize,
     interconnect: Option<Interconnect>,
     network: Mutex<NetworkStats>,
-    parts: Vec<DevicePart<T>>,
+    /// Per-device data shards. Interior-mutable so fail-stop recovery can
+    /// redistribute shards across the surviving devices mid-solve.
+    parts: RwLock<Vec<DevicePart<T>>>,
+    /// Host-resident copy of the padded SoA training data, kept so shards
+    /// can be re-cut and re-uploaded after a device failure.
+    host_data: SoAMatrix<T>,
+    /// `alive[i]` = device `i` has not fail-stopped.
+    alive: RwLock<Vec<bool>>,
+    /// Recovery events not yet drained into a metrics sink.
+    recovery: Mutex<Vec<RecoverySample>>,
     kernel: KernelSpec<T>,
     params: QTildeParams<T>,
     /// Dimension of the reduced system (`m − 1`).
@@ -400,13 +419,17 @@ impl<T: AtomicScalar> SimGpuBackend<T> {
                 row_end,
             });
         }
+        let count = device_list.len();
         let mut backend = Self {
             devices: device_list,
             node_of,
             nodes,
             interconnect,
             network: Mutex::new(NetworkStats::default()),
-            parts,
+            parts: RwLock::new(parts),
+            host_data: data.clone(),
+            alive: RwLock::new(vec![true; count]),
+            recovery: Mutex::new(Vec::new()),
             kernel,
             params: QTildeParams {
                 q: Vec::new(),
@@ -440,6 +463,291 @@ impl<T: AtomicScalar> SimGpuBackend<T> {
         }
     }
 
+    /// Installs a deterministic [`FaultPlan`] on the devices. Subsequent
+    /// kernel launches are gated by the plan: transient timeouts are
+    /// retried with simulated backoff, fail-stopped devices are dropped
+    /// and their data shard is redistributed across the survivors, and
+    /// slow devices are detected as stragglers and rebalanced away from.
+    /// Fails without installing anything if the plan addresses a device
+    /// this backend does not have.
+    pub fn install_fault_plan(&self, plan: &FaultPlan) -> Result<(), SvmError> {
+        if let Some(max) = plan.max_device() {
+            if max >= self.devices.len() {
+                return Err(SvmError::Device(SimGpuError::DeviceIndexOutOfRange {
+                    index: max,
+                    count: self.devices.len(),
+                }));
+            }
+        }
+        for d in &self.devices {
+            d.install_fault_plan(plan);
+        }
+        Ok(())
+    }
+
+    /// Takes every recovery event recorded since the last drain, in
+    /// deterministic order.
+    pub fn drain_recovery_events(&self) -> Vec<RecoverySample> {
+        std::mem::take(&mut *self.recovery.lock().expect("recovery lock"))
+    }
+
+    /// Number of devices that have not fail-stopped.
+    pub fn live_devices(&self) -> usize {
+        self.alive
+            .read()
+            .expect("alive lock")
+            .iter()
+            .filter(|&&a| a)
+            .count()
+    }
+
+    fn record_recovery(&self, sample: RecoverySample) {
+        self.recovery.lock().expect("recovery lock").push(sample);
+    }
+
+    /// Indices of the devices still alive, ascending.
+    fn live_indices(&self) -> Vec<usize> {
+        self.alive
+            .read()
+            .expect("alive lock")
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| a.then_some(i))
+            .collect()
+    }
+
+    /// Achievable-throughput weight of one device (the same measure the
+    /// heterogeneous cluster setup balances by).
+    fn throughput_weight(&self, device: usize) -> f64 {
+        let d = &self.devices[device];
+        let profile = plssvm_simgpu::backend_profile(d.backend(), d.spec());
+        d.spec().peak_flops(self.precision) * profile.compute_efficiency
+    }
+
+    /// Re-cuts the data distribution over the `live` devices. `weights`
+    /// biases the cut (straggler rebalancing); `None` uses throughput
+    /// weights (feature split) or an even partition (row split).
+    ///
+    /// Feature split: the shards are re-cut from the retained host copy
+    /// and re-uploaded. The cached `q⃗`/`k_mm` need no recomputation — they
+    /// are host-resident and mathematically independent of the split. Row
+    /// split: every device already holds the full data, so only the row
+    /// ranges are reassigned (no transfer at all).
+    fn redistribute(&self, live: &[usize], weights: Option<&[f64]>) -> Result<(), SvmError> {
+        let mut parts = self.parts.write().expect("parts lock");
+        match self.split {
+            SplitMode::Features => {
+                let weights: Vec<f64> = match weights {
+                    Some(w) => w.to_vec(),
+                    None => live.iter().map(|&i| self.throughput_weight(i)).collect(),
+                };
+                let chunks = self.host_data.split_features_weighted(&weights);
+                for (&i, chunk) in live.iter().zip(&chunks) {
+                    parts[i] = DevicePart {
+                        data: self.devices[i].copy_to_device(chunk.as_slice())?,
+                        features: chunk.features(),
+                        row_begin: 0,
+                        row_end: self.n + 1,
+                    };
+                }
+            }
+            SplitMode::Rows => {
+                let rows = self.n + 1;
+                let mut begin = 0usize;
+                for (k, &i) in live.iter().enumerate() {
+                    let end = if k + 1 == live.len() {
+                        rows
+                    } else {
+                        match weights {
+                            Some(w) => {
+                                let total: f64 = w.iter().sum();
+                                let share = (rows as f64 * w[k] / total).round() as usize;
+                                (begin + share).min(rows)
+                            }
+                            None => (begin + rows.div_ceil(live.len())).min(rows),
+                        }
+                    };
+                    parts[i].row_begin = begin;
+                    parts[i].row_end = end;
+                    begin = end;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Marks `failures` as fail-stopped, redistributes their work across
+    /// the survivors and records one failover event per lost device.
+    fn fail_over(&self, failures: &[(usize, u64)]) -> Result<(), SvmError> {
+        {
+            let mut alive = self.alive.write().expect("alive lock");
+            for &(d, _) in failures {
+                alive[d] = false;
+            }
+        }
+        let live = self.live_indices();
+        if live.is_empty() {
+            return Err(SvmError::Solver(
+                "every simulated device has fail-stopped; no survivor to redistribute to".into(),
+            ));
+        }
+        self.redistribute(&live, None)?;
+        for &(d, l) in failures {
+            self.record_recovery(RecoverySample::device_event(
+                RecoveryKind::Failover,
+                d,
+                l,
+                format!(
+                    "fail-stop; shard redistributed over {} surviving device(s)",
+                    live.len()
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Runs `job` once per live device (in parallel), with the recovery
+    /// policy applied: transient timeouts retry in place with simulated
+    /// exponential backoff; a fail-stop (or an exhausted retry budget)
+    /// drops the device, redistributes its shard and re-runs the whole
+    /// pass on the survivors. Returns the per-device outputs in ascending
+    /// device order; errors only when no device survives (or on a
+    /// non-fault device error such as out-of-memory).
+    fn run_recovered<R, F>(&self, job: F) -> Result<Vec<R>, SvmError>
+    where
+        R: Send,
+        F: Fn(&SimDevice, &DevicePart<T>) -> Result<R, SvmError> + Sync,
+    {
+        loop {
+            let live = self.live_indices();
+            if live.is_empty() {
+                return Err(SvmError::Solver(
+                    "every simulated device has fail-stopped; no survivor to redistribute to"
+                        .into(),
+                ));
+            }
+            let attempts: Vec<(usize, Result<R, SvmError>, Vec<RecoverySample>)> = {
+                let parts = self.parts.read().expect("parts lock");
+                live.par_iter()
+                    .map(|&i| {
+                        let dev = &self.devices[i];
+                        let part = &parts[i];
+                        let mut events = Vec::new();
+                        let mut retries = 0u32;
+                        loop {
+                            match job(dev, part) {
+                                Err(SvmError::Device(SimGpuError::TransientTimeout {
+                                    device,
+                                    launch,
+                                })) if retries < MAX_TRANSIENT_RETRIES => {
+                                    retries += 1;
+                                    events.push(RecoverySample::device_event(
+                                        RecoveryKind::Retry,
+                                        device,
+                                        launch,
+                                        format!(
+                                            "transient timeout; retry {retries} after {} µs \
+                                             simulated backoff",
+                                            100u64 << retries
+                                        ),
+                                    ));
+                                }
+                                other => return (i, other, events),
+                            }
+                        }
+                    })
+                    .collect()
+            };
+            let mut outputs = Vec::with_capacity(attempts.len());
+            let mut failures = Vec::new();
+            for (_device, result, events) in attempts {
+                for e in events {
+                    self.record_recovery(e);
+                }
+                match result {
+                    Ok(v) => outputs.push(v),
+                    Err(SvmError::Device(SimGpuError::DeviceFailed { device, launch })) => {
+                        failures.push((device, launch));
+                    }
+                    Err(SvmError::Device(SimGpuError::TransientTimeout { device, launch })) => {
+                        self.record_recovery(RecoverySample::device_event(
+                            RecoveryKind::Retry,
+                            device,
+                            launch,
+                            format!(
+                                "transient retry budget ({MAX_TRANSIENT_RETRIES}) exhausted; \
+                                 treating device as fail-stopped"
+                            ),
+                        ));
+                        failures.push((device, launch));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            if failures.is_empty() {
+                return Ok(outputs);
+            }
+            self.fail_over(&failures)?;
+        }
+    }
+
+    /// Sum of a device's per-kernel simulated time (transfers excluded),
+    /// used for straggler detection.
+    fn device_kernel_time_s(&self, device: usize) -> f64 {
+        self.devices[device]
+            .perf_report()
+            .per_kernel
+            .values()
+            .map(|k| k.sim_time_s)
+            .sum()
+    }
+
+    /// Compares each live device's kernel time for the pass that just ran
+    /// (`before` = snapshot of [`Self::device_kernel_time_s`] per device)
+    /// against the live median; a device beyond [`STRAGGLER_FACTOR`]× the
+    /// median is flagged and the work is rebalanced proportionally to the
+    /// inverse observed time. Self-stabilizing: after one rebalance the
+    /// per-device times even out and no further events fire.
+    fn detect_stragglers(&self, before: &[f64]) -> Result<(), SvmError> {
+        let live = self.live_indices();
+        if live.len() < 2 {
+            return Ok(());
+        }
+        let deltas: Vec<f64> = live
+            .iter()
+            .map(|&i| self.device_kernel_time_s(i) - before[i])
+            .collect();
+        let mut sorted = deltas.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite kernel times"));
+        // lower median, so with two devices the baseline is the faster one
+        let median = sorted[(sorted.len() - 1) / 2];
+        let (worst, &max) = deltas
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite kernel times"))
+            .expect("at least two live devices");
+        if median <= 0.0 || max <= STRAGGLER_FACTOR * median {
+            return Ok(());
+        }
+        let weights: Vec<f64> = deltas
+            .iter()
+            .map(|&d| if d > 0.0 { 1.0 / d } else { 1.0 })
+            .collect();
+        self.redistribute(&live, Some(&weights))?;
+        let device = live[worst];
+        let launch = self.devices[device].fault_attempts().saturating_sub(1);
+        self.record_recovery(RecoverySample::device_event(
+            RecoveryKind::Straggler,
+            device,
+            launch,
+            format!(
+                "kernel time {:.3e}s vs live median {:.3e}s; rebalanced by inverse observed time",
+                max, median
+            ),
+        ));
+        Ok(())
+    }
+
     /// The node a device belongs to (always 0 for single-node setups).
     pub fn node_of(&self, device: usize) -> usize {
         self.node_of[device]
@@ -452,7 +760,12 @@ impl<T: AtomicScalar> SimGpuBackend<T> {
 
     /// Per-device feature counts of the (possibly weighted) split.
     pub fn feature_split(&self) -> Vec<usize> {
-        self.parts.iter().map(|p| p.features).collect()
+        self.parts
+            .read()
+            .expect("parts lock")
+            .iter()
+            .map(|p| p.features)
+            .collect()
     }
 
     /// The shared `Q̃` parameters (with the device-computed `q⃗`).
@@ -530,11 +843,8 @@ impl<T: AtomicScalar> SimGpuBackend<T> {
         let mode = self.acc_mode();
         let last = n; // index of x_m in the SoA buffer
 
-        let partials: Vec<Vec<T>> = self
-            .devices
-            .par_iter()
-            .zip(&self.parts)
-            .map(|(dev, part)| -> Result<Vec<T>, SvmError> {
+        let partials: Vec<Vec<T>> =
+            self.run_recovered(|dev, part| -> Result<Vec<T>, SvmError> {
                 let out = dev.alloc_atomic::<T>(n + 1)?;
                 // Features mode: every device covers all rows (partial
                 // feature sums). Rows mode: each device covers its own
@@ -582,8 +892,7 @@ impl<T: AtomicScalar> SimGpuBackend<T> {
                     ctx.add_global_write((rows * T::BYTES) as u64);
                 })?;
                 Ok(out.read_to_host())
-            })
-            .collect::<Result<_, _>>()?;
+            })?;
 
         // Host: sum device partials, then apply the kernel postprocessing.
         let mut raw = vec![T::ZERO; n + 1];
@@ -599,9 +908,11 @@ impl<T: AtomicScalar> SimGpuBackend<T> {
 
     /// Computes the explicit normal vector `w = Σᵢ αᵢ·xᵢ` on the devices —
     /// the paper's third compute kernel (`w_kernel`), used to accelerate
-    /// prediction with the linear kernel (Eq. 15). Each device produces
-    /// the `w` components of its own feature chunk, so no reduction is
-    /// needed; the host simply concatenates.
+    /// prediction with the linear kernel (Eq. 15). In the feature split
+    /// each device produces the `w` components of its own feature chunk
+    /// (the host simply concatenates); in the row split each device
+    /// accumulates a full-length partial over its own point range (the
+    /// host sums).
     ///
     /// `alpha` must hold all `m` support values. Only meaningful for the
     /// linear kernel (for other kernels `w` lives in feature space).
@@ -610,51 +921,72 @@ impl<T: AtomicScalar> SimGpuBackend<T> {
         let padded = self.padded_points;
         let m = self.n + 1;
         let tile = self.tiling.tile();
-        let parts_w: Vec<Vec<T>> = self
-            .devices
-            .par_iter()
-            .zip(&self.parts)
-            .map(|(dev, part)| -> Result<Vec<T>, SvmError> {
-                let d = part.features;
-                if d == 0 {
-                    return Ok(Vec::new());
+        let split = self.split;
+        let parts_w: Vec<Vec<T>> = self.run_recovered(|dev, part| -> Result<Vec<T>, SvmError> {
+            let d = part.features;
+            if d == 0 {
+                return Ok(Vec::new());
+            }
+            // point range to accumulate over: all m points in the
+            // feature split, the device's own row slice in the row
+            // split (where the features are replicated instead)
+            let (p0, p1) = match split {
+                SplitMode::Features => (0, m),
+                SplitMode::Rows => (part.row_begin.min(m), part.row_end.min(m)),
+            };
+            if p0 >= p1 {
+                return Ok(vec![T::ZERO; d]);
+            }
+            let points = p1 - p0;
+            let alpha_dev = dev.copy_to_device(&alpha[p0..p1])?;
+            let w_dev = dev.alloc_atomic::<T>(d)?;
+            let cfg = LaunchConfig::new("w_kernel", Grid::one_d(d.div_ceil(tile)), self.precision);
+            dev.launch(&cfg, |blk, ctx| {
+                let f0 = blk.x * tile;
+                let f1 = (f0 + tile).min(d);
+                if f0 >= f1 {
+                    return;
                 }
-                let alpha_dev = dev.copy_to_device(alpha)?;
-                let w_dev = dev.alloc_atomic::<T>(d)?;
-                let cfg =
-                    LaunchConfig::new("w_kernel", Grid::one_d(d.div_ceil(tile)), self.precision);
-                dev.launch(&cfg, |blk, ctx| {
-                    let f0 = blk.x * tile;
-                    let f1 = (f0 + tile).min(d);
-                    if f0 >= f1 {
-                        return;
+                let a = alpha_dev.as_slice();
+                for f in f0..f1 {
+                    let col = &part.data.as_slice()[f * padded + p0..f * padded + p1];
+                    let mut acc = T::ZERO;
+                    for (p, &x) in col.iter().enumerate() {
+                        acc = a[p].mul_add(x, acc);
                     }
-                    let a = alpha_dev.as_slice();
-                    for f in f0..f1 {
-                        let col = &part.data.as_slice()[f * padded..f * padded + m];
-                        let mut acc = T::ZERO;
-                        for (p, &x) in col.iter().enumerate() {
-                            acc = a[p].mul_add(x, acc);
-                        }
-                        w_dev.add(f, acc);
+                    w_dev.add(f, acc);
+                }
+                let rows = (f1 - f0) as u64;
+                ctx.add_flops(rows * 2 * points as u64);
+                ctx.add_global_read((rows as usize * points + points) as u64 * T::BYTES as u64);
+                ctx.add_global_write(rows * T::BYTES as u64);
+            })?;
+            Ok(w_dev.read_to_host())
+        })?;
+        match split {
+            SplitMode::Features => Ok(parts_w.into_iter().flatten().collect()),
+            SplitMode::Rows => {
+                // every partial is full-length; sum over the point slices
+                let d = self.host_data.features();
+                let mut w = vec![T::ZERO; d];
+                for partial in &parts_w {
+                    for (acc, p) in w.iter_mut().zip(partial) {
+                        *acc += *p;
                     }
-                    let rows = (f1 - f0) as u64;
-                    ctx.add_flops(rows * 2 * m as u64);
-                    ctx.add_global_read((rows as usize * m + m) as u64 * T::BYTES as u64);
-                    ctx.add_global_write(rows * T::BYTES as u64);
-                })?;
-                Ok(w_dev.read_to_host())
-            })
-            .collect::<Result<_, _>>()?;
-        Ok(parts_w.into_iter().flatten().collect())
+                }
+                Ok(w)
+            }
+        }
     }
 
     /// `out = K·v` over the first `m−1` points — the paper's `svm_kernel`.
     ///
-    /// # Panics
-    /// Panics on device failure (out of memory mid-solve); sizing errors
-    /// are caught at setup.
-    pub fn kernel_matvec(&self, v: &[T], out: &mut [T]) {
+    /// Fault recovery is applied per launch: transient timeouts retry in
+    /// place, fail-stopped devices are dropped with their shard
+    /// redistributed across the survivors, and persistent stragglers are
+    /// rebalanced away from. Errors only when *no* device survives (or on
+    /// a non-fault device error such as out-of-memory mid-solve).
+    pub fn kernel_matvec(&self, v: &[T], out: &mut [T]) -> Result<(), SvmError> {
         let n = self.n;
         debug_assert_eq!(v.len(), n);
         debug_assert_eq!(out.len(), n);
@@ -665,15 +997,16 @@ impl<T: AtomicScalar> SimGpuBackend<T> {
         let additive = self.partials_are_additive() && self.split == SplitMode::Features;
         let split = self.split;
 
-        let partials: Vec<Vec<T>> = self
-            .devices
-            .par_iter()
-            .zip(&self.parts)
-            .map(|(dev, part)| {
+        let kernel_time_before: Vec<f64> = (0..self.devices.len())
+            .map(|i| self.device_kernel_time_s(i))
+            .collect();
+        let alive_before = self.live_devices();
+        let partials: Vec<Vec<T>> =
+            self.run_recovered(|dev, part| -> Result<Vec<T>, SvmError> {
                 let d = part.features;
                 let buf = part.data.as_slice();
-                let v_dev = dev.copy_to_device(v).expect("device v allocation");
-                let out_dev = dev.alloc_atomic::<T>(n).expect("device out allocation");
+                let v_dev = dev.copy_to_device(v)?;
+                let out_dev = dev.alloc_atomic::<T>(n)?;
                 match split {
                     SplitMode::Features => {
                         let blocks = n.div_ceil(tile);
@@ -727,8 +1060,7 @@ impl<T: AtomicScalar> SimGpuBackend<T> {
                                 (((rows + cols) * d + rows + cols) * T::BYTES) as u64,
                             );
                             ctx.add_global_write((2 * entries as usize * T::BYTES) as u64);
-                        })
-                        .expect("svm_kernel launch");
+                        })?;
                     }
                     SplitMode::Rows => {
                         // each device evaluates its own full output rows
@@ -736,7 +1068,7 @@ impl<T: AtomicScalar> SimGpuBackend<T> {
                         let r0 = part.row_begin.min(n);
                         let r1 = part.row_end.min(n);
                         if r0 >= r1 {
-                            return out_dev.read_to_host();
+                            return Ok(out_dev.read_to_host());
                         }
                         let row_blocks = (r1 - r0).div_ceil(tile);
                         let col_blocks = n.div_ceil(tile);
@@ -771,13 +1103,11 @@ impl<T: AtomicScalar> SimGpuBackend<T> {
                                 (((rows + cols) * d + rows + cols) * T::BYTES) as u64,
                             );
                             ctx.add_global_write((entries as usize * T::BYTES) as u64);
-                        })
-                        .expect("svm_kernel launch");
+                        })?;
                     }
                 }
-                out_dev.read_to_host()
-            })
-            .collect();
+                Ok(out_dev.read_to_host())
+            })?;
 
         out.fill(T::ZERO);
         for partial in &partials {
@@ -787,6 +1117,12 @@ impl<T: AtomicScalar> SimGpuBackend<T> {
         }
         // combining partials across nodes is one allreduce per iteration
         self.record_allreduce(n as u64 * T::BYTES as u64);
+        // straggler detection only on clean passes: a failover re-runs the
+        // pass and would distort the per-device time deltas
+        if self.live_devices() == alive_before {
+            self.detect_stragglers(&kernel_time_before)?;
+        }
+        Ok(())
     }
 }
 
@@ -920,7 +1256,7 @@ mod tests {
             let mut a = vec![0.0; n];
             let mut b = vec![0.0; n];
             serial.kernel_matvec(&v, &mut a);
-            device.kernel_matvec(&v, &mut b);
+            device.kernel_matvec(&v, &mut b).unwrap();
             for i in 0..n {
                 assert!(
                     (a[i] - b[i]).abs() < 1e-8,
@@ -938,10 +1274,14 @@ mod tests {
         let n = data.points() - 1;
         let v: Vec<f64> = (0..n).map(|i| (i as f64 + 1.0).recip()).collect();
         let mut single = vec![0.0; n];
-        gpu(&data, KernelSpec::Linear, 1).kernel_matvec(&v, &mut single);
+        gpu(&data, KernelSpec::Linear, 1)
+            .kernel_matvec(&v, &mut single)
+            .unwrap();
         for devices in [2, 3, 4] {
             let mut multi = vec![0.0; n];
-            gpu(&data, KernelSpec::Linear, devices).kernel_matvec(&v, &mut multi);
+            gpu(&data, KernelSpec::Linear, devices)
+                .kernel_matvec(&v, &mut multi)
+                .unwrap();
             for i in 0..n {
                 assert!(
                     (single[i] - multi[i]).abs() < 1e-9,
@@ -984,8 +1324,8 @@ mod tests {
         let n = data.points() - 1;
         let v = vec![1.0; n];
         let mut out = vec![0.0; n];
-        b.kernel_matvec(&v, &mut out);
-        b.kernel_matvec(&v, &mut out);
+        b.kernel_matvec(&v, &mut out).unwrap();
+        b.kernel_matvec(&v, &mut out).unwrap();
         let r = b.report();
         assert_eq!(r.per_device[0].per_kernel["svm_kernel"].launches, 2);
         // distinct compute kernels stay small (the paper contrasts its 3
@@ -1012,7 +1352,9 @@ mod tests {
         let n = data.points() - 1;
         let v: Vec<f64> = (0..n).map(|i| ((3 * i + 1) as f64 * 0.11).sin()).collect();
         let mut reference = vec![0.0; n];
-        gpu(&data, KernelSpec::Rbf { gamma: 0.2 }, 1).kernel_matvec(&v, &mut reference);
+        gpu(&data, KernelSpec::Rbf { gamma: 0.2 }, 1)
+            .kernel_matvec(&v, &mut reference)
+            .unwrap();
         for tiling in [
             TilingConfig {
                 thread_block: 4,
@@ -1041,7 +1383,7 @@ mod tests {
             )
             .unwrap();
             let mut out = vec![0.0; n];
-            b.kernel_matvec(&v, &mut out);
+            b.kernel_matvec(&v, &mut out).unwrap();
             for i in 0..n {
                 assert!((out[i] - reference[i]).abs() < 1e-9, "{tiling:?} row {i}");
             }
@@ -1075,7 +1417,9 @@ mod tests {
         let n = data.points() - 1;
         let v: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.19).sin()).collect();
         let mut single = vec![0.0; n];
-        gpu(&data, KernelSpec::Linear, 1).kernel_matvec(&v, &mut single);
+        gpu(&data, KernelSpec::Linear, 1)
+            .kernel_matvec(&v, &mut single)
+            .unwrap();
 
         let cluster = SimGpuBackend::new_cluster(
             &data,
@@ -1095,7 +1439,7 @@ mod tests {
         assert_eq!(cluster.node_of(0), 0);
         assert_eq!(cluster.node_of(3), 1);
         let mut multi = vec![0.0; n];
-        cluster.kernel_matvec(&v, &mut multi);
+        cluster.kernel_matvec(&v, &mut multi).unwrap();
         for i in 0..n {
             assert!((single[i] - multi[i]).abs() < 1e-9, "row {i}");
         }
@@ -1163,8 +1507,8 @@ mod tests {
         let n = data.points() - 1;
         let v = vec![1.0; n];
         let mut out = vec![0.0; n];
-        cluster.kernel_matvec(&v, &mut out);
-        cluster.kernel_matvec(&v, &mut out);
+        cluster.kernel_matvec(&v, &mut out).unwrap();
+        cluster.kernel_matvec(&v, &mut out).unwrap();
         let report = cluster.report();
         assert_eq!(report.nodes, 2);
         // q combine + 2 matvec combines = 3 collectives
@@ -1175,7 +1519,7 @@ mod tests {
         // single-node multi-GPU has no network term
         let single_node = gpu(&data, KernelSpec::Linear, 2);
         let mut out2 = vec![0.0; n];
-        single_node.kernel_matvec(&v, &mut out2);
+        single_node.kernel_matvec(&v, &mut out2).unwrap();
         let r = single_node.report();
         assert_eq!(r.nodes, 1);
         assert_eq!(r.network_collectives, 0);
@@ -1240,7 +1584,9 @@ mod tests {
             let n = data.points() - 1;
             let v: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.27).sin()).collect();
             let mut single = vec![0.0; n];
-            gpu(&data, kernel, 1).kernel_matvec(&v, &mut single);
+            gpu(&data, kernel, 1)
+                .kernel_matvec(&v, &mut single)
+                .unwrap();
             for devices in [2usize, 3] {
                 let b = SimGpuBackend::new_row_split(
                     &data,
@@ -1262,7 +1608,7 @@ mod tests {
                     );
                 }
                 let mut multi = vec![0.0; n];
-                b.kernel_matvec(&v, &mut multi);
+                b.kernel_matvec(&v, &mut multi).unwrap();
                 for i in 0..n {
                     assert!(
                         (single[i] - multi[i]).abs() < 1e-9,
@@ -1295,10 +1641,195 @@ mod tests {
         let n = data.points() - 1;
         let v = vec![1.0; n];
         let mut out = vec![0.0; n];
-        row_split.kernel_matvec(&v, &mut out);
+        row_split.kernel_matvec(&v, &mut out).unwrap();
         for dev in &row_split.report().per_device {
             assert!(dev.per_kernel["svm_kernel"].flops > 0);
         }
+    }
+
+    #[test]
+    fn transient_fault_is_retried_transparently() {
+        let data = sample(40, 8);
+        let n = data.points() - 1;
+        let v: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.13).sin()).collect();
+        let mut clean = vec![0.0; n];
+        gpu(&data, KernelSpec::Linear, 2)
+            .kernel_matvec(&v, &mut clean)
+            .unwrap();
+
+        let b = gpu(&data, KernelSpec::Linear, 2);
+        // two consecutive timeouts on device 1's second matvec launch
+        b.install_fault_plan(&FaultPlan::new().transient(1, 1, 2))
+            .unwrap();
+        let mut out = vec![0.0; n];
+        b.kernel_matvec(&v, &mut out).unwrap();
+        b.kernel_matvec(&v, &mut out).unwrap();
+        // bit-identical: the retried launch reruns the exact computation
+        assert_eq!(out, clean);
+        assert_eq!(b.live_devices(), 2);
+        let events = b.drain_recovery_events();
+        let retries: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == RecoveryKind::Retry)
+            .collect();
+        assert_eq!(retries.len(), 2, "{events:?}");
+        assert!(retries.iter().all(|e| e.device == Some(1)));
+        assert!(b.drain_recovery_events().is_empty(), "drain empties queue");
+    }
+
+    #[test]
+    fn fail_stop_redistributes_shard_over_survivors() {
+        let data = sample(48, 12);
+        let n = data.points() - 1;
+        let v: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.23).cos()).collect();
+        let mut clean = vec![0.0; n];
+        gpu(&data, KernelSpec::Linear, 4)
+            .kernel_matvec(&v, &mut clean)
+            .unwrap();
+
+        let b = gpu(&data, KernelSpec::Linear, 4);
+        b.install_fault_plan(&FaultPlan::new().fail_stop(1, 2))
+            .unwrap();
+        let mut out = vec![0.0; n];
+        for _ in 0..4 {
+            b.kernel_matvec(&v, &mut out).unwrap();
+            for i in 0..n {
+                assert!((out[i] - clean[i]).abs() < 1e-9, "row {i}");
+            }
+        }
+        assert_eq!(b.live_devices(), 3);
+        let events = b.drain_recovery_events();
+        let failovers: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == RecoveryKind::Failover)
+            .collect();
+        assert_eq!(failovers.len(), 1, "{events:?}");
+        assert_eq!(failovers[0].device, Some(1));
+        assert_eq!(failovers[0].at_launch, Some(2));
+        // the w kernel also runs on the reduced device set
+        let alpha = vec![1.0; n + 1];
+        let w = b.compute_w(&alpha).unwrap();
+        let w_clean = gpu(&data, KernelSpec::Linear, 1).compute_w(&alpha).unwrap();
+        assert_eq!(w.len(), w_clean.len());
+        for f in 0..w.len() {
+            assert!((w[f] - w_clean[f]).abs() < 1e-9, "w[{f}]");
+        }
+    }
+
+    #[test]
+    fn row_split_fail_stop_reassigns_rows_without_transfer() {
+        let data = sample(60, 6);
+        let n = data.points() - 1;
+        let v: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.31).sin()).collect();
+        let kernel = KernelSpec::Rbf { gamma: 0.3 };
+        let mut clean = vec![0.0; n];
+        gpu(&data, kernel, 1).kernel_matvec(&v, &mut clean).unwrap();
+
+        let b = SimGpuBackend::new_row_split(
+            &data,
+            kernel,
+            1.0,
+            hw::A100,
+            DeviceApi::Cuda,
+            3,
+            TilingConfig::default(),
+        )
+        .unwrap();
+        b.install_fault_plan(&FaultPlan::new().fail_stop(2, 1))
+            .unwrap();
+        let mut out = vec![0.0; n];
+        for _ in 0..3 {
+            b.kernel_matvec(&v, &mut out).unwrap();
+            for i in 0..n {
+                assert!((out[i] - clean[i]).abs() < 1e-9, "row {i}");
+            }
+        }
+        assert_eq!(b.live_devices(), 2);
+        assert!(b
+            .drain_recovery_events()
+            .iter()
+            .any(|e| e.kind == RecoveryKind::Failover && e.device == Some(2)));
+    }
+
+    #[test]
+    fn losing_every_device_is_an_error_not_a_hang() {
+        let data = sample(16, 4);
+        let n = data.points() - 1;
+        let b = gpu(&data, KernelSpec::Linear, 2);
+        b.install_fault_plan(&FaultPlan::new().fail_stop(0, 0).fail_stop(1, 0))
+            .unwrap();
+        let v = vec![1.0; n];
+        let mut out = vec![0.0; n];
+        let err = b.kernel_matvec(&v, &mut out).unwrap_err();
+        assert!(err.to_string().contains("no survivor"), "{err}");
+        assert_eq!(b.live_devices(), 0);
+    }
+
+    #[test]
+    fn exhausted_transient_retries_escalate_to_failover() {
+        let data = sample(20, 6);
+        let n = data.points() - 1;
+        let b = gpu(&data, KernelSpec::Linear, 2);
+        // more consecutive timeouts than the retry budget allows
+        b.install_fault_plan(&FaultPlan::new().transient(1, 0, 100))
+            .unwrap();
+        let v = vec![1.0; n];
+        let mut out = vec![0.0; n];
+        b.kernel_matvec(&v, &mut out).unwrap();
+        assert_eq!(b.live_devices(), 1);
+        let events = b.drain_recovery_events();
+        assert!(events.iter().any(|e| e.kind == RecoveryKind::Failover));
+        assert!(
+            events
+                .iter()
+                .filter(|e| e.kind == RecoveryKind::Retry)
+                .count()
+                >= MAX_TRANSIENT_RETRIES as usize
+        );
+    }
+
+    #[test]
+    fn slow_device_is_detected_and_rebalanced_as_straggler() {
+        let data = sample(40, 32);
+        let n = data.points() - 1;
+        let v: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.41).cos()).collect();
+        let mut clean = vec![0.0; n];
+        gpu(&data, KernelSpec::Linear, 2)
+            .kernel_matvec(&v, &mut clean)
+            .unwrap();
+
+        let b = gpu(&data, KernelSpec::Linear, 2);
+        b.install_fault_plan(&FaultPlan::new().slow(1, 0, 8.0))
+            .unwrap();
+        let before = b.feature_split();
+        assert_eq!(before, vec![16, 16]);
+        let mut out = vec![0.0; n];
+        b.kernel_matvec(&v, &mut out).unwrap();
+        let events = b.drain_recovery_events();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == RecoveryKind::Straggler && e.device == Some(1)),
+            "{events:?}"
+        );
+        let after = b.feature_split();
+        assert!(after[1] < after[0], "straggler kept {after:?}");
+        assert_eq!(after[0] + after[1], 32);
+        // the rebalanced split still computes the same matvec
+        b.kernel_matvec(&v, &mut out).unwrap();
+        for i in 0..n {
+            assert!((out[i] - clean[i]).abs() < 1e-9, "row {i}");
+        }
+    }
+
+    #[test]
+    fn fault_plan_addressing_missing_device_is_rejected() {
+        let data = sample(10, 4);
+        let b = gpu(&data, KernelSpec::Linear, 2);
+        let err = b
+            .install_fault_plan(&FaultPlan::new().fail_stop(5, 0))
+            .unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
     }
 
     #[test]

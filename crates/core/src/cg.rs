@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 use plssvm_data::Real;
 
 use crate::kernel::dot;
-use crate::trace::{CgIterationSample, MetricsSink};
+use crate::trace::{CgIterationSample, MetricsSink, RecoverySample};
 
 /// An abstract symmetric positive definite linear operator.
 pub trait LinOp<T: Real>: Sync {
@@ -43,6 +43,11 @@ pub struct CgConfig<T> {
     /// Recompute the exact residual `r = b − A·x` every this many
     /// iterations to cancel accumulated rounding (Shewchuk §B.2).
     pub residual_refresh_interval: usize,
+    /// Snapshot the solver state ([`CgState`]) every this many iterations
+    /// (and at exit). `None` disables checkpointing entirely — the default,
+    /// costing nothing on the hot path. Each periodic snapshot is also
+    /// reported to the metrics sink as a `checkpoint` recovery event.
+    pub checkpoint_interval: Option<usize>,
 }
 
 impl<T: Real> Default for CgConfig<T> {
@@ -51,6 +56,7 @@ impl<T: Real> Default for CgConfig<T> {
             epsilon: T::from_f64(1e-3),
             max_iterations: None,
             residual_refresh_interval: 50,
+            checkpoint_interval: None,
         }
     }
 }
@@ -62,6 +68,47 @@ impl<T: Real> CgConfig<T> {
             epsilon,
             ..Self::default()
         }
+    }
+}
+
+/// A complete CG solver snapshot: everything the recurrence needs to
+/// continue exactly where it stopped.
+///
+/// Taken by the solver when [`CgConfig::checkpoint_interval`] is set and
+/// resumed with [`conjugate_gradients_resume`]. The state is tiny — three
+/// `n`-vectors plus four scalars — which is what makes checkpointing the
+/// solve essentially free compared to the matvec it protects.
+///
+/// Warm restart preserves the *exact* recurrence: the absolute iteration
+/// counter is part of the state, so the periodic exact-residual refresh
+/// (`residual_refresh_interval`) fires on the same schedule, and an
+/// interrupted-then-resumed solve performs bit-identical arithmetic to an
+/// uninterrupted one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgState<T> {
+    x: Vec<T>,
+    r: Vec<T>,
+    d: Vec<T>,
+    rho: T,
+    delta: T,
+    delta0: T,
+    iterations: usize,
+}
+
+impl<T: Real> CgState<T> {
+    /// The iterate `x` at the checkpoint.
+    pub fn solution(&self) -> &[T] {
+        &self.x
+    }
+
+    /// Absolute iteration count at the checkpoint.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Residual norm `‖r‖` at the checkpoint (recurrence value).
+    pub fn residual_norm(&self) -> T {
+        self.delta.max(T::ZERO).sqrt()
     }
 }
 
@@ -80,6 +127,11 @@ pub struct CgResult<T> {
     /// Whether the relative-residual criterion was met within the
     /// iteration budget.
     pub converged: bool,
+    /// The solver state at exit, present when
+    /// [`CgConfig::checkpoint_interval`] is set. Resuming from it with
+    /// [`conjugate_gradients_resume`] continues the run exactly where it
+    /// stopped (e.g. after an early stop via `max_iterations`).
+    pub checkpoint: Option<CgState<T>>,
 }
 
 impl<T: Real> CgResult<T> {
@@ -118,7 +170,7 @@ pub fn conjugate_gradients<T: Real>(
     b: &[T],
     config: &CgConfig<T>,
 ) -> CgResult<T> {
-    conjugate_gradients_impl(op, b, config, None, None)
+    conjugate_gradients_impl(op, b, config, None, None, None)
 }
 
 /// [`conjugate_gradients`] with per-iteration telemetry: each iteration's
@@ -135,7 +187,64 @@ pub fn conjugate_gradients_with_metrics<T: Real>(
     config: &CgConfig<T>,
     metrics: Option<&dyn MetricsSink>,
 ) -> CgResult<T> {
-    conjugate_gradients_impl(op, b, config, None, metrics)
+    conjugate_gradients_impl(op, b, config, None, metrics, None)
+}
+
+/// Resumes a CG solve from a [`CgState`] checkpoint (warm restart).
+///
+/// The recurrence continues exactly: the search direction, residual, ρ and
+/// the absolute iteration counter are restored, so an interrupted solve
+/// resumed here performs the same arithmetic — and therefore the same
+/// number of total iterations — as one that was never interrupted.
+/// `config.max_iterations` bounds the *absolute* iteration count, matching
+/// the uninterrupted run.
+///
+/// # Panics
+/// Panics if the checkpoint dimension does not match `op.dim()`, plus the
+/// contract of [`conjugate_gradients`].
+pub fn conjugate_gradients_resume<T: Real>(
+    op: &dyn LinOp<T>,
+    b: &[T],
+    config: &CgConfig<T>,
+    state: &CgState<T>,
+) -> CgResult<T> {
+    conjugate_gradients_impl(op, b, config, None, None, Some(state))
+}
+
+/// [`conjugate_gradients_resume`] with per-iteration telemetry.
+///
+/// # Panics
+/// Same contract as [`conjugate_gradients_resume`].
+pub fn conjugate_gradients_resume_with_metrics<T: Real>(
+    op: &dyn LinOp<T>,
+    b: &[T],
+    config: &CgConfig<T>,
+    state: &CgState<T>,
+    metrics: Option<&dyn MetricsSink>,
+) -> CgResult<T> {
+    conjugate_gradients_impl(op, b, config, None, metrics, Some(state))
+}
+
+/// Resumes a **Jacobi-preconditioned** solve from a checkpoint. The same
+/// `diagonal` the original solve used must be passed, or the preconditioned
+/// recurrence will not continue the original one.
+///
+/// # Panics
+/// The contracts of [`conjugate_gradients_jacobi`] and
+/// [`conjugate_gradients_resume`] combined.
+pub fn conjugate_gradients_jacobi_resume<T: Real>(
+    op: &dyn LinOp<T>,
+    b: &[T],
+    diagonal: &[T],
+    config: &CgConfig<T>,
+    state: &CgState<T>,
+) -> CgResult<T> {
+    assert_eq!(diagonal.len(), op.dim(), "diagonal length mismatch");
+    assert!(
+        diagonal.iter().all(|d| d.to_f64() > 0.0),
+        "Jacobi preconditioner needs a strictly positive diagonal"
+    );
+    conjugate_gradients_impl(op, b, config, Some(diagonal), None, Some(state))
 }
 
 /// Solves `A·x = b` with **Jacobi-preconditioned** CG: `M = diag(A)`,
@@ -174,7 +283,7 @@ pub fn conjugate_gradients_jacobi_with_metrics<T: Real>(
         diagonal.iter().all(|d| d.to_f64() > 0.0),
         "Jacobi preconditioner needs a strictly positive diagonal"
     );
-    conjugate_gradients_impl(op, b, config, Some(diagonal), metrics)
+    conjugate_gradients_impl(op, b, config, Some(diagonal), metrics, None)
 }
 
 fn conjugate_gradients_impl<T: Real>(
@@ -183,6 +292,7 @@ fn conjugate_gradients_impl<T: Real>(
     config: &CgConfig<T>,
     diagonal: Option<&[T]>,
     metrics: Option<&dyn MetricsSink>,
+    resume: Option<&CgState<T>>,
 ) -> CgResult<T> {
     let n = op.dim();
     assert_eq!(b.len(), n, "rhs length mismatch");
@@ -190,11 +300,11 @@ fn conjugate_gradients_impl<T: Real>(
         config.epsilon.to_f64() > 0.0 && config.epsilon.is_finite(),
         "epsilon must be positive and finite"
     );
+    if let Some(k) = config.checkpoint_interval {
+        assert!(k >= 1, "checkpoint interval must be at least 1");
+    }
     let max_iterations = config.max_iterations.unwrap_or_else(|| (2 * n).max(128));
 
-    let mut x = vec![T::ZERO; n];
-    // r = b − A·x₀ = b
-    let mut r = b.to_vec();
     // z = M⁻¹·r (identity without a preconditioner)
     let precondition = |r: &[T], z: &mut Vec<T>| match diagonal {
         Some(diag) => {
@@ -207,12 +317,32 @@ fn conjugate_gradients_impl<T: Real>(
         }
     };
     let mut z = Vec::with_capacity(n);
-    precondition(&r, &mut z);
-    let mut d = z.clone();
-    // rho = rᵀz drives the recurrences; delta = rᵀr drives termination
-    let mut rho = dot(&r, &z);
-    let mut delta = dot(&r, &r);
-    let delta0 = delta;
+    let (mut x, mut r, mut d, mut rho, mut delta, delta0, mut iterations);
+    match resume {
+        None => {
+            x = vec![T::ZERO; n];
+            // r = b − A·x₀ = b
+            r = b.to_vec();
+            precondition(&r, &mut z);
+            d = z.clone();
+            // rho = rᵀz drives the recurrences; delta = rᵀr drives
+            // termination
+            rho = dot(&r, &z);
+            delta = dot(&r, &r);
+            delta0 = delta;
+            iterations = 0usize;
+        }
+        Some(state) => {
+            assert_eq!(state.x.len(), n, "checkpoint dimension mismatch");
+            x = state.x.clone();
+            r = state.r.clone();
+            d = state.d.clone();
+            rho = state.rho;
+            delta = state.delta;
+            delta0 = state.delta0;
+            iterations = state.iterations;
+        }
+    }
     let initial_norm = delta0.sqrt();
     let threshold = config.epsilon * config.epsilon * delta0;
 
@@ -220,8 +350,17 @@ fn conjugate_gradients_impl<T: Real>(
         sink.record_cg_start(n, initial_norm.to_f64());
     }
 
+    let snapshot = |x: &[T], r: &[T], d: &[T], rho: T, delta: T, iterations: usize| CgState {
+        x: x.to_vec(),
+        r: r.to_vec(),
+        d: d.to_vec(),
+        rho,
+        delta,
+        delta0,
+        iterations,
+    };
+
     let mut q = vec![T::ZERO; n];
-    let mut iterations = 0usize;
     let mut converged = delta <= threshold || delta.to_f64() == 0.0;
 
     while !converged && iterations < max_iterations {
@@ -268,14 +407,28 @@ fn conjugate_gradients_impl<T: Real>(
                 matvec_wall,
             });
         }
+        if let Some(k) = config.checkpoint_interval {
+            if iterations.is_multiple_of(k) {
+                // the snapshot itself is overwritten by the exit snapshot
+                // below; the observable effect of the periodic cadence is
+                // the telemetry event stream
+                if let Some(sink) = metrics {
+                    sink.record_recovery(RecoverySample::checkpoint(iterations));
+                }
+            }
+        }
     }
 
+    let checkpoint = config
+        .checkpoint_interval
+        .map(|_| snapshot(&x, &r, &d, rho, delta, iterations));
     CgResult {
         x,
         iterations,
         initial_residual_norm: initial_norm,
         residual_norm: delta.max(T::ZERO).sqrt(),
         converged,
+        checkpoint,
     }
 }
 
@@ -408,7 +561,7 @@ mod tests {
         let cfg = CgConfig {
             epsilon: 1e-14,
             max_iterations: Some(2),
-            residual_refresh_interval: 50,
+            ..CgConfig::default()
         };
         let r = conjugate_gradients(&op, &b, &cfg);
         assert_eq!(r.iterations, 2);
@@ -422,8 +575,8 @@ mod tests {
         let b: Vec<f64> = (0..n).map(|i| (i as f64).sqrt()).collect();
         let cfg = CgConfig {
             epsilon: 1e-10,
-            max_iterations: None,
             residual_refresh_interval: 3, // refresh aggressively
+            ..CgConfig::default()
         };
         let r = conjugate_gradients(&op, &b, &cfg);
         assert!(r.converged);
@@ -512,7 +665,7 @@ mod tests {
         let cfg = CgConfig {
             epsilon: 1e-8,
             max_iterations: Some(10 * n),
-            residual_refresh_interval: 50,
+            ..CgConfig::default()
         };
         let plain = conjugate_gradients(&op, &b, &cfg);
         let pcg = conjugate_gradients_jacobi(&op, &b, &diag, &cfg);
@@ -561,6 +714,141 @@ mod tests {
         let plain = conjugate_gradients(&op, &b, &CgConfig::with_epsilon(1e-8));
         assert_eq!(plain.x, r.x);
         assert_eq!(plain.iterations, r.iterations);
+    }
+
+    #[test]
+    fn checkpoint_restart_is_bit_identical_to_uninterrupted_solve() {
+        let n = 48;
+        let op = random_spd(n, 17);
+        let b: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.23).sin() + 0.1).collect();
+        let full_cfg = CgConfig {
+            epsilon: 1e-12,
+            checkpoint_interval: Some(4),
+            // refresh mid-run so the absolute-iteration schedule matters
+            residual_refresh_interval: 7,
+            ..CgConfig::default()
+        };
+        let full = conjugate_gradients(&op, &b, &full_cfg);
+        assert!(full.converged && full.iterations > 10);
+
+        for stop_at in [1, 3, 7, 11] {
+            let interrupted = conjugate_gradients(
+                &op,
+                &b,
+                &CgConfig {
+                    max_iterations: Some(stop_at),
+                    ..full_cfg
+                },
+            );
+            let state = interrupted.checkpoint.expect("checkpoint requested");
+            assert_eq!(state.iterations(), stop_at);
+            assert_eq!(state.solution(), &interrupted.x[..]);
+            let resumed = conjugate_gradients_resume(&op, &b, &full_cfg, &state);
+            // warm restart preserves the exact recurrence: bit-identical
+            assert_eq!(resumed.x, full.x, "stop_at={stop_at}");
+            assert_eq!(resumed.iterations, full.iterations);
+            assert_eq!(resumed.residual_norm, full.residual_norm);
+            assert!(resumed.converged);
+        }
+    }
+
+    #[test]
+    fn jacobi_checkpoint_restart_is_bit_identical() {
+        let n = 40;
+        let op = ill_scaled_spd(n);
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.7).cos()).collect();
+        let diag: Vec<f64> = (0..n).map(|i| op.a[i * n + i]).collect();
+        let cfg = CgConfig {
+            epsilon: 1e-10,
+            checkpoint_interval: Some(3),
+            ..CgConfig::default()
+        };
+        let full = conjugate_gradients_jacobi(&op, &b, &diag, &cfg);
+        assert!(full.converged && full.iterations > 4);
+        let interrupted = conjugate_gradients_jacobi(
+            &op,
+            &b,
+            &diag,
+            &CgConfig {
+                max_iterations: Some(3),
+                ..cfg
+            },
+        );
+        let state = interrupted.checkpoint.unwrap();
+        let resumed = conjugate_gradients_jacobi_resume(&op, &b, &diag, &cfg, &state);
+        assert_eq!(resumed.x, full.x);
+        assert_eq!(resumed.iterations, full.iterations);
+    }
+
+    #[test]
+    fn resume_from_converged_state_is_a_no_op() {
+        let n = 20;
+        let op = random_spd(n, 9);
+        let b = vec![1.0; n];
+        let cfg = CgConfig {
+            epsilon: 1e-10,
+            checkpoint_interval: Some(5),
+            ..CgConfig::default()
+        };
+        let full = conjugate_gradients(&op, &b, &cfg);
+        assert!(full.converged);
+        let resumed = conjugate_gradients_resume(&op, &b, &cfg, &full.checkpoint.unwrap());
+        assert!(resumed.converged);
+        assert_eq!(resumed.iterations, full.iterations);
+        assert_eq!(resumed.x, full.x);
+    }
+
+    #[test]
+    fn no_checkpoint_interval_means_no_checkpoint() {
+        let op = random_spd(10, 2);
+        let r = conjugate_gradients(&op, &[1.0; 10], &CgConfig::with_epsilon(1e-8));
+        assert!(r.checkpoint.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint dimension mismatch")]
+    fn resume_checks_dimension() {
+        let op = random_spd(8, 4);
+        let small = random_spd(4, 4);
+        let r = conjugate_gradients(
+            &small,
+            &[1.0; 4],
+            &CgConfig {
+                checkpoint_interval: Some(1),
+                ..CgConfig::with_epsilon(1e-8)
+            },
+        );
+        let _ = conjugate_gradients_resume(
+            &op,
+            &[1.0; 8],
+            &CgConfig::default(),
+            &r.checkpoint.unwrap(),
+        );
+    }
+
+    #[test]
+    fn periodic_checkpoints_emit_recovery_events() {
+        use crate::trace::{RecoveryKind, Telemetry};
+        let n = 30;
+        let op = random_spd(n, 3);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        let t = Telemetry::new();
+        let cfg = CgConfig {
+            epsilon: 1e-10,
+            checkpoint_interval: Some(2),
+            ..CgConfig::default()
+        };
+        let r = conjugate_gradients_with_metrics(&op, &b, &cfg, Some(&t));
+        let report = t.report();
+        let checkpoints = report
+            .recovery
+            .iter()
+            .filter(|s| s.kind == RecoveryKind::Checkpoint)
+            .count();
+        assert_eq!(checkpoints, r.iterations / 2);
+        // checkpointing must not perturb the numerics
+        let plain = conjugate_gradients(&op, &b, &CgConfig::with_epsilon(1e-10));
+        assert_eq!(plain.x, r.x);
     }
 
     #[test]

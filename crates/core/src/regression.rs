@@ -58,6 +58,12 @@ pub struct LsSvr<T> {
     /// Optional observability sink (see [`crate::trace`]); mirrors
     /// [`crate::svm::LsSvm::metrics`].
     pub metrics: Option<Arc<Telemetry>>,
+    /// Optional deterministic fault-injection plan (simulated device
+    /// backends only); mirrors [`crate::svm::LsSvm::fault_plan`].
+    pub fault_plan: Option<plssvm_simgpu::FaultPlan>,
+    /// Snapshot CG state every this many iterations; mirrors
+    /// [`crate::svm::LsSvm::checkpoint_interval`].
+    pub checkpoint_interval: Option<usize>,
 }
 
 impl<T: Real> Default for LsSvr<T> {
@@ -69,6 +75,8 @@ impl<T: Real> Default for LsSvr<T> {
             max_iterations: None,
             backend: BackendSelection::default(),
             metrics: None,
+            fault_plan: None,
+            checkpoint_interval: None,
         }
     }
 }
@@ -128,6 +136,20 @@ impl<T: AtomicScalar> LsSvr<T> {
         self
     }
 
+    /// Installs a deterministic device-fault plan for the solve; mirrors
+    /// [`crate::svm::LsSvm::with_fault_plan`].
+    pub fn with_fault_plan(mut self, plan: plssvm_simgpu::FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Snapshots CG state every `iterations` iterations; mirrors
+    /// [`crate::svm::LsSvm::with_checkpoint_interval`].
+    pub fn with_checkpoint_interval(mut self, iterations: usize) -> Self {
+        self.checkpoint_interval = Some(iterations);
+        self
+    }
+
     /// Trains on a regression data set.
     pub fn train(&self, data: &RegressionData<T>) -> Result<SvrTrainOutput<T>, SvmError> {
         let t_total = Instant::now();
@@ -157,11 +179,15 @@ impl<T: AtomicScalar> LsSvr<T> {
         if let Some(sink) = &self.metrics {
             prepared.set_metrics(Arc::clone(sink) as Arc<dyn MetricsSink>);
         }
+        if let Some(plan) = &self.fault_plan {
+            prepared.install_fault_plan(plan)?;
+        }
         let rhs = reduced_rhs(&data.y);
         rec.record(spans::CG_SETUP, t_setup.elapsed());
         let cfg = CgConfig {
             epsilon: self.epsilon,
             max_iterations: self.max_iterations,
+            checkpoint_interval: self.checkpoint_interval,
             ..CgConfig::default()
         };
         let metrics_ref = self.metrics.as_deref().map(|t| t as &dyn MetricsSink);

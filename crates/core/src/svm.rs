@@ -17,6 +17,7 @@ use plssvm_data::libsvm::{read_libsvm_file, LabeledData};
 use plssvm_data::model::{KernelSpec, SvmModel};
 use plssvm_data::Real;
 use plssvm_simgpu::device::AtomicScalar;
+use plssvm_simgpu::FaultPlan;
 
 use crate::backend::{BackendSelection, DeviceReport, Prepared};
 use crate::cg::{
@@ -70,6 +71,18 @@ pub struct LsSvm<T> {
     /// counters and timing spans, and [`TrainOutput::telemetry`] carries
     /// the report. `None` (the default) records nothing.
     pub metrics: Option<Arc<Telemetry>>,
+    /// Optional deterministic fault schedule injected into the simulated
+    /// devices (device backends only): transient timeouts are retried
+    /// with simulated backoff, fail-stopped devices are dropped with
+    /// their shard redistributed across the survivors, and slow devices
+    /// are rebalanced away from. Recovery events appear in the telemetry
+    /// report when a sink is attached.
+    pub fault_plan: Option<FaultPlan>,
+    /// Snapshot the CG state every this many iterations (see
+    /// [`crate::cg::CgState`]); each snapshot emits a `checkpoint`
+    /// recovery event to the metrics sink. `None` (the default) disables
+    /// checkpointing.
+    pub checkpoint_interval: Option<usize>,
 }
 
 impl<T: Real> Default for LsSvm<T> {
@@ -83,6 +96,8 @@ impl<T: Real> Default for LsSvm<T> {
             sample_weights: None,
             jacobi_preconditioner: false,
             metrics: None,
+            fault_plan: None,
+            checkpoint_interval: None,
         }
     }
 }
@@ -140,6 +155,22 @@ impl<T: AtomicScalar> LsSvm<T> {
     /// [`TrainOutput::telemetry`] carries the resulting report.
     pub fn with_metrics(mut self, telemetry: Arc<Telemetry>) -> Self {
         self.metrics = Some(telemetry);
+        self
+    }
+
+    /// Injects a deterministic [`FaultPlan`] into the simulated devices
+    /// (device backends only; training errors on CPU backends). The
+    /// recovery policy — retry-with-backoff, fail-stop shard
+    /// redistribution, straggler rebalancing — engages automatically.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Snapshots the CG state every `iterations` iterations (warm-restart
+    /// checkpointing; must be at least 1).
+    pub fn with_checkpoint_interval(mut self, iterations: usize) -> Self {
+        self.checkpoint_interval = Some(iterations);
         self
     }
 
@@ -201,6 +232,9 @@ impl<T: AtomicScalar> LsSvm<T> {
         if let Some(sink) = &self.metrics {
             prepared.set_metrics(Arc::clone(sink) as Arc<dyn MetricsSink>);
         }
+        if let Some(plan) = &self.fault_plan {
+            prepared.install_fault_plan(plan)?;
+        }
         if let Some(weights) = &self.sample_weights {
             if weights.len() != data.points() {
                 return Err(SvmError::Solver(format!(
@@ -216,6 +250,7 @@ impl<T: AtomicScalar> LsSvm<T> {
         let cg_cfg = CgConfig {
             epsilon: self.epsilon,
             max_iterations: self.max_iterations,
+            checkpoint_interval: self.checkpoint_interval,
             ..CgConfig::default()
         };
         let metrics_ref = self.metrics.as_deref().map(|t| t as &dyn MetricsSink);

@@ -76,6 +76,77 @@ pub struct CgIterationSample {
     pub matvec_wall: Duration,
 }
 
+/// What happened in one fault-tolerance event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryKind {
+    /// A transient launch failure was retried (with simulated backoff).
+    Retry,
+    /// A fail-stopped device's shard was redistributed to the survivors.
+    Failover,
+    /// A device was detected running far slower than its peers.
+    Straggler,
+    /// The CG solver snapshotted its state ([`crate::cg::CgState`]).
+    Checkpoint,
+}
+
+impl RecoveryKind {
+    /// The stable lower-case name used in the JSON schema.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RecoveryKind::Retry => "retry",
+            RecoveryKind::Failover => "failover",
+            RecoveryKind::Straggler => "straggler",
+            RecoveryKind::Checkpoint => "checkpoint",
+        }
+    }
+}
+
+/// One fault-tolerance event: a retry, failover, straggler detection or
+/// solver checkpoint. All fields are deterministic (fault injection is
+/// keyed on launch counts, never on wall clock).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoverySample {
+    /// What happened.
+    pub kind: RecoveryKind,
+    /// The device involved, if the event concerns one.
+    pub device: Option<usize>,
+    /// The device's launch-attempt index at the event, if applicable.
+    pub at_launch: Option<u64>,
+    /// The CG iteration at the event, if applicable (checkpoints).
+    pub iteration: Option<usize>,
+    /// Human-readable context (deterministic wording).
+    pub detail: String,
+}
+
+impl RecoverySample {
+    /// A solver checkpoint at the given CG iteration.
+    pub fn checkpoint(iteration: usize) -> Self {
+        Self {
+            kind: RecoveryKind::Checkpoint,
+            device: None,
+            at_launch: None,
+            iteration: Some(iteration),
+            detail: "cg state snapshot".to_owned(),
+        }
+    }
+
+    /// A device-scoped event (retry, failover or straggler).
+    pub fn device_event(
+        kind: RecoveryKind,
+        device: usize,
+        at_launch: u64,
+        detail: impl Into<String>,
+    ) -> Self {
+        Self {
+            kind,
+            device: Some(device),
+            at_launch: Some(at_launch),
+            iteration: None,
+            detail: detail.into(),
+        }
+    }
+}
+
 /// Aggregated counters for one kernel name — the unified schema the
 /// per-backend bookkeeping folds into.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -132,6 +203,13 @@ pub trait MetricsSink: Send + Sync {
 
     /// Records one wall-clock span.
     fn record_span(&self, path: &str, wall: Duration);
+
+    /// Records one fault-tolerance event (retry, failover, straggler,
+    /// checkpoint). Default: discard — sinks that predate the recovery
+    /// schema keep compiling and simply ignore these events.
+    fn record_recovery(&self, sample: RecoverySample) {
+        let _ = sample;
+    }
 }
 
 #[derive(Debug, Default)]
@@ -141,6 +219,7 @@ struct TelemetryState {
     cg_initial_residual_norm: Option<f64>,
     cg: Vec<CgIterationSample>,
     spans: Vec<SpanRecord>,
+    recovery: Vec<RecoverySample>,
 }
 
 /// The standard [`MetricsSink`]: collects everything behind a lock and
@@ -193,6 +272,7 @@ impl Telemetry {
             cg_initial_residual_norm: s.cg_initial_residual_norm,
             cg: s.cg.clone(),
             spans: s.spans.clone(),
+            recovery: s.recovery.clone(),
         }
     }
 
@@ -229,6 +309,10 @@ impl MetricsSink for Telemetry {
             wall,
         });
     }
+
+    fn record_recovery(&self, sample: RecoverySample) {
+        self.lock().recovery.push(sample);
+    }
 }
 
 /// Immutable snapshot of one training run's telemetry.
@@ -245,6 +329,9 @@ pub struct TelemetryReport {
     pub cg: Vec<CgIterationSample>,
     /// Recorded wall-clock spans, in recording order.
     pub spans: Vec<SpanRecord>,
+    /// Fault-tolerance events (retries, failovers, straggler detections,
+    /// solver checkpoints), in recording order.
+    pub recovery: Vec<RecoverySample>,
 }
 
 impl TelemetryReport {
@@ -313,6 +400,19 @@ impl TelemetryReport {
                 s.beta.to_bits()
             );
         }
+        for s in &self.recovery {
+            let _ = writeln!(
+                out,
+                "recovery={} device={} launch={} iter={} detail={}",
+                s.kind.as_str(),
+                s.device.map_or_else(|| "-".to_owned(), |d| d.to_string()),
+                s.at_launch
+                    .map_or_else(|| "-".to_owned(), |l| l.to_string()),
+                s.iteration
+                    .map_or_else(|| "-".to_owned(), |i| i.to_string()),
+                s.detail
+            );
+        }
         out
     }
 
@@ -326,6 +426,9 @@ impl TelemetryReport {
     /// * `{"type":"kernel","name":"svm_kernel","launches":n,"flops":n,`
     ///   `"bytes":n,"sim_time_s":x}`
     /// * `{"type":"span","path":"train/cg","wall_s":x}`
+    /// * `{"type":"recovery","kind":"retry|failover|straggler|checkpoint",`
+    ///   `"device":n|null,"at_launch":n|null,"iteration":n|null,`
+    ///   `"detail":"..."}`
     ///
     /// Non-finite floats serialize as `null`; all other values are plain
     /// JSON numbers or strings.
@@ -368,6 +471,19 @@ impl TelemetryReport {
                 "{{\"type\":\"span\",\"path\":{},\"wall_s\":{}}}",
                 json_str(&s.path),
                 json_f64(s.wall.as_secs_f64())
+            );
+        }
+        for s in &self.recovery {
+            let opt = |v: Option<u64>| v.map_or_else(|| "null".to_owned(), |n| n.to_string());
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"recovery\",\"kind\":{},\"device\":{},\"at_launch\":{},\
+                 \"iteration\":{},\"detail\":{}}}",
+                json_str(s.kind.as_str()),
+                opt(s.device.map(|d| d as u64)),
+                opt(s.at_launch),
+                opt(s.iteration.map(|i| i as u64)),
+                json_str(&s.detail)
             );
         }
         out
@@ -530,6 +646,38 @@ mod tests {
         assert!(lines[1].contains("\"type\":\"cg_iteration\""));
         assert!(lines[2].contains("\"name\":\"q_kernel\""));
         assert!(lines[3].contains("\"path\":\"train\""));
+    }
+
+    #[test]
+    fn recovery_events_are_recorded_and_serialized() {
+        let t = Telemetry::new();
+        t.record_recovery(RecoverySample::device_event(
+            RecoveryKind::Retry,
+            1,
+            5,
+            "transient timeout, retry 1",
+        ));
+        t.record_recovery(RecoverySample::checkpoint(8));
+        // cg_start must NOT clear recovery history: device-setup faults
+        // legitimately predate the solve.
+        t.record_cg_start(4, 1.0);
+        let r = t.report();
+        assert_eq!(r.recovery.len(), 2);
+        assert_eq!(r.recovery[0].kind, RecoveryKind::Retry);
+        assert_eq!(r.recovery[1].iteration, Some(8));
+        let json = r.to_json_lines();
+        let lines: Vec<&str> = json.lines().collect();
+        assert!(lines.iter().any(|l| l.contains("\"type\":\"recovery\"")
+            && l.contains("\"kind\":\"retry\"")
+            && l.contains("\"device\":1")
+            && l.contains("\"at_launch\":5")
+            && l.contains("\"iteration\":null")));
+        assert!(lines.iter().any(|l| l.contains("\"kind\":\"checkpoint\"")
+            && l.contains("\"device\":null")
+            && l.contains("\"iteration\":8")));
+        let summary = r.deterministic_summary();
+        assert!(summary.contains("recovery=retry device=1 launch=5 iter=-"));
+        assert!(summary.contains("recovery=checkpoint device=- launch=- iter=8"));
     }
 
     #[test]

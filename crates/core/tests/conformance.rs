@@ -1,0 +1,265 @@
+//! Cross-backend differential conformance suite.
+//!
+//! Every execution backend solves the same LS-SVM system, so on a seeded
+//! problem they must agree: α and ρ within a floating-point tolerance of
+//! the serial reference, and byte-identical predicted labels. The same
+//! holds across device counts (the multi-device split is a distribution
+//! detail, not a math change) and across fault-injected runs (recovery
+//! must restore the exact computation, not an approximation of it).
+
+use std::sync::Arc;
+
+use plssvm_core::backend::BackendSelection;
+use plssvm_core::svm::{predict_labels, LsSvm, TrainOutput};
+use plssvm_core::trace::{RecoveryKind, Telemetry};
+use plssvm_data::libsvm::LabeledData;
+use plssvm_data::model::KernelSpec;
+use plssvm_data::synthetic::{generate_planes, PlanesConfig};
+use plssvm_simgpu::device::AtomicScalar;
+use plssvm_simgpu::{hw, Backend as DeviceApi, FaultPlan};
+
+fn planes<T: AtomicScalar>(points: usize, features: usize, seed: u64) -> LabeledData<T> {
+    generate_planes(
+        &PlanesConfig::new(points, features, seed)
+            .with_cluster_sep(3.0)
+            .with_flip_fraction(0.0),
+    )
+    .unwrap()
+}
+
+fn kernels<T: AtomicScalar>() -> Vec<(&'static str, KernelSpec<T>)> {
+    vec![
+        ("linear", KernelSpec::Linear),
+        (
+            "polynomial",
+            KernelSpec::Polynomial {
+                degree: 3,
+                gamma: T::from_f64(0.25),
+                coef0: T::from_f64(1.0),
+            },
+        ),
+        (
+            "rbf",
+            KernelSpec::Rbf {
+                gamma: T::from_f64(0.5),
+            },
+        ),
+    ]
+}
+
+fn train<T: AtomicScalar>(
+    backend: BackendSelection,
+    kernel: KernelSpec<T>,
+    data: &LabeledData<T>,
+    epsilon: f64,
+) -> TrainOutput<T> {
+    LsSvm::new()
+        .with_kernel(kernel)
+        .with_cost(T::from_f64(2.0))
+        .with_epsilon(T::from_f64(epsilon))
+        .with_backend(backend)
+        .train(data)
+        .unwrap()
+}
+
+/// Asserts two coefficient vectors agree to `tol`, relative to the
+/// largest magnitude in the reference.
+fn assert_close<T: AtomicScalar>(label: &str, reference: &[T], other: &[T], tol: f64) {
+    assert_eq!(reference.len(), other.len(), "{label}: length");
+    let scale = reference
+        .iter()
+        .map(|v| v.to_f64().abs())
+        .fold(1.0f64, f64::max);
+    for (i, (a, b)) in reference.iter().zip(other).enumerate() {
+        let diff = (a.to_f64() - b.to_f64()).abs() / scale;
+        assert!(
+            diff <= tol,
+            "{label}: coefficient {i} differs by {diff:.3e}"
+        );
+    }
+}
+
+/// The conformance check proper: `other` must match the serial reference
+/// on α, ρ and (byte-identically) on predicted labels.
+fn assert_conforms<T: AtomicScalar>(
+    label: &str,
+    reference: &TrainOutput<T>,
+    other: &TrainOutput<T>,
+    data: &LabeledData<T>,
+    tol: f64,
+) {
+    assert_close(label, &reference.model.coef, &other.model.coef, tol);
+    let rho_diff = (reference.model.rho.to_f64() - other.model.rho.to_f64()).abs();
+    assert!(rho_diff <= tol, "{label}: rho differs by {rho_diff:.3e}");
+    assert_eq!(
+        predict_labels(&reference.model, &data.x),
+        predict_labels(&other.model, &data.x),
+        "{label}: predicted labels"
+    );
+}
+
+fn cpu_and_device_backends(linear: bool) -> Vec<(&'static str, BackendSelection)> {
+    let mut v = vec![
+        ("openmp", BackendSelection::OpenMp { threads: Some(2) }),
+        ("sparse", BackendSelection::SparseCpu { threads: None }),
+        (
+            "simgpu",
+            BackendSelection::sim_gpu(hw::A100, DeviceApi::Cuda),
+        ),
+        (
+            "simgpu-rows-2",
+            BackendSelection::sim_multi_gpu_rows(hw::A100, DeviceApi::Cuda, 2),
+        ),
+    ];
+    if linear {
+        // the feature-wise split is linear-kernel only (paper §III-C-5)
+        v.push((
+            "simgpu-features-2",
+            BackendSelection::sim_multi_gpu(hw::A100, DeviceApi::Cuda, 2),
+        ));
+    }
+    v
+}
+
+fn conformance_over_kernels<T: AtomicScalar>(tol: f64) {
+    let data: LabeledData<T> = planes(56, 7, 4242);
+    for (kname, kernel) in kernels::<T>() {
+        let reference = train(BackendSelection::Serial, kernel, &data, 1e-10);
+        for (bname, backend) in cpu_and_device_backends(kname == "linear") {
+            let out = train(backend, kernel, &data, 1e-10);
+            assert_conforms(&format!("{kname}/{bname}"), &reference, &out, &data, tol);
+        }
+    }
+}
+
+#[test]
+fn backends_agree_on_seeded_problems_f64() {
+    conformance_over_kernels::<f64>(1e-6);
+}
+
+#[test]
+fn backends_agree_on_seeded_problems_f32() {
+    // single precision: the same math at a correspondingly looser bound
+    conformance_over_kernels::<f32>(5e-2);
+}
+
+#[test]
+fn device_count_does_not_change_the_model() {
+    let data: LabeledData<f64> = planes(64, 8, 77);
+    for (kname, kernel) in kernels::<f64>() {
+        let make = |devices: usize| -> BackendSelection {
+            if kname == "linear" {
+                BackendSelection::sim_multi_gpu(hw::A100, DeviceApi::Cuda, devices)
+            } else {
+                BackendSelection::sim_multi_gpu_rows(hw::A100, DeviceApi::Cuda, devices)
+            }
+        };
+        let single = train(make(1), kernel, &data, 1e-10);
+        for devices in [2, 4] {
+            let multi = train(make(devices), kernel, &data, 1e-10);
+            assert_conforms(
+                &format!("{kname}/{devices}-devices"),
+                &single,
+                &multi,
+                &data,
+                1e-6,
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_runs_are_byte_identical() {
+    let data: LabeledData<f64> = planes(48, 6, 9);
+    for (bname, backend) in cpu_and_device_backends(true) {
+        let a = train(backend.clone(), KernelSpec::Linear, &data, 1e-8);
+        let b = train(backend, KernelSpec::Linear, &data, 1e-8);
+        assert_eq!(a.model.coef, b.model.coef, "{bname}: alphas");
+        assert_eq!(a.model.rho, b.model.rho, "{bname}: rho");
+        assert_eq!(a.iterations, b.iterations, "{bname}: iterations");
+    }
+}
+
+/// The issue's acceptance scenario: device 1 of 4 fail-stops at CG
+/// iteration 5 (launch attempt 4 — attempt 0 is the first CG matvec);
+/// the solver must redistribute its feature shard over the survivors and
+/// converge to the fault-free model, emitting failover telemetry.
+#[test]
+fn fail_stop_of_one_in_four_devices_recovers_to_the_fault_free_model() {
+    let data: LabeledData<f64> = planes(72, 12, 2026);
+    let backend = BackendSelection::sim_multi_gpu(hw::A100, DeviceApi::Cuda, 4);
+    let fault_free = train(backend.clone(), KernelSpec::Linear, &data, 1e-10);
+    assert!(
+        fault_free.iterations > 5,
+        "need a solve that outlives the fault"
+    );
+
+    let telemetry = Telemetry::shared();
+    let faulted = LsSvm::new()
+        .with_cost(2.0)
+        .with_epsilon(1e-10)
+        .with_backend(backend)
+        .with_fault_plan(FaultPlan::new().fail_stop(1, 4))
+        .with_checkpoint_interval(4)
+        .with_metrics(Arc::clone(&telemetry))
+        .train(&data)
+        .unwrap();
+
+    assert!(faulted.converged);
+    assert_conforms("fail-stop 1/4", &fault_free, &faulted, &data, 1e-6);
+
+    let report = faulted.telemetry.expect("telemetry enabled");
+    let failovers: Vec<_> = report
+        .recovery
+        .iter()
+        .filter(|e| e.kind == RecoveryKind::Failover)
+        .collect();
+    assert_eq!(failovers.len(), 1, "{:?}", report.recovery);
+    assert_eq!(failovers[0].device, Some(1));
+    assert_eq!(failovers[0].at_launch, Some(4));
+    assert!(report
+        .recovery
+        .iter()
+        .any(|e| e.kind == RecoveryKind::Checkpoint));
+    // the recovery events survive into the serialized telemetry
+    let json = report.to_json_lines();
+    assert!(json.contains("\"type\":\"recovery\""), "{json}");
+    assert!(json.contains("\"kind\":\"failover\""), "{json}");
+}
+
+/// Transient faults never change the result: the retried launch reruns
+/// the identical computation, so the model is byte-identical.
+#[test]
+fn transient_faults_leave_the_model_byte_identical() {
+    let data: LabeledData<f64> = planes(48, 8, 31);
+    let backend = BackendSelection::sim_multi_gpu(hw::A100, DeviceApi::Cuda, 2);
+    let clean = train(backend.clone(), KernelSpec::Linear, &data, 1e-10);
+    let faulted = LsSvm::new()
+        .with_cost(2.0)
+        .with_epsilon(1e-10)
+        .with_backend(backend)
+        .with_fault_plan(FaultPlan::new().transient(0, 2, 1).transient(1, 3, 2))
+        .train(&data)
+        .unwrap();
+    assert_eq!(clean.model.coef, faulted.model.coef);
+    assert_eq!(clean.model.rho, faulted.model.rho);
+    assert_eq!(clean.iterations, faulted.iterations);
+}
+
+/// Fault plans are rejected, not silently ignored, on CPU backends.
+#[test]
+fn cpu_backends_reject_fault_plans() {
+    let data: LabeledData<f64> = planes(20, 4, 5);
+    for backend in [
+        BackendSelection::Serial,
+        BackendSelection::OpenMp { threads: None },
+        BackendSelection::SparseCpu { threads: None },
+    ] {
+        let err = LsSvm::<f64>::new()
+            .with_backend(backend)
+            .with_fault_plan(FaultPlan::new().fail_stop(0, 0))
+            .train(&data)
+            .unwrap_err();
+        assert!(err.to_string().contains("simulated"), "{err}");
+    }
+}

@@ -10,6 +10,8 @@
 //! network term.
 
 use crate::device::SimDevice;
+use crate::error::SimGpuError;
+use crate::fault::FaultPlan;
 use crate::hw::{Backend, GpuSpec};
 use crate::perf::PerfReport;
 
@@ -121,6 +123,42 @@ impl ClusterContext {
         self.node_of[device]
     }
 
+    /// Device `i`, or [`SimGpuError::DeviceIndexOutOfRange`] if the cluster
+    /// has no such device (no panicking index path).
+    pub fn device(&self, i: usize) -> Result<&SimDevice, SimGpuError> {
+        self.devices
+            .get(i)
+            .ok_or(SimGpuError::DeviceIndexOutOfRange {
+                index: i,
+                count: self.devices.len(),
+            })
+    }
+
+    /// Installs `plan` cluster-wide (device ordinals are cluster-wide too).
+    /// Fails without installing anything if the plan addresses a device the
+    /// cluster does not have.
+    pub fn install_fault_plan(&self, plan: &FaultPlan) -> Result<(), SimGpuError> {
+        if let Some(max) = plan.max_device() {
+            if max >= self.devices.len() {
+                return Err(SimGpuError::DeviceIndexOutOfRange {
+                    index: max,
+                    count: self.devices.len(),
+                });
+            }
+        }
+        for d in &self.devices {
+            d.install_fault_plan(plan);
+        }
+        Ok(())
+    }
+
+    /// Removes fault plans from every device.
+    pub fn clear_faults(&self) {
+        for d in &self.devices {
+            d.clear_faults();
+        }
+    }
+
     /// The modeled interconnect.
     pub fn interconnect(&self) -> Interconnect {
         self.interconnect
@@ -213,6 +251,27 @@ mod tests {
         // A100 (9.7 TF) should receive ~9.7/7.0 times the V100's share
         let ratio = w[0] / w[1];
         assert!((ratio - 9.7 / 7.0).abs() < 1e-9, "{ratio}");
+    }
+
+    #[test]
+    fn cluster_device_selection_and_faults() {
+        let cluster = ClusterContext::new(
+            &[NodeConfig::homogeneous(A100, Backend::Cuda, 2)],
+            Interconnect::HDR_INFINIBAND,
+        );
+        assert!(cluster.device(1).is_ok());
+        assert_eq!(
+            cluster.device(9).unwrap_err(),
+            SimGpuError::DeviceIndexOutOfRange { index: 9, count: 2 }
+        );
+        assert!(cluster
+            .install_fault_plan(&FaultPlan::new().fail_stop(7, 0))
+            .is_err());
+        cluster
+            .install_fault_plan(&FaultPlan::new().slow(0, 0, 2.0))
+            .unwrap();
+        cluster.clear_faults();
+        assert_eq!(cluster.device(0).unwrap().fault_attempts(), 0);
     }
 
     #[test]

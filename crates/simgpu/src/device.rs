@@ -15,6 +15,7 @@ use parking_lot::Mutex;
 use plssvm_data::Real;
 
 use crate::error::SimGpuError;
+use crate::fault::{FaultPlan, FaultState};
 use crate::hw::{backend_profile, Backend, BackendProfile, GpuSpec};
 use crate::perf::{transfer_time_s, PerfCounters, PerfReport};
 
@@ -30,6 +31,9 @@ pub(crate) struct DeviceState {
     pub(crate) profile: BackendProfile,
     mem: Mutex<MemState>,
     pub(crate) perf: Mutex<PerfCounters>,
+    /// `Some` once a [`FaultPlan`] is installed; `None` devices are
+    /// fault-free and skip all fault bookkeeping.
+    faults: Mutex<Option<FaultState>>,
 }
 
 impl DeviceState {
@@ -52,6 +56,16 @@ impl DeviceState {
     fn free_bytes(&self, bytes: usize) {
         let mut mem = self.mem.lock();
         mem.allocated = mem.allocated.saturating_sub(bytes);
+    }
+
+    /// Launch-time fault gate: advances the attempt counter and returns the
+    /// simulated-time multiplier, or the injected failure. `Ok(1.0)` and no
+    /// bookkeeping when no plan is installed.
+    pub(crate) fn fault_check(&self, device: usize) -> Result<f64, SimGpuError> {
+        match self.faults.lock().as_mut() {
+            None => Ok(1.0),
+            Some(fs) => fs.check(device),
+        }
     }
 }
 
@@ -118,6 +132,7 @@ impl SimDevice {
                 profile,
                 mem: Mutex::new(MemState::default()),
                 perf: Mutex::new(PerfCounters::default()),
+                faults: Mutex::new(None),
             }),
             id,
         }
@@ -202,6 +217,38 @@ impl SimDevice {
     /// Clears performance counters (keeps allocations and peak memory).
     pub fn reset_perf(&self) {
         *self.state.perf.lock() = PerfCounters::default();
+    }
+
+    /// Installs the events of `plan` that target this device (matched by
+    /// [`SimDevice::id`]). Resets the launch-attempt counter to 0, so
+    /// triggers are relative to the moment of installation. Installing an
+    /// empty or non-matching plan still arms the counter.
+    pub fn install_fault_plan(&self, plan: &FaultPlan) {
+        *self.state.faults.lock() = Some(FaultState::new(plan.events_for(self.id)));
+    }
+
+    /// Removes any installed fault plan; the device behaves nominally again.
+    pub fn clear_faults(&self) {
+        *self.state.faults.lock() = None;
+    }
+
+    /// Launch attempts (successful or faulted) observed since the fault
+    /// plan was installed. 0 when no plan is installed.
+    pub fn fault_attempts(&self) -> u64 {
+        self.state
+            .faults
+            .lock()
+            .as_ref()
+            .map_or(0, |fs| fs.attempts())
+    }
+
+    /// True once an injected fail-stop has tripped on this device.
+    pub fn has_failed(&self) -> bool {
+        self.state
+            .faults
+            .lock()
+            .as_ref()
+            .is_some_and(|fs| fs.failed())
     }
 }
 

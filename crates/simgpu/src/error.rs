@@ -23,6 +23,29 @@ pub enum SimGpuError {
         /// Elements in the destination.
         dst: usize,
     },
+    /// The device suffered an (injected) fail-stop fault and no longer
+    /// accepts work. Permanent: every later launch fails the same way.
+    DeviceFailed {
+        /// Device ordinal within its context.
+        device: usize,
+        /// Launch-attempt index (since fault-plan install) that tripped.
+        launch: u64,
+    },
+    /// A launch timed out due to an (injected) transient fault. Retrying
+    /// the launch may succeed once the transient window has passed.
+    TransientTimeout {
+        /// Device ordinal within its context.
+        device: usize,
+        /// Launch-attempt index (since fault-plan install) that timed out.
+        launch: u64,
+    },
+    /// A device-selection API was asked for a device that does not exist.
+    DeviceIndexOutOfRange {
+        /// Requested device ordinal.
+        index: usize,
+        /// Devices actually present in the context.
+        count: usize,
+    },
 }
 
 impl fmt::Display for SimGpuError {
@@ -41,6 +64,21 @@ impl fmt::Display for SimGpuError {
                 write!(
                     f,
                     "transfer size mismatch: {src} source vs {dst} destination elements"
+                )
+            }
+            SimGpuError::DeviceFailed { device, launch } => {
+                write!(f, "device {device} failed (fail-stop) at launch {launch}")
+            }
+            SimGpuError::TransientTimeout { device, launch } => {
+                write!(
+                    f,
+                    "device {device} timed out (transient) at launch {launch}"
+                )
+            }
+            SimGpuError::DeviceIndexOutOfRange { index, count } => {
+                write!(
+                    f,
+                    "device index {index} out of range: context has {count} device(s)"
                 )
             }
         }
@@ -67,5 +105,19 @@ mod tests {
             .contains('x'));
         let s = SimGpuError::TransferSizeMismatch { src: 1, dst: 2 }.to_string();
         assert!(s.contains('1') && s.contains('2'));
+        let s = SimGpuError::DeviceFailed {
+            device: 3,
+            launch: 7,
+        }
+        .to_string();
+        assert!(s.contains('3') && s.contains('7') && s.contains("fail-stop"));
+        let s = SimGpuError::TransientTimeout {
+            device: 2,
+            launch: 9,
+        }
+        .to_string();
+        assert!(s.contains('2') && s.contains('9') && s.contains("transient"));
+        let s = SimGpuError::DeviceIndexOutOfRange { index: 5, count: 4 }.to_string();
+        assert!(s.contains('5') && s.contains('4'));
     }
 }

@@ -134,6 +134,9 @@ impl SimDevice {
                 cfg.name
             )));
         }
+        // Injected-fault gate: fail-stop/transient faults abort the launch
+        // before any work runs; slow-device faults stretch simulated time.
+        let slowdown = self.state.fault_check(self.id())?;
         let ctx = KernelCtx::default();
         let grid = cfg.grid;
         (0..grid.blocks()).into_par_iter().for_each(|i| {
@@ -153,7 +156,7 @@ impl SimDevice {
             cfg.precision,
             flops,
             global_bytes,
-        );
+        ) * slowdown;
         self.state
             .perf
             .lock()
@@ -246,6 +249,47 @@ mod tests {
             .launch(&cfg, |_, ctx| ctx.add_flops(9_700_000_000_000))
             .unwrap();
         assert!((stats.sim_time_s - 1.0 / 0.32).abs() < 1e-3);
+    }
+
+    #[test]
+    fn injected_faults_gate_launches() {
+        use crate::fault::FaultPlan;
+        let dev = device();
+        dev.install_fault_plan(&FaultPlan::new().transient(0, 1, 1).slow(0, 2, 3.0));
+        let cfg = LaunchConfig::new("faulty", Grid::one_d(1), Precision::F64);
+        // attempt 0: nominal
+        let base = dev.launch(&cfg, |_, c| c.add_flops(1_000_000_000)).unwrap();
+        // attempt 1: transient timeout, no work recorded
+        assert!(matches!(
+            dev.launch(&cfg, |_, _| {}),
+            Err(SimGpuError::TransientTimeout {
+                device: 0,
+                launch: 1
+            })
+        ));
+        // attempt 2: succeeds again, but 3x slower
+        let slowed = dev.launch(&cfg, |_, c| c.add_flops(1_000_000_000)).unwrap();
+        assert!((slowed.sim_time_s - 3.0 * base.sim_time_s).abs() < 1e-12 * base.sim_time_s);
+        assert_eq!(dev.fault_attempts(), 3);
+        assert_eq!(dev.perf_report().kernel_launches, 2);
+        dev.clear_faults();
+        assert_eq!(dev.fault_attempts(), 0);
+    }
+
+    #[test]
+    fn fail_stop_is_permanent_at_launch_level() {
+        use crate::fault::FaultPlan;
+        let dev = device();
+        dev.install_fault_plan(&FaultPlan::new().fail_stop(0, 0));
+        let cfg = LaunchConfig::new("dead", Grid::one_d(1), Precision::F64);
+        for _ in 0..3 {
+            assert!(matches!(
+                dev.launch(&cfg, |_, _| {}),
+                Err(SimGpuError::DeviceFailed { device: 0, .. })
+            ));
+        }
+        assert!(dev.has_failed());
+        assert_eq!(dev.perf_report().kernel_launches, 0);
     }
 
     #[test]

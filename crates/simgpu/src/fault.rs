@@ -1,0 +1,421 @@
+//! Deterministic fault injection for the simulated device substrate.
+//!
+//! Real multi-GPU systems fail in ways a paper benchmark never shows:
+//! a device drops off the bus mid-solve (fail-stop), a launch times out
+//! once and then works again (transient), or one device silently runs at a
+//! fraction of its rated throughput (straggler). Because this substrate is
+//! a simulation, those scenarios can be reproduced *deterministically*: a
+//! [`FaultPlan`] schedules faults at exact per-device **launch-attempt
+//! indices** (no wall clock, no randomness at injection time), so a failing
+//! run can be replayed bit-for-bit.
+//!
+//! Plans are installed on a device (or every device of a
+//! [`crate::MultiDeviceContext`] / [`crate::ClusterContext`]) and take
+//! effect inside [`crate::SimDevice::launch`]: the launch-attempt counter
+//! starts at 0 when the plan is installed, and an event with
+//! `at_launch = k` activates on the `k`-th subsequent attempt.
+
+use std::fmt;
+
+/// The kind of fault a [`FaultEvent`] injects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Fail-stop: from the trigger on, every launch fails with
+    /// [`crate::SimGpuError::DeviceFailed`]. Permanent.
+    FailStop,
+    /// Transient timeout: the next `failures` launch attempts fail with
+    /// [`crate::SimGpuError::TransientTimeout`], after which the device
+    /// works again — the scenario retry-with-backoff recovers from.
+    Transient {
+        /// Number of consecutive launch attempts that time out.
+        failures: u32,
+    },
+    /// Slow-device degradation: from the trigger on, simulated kernel time
+    /// is multiplied by `factor` (> 1 = slower). Launches still succeed;
+    /// only the straggler detector notices.
+    Slow {
+        /// Multiplier applied to simulated kernel time.
+        factor: f64,
+    },
+}
+
+/// One scheduled fault: `kind` fires on device `device` at launch-attempt
+/// index `at_launch` (0-based, counted from plan installation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Device ordinal within the context the plan is installed on.
+    pub device: usize,
+    /// 0-based launch-attempt index at which the fault activates.
+    pub at_launch: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic fault schedule over the devices of one context.
+///
+/// Build explicitly with the [`FaultPlan::fail_stop`] /
+/// [`FaultPlan::transient`] / [`FaultPlan::slow`] builder methods, parse a
+/// textual spec with [`FaultPlan::parse`], or generate a reproducible
+/// pseudo-random plan with [`FaultPlan::seeded`].
+///
+/// ```
+/// use plssvm_simgpu::FaultPlan;
+///
+/// let plan = FaultPlan::new().fail_stop(1, 6).transient(0, 3, 2);
+/// let same = FaultPlan::parse(&plan.to_spec()).unwrap();
+/// assert_eq!(plan, same);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fail-stop of `device` at launch-attempt `at_launch`.
+    pub fn fail_stop(mut self, device: usize, at_launch: u64) -> Self {
+        self.events.push(FaultEvent {
+            device,
+            at_launch,
+            kind: FaultKind::FailStop,
+        });
+        self
+    }
+
+    /// Adds `failures` consecutive transient timeouts on `device` starting
+    /// at launch-attempt `at_launch`.
+    pub fn transient(mut self, device: usize, at_launch: u64, failures: u32) -> Self {
+        self.events.push(FaultEvent {
+            device,
+            at_launch,
+            kind: FaultKind::Transient { failures },
+        });
+        self
+    }
+
+    /// Slows `device` down by `factor` from launch-attempt `at_launch` on.
+    pub fn slow(mut self, device: usize, at_launch: u64, factor: f64) -> Self {
+        self.events.push(FaultEvent {
+            device,
+            at_launch,
+            kind: FaultKind::Slow { factor },
+        });
+        self
+    }
+
+    /// All scheduled events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// True if the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The largest device ordinal any event targets.
+    pub fn max_device(&self) -> Option<usize> {
+        self.events.iter().map(|e| e.device).max()
+    }
+
+    /// The `(at_launch, kind)` pairs targeting one device.
+    pub fn events_for(&self, device: usize) -> Vec<(u64, FaultKind)> {
+        self.events
+            .iter()
+            .filter(|e| e.device == device)
+            .map(|e| (e.at_launch, e.kind))
+            .collect()
+    }
+
+    /// Number of devices the plan fail-stops (each counted once).
+    pub fn fail_stopped_devices(&self) -> usize {
+        let mut devs: Vec<usize> = self
+            .events
+            .iter()
+            .filter(|e| e.kind == FaultKind::FailStop)
+            .map(|e| e.device)
+            .collect();
+        devs.sort_unstable();
+        devs.dedup();
+        devs.len()
+    }
+
+    /// Generates a reproducible pseudo-random plan for a context of
+    /// `devices` devices, with triggers in `0..max_launch`. The generator
+    /// (a splitmix64 stream seeded with `seed`) guarantees device 0 is
+    /// never fail-stopped, so at least one device always survives.
+    pub fn seeded(seed: u64, devices: usize, max_launch: u64) -> Self {
+        assert!(devices >= 1, "need at least one device");
+        let mut state = seed;
+        let mut next = move || {
+            // splitmix64: deterministic, dependency-free
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut plan = Self::new();
+        let count = 1 + (next() % 3) as usize;
+        for _ in 0..count {
+            let at_launch = next() % max_launch.max(1);
+            match next() % 3 {
+                0 if devices > 1 => {
+                    // never device 0: keep at least one survivor
+                    let device = 1 + (next() as usize % (devices - 1));
+                    plan = plan.fail_stop(device, at_launch);
+                }
+                1 => {
+                    let device = next() as usize % devices;
+                    let failures = 1 + (next() % 3) as u32;
+                    plan = plan.transient(device, at_launch, failures);
+                }
+                _ => {
+                    let device = next() as usize % devices;
+                    let factor = 2.0 + (next() % 7) as f64;
+                    plan = plan.slow(device, at_launch, factor);
+                }
+            }
+        }
+        plan
+    }
+
+    /// Parses a textual plan: `;`- or `,`-separated events of the form
+    /// `fail:DEV@LAUNCH`, `transient:DEV@LAUNCH[xCOUNT]` and
+    /// `slow:DEV@LAUNCH[xFACTOR]`, e.g. `fail:1@6;transient:0@3x2`.
+    /// `COUNT` defaults to 1 and `FACTOR` to 4.0 when omitted.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = Self::new();
+        for ev in spec
+            .split([';', ','])
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+        {
+            let (kind, rest) = ev
+                .split_once(':')
+                .ok_or_else(|| format!("fault event '{ev}' is missing ':'"))?;
+            let (dev, tail) = rest
+                .split_once('@')
+                .ok_or_else(|| format!("fault event '{ev}' is missing '@LAUNCH'"))?;
+            let device: usize = dev
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad device ordinal in '{ev}'"))?;
+            let (launch, param) = match tail.split_once('x') {
+                Some((l, p)) => (l, Some(p)),
+                None => (tail, None),
+            };
+            let at_launch: u64 = launch
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad launch index in '{ev}'"))?;
+            plan = match kind.trim() {
+                "fail" => {
+                    if param.is_some() {
+                        return Err(format!("'fail' takes no parameter in '{ev}'"));
+                    }
+                    plan.fail_stop(device, at_launch)
+                }
+                "transient" => {
+                    let failures: u32 = match param {
+                        Some(p) => p
+                            .trim()
+                            .parse()
+                            .map_err(|_| format!("bad failure count in '{ev}'"))?,
+                        None => 1,
+                    };
+                    plan.transient(device, at_launch, failures)
+                }
+                "slow" => {
+                    let factor: f64 = match param {
+                        Some(p) => p
+                            .trim()
+                            .parse()
+                            .map_err(|_| format!("bad slowdown factor in '{ev}'"))?,
+                        None => 4.0,
+                    };
+                    plan.slow(device, at_launch, factor)
+                }
+                other => {
+                    return Err(format!(
+                        "unknown fault kind '{other}' (expected fail, transient or slow)"
+                    ))
+                }
+            };
+        }
+        Ok(plan)
+    }
+
+    /// The textual spec of this plan; [`FaultPlan::parse`] round-trips it.
+    pub fn to_spec(&self) -> String {
+        self.events
+            .iter()
+            .map(|e| match e.kind {
+                FaultKind::FailStop => format!("fail:{}@{}", e.device, e.at_launch),
+                FaultKind::Transient { failures } => {
+                    format!("transient:{}@{}x{}", e.device, e.at_launch, failures)
+                }
+                FaultKind::Slow { factor } => {
+                    format!("slow:{}@{}x{}", e.device, e.at_launch, factor)
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_spec())
+    }
+}
+
+/// Per-device runtime fault state, driven by [`super::SimDevice::launch`].
+#[derive(Debug, Default)]
+pub(crate) struct FaultState {
+    /// Not-yet-activated `(at_launch, kind)` events for this device.
+    pending: Vec<(u64, FaultKind)>,
+    /// Launch attempts observed since the plan was installed.
+    attempts: u64,
+    /// Fail-stop has tripped.
+    failed: bool,
+    /// Transient timeouts still owed.
+    transient_remaining: u32,
+    /// Current simulated-time multiplier (1.0 = nominal).
+    slow_factor: f64,
+}
+
+impl FaultState {
+    pub(crate) fn new(pending: Vec<(u64, FaultKind)>) -> Self {
+        Self {
+            pending,
+            attempts: 0,
+            failed: false,
+            transient_remaining: 0,
+            slow_factor: 1.0,
+        }
+    }
+
+    pub(crate) fn attempts(&self) -> u64 {
+        self.attempts
+    }
+
+    pub(crate) fn failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Advances the attempt counter and reports the verdict for this
+    /// launch: `Err` if it must fail, `Ok(slowdown)` otherwise.
+    pub(crate) fn check(&mut self, device: usize) -> Result<f64, crate::SimGpuError> {
+        let launch = self.attempts;
+        self.attempts += 1;
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].0 <= launch {
+                match self.pending.swap_remove(i).1 {
+                    FaultKind::FailStop => self.failed = true,
+                    FaultKind::Transient { failures } => self.transient_remaining += failures,
+                    FaultKind::Slow { factor } => self.slow_factor *= factor,
+                }
+            } else {
+                i += 1;
+            }
+        }
+        if self.failed {
+            return Err(crate::SimGpuError::DeviceFailed { device, launch });
+        }
+        if self.transient_remaining > 0 {
+            self.transient_remaining -= 1;
+            return Err(crate::SimGpuError::TransientTimeout { device, launch });
+        }
+        Ok(self.slow_factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_spec_round_trip() {
+        let plan = FaultPlan::new()
+            .fail_stop(1, 6)
+            .transient(0, 3, 2)
+            .slow(2, 0, 4.0);
+        assert_eq!(plan.events().len(), 3);
+        assert_eq!(plan.max_device(), Some(2));
+        assert_eq!(plan.fail_stopped_devices(), 1);
+        let round = FaultPlan::parse(&plan.to_spec()).unwrap();
+        assert_eq!(plan, round);
+        assert_eq!(format!("{plan}"), plan.to_spec());
+    }
+
+    #[test]
+    fn parse_defaults_and_errors() {
+        let plan = FaultPlan::parse("transient:0@3; slow:1@2").unwrap();
+        assert_eq!(plan.events()[0].kind, FaultKind::Transient { failures: 1 });
+        assert_eq!(plan.events()[1].kind, FaultKind::Slow { factor: 4.0 });
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse("nope:0@1").is_err());
+        assert!(FaultPlan::parse("fail:x@1").is_err());
+        assert!(FaultPlan::parse("fail:0").is_err());
+        assert!(FaultPlan::parse("fail:0@1x2").is_err());
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_leave_a_survivor() {
+        for seed in 0..50u64 {
+            let a = FaultPlan::seeded(seed, 4, 10);
+            let b = FaultPlan::seeded(seed, 4, 10);
+            assert_eq!(a, b);
+            assert!(!a.is_empty());
+            assert!(a.fail_stopped_devices() < 4);
+            assert!(a
+                .events()
+                .iter()
+                .all(|e| e.kind != FaultKind::FailStop || e.device != 0));
+        }
+        // single device: fail-stop is never generated at all
+        let solo = FaultPlan::seeded(7, 1, 10);
+        assert_eq!(solo.fail_stopped_devices(), 0);
+    }
+
+    #[test]
+    fn fault_state_sequences_are_deterministic() {
+        let plan = FaultPlan::new().transient(0, 2, 2).slow(0, 5, 3.0);
+        let run = || {
+            let mut fs = FaultState::new(plan.events_for(0));
+            (0..8)
+                .map(|_| match fs.check(0) {
+                    Ok(f) => format!("ok{f}"),
+                    Err(e) => format!("{e:?}"),
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert_eq!(a[0], "ok1");
+        assert!(a[2].contains("TransientTimeout"));
+        assert!(a[3].contains("TransientTimeout"));
+        assert_eq!(a[4], "ok1");
+        assert_eq!(a[5], "ok3");
+    }
+
+    #[test]
+    fn fail_stop_is_permanent() {
+        let mut fs = FaultState::new(vec![(1, FaultKind::FailStop)]);
+        assert!(fs.check(3).is_ok());
+        for _ in 0..4 {
+            assert!(matches!(
+                fs.check(3),
+                Err(crate::SimGpuError::DeviceFailed { device: 3, .. })
+            ));
+        }
+        assert!(fs.failed());
+        assert_eq!(fs.attempts(), 5);
+    }
+}

@@ -19,6 +19,11 @@
 //!
 //! Functional results are computed exactly (the kernels really run); only
 //! the *time* is modeled.
+//!
+//! Because the devices are simulated, failure scenarios real hardware
+//! cannot reproduce deterministically become first-class test fixtures:
+//! [`fault`] schedules fail-stop, transient-timeout and slow-device faults
+//! at exact launch indices.
 
 #![warn(missing_docs)]
 
@@ -26,6 +31,7 @@ pub mod cluster;
 pub mod device;
 pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod hw;
 pub mod multi;
 pub mod perf;
@@ -34,6 +40,7 @@ pub use cluster::{ClusterContext, Interconnect, NodeConfig};
 pub use device::{AtomicBuffer, DeviceBuffer, SimDevice};
 pub use error::SimGpuError;
 pub use exec::{BlockId, Grid, KernelCtx, LaunchConfig};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use hw::{backend_profile, Backend, BackendProfile, GpuSpec, Precision};
 pub use multi::MultiDeviceContext;
 pub use perf::{KernelStats, PerfReport};

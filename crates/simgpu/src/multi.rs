@@ -12,6 +12,8 @@
 //! times, not the sum — [`MultiDeviceContext::sim_parallel_time_s`].
 
 use crate::device::SimDevice;
+use crate::error::SimGpuError;
+use crate::fault::FaultPlan;
 use crate::hw::{Backend, GpuSpec};
 use crate::perf::PerfReport;
 
@@ -49,9 +51,41 @@ impl MultiDeviceContext {
         &self.devices
     }
 
-    /// Device `i`.
-    pub fn device(&self, i: usize) -> &SimDevice {
-        &self.devices[i]
+    /// Device `i`, or [`SimGpuError::DeviceIndexOutOfRange`] if the context
+    /// has no such device (no panicking index path).
+    pub fn device(&self, i: usize) -> Result<&SimDevice, SimGpuError> {
+        self.devices
+            .get(i)
+            .ok_or(SimGpuError::DeviceIndexOutOfRange {
+                index: i,
+                count: self.devices.len(),
+            })
+    }
+
+    /// Installs `plan` on every device of the context (each device keeps
+    /// only the events addressed to its ordinal) and arms the per-device
+    /// launch-attempt counters. Fails without installing anything if the
+    /// plan addresses a device the context does not have.
+    pub fn install_fault_plan(&self, plan: &FaultPlan) -> Result<(), SimGpuError> {
+        if let Some(max) = plan.max_device() {
+            if max >= self.devices.len() {
+                return Err(SimGpuError::DeviceIndexOutOfRange {
+                    index: max,
+                    count: self.devices.len(),
+                });
+            }
+        }
+        for d in &self.devices {
+            d.install_fault_plan(plan);
+        }
+        Ok(())
+    }
+
+    /// Removes fault plans from every device.
+    pub fn clear_faults(&self) {
+        for d in &self.devices {
+            d.clear_faults();
+        }
     }
 
     /// Per-device performance snapshots.
@@ -112,9 +146,9 @@ mod tests {
     #[test]
     fn devices_have_independent_memory() {
         let ctx = MultiDeviceContext::new(A100, Backend::Cuda, 2);
-        let _buf = ctx.device(0).alloc::<f64>(100).unwrap();
-        assert_eq!(ctx.device(0).allocated_bytes(), 800);
-        assert_eq!(ctx.device(1).allocated_bytes(), 0);
+        let _buf = ctx.device(0).unwrap().alloc::<f64>(100).unwrap();
+        assert_eq!(ctx.device(0).unwrap().allocated_bytes(), 800);
+        assert_eq!(ctx.device(1).unwrap().allocated_bytes(), 0);
         assert_eq!(ctx.peak_memory_per_device_bytes(), 800);
     }
 
@@ -124,15 +158,65 @@ mod tests {
         let cfg = LaunchConfig::new("work", Grid::one_d(1), Precision::F64);
         // device 0 does twice the work of device 1
         ctx.device(0)
+            .unwrap()
             .launch(&cfg, |_, c| c.add_flops(2_000_000_000_000))
             .unwrap();
         ctx.device(1)
+            .unwrap()
             .launch(&cfg, |_, c| c.add_flops(1_000_000_000_000))
             .unwrap();
-        let t0 = ctx.device(0).perf_report().sim_total_time_s();
-        let t1 = ctx.device(1).perf_report().sim_total_time_s();
+        let t0 = ctx.device(0).unwrap().perf_report().sim_total_time_s();
+        let t1 = ctx.device(1).unwrap().perf_report().sim_total_time_s();
         assert!(t0 > t1);
         assert_eq!(ctx.sim_parallel_time_s(), t0);
+    }
+
+    #[test]
+    fn out_of_range_device_is_an_error_not_a_panic() {
+        let ctx = MultiDeviceContext::new(A100, Backend::Cuda, 2);
+        assert!(ctx.device(1).is_ok());
+        assert_eq!(
+            ctx.device(2).unwrap_err(),
+            crate::SimGpuError::DeviceIndexOutOfRange { index: 2, count: 2 }
+        );
+        assert_eq!(
+            ctx.device(usize::MAX).unwrap_err(),
+            crate::SimGpuError::DeviceIndexOutOfRange {
+                index: usize::MAX,
+                count: 2
+            }
+        );
+    }
+
+    #[test]
+    fn fault_plan_installs_on_matching_devices_only() {
+        use crate::fault::FaultPlan;
+        let ctx = MultiDeviceContext::new(A100, Backend::Cuda, 2);
+        ctx.install_fault_plan(&FaultPlan::new().fail_stop(1, 0))
+            .unwrap();
+        let cfg = LaunchConfig::new("w", Grid::one_d(1), Precision::F64);
+        assert!(ctx.device(0).unwrap().launch(&cfg, |_, _| {}).is_ok());
+        assert!(matches!(
+            ctx.device(1).unwrap().launch(&cfg, |_, _| {}),
+            Err(crate::SimGpuError::DeviceFailed { device: 1, .. })
+        ));
+        ctx.clear_faults();
+        assert!(ctx.device(1).unwrap().launch(&cfg, |_, _| {}).is_ok());
+    }
+
+    #[test]
+    fn fault_plan_addressing_missing_device_is_rejected() {
+        use crate::fault::FaultPlan;
+        let ctx = MultiDeviceContext::new(A100, Backend::Cuda, 2);
+        let err = ctx
+            .install_fault_plan(&FaultPlan::new().fail_stop(5, 0))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            crate::SimGpuError::DeviceIndexOutOfRange { index: 5, count: 2 }
+        );
+        // nothing was installed
+        assert_eq!(ctx.device(0).unwrap().fault_attempts(), 0);
     }
 
     #[test]

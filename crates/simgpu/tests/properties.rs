@@ -3,7 +3,36 @@
 use proptest::prelude::*;
 use rayon::prelude::*;
 
-use plssvm_simgpu::{hw, Backend, Grid, Interconnect, LaunchConfig, Precision, SimDevice};
+use plssvm_simgpu::{
+    hw, Backend, FaultKind, FaultPlan, Grid, Interconnect, LaunchConfig, Precision, SimDevice,
+    SimGpuError,
+};
+
+/// One launch outcome, reduced to what fault injection may change.
+#[derive(Debug, Clone, PartialEq)]
+enum Outcome {
+    Ok { time_s: f64 },
+    Failed,
+    Timeout,
+}
+
+/// Runs `launches` identical kernels against a fresh device with `plan`
+/// installed and records the outcome sequence.
+fn outcome_sequence(plan: &FaultPlan, device_id: usize, launches: usize) -> Vec<Outcome> {
+    let dev = SimDevice::with_id(hw::A100, Backend::Cuda, device_id);
+    dev.install_fault_plan(plan);
+    let cfg = LaunchConfig::new("k", Grid::one_d(4), Precision::F64);
+    (0..launches)
+        .map(|_| match dev.launch(&cfg, |_, ctx| ctx.add_flops(100)) {
+            Ok(t) => Outcome::Ok {
+                time_s: t.sim_time_s,
+            },
+            Err(SimGpuError::DeviceFailed { .. }) => Outcome::Failed,
+            Err(SimGpuError::TransientTimeout { .. }) => Outcome::Timeout,
+            Err(e) => panic!("unexpected launch error: {e}"),
+        })
+        .collect()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -83,6 +112,109 @@ proptest! {
         prop_assert!(t > 0.0);
         prop_assert!(net.allreduce_time_s(bytes * 2, nodes) > t);
         prop_assert!(net.allreduce_time_s(bytes, nodes + 1) > t);
+    }
+
+    /// Fault injection is deterministic: the same plan against the same
+    /// launch sequence produces the identical outcome sequence, and a
+    /// tripped fail-stop is permanent.
+    #[test]
+    fn fault_outcomes_are_deterministic_and_fail_stop_is_permanent(
+        seed in any::<u64>(),
+        device_id in 0usize..3,
+        launches in 1usize..24,
+    ) {
+        let plan = FaultPlan::seeded(seed, 3, 12);
+        let a = outcome_sequence(&plan, device_id, launches);
+        let b = outcome_sequence(&plan, device_id, launches);
+        prop_assert_eq!(&a, &b);
+        if let Some(first) = a.iter().position(|o| *o == Outcome::Failed) {
+            prop_assert!(
+                a[first..].iter().all(|o| *o == Outcome::Failed),
+                "fail-stop must be permanent: {a:?}"
+            );
+        }
+    }
+
+    /// The seeded generator never fail-stops device 0 and never addresses
+    /// a device outside the context, so every seeded plan is survivable.
+    #[test]
+    fn seeded_plans_are_always_survivable(seed in any::<u64>(), devices in 1usize..6) {
+        let plan = FaultPlan::seeded(seed, devices, 16);
+        prop_assert!(!plan.is_empty());
+        prop_assert!(plan.max_device().is_some_and(|d| d < devices));
+        prop_assert!(plan
+            .events_for(0)
+            .iter()
+            .all(|(_, kind)| *kind != FaultKind::FailStop));
+    }
+
+    /// A transient fault fails exactly `count` consecutive attempts from
+    /// its trigger and leaves every other launch untouched.
+    #[test]
+    fn transient_faults_fail_exactly_count_attempts(
+        at in 0u64..8, count in 1u32..5, launches in 12usize..20,
+    ) {
+        let plan = FaultPlan::new().transient(0, at, count);
+        let seq = outcome_sequence(&plan, 0, launches);
+        for (i, o) in seq.iter().enumerate() {
+            let faulted = (i as u64) >= at && (i as u64) < at + u64::from(count);
+            prop_assert_eq!(
+                matches!(o, Outcome::Timeout),
+                faulted,
+                "attempt {i}: {o:?}"
+            );
+        }
+    }
+
+    /// A slow fault stretches simulated time by its factor without
+    /// changing any logical result, and failed attempts record no
+    /// performance counters.
+    #[test]
+    fn slow_faults_scale_time_only(factor in 1.5..16.0f64) {
+        let nominal = outcome_sequence(&FaultPlan::new(), 0, 1);
+        let slowed = outcome_sequence(&FaultPlan::new().slow(0, 0, factor), 0, 1);
+        let (Outcome::Ok { time_s: t0 }, Outcome::Ok { time_s: t1 }) =
+            (&nominal[0], &slowed[0])
+        else {
+            return Err(TestCaseError::fail("launches must succeed"));
+        };
+        prop_assert!((t1 / t0 - factor).abs() < 1e-9, "{t1} / {t0} vs {factor}");
+
+        // counters: a timed-out attempt must not record flops
+        let dev = SimDevice::with_id(hw::A100, Backend::Cuda, 0);
+        dev.install_fault_plan(&FaultPlan::new().transient(0, 0, 1));
+        let cfg = LaunchConfig::new("k", Grid::one_d(4), Precision::F64);
+        prop_assert!(dev.launch(&cfg, |_, ctx| ctx.add_flops(100)).is_err());
+        prop_assert_eq!(dev.perf_report().total_flops, 0);
+        prop_assert!(dev.launch(&cfg, |_, ctx| ctx.add_flops(100)).is_ok());
+        prop_assert_eq!(dev.perf_report().kernel_launches, 1);
+    }
+}
+
+/// Heavier randomized sweep, gated behind `--features fault-injection`
+/// (adds runtime, no dependencies): hundreds of seeded plans, each checked
+/// for determinism and permanence of fail-stop.
+#[cfg(feature = "fault-injection")]
+#[test]
+fn seeded_fault_plan_stress_sweep() {
+    for seed in 0..400u64 {
+        let devices = 1 + (seed % 5) as usize;
+        let plan = FaultPlan::seeded(seed, devices, 16);
+        assert!(
+            plan.max_device().is_some_and(|d| d < devices),
+            "seed {seed}"
+        );
+        for id in 0..devices {
+            let a = outcome_sequence(&plan, id, 24);
+            let b = outcome_sequence(&plan, id, 24);
+            assert_eq!(a, b, "seed {seed} device {id}");
+            if let Some(first) = a.iter().position(|o| *o == Outcome::Failed) {
+                assert!(
+                    a[first..].iter().all(|o| *o == Outcome::Failed),
+                    "seed {seed} device {id}: {a:?}"
+                );
+            }
+        }
     }
 }
 

@@ -8,7 +8,7 @@
 use proptest::prelude::*;
 
 use plssvm::core::backend::{BackendSelection, Prepared};
-use plssvm::core::cg::{conjugate_gradients, CgConfig, LinOp};
+use plssvm::core::cg::{conjugate_gradients, conjugate_gradients_resume, CgConfig, LinOp};
 use plssvm::core::kernel::kernel_row;
 use plssvm::core::matrix_free::{assemble_q_tilde, bias, full_alpha, reduced_rhs, QTildeParams};
 use plssvm::core::svm::LsSvm;
@@ -182,6 +182,92 @@ proptest! {
         }
         let reparsed = ScalingParams::<f64>::from_range_string(&params.to_range_string()).unwrap();
         prop_assert_eq!(params, reparsed);
+    }
+
+    /// Any seeded fault plan that leaves at least one live device (the
+    /// generator never fail-stops device 0) trains to the same model as
+    /// the fault-free run: recovery restores the computation, it does not
+    /// approximate it.
+    #[test]
+    fn fault_recovery_preserves_model(data in labeled_data(20, 8), devices in 2..5usize, seed in any::<u64>()) {
+        // the backend clamps the device count to the feature count; the
+        // plan must address the devices that actually exist
+        let devices = devices.min(data.features());
+        let backend = BackendSelection::sim_multi_gpu(hw::A100, DeviceApi::Cuda, devices);
+        let clean = LsSvm::new()
+            .with_epsilon(1e-10)
+            .with_backend(backend.clone())
+            .train(&data)
+            .unwrap();
+        let plan = plssvm::simgpu::FaultPlan::seeded(seed, devices, 8);
+        let faulted = LsSvm::new()
+            .with_epsilon(1e-10)
+            .with_backend(backend)
+            .with_fault_plan(plan)
+            .train(&data)
+            .unwrap();
+        prop_assert!(faulted.converged == clean.converged);
+        // shard redistribution reassociates partial sums, so agreement is
+        // to solver tolerance (same bound as feature_split_invariance)
+        let scale = clean.model.rho.abs().max(1.0);
+        prop_assert!(
+            (clean.model.rho - faulted.model.rho).abs() < 1e-5 * scale,
+            "rho {} vs {}", clean.model.rho, faulted.model.rho
+        );
+        let a = plssvm::core::svm::predict_decision_values(&clean.model, &data.x);
+        let b = plssvm::core::svm::predict_decision_values(&faulted.model, &data.x);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-4 * x.abs().max(1.0), "{x} vs {y}");
+        }
+    }
+
+    /// A solve interrupted at an arbitrary iteration and resumed from its
+    /// checkpoint performs the exact arithmetic of an uninterrupted solve:
+    /// bit-identical solution, identical total iteration count.
+    #[test]
+    fn checkpoint_restart_equals_uninterrupted_solve(data in labeled_data(16, 6), c in 0.5..5.0f64, stop in 1..8usize) {
+        let kernel = KernelSpec::Rbf { gamma: 0.5 };
+        let prepared = Prepared::new(&BackendSelection::Serial, &data.x, None, &kernel, c).unwrap();
+        let rhs = reduced_rhs(&data.y);
+        let cfg = CgConfig::with_epsilon(1e-10);
+        let full = conjugate_gradients(&prepared, &rhs, &cfg);
+
+        let interrupted = conjugate_gradients(&prepared, &rhs, &CgConfig {
+            max_iterations: Some(stop),
+            checkpoint_interval: Some(1),
+            ..CgConfig::with_epsilon(1e-10)
+        });
+        let state = interrupted.checkpoint.expect("checkpointing enabled");
+        let resumed = conjugate_gradients_resume(&prepared, &rhs, &cfg, &state);
+        prop_assert_eq!(&resumed.x, &full.x);
+        prop_assert_eq!(resumed.iterations, full.iterations);
+        prop_assert_eq!(resumed.converged, full.converged);
+        prop_assert_eq!(resumed.residual_norm, full.residual_norm);
+    }
+
+    /// The weighted feature split (the failover redistribution primitive)
+    /// covers every feature exactly once, in order, for any positive
+    /// weight vector.
+    #[test]
+    fn weighted_split_covers_every_feature_exactly_once(
+        data in labeled_data(12, 10),
+        weights in proptest::collection::vec(0.1..10.0f64, 1..5),
+    ) {
+        let soa = SoAMatrix::from_dense(&data.x, 4);
+        let parts = soa.split_features_weighted(&weights);
+        prop_assert_eq!(parts.len(), weights.len());
+        let total: usize = parts.iter().map(|p| p.features()).sum();
+        prop_assert_eq!(total, soa.features());
+        let mut start = 0;
+        for part in &parts {
+            prop_assert_eq!(part.points(), soa.points());
+            for f in 0..part.features() {
+                for p in 0..soa.points() {
+                    prop_assert_eq!(part.get(p, f), soa.get(p, start + f));
+                }
+            }
+            start += part.features();
+        }
     }
 
     /// Multi-device linear training equals single-device training.
