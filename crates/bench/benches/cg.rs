@@ -15,7 +15,7 @@ fn bench_cg_backends(c: &mut Criterion) {
     let data = generate_planes::<f64>(&PlanesConfig::new(256, 32, 3)).unwrap();
     for (name, selection) in [
         ("serial", BackendSelection::Serial),
-        ("openmp", BackendSelection::OpenMp { threads: None }),
+        ("openmp", BackendSelection::openmp(None)),
         (
             "simgpu_cuda",
             BackendSelection::sim_gpu(hw::A100, DeviceApi::Cuda),

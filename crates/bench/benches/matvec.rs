@@ -26,7 +26,7 @@ fn bench_matvec(c: &mut Criterion) {
 
     for (name, selection) in [
         ("serial", BackendSelection::Serial),
-        ("openmp", BackendSelection::OpenMp { threads: None }),
+        ("openmp", BackendSelection::openmp(None)),
         (
             "simgpu_cuda",
             BackendSelection::sim_gpu(hw::A100, DeviceApi::Cuda),

@@ -273,7 +273,7 @@ pub fn run(scale: Scale) -> FigureReport {
             .with_epsilon(1e-8)
             .with_sample_weights(weights.clone())
             .with_jacobi_preconditioner(pc)
-            .with_backend(BackendSelection::OpenMp { threads: None })
+            .with_backend(BackendSelection::openmp(None))
     };
     let plain = trainer(false).train(&data).expect("plain CG");
     let pcg = trainer(true).train(&data).expect("PCG");

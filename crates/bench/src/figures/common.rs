@@ -180,7 +180,7 @@ pub fn measured_iterations(points: usize, features: usize, seed: u64) -> usize {
         &data,
         KernelSpec::Linear,
         1e-6,
-        BackendSelection::OpenMp { threads: None },
+        BackendSelection::openmp(None),
     );
     out.iterations
 }

@@ -30,7 +30,7 @@ fn run_once(method: &str, m: usize, d: usize, seed: u64) -> (f64, f64) {
         let out = LsSvm::new()
             .with_kernel(KernelSpec::Linear)
             .with_epsilon(1e-6)
-            .with_backend(BackendSelection::OpenMp { threads: None })
+            .with_backend(BackendSelection::openmp(None))
             .with_metrics(Telemetry::shared())
             .train(&data)
             .unwrap();

@@ -34,7 +34,7 @@ fn cpu_method_time(method: &str, points: usize, features: usize, seed: u64) -> (
                 &data,
                 KernelSpec::Linear,
                 eps,
-                BackendSelection::OpenMp { threads: None },
+                BackendSelection::openmp(None),
             );
             (train_accuracy(&out, &data), out.iterations)
         }

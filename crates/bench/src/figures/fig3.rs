@@ -30,7 +30,7 @@ pub fn run(scale: Scale) -> FigureReport {
             &data,
             KernelSpec::Linear,
             eps,
-            BackendSelection::OpenMp { threads: None },
+            BackendSelection::openmp(None),
         );
         let acc = train_accuracy(&out, &data);
         rows.push((eps, out.iterations, t.as_secs_f64(), acc));

@@ -63,7 +63,7 @@ pub fn run_fig4a(scale: Scale) -> FigureReport {
             &data,
             KernelSpec::Linear,
             1e-6,
-            BackendSelection::OpenMp { threads: Some(t) },
+            BackendSelection::openmp(Some(t)),
         );
         let ct = out.times.cg.as_secs_f64();
         if t == 1 {

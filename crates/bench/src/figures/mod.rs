@@ -12,6 +12,7 @@
 pub mod ablation;
 pub mod common;
 pub mod cov;
+pub mod cpu_tiling;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
@@ -40,6 +41,7 @@ pub const ALL_IDS: &[&str] = &[
     "profiling",
     "cov",
     "ablation",
+    "ablation_cpu_tiling",
     "multinode",
     "precision",
 ];
@@ -61,6 +63,7 @@ pub fn run(id: &str, scale: Scale) -> Option<FigureReport> {
         "profiling" => profiling::run(scale),
         "cov" => cov::run(scale),
         "ablation" => ablation::run(scale),
+        "ablation_cpu_tiling" => cpu_tiling::run(scale),
         "multinode" => multinode::run(scale),
         "precision" => precision::run(scale),
         _ => return None,

@@ -46,7 +46,7 @@ pub fn run(scale: Scale) -> FigureReport {
     let ls = LsSvm::new()
         .with_kernel(kernel)
         .with_epsilon(1e-6)
-        .with_backend(BackendSelection::OpenMp { threads: None })
+        .with_backend(BackendSelection::openmp(None))
         .train(&train)
         .expect("lssvm training");
     let t_ls = t0.elapsed().as_secs_f64();

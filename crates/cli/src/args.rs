@@ -4,6 +4,7 @@ use std::fmt;
 
 use plssvm_core::backend::simgpu::TilingConfig;
 use plssvm_core::backend::BackendSelection;
+use plssvm_core::backend::CpuTilingConfig;
 use plssvm_data::model::KernelSpec;
 use plssvm_simgpu::hw;
 use plssvm_simgpu::Backend as DeviceApi;
@@ -136,6 +137,7 @@ pub fn parse_train(args: &[String]) -> Result<TrainArgs, CliError> {
     let mut devices = 1usize;
     let mut row_split = false;
     let mut threads: Option<usize> = None;
+    let mut cpu_tile: Option<CpuTilingConfig> = None;
     let mut hardware = "a100".to_owned();
     let mut positional = Vec::new();
 
@@ -187,6 +189,7 @@ pub fn parse_train(args: &[String]) -> Result<TrainArgs, CliError> {
             "-b" | "--backend" => backend_name = take("--backend")?,
             "-n" | "--devices" => devices = parse_num(&take("--devices")?, "--devices")?,
             "-T" | "--threads" => threads = Some(parse_num(&take("--threads")?, "--threads")?),
+            "--cpu-tile" => cpu_tile = Some(parse_cpu_tile(&take("--cpu-tile")?)?),
             "--metrics-out" => out.metrics_out = Some(take("--metrics-out")?),
             "--fault-plan" => fault_spec = Some(take("--fault-plan")?),
             "--checkpoint-every" => {
@@ -245,9 +248,15 @@ pub fn parse_train(args: &[String]) -> Result<TrainArgs, CliError> {
         return Err(err("-q and --verbose are mutually exclusive"));
     }
 
+    if cpu_tile.is_some() && backend_name != "openmp" {
+        return Err(err("--cpu-tile requires --backend openmp"));
+    }
     out.backend = match backend_name.as_str() {
         "serial" => BackendSelection::Serial,
-        "openmp" => BackendSelection::OpenMp { threads },
+        "openmp" => BackendSelection::OpenMp {
+            threads,
+            tiling: cpu_tile.unwrap_or_default(),
+        },
         "sparse" => BackendSelection::SparseCpu { threads },
         api @ ("cuda" | "opencl" | "sycl" | "dpcpp") => {
             let api = match api {
@@ -536,6 +545,30 @@ fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, CliError> {
         .map_err(|_| err(format!("invalid value '{s}' for {flag}")))
 }
 
+/// Parses the `--cpu-tile` spec: `R` (square tile), `RxC`, with an optional
+/// `,nosym` suffix that disables the symmetric schedule.
+fn parse_cpu_tile(spec: &str) -> Result<CpuTilingConfig, CliError> {
+    let (dims, symmetry) = match spec.strip_suffix(",nosym") {
+        Some(rest) => (rest, false),
+        None => (spec, true),
+    };
+    let (row, col) = match dims.split_once('x') {
+        Some((r, c)) => (
+            parse_num::<usize>(r, "--cpu-tile")?,
+            parse_num::<usize>(c, "--cpu-tile")?,
+        ),
+        None => {
+            let r = parse_num::<usize>(dims, "--cpu-tile")?;
+            (r, r)
+        }
+    };
+    let tiling = CpuTilingConfig::new(row, col).with_symmetry(symmetry);
+    tiling
+        .validate()
+        .map_err(|e| err(format!("invalid --cpu-tile '{spec}': {e}")))?;
+    Ok(tiling)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -555,7 +588,7 @@ mod tests {
         assert_eq!(a.model, "data.txt.model");
         assert!(matches!(
             a.backend,
-            BackendSelection::OpenMp { threads: None }
+            BackendSelection::OpenMp { threads: None, .. }
         ));
     }
 
@@ -607,10 +640,49 @@ mod tests {
         let a = parse_train(&sv(&["--backend", "openmp", "-T", "8", "x.dat"])).unwrap();
         assert!(matches!(
             a.backend,
-            BackendSelection::OpenMp { threads: Some(8) }
+            BackendSelection::OpenMp {
+                threads: Some(8),
+                ..
+            }
         ));
         let a = parse_train(&sv(&["--backend", "serial", "x.dat"])).unwrap();
         assert!(matches!(a.backend, BackendSelection::Serial));
+    }
+
+    #[test]
+    fn train_cpu_tile() {
+        let a = parse_train(&sv(&["--cpu-tile", "32", "x.dat"])).unwrap();
+        match a.backend {
+            BackendSelection::OpenMp { tiling, .. } => {
+                assert_eq!(tiling, CpuTilingConfig::new(32, 32));
+            }
+            other => panic!("{other:?}"),
+        }
+
+        let a = parse_train(&sv(&["--cpu-tile", "64x32,nosym", "x.dat"])).unwrap();
+        match a.backend {
+            BackendSelection::OpenMp { tiling, .. } => {
+                assert_eq!(tiling, CpuTilingConfig::new(64, 32).with_symmetry(false));
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // Default when the flag is absent.
+        let a = parse_train(&sv(&["x.dat"])).unwrap();
+        match a.backend {
+            BackendSelection::OpenMp { tiling, .. } => {
+                assert_eq!(tiling, CpuTilingConfig::default());
+            }
+            other => panic!("{other:?}"),
+        }
+
+        assert!(parse_train(&sv(&["--cpu-tile", "0", "x.dat"])).is_err());
+        assert!(parse_train(&sv(&["--cpu-tile", "64x", "x.dat"])).is_err());
+        assert!(parse_train(&sv(&["--cpu-tile", "banana", "x.dat"])).is_err());
+        assert!(
+            parse_train(&sv(&["--backend", "serial", "--cpu-tile", "32", "x.dat"])).is_err(),
+            "--cpu-tile must be rejected for non-openmp backends"
+        );
     }
 
     #[test]

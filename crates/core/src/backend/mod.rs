@@ -8,8 +8,9 @@
 //!   for tests),
 //! * [`parallel`] — the "OpenMP" CPU backend: multi-threaded via a rayon
 //!   pool with a configurable thread count (used for the paper's many-core
-//!   scaling study, Fig. 4a). Like the paper's OpenMP backend it is
-//!   deliberately less tuned than the device backends,
+//!   scaling study, Fig. 4a). Runs on the blocked, register-tiled matvec
+//!   engine of [`cpu_blocked`] with symmetry exploitation, so it performs
+//!   the same `n(n+1)/2` kernel evaluations as the serial reference,
 //! * [`simgpu`] — the device backend: the paper's tiled GPU kernels
 //!   (blocking, `q⃗` caching, block-level/thread-level tiling, triangular
 //!   scheduling with atomic mirroring, §III-C) executed on the simulated
@@ -21,10 +22,13 @@
 //! reassociation); they differ in how the work is executed and what gets
 //! counted.
 
+pub mod cpu_blocked;
 pub mod parallel;
 pub mod serial;
 pub mod simgpu;
 pub mod sparse;
+
+pub use cpu_blocked::CpuTilingConfig;
 
 use std::sync::Arc;
 
@@ -49,6 +53,8 @@ pub enum BackendSelection {
     OpenMp {
         /// Number of worker threads; `None` = all logical cores.
         threads: Option<usize>,
+        /// Cache-tile sizes and schedule of the blocked matvec engine.
+        tiling: CpuTilingConfig,
     },
     /// Sparse (CSR) CPU backend — the §V "sparse data structures for the
     /// CG solver" extension. `threads = None` uses all available cores.
@@ -98,11 +104,19 @@ pub enum BackendSelection {
 
 impl Default for BackendSelection {
     fn default() -> Self {
-        BackendSelection::OpenMp { threads: None }
+        BackendSelection::openmp(None)
     }
 }
 
 impl BackendSelection {
+    /// The "OpenMP" CPU backend with default tiling.
+    pub fn openmp(threads: Option<usize>) -> Self {
+        BackendSelection::OpenMp {
+            threads,
+            tiling: CpuTilingConfig::default(),
+        }
+    }
+
     /// A single simulated device with default tiling — the configuration
     /// of the paper's single-GPU experiments (A100 + CUDA).
     pub fn sim_gpu(hardware: GpuSpec, api: DeviceApi) -> Self {
@@ -153,8 +167,10 @@ impl BackendSelection {
     pub fn name(&self) -> String {
         match self {
             BackendSelection::Serial => "serial".to_owned(),
-            BackendSelection::OpenMp { threads: None } => "openmp".to_owned(),
-            BackendSelection::OpenMp { threads: Some(t) } => format!("openmp[{t}]"),
+            BackendSelection::OpenMp { threads: None, .. } => "openmp".to_owned(),
+            BackendSelection::OpenMp {
+                threads: Some(t), ..
+            } => format!("openmp[{t}]"),
             BackendSelection::SparseCpu { threads: None } => "sparse".to_owned(),
             BackendSelection::SparseCpu { threads: Some(t) } => format!("sparse[{t}]"),
             BackendSelection::SimGpu {
@@ -281,6 +297,15 @@ impl<T: AtomicScalar> Prepared<T> {
                 "training needs at least two data points".into(),
             ));
         }
+        // Reject zero-feature data here rather than letting `default_gamma`
+        // silently clamp `num_features = 0` to 1 downstream.
+        if dense.cols() == 0 {
+            return Err(SvmError::Solver(
+                "training data has zero features; every point needs at \
+                 least one feature"
+                    .into(),
+            ));
+        }
         // the negated comparison deliberately rejects NaN as well
         #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !(cost.to_f64() > 0.0) {
@@ -294,8 +319,14 @@ impl<T: AtomicScalar> Prepared<T> {
                 let params = b.params().clone();
                 (PreparedImpl::Serial(b), params)
             }
-            BackendSelection::OpenMp { threads } => {
-                let b = parallel::ParallelBackend::new(dense.clone(), *kernel, cost, *threads)?;
+            BackendSelection::OpenMp { threads, tiling } => {
+                let b = parallel::ParallelBackend::new(
+                    dense.clone(),
+                    *kernel,
+                    cost,
+                    *threads,
+                    *tiling,
+                )?;
                 let params = b.params().clone();
                 (PreparedImpl::Parallel(b), params)
             }
@@ -405,9 +436,13 @@ impl<T: AtomicScalar> Prepared<T> {
     /// The CPU backends record the *logical* cost of each launch (every
     /// `K·v` entry evaluated once — see [`crate::trace`] for the counting
     /// convention), so this call also retroactively records the one
-    /// `q_kernel` setup launch they performed in [`Prepared::new`]. The
-    /// device backend counts its real tiled launches on-device instead;
-    /// fold them in at the end of a run with [`DeviceReport::fold_into`].
+    /// `q_kernel` setup launch they performed in [`Prepared::new`]. On top
+    /// of the logical counters they report the *physical* kernel
+    /// evaluations each matvec actually performs (which the symmetric
+    /// schedules halve) through
+    /// [`MetricsSink::record_kernel_evals`]. The device backend counts its
+    /// real tiled launches on-device instead; fold them in at the end of a
+    /// run with [`DeviceReport::fold_into`].
     pub fn set_metrics(&mut self, sink: Arc<dyn MetricsSink>) {
         if self.is_cpu() {
             let (flops, bytes) = self.q_kernel_cost();
@@ -418,6 +453,20 @@ impl<T: AtomicScalar> Prepared<T> {
 
     fn is_cpu(&self) -> bool {
         !matches!(self.imp, PreparedImpl::SimGpu(_))
+    }
+
+    /// *Physical* kernel evaluations one matvec performs on this backend:
+    /// `n(n+1)/2` for the symmetric CPU schedules, `n²` for the full row
+    /// sweep of the sparse backend. Device backends count their own tiled
+    /// launches instead (see [`DeviceReport`]).
+    fn matvec_evals(&self) -> Option<u128> {
+        let n = self.params.dim() as u128;
+        match &self.imp {
+            PreparedImpl::Serial(_) => Some(n * (n + 1) / 2),
+            PreparedImpl::Parallel(b) => Some(b.matvec_evals()),
+            PreparedImpl::Sparse(_) => Some(n * n),
+            PreparedImpl::SimGpu(_) => None,
+        }
     }
 
     /// Logical cost of the `q⃗` setup pass: `m` kernel evaluations
@@ -571,6 +620,9 @@ impl<T: AtomicScalar> LinOp<T> for Prepared<T> {
             if let Some(sink) = &self.metrics {
                 let (flops, bytes) = self.matvec_cost();
                 sink.record_launch("svm_kernel", 1, flops, bytes, 0.0);
+                if let Some(evals) = self.matvec_evals() {
+                    sink.record_kernel_evals("svm_kernel", evals);
+                }
             }
         }
     }
@@ -591,8 +643,12 @@ mod tests {
     fn all_selections() -> Vec<BackendSelection> {
         vec![
             BackendSelection::Serial,
-            BackendSelection::OpenMp { threads: Some(2) },
-            BackendSelection::OpenMp { threads: None },
+            BackendSelection::openmp(Some(2)),
+            BackendSelection::openmp(None),
+            BackendSelection::OpenMp {
+                threads: Some(2),
+                tiling: CpuTilingConfig::new(8, 8).with_symmetry(false),
+            },
             BackendSelection::SparseCpu { threads: Some(2) },
             BackendSelection::sim_gpu(hw::A100, DeviceApi::Cuda),
             BackendSelection::sim_multi_gpu(hw::A100, DeviceApi::Cuda, 3),
@@ -650,7 +706,7 @@ mod tests {
                 out
             };
             for sel in [
-                BackendSelection::OpenMp { threads: Some(3) },
+                BackendSelection::openmp(Some(3)),
                 BackendSelection::sim_gpu(hw::V100, DeviceApi::OpenCl),
             ] {
                 let p = Prepared::new(&sel, &data, None, &kernel, 2.0).unwrap();
@@ -719,6 +775,59 @@ mod tests {
     }
 
     #[test]
+    fn zero_feature_data_rejected_by_every_backend() {
+        // each point exists but carries no features; `default_gamma` would
+        // silently clamp 1/num_features — construction must refuse instead
+        let empty = DenseMatrix::<f64>::zeros(3, 0);
+        for sel in all_selections() {
+            let err = Prepared::new(&sel, &empty, None, &KernelSpec::Linear, 1.0).unwrap_err();
+            assert!(
+                err.to_string().contains("zero features"),
+                "{}: {err}",
+                sel.name()
+            );
+        }
+    }
+
+    #[test]
+    fn cpu_backends_report_physical_kernel_evals() {
+        use crate::trace::Telemetry;
+        let (data, _) = sample_dense(20, 6);
+        let n = (data.rows() - 1) as u128;
+        let v: Vec<f64> = (0..data.rows() - 1)
+            .map(|i| (i as f64 * 0.2).sin())
+            .collect();
+        let expect = |sel: &BackendSelection| match sel {
+            BackendSelection::SparseCpu { .. } => n * n,
+            BackendSelection::OpenMp { tiling, .. } if !tiling.symmetry => n * n,
+            _ => n * (n + 1) / 2,
+        };
+        for sel in [
+            BackendSelection::Serial,
+            BackendSelection::openmp(Some(2)),
+            BackendSelection::OpenMp {
+                threads: Some(2),
+                tiling: CpuTilingConfig::default().with_symmetry(false),
+            },
+            BackendSelection::SparseCpu { threads: Some(2) },
+        ] {
+            let mut p = Prepared::new(&sel, &data, None, &KernelSpec::Linear, 1.0).unwrap();
+            let t = Telemetry::shared();
+            p.set_metrics(t.clone());
+            let mut out = vec![0.0; data.rows() - 1];
+            p.apply(&v, &mut out);
+            p.apply(&v, &mut out);
+            let r = t.report();
+            assert_eq!(
+                r.kernel_evals["svm_kernel"],
+                2 * expect(&sel),
+                "{}",
+                sel.name()
+            );
+        }
+    }
+
+    #[test]
     fn device_report_only_for_device_backends() {
         let (data, _) = sample_dense(10, 3);
         let p = Prepared::new(
@@ -750,7 +859,7 @@ mod tests {
         let mut reports = Vec::new();
         for sel in [
             BackendSelection::Serial,
-            BackendSelection::OpenMp { threads: Some(2) },
+            BackendSelection::openmp(Some(2)),
             BackendSelection::SparseCpu { threads: Some(2) },
         ] {
             let mut p = Prepared::new(&sel, &data, None, &KernelSpec::Linear, 1.5).unwrap();
@@ -802,10 +911,8 @@ mod tests {
     #[test]
     fn selection_names() {
         assert_eq!(BackendSelection::Serial.name(), "serial");
-        assert_eq!(
-            BackendSelection::OpenMp { threads: Some(8) }.name(),
-            "openmp[8]"
-        );
+        assert_eq!(BackendSelection::openmp(Some(8)).name(), "openmp[8]");
+        assert_eq!(BackendSelection::openmp(None).name(), "openmp");
         let n = BackendSelection::sim_multi_gpu(hw::A100, DeviceApi::Cuda, 4).name();
         assert!(n.contains("4x") && n.contains("A100"), "{n}");
     }

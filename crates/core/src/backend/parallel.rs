@@ -1,18 +1,27 @@
 //! The multi-threaded "OpenMP" CPU backend.
 //!
-//! Parallelizes the implicit kernel matvec over row blocks on a rayon
-//! thread pool with a configurable thread count (the paper's Fig. 4a
+//! Parallelizes the blocked implicit kernel matvec of
+//! [`crate::backend::cpu_blocked`] over tile-row groups on a rayon thread
+//! pool with a configurable thread count (the paper's Fig. 4a
 //! strong-scaling study sweeps 1…256 OpenMP threads). Works on the
 //! untransformed row-major layout like the paper's CPU path — the SoA
 //! transform is a GPU-backend concern (§IV-E).
 //!
-//! Faithful to the paper, this backend is *simpler* than the device
-//! backend: each thread computes complete rows (no triangular mirroring —
-//! that would require synchronization on `out`), so it performs twice the
-//! kernel evaluations of the serial backend. The paper notes "the CPU only
-//! OpenMP implementation is currently not as well optimized as the GPU
-//! implementations", and its measured CPU/GPU gap (§IV-C) reflects exactly
-//! this kind of cost. Rows are still processed in cache-friendly blocks.
+//! Unlike the original scalar row sweep (which evaluated the full `n²`
+//! matrix because triangular mirroring would have required synchronization
+//! on `out`), this backend exploits symmetry in parallel: each task owns a
+//! strided set of upper-triangle tile rows and accumulates both the direct
+//! and the mirrored contribution into a **private partial output buffer**;
+//! the buffers are then reduced in a fixed order. Kernel evaluations drop
+//! from `n²` to `n(n+1)/2` — the same count as the serial reference — and
+//! because the task decomposition depends only on `n` and the
+//! [`CpuTilingConfig`] (never on the thread count), results are bitwise
+//! independent of the number of worker threads.
+//!
+//! The cache/register tiling itself (panel micro-kernel, cache blocks,
+//! boundary clamping) is shared with the serial backend; see
+//! [`crate::backend::cpu_blocked`] for the schedule and its boundary
+//! guarantees.
 
 use rayon::prelude::*;
 
@@ -20,13 +29,9 @@ use plssvm_data::dense::DenseMatrix;
 use plssvm_data::model::KernelSpec;
 use plssvm_data::Real;
 
+use crate::backend::cpu_blocked::{full_rows_matvec, symmetric_group_matvec, CpuTilingConfig};
 use crate::error::SvmError;
-use crate::kernel::kernel_row;
 use crate::matrix_free::QTildeParams;
-
-/// Row-block granularity: each parallel task computes this many output
-/// rows.
-const ROW_BLOCK: usize = 32;
 
 /// The multi-threaded CPU backend.
 pub struct ParallelBackend<T> {
@@ -34,18 +39,22 @@ pub struct ParallelBackend<T> {
     kernel: KernelSpec<T>,
     params: QTildeParams<T>,
     pool: Option<rayon::ThreadPool>,
+    tiling: CpuTilingConfig,
 }
 
 impl<T: Real> ParallelBackend<T> {
     /// Prepares the backend. `threads = None` shares the global rayon
     /// pool; `Some(t)` builds a dedicated pool with exactly `t` workers
-    /// (the "number of OpenMP threads").
+    /// (the "number of OpenMP threads"). `tiling` selects the cache-tile
+    /// sizes and the symmetric schedule of the blocked matvec engine.
     pub fn new(
         data: DenseMatrix<T>,
         kernel: KernelSpec<T>,
         cost: T,
         threads: Option<usize>,
+        tiling: CpuTilingConfig,
     ) -> Result<Self, SvmError> {
+        tiling.validate()?;
         let pool = match threads {
             None => None,
             Some(0) => return Err(SvmError::Solver("thread count must be at least 1".into())),
@@ -62,6 +71,7 @@ impl<T: Real> ParallelBackend<T> {
             kernel,
             params,
             pool,
+            tiling,
         })
     }
 
@@ -75,6 +85,11 @@ impl<T: Real> ParallelBackend<T> {
         &self.data
     }
 
+    /// The active tiling configuration.
+    pub fn tiling(&self) -> &CpuTilingConfig {
+        &self.tiling
+    }
+
     /// Number of worker threads this backend computes with.
     pub fn threads(&self) -> usize {
         self.pool
@@ -83,33 +98,62 @@ impl<T: Real> ParallelBackend<T> {
             .unwrap_or_else(rayon::current_num_threads)
     }
 
-    /// `out = K·v` over the first `m−1` points, parallel over row blocks.
+    /// `out = K·v` over the first `m−1` points, parallel over tile-row
+    /// groups (symmetric schedule) or row chunks (full schedule).
     pub fn kernel_matvec(&self, v: &[T], out: &mut [T]) {
         let n = self.params.dim();
         debug_assert_eq!(v.len(), n);
         debug_assert_eq!(out.len(), n);
         let data = &self.data;
         let kernel = &self.kernel;
+        let cfg = &self.tiling;
 
-        let work = |out: &mut [T]| {
-            out.par_chunks_mut(ROW_BLOCK)
-                .enumerate()
-                .for_each(|(block, chunk)| {
-                    let i0 = block * ROW_BLOCK;
-                    for (di, slot) in chunk.iter_mut().enumerate() {
-                        let row_i = data.row(i0 + di);
-                        let mut acc = T::ZERO;
-                        for (j, &vj) in v.iter().enumerate() {
-                            acc = kernel_row(kernel, row_i, data.row(j)).mul_add(vj, acc);
-                        }
-                        *slot = acc;
-                    }
-                });
-        };
-        match &self.pool {
-            Some(pool) => pool.install(|| work(out)),
-            None => work(out),
+        if cfg.symmetry {
+            let groups = cfg.partial_groups(n);
+            let work = || -> Vec<Vec<T>> {
+                (0..groups)
+                    .into_par_iter()
+                    .map(|g| {
+                        let mut partial = vec![T::ZERO; n];
+                        symmetric_group_matvec(data, kernel, cfg, n, v, g, groups, &mut partial);
+                        partial
+                    })
+                    .collect()
+            };
+            let partials = match &self.pool {
+                Some(pool) => pool.install(work),
+                None => work(),
+            };
+            // fixed-order reduction: group count and order depend only on
+            // n and the tiling, so the sum is thread-count independent
+            out.fill(T::ZERO);
+            for partial in &partials {
+                for (o, p) in out.iter_mut().zip(partial) {
+                    *o += *p;
+                }
+            }
+        } else {
+            // full sweep: each task owns complete output rows, no partial
+            // buffers needed. The chunking clamps the final chunk, so n
+            // off a row_tile multiple (or n = 1) is handled explicitly.
+            let work = |out: &mut [T]| {
+                out.par_chunks_mut(cfg.row_tile)
+                    .enumerate()
+                    .for_each(|(block, chunk)| {
+                        full_rows_matvec(data, kernel, cfg, n, v, block * cfg.row_tile, chunk);
+                    });
+            };
+            match &self.pool {
+                Some(pool) => pool.install(|| work(out)),
+                None => work(out),
+            }
         }
+    }
+
+    /// Kernel evaluations one [`ParallelBackend::kernel_matvec`] performs
+    /// under the active schedule.
+    pub fn matvec_evals(&self) -> u128 {
+        self.tiling.matvec_evals(self.params.dim())
     }
 }
 
@@ -117,6 +161,7 @@ impl<T: Real> ParallelBackend<T> {
 mod tests {
     use super::*;
     use crate::backend::serial::SerialBackend;
+    use crate::kernel::kernel_row;
     use plssvm_data::synthetic::{generate_planes, PlanesConfig};
 
     fn sample(points: usize) -> DenseMatrix<f64> {
@@ -125,12 +170,23 @@ mod tests {
             .x
     }
 
+    fn default_backend(data: &DenseMatrix<f64>, kernel: KernelSpec<f64>) -> ParallelBackend<f64> {
+        ParallelBackend::new(
+            data.clone(),
+            kernel,
+            1.0,
+            Some(4),
+            CpuTilingConfig::default(),
+        )
+        .unwrap()
+    }
+
     #[test]
     fn matches_serial_backend() {
-        let data = sample(70); // spans multiple row blocks
+        let data = sample(70); // spans multiple cache tiles
         for kernel in [KernelSpec::Linear, KernelSpec::Rbf { gamma: 0.4 }] {
             let serial = SerialBackend::new(data.clone(), kernel, 1.0);
-            let par = ParallelBackend::new(data.clone(), kernel, 1.0, Some(4)).unwrap();
+            let par = default_backend(&data, kernel);
             let n = serial.params().dim();
             let v: Vec<f64> = (0..n).map(|i| ((i * 3) as f64 * 0.05).sin()).collect();
             let mut a = vec![0.0; n];
@@ -149,32 +205,124 @@ mod tests {
         let kernel = KernelSpec::Linear;
         let n = data.rows() - 1;
         let v: Vec<f64> = (0..n).map(|i| 1.0 / (i + 1) as f64).collect();
-        let mut reference = vec![0.0; n];
-        ParallelBackend::new(data.clone(), kernel, 1.0, Some(1))
-            .unwrap()
-            .kernel_matvec(&v, &mut reference);
-        for t in [2, 3, 8] {
-            let mut out = vec![0.0; n];
-            ParallelBackend::new(data.clone(), kernel, 1.0, Some(t))
+        for cfg in [
+            CpuTilingConfig::default(),
+            CpuTilingConfig::new(8, 8),
+            CpuTilingConfig::default().with_symmetry(false),
+        ] {
+            let mut reference = vec![0.0; n];
+            ParallelBackend::new(data.clone(), kernel, 1.0, Some(1), cfg)
                 .unwrap()
-                .kernel_matvec(&v, &mut out);
-            // per-row sums are computed identically regardless of threads
-            assert_eq!(out, reference, "{t} threads");
+                .kernel_matvec(&v, &mut reference);
+            for t in [2, 3, 8] {
+                let mut out = vec![0.0; n];
+                ParallelBackend::new(data.clone(), kernel, 1.0, Some(t), cfg)
+                    .unwrap()
+                    .kernel_matvec(&v, &mut out);
+                // the task decomposition (and the reduction order) depends
+                // only on n and the tiling, never on the thread count
+                assert_eq!(out, reference, "{t} threads {cfg:?}");
+            }
+        }
+    }
+
+    /// Boundary audit (issue satellite): the blocked engine must clamp the
+    /// final partial tile correctly for every awkward `n` — a single row,
+    /// one off the tile size in both directions, and a prime that divides
+    /// nothing. Checked against a naive full sweep for both schedules.
+    #[test]
+    fn boundary_sizes_match_naive_reference() {
+        let tile = 8usize;
+        let cfg = CpuTilingConfig::new(tile, tile);
+        for n in [1usize, tile - 1, tile + 1, 37] {
+            let data = sample(n + 1); // backend dimension is rows − 1
+            let v: Vec<f64> = (0..n).map(|i| ((i + 1) as f64 * 0.23).cos()).collect();
+            let kernel = KernelSpec::Rbf { gamma: 0.35 };
+            let mut naive = vec![0.0; n];
+            for (i, slot) in naive.iter_mut().enumerate() {
+                for (j, &vj) in v.iter().enumerate() {
+                    *slot += kernel_row(&kernel, data.row(i), data.row(j)) * vj;
+                }
+            }
+            for cfg in [cfg, cfg.with_symmetry(false)] {
+                let b = ParallelBackend::new(data.clone(), kernel, 1.0, Some(2), cfg).unwrap();
+                let mut out = vec![0.0; n];
+                b.kernel_matvec(&v, &mut out);
+                for i in 0..n {
+                    assert!(
+                        (out[i] - naive[i]).abs() < 1e-9,
+                        "n={n} {cfg:?} row {i}: {} vs {}",
+                        out[i],
+                        naive[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_and_full_schedules_agree() {
+        let data = sample(55);
+        let n = data.rows() - 1;
+        let v: Vec<f64> = (0..n).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+        let kernel = KernelSpec::Polynomial {
+            degree: 3,
+            gamma: 0.2,
+            coef0: 1.0,
+        };
+        let sym = default_backend(&data, kernel);
+        let full = ParallelBackend::new(
+            data.clone(),
+            kernel,
+            1.0,
+            Some(2),
+            CpuTilingConfig::default().with_symmetry(false),
+        )
+        .unwrap();
+        assert!(sym.matvec_evals() < full.matvec_evals());
+        let mut a = vec![0.0; n];
+        let mut b = vec![0.0; n];
+        sym.kernel_matvec(&v, &mut a);
+        full.kernel_matvec(&v, &mut b);
+        for i in 0..n {
+            assert!((a[i] - b[i]).abs() < 1e-9, "row {i}");
         }
     }
 
     #[test]
     fn thread_count_reported() {
         let data = sample(10);
-        let b = ParallelBackend::new(data.clone(), KernelSpec::Linear, 1.0, Some(3)).unwrap();
-        assert_eq!(b.threads(), 3);
-        let b = ParallelBackend::new(data, KernelSpec::Linear, 1.0, None).unwrap();
+        let b = default_backend(&data, KernelSpec::Linear);
+        assert_eq!(b.threads(), 4);
+        let b = ParallelBackend::new(
+            data,
+            KernelSpec::Linear,
+            1.0,
+            None,
+            CpuTilingConfig::default(),
+        )
+        .unwrap();
         assert!(b.threads() >= 1);
     }
 
     #[test]
-    fn zero_threads_rejected() {
+    fn zero_threads_and_zero_tiles_rejected() {
         let data = sample(10);
-        assert!(ParallelBackend::new(data, KernelSpec::Linear, 1.0, Some(0)).is_err());
+        assert!(ParallelBackend::new(
+            data.clone(),
+            KernelSpec::Linear,
+            1.0,
+            Some(0),
+            CpuTilingConfig::default()
+        )
+        .is_err());
+        assert!(ParallelBackend::new(
+            data,
+            KernelSpec::Linear,
+            1.0,
+            Some(1),
+            CpuTilingConfig::new(0, 8)
+        )
+        .is_err());
     }
 }

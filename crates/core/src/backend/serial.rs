@@ -1,10 +1,14 @@
 //! Single-threaded reference backend.
 //!
 //! Computes the implicit kernel matrix–vector product exactly as written in
-//! the paper's equations, one entry at a time, exploiting symmetry (each
-//! off-diagonal entry is evaluated once and used for both `out[i]` and
-//! `out[j]`). This is the ground truth the parallel and device backends are
-//! tested against.
+//! the paper's equations, exploiting symmetry (each off-diagonal entry is
+//! evaluated once and used for both `out[i]` and `out[j]`). This is the
+//! ground truth the parallel and device backends are tested against. The
+//! inner loops run on the blocked panel micro-kernel of
+//! [`crate::backend::cpu_blocked`] with the default [`CpuTilingConfig`], so
+//! even the reference is register-tiled and auto-vectorizable — only the
+//! sequential, single-buffer schedule distinguishes it from the "OpenMP"
+//! backend.
 //!
 //! Like the paper's CPU path, this backend works on the untransformed
 //! row-major layout — the SoA transform exists for GPU memory coalescing
@@ -14,7 +18,7 @@ use plssvm_data::dense::DenseMatrix;
 use plssvm_data::model::KernelSpec;
 use plssvm_data::Real;
 
-use crate::kernel::kernel_row;
+use crate::backend::cpu_blocked::{symmetric_group_matvec, CpuTilingConfig};
 use crate::matrix_free::QTildeParams;
 
 /// The serial CPU backend.
@@ -45,24 +49,16 @@ impl<T: Real> SerialBackend<T> {
         &self.data
     }
 
-    /// `out = K·v` with `Kᵢⱼ = k(xᵢ,xⱼ)` over the first `m−1` points.
+    /// `out = K·v` with `Kᵢⱼ = k(xᵢ,xⱼ)` over the first `m−1` points:
+    /// the blocked symmetric schedule run sequentially as a single group,
+    /// accumulating straight into `out`.
     pub fn kernel_matvec(&self, v: &[T], out: &mut [T]) {
         let n = self.params.dim();
         debug_assert_eq!(v.len(), n);
         debug_assert_eq!(out.len(), n);
         out.fill(T::ZERO);
-        for i in 0..n {
-            let row_i = self.data.row(i);
-            // diagonal
-            let kii = kernel_row(&self.kernel, row_i, row_i);
-            out[i] = kii.mul_add(v[i], out[i]);
-            // strict upper triangle, mirrored
-            for j in (i + 1)..n {
-                let k = kernel_row(&self.kernel, row_i, self.data.row(j));
-                out[i] = k.mul_add(v[j], out[i]);
-                out[j] = k.mul_add(v[i], out[j]);
-            }
-        }
+        let cfg = CpuTilingConfig::default();
+        symmetric_group_matvec(&self.data, &self.kernel, &cfg, n, v, 0, 1, out);
     }
 }
 
@@ -71,6 +67,7 @@ impl<T: Real> SerialBackend<T> {
 #[allow(clippy::needless_range_loop)]
 mod tests {
     use super::*;
+    use crate::kernel::kernel_row;
     use plssvm_data::synthetic::{generate_planes, PlanesConfig};
 
     fn backend(kernel: KernelSpec<f64>) -> SerialBackend<f64> {

@@ -18,6 +18,11 @@ use plssvm_data::model::KernelSpec;
 use plssvm_data::Real;
 
 /// LIBSVM's default `γ = 1 / num_features`.
+///
+/// Zero-feature data is rejected at backend construction
+/// ([`crate::backend::Prepared::new`]), so the `max(1)` clamp here is a
+/// belt-and-braces guard against division by zero, never a silent
+/// reinterpretation of real training data.
 pub fn default_gamma<T: Real>(num_features: usize) -> T {
     T::ONE / T::from_usize(num_features.max(1))
 }
@@ -93,6 +98,127 @@ pub fn finish_inner_product<T: Real>(spec: &KernelSpec<T>, ip: T) -> T {
         KernelSpec::Sigmoid { gamma, coef0 } => gamma.mul_add(ip, coef0).tanh(),
         KernelSpec::Rbf { .. } => {
             unreachable!("the RBF kernel is not an inner-product kernel")
+        }
+    }
+}
+
+/// Register micro-tile height of the panel evaluators: how many `i` rows
+/// one [`kernel_panel`] call covers.
+pub const PANEL_MR: usize = 4;
+
+/// Register micro-tile width of the panel evaluators: how many `j` rows
+/// one [`kernel_panel`] call covers.
+pub const PANEL_NR: usize = 4;
+
+/// One `PANEL_MR×PANEL_NR` block of kernel (or inner-product) values.
+/// Entries beyond the active `ra.len()×rb.len()` sub-block are
+/// unspecified filler and must not be read.
+pub type Panel<T> = [[T; PANEL_NR]; PANEL_MR];
+
+/// GEMM-style panel inner products: `out[a][b] = ⟨ra[a], rb[b]⟩` for up to
+/// [`PANEL_MR`]×[`PANEL_NR`] row pairs in a single pass over the features.
+///
+/// The full-tile fast path keeps all `MR·NR` accumulators live across the
+/// feature loop — independent fused multiply–add chains the compiler can
+/// hold in registers and auto-vectorize, instead of the latency-bound
+/// single chain of [`dot`]. Partial tiles fall back to per-pair [`dot`]s.
+#[inline]
+pub fn panel_dot<T: Real>(ra: &[&[T]], rb: &[&[T]]) -> Panel<T> {
+    debug_assert!(ra.len() <= PANEL_MR && rb.len() <= PANEL_NR);
+    let mut acc = [[T::ZERO; PANEL_NR]; PANEL_MR];
+    if ra.len() == PANEL_MR && rb.len() == PANEL_NR {
+        let d = ra[0].len();
+        let a = [ra[0], &ra[1][..d], &ra[2][..d], &ra[3][..d]];
+        let b = [&rb[0][..d], &rb[1][..d], &rb[2][..d], &rb[3][..d]];
+        for f in 0..d {
+            let av = [a[0][f], a[1][f], a[2][f], a[3][f]];
+            let bv = [b[0][f], b[1][f], b[2][f], b[3][f]];
+            for (acc_row, &x) in acc.iter_mut().zip(&av) {
+                for (slot, &y) in acc_row.iter_mut().zip(&bv) {
+                    *slot = x.mul_add(y, *slot);
+                }
+            }
+        }
+    } else {
+        for (acc_row, a) in acc.iter_mut().zip(ra) {
+            for (slot, b) in acc_row.iter_mut().zip(rb) {
+                *slot = dot(a, b);
+            }
+        }
+    }
+    acc
+}
+
+/// Panel counterpart of [`dist_sq`]: `out[a][b] = ‖ra[a] − rb[b]‖²` with
+/// the same register-tiled accumulation as [`panel_dot`].
+#[inline]
+pub fn panel_dist_sq<T: Real>(ra: &[&[T]], rb: &[&[T]]) -> Panel<T> {
+    debug_assert!(ra.len() <= PANEL_MR && rb.len() <= PANEL_NR);
+    let mut acc = [[T::ZERO; PANEL_NR]; PANEL_MR];
+    if ra.len() == PANEL_MR && rb.len() == PANEL_NR {
+        let d = ra[0].len();
+        let a = [ra[0], &ra[1][..d], &ra[2][..d], &ra[3][..d]];
+        let b = [&rb[0][..d], &rb[1][..d], &rb[2][..d], &rb[3][..d]];
+        for f in 0..d {
+            let av = [a[0][f], a[1][f], a[2][f], a[3][f]];
+            let bv = [b[0][f], b[1][f], b[2][f], b[3][f]];
+            for (acc_row, &x) in acc.iter_mut().zip(&av) {
+                for (slot, &y) in acc_row.iter_mut().zip(&bv) {
+                    let diff = x - y;
+                    *slot = diff.mul_add(diff, *slot);
+                }
+            }
+        }
+    } else {
+        for (acc_row, a) in acc.iter_mut().zip(ra) {
+            for (slot, b) in acc_row.iter_mut().zip(rb) {
+                *slot = dist_sq(a, b);
+            }
+        }
+    }
+    acc
+}
+
+/// Evaluates the kernel on every pair `(ra[a], rb[b])` of an
+/// `ra.len()×rb.len()` micro-tile (at most [`PANEL_MR`]×[`PANEL_NR`]) —
+/// the panel form of [`kernel_row`] used by the blocked CPU matvec engine
+/// and the prediction paths. All four kernel functions are supported: the
+/// inner-product kernels (linear, polynomial, sigmoid) post-process a
+/// [`panel_dot`], the RBF kernel a [`panel_dist_sq`].
+#[inline]
+pub fn kernel_panel<T: Real>(spec: &KernelSpec<T>, ra: &[&[T]], rb: &[&[T]]) -> Panel<T> {
+    match *spec {
+        KernelSpec::Linear => panel_dot(ra, rb),
+        KernelSpec::Polynomial {
+            degree,
+            gamma,
+            coef0,
+        } => {
+            let mut p = panel_dot(ra, rb);
+            for row in &mut p {
+                for v in row {
+                    *v = gamma.mul_add(*v, coef0).powi(degree);
+                }
+            }
+            p
+        }
+        KernelSpec::Rbf { gamma } => {
+            let mut p = panel_dist_sq(ra, rb);
+            for row in &mut p {
+                for v in row {
+                    *v = (-gamma * *v).exp();
+                }
+            }
+            p
+        }
+        KernelSpec::Sigmoid { gamma, coef0 } => {
+            let mut p = panel_dot(ra, rb);
+            for row in &mut p {
+                for v in row {
+                    *v = gamma.mul_add(*v, coef0).tanh();
+                }
+            }
+            p
         }
     }
 }
@@ -218,6 +344,78 @@ mod tests {
     #[should_panic]
     fn finish_inner_product_rejects_rbf() {
         let _ = finish_inner_product(&KernelSpec::Rbf { gamma: 1.0f64 }, 1.0);
+    }
+
+    /// Four deterministic pseudo-random rows of dimension `d`.
+    fn panel_rows(d: usize, salt: u64) -> Vec<Vec<f64>> {
+        (0..4)
+            .map(|r| {
+                (0..d)
+                    .map(|f| (((r as u64 * 31 + f as u64 * 7 + salt) % 17) as f64 - 8.0) / 5.0)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn all_specs() -> Vec<KernelSpec<f64>> {
+        vec![
+            KernelSpec::Linear,
+            KernelSpec::Polynomial {
+                degree: 3,
+                gamma: 0.25,
+                coef0: 0.5,
+            },
+            KernelSpec::Rbf { gamma: 0.75 },
+            KernelSpec::Sigmoid {
+                gamma: 0.3,
+                coef0: 0.1,
+            },
+        ]
+    }
+
+    #[test]
+    fn panels_match_scalar_evaluation_for_all_kernels() {
+        for d in [1, 3, 8] {
+            let ra_owned = panel_rows(d, 1);
+            let rb_owned = panel_rows(d, 9);
+            let ra: Vec<&[f64]> = ra_owned.iter().map(|r| r.as_slice()).collect();
+            let rb: Vec<&[f64]> = rb_owned.iter().map(|r| r.as_slice()).collect();
+            for spec in all_specs() {
+                // full tiles and every partial-tile shape
+                for mh in 1..=PANEL_MR {
+                    for nh in 1..=PANEL_NR {
+                        let p = kernel_panel(&spec, &ra[..mh], &rb[..nh]);
+                        for (a, row_a) in ra[..mh].iter().enumerate() {
+                            for (b, row_b) in rb[..nh].iter().enumerate() {
+                                let reference = kernel_row(&spec, row_a, row_b);
+                                assert!(
+                                    (p[a][b] - reference).abs() < 1e-12,
+                                    "{spec:?} d={d} tile {mh}x{nh} entry ({a},{b}): \
+                                     {} vs {reference}",
+                                    p[a][b]
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn panel_dot_and_dist_match_scalar_helpers() {
+        let ra_owned = panel_rows(6, 2);
+        let rb_owned = panel_rows(6, 4);
+        let ra: Vec<&[f64]> = ra_owned.iter().map(|r| r.as_slice()).collect();
+        let rb: Vec<&[f64]> = rb_owned.iter().map(|r| r.as_slice()).collect();
+        let pd = panel_dot(&ra, &rb);
+        let pq = panel_dist_sq(&ra, &rb);
+        for a in 0..PANEL_MR {
+            for b in 0..PANEL_NR {
+                assert!((pd[a][b] - dot(ra[a], rb[b])).abs() < 1e-12);
+                assert!((pq[a][b] - dist_sq(ra[a], rb[b])).abs() < 1e-12);
+            }
+        }
     }
 
     #[test]

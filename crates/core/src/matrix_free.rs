@@ -58,14 +58,26 @@ impl<T: Real> QTildeParams<T> {
 
     /// Same computation over row-major data (the CPU backends work on the
     /// untransformed layout — the paper applies the SoA transform only for
-    /// its GPU backends, §IV-E).
+    /// its GPU backends, §IV-E). Evaluated through the panel micro-kernel
+    /// of [`crate::kernel::kernel_panel`], `PANEL_MR` points against `x_m`
+    /// per feature pass.
     pub fn compute_dense(data: &DenseMatrix<T>, kernel: &KernelSpec<T>, cost: T) -> Self {
+        use crate::kernel::{kernel_panel, PANEL_MR};
         let m = data.rows();
         assert!(m >= 2, "need at least two data points");
         let last = data.row(m - 1);
-        let q = (0..m - 1)
-            .map(|i| crate::kernel::kernel_row(kernel, data.row(i), last))
-            .collect();
+        let mut q = Vec::with_capacity(m - 1);
+        let mut i = 0;
+        while i < m - 1 {
+            let h = (m - 1 - i).min(PANEL_MR);
+            let mut ra: [&[T]; PANEL_MR] = [last; PANEL_MR];
+            for (a, slot) in ra.iter_mut().enumerate().take(h) {
+                *slot = data.row(i + a);
+            }
+            let panel = kernel_panel(kernel, &ra[..h], &[last]);
+            q.extend(panel.iter().take(h).map(|row| row[0]));
+            i += h;
+        }
         Self {
             q,
             k_mm: crate::kernel::kernel_row(kernel, last, last),

@@ -20,10 +20,9 @@ use plssvm_data::model::{KernelSpec, SvrModel};
 use plssvm_data::Real;
 use plssvm_simgpu::device::AtomicScalar;
 
-use crate::backend::{BackendSelection, DeviceReport, Prepared};
+use crate::backend::{BackendSelection, CpuTilingConfig, DeviceReport, Prepared};
 use crate::cg::{conjugate_gradients_with_metrics, CgConfig};
 use crate::error::SvmError;
-use crate::kernel::kernel_row;
 use crate::matrix_free::{bias, full_alpha, reduced_rhs};
 use crate::trace::{spans, MetricsSink, SpanRecorder, Telemetry, TelemetryReport};
 
@@ -55,6 +54,9 @@ pub struct LsSvr<T> {
     pub max_iterations: Option<usize>,
     /// Execution backend.
     pub backend: BackendSelection,
+    /// Optional cache-tiling override for the blocked CPU matvec engine;
+    /// mirrors [`crate::svm::LsSvm::cpu_tiling`].
+    pub cpu_tiling: Option<CpuTilingConfig>,
     /// Optional observability sink (see [`crate::trace`]); mirrors
     /// [`crate::svm::LsSvm::metrics`].
     pub metrics: Option<Arc<Telemetry>>,
@@ -74,6 +76,7 @@ impl<T: Real> Default for LsSvr<T> {
             epsilon: T::from_f64(1e-3),
             max_iterations: None,
             backend: BackendSelection::default(),
+            cpu_tiling: None,
             metrics: None,
             fault_plan: None,
             checkpoint_interval: None,
@@ -129,6 +132,13 @@ impl<T: AtomicScalar> LsSvr<T> {
         self
     }
 
+    /// Overrides the cache tiling of the blocked CPU matvec engine;
+    /// mirrors [`crate::svm::LsSvm::with_cpu_tiling`].
+    pub fn with_cpu_tiling(mut self, tiling: CpuTilingConfig) -> Self {
+        self.cpu_tiling = Some(tiling);
+        self
+    }
+
     /// Attaches an observability sink; mirrors
     /// [`crate::svm::LsSvm::with_metrics`].
     pub fn with_metrics(mut self, telemetry: Arc<Telemetry>) -> Self {
@@ -159,7 +169,15 @@ impl<T: AtomicScalar> LsSvr<T> {
             ));
         }
         let mut rec = SpanRecorder::new();
-        let soa = rec.time(spans::TRANSFORM, || match &self.backend {
+        // the tiling knob overrides what the OpenMP selection carries
+        let backend = match (&self.backend, self.cpu_tiling) {
+            (BackendSelection::OpenMp { threads, .. }, Some(tiling)) => BackendSelection::OpenMp {
+                threads: *threads,
+                tiling,
+            },
+            _ => self.backend.clone(),
+        };
+        let soa = rec.time(spans::TRANSFORM, || match &backend {
             BackendSelection::SimGpu { tiling, .. }
             | BackendSelection::SimGpuRows { tiling, .. }
             | BackendSelection::SimCluster { tiling, .. } => {
@@ -169,13 +187,7 @@ impl<T: AtomicScalar> LsSvr<T> {
         });
         let t_cg = Instant::now();
         let t_setup = Instant::now();
-        let mut prepared = Prepared::new(
-            &self.backend,
-            &data.x,
-            soa.as_ref(),
-            &self.kernel,
-            self.cost,
-        )?;
+        let mut prepared = Prepared::new(&backend, &data.x, soa.as_ref(), &self.kernel, self.cost)?;
         if let Some(sink) = &self.metrics {
             prepared.set_metrics(Arc::clone(sink) as Arc<dyn MetricsSink>);
         }
@@ -226,8 +238,10 @@ impl<T: AtomicScalar> LsSvr<T> {
 }
 
 /// Predicted regression values `f(x) = Σᵢ coefᵢ·k(svᵢ, x) + b` for every
-/// row of `x`.
+/// row of `x`, computed in parallel over the test points with the panel
+/// micro-kernel (`PANEL_MR` support vectors per feature pass).
 pub fn predict_values<T: Real>(model: &SvrModel<T>, x: &DenseMatrix<T>) -> Vec<T> {
+    use crate::kernel::{kernel_panel, PANEL_MR};
     assert_eq!(
         x.cols(),
         model.features(),
@@ -236,13 +250,24 @@ pub fn predict_values<T: Real>(model: &SvrModel<T>, x: &DenseMatrix<T>) -> Vec<T
         model.features()
     );
     let b = model.bias();
+    let m = model.sv.rows();
     (0..x.rows())
         .into_par_iter()
         .map(|p| {
             let row = x.row(p);
             let mut acc = b;
-            for (i, sv) in model.sv.rows_iter().enumerate() {
-                acc = model.coef[i].mul_add(kernel_row(&model.kernel, sv, row), acc);
+            let mut i = 0;
+            while i < m {
+                let h = (m - i).min(PANEL_MR);
+                let mut ra: [&[T]; PANEL_MR] = [row; PANEL_MR];
+                for (a, slot) in ra.iter_mut().enumerate().take(h) {
+                    *slot = model.sv.row(i + a);
+                }
+                let panel = kernel_panel(&model.kernel, &ra[..h], &[row]);
+                for (a, prow) in panel.iter().enumerate().take(h) {
+                    acc = model.coef[i + a].mul_add(prow[0], acc);
+                }
+                i += h;
             }
             acc
         })
@@ -352,7 +377,7 @@ mod tests {
             .train(&data)
             .unwrap();
         for backend in [
-            BackendSelection::OpenMp { threads: Some(2) },
+            BackendSelection::openmp(Some(2)),
             BackendSelection::SparseCpu { threads: None },
             BackendSelection::sim_gpu(hw::A100, DeviceApi::Cuda),
         ] {

@@ -19,7 +19,7 @@ use plssvm_data::Real;
 use plssvm_simgpu::device::AtomicScalar;
 use plssvm_simgpu::FaultPlan;
 
-use crate::backend::{BackendSelection, DeviceReport, Prepared};
+use crate::backend::{BackendSelection, CpuTilingConfig, DeviceReport, Prepared};
 use crate::cg::{
     conjugate_gradients_jacobi_with_metrics, conjugate_gradients_with_metrics, CgConfig,
 };
@@ -59,6 +59,10 @@ pub struct LsSvm<T> {
     pub max_iterations: Option<usize>,
     /// Execution backend.
     pub backend: BackendSelection,
+    /// Optional cache-tiling override for the blocked CPU matvec engine
+    /// (applies when `backend` is the "OpenMP" backend; `None` keeps the
+    /// tiling already carried by the selection).
+    pub cpu_tiling: Option<CpuTilingConfig>,
     /// Optional per-sample weights `vᵢ > 0` (weighted LS-SVM, Suykens et
     /// al. \[25\]): the error term of sample `i` is weighted `C·vᵢ`, i.e.
     /// small weights let suspected outliers violate the margin cheaply.
@@ -93,6 +97,7 @@ impl<T: Real> Default for LsSvm<T> {
             epsilon: T::from_f64(1e-3),
             max_iterations: None,
             backend: BackendSelection::default(),
+            cpu_tiling: None,
             sample_weights: None,
             jacobi_preconditioner: false,
             metrics: None,
@@ -135,6 +140,14 @@ impl<T: AtomicScalar> LsSvm<T> {
     /// Selects the execution backend.
     pub fn with_backend(mut self, backend: BackendSelection) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Overrides the cache tiling of the blocked CPU matvec engine (the
+    /// CLI's `--cpu-tile`). Takes effect when the "OpenMP" backend is
+    /// selected; other backends ignore it.
+    pub fn with_cpu_tiling(mut self, tiling: CpuTilingConfig) -> Self {
+        self.cpu_tiling = Some(tiling);
         self
     }
 
@@ -207,10 +220,19 @@ impl<T: AtomicScalar> LsSvm<T> {
         let mut rec = SpanRecorder::new();
         rec.record(spans::READ, read);
 
+        // the tiling knob overrides what the OpenMP selection carries
+        let backend = match (&self.backend, self.cpu_tiling) {
+            (BackendSelection::OpenMp { threads, .. }, Some(tiling)) => BackendSelection::OpenMp {
+                threads: *threads,
+                tiling,
+            },
+            _ => self.backend.clone(),
+        };
+
         // (2a) transform: 2D row-major → padded column-major SoA. The
         // paper applies this step only for its GPU backends (§IV-E); the
         // CPU backends work on the row-major layout directly.
-        let soa = rec.time(spans::TRANSFORM, || match &self.backend {
+        let soa = rec.time(spans::TRANSFORM, || match &backend {
             BackendSelection::SimGpu { tiling, .. }
             | BackendSelection::SimGpuRows { tiling, .. }
             | BackendSelection::SimCluster { tiling, .. } => {
@@ -222,13 +244,7 @@ impl<T: AtomicScalar> LsSvm<T> {
         // (2b + 3) device setup, upload and CG solve
         let t_cg = Instant::now();
         let t_setup = Instant::now();
-        let mut prepared = Prepared::new(
-            &self.backend,
-            &data.x,
-            soa.as_ref(),
-            &self.kernel,
-            self.cost,
-        )?;
+        let mut prepared = Prepared::new(&backend, &data.x, soa.as_ref(), &self.kernel, self.cost)?;
         if let Some(sink) = &self.metrics {
             prepared.set_metrics(Arc::clone(sink) as Arc<dyn MetricsSink>);
         }
@@ -322,7 +338,7 @@ impl<T: AtomicScalar> LsSvm<T> {
             iterations: solve.iterations,
             converged: solve.converged,
             relative_residual: solve.relative_residual().to_f64(),
-            backend_name: self.backend.name(),
+            backend_name: backend.name(),
             linear_w,
             device,
             telemetry,
@@ -368,8 +384,11 @@ pub fn train<T: AtomicScalar>(
 }
 
 /// Decision values `f(x) = Σᵢ coefᵢ·k(svᵢ, x) + b` for every row of `x`
-/// (Eq. 10), computed in parallel over the test points.
+/// (Eq. 10), computed in parallel over the test points with the panel
+/// micro-kernel: each feature pass evaluates `PANEL_MR` support vectors
+/// against the test point at once.
 pub fn predict_decision_values<T: Real>(model: &SvmModel<T>, x: &DenseMatrix<T>) -> Vec<T> {
+    use crate::kernel::{kernel_panel, PANEL_MR};
     assert_eq!(
         x.cols(),
         model.features(),
@@ -378,13 +397,24 @@ pub fn predict_decision_values<T: Real>(model: &SvmModel<T>, x: &DenseMatrix<T>)
         model.features()
     );
     let b = model.bias();
+    let m = model.sv.rows();
     (0..x.rows())
         .into_par_iter()
         .map(|p| {
             let row = x.row(p);
             let mut acc = b;
-            for (i, sv) in model.sv.rows_iter().enumerate() {
-                acc = model.coef[i].mul_add(kernel_row(&model.kernel, sv, row), acc);
+            let mut i = 0;
+            while i < m {
+                let h = (m - i).min(PANEL_MR);
+                let mut ra: [&[T]; PANEL_MR] = [row; PANEL_MR];
+                for (a, slot) in ra.iter_mut().enumerate().take(h) {
+                    *slot = model.sv.row(i + a);
+                }
+                let panel = kernel_panel(&model.kernel, &ra[..h], &[row]);
+                for (a, prow) in panel.iter().enumerate().take(h) {
+                    acc = model.coef[i + a].mul_add(prow[0], acc);
+                }
+                i += h;
             }
             acc
         })
@@ -409,8 +439,10 @@ pub fn predict_labels<T: Real>(model: &SvmModel<T>, x: &DenseMatrix<T>) -> Vec<i
 
 /// Fast linear-kernel prediction from the explicit normal vector:
 /// `f(x) = ⟨w, x⟩ + b` — O(d) per point instead of the O(m·d) kernel sum
-/// (Eq. 4 of the paper). `bias` is `−rho`.
+/// (Eq. 4 of the paper). `bias` is `−rho`. Computed in parallel over
+/// `PANEL_MR`-point panels sharing one feature pass over `w`.
 pub fn predict_linear<T: Real>(w: &[T], bias: T, x: &DenseMatrix<T>) -> Vec<T> {
+    use crate::kernel::{panel_dot, PANEL_MR};
     assert_eq!(
         w.len(),
         x.cols(),
@@ -418,10 +450,21 @@ pub fn predict_linear<T: Real>(w: &[T], bias: T, x: &DenseMatrix<T>) -> Vec<T> {
         w.len(),
         x.cols()
     );
-    (0..x.rows())
-        .into_par_iter()
-        .map(|p| crate::kernel::dot(w, x.row(p)) + bias)
-        .collect()
+    let mut out = vec![T::ZERO; x.rows()];
+    out.par_chunks_mut(PANEL_MR)
+        .enumerate()
+        .for_each(|(ci, chunk)| {
+            let base = ci * PANEL_MR;
+            let mut ra: [&[T]; PANEL_MR] = [w; PANEL_MR];
+            for (a, slot) in ra.iter_mut().enumerate().take(chunk.len()) {
+                *slot = x.row(base + a);
+            }
+            let panel = panel_dot(&ra[..chunk.len()], &[w]);
+            for (a, o) in chunk.iter_mut().enumerate() {
+                *o = panel[a][0] + bias;
+            }
+        });
+    out
 }
 
 /// Fraction of correctly classified points of a labeled data set.
@@ -469,7 +512,7 @@ mod tests {
         let mut accs = Vec::new();
         for backend in [
             BackendSelection::Serial,
-            BackendSelection::OpenMp { threads: Some(2) },
+            BackendSelection::openmp(Some(2)),
             BackendSelection::sim_gpu(hw::A100, DeviceApi::Cuda),
             BackendSelection::sim_multi_gpu(hw::A100, DeviceApi::Cuda, 2),
         ] {
@@ -654,7 +697,7 @@ mod tests {
         let data = planes(50, 6, 20);
         for backend in [
             BackendSelection::Serial,
-            BackendSelection::OpenMp { threads: Some(2) },
+            BackendSelection::openmp(Some(2)),
             BackendSelection::SparseCpu { threads: None },
             BackendSelection::sim_gpu(hw::A100, DeviceApi::Cuda),
             BackendSelection::sim_multi_gpu(hw::A100, DeviceApi::Cuda, 3),
@@ -716,7 +759,7 @@ mod tests {
         let data = LabeledData::new(x, vec![1.0, -1.0]).unwrap();
         for backend in [
             BackendSelection::Serial,
-            BackendSelection::OpenMp { threads: Some(2) },
+            BackendSelection::openmp(Some(2)),
             BackendSelection::SparseCpu { threads: None },
             BackendSelection::sim_gpu(hw::A100, DeviceApi::Cuda),
             BackendSelection::sim_multi_gpu(hw::A100, DeviceApi::Cuda, 2),

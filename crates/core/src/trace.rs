@@ -25,9 +25,14 @@
 //! the implicit operator (every entry of `K·v` evaluated once), so the
 //! serial, "OpenMP" and sparse counters are identical by construction —
 //! symmetry tricks and sparse storage are implementation details that do
-//! not change what is mathematically computed. The device backend records
-//! what its tiled kernels *actually* execute (triangular blocking with
-//! atomic mirroring, §III-C), folded out of the per-device
+//! not change what is mathematically computed. Alongside the logical
+//! counters they report the *physical* kernel evaluations each matvec
+//! performs through [`MetricsSink::record_kernel_evals`]: `n(n+1)/2` for
+//! the symmetric schedules of the serial and blocked "OpenMP" backends,
+//! `n²` for the full row sweep — so the effect of symmetry exploitation is
+//! observable without perturbing the logical accounting. The device
+//! backend records what its tiled kernels *actually* execute (triangular
+//! blocking with atomic mirroring, §III-C), folded out of the per-device
 //! `plssvm_simgpu::PerfReport`s into the same schema. Counters and
 //! simulated times are deterministic; wall-clock spans and per-matvec wall
 //! times are not, and are therefore excluded from the deterministic
@@ -210,11 +215,22 @@ pub trait MetricsSink: Send + Sync {
     fn record_recovery(&self, sample: RecoverySample) {
         let _ = sample;
     }
+
+    /// Records `evals` *physical* kernel evaluations performed under
+    /// kernel `name` — the complement to the logical
+    /// [`MetricsSink::record_launch`] counters: symmetric CPU schedules
+    /// report `n(n+1)/2` per matvec where the logical convention counts
+    /// `n²` entries. Default: discard — sinks that predate this channel
+    /// keep compiling.
+    fn record_kernel_evals(&self, name: &str, evals: u128) {
+        let _ = (name, evals);
+    }
 }
 
 #[derive(Debug, Default)]
 struct TelemetryState {
     kernels: BTreeMap<String, KernelCounter>,
+    kernel_evals: BTreeMap<String, u128>,
     cg_dim: Option<usize>,
     cg_initial_residual_norm: Option<f64>,
     cg: Vec<CgIterationSample>,
@@ -268,6 +284,7 @@ impl Telemetry {
         let s = self.lock();
         TelemetryReport {
             kernels: s.kernels.clone(),
+            kernel_evals: s.kernel_evals.clone(),
             cg_dim: s.cg_dim,
             cg_initial_residual_norm: s.cg_initial_residual_norm,
             cg: s.cg.clone(),
@@ -313,6 +330,11 @@ impl MetricsSink for Telemetry {
     fn record_recovery(&self, sample: RecoverySample) {
         self.lock().recovery.push(sample);
     }
+
+    fn record_kernel_evals(&self, name: &str, evals: u128) {
+        let mut s = self.lock();
+        *s.kernel_evals.entry(name.to_owned()).or_default() += evals;
+    }
 }
 
 /// Immutable snapshot of one training run's telemetry.
@@ -321,6 +343,10 @@ pub struct TelemetryReport {
     /// Unified kernel counters, keyed by kernel name (`q_kernel`,
     /// `svm_kernel`, `w_kernel`).
     pub kernels: BTreeMap<String, KernelCounter>,
+    /// *Physical* kernel evaluations by kernel name — what the backend's
+    /// schedule actually computed (symmetric CPU schedules: `n(n+1)/2` per
+    /// matvec vs the logical `n²`). Empty when no backend reported them.
+    pub kernel_evals: BTreeMap<String, u128>,
     /// Dimension of the reduced CG system (`m − 1`), when a solve ran.
     pub cg_dim: Option<usize>,
     /// `‖r₀‖` of the CG solve, when a solve ran.
@@ -390,6 +416,9 @@ impl TelemetryReport {
                 k.launches, k.flops, k.bytes
             );
         }
+        for (name, evals) in &self.kernel_evals {
+            let _ = writeln!(out, "kernel_evals={name} evals={evals}");
+        }
         for s in &self.cg {
             let _ = writeln!(
                 out,
@@ -425,6 +454,8 @@ impl TelemetryReport {
     ///   `"alpha":x,"beta":x,"matvec_wall_s":x}`
     /// * `{"type":"kernel","name":"svm_kernel","launches":n,"flops":n,`
     ///   `"bytes":n,"sim_time_s":x}`
+    /// * `{"type":"kernel_evals","name":"svm_kernel","evals":n}` — only
+    ///   present when a backend reported physical evaluation counts
     /// * `{"type":"span","path":"train/cg","wall_s":x}`
     /// * `{"type":"recovery","kind":"retry|failover|straggler|checkpoint",`
     ///   `"device":n|null,"at_launch":n|null,"iteration":n|null,`
@@ -463,6 +494,13 @@ impl TelemetryReport {
                 k.flops,
                 k.bytes,
                 json_f64(k.sim_time_s)
+            );
+        }
+        for (name, evals) in &self.kernel_evals {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"kernel_evals\",\"name\":{},\"evals\":{evals}}}",
+                json_str(name)
             );
         }
         for s in &self.spans {
@@ -646,6 +684,24 @@ mod tests {
         assert!(lines[1].contains("\"type\":\"cg_iteration\""));
         assert!(lines[2].contains("\"name\":\"q_kernel\""));
         assert!(lines[3].contains("\"path\":\"train\""));
+    }
+
+    #[test]
+    fn kernel_evals_accumulate_and_serialize() {
+        let t = Telemetry::new();
+        t.record_kernel_evals("svm_kernel", 55);
+        t.record_kernel_evals("svm_kernel", 55);
+        let r = t.report();
+        assert_eq!(r.kernel_evals["svm_kernel"], 110);
+        assert!(r
+            .deterministic_summary()
+            .contains("kernel_evals=svm_kernel evals=110"));
+        let json = r.to_json_lines();
+        assert!(json.contains("{\"type\":\"kernel_evals\",\"name\":\"svm_kernel\",\"evals\":110}"));
+        // sinks that never see the channel emit no kernel_evals lines
+        let empty = Telemetry::new().report();
+        assert!(!empty.deterministic_summary().contains("kernel_evals"));
+        assert!(!empty.to_json_lines().contains("kernel_evals"));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use plssvm_core::backend::BackendSelection;
+use plssvm_core::backend::{BackendSelection, CpuTilingConfig};
 use plssvm_core::svm::{predict_labels, LsSvm, TrainOutput};
 use plssvm_core::trace::{RecoveryKind, Telemetry};
 use plssvm_data::libsvm::LabeledData;
@@ -42,6 +42,13 @@ fn kernels<T: AtomicScalar>() -> Vec<(&'static str, KernelSpec<T>)> {
             "rbf",
             KernelSpec::Rbf {
                 gamma: T::from_f64(0.5),
+            },
+        ),
+        (
+            "sigmoid",
+            KernelSpec::Sigmoid {
+                gamma: T::from_f64(0.1),
+                coef0: T::from_f64(0.25),
             },
         ),
     ]
@@ -100,7 +107,30 @@ fn assert_conforms<T: AtomicScalar>(
 
 fn cpu_and_device_backends(linear: bool) -> Vec<(&'static str, BackendSelection)> {
     let mut v = vec![
-        ("openmp", BackendSelection::OpenMp { threads: Some(2) }),
+        ("openmp", BackendSelection::openmp(Some(2))),
+        // tile-size extremes: degenerate 1×1 tiles, tiles far larger than
+        // the problem, and the symmetry-free schedule must all agree
+        (
+            "openmp-tile-1",
+            BackendSelection::OpenMp {
+                threads: Some(2),
+                tiling: CpuTilingConfig::new(1, 1),
+            },
+        ),
+        (
+            "openmp-tile-4096",
+            BackendSelection::OpenMp {
+                threads: Some(2),
+                tiling: CpuTilingConfig::new(4096, 4096),
+            },
+        ),
+        (
+            "openmp-nosym",
+            BackendSelection::OpenMp {
+                threads: Some(2),
+                tiling: CpuTilingConfig::default().with_symmetry(false),
+            },
+        ),
         ("sparse", BackendSelection::SparseCpu { threads: None }),
         (
             "simgpu",
@@ -246,13 +276,67 @@ fn transient_faults_leave_the_model_byte_identical() {
     assert_eq!(clean.iterations, faulted.iterations);
 }
 
+mod eval_halving {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Trains once on `points` rows and returns the physical kernel
+    /// evaluations per CG matvec launch as reported by unified telemetry.
+    fn evals_per_launch(points: usize, tiling: CpuTilingConfig) -> u128 {
+        let data: LabeledData<f64> = planes(points, 5, 11);
+        let telemetry = Telemetry::shared();
+        let out = LsSvm::new()
+            .with_cost(2.0)
+            .with_epsilon(1e-8)
+            .with_backend(BackendSelection::OpenMp {
+                threads: Some(2),
+                tiling,
+            })
+            .with_metrics(Arc::clone(&telemetry))
+            .train(&data)
+            .unwrap();
+        let report = out.telemetry.expect("telemetry enabled");
+        let launches = report.kernels["svm_kernel"].launches as u128;
+        let total = report.kernel_evals["svm_kernel"];
+        assert_eq!(total % launches, 0, "evals divide launches");
+        total / launches
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The telemetry kernel-eval counters must show the symmetric
+        /// schedule performing exactly the upper triangle per matvec:
+        /// `2·sym == full + n`, i.e. the evaluation count halves (up to
+        /// the diagonal) relative to the symmetry-free schedule, for any
+        /// problem size and tile shape.
+        #[test]
+        fn symmetry_halves_physical_kernel_evals(
+            points in 8usize..48,
+            row_tile in 1usize..10,
+            col_tile in 1usize..10,
+        ) {
+            let sym = evals_per_launch(points, CpuTilingConfig::new(row_tile, col_tile));
+            let full = evals_per_launch(
+                points,
+                CpuTilingConfig::new(row_tile, col_tile).with_symmetry(false),
+            );
+            // the reduced LS-SVM system has dimension points - 1
+            let n = (points - 1) as u128;
+            prop_assert_eq!(sym, n * (n + 1) / 2);
+            prop_assert_eq!(full, n * n);
+            prop_assert_eq!(2 * sym, full + n);
+        }
+    }
+}
+
 /// Fault plans are rejected, not silently ignored, on CPU backends.
 #[test]
 fn cpu_backends_reject_fault_plans() {
     let data: LabeledData<f64> = planes(20, 4, 5);
     for backend in [
         BackendSelection::Serial,
-        BackendSelection::OpenMp { threads: None },
+        BackendSelection::openmp(None),
         BackendSelection::SparseCpu { threads: None },
     ] {
         let err = LsSvm::<f64>::new()

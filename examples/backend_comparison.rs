@@ -26,10 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("--- host backends (measured wall-clock) ---");
     let mut reference_rho = None;
-    for backend in [
-        BackendSelection::Serial,
-        BackendSelection::OpenMp { threads: None },
-    ] {
+    for backend in [BackendSelection::Serial, BackendSelection::openmp(None)] {
         let t0 = Instant::now();
         let out = trainer(backend).train(&data)?;
         let rho: f64 = out.model.rho;

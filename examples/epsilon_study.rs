@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let out = LsSvm::new()
             .with_kernel(KernelSpec::Linear)
             .with_epsilon(eps)
-            .with_backend(BackendSelection::OpenMp { threads: None })
+            .with_backend(BackendSelection::openmp(None))
             .train(&data)?;
         let t = t0.elapsed().as_secs_f64();
         last_time = t;

@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let template = LsSvm::new()
         .with_kernel(KernelSpec::Rbf { gamma: 1.0 })
         .with_epsilon(1e-6)
-        .with_backend(BackendSelection::OpenMp { threads: None });
+        .with_backend(BackendSelection::openmp(None));
     let config = GridSearchConfig {
         costs: vec![0.125, 1.0, 8.0, 64.0],
         gammas: vec![0.001, 0.01, 0.1, 1.0],

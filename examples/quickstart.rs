@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_kernel(KernelSpec::Linear)
         .with_cost(1.0)
         .with_epsilon(1e-6)
-        .with_backend(BackendSelection::OpenMp { threads: None })
+        .with_backend(BackendSelection::openmp(None))
         .train(&train)?;
     println!(
         "trained with {} CG iterations (converged: {}, relative residual {:.2e})",

@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_kernel(KernelSpec::Rbf { gamma: 0.5 })
         .with_cost(10.0)
         .with_epsilon(1e-8)
-        .with_backend(BackendSelection::OpenMp { threads: None })
+        .with_backend(BackendSelection::openmp(None))
         .train(&train)?;
     println!(
         "trained in {} CG iterations (converged: {})",

@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_kernel(KernelSpec::Rbf { gamma })
         .with_cost(10.0)
         .with_epsilon(1e-6)
-        .with_backend(BackendSelection::OpenMp { threads: None })
+        .with_backend(BackendSelection::openmp(None))
         .train(&train)?;
 
     println!(

@@ -72,7 +72,7 @@ fn all_backends_produce_interchangeable_models() {
     let data = generate_planes::<f64>(&PlanesConfig::new(150, 10, 6)).unwrap();
     let backends = [
         BackendSelection::Serial,
-        BackendSelection::OpenMp { threads: Some(2) },
+        BackendSelection::openmp(Some(2)),
         BackendSelection::sim_gpu(hw::A100, DeviceApi::Cuda),
         BackendSelection::sim_gpu(hw::RADEON_VII, DeviceApi::OpenCl),
         BackendSelection::sim_gpu(hw::V100, DeviceApi::SyclHip),

@@ -103,7 +103,7 @@ proptest! {
             .unwrap()
             .apply(&v, &mut reference);
         for sel in [
-            BackendSelection::OpenMp { threads: Some(2) },
+            BackendSelection::openmp(Some(2)),
             BackendSelection::sim_gpu(hw::A100, DeviceApi::Cuda),
         ] {
             let mut out = vec![0.0; n];
