@@ -48,6 +48,19 @@ pub enum McStrategy {
     Ovr,
 }
 
+/// What `svm-train` does when the solver finishes non-converged even after
+/// the escalation ladder (`--on-nonconverged`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NonConvergedAction {
+    /// Refuse the model: exit with code 3 and no model file.
+    Error,
+    /// Write the model but print a warning with the classified outcome
+    /// (the default).
+    Warn,
+    /// Write the model silently.
+    Accept,
+}
+
 /// Parsed `svm-train` invocation.
 #[derive(Debug, Clone)]
 pub struct TrainArgs {
@@ -97,6 +110,9 @@ pub struct TrainArgs {
     /// Snapshot CG state every this many iterations
     /// (`--checkpoint-every`), LS-SVM / LS-SVR only.
     pub checkpoint_every: Option<usize>,
+    /// Handling of non-converged solves (`--on-nonconverged
+    /// error|warn|accept`, default warn), LS-SVM / LS-SVR only.
+    pub on_nonconverged: NonConvergedAction,
     /// Suppress informational output (`-q` / `--quiet`).
     pub quiet: bool,
     /// Print per-kernel telemetry counters with the summary (`--verbose`).
@@ -127,6 +143,7 @@ pub fn parse_train(args: &[String]) -> Result<TrainArgs, CliError> {
         metrics_out: None,
         fault_plan: None,
         checkpoint_every: None,
+        on_nonconverged: NonConvergedAction::Warn,
         quiet: false,
         verbose: false,
         input: String::new(),
@@ -198,6 +215,19 @@ pub fn parse_train(args: &[String]) -> Result<TrainArgs, CliError> {
                     return Err(err("--checkpoint-every must be at least 1"));
                 }
                 out.checkpoint_every = Some(k);
+            }
+            "--on-nonconverged" => {
+                out.on_nonconverged = match take("--on-nonconverged")?.as_str() {
+                    "error" => NonConvergedAction::Error,
+                    "warn" => NonConvergedAction::Warn,
+                    "accept" => NonConvergedAction::Accept,
+                    other => {
+                        return Err(err(format!(
+                            "unknown --on-nonconverged action '{other}' \
+                             (expected error, warn or accept)"
+                        )))
+                    }
+                }
             }
             "-q" | "--quiet" => out.quiet = true,
             "--verbose" => out.verbose = true,
@@ -896,6 +926,22 @@ mod tests {
         // defaults stay off
         let a = parse_train(&sv(&["x.dat"])).unwrap();
         assert!(a.fault_plan.is_none() && a.checkpoint_every.is_none());
+    }
+
+    #[test]
+    fn train_on_nonconverged_flag() {
+        let a = parse_train(&sv(&["x.dat"])).unwrap();
+        assert_eq!(a.on_nonconverged, NonConvergedAction::Warn);
+        for (name, expected) in [
+            ("error", NonConvergedAction::Error),
+            ("warn", NonConvergedAction::Warn),
+            ("accept", NonConvergedAction::Accept),
+        ] {
+            let a = parse_train(&sv(&["--on-nonconverged", name, "x.dat"])).unwrap();
+            assert_eq!(a.on_nonconverged, expected);
+        }
+        assert!(parse_train(&sv(&["--on-nonconverged", "panic", "x.dat"])).is_err());
+        assert!(parse_train(&sv(&["--on-nonconverged"])).is_err());
     }
 
     #[test]

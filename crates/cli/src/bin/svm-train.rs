@@ -31,23 +31,37 @@ fn main() -> ExitCode {
              \x20 --fault-plan p : inject device faults, e.g. 'fail:1@4;transient:0@2x2;slow:2@0x4'\n\
              \x20                  or 'seed:N' for a random plan (simulated backends only)\n\
              \x20 --checkpoint-every k : snapshot CG state every k iterations (LS-SVM/LS-SVR only)\n\
+             \x20 --on-nonconverged a  : error | warn (default) | accept a solve that missed epsilon\n\
              \x20 -q, --quiet    : suppress the training summary\n\
              \x20 --verbose      : append per-kernel telemetry counters to the summary\n\
-             input files: LIBSVM format, or ARFF when the extension is .arff"
+             input files: LIBSVM format, or ARFF when the extension is .arff\n\
+             exit codes: 0 success, 1 runtime error, 2 usage error,\n\
+             \x20           3 non-converged under --on-nonconverged error"
         );
         return ExitCode::from(2);
     }
-    match plssvm_cli::args::parse_train(&args)
-        .map_err(|e| e.to_string())
-        .and_then(|a| plssvm_cli::commands::run_train(&a).map_err(|e| e.to_string()))
-    {
+    let parsed = match plssvm_cli::args::parse_train(&args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("svm-train: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match plssvm_cli::commands::run_train(&parsed) {
         Ok(summary) => {
             print!("{summary}");
             ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("svm-train: {e}");
-            ExitCode::FAILURE
+            let non_converged = e
+                .downcast_ref::<plssvm_core::SvmError>()
+                .is_some_and(|s| matches!(s, plssvm_core::SvmError::NonConverged { .. }));
+            if non_converged {
+                ExitCode::from(3)
+            } else {
+                ExitCode::FAILURE
+            }
         }
     }
 }

@@ -3,15 +3,18 @@
 
 use std::error::Error;
 use std::fs;
-use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
-use plssvm_core::multiclass::{train_multiclass, MultiClassModel, MultiClassStrategy};
+use plssvm_core::cg::SolveOutcome;
+use plssvm_core::multiclass::{
+    train_multiclass_with_outcomes, MultiClassModel, MultiClassStrategy,
+};
 use plssvm_core::regression::{mean_squared_error, predict_values, r_squared, LsSvr};
 use plssvm_core::svm::{accuracy, predict_labels, LsSvm};
-use plssvm_core::trace::{MetricsSink, Telemetry, TelemetryReport};
+use plssvm_core::trace::{MetricsSink, RecoveryKind, Telemetry, TelemetryReport};
 use plssvm_core::validation::cross_validate;
+use plssvm_core::SvmError;
 use plssvm_data::arff::read_arff_file;
 use plssvm_data::libsvm::{
     read_libsvm_file, read_libsvm_regression_file, write_libsvm_string, LabeledData, RegressionData,
@@ -23,7 +26,8 @@ use plssvm_data::scale::ScalingParams;
 use plssvm_data::synthetic::{generate_planes, PlanesConfig};
 
 use crate::args::{
-    kernel_from_args, Algorithm, GenerateArgs, McStrategy, PredictArgs, ScaleArgs, TrainArgs,
+    kernel_from_args, Algorithm, GenerateArgs, McStrategy, NonConvergedAction, PredictArgs,
+    ScaleArgs, TrainArgs,
 };
 
 /// True if the path names an ARFF file (PLSSVM's second input format).
@@ -74,6 +78,49 @@ fn emit_telemetry(
         }
     }
     Ok(())
+}
+
+/// Applies the `--on-nonconverged` policy to a finished solve: `error`
+/// refuses the model with [`SvmError::NonConverged`] (the binary maps it
+/// to exit code 3), `warn` returns a warning line for the summary,
+/// `accept` stays silent. Converged solves pass through untouched.
+fn apply_nonconverged_policy(
+    action: NonConvergedAction,
+    outcome: SolveOutcome,
+    relative_residual: f64,
+    iterations: usize,
+) -> Result<Option<String>, Box<dyn Error>> {
+    if outcome.is_converged() {
+        return Ok(None);
+    }
+    match action {
+        NonConvergedAction::Error => Err(Box::new(SvmError::NonConverged {
+            outcome,
+            relative_residual,
+            iterations,
+        })),
+        NonConvergedAction::Warn => Ok(Some(format!(
+            "WARNING: solver did not converge ({outcome}, relative residual \
+             {relative_residual:.3e} after {iterations} iterations); model accepted \
+             (--on-nonconverged warn)\n"
+        ))),
+        NonConvergedAction::Accept => Ok(None),
+    }
+}
+
+/// Renders the escalation ladder for the summary (`restart ->
+/// precondition -> ...`), or `None` when no rung engaged.
+fn escalation_summary(escalations: &[RecoveryKind]) -> Option<String> {
+    if escalations.is_empty() {
+        return None;
+    }
+    Some(
+        escalations
+            .iter()
+            .map(|k| k.as_str())
+            .collect::<Vec<_>>()
+            .join(" -> "),
+    )
 }
 
 /// Runs `svm-train`; returns the human-readable summary printed to stdout.
@@ -140,12 +187,21 @@ pub fn run_train(args: &TrainArgs) -> Result<String, Box<dyn Error>> {
                 trainer = trainer.with_metrics(Arc::clone(t));
             }
             let out = if is_arff(&args.input) {
-                let out = trainer.train(&data)?;
-                out.model.save(&args.model)?;
-                out
+                trainer.train(&data)?
             } else {
-                trainer.train_from_file(&args.input, Some(Path::new(&args.model)))?
+                trainer.train_from_file(&args.input, None)?
             };
+            // --on-nonconverged error refuses the model before it is written
+            let warning = apply_nonconverged_policy(
+                args.on_nonconverged,
+                out.outcome,
+                out.relative_residual,
+                out.iterations,
+            )?;
+            out.model.save(&args.model)?;
+            if let Some(w) = warning {
+                summary.push_str(&w);
+            }
             if !args.quiet {
                 summary.push_str(&format!(
                     "PLSSVM (LS-SVM) trained on {} points x {} features\n",
@@ -157,6 +213,10 @@ pub fn run_train(args: &TrainArgs) -> Result<String, Box<dyn Error>> {
                     "CG iterations: {} (converged: {}, relative residual {:.3e})\n",
                     out.iterations, out.converged, out.relative_residual
                 ));
+                summary.push_str(&format!("solver outcome: {}\n", out.outcome));
+                if let Some(ladder) = escalation_summary(&out.escalations) {
+                    summary.push_str(&format!("recovery escalations: {ladder}\n"));
+                }
                 summary.push_str(&format!("timings: {}\n", out.times));
                 if let Some(device) = &out.device {
                     summary.push_str(&format!(
@@ -257,8 +317,17 @@ fn run_train_regression(args: &TrainArgs) -> Result<String, Box<dyn Error>> {
         trainer = trainer.with_metrics(Arc::clone(t));
     }
     let out = trainer.train(&data)?;
+    let warning = apply_nonconverged_policy(
+        args.on_nonconverged,
+        out.outcome,
+        out.relative_residual,
+        out.iterations,
+    )?;
     out.model.save(&args.model)?;
     let mut summary = String::new();
+    if let Some(w) = warning {
+        summary.push_str(&w);
+    }
     if !args.quiet {
         summary.push_str(&format!(
             "LS-SVR trained on {} points x {} features\nCG iterations: {} (converged: {})\ntraining MSE: {:.6e}, R^2: {:.4}\n",
@@ -269,6 +338,10 @@ fn run_train_regression(args: &TrainArgs) -> Result<String, Box<dyn Error>> {
             mean_squared_error(&out.model, &data),
             r_squared(&out.model, &data),
         ));
+        summary.push_str(&format!("solver outcome: {}\n", out.outcome));
+        if let Some(ladder) = escalation_summary(&out.escalations) {
+            summary.push_str(&format!("recovery escalations: {ladder}\n"));
+        }
     }
     if let Some(report) = &out.telemetry {
         emit_telemetry(args, report, &mut summary)?;
@@ -300,15 +373,46 @@ fn run_train_multiclass(
         McStrategy::Ovo => MultiClassStrategy::OneVsOne,
         McStrategy::Ovr => MultiClassStrategy::OneVsRest,
     };
-    let model = train_multiclass(data, &trainer, strategy)?;
+    let out = train_multiclass_with_outcomes(data, &trainer, strategy)?;
+    // the worst subproblem outcome drives the --on-nonconverged policy
+    let mut warning = None;
+    let non_converged = out.non_converged();
+    if let Some(((a, b), worst)) = non_converged.first().copied() {
+        let pair = if b == i32::MIN {
+            format!("{a} vs rest")
+        } else {
+            format!("{a} vs {b}")
+        };
+        match args.on_nonconverged {
+            NonConvergedAction::Error => {
+                return Err(Box::new(SvmError::NonConverged {
+                    outcome: worst,
+                    relative_residual: f64::NAN,
+                    iterations: out.total_iterations,
+                }))
+            }
+            NonConvergedAction::Warn => {
+                warning = Some(format!(
+                    "WARNING: {} of {} binary subproblems did not converge \
+                     (first: {pair}, {worst}); model accepted (--on-nonconverged warn)\n",
+                    non_converged.len(),
+                    out.outcomes.len()
+                ));
+            }
+            NonConvergedAction::Accept => {}
+        }
+    }
+    let model = out.model;
     model.save(&args.model)?;
-    Ok(format!(
+    let mut summary = warning.unwrap_or_default();
+    summary.push_str(&format!(
         "multi-class LS-SVM ({}) trained: {} classes, {} binary models\ntraining accuracy: {:.2}%\n",
         strategy.name(),
         model.classes.len(),
         model.num_models(),
         100.0 * model.accuracy(data),
-    ))
+    ));
+    Ok(summary)
 }
 
 /// Runs `svm-predict`; writes one label per line and returns the summary.
@@ -1172,6 +1276,104 @@ mod tests {
         ]))
         .unwrap();
         assert!(run_train(&bad).is_err());
+    }
+
+    #[test]
+    fn on_nonconverged_policy_gates_the_model_file() {
+        let dir = tmpdir("nonconverged");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("train.dat");
+        run_generate(
+            &parse_generate(&sv(&[
+                "--points",
+                "50",
+                "--features",
+                "4",
+                "--seed",
+                "23",
+                "--sep",
+                "4.0",
+                "--flip",
+                "0.0",
+                "-o",
+                data.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+
+        // epsilon 1e-16 sits below the f64 noise floor: the solve can
+        // classify (stalled / iteration budget) but never converge
+        let model = dir.join("refused.model");
+        let train = parse_train(&sv(&[
+            "-c",
+            "1e12",
+            "-e",
+            "1e-16",
+            "--on-nonconverged",
+            "error",
+            data.to_str().unwrap(),
+            model.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let err = run_train(&train).unwrap_err();
+        let svm_err = err
+            .downcast_ref::<SvmError>()
+            .expect("NonConverged must surface as SvmError for the exit-code mapping");
+        assert!(
+            matches!(svm_err, SvmError::NonConverged { .. }),
+            "{svm_err}"
+        );
+        assert!(!model.exists(), "error mode must refuse the model file");
+
+        // warn (the default) writes the model and flags it in the summary
+        let model = dir.join("warned.model");
+        let train = parse_train(&sv(&[
+            "-c",
+            "1e12",
+            "-e",
+            "1e-16",
+            data.to_str().unwrap(),
+            model.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let msg = run_train(&train).unwrap();
+        assert!(msg.contains("WARNING: solver did not converge"), "{msg}");
+        assert!(msg.contains("converged: false"), "{msg}");
+        assert!(model.exists());
+
+        // accept stays silent about it
+        let model = dir.join("accepted.model");
+        let train = parse_train(&sv(&[
+            "-c",
+            "1e12",
+            "-e",
+            "1e-16",
+            "--on-nonconverged",
+            "accept",
+            data.to_str().unwrap(),
+            model.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let msg = run_train(&train).unwrap();
+        assert!(!msg.contains("WARNING"), "{msg}");
+        assert!(model.exists());
+
+        // a converged solve reports its outcome in the summary
+        let model = dir.join("converged.model");
+        let train = parse_train(&sv(&[
+            "-e",
+            "1e-8",
+            "--on-nonconverged",
+            "error",
+            data.to_str().unwrap(),
+            model.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let msg = run_train(&train).unwrap();
+        assert!(msg.contains("solver outcome: converged"), "{msg}");
+        assert!(model.exists());
     }
 
     #[test]

@@ -41,7 +41,7 @@ use crate::cg::LinOp;
 use crate::error::SvmError;
 use crate::kernel::kernel_flops;
 use crate::matrix_free::QTildeParams;
-use crate::trace::MetricsSink;
+use crate::trace::{MetricsSink, RecoveryKind, RecoverySample};
 
 /// Runtime backend selection (the paper's `--backend` switch).
 #[derive(Debug, Clone)]
@@ -251,6 +251,10 @@ pub struct Prepared<T: AtomicScalar> {
     points: usize,
     features: usize,
     metrics: Option<Arc<dyn MetricsSink>>,
+    /// First-occurrence latch for the matvec finiteness guard: one
+    /// `numeric_fault` recovery event per solve, not one per poisoned
+    /// iteration.
+    numeric_fault_reported: std::sync::atomic::AtomicBool,
 }
 
 enum PreparedImpl<T: AtomicScalar> {
@@ -421,6 +425,7 @@ impl<T: AtomicScalar> Prepared<T> {
             points: dense.rows(),
             features: dense.cols(),
             metrics: None,
+            numeric_fault_reported: std::sync::atomic::AtomicBool::new(false),
         })
     }
 
@@ -616,6 +621,26 @@ impl<T: AtomicScalar> LinOp<T> for Prepared<T> {
             }
         }
         self.params.apply_corrections(v, out);
+        // finiteness guard: a single NaN/Inf produced here poisons every
+        // CG recurrence downstream. The solver classifies the breakdown;
+        // this records *where* the poison entered (first occurrence only —
+        // subsequent poisoned matvecs of the same solve stay quiet).
+        if let Some(bad) = out.iter().position(|y| !y.is_finite()) {
+            use std::sync::atomic::Ordering;
+            if let Some(sink) = &self.metrics {
+                if !self.numeric_fault_reported.swap(true, Ordering::Relaxed) {
+                    sink.record_recovery(RecoverySample::solver(
+                        RecoveryKind::NumericFault,
+                        0,
+                        format!(
+                            "non-finite matvec output first observed at component {bad} \
+                             (input finite: {})",
+                            v.iter().all(|x| x.is_finite())
+                        ),
+                    ));
+                }
+            }
+        }
         if self.is_cpu() {
             if let Some(sink) = &self.metrics {
                 let (flops, bytes) = self.matvec_cost();

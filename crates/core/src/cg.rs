@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 use plssvm_data::Real;
 
 use crate::kernel::dot;
-use crate::trace::{CgIterationSample, MetricsSink, RecoverySample};
+use crate::trace::{CgIterationSample, CgOutcomeSample, MetricsSink, RecoveryKind, RecoverySample};
 
 /// An abstract symmetric positive definite linear operator.
 pub trait LinOp<T: Real>: Sync {
@@ -48,6 +48,28 @@ pub struct CgConfig<T> {
     /// costing nothing on the hot path. Each periodic snapshot is also
     /// reported to the metrics sink as a `checkpoint` recovery event.
     pub checkpoint_interval: Option<usize>,
+    /// Stagnation window: if the best squared residual seen so far fails to
+    /// improve by [`CgConfig::stall_improvement`] for this many consecutive
+    /// iterations, the solve is classified [`SolveOutcome::Stalled`] and
+    /// stopped. Pure observation — a converging solve exits at the
+    /// tolerance before the window can ever fill.
+    pub stall_window: usize,
+    /// Minimum relative improvement of the best squared residual (`δ = rᵀr`)
+    /// that resets the stagnation window. At less than this improvement per
+    /// window the solve could not reach any practical tolerance within the
+    /// iteration budget anyway.
+    pub stall_improvement: f64,
+    /// Residual-norm growth factor over `‖r₀‖` that classifies the solve as
+    /// [`SolveOutcome::Diverged`]. CG on an SPD operator never grows the
+    /// residual like this; only indefinite or poisoned systems do.
+    pub divergence_ratio: f64,
+    /// Maximum tolerated relative gap between the recurrence residual and
+    /// the true residual `b − A·x` at each refresh point. Beyond it the
+    /// recurrence has drifted away from reality: the search direction is
+    /// restarted from the true residual (a `restart` recovery event).
+    /// Healthy solves agree to many digits, so the default never fires on
+    /// them — the comparison is observation-only.
+    pub drift_tolerance: f64,
 }
 
 impl<T: Real> Default for CgConfig<T> {
@@ -57,6 +79,10 @@ impl<T: Real> Default for CgConfig<T> {
             max_iterations: None,
             residual_refresh_interval: 50,
             checkpoint_interval: None,
+            stall_window: 250,
+            stall_improvement: 0.05,
+            divergence_ratio: 1e4,
+            drift_tolerance: 0.1,
         }
     }
 }
@@ -110,6 +136,123 @@ impl<T: Real> CgState<T> {
     pub fn residual_norm(&self) -> T {
         self.delta.max(T::ZERO).sqrt()
     }
+
+    /// Builds a fresh-start state at the iterate `x0` with an exactly
+    /// recomputed residual `r = b − A·x0` (one matvec) and the search
+    /// direction reset to the (preconditioned) residual.
+    ///
+    /// This is the guardrail ladder's restart primitive: after a stall or
+    /// breakdown the recurrence state is discarded but the progress in `x`
+    /// is kept. Pass `reference_delta0` (the original `rᵀr` at `x = 0`,
+    /// i.e. `‖b‖²`) so the relative-residual termination criterion keeps
+    /// its original meaning across the restart; `None` measures relative
+    /// to the restart point instead.
+    ///
+    /// # Panics
+    /// Panics on length mismatches.
+    pub fn restart_from(
+        op: &dyn LinOp<T>,
+        b: &[T],
+        x0: &[T],
+        diagonal: Option<&[T]>,
+        reference_delta0: Option<T>,
+    ) -> Self {
+        let n = op.dim();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        assert_eq!(x0.len(), n, "iterate length mismatch");
+        if let Some(diag) = diagonal {
+            assert_eq!(diag.len(), n, "diagonal length mismatch");
+        }
+        let mut r = vec![T::ZERO; n];
+        op.apply(x0, &mut r);
+        for i in 0..n {
+            r[i] = b[i] - r[i];
+        }
+        let d: Vec<T> = match diagonal {
+            Some(diag) => r.iter().zip(diag).map(|(&ri, &di)| ri / di).collect(),
+            None => r.clone(),
+        };
+        let rho = dot(&r, &d);
+        let delta = dot(&r, &r);
+        Self {
+            x: x0.to_vec(),
+            r,
+            d,
+            rho,
+            delta,
+            delta0: reference_delta0.unwrap_or(delta),
+            iterations: 0,
+        }
+    }
+}
+
+/// What kind of numerical breakdown ended a CG solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakdownKind {
+    /// `pᵀAp ≤ 0`: the operator is numerically not positive definite along
+    /// the current search direction (e.g. a sigmoid kernel system, or an
+    /// SPD system destroyed by rounding).
+    Indefinite,
+    /// NaN/Inf poisoning: a matvec output, curvature, or residual stopped
+    /// being finite.
+    NonFinite,
+}
+
+impl BreakdownKind {
+    /// Stable lowercase name used in telemetry.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BreakdownKind::Indefinite => "indefinite",
+            BreakdownKind::NonFinite => "nonfinite",
+        }
+    }
+}
+
+/// Structured classification of why a CG solve stopped.
+///
+/// Replaces the old silent `converged: bool`: every exit path of the
+/// solver maps to exactly one variant, so callers can distinguish "met the
+/// tolerance" from "ran out of budget" from "the system is numerically
+/// broken" — and the escalation ladder ([`crate::guard`]) can pick the
+/// right recovery rung.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveOutcome {
+    /// The relative-residual criterion `‖r‖ ≤ ε·‖r₀‖` was met.
+    Converged,
+    /// The best residual stopped improving for a full stagnation window
+    /// ([`CgConfig::stall_window`]).
+    Stalled,
+    /// The residual grew beyond [`CgConfig::divergence_ratio`]`·‖r₀‖`.
+    Diverged,
+    /// A numerical breakdown ended the recurrence.
+    Breakdown(BreakdownKind),
+    /// `max_iterations` was exhausted before any other classification.
+    IterationBudget,
+}
+
+impl SolveOutcome {
+    /// Stable lowercase name used in telemetry summaries and JSON lines.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SolveOutcome::Converged => "converged",
+            SolveOutcome::Stalled => "stalled",
+            SolveOutcome::Diverged => "diverged",
+            SolveOutcome::Breakdown(BreakdownKind::Indefinite) => "breakdown_indefinite",
+            SolveOutcome::Breakdown(BreakdownKind::NonFinite) => "breakdown_nonfinite",
+            SolveOutcome::IterationBudget => "iteration_budget",
+        }
+    }
+
+    /// `true` only for [`SolveOutcome::Converged`].
+    pub fn is_converged(&self) -> bool {
+        matches!(self, SolveOutcome::Converged)
+    }
+}
+
+impl std::fmt::Display for SolveOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 /// The outcome of a CG solve.
@@ -125,8 +268,14 @@ pub struct CgResult<T> {
     /// Final residual norm `‖rₖ‖` (recurrence value).
     pub residual_norm: T,
     /// Whether the relative-residual criterion was met within the
-    /// iteration budget.
+    /// iteration budget. Equivalent to `outcome.is_converged()`; kept as a
+    /// plain flag for ergonomic call sites.
     pub converged: bool,
+    /// Structured classification of why the solve stopped.
+    pub outcome: SolveOutcome,
+    /// Number of search-direction restarts triggered by recurrence-residual
+    /// drift at refresh points (see [`CgConfig::drift_tolerance`]).
+    pub drift_restarts: usize,
     /// The solver state at exit, present when
     /// [`CgConfig::checkpoint_interval`] is set. Resuming from it with
     /// [`conjugate_gradients_resume`] continues the run exactly where it
@@ -239,12 +388,27 @@ pub fn conjugate_gradients_jacobi_resume<T: Real>(
     config: &CgConfig<T>,
     state: &CgState<T>,
 ) -> CgResult<T> {
+    conjugate_gradients_jacobi_resume_with_metrics(op, b, diagonal, config, state, None)
+}
+
+/// [`conjugate_gradients_jacobi_resume`] with per-iteration telemetry.
+///
+/// # Panics
+/// Same contract as [`conjugate_gradients_jacobi_resume`].
+pub fn conjugate_gradients_jacobi_resume_with_metrics<T: Real>(
+    op: &dyn LinOp<T>,
+    b: &[T],
+    diagonal: &[T],
+    config: &CgConfig<T>,
+    state: &CgState<T>,
+    metrics: Option<&dyn MetricsSink>,
+) -> CgResult<T> {
     assert_eq!(diagonal.len(), op.dim(), "diagonal length mismatch");
     assert!(
         diagonal.iter().all(|d| d.to_f64() > 0.0),
         "Jacobi preconditioner needs a strictly positive diagonal"
     );
-    conjugate_gradients_impl(op, b, config, Some(diagonal), None, Some(state))
+    conjugate_gradients_impl(op, b, config, Some(diagonal), metrics, Some(state))
 }
 
 /// Solves `A·x = b` with **Jacobi-preconditioned** CG: `M = diag(A)`,
@@ -303,6 +467,7 @@ fn conjugate_gradients_impl<T: Real>(
     if let Some(k) = config.checkpoint_interval {
         assert!(k >= 1, "checkpoint interval must be at least 1");
     }
+    assert!(config.stall_window >= 1, "stall window must be at least 1");
     let max_iterations = config.max_iterations.unwrap_or_else(|| (2 * n).max(128));
 
     // z = M⁻¹·r (identity without a preconditioner)
@@ -361,16 +526,37 @@ fn conjugate_gradients_impl<T: Real>(
     };
 
     let mut q = vec![T::ZERO; n];
+    let mut scratch: Vec<T> = Vec::new(); // recurrence residual at refresh points
     let mut converged = delta <= threshold || delta.to_f64() == 0.0;
+    let mut classified: Option<SolveOutcome> = None;
+    // ‖b‖² (or ε²·‖b‖²) overflowing the working type poisons every
+    // comparison below — `inf ≤ inf` would otherwise report instant
+    // convergence at x = 0. Classify instead of lying.
+    if !(delta.is_finite() && threshold.is_finite()) {
+        converged = false;
+        classified = Some(SolveOutcome::Breakdown(BreakdownKind::NonFinite));
+    }
+    let mut drift_restarts = 0usize;
+    // stagnation tracking: best squared residual so far and the number of
+    // iterations since it last improved meaningfully
+    let mut best_delta = delta.to_f64();
+    let mut stalled_for = 0usize;
+    let divergence_threshold = config.divergence_ratio * config.divergence_ratio * delta0.to_f64();
 
-    while !converged && iterations < max_iterations {
+    while classified.is_none() && !converged && iterations < max_iterations {
         let matvec_start = metrics.map(|_| Instant::now());
         op.apply(&d, &mut q);
         let matvec_wall = matvec_start.map_or(Duration::ZERO, |t| t.elapsed());
         let dq = dot(&d, &q);
-        if dq.to_f64() <= 0.0 || !dq.is_finite() {
+        if !dq.is_finite() {
+            // NaN/Inf poisoning in the matvec output or search direction.
+            classified = Some(SolveOutcome::Breakdown(BreakdownKind::NonFinite));
+            break;
+        }
+        if dq.to_f64() <= 0.0 {
             // Operator is numerically not SPD along d — stop with the best
             // iterate so far rather than diverging.
+            classified = Some(SolveOutcome::Breakdown(BreakdownKind::Indefinite));
             break;
         }
         let alpha = rho / dq;
@@ -378,11 +564,38 @@ fn conjugate_gradients_impl<T: Real>(
             x[i] = alpha.mul_add(d[i], x[i]);
         }
         iterations += 1;
+        let mut drift_restart = false;
         if iterations.is_multiple_of(config.residual_refresh_interval) {
+            // finish the recurrence into a scratch buffer first so the drift
+            // between it and the exact residual can be measured
+            scratch.clear();
+            scratch.extend(r.iter().zip(&q).map(|(&ri, &qi)| (-alpha).mul_add(qi, ri)));
             // exact residual to cancel drift
             op.apply(&x, &mut q);
             for i in 0..n {
                 r[i] = b[i] - q[i];
+            }
+            let mut diff_sq = 0.0f64;
+            let mut true_sq = 0.0f64;
+            for i in 0..n {
+                let diff = scratch[i].to_f64() - r[i].to_f64();
+                diff_sq += diff * diff;
+                true_sq += r[i].to_f64() * r[i].to_f64();
+            }
+            let drift = diff_sq.sqrt() / true_sq.sqrt().max(f64::MIN_POSITIVE);
+            if drift > config.drift_tolerance {
+                // the recurrence no longer describes reality: discard the
+                // conjugate direction and restart steepest-descent-style
+                // from the exact residual
+                drift_restart = true;
+                drift_restarts += 1;
+                if let Some(sink) = metrics {
+                    sink.record_recovery(RecoverySample::solver(
+                        RecoveryKind::Restart,
+                        iterations,
+                        format!("recurrence-residual drift {drift:.3e} at refresh"),
+                    ));
+                }
             }
         } else {
             for i in 0..n {
@@ -391,9 +604,18 @@ fn conjugate_gradients_impl<T: Real>(
         }
         precondition(&r, &mut z);
         let rho_new = dot(&r, &z);
-        let beta = rho_new / rho;
-        for i in 0..n {
-            d[i] = beta.mul_add(d[i], z[i]);
+        let beta = if drift_restart {
+            T::ZERO
+        } else {
+            rho_new / rho
+        };
+        if drift_restart {
+            d.clear();
+            d.extend_from_slice(&z);
+        } else {
+            for i in 0..n {
+                d[i] = beta.mul_add(d[i], z[i]);
+            }
         }
         rho = rho_new;
         delta = dot(&r, &r);
@@ -417,8 +639,49 @@ fn conjugate_gradients_impl<T: Real>(
                 }
             }
         }
+        // guardrail classification — observation-only comparisons; on a
+        // converging well-conditioned solve none of these ever fire
+        if !converged {
+            let df = delta.to_f64();
+            if !df.is_finite() {
+                classified = Some(SolveOutcome::Breakdown(BreakdownKind::NonFinite));
+                break;
+            }
+            if df > divergence_threshold {
+                classified = Some(SolveOutcome::Diverged);
+                break;
+            }
+            if df < best_delta * (1.0 - config.stall_improvement) {
+                best_delta = df;
+                stalled_for = 0;
+            } else {
+                stalled_for += 1;
+                if stalled_for >= config.stall_window {
+                    classified = Some(SolveOutcome::Stalled);
+                    break;
+                }
+            }
+        }
     }
 
+    let outcome = if converged {
+        SolveOutcome::Converged
+    } else {
+        classified.unwrap_or(SolveOutcome::IterationBudget)
+    };
+    let residual_norm = delta.max(T::ZERO).sqrt();
+    if let Some(sink) = metrics {
+        sink.record_cg_outcome(CgOutcomeSample {
+            outcome: outcome.as_str(),
+            iterations,
+            final_residual_norm: residual_norm.to_f64(),
+            relative_residual: if initial_norm.to_f64() == 0.0 {
+                0.0
+            } else {
+                residual_norm.to_f64() / initial_norm.to_f64()
+            },
+        });
+    }
     let checkpoint = config
         .checkpoint_interval
         .map(|_| snapshot(&x, &r, &d, rho, delta, iterations));
@@ -426,8 +689,10 @@ fn conjugate_gradients_impl<T: Real>(
         x,
         iterations,
         initial_residual_norm: initial_norm,
-        residual_norm: delta.max(T::ZERO).sqrt(),
+        residual_norm,
         converged,
+        outcome,
+        drift_restarts,
         checkpoint,
     }
 }

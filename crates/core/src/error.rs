@@ -5,6 +5,8 @@ use std::fmt;
 use plssvm_data::DataError;
 use plssvm_simgpu::SimGpuError;
 
+use crate::cg::SolveOutcome;
+
 /// Errors produced by the LS-SVM solver.
 #[derive(Debug)]
 pub enum SvmError {
@@ -14,6 +16,19 @@ pub enum SvmError {
     Device(SimGpuError),
     /// Invalid solver parameters or a solver-level failure.
     Solver(String),
+    /// The solve finished without meeting the ε criterion even after the
+    /// recovery ladder was exhausted, and the caller asked for strict
+    /// handling (the CLI's `--on-nonconverged error`). Carries the
+    /// classified [`SolveOutcome`] so callers can distinguish a budget
+    /// exhaustion from a numerical breakdown.
+    NonConverged {
+        /// Why the solve stopped.
+        outcome: SolveOutcome,
+        /// Final `‖r‖/‖b‖`.
+        relative_residual: f64,
+        /// Matvec-bearing iterations across all escalation rungs.
+        iterations: usize,
+    },
 }
 
 impl fmt::Display for SvmError {
@@ -22,6 +37,15 @@ impl fmt::Display for SvmError {
             SvmError::Data(e) => write!(f, "data error: {e}"),
             SvmError::Device(e) => write!(f, "device error: {e}"),
             SvmError::Solver(msg) => write!(f, "solver error: {msg}"),
+            SvmError::NonConverged {
+                outcome,
+                relative_residual,
+                iterations,
+            } => write!(
+                f,
+                "solver did not converge: {outcome} after {iterations} iterations \
+                 (relative residual {relative_residual:.3e})"
+            ),
         }
     }
 }
@@ -31,7 +55,7 @@ impl std::error::Error for SvmError {
         match self {
             SvmError::Data(e) => Some(e),
             SvmError::Device(e) => Some(e),
-            SvmError::Solver(_) => None,
+            SvmError::Solver(_) | SvmError::NonConverged { .. } => None,
         }
     }
 }

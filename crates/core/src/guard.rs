@@ -1,0 +1,740 @@
+//! Solver guardrails: the automatic escalation ladder.
+//!
+//! [`crate::cg`] classifies *why* a solve stopped ([`SolveOutcome`]); this
+//! module decides *what to do about it*. When a solve comes back
+//! non-converged, [`solve_with_guardrails`] walks an escalation ladder
+//! driven by a [`RecoveryPolicy`]:
+//!
+//! 1. **Restart** — re-derive the exact residual `b − A·x` at the current
+//!    iterate and restart the recurrence from it (stalls are often caused
+//!    by accumulated recurrence drift, which a restart cancels for free).
+//! 2. **Precondition** — enable the Jacobi preconditioner (diagonal
+//!    scaling), restarting from the current iterate.
+//! 3. **Precision escalation** — for working precisions narrower than
+//!    f64 (`T::BYTES < 8`), wrap the backend in an f64
+//!    iterative-refinement outer loop: the iterate and the residual
+//!    accumulation live in f64, while every heavy matvec still runs
+//!    through the original working-precision backend (the paper's >92 %
+//!    of runtime stays in the fast precision).
+//!
+//! Each rung fires a `recovery` telemetry event
+//! ([`RecoveryKind::Restart`] / [`RecoveryKind::Precondition`] /
+//! [`RecoveryKind::PrecisionEscalation`]), so a training run either
+//! succeeds untouched, degrades with a recorded reason, or fails with a
+//! classified outcome — never silently.
+//!
+//! The ladder only engages on non-convergence: a solve that converges on
+//! the first attempt takes exactly the same code path (and performs
+//! bit-identical arithmetic) as it did before guardrails existed.
+
+use plssvm_data::Real;
+
+use crate::cg::{
+    conjugate_gradients_jacobi_resume_with_metrics, conjugate_gradients_jacobi_with_metrics,
+    conjugate_gradients_resume_with_metrics, conjugate_gradients_with_metrics, BreakdownKind,
+    CgConfig, CgResult, CgState, LinOp, SolveOutcome,
+};
+use crate::kernel::dot;
+use crate::trace::{CgOutcomeSample, MetricsSink, RecoveryKind, RecoverySample};
+
+/// Which rungs of the escalation ladder may engage, and how hard the
+/// precision-escalation rung tries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Rung 1: restart from the current iterate with the exact residual.
+    pub restart: bool,
+    /// Rung 2: enable the Jacobi preconditioner (when a diagonal is
+    /// available and strictly positive).
+    pub jacobi: bool,
+    /// Rung 3: escalate `T::BYTES < 8` solves to an f64
+    /// iterative-refinement outer loop over the working-precision backend.
+    pub precision_escalation: bool,
+    /// Maximum outer refinement corrections before giving up with
+    /// [`SolveOutcome::IterationBudget`].
+    pub refinement_max_outer: usize,
+    /// Relative tolerance of each inner working-precision correction
+    /// solve. Loose on purpose: refinement converges as long as each
+    /// correction gains ~`1/refinement_inner_epsilon` digits.
+    pub refinement_inner_epsilon: f64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            restart: true,
+            jacobi: true,
+            precision_escalation: true,
+            refinement_max_outer: 12,
+            refinement_inner_epsilon: 1e-2,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// No rung ever engages: the first attempt's classified outcome is
+    /// returned as-is. (This is *not* the default — it exists for callers
+    /// that want classification without recovery.)
+    pub fn disabled() -> Self {
+        Self {
+            restart: false,
+            jacobi: false,
+            precision_escalation: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// How the escalation ladder can obtain a Jacobi diagonal.
+pub enum JacobiDiagonal<'a, T> {
+    /// The initial solve already uses this diagonal (the caller enabled
+    /// Jacobi preconditioning up front) — rung 2 is a no-op.
+    Immediate(&'a [T]),
+    /// Computable on demand; only evaluated if rung 2 actually engages,
+    /// so the happy path never pays for it.
+    Lazy(&'a dyn Fn() -> Vec<T>),
+    /// No diagonal available — rung 2 is skipped.
+    Unavailable,
+}
+
+/// The outcome of a guarded solve: the final [`CgResult`] plus what the
+/// ladder had to do to get there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardedSolve<T> {
+    /// The final solve result (of the last rung that ran).
+    pub result: CgResult<T>,
+    /// Matvec-bearing iterations summed across all rungs (the number the
+    /// caller should report as "CG iterations").
+    pub total_iterations: usize,
+    /// The rungs that engaged, in order. Empty on the happy path.
+    pub escalations: Vec<RecoveryKind>,
+}
+
+impl<T: Real> GuardedSolve<T> {
+    /// The final classified outcome.
+    pub fn outcome(&self) -> SolveOutcome {
+        self.result.outcome
+    }
+}
+
+fn emit(metrics: Option<&dyn MetricsSink>, kind: RecoveryKind, iteration: usize, detail: String) {
+    if let Some(sink) = metrics {
+        sink.record_recovery(RecoverySample::solver(kind, iteration, detail));
+    }
+}
+
+/// The current iterate, or zeros if any component is non-finite (after a
+/// NaN/Inf breakdown the iterate cannot seed a restart).
+fn sanitized<T: Real>(x: &[T]) -> Vec<T> {
+    if x.iter().all(|v| v.is_finite()) {
+        x.to_vec()
+    } else {
+        vec![T::ZERO; x.len()]
+    }
+}
+
+/// `‖b − A·x‖` with the matvec in working precision and the accumulation
+/// in f64 (one extra matvec; only used on the failure path).
+fn true_residual_norm<T: Real>(op: &dyn LinOp<T>, b: &[T], x: &[T]) -> f64 {
+    let mut out = vec![T::ZERO; op.dim()];
+    op.apply(x, &mut out);
+    b.iter()
+        .zip(&out)
+        .map(|(&bv, &ov)| {
+            let d = bv.to_f64() - ov.to_f64();
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Solves `A·x = b`, escalating through the recovery ladder on
+/// non-convergence.
+///
+/// The first attempt is exactly [`conjugate_gradients_with_metrics`] (or
+/// the Jacobi variant when `jacobi` is [`JacobiDiagonal::Immediate`]) —
+/// bit-identical to an unguarded solve. Only when that attempt comes back
+/// non-converged do the policy's rungs engage, each restarting from the
+/// best iterate so far with the relative-residual criterion still
+/// measured against the **original** `‖b‖`.
+///
+/// The consolidated outcome (final classification, total iterations
+/// across rungs, final relative residual) is recorded to `metrics` as the
+/// run's [`CgOutcomeSample`].
+///
+/// # Panics
+/// The contract of [`conjugate_gradients_with_metrics`]; additionally a
+/// [`JacobiDiagonal::Immediate`] diagonal must be strictly positive.
+pub fn solve_with_guardrails<T: Real>(
+    op: &dyn LinOp<T>,
+    b: &[T],
+    config: &CgConfig<T>,
+    policy: &RecoveryPolicy,
+    jacobi: JacobiDiagonal<'_, T>,
+    metrics: Option<&dyn MetricsSink>,
+) -> GuardedSolve<T> {
+    let delta0 = dot(b, b);
+    let initial_diag: Option<&[T]> = match &jacobi {
+        JacobiDiagonal::Immediate(d) => Some(d),
+        _ => None,
+    };
+
+    let mut result = match initial_diag {
+        Some(diag) => conjugate_gradients_jacobi_with_metrics(op, b, diag, config, metrics),
+        None => conjugate_gradients_with_metrics(op, b, config, metrics),
+    };
+    let mut total_iterations = result.iterations;
+    let mut escalations = Vec::new();
+
+    // A rung can move *backwards* (a restart from a drifted iterate may
+    // end farther from the solution than it started), so on the failure
+    // path the best iterate across all rungs is tracked by true residual
+    // and restored at the end. The happy path never measures anything.
+    let ladder_enabled =
+        policy.restart || policy.jacobi || (policy.precision_escalation && T::BYTES < 8);
+    let mut best: Option<(Vec<T>, f64)> = None;
+    let consider = |result: &CgResult<T>, best: &mut Option<(Vec<T>, f64)>| {
+        if result.converged {
+            return;
+        }
+        let x = sanitized(&result.x);
+        let norm = true_residual_norm(op, b, &x);
+        if norm.is_finite() && best.as_ref().is_none_or(|(_, bn)| norm < *bn) {
+            *best = Some((x, norm));
+        }
+    };
+    if !result.converged && ladder_enabled {
+        consider(&result, &mut best);
+    }
+
+    // Rung 1: restart from the current iterate with the exact residual.
+    if !result.converged && policy.restart {
+        emit(
+            metrics,
+            RecoveryKind::Restart,
+            total_iterations,
+            format!(
+                "escalation after {}: restart from current iterate with exact residual",
+                result.outcome
+            ),
+        );
+        escalations.push(RecoveryKind::Restart);
+        let x0 = sanitized(&result.x);
+        let state = CgState::restart_from(op, b, &x0, initial_diag, Some(delta0));
+        result = match initial_diag {
+            Some(diag) => {
+                conjugate_gradients_jacobi_resume_with_metrics(op, b, diag, config, &state, metrics)
+            }
+            None => conjugate_gradients_resume_with_metrics(op, b, config, &state, metrics),
+        };
+        total_iterations += result.iterations;
+        consider(&result, &mut best);
+    }
+
+    // Rung 2: enable the Jacobi preconditioner.
+    let mut owned_diag: Option<Vec<T>> = None;
+    if !result.converged && policy.jacobi && initial_diag.is_none() {
+        if let JacobiDiagonal::Lazy(make) = &jacobi {
+            let diag = make();
+            // a non-positive or non-finite diagonal cannot precondition an
+            // SPD solve — skip the rung rather than trip the assert
+            let usable =
+                diag.len() == op.dim() && diag.iter().all(|d| d.is_finite() && d.to_f64() > 0.0);
+            if usable {
+                emit(
+                    metrics,
+                    RecoveryKind::Precondition,
+                    total_iterations,
+                    format!(
+                        "escalation after {}: enabling Jacobi preconditioner",
+                        result.outcome
+                    ),
+                );
+                escalations.push(RecoveryKind::Precondition);
+                let x0 = sanitized(&result.x);
+                let state = CgState::restart_from(op, b, &x0, Some(&diag), Some(delta0));
+                result = conjugate_gradients_jacobi_resume_with_metrics(
+                    op, b, &diag, config, &state, metrics,
+                );
+                total_iterations += result.iterations;
+                consider(&result, &mut best);
+                owned_diag = Some(diag);
+            }
+        }
+    }
+
+    // Rung 3: f64 iterative refinement over the working-precision backend.
+    if !result.converged && policy.precision_escalation && T::BYTES < 8 {
+        emit(
+            metrics,
+            RecoveryKind::PrecisionEscalation,
+            total_iterations,
+            format!(
+                "escalation after {}: f64 iterative refinement over the {}-byte backend",
+                result.outcome,
+                T::BYTES
+            ),
+        );
+        escalations.push(RecoveryKind::PrecisionEscalation);
+        let diag = initial_diag.or(owned_diag.as_deref());
+        let (refined, inner_iterations) =
+            iterative_refinement(op, b, config, policy, diag, &result.x);
+        total_iterations += inner_iterations;
+        result = refined;
+        consider(&result, &mut best);
+    }
+
+    // Restore the best iterate measured across the ladder: never hand back
+    // a final rung's result when an earlier rung got closer.
+    if !result.converged && !escalations.is_empty() {
+        if let Some((x, norm)) = best {
+            result.x = x;
+            result.residual_norm = T::from_f64(norm);
+        }
+    }
+
+    if let Some(sink) = metrics {
+        // measured in f64 so a ‖b‖² that overflows the working type still
+        // yields an honest relative residual
+        let initial = b
+            .iter()
+            .map(|v| v.to_f64() * v.to_f64())
+            .sum::<f64>()
+            .sqrt();
+        let final_norm = result.residual_norm.to_f64();
+        sink.record_cg_outcome(CgOutcomeSample {
+            outcome: result.outcome.as_str(),
+            iterations: total_iterations,
+            final_residual_norm: final_norm,
+            relative_residual: if initial == 0.0 {
+                0.0
+            } else {
+                final_norm / initial
+            },
+        });
+    }
+
+    GuardedSolve {
+        result,
+        total_iterations,
+        escalations,
+    }
+}
+
+/// The f64 iterative-refinement outer loop (ladder rung 3).
+///
+/// The iterate and residual accumulation live in f64; the residual is
+/// *measured through the working-precision backend* (`x` is rounded to
+/// `T`, the matvec runs in `T`, the subtraction happens in f64), so the
+/// heavy O(n²) work never leaves the fast precision. Each correction
+/// solves `A·d = r/‖r‖` at a loose inner tolerance — the normalization
+/// keeps the inner right-hand side at unit scale, out of the narrow
+/// type's denormal range — and applies `x += ‖r‖·d`.
+///
+/// Returns the final [`CgResult`] (in working precision) and the number
+/// of inner iterations consumed.
+fn iterative_refinement<T: Real>(
+    op: &dyn LinOp<T>,
+    b: &[T],
+    config: &CgConfig<T>,
+    policy: &RecoveryPolicy,
+    diagonal: Option<&[T]>,
+    x_start: &[T],
+) -> (CgResult<T>, usize) {
+    let n = op.dim();
+    let b64: Vec<f64> = b.iter().map(|&v| v.to_f64()).collect();
+    let norm_b = dot(&b64, &b64).sqrt();
+    let threshold = config.epsilon.to_f64() * norm_b;
+    let mut x64: Vec<f64> = sanitized(x_start).iter().map(|&v| v.to_f64()).collect();
+    let mut x_t: Vec<T> = vec![T::ZERO; n];
+    let mut out_t: Vec<T> = vec![T::ZERO; n];
+    let mut r64: Vec<f64> = vec![0.0; n];
+    let inner_config = CgConfig {
+        epsilon: T::from_f64(policy.refinement_inner_epsilon),
+        ..*config
+    };
+
+    let mut inner_iterations = 0usize;
+    let mut best_rnorm = f64::INFINITY;
+    let mut best_x64 = x64.clone();
+    let mut rnorm = 0.0f64;
+    let mut outcome = SolveOutcome::IterationBudget;
+    for outer in 0..=policy.refinement_max_outer {
+        for (xt, &xv) in x_t.iter_mut().zip(&x64) {
+            *xt = T::from_f64(xv);
+        }
+        op.apply(&x_t, &mut out_t);
+        for ((r, &bv), &ov) in r64.iter_mut().zip(&b64).zip(&out_t) {
+            *r = bv - ov.to_f64();
+        }
+        rnorm = dot(&r64, &r64).sqrt();
+        if !rnorm.is_finite() {
+            outcome = SolveOutcome::Breakdown(BreakdownKind::NonFinite);
+            break;
+        }
+        if norm_b == 0.0 || rnorm <= threshold {
+            outcome = SolveOutcome::Converged;
+            break;
+        }
+        if outer == policy.refinement_max_outer {
+            outcome = SolveOutcome::IterationBudget;
+            break;
+        }
+        if rnorm > best_rnorm * 0.9 {
+            // the last correction improved the best residual by less than
+            // 10%: we are at the working-precision noise floor and further
+            // refinement cannot reach the tolerance
+            outcome = SolveOutcome::Stalled;
+            break;
+        }
+        best_rnorm = rnorm;
+        best_x64.copy_from_slice(&x64);
+        let rhs: Vec<T> = r64.iter().map(|&v| T::from_f64(v / rnorm)).collect();
+        let inner = match diagonal {
+            Some(diag) => {
+                conjugate_gradients_jacobi_with_metrics(op, &rhs, diag, &inner_config, None)
+            }
+            None => conjugate_gradients_with_metrics(op, &rhs, &inner_config, None),
+        };
+        inner_iterations += inner.iterations;
+        if inner.x.iter().any(|v| !v.is_finite()) {
+            outcome = SolveOutcome::Breakdown(BreakdownKind::NonFinite);
+            break;
+        }
+        for (xv, &dv) in x64.iter_mut().zip(&inner.x) {
+            *xv += rnorm * dv.to_f64();
+        }
+    }
+
+    // never hand back an iterate worse than the best one measured — a
+    // correction built from a failed inner solve can move backwards
+    if !outcome.is_converged() && best_rnorm < rnorm {
+        x64 = best_x64;
+        rnorm = best_rnorm;
+    }
+
+    let result = CgResult {
+        x: x64.iter().map(|&v| T::from_f64(v)).collect(),
+        iterations: inner_iterations,
+        initial_residual_norm: T::from_f64(norm_b),
+        residual_norm: T::from_f64(rnorm),
+        converged: outcome.is_converged(),
+        outcome,
+        drift_restarts: 0,
+        checkpoint: None,
+    };
+    (result, inner_iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cg::conjugate_gradients;
+
+    struct Dense64 {
+        n: usize,
+        a: Vec<f64>,
+    }
+
+    impl LinOp<f64> for Dense64 {
+        fn dim(&self) -> usize {
+            self.n
+        }
+        fn apply(&self, v: &[f64], out: &mut [f64]) {
+            for (i, o) in out.iter_mut().enumerate() {
+                *o = dot(&self.a[i * self.n..(i + 1) * self.n], v);
+            }
+        }
+    }
+
+    /// The same matrix evaluated entirely in f32 — models a
+    /// working-precision backend.
+    struct Dense32 {
+        n: usize,
+        a: Vec<f32>,
+    }
+
+    impl LinOp<f32> for Dense32 {
+        fn dim(&self) -> usize {
+            self.n
+        }
+        fn apply(&self, v: &[f32], out: &mut [f32]) {
+            for (i, o) in out.iter_mut().enumerate() {
+                *o = dot(&self.a[i * self.n..(i + 1) * self.n], v);
+            }
+        }
+    }
+
+    fn random_spd(n: usize, seed: u64) -> Dense64 {
+        use rand::prelude::*;
+        use rand::rngs::StdRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b: Vec<f64> = (0..n * n).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += b[k * n + i] * b[k * n + j];
+                }
+                a[i * n + j] = s + if i == j { n as f64 } else { 0.0 };
+            }
+        }
+        Dense64 { n, a }
+    }
+
+    /// SPD with rows/columns scaled over several orders of magnitude —
+    /// plain CG crawls, Jacobi fixes it.
+    fn ill_scaled_spd(n: usize) -> Dense64 {
+        let mut op = random_spd(n, 99);
+        let scales: Vec<f64> = (0..n)
+            .map(|i| 10f64.powf(5.0 * i as f64 / n as f64))
+            .collect();
+        for i in 0..n {
+            for j in 0..n {
+                op.a[i * n + j] *= scales[i] * scales[j];
+            }
+        }
+        op
+    }
+
+    /// An SPD matrix with near-dependent directions (condition number
+    /// ~1/`ridge`) whose diagonal is nearly uniform, so Jacobi cannot
+    /// rescue it — only precision escalation can.
+    fn near_singular_spd(n: usize, perturb: f64, ridge: f64) -> Dense64 {
+        use rand::prelude::*;
+        use rand::rngs::StdRng;
+        let mut rng = StdRng::seed_from_u64(7);
+        // G has n columns that are small perturbations of a single vector:
+        // GᵀG is rank-deficient up to the perturbation scale
+        let base: Vec<f64> = (0..n).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let g: Vec<f64> = (0..n * n)
+            .map(|idx| base[idx % n] + perturb * rng.random_range(-1.0..1.0))
+            .collect();
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += g[k * n + i] * g[k * n + j];
+                }
+                a[i * n + j] = s / n as f64 + if i == j { ridge } else { 0.0 };
+            }
+        }
+        Dense64 { n, a }
+    }
+
+    #[test]
+    fn happy_path_is_bit_identical_and_unescalated() {
+        let n = 32;
+        let op = random_spd(n, 5);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let cfg = CgConfig::with_epsilon(1e-10);
+        let guarded = solve_with_guardrails(
+            &op,
+            &b,
+            &cfg,
+            &RecoveryPolicy::default(),
+            JacobiDiagonal::Unavailable,
+            None,
+        );
+        let plain = conjugate_gradients(&op, &b, &cfg);
+        assert_eq!(guarded.result.x, plain.x);
+        assert_eq!(guarded.total_iterations, plain.iterations);
+        assert!(guarded.escalations.is_empty());
+        assert_eq!(guarded.outcome(), SolveOutcome::Converged);
+    }
+
+    #[test]
+    fn disabled_policy_returns_classified_outcome_untouched() {
+        // −I is not SPD: immediate indefinite breakdown, no recovery.
+        let n = 4;
+        let a: Vec<f64> = (0..n * n)
+            .map(|idx| if idx % (n + 1) == 0 { -1.0 } else { 0.0 })
+            .collect();
+        let op = Dense64 { n, a };
+        let guarded = solve_with_guardrails(
+            &op,
+            &[1.0; 4],
+            &CgConfig::with_epsilon(1e-6),
+            &RecoveryPolicy::disabled(),
+            JacobiDiagonal::Unavailable,
+            None,
+        );
+        assert_eq!(
+            guarded.outcome(),
+            SolveOutcome::Breakdown(BreakdownKind::Indefinite)
+        );
+        assert!(guarded.escalations.is_empty());
+    }
+
+    #[test]
+    fn indefinite_system_exhausts_ladder_without_lying() {
+        // Full policy on −I: restart re-breaks, Jacobi diagonal is
+        // negative (skipped), refinement is f64-gated — the final outcome
+        // must still be the honest breakdown.
+        let n = 4;
+        let a: Vec<f64> = (0..n * n)
+            .map(|idx| if idx % (n + 1) == 0 { -1.0 } else { 0.0 })
+            .collect();
+        let op = Dense64 { n, a };
+        let make_diag = || vec![-1.0; 4];
+        let guarded = solve_with_guardrails(
+            &op,
+            &[1.0; 4],
+            &CgConfig::with_epsilon(1e-6),
+            &RecoveryPolicy::default(),
+            JacobiDiagonal::Lazy(&make_diag),
+            None,
+        );
+        assert_eq!(
+            guarded.outcome(),
+            SolveOutcome::Breakdown(BreakdownKind::Indefinite)
+        );
+        assert_eq!(guarded.escalations, vec![RecoveryKind::Restart]);
+    }
+
+    #[test]
+    fn jacobi_rung_rescues_ill_scaled_system() {
+        let n = 60;
+        let op = ill_scaled_spd(n);
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.7).cos()).collect();
+        let diag: Vec<f64> = (0..n).map(|i| op.a[i * n + i]).collect();
+        // budget small enough that plain CG (and its restart) cannot make
+        // it, but preconditioned CG can
+        let cfg = CgConfig {
+            epsilon: 1e-8,
+            max_iterations: Some(n),
+            ..CgConfig::default()
+        };
+        let unguarded = conjugate_gradients(&op, &b, &cfg);
+        assert!(!unguarded.converged, "fixture must defeat plain CG");
+
+        let t = crate::trace::Telemetry::new();
+        let make_diag = || diag.clone();
+        let guarded = solve_with_guardrails(
+            &op,
+            &b,
+            &cfg,
+            &RecoveryPolicy::default(),
+            JacobiDiagonal::Lazy(&make_diag),
+            Some(&t),
+        );
+        assert_eq!(guarded.outcome(), SolveOutcome::Converged);
+        assert!(guarded.escalations.contains(&RecoveryKind::Precondition));
+        // the rescue is recorded, and the consolidated outcome reflects
+        // the whole ladder
+        let report = t.report();
+        assert!(report
+            .recovery
+            .iter()
+            .any(|s| s.kind == RecoveryKind::Precondition));
+        let outcome = report.cg_outcome.expect("consolidated outcome recorded");
+        assert_eq!(outcome.outcome, "converged");
+        assert_eq!(outcome.iterations, guarded.total_iterations);
+        // the claimed residual is real
+        let mut ax = vec![0.0; n];
+        op.apply(&guarded.result.x, &mut ax);
+        let true_rel = b
+            .iter()
+            .zip(&ax)
+            .map(|(bi, axi)| (bi - axi) * (bi - axi))
+            .sum::<f64>()
+            .sqrt()
+            / b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(true_rel <= 1e-6, "true relative residual {true_rel}");
+    }
+
+    #[test]
+    fn f32_solve_converges_only_via_precision_escalation() {
+        // A well-conditioned system whose right-hand side lives at a scale
+        // where ‖b‖² overflows f32: every f32-native solve (plain,
+        // restarted, preconditioned) sees `delta0 = inf` and is classified
+        // breakdown_nonfinite, while the f64 refinement outer loop keeps
+        // its norms in f64 and normalizes the inner right-hand sides to
+        // unit scale — so only rung 3 can solve it, deterministically.
+        let n = 32;
+        let op64 = random_spd(n, 5);
+        let op32 = Dense32 {
+            n,
+            a: op64.a.iter().map(|&v| v as f32).collect(),
+        };
+        const SCALE: f64 = 1e25; // ‖b‖² ≈ 1e50 ≫ f32::MAX ≈ 3.4e38
+        let b64: Vec<f64> = (0..n)
+            .map(|i| SCALE * (1.0 + ((i as f64) * 0.37).sin()))
+            .collect();
+        let b32: Vec<f32> = b64.iter().map(|&v| v as f32).collect();
+        let cfg = CgConfig {
+            epsilon: 1e-4f32,
+            max_iterations: Some(4 * n),
+            ..CgConfig::default()
+        };
+        let unguarded = conjugate_gradients(&op32, &b32, &cfg);
+        assert_eq!(
+            unguarded.outcome,
+            SolveOutcome::Breakdown(BreakdownKind::NonFinite),
+            "fixture must defeat plain f32 CG"
+        );
+
+        let t = crate::trace::Telemetry::new();
+        let diag: Vec<f32> = (0..n).map(|i| op32.a[i * n + i]).collect();
+        let make_diag = || diag.clone();
+        let guarded = solve_with_guardrails(
+            &op32,
+            &b32,
+            &cfg,
+            &RecoveryPolicy::default(),
+            JacobiDiagonal::Lazy(&make_diag),
+            Some(&t),
+        );
+        assert_eq!(
+            guarded.outcome(),
+            SolveOutcome::Converged,
+            "escalation ladder must rescue the f32 solve"
+        );
+        assert!(guarded
+            .escalations
+            .contains(&RecoveryKind::PrecisionEscalation));
+        let report = t.report();
+        assert!(report
+            .recovery
+            .iter()
+            .any(|s| s.kind == RecoveryKind::PrecisionEscalation));
+        // verify the claim against the f64 operator
+        let x64: Vec<f64> = guarded.result.x.iter().map(|&v| v as f64).collect();
+        let mut ax = vec![0.0; n];
+        op64.apply(&x64, &mut ax);
+        let true_rel = b64
+            .iter()
+            .zip(&ax)
+            .map(|(bi, axi)| (bi - axi) * (bi - axi))
+            .sum::<f64>()
+            .sqrt()
+            / b64.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(true_rel <= 1e-3, "true relative residual {true_rel}");
+    }
+
+    #[test]
+    fn refinement_is_gated_to_narrow_precisions() {
+        // An f64 solve that cannot converge must NOT enter rung 3.
+        let n = 24;
+        let op = near_singular_spd(n, 1e-3, 1e-14);
+        let b = vec![1.0; n];
+        let cfg = CgConfig {
+            epsilon: 1e-12,
+            max_iterations: Some(8),
+            ..CgConfig::default()
+        };
+        let guarded = solve_with_guardrails(
+            &op,
+            &b,
+            &cfg,
+            &RecoveryPolicy::default(),
+            JacobiDiagonal::Unavailable,
+            None,
+        );
+        assert!(!guarded
+            .escalations
+            .contains(&RecoveryKind::PrecisionEscalation));
+        assert!(!guarded.outcome().is_converged());
+    }
+}

@@ -22,6 +22,7 @@
 pub mod backend;
 pub mod cg;
 pub mod error;
+pub mod guard;
 pub mod kernel;
 pub mod matrix_free;
 pub mod model_selection;
@@ -41,8 +42,13 @@ pub use svm::{
 /// Convenient glob-import surface for downstream users.
 pub mod prelude {
     pub use crate::backend::BackendSelection;
+    pub use crate::cg::SolveOutcome;
+    pub use crate::guard::RecoveryPolicy;
     pub use crate::model_selection::{grid_search, GridSearchConfig, GridSearchResult};
-    pub use crate::multiclass::{train_multiclass, MultiClassModel, MultiClassStrategy};
+    pub use crate::multiclass::{
+        train_multiclass, train_multiclass_with_outcomes, MultiClassModel, MultiClassStrategy,
+        MultiClassTrainOutput,
+    };
     pub use crate::regression::{mean_squared_error, predict_values, r_squared, LsSvr};
     pub use crate::svm::{
         accuracy, predict, predict_labels, predict_linear, train, LsSvm, TrainOutput,

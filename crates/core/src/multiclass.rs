@@ -25,6 +25,7 @@ use plssvm_data::multiclass::MultiClassData;
 use plssvm_data::{DataError, Real};
 use plssvm_simgpu::device::AtomicScalar;
 
+use crate::cg::SolveOutcome;
 use crate::error::SvmError;
 use crate::svm::{predict_decision_values, LsSvm};
 
@@ -267,6 +268,39 @@ impl<T: Real> MultiClassModel<T> {
     }
 }
 
+/// A trained multi-class model plus the classified solve outcome of every
+/// binary subproblem — the multi-class analogue of
+/// [`crate::svm::TrainOutput::outcome`].
+#[derive(Debug)]
+pub struct MultiClassTrainOutput<T> {
+    /// The trained multi-class model.
+    pub model: MultiClassModel<T>,
+    /// Per-subproblem solve outcomes, keyed like
+    /// [`MultiClassModel::models`] (`(a, b)` pairs for one-vs-one,
+    /// `(c, i32::MIN)` for one-vs-rest).
+    pub outcomes: Vec<((i32, i32), SolveOutcome)>,
+    /// CG iterations summed over all binary subproblems (each already
+    /// summed across its escalation rungs).
+    pub total_iterations: usize,
+}
+
+impl<T> MultiClassTrainOutput<T> {
+    /// Whether every binary subproblem converged.
+    pub fn all_converged(&self) -> bool {
+        self.outcomes.iter().all(|(_, o)| o.is_converged())
+    }
+
+    /// The subproblems that did *not* converge, with their classified
+    /// outcomes.
+    pub fn non_converged(&self) -> Vec<((i32, i32), SolveOutcome)> {
+        self.outcomes
+            .iter()
+            .filter(|(_, o)| !o.is_converged())
+            .copied()
+            .collect()
+    }
+}
+
 /// Trains a multi-class LS-SVM by decomposing into binary subproblems,
 /// each trained with `trainer`'s configuration (kernel, cost, ε, backend).
 pub fn train_multiclass<T: AtomicScalar>(
@@ -274,12 +308,25 @@ pub fn train_multiclass<T: AtomicScalar>(
     trainer: &LsSvm<T>,
     strategy: MultiClassStrategy,
 ) -> Result<MultiClassModel<T>, SvmError> {
+    train_multiclass_with_outcomes(data, trainer, strategy).map(|out| out.model)
+}
+
+/// Like [`train_multiclass`], additionally reporting the classified
+/// [`SolveOutcome`] of every binary subproblem so callers can tell which
+/// pairwise solves needed escalation or never converged.
+pub fn train_multiclass_with_outcomes<T: AtomicScalar>(
+    data: &MultiClassData<T>,
+    trainer: &LsSvm<T>,
+    strategy: MultiClassStrategy,
+) -> Result<MultiClassTrainOutput<T>, SvmError> {
     if data.num_classes() < 2 {
         return Err(SvmError::Solver(
             "multi-class training needs at least two classes".into(),
         ));
     }
     let mut models = Vec::new();
+    let mut outcomes = Vec::new();
+    let mut total_iterations = 0;
     match strategy {
         MultiClassStrategy::OneVsOne => {
             for i in 0..data.classes.len() {
@@ -287,6 +334,8 @@ pub fn train_multiclass<T: AtomicScalar>(
                     let (a, b) = (data.classes[i], data.classes[j]);
                     let subset = data.pair_subset(a, b)?;
                     let out = trainer.train(&subset)?;
+                    outcomes.push(((a, b), out.outcome));
+                    total_iterations += out.iterations;
                     models.push(((a, b), out.model));
                 }
             }
@@ -295,14 +344,20 @@ pub fn train_multiclass<T: AtomicScalar>(
             for &c in &data.classes {
                 let subset = data.one_vs_rest(c)?;
                 let out = trainer.train(&subset)?;
+                outcomes.push(((c, i32::MIN), out.outcome));
+                total_iterations += out.iterations;
                 models.push(((c, i32::MIN), out.model));
             }
         }
     }
-    Ok(MultiClassModel {
-        classes: data.classes.clone(),
-        strategy,
-        models,
+    Ok(MultiClassTrainOutput {
+        model: MultiClassModel {
+            classes: data.classes.clone(),
+            strategy,
+            models,
+        },
+        outcomes,
+        total_iterations,
     })
 }
 

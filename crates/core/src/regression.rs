@@ -21,10 +21,12 @@ use plssvm_data::Real;
 use plssvm_simgpu::device::AtomicScalar;
 
 use crate::backend::{BackendSelection, CpuTilingConfig, DeviceReport, Prepared};
-use crate::cg::{conjugate_gradients_with_metrics, CgConfig};
+use crate::cg::{CgConfig, SolveOutcome};
 use crate::error::SvmError;
+use crate::guard::{solve_with_guardrails, GuardedSolve, JacobiDiagonal, RecoveryPolicy};
+use crate::kernel::kernel_row;
 use crate::matrix_free::{bias, full_alpha, reduced_rhs};
-use crate::trace::{spans, MetricsSink, SpanRecorder, Telemetry, TelemetryReport};
+use crate::trace::{spans, MetricsSink, RecoveryKind, SpanRecorder, Telemetry, TelemetryReport};
 
 /// LS-SVR trainer configuration (mirrors [`crate::svm::LsSvm`]).
 ///
@@ -66,6 +68,9 @@ pub struct LsSvr<T> {
     /// Snapshot CG state every this many iterations; mirrors
     /// [`crate::svm::LsSvm::checkpoint_interval`].
     pub checkpoint_interval: Option<usize>,
+    /// Escalation ladder for non-converged solves; mirrors
+    /// [`crate::svm::LsSvm::recovery_policy`].
+    pub recovery_policy: RecoveryPolicy,
 }
 
 impl<T: Real> Default for LsSvr<T> {
@@ -80,6 +85,7 @@ impl<T: Real> Default for LsSvr<T> {
             metrics: None,
             fault_plan: None,
             checkpoint_interval: None,
+            recovery_policy: RecoveryPolicy::default(),
         }
     }
 }
@@ -89,10 +95,15 @@ impl<T: Real> Default for LsSvr<T> {
 pub struct SvrTrainOutput<T> {
     /// The trained regression model.
     pub model: SvrModel<T>,
-    /// CG iterations performed.
+    /// CG iterations performed (summed across all escalation rungs).
     pub iterations: usize,
     /// Whether CG met the ε criterion.
     pub converged: bool,
+    /// Why the solve stopped (see [`crate::svm::TrainOutput::outcome`]).
+    pub outcome: SolveOutcome,
+    /// The recovery rungs that engaged, in order (empty on the happy
+    /// path).
+    pub escalations: Vec<RecoveryKind>,
     /// Final `‖r‖/‖r₀‖`.
     pub relative_residual: f64,
     /// Device counters (simulated backends only).
@@ -160,6 +171,13 @@ impl<T: AtomicScalar> LsSvr<T> {
         self
     }
 
+    /// Overrides the solver recovery policy; mirrors
+    /// [`crate::svm::LsSvm::with_recovery_policy`].
+    pub fn with_recovery_policy(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery_policy = policy;
+        self
+    }
+
     /// Trains on a regression data set.
     pub fn train(&self, data: &RegressionData<T>) -> Result<SvrTrainOutput<T>, SvmError> {
         let t_total = Instant::now();
@@ -204,7 +222,30 @@ impl<T: AtomicScalar> LsSvr<T> {
         };
         let metrics_ref = self.metrics.as_deref().map(|t| t as &dyn MetricsSink);
         let t_solve = Instant::now();
-        let solve = conjugate_gradients_with_metrics(&prepared, &rhs, &cfg, metrics_ref);
+        // diag(Q̃)ᵢ = k(xᵢ,xᵢ) + ridgeᵢ − 2qᵢ + Q_mm — only computed if the
+        // preconditioner rung of the escalation ladder engages
+        let compute_diagonal = || {
+            let params = prepared.params();
+            (0..params.dim())
+                .map(|i| {
+                    kernel_row(&self.kernel, data.x.row(i), data.x.row(i)) + params.ridge(i)
+                        - T::TWO * params.q[i]
+                        + params.q_mm()
+                })
+                .collect::<Vec<T>>()
+        };
+        let GuardedSolve {
+            result: solve,
+            total_iterations,
+            escalations,
+        } = solve_with_guardrails(
+            &prepared,
+            &rhs,
+            &cfg,
+            &self.recovery_policy,
+            JacobiDiagonal::Lazy(&compute_diagonal),
+            metrics_ref,
+        );
         rec.record(spans::CG_SOLVE, t_solve.elapsed());
         rec.record(spans::CG, t_cg.elapsed());
         let t_write = Instant::now();
@@ -228,8 +269,10 @@ impl<T: AtomicScalar> LsSvr<T> {
         });
         Ok(SvrTrainOutput {
             model,
-            iterations: solve.iterations,
+            iterations: total_iterations,
             converged: solve.converged,
+            outcome: solve.outcome,
+            escalations,
             relative_residual: solve.relative_residual().to_f64(),
             device,
             telemetry,

@@ -20,14 +20,13 @@ use plssvm_simgpu::device::AtomicScalar;
 use plssvm_simgpu::FaultPlan;
 
 use crate::backend::{BackendSelection, CpuTilingConfig, DeviceReport, Prepared};
-use crate::cg::{
-    conjugate_gradients_jacobi_with_metrics, conjugate_gradients_with_metrics, CgConfig,
-};
+use crate::cg::{CgConfig, SolveOutcome};
 use crate::error::SvmError;
+use crate::guard::{solve_with_guardrails, GuardedSolve, JacobiDiagonal, RecoveryPolicy};
 use crate::kernel::kernel_row;
 use crate::matrix_free::{bias, full_alpha, reduced_rhs};
 use crate::timing::ComponentTimes;
-use crate::trace::{spans, MetricsSink, SpanRecorder, Telemetry, TelemetryReport};
+use crate::trace::{spans, MetricsSink, RecoveryKind, SpanRecorder, Telemetry, TelemetryReport};
 
 /// LS-SVM trainer configuration (builder style).
 ///
@@ -87,6 +86,13 @@ pub struct LsSvm<T> {
     /// recovery event to the metrics sink. `None` (the default) disables
     /// checkpointing.
     pub checkpoint_interval: Option<usize>,
+    /// Escalation ladder engaged when the CG solve comes back
+    /// non-converged (see [`crate::guard`]): restart with exact residual,
+    /// then Jacobi preconditioning, then (f32 only) f64 iterative
+    /// refinement over the working-precision backend. The default engages
+    /// every rung; [`RecoveryPolicy::disabled`] returns the first
+    /// attempt's classified outcome untouched.
+    pub recovery_policy: RecoveryPolicy,
 }
 
 impl<T: Real> Default for LsSvm<T> {
@@ -103,6 +109,7 @@ impl<T: Real> Default for LsSvm<T> {
             metrics: None,
             fault_plan: None,
             checkpoint_interval: None,
+            recovery_policy: RecoveryPolicy::default(),
         }
     }
 }
@@ -184,6 +191,13 @@ impl<T: AtomicScalar> LsSvm<T> {
     /// checkpointing; must be at least 1).
     pub fn with_checkpoint_interval(mut self, iterations: usize) -> Self {
         self.checkpoint_interval = Some(iterations);
+        self
+    }
+
+    /// Overrides the solver recovery policy (which escalation rungs may
+    /// engage on a non-converged solve).
+    pub fn with_recovery_policy(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery_policy = policy;
         self
     }
 
@@ -271,26 +285,37 @@ impl<T: AtomicScalar> LsSvm<T> {
         };
         let metrics_ref = self.metrics.as_deref().map(|t| t as &dyn MetricsSink);
         let t_solve = Instant::now();
-        let solve = if self.jacobi_preconditioner {
-            // diag(Q̃)ᵢ = k(xᵢ,xᵢ) + ridgeᵢ − 2qᵢ + Q_mm, O(m·d) on the host
+        // diag(Q̃)ᵢ = k(xᵢ,xᵢ) + ridgeᵢ − 2qᵢ + Q_mm, O(m·d) on the host
+        let compute_diagonal = || {
             let params = prepared.params();
-            let diagonal: Vec<T> = (0..params.dim())
+            (0..params.dim())
                 .map(|i| {
                     kernel_row(&self.kernel, data.x.row(i), data.x.row(i)) + params.ridge(i)
                         - T::TWO * params.q[i]
                         + params.q_mm()
                 })
-                .collect();
-            conjugate_gradients_jacobi_with_metrics(
-                &prepared,
-                &rhs,
-                &diagonal,
-                &cg_cfg,
-                metrics_ref,
-            )
-        } else {
-            conjugate_gradients_with_metrics(&prepared, &rhs, &cg_cfg, metrics_ref)
+                .collect::<Vec<T>>()
         };
+        let eager_diagonal = self.jacobi_preconditioner.then(compute_diagonal);
+        let jacobi = match &eager_diagonal {
+            // Jacobi requested up front: the first attempt already solves
+            // preconditioned, exactly as before guardrails existed
+            Some(diag) => JacobiDiagonal::Immediate(diag),
+            // otherwise the diagonal is only computed if rung 2 engages
+            None => JacobiDiagonal::Lazy(&compute_diagonal),
+        };
+        let GuardedSolve {
+            result: solve,
+            total_iterations,
+            escalations,
+        } = solve_with_guardrails(
+            &prepared,
+            &rhs,
+            &cg_cfg,
+            &self.recovery_policy,
+            jacobi,
+            metrics_ref,
+        );
         rec.record(spans::CG_SOLVE, t_solve.elapsed());
         rec.record(spans::CG, t_cg.elapsed());
 
@@ -335,8 +360,10 @@ impl<T: AtomicScalar> LsSvm<T> {
         Ok(TrainOutput {
             model,
             times: ComponentTimes::from_spans(rec.spans()),
-            iterations: solve.iterations,
+            iterations: total_iterations,
             converged: solve.converged,
+            outcome: solve.outcome,
+            escalations,
             relative_residual: solve.relative_residual().to_f64(),
             backend_name: backend.name(),
             linear_w,
@@ -353,10 +380,17 @@ pub struct TrainOutput<T> {
     pub model: SvmModel<T>,
     /// Component wall-clock timings.
     pub times: ComponentTimes,
-    /// CG iterations performed.
+    /// CG iterations performed (summed across all escalation rungs).
     pub iterations: usize,
     /// Whether CG met the ε criterion within its budget.
     pub converged: bool,
+    /// Why the solve stopped — [`SolveOutcome::Converged`] on success,
+    /// otherwise the classified failure mode of the *last* escalation rung
+    /// that ran.
+    pub outcome: SolveOutcome,
+    /// The recovery rungs that engaged, in order (empty on the happy
+    /// path); each also appears as a `recovery` telemetry event.
+    pub escalations: Vec<RecoveryKind>,
     /// Final `‖r‖/‖r₀‖`.
     pub relative_residual: f64,
     /// Human-readable backend description.

@@ -92,6 +92,17 @@ pub enum RecoveryKind {
     Straggler,
     /// The CG solver snapshotted its state ([`crate::cg::CgState`]).
     Checkpoint,
+    /// The solver restarted from its current iterate with the exactly
+    /// recomputed residual (drift restart, or escalation-ladder rung 1).
+    Restart,
+    /// The escalation ladder enabled the Jacobi preconditioner (rung 2).
+    Precondition,
+    /// The escalation ladder switched an f32 solve to an f64
+    /// iterative-refinement outer loop (rung 3).
+    PrecisionEscalation,
+    /// A numeric fault was detected (non-finite matvec output, breakdown);
+    /// emitted at the detection point, before any recovery rung engages.
+    NumericFault,
 }
 
 impl RecoveryKind {
@@ -102,6 +113,10 @@ impl RecoveryKind {
             RecoveryKind::Failover => "failover",
             RecoveryKind::Straggler => "straggler",
             RecoveryKind::Checkpoint => "checkpoint",
+            RecoveryKind::Restart => "restart",
+            RecoveryKind::Precondition => "precondition",
+            RecoveryKind::PrecisionEscalation => "precision_escalation",
+            RecoveryKind::NumericFault => "numeric_fault",
         }
     }
 }
@@ -150,6 +165,38 @@ impl RecoverySample {
             detail: detail.into(),
         }
     }
+
+    /// A solver-scoped event (drift restart, escalation rung, numeric
+    /// fault) at the given CG iteration.
+    pub fn solver(kind: RecoveryKind, iteration: usize, detail: impl Into<String>) -> Self {
+        Self {
+            kind,
+            device: None,
+            at_launch: None,
+            iteration: Some(iteration),
+            detail: detail.into(),
+        }
+    }
+}
+
+/// The final classification of a CG solve (or of a whole escalation
+/// ladder), recorded once at the end: what happened, how many iterations
+/// ran, and the final (relative) residual. This is what makes "silently
+/// hit `max_iterations`" observable — the outcome and final residual are
+/// part of every telemetry summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgOutcomeSample {
+    /// Stable lowercase outcome name (see `plssvm_core::cg::SolveOutcome`):
+    /// `converged`, `stalled`, `diverged`, `breakdown_indefinite`,
+    /// `breakdown_nonfinite` or `iteration_budget`.
+    pub outcome: &'static str,
+    /// Matvec-bearing iterations performed (across all ladder rungs when
+    /// recorded by the guard layer).
+    pub iterations: usize,
+    /// Final residual norm `‖r‖` (deterministic).
+    pub final_residual_norm: f64,
+    /// `‖r‖ / ‖r₀‖` against the *original* right-hand side (deterministic).
+    pub relative_residual: f64,
 }
 
 /// Aggregated counters for one kernel name — the unified schema the
@@ -225,6 +272,14 @@ pub trait MetricsSink: Send + Sync {
     fn record_kernel_evals(&self, name: &str, evals: u128) {
         let _ = (name, evals);
     }
+
+    /// Records the final classification of a CG solve (or escalation
+    /// ladder). Recorded last; when several solves share one sink the
+    /// most recent outcome wins. Default: discard — sinks that predate
+    /// the guardrail schema keep compiling.
+    fn record_cg_outcome(&self, sample: CgOutcomeSample) {
+        let _ = sample;
+    }
 }
 
 #[derive(Debug, Default)]
@@ -234,6 +289,7 @@ struct TelemetryState {
     cg_dim: Option<usize>,
     cg_initial_residual_norm: Option<f64>,
     cg: Vec<CgIterationSample>,
+    cg_outcome: Option<CgOutcomeSample>,
     spans: Vec<SpanRecord>,
     recovery: Vec<RecoverySample>,
 }
@@ -288,6 +344,7 @@ impl Telemetry {
             cg_dim: s.cg_dim,
             cg_initial_residual_norm: s.cg_initial_residual_norm,
             cg: s.cg.clone(),
+            cg_outcome: s.cg_outcome,
             spans: s.spans.clone(),
             recovery: s.recovery.clone(),
         }
@@ -335,6 +392,10 @@ impl MetricsSink for Telemetry {
         let mut s = self.lock();
         *s.kernel_evals.entry(name.to_owned()).or_default() += evals;
     }
+
+    fn record_cg_outcome(&self, sample: CgOutcomeSample) {
+        self.lock().cg_outcome = Some(sample);
+    }
 }
 
 /// Immutable snapshot of one training run's telemetry.
@@ -353,6 +414,10 @@ pub struct TelemetryReport {
     pub cg_initial_residual_norm: Option<f64>,
     /// Per-iteration CG samples, in iteration order.
     pub cg: Vec<CgIterationSample>,
+    /// Final classification of the (most recent) CG solve: outcome,
+    /// iteration count and final relative residual. `None` when no solve
+    /// ran against this sink.
+    pub cg_outcome: Option<CgOutcomeSample>,
     /// Recorded wall-clock spans, in recording order.
     pub spans: Vec<SpanRecord>,
     /// Fault-tolerance events (retries, failovers, straggler detections,
@@ -429,6 +494,16 @@ impl TelemetryReport {
                 s.beta.to_bits()
             );
         }
+        if let Some(o) = &self.cg_outcome {
+            let _ = writeln!(
+                out,
+                "outcome={} iterations={} final_residual_bits={:016x} relative_residual_bits={:016x}",
+                o.outcome,
+                o.iterations,
+                o.final_residual_norm.to_bits(),
+                o.relative_residual.to_bits()
+            );
+        }
         for s in &self.recovery {
             let _ = writeln!(
                 out,
@@ -456,8 +531,13 @@ impl TelemetryReport {
     ///   `"bytes":n,"sim_time_s":x}`
     /// * `{"type":"kernel_evals","name":"svm_kernel","evals":n}` — only
     ///   present when a backend reported physical evaluation counts
+    /// * `{"type":"cg_outcome","outcome":"converged|stalled|diverged|`
+    ///   `breakdown_indefinite|breakdown_nonfinite|iteration_budget",`
+    ///   `"iterations":n,"final_residual_norm":x,"relative_residual":x}` —
+    ///   present when a solve ran against a guardrail-aware solver
     /// * `{"type":"span","path":"train/cg","wall_s":x}`
-    /// * `{"type":"recovery","kind":"retry|failover|straggler|checkpoint",`
+    /// * `{"type":"recovery","kind":"retry|failover|straggler|checkpoint|`
+    ///   `restart|precondition|precision_escalation|numeric_fault",`
     ///   `"device":n|null,"at_launch":n|null,"iteration":n|null,`
     ///   `"detail":"..."}`
     ///
@@ -501,6 +581,17 @@ impl TelemetryReport {
                 out,
                 "{{\"type\":\"kernel_evals\",\"name\":{},\"evals\":{evals}}}",
                 json_str(name)
+            );
+        }
+        if let Some(o) = &self.cg_outcome {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"cg_outcome\",\"outcome\":{},\"iterations\":{},\
+                 \"final_residual_norm\":{},\"relative_residual\":{}}}",
+                json_str(o.outcome),
+                o.iterations,
+                json_f64(o.final_residual_norm),
+                json_f64(o.relative_residual)
             );
         }
         for s in &self.spans {

@@ -3,6 +3,14 @@
 use std::fmt;
 use std::io;
 
+/// Upper bound on 1-based feature indices accepted by all text parsers.
+///
+/// LIBSVM files are sparse, so a single malicious line like `1 4294967295:1`
+/// would otherwise drive a multi-gigabyte dense allocation (and abort the
+/// process) before any dimension sanity check can run. Real data sets sit
+/// far below this bound; files exceeding it get a structured parse error.
+pub const MAX_FEATURE_INDEX: usize = 1 << 24;
+
 /// Errors produced while reading, writing or generating data sets.
 #[derive(Debug)]
 pub enum DataError {
@@ -13,6 +21,8 @@ pub enum DataError {
     Parse {
         /// 1-based line number in the offending file.
         line: usize,
+        /// 1-based byte column of the offending token, when known.
+        column: Option<usize>,
         /// Human readable description of the problem.
         message: String,
     },
@@ -25,7 +35,18 @@ impl fmt::Display for DataError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DataError::Io(e) => write!(f, "I/O error: {e}"),
-            DataError::Parse { line, message } => {
+            DataError::Parse {
+                line,
+                column: Some(column),
+                message,
+            } => {
+                write!(f, "parse error on line {line}, column {column}: {message}")
+            }
+            DataError::Parse {
+                line,
+                column: None,
+                message,
+            } => {
                 write!(f, "parse error on line {line}: {message}")
             }
             DataError::Invalid(msg) => write!(f, "invalid data: {msg}"),
@@ -53,6 +74,16 @@ impl DataError {
     pub fn parse(line: usize, message: impl Into<String>) -> Self {
         DataError::Parse {
             line,
+            column: None,
+            message: message.into(),
+        }
+    }
+
+    /// Parse error with a known 1-based byte column.
+    pub fn parse_at(line: usize, column: usize, message: impl Into<String>) -> Self {
+        DataError::Parse {
+            line,
+            column: Some(column),
             message: message.into(),
         }
     }
@@ -66,6 +97,8 @@ mod tests {
     fn display_formats() {
         let e = DataError::parse(3, "bad token");
         assert_eq!(e.to_string(), "parse error on line 3: bad token");
+        let e = DataError::parse_at(3, 7, "bad token");
+        assert_eq!(e.to_string(), "parse error on line 3, column 7: bad token");
         let e = DataError::Invalid("empty".into());
         assert_eq!(e.to_string(), "invalid data: empty");
         let e = DataError::from(io::Error::new(io::ErrorKind::NotFound, "nope"));

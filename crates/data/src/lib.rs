@@ -32,7 +32,7 @@ pub mod split;
 pub mod synthetic;
 
 pub use dense::{DenseMatrix, SoAMatrix};
-pub use error::DataError;
+pub use error::{DataError, MAX_FEATURE_INDEX};
 pub use libsvm::{read_libsvm_file, read_libsvm_str, write_libsvm_file, LabeledData};
 pub use real::Real;
 pub use sparse::CsrMatrix;

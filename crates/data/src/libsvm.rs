@@ -10,8 +10,23 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
 use crate::dense::DenseMatrix;
-use crate::error::DataError;
+use crate::error::{DataError, MAX_FEATURE_INDEX};
 use crate::real::Real;
+
+/// 1-based byte column of `tok` within `line`.
+///
+/// `tok` must be a subslice of `line` (as produced by `split_ascii_whitespace`);
+/// for a token from any other allocation the offset is meaningless, so this
+/// falls back to column 1 instead of reporting garbage.
+pub(crate) fn token_column(line: &str, tok: &str) -> usize {
+    let line_start = line.as_ptr() as usize;
+    let tok_start = tok.as_ptr() as usize;
+    if tok_start >= line_start && tok_start + tok.len() <= line_start + line.len() {
+        tok_start - line_start + 1
+    } else {
+        1
+    }
+}
 
 /// A labeled, dense, binary-classification data set.
 ///
@@ -138,26 +153,40 @@ pub fn read_libsvm_regression_str<T: Real>(
             continue;
         }
         let mut tokens = line.split_ascii_whitespace();
-        let target_tok = tokens.next().expect("non-empty line");
+        let target_tok = tokens
+            .next()
+            .ok_or_else(|| DataError::parse(lineno, "missing target value"))?;
         let target: T = target_tok
             .parse()
             .map_err(|_| DataError::parse(lineno, format!("invalid target '{target_tok}'")))?;
         let mut entries = Vec::new();
         for tok in tokens {
+            let col = token_column(line, tok);
             let (idx_s, val_s) = tok.split_once(':').ok_or_else(|| {
-                DataError::parse(lineno, format!("expected 'index:value', got '{tok}'"))
+                DataError::parse_at(lineno, col, format!("expected 'index:value', got '{tok}'"))
             })?;
-            let idx: usize = idx_s
-                .trim()
-                .parse()
-                .map_err(|_| DataError::parse(lineno, format!("invalid index '{idx_s}'")))?;
+            let idx: usize = idx_s.trim().parse().map_err(|_| {
+                DataError::parse_at(lineno, col, format!("invalid index '{idx_s}'"))
+            })?;
             if idx == 0 {
-                return Err(DataError::parse(lineno, "feature indices are 1-based"));
+                return Err(DataError::parse_at(
+                    lineno,
+                    col,
+                    "feature indices are 1-based",
+                ));
             }
-            let val: T = val_s
-                .trim()
-                .parse()
-                .map_err(|_| DataError::parse(lineno, format!("invalid value '{val_s}'")))?;
+            if idx > MAX_FEATURE_INDEX {
+                return Err(DataError::parse_at(
+                    lineno,
+                    col,
+                    format!(
+                        "feature index {idx} exceeds the supported maximum {MAX_FEATURE_INDEX}"
+                    ),
+                ));
+            }
+            let val: T = val_s.trim().parse().map_err(|_| {
+                DataError::parse_at(lineno, col, format!("invalid value '{val_s}'"))
+            })?;
             max_index = max_index.max(idx);
             entries.push((idx - 1, val));
         }
@@ -267,33 +296,46 @@ fn parse_lines<T: Real>(
             continue;
         }
         let mut tokens = line.split_ascii_whitespace();
-        let label_tok = tokens.next().expect("non-empty line has a first token");
+        let label_tok = tokens
+            .next()
+            .ok_or_else(|| DataError::parse(lineno, "missing label"))?;
         let label = parse_label(label_tok)
             .ok_or_else(|| DataError::parse(lineno, format!("invalid label '{label_tok}'")))?;
 
         let mut entries = Vec::new();
         let mut last_index: Option<usize> = None;
         for tok in tokens {
+            let col = token_column(line, tok);
             let (idx_s, val_s) = tok.split_once(':').ok_or_else(|| {
-                DataError::parse(lineno, format!("expected 'index:value', got '{tok}'"))
+                DataError::parse_at(lineno, col, format!("expected 'index:value', got '{tok}'"))
             })?;
             let idx: usize = idx_s.trim().parse().map_err(|_| {
-                DataError::parse(lineno, format!("invalid feature index '{idx_s}'"))
+                DataError::parse_at(lineno, col, format!("invalid feature index '{idx_s}'"))
             })?;
             if idx == 0 {
-                return Err(DataError::parse(
+                return Err(DataError::parse_at(
                     lineno,
+                    col,
                     "feature indices are 1-based; index 0 is invalid",
                 ));
             }
-            let val: T = val_s
-                .trim()
-                .parse()
-                .map_err(|_| DataError::parse(lineno, format!("invalid value '{val_s}'")))?;
+            if idx > MAX_FEATURE_INDEX {
+                return Err(DataError::parse_at(
+                    lineno,
+                    col,
+                    format!(
+                        "feature index {idx} exceeds the supported maximum {MAX_FEATURE_INDEX}"
+                    ),
+                ));
+            }
+            let val: T = val_s.trim().parse().map_err(|_| {
+                DataError::parse_at(lineno, col, format!("invalid value '{val_s}'"))
+            })?;
             if let Some(prev) = last_index {
                 if idx - 1 <= prev {
-                    return Err(DataError::parse(
+                    return Err(DataError::parse_at(
                         lineno,
+                        col,
                         format!("feature indices must be strictly increasing (index {idx})"),
                     ));
                 }

@@ -15,8 +15,8 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
 use crate::dense::DenseMatrix;
-use crate::error::DataError;
-use crate::libsvm::FmtReal;
+use crate::error::{DataError, MAX_FEATURE_INDEX};
+use crate::libsvm::{token_column, FmtReal};
 use crate::real::Real;
 
 /// The kernel function selection with its hyperparameters (§II-E).
@@ -129,7 +129,7 @@ impl<T: Real> SvmModel<T> {
                 self.sv.rows()
             )));
         }
-        if self.nr_sv[0] + self.nr_sv[1] != self.sv.rows() {
+        if self.nr_sv[0].checked_add(self.nr_sv[1]) != Some(self.sv.rows()) {
             return Err(DataError::Invalid("nr_sv does not sum to total_sv".into()));
         }
         Ok(())
@@ -333,24 +333,38 @@ fn parse_model<T: Real>(
             let mut tokens = line.split_ascii_whitespace();
             let c: T = tokens
                 .next()
-                .expect("non-empty line")
+                .ok_or_else(|| DataError::parse(lineno, "missing SV coefficient"))?
                 .parse()
                 .map_err(|_| DataError::parse(lineno, "invalid SV coefficient"))?;
             coef.push(c);
             let mut entries = Vec::new();
             for tok in tokens {
+                let col = token_column(line, tok);
                 let (idx_s, val_s) = tok.split_once(':').ok_or_else(|| {
-                    DataError::parse(lineno, format!("expected 'index:value', got '{tok}'"))
+                    DataError::parse_at(lineno, col, format!("expected 'index:value', got '{tok}'"))
                 })?;
                 let idx: usize = idx_s
                     .parse()
-                    .map_err(|_| DataError::parse(lineno, "invalid SV feature index"))?;
+                    .map_err(|_| DataError::parse_at(lineno, col, "invalid SV feature index"))?;
                 if idx == 0 {
-                    return Err(DataError::parse(lineno, "SV feature indices are 1-based"));
+                    return Err(DataError::parse_at(
+                        lineno,
+                        col,
+                        "SV feature indices are 1-based",
+                    ));
+                }
+                if idx > MAX_FEATURE_INDEX {
+                    return Err(DataError::parse_at(
+                        lineno,
+                        col,
+                        format!(
+                            "SV feature index {idx} exceeds the supported maximum {MAX_FEATURE_INDEX}"
+                        ),
+                    ));
                 }
                 let val: T = val_s
                     .parse()
-                    .map_err(|_| DataError::parse(lineno, "invalid SV feature value"))?;
+                    .map_err(|_| DataError::parse_at(lineno, col, "invalid SV feature value"))?;
                 max_index = max_index.max(idx);
                 entries.push((idx - 1, val));
             }
@@ -610,24 +624,38 @@ fn parse_svr_model<T: Real>(content: &str) -> Result<SvrModel<T>, DataError> {
             let mut tokens = line.split_ascii_whitespace();
             let c: T = tokens
                 .next()
-                .expect("non-empty line")
+                .ok_or_else(|| DataError::parse(lineno, "missing SV coefficient"))?
                 .parse()
                 .map_err(|_| DataError::parse(lineno, "invalid SV coefficient"))?;
             coef.push(c);
             let mut entries = Vec::new();
             for tok in tokens {
+                let col = token_column(line, tok);
                 let (idx_s, val_s) = tok.split_once(':').ok_or_else(|| {
-                    DataError::parse(lineno, format!("expected 'index:value', got '{tok}'"))
+                    DataError::parse_at(lineno, col, format!("expected 'index:value', got '{tok}'"))
                 })?;
                 let idx: usize = idx_s
                     .parse()
-                    .map_err(|_| DataError::parse(lineno, "invalid SV feature index"))?;
+                    .map_err(|_| DataError::parse_at(lineno, col, "invalid SV feature index"))?;
                 if idx == 0 {
-                    return Err(DataError::parse(lineno, "SV feature indices are 1-based"));
+                    return Err(DataError::parse_at(
+                        lineno,
+                        col,
+                        "SV feature indices are 1-based",
+                    ));
+                }
+                if idx > MAX_FEATURE_INDEX {
+                    return Err(DataError::parse_at(
+                        lineno,
+                        col,
+                        format!(
+                            "SV feature index {idx} exceeds the supported maximum {MAX_FEATURE_INDEX}"
+                        ),
+                    ));
                 }
                 let val: T = val_s
                     .parse()
-                    .map_err(|_| DataError::parse(lineno, "invalid SV feature value"))?;
+                    .map_err(|_| DataError::parse_at(lineno, col, "invalid SV feature value"))?;
                 max_index = max_index.max(idx);
                 entries.push((idx - 1, val));
             }

@@ -10,8 +10,8 @@
 use std::path::Path;
 
 use crate::dense::DenseMatrix;
-use crate::error::DataError;
-use crate::libsvm::LabeledData;
+use crate::error::{DataError, MAX_FEATURE_INDEX};
+use crate::libsvm::{token_column, LabeledData};
 use crate::real::Real;
 
 /// A labeled data set with an arbitrary number of classes.
@@ -128,7 +128,9 @@ pub fn read_libsvm_multiclass_str<T: Real>(
             continue;
         }
         let mut tokens = line.split_ascii_whitespace();
-        let label_tok = tokens.next().expect("non-empty line");
+        let label_tok = tokens
+            .next()
+            .ok_or_else(|| DataError::parse(lineno, "missing label"))?;
         let label: f64 = label_tok
             .parse()
             .map_err(|_| DataError::parse(lineno, format!("invalid label '{label_tok}'")))?;
@@ -140,20 +142,32 @@ pub fn read_libsvm_multiclass_str<T: Real>(
         }
         let mut entries = Vec::new();
         for tok in tokens {
+            let col = token_column(line, tok);
             let (idx_s, val_s) = tok.split_once(':').ok_or_else(|| {
-                DataError::parse(lineno, format!("expected 'index:value', got '{tok}'"))
+                DataError::parse_at(lineno, col, format!("expected 'index:value', got '{tok}'"))
             })?;
-            let idx: usize = idx_s
-                .trim()
-                .parse()
-                .map_err(|_| DataError::parse(lineno, format!("invalid index '{idx_s}'")))?;
+            let idx: usize = idx_s.trim().parse().map_err(|_| {
+                DataError::parse_at(lineno, col, format!("invalid index '{idx_s}'"))
+            })?;
             if idx == 0 {
-                return Err(DataError::parse(lineno, "feature indices are 1-based"));
+                return Err(DataError::parse_at(
+                    lineno,
+                    col,
+                    "feature indices are 1-based",
+                ));
             }
-            let val: T = val_s
-                .trim()
-                .parse()
-                .map_err(|_| DataError::parse(lineno, format!("invalid value '{val_s}'")))?;
+            if idx > MAX_FEATURE_INDEX {
+                return Err(DataError::parse_at(
+                    lineno,
+                    col,
+                    format!(
+                        "feature index {idx} exceeds the supported maximum {MAX_FEATURE_INDEX}"
+                    ),
+                ));
+            }
+            let val: T = val_s.trim().parse().map_err(|_| {
+                DataError::parse_at(lineno, col, format!("invalid value '{val_s}'"))
+            })?;
             max_index = max_index.max(idx);
             entries.push((idx - 1, val));
         }

@@ -11,7 +11,7 @@ use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 use crate::dense::DenseMatrix;
-use crate::error::DataError;
+use crate::error::{DataError, MAX_FEATURE_INDEX};
 use crate::libsvm::FmtReal;
 use crate::real::Real;
 
@@ -144,6 +144,14 @@ impl<T: Real> ScalingParams<T> {
                 .ok_or_else(|| DataError::parse(lineno + 1, "invalid feature max"))?;
             if idx == 0 {
                 return Err(DataError::parse(lineno + 1, "feature indices are 1-based"));
+            }
+            if idx > MAX_FEATURE_INDEX {
+                return Err(DataError::parse(
+                    lineno + 1,
+                    format!(
+                        "feature index {idx} exceeds the supported maximum {MAX_FEATURE_INDEX}"
+                    ),
+                ));
             }
             ranges.push((idx, lo, hi));
         }

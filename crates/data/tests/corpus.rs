@@ -1,0 +1,289 @@
+//! Mutation corpus: every text parser must return a structured
+//! [`DataError`](plssvm_data::DataError) on malformed input — never panic,
+//! never abort on an absurd allocation.
+//!
+//! A tiny deterministic LCG drives byte-level and token-level mutations of
+//! valid seed documents (LIBSVM data, model files, range files, ARFF). Each
+//! mutant is fed through all seven parser entry points under
+//! `catch_unwind`; a panic anywhere fails the test with the offending
+//! parser, seed, and mutation index so the case can be replayed.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use plssvm_data::arff::read_arff_str;
+use plssvm_data::libsvm::{read_libsvm_regression_str, read_libsvm_str};
+use plssvm_data::model::{SvmModel, SvrModel};
+use plssvm_data::multiclass::read_libsvm_multiclass_str;
+use plssvm_data::scale::ScalingParams;
+
+/// Deterministic 64-bit LCG (MMIX constants); no external RNG crates.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound.max(1) as u64) as usize
+    }
+}
+
+const LIBSVM_SEED: &str = "\
+# comment line
+1 1:0.5 3:1.25
+-1 2:-2e-1 3:4
+1 1:1e3
+-1 1:-0.25 2:0.75 3:-1
+";
+
+const MULTICLASS_SEED: &str = "\
+3 1:1 2:0.5
+1 1:-1
+2 2:2
+3 3:-0.5
+";
+
+const REGRESSION_SEED: &str = "\
+0.5 1:1 2:2
+-1.25 1:0.5
+3e2 2:-1
+";
+
+const MODEL_SEED: &str = "\
+svm_type c_svc
+kernel_type rbf
+gamma 0.25
+nr_class 2
+total_sv 2
+rho -0.5
+label 1 -1
+nr_sv 1 1
+SV
+1.5 1:0.5 2:-1
+-0.75 1:2
+";
+
+const SVR_MODEL_SEED: &str = "\
+svm_type epsilon_svr
+kernel_type linear
+nr_class 2
+total_sv 2
+rho 0.25
+SV
+1.5 1:0.5 2:-1
+-0.75 1:2
+";
+
+const RANGE_SEED: &str = "\
+x
+-1 1
+1 0 4
+2 10 20
+3 5 5
+";
+
+const ARFF_SEED: &str = "\
+@RELATION planes
+@ATTRIBUTE f0 NUMERIC
+@ATTRIBUTE f1 NUMERIC
+@ATTRIBUTE class NUMERIC
+@DATA
+0.5,1.0,1
+-1.5,2.0,-1
+{0 2.5, 2 1}
+";
+
+/// Hostile tokens that historically drive parsers into panics or giant
+/// allocations: overflowing indices, non-finite values, truncated pairs.
+const NASTY_TOKENS: &[&str] = &[
+    "4294967295:1",
+    "18446744073709551615:1",
+    "16777217:1",
+    "1e999999999",
+    "1:1e999999999",
+    "nan",
+    "nan:nan",
+    "inf",
+    ":",
+    "1:",
+    ":1",
+    "-",
+    "+",
+    "0:1",
+    "-1:5",
+    "1:1:1",
+    "0x41",
+    "NaN 1:NaN",
+    "label",
+    "nr_sv 99999999999999999999 1",
+    "total_sv 18446744073709551615",
+    "{",
+    "{0",
+    "@DATA",
+];
+
+fn mutate(seed: &str, rng: &mut Lcg) -> String {
+    let mut bytes = seed.as_bytes().to_vec();
+    match rng.below(6) {
+        // flip a random byte
+        0 => {
+            if !bytes.is_empty() {
+                let i = rng.below(bytes.len());
+                bytes[i] ^= 1 << rng.below(8);
+            }
+        }
+        // truncate at a random point
+        1 => {
+            let i = rng.below(bytes.len() + 1);
+            bytes.truncate(i);
+        }
+        // splice a hostile token at a random position
+        2 => {
+            let tok = NASTY_TOKENS[rng.below(NASTY_TOKENS.len())];
+            let i = rng.below(bytes.len() + 1);
+            bytes.splice(i..i, tok.bytes());
+        }
+        // replace a whole line with a hostile token
+        3 => {
+            let mut lines: Vec<&str> = seed.lines().collect();
+            if !lines.is_empty() {
+                let i = rng.below(lines.len());
+                lines[i] = NASTY_TOKENS[rng.below(NASTY_TOKENS.len())];
+            }
+            bytes = lines.join("\n").into_bytes();
+        }
+        // duplicate a random line (breaks total_sv/nr_sv consistency)
+        4 => {
+            let mut lines: Vec<&str> = seed.lines().collect();
+            if !lines.is_empty() {
+                let i = rng.below(lines.len());
+                lines.insert(i, lines[i]);
+            }
+            bytes = lines.join("\n").into_bytes();
+        }
+        // delete a random line (drops headers / SV rows)
+        _ => {
+            let mut lines: Vec<&str> = seed.lines().collect();
+            if !lines.is_empty() {
+                lines.remove(rng.below(lines.len()));
+            }
+            bytes = lines.join("\n").into_bytes();
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// Feeds one document through every parser entry point; returns the name of
+/// the first parser that panicked, if any.
+fn panics_in(content: &str) -> Option<&'static str> {
+    let checks: &[(&'static str, &dyn Fn())] = &[
+        ("read_libsvm_str", &|| {
+            let _ = read_libsvm_str::<f64>(content, None);
+        }),
+        ("read_libsvm_str_forced_features", &|| {
+            let _ = read_libsvm_str::<f32>(content, Some(3));
+        }),
+        ("read_libsvm_regression_str", &|| {
+            let _ = read_libsvm_regression_str::<f64>(content, None);
+        }),
+        ("read_libsvm_multiclass_str", &|| {
+            let _ = read_libsvm_multiclass_str::<f64>(content, None);
+        }),
+        ("read_arff_str", &|| {
+            let _ = read_arff_str::<f64>(content);
+        }),
+        ("SvmModel::from_model_string", &|| {
+            let _ = SvmModel::<f64>::from_model_string(content);
+        }),
+        ("SvrModel::from_model_string", &|| {
+            let _ = SvrModel::<f64>::from_model_string(content);
+        }),
+        ("ScalingParams::from_range_string", &|| {
+            let _ = ScalingParams::<f64>::from_range_string(content);
+        }),
+    ];
+    for (name, check) in checks {
+        if catch_unwind(AssertUnwindSafe(check)).is_err() {
+            return Some(name);
+        }
+    }
+    None
+}
+
+#[test]
+fn mutated_inputs_error_but_never_panic() {
+    // Silence the default panic hook: an intentional panic probe would
+    // otherwise spam stderr even though the test handles it.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let seeds = [
+        ("libsvm", LIBSVM_SEED),
+        ("multiclass", MULTICLASS_SEED),
+        ("regression", REGRESSION_SEED),
+        ("model", MODEL_SEED),
+        ("svr_model", SVR_MODEL_SEED),
+        ("range", RANGE_SEED),
+        ("arff", ARFF_SEED),
+    ];
+    let mut failures = Vec::new();
+    for (seed_name, seed) in seeds {
+        let mut rng = Lcg(0x5eed ^ seed.len() as u64);
+        for round in 0..300 {
+            let mutant = mutate(seed, &mut rng);
+            if let Some(parser) = panics_in(&mutant) {
+                failures.push(format!(
+                    "{parser} panicked on seed '{seed_name}' round {round}: {mutant:?}"
+                ));
+            }
+        }
+    }
+
+    std::panic::set_hook(prev_hook);
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn double_mutations_never_panic() {
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut rng = Lcg(0xfeed_f00d);
+    let mut failures = Vec::new();
+    for round in 0..200 {
+        let once = mutate(MODEL_SEED, &mut rng);
+        let twice = mutate(&once, &mut rng);
+        if let Some(parser) = panics_in(&twice) {
+            failures.push(format!(
+                "{parser} panicked on double mutant round {round}: {twice:?}"
+            ));
+        }
+    }
+
+    std::panic::set_hook(prev_hook);
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn hostile_one_liners_error_with_context() {
+    // Directly check the adversarial inputs from the issue: a huge sparse
+    // index must produce a structured parse error (with the line number),
+    // not a multi-gigabyte allocation.
+    let err = read_libsvm_str::<f64>("1 4294967295:1\n", None).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("line 1"), "{msg}");
+    assert!(msg.contains("exceeds the supported maximum"), "{msg}");
+
+    // Overflowing exponents parse to ±inf under Rust's f64 grammar — the
+    // parser must pass them through (or reject them) without panicking.
+    let _ = read_libsvm_str::<f64>("1 1:1e999999999\n", None);
+
+    // Token-level errors carry the byte column of the offending token.
+    let err = read_libsvm_str::<f64>("1 1:0.5 oops\n", None).unwrap_err();
+    assert!(err.to_string().contains("column 9"), "{err}");
+}
