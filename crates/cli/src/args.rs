@@ -108,8 +108,16 @@ pub struct TrainArgs {
     /// `seed:N` for a randomized plan.
     pub fault_plan: Option<FaultPlan>,
     /// Snapshot CG state every this many iterations
-    /// (`--checkpoint-every`), LS-SVM / LS-SVR only.
+    /// (`--checkpoint-every`), LS-SVM / LS-SVR only. Defaults to 50
+    /// when `--checkpoint-dir` is given without an explicit interval.
     pub checkpoint_every: Option<usize>,
+    /// Durable checkpoint journal directory (`--checkpoint-dir`),
+    /// LS-SVM / LS-SVR only. Solver state is snapshotted to disk so an
+    /// interrupted run can be continued with `--resume`.
+    pub checkpoint_dir: Option<String>,
+    /// Continue from the newest loadable generation in
+    /// `--checkpoint-dir` (`--resume`).
+    pub resume: bool,
     /// Handling of non-converged solves (`--on-nonconverged
     /// error|warn|accept`, default warn), LS-SVM / LS-SVR only.
     pub on_nonconverged: NonConvergedAction,
@@ -143,6 +151,8 @@ pub fn parse_train(args: &[String]) -> Result<TrainArgs, CliError> {
         metrics_out: None,
         fault_plan: None,
         checkpoint_every: None,
+        checkpoint_dir: None,
+        resume: false,
         on_nonconverged: NonConvergedAction::Warn,
         quiet: false,
         verbose: false,
@@ -216,6 +226,8 @@ pub fn parse_train(args: &[String]) -> Result<TrainArgs, CliError> {
                 }
                 out.checkpoint_every = Some(k);
             }
+            "--checkpoint-dir" => out.checkpoint_dir = Some(take("--checkpoint-dir")?),
+            "--resume" => out.resume = true,
             "--on-nonconverged" => {
                 out.on_nonconverged = match take("--on-nonconverged")?.as_str() {
                     "error" => NonConvergedAction::Error,
@@ -276,6 +288,12 @@ pub fn parse_train(args: &[String]) -> Result<TrainArgs, CliError> {
     }
     if out.quiet && out.verbose {
         return Err(err("-q and --verbose are mutually exclusive"));
+    }
+    if out.resume && out.checkpoint_dir.is_none() {
+        return Err(err("--resume requires --checkpoint-dir"));
+    }
+    if out.checkpoint_dir.is_some() && out.checkpoint_every.is_none() {
+        out.checkpoint_every = Some(50);
     }
 
     if cpu_tile.is_some() && backend_name != "openmp" {
@@ -926,6 +944,36 @@ mod tests {
         // defaults stay off
         let a = parse_train(&sv(&["x.dat"])).unwrap();
         assert!(a.fault_plan.is_none() && a.checkpoint_every.is_none());
+        assert!(a.checkpoint_dir.is_none() && !a.resume);
+    }
+
+    #[test]
+    fn train_checkpoint_dir_and_resume_flags() {
+        let a = parse_train(&sv(&["--checkpoint-dir", "ckpt", "x.dat"])).unwrap();
+        assert_eq!(a.checkpoint_dir.as_deref(), Some("ckpt"));
+        // a journal without an explicit interval checkpoints every 50
+        assert_eq!(a.checkpoint_every, Some(50));
+        assert!(!a.resume);
+
+        let a = parse_train(&sv(&[
+            "--checkpoint-dir",
+            "ckpt",
+            "--checkpoint-every",
+            "10",
+            "--resume",
+            "x.dat",
+        ]))
+        .unwrap();
+        assert_eq!(a.checkpoint_every, Some(10));
+        assert!(a.resume);
+
+        // --checkpoint-every alone keeps the in-memory behaviour
+        let a = parse_train(&sv(&["--checkpoint-every", "8", "x.dat"])).unwrap();
+        assert!(a.checkpoint_dir.is_none());
+
+        // resuming without a journal directory is a usage error
+        assert!(parse_train(&sv(&["--resume", "x.dat"])).is_err());
+        assert!(parse_train(&sv(&["--checkpoint-dir"])).is_err());
     }
 
     #[test]

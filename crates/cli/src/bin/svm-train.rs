@@ -30,7 +30,11 @@ fn main() -> ExitCode {
              \x20 --metrics-out f: write solver telemetry as JSON lines (LS-SVM/LS-SVR only)\n\
              \x20 --fault-plan p : inject device faults, e.g. 'fail:1@4;transient:0@2x2;slow:2@0x4'\n\
              \x20                  or 'seed:N' for a random plan (simulated backends only)\n\
-             \x20 --checkpoint-every k : snapshot CG state every k iterations (LS-SVM/LS-SVR only)\n\
+             \x20 --checkpoint-every k : snapshot CG state every k iterations (LS-SVM/LS-SVR only;\n\
+             \x20                  defaults to 50 when --checkpoint-dir is set)\n\
+             \x20 --checkpoint-dir d   : durable on-disk checkpoint journal; an interrupted run\n\
+             \x20                  can be continued with --resume (LS-SVM/LS-SVR only)\n\
+             \x20 --resume       : continue from the newest loadable checkpoint in --checkpoint-dir\n\
              \x20 --on-nonconverged a  : error | warn (default) | accept a solve that missed epsilon\n\
              \x20 -q, --quiet    : suppress the training summary\n\
              \x20 --verbose      : append per-kernel telemetry counters to the summary\n\

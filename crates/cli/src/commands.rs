@@ -16,6 +16,7 @@ use plssvm_core::trace::{MetricsSink, RecoveryKind, Telemetry, TelemetryReport};
 use plssvm_core::validation::cross_validate;
 use plssvm_core::SvmError;
 use plssvm_data::arff::read_arff_file;
+use plssvm_data::checkpoint::fnv1a64;
 use plssvm_data::libsvm::{
     read_libsvm_file, read_libsvm_regression_file, write_libsvm_string, LabeledData, RegressionData,
 };
@@ -24,6 +25,7 @@ use plssvm_data::multiclass::read_libsvm_multiclass_file;
 use plssvm_data::sat6::{generate_sat6, Sat6Config};
 use plssvm_data::scale::ScalingParams;
 use plssvm_data::synthetic::{generate_planes, PlanesConfig};
+use plssvm_data::{write_atomic, CheckpointJournal};
 
 use crate::args::{
     kernel_from_args, Algorithm, GenerateArgs, McStrategy, NonConvergedAction, PredictArgs,
@@ -52,6 +54,23 @@ fn telemetry_for(args: &TrainArgs) -> Option<Arc<Telemetry>> {
     (args.metrics_out.is_some() || args.verbose).then(Telemetry::shared)
 }
 
+/// Generations retained by the on-disk checkpoint journal: the newest
+/// plus fallbacks in case the tail is damaged.
+const JOURNAL_KEEP: usize = 4;
+
+/// Opens the durable checkpoint journal when `--checkpoint-dir` was
+/// given. The training-file *content* hash becomes the checkpoint salt,
+/// so a journal can never be resumed against a different (or edited)
+/// data file even if every hyperparameter matches.
+fn journal_for(args: &TrainArgs) -> Result<Option<(CheckpointJournal, u64)>, Box<dyn Error>> {
+    let Some(dir) = &args.checkpoint_dir else {
+        return Ok(None);
+    };
+    let journal = CheckpointJournal::open(dir, JOURNAL_KEEP)?;
+    let salt = fnv1a64(&fs::read(&args.input)?);
+    Ok(Some((journal, salt)))
+}
+
 /// Writes the unified telemetry as JSON lines when `--metrics-out` was
 /// given, and appends the per-kernel counters to the summary when
 /// `--verbose` was.
@@ -61,7 +80,7 @@ fn emit_telemetry(
     summary: &mut String,
 ) -> Result<(), Box<dyn Error>> {
     if let Some(path) = &args.metrics_out {
-        fs::write(path, report.to_json_lines())?;
+        write_atomic(path, report.to_json_lines().as_bytes())?;
     }
     if args.verbose {
         summary.push_str(&format!(
@@ -146,6 +165,9 @@ pub fn run_train(args: &TrainArgs) -> Result<String, Box<dyn Error>> {
         if args.algorithm != Algorithm::LsSvm {
             return Err("cross validation is implemented for the lssvm algorithm".into());
         }
+        if args.checkpoint_dir.is_some() {
+            return Err("--checkpoint-dir does not apply to cross validation".into());
+        }
         let trainer = LsSvm::new()
             .with_kernel(kernel)
             .with_cost(args.cost)
@@ -161,6 +183,9 @@ pub fn run_train(args: &TrainArgs) -> Result<String, Box<dyn Error>> {
     if args.fault_plan.is_some() && args.algorithm != Algorithm::LsSvm {
         return Err("--fault-plan is implemented for the lssvm algorithm".into());
     }
+    if args.checkpoint_dir.is_some() && args.algorithm != Algorithm::LsSvm {
+        return Err("--checkpoint-dir is implemented for the lssvm algorithm".into());
+    }
     match args.algorithm {
         Algorithm::LsSvm => {
             let mut trainer = LsSvm::new()
@@ -173,6 +198,12 @@ pub fn run_train(args: &TrainArgs) -> Result<String, Box<dyn Error>> {
             }
             if let Some(k) = args.checkpoint_every {
                 trainer = trainer.with_checkpoint_interval(k);
+            }
+            if let Some((journal, salt)) = journal_for(args)? {
+                trainer = trainer
+                    .with_checkpoint_journal(journal)
+                    .with_checkpoint_salt(salt)
+                    .with_resume(args.resume);
             }
             if !args.label_weights.is_empty() {
                 // -wi: class weights become per-sample weights of the
@@ -312,6 +343,12 @@ fn run_train_regression(args: &TrainArgs) -> Result<String, Box<dyn Error>> {
     if let Some(k) = args.checkpoint_every {
         trainer = trainer.with_checkpoint_interval(k);
     }
+    if let Some((journal, salt)) = journal_for(args)? {
+        trainer = trainer
+            .with_checkpoint_journal(journal)
+            .with_checkpoint_salt(salt)
+            .with_resume(args.resume);
+    }
     let telemetry = telemetry_for(args);
     if let Some(t) = &telemetry {
         trainer = trainer.with_metrics(Arc::clone(t));
@@ -364,11 +401,22 @@ fn run_train_multiclass(
         return Err("cross validation currently supports binary problems only".into());
     }
     let kernel = kernel_from_args(args, data.features());
-    let trainer = LsSvm::new()
+    let mut trainer = LsSvm::new()
         .with_kernel(kernel)
         .with_cost(args.cost)
         .with_epsilon(args.epsilon)
         .with_backend(args.backend.clone());
+    if let Some(k) = args.checkpoint_every {
+        trainer = trainer.with_checkpoint_interval(k);
+    }
+    // each binary subproblem checkpoints into its own task-<k>/
+    // sub-journal (handled by the multiclass driver)
+    if let Some((journal, salt)) = journal_for(args)? {
+        trainer = trainer
+            .with_checkpoint_journal(journal)
+            .with_checkpoint_salt(salt)
+            .with_resume(args.resume);
+    }
     let strategy = match args.multiclass {
         McStrategy::Ovo => MultiClassStrategy::OneVsOne,
         McStrategy::Ovr => MultiClassStrategy::OneVsRest,
@@ -423,7 +471,7 @@ pub fn run_predict(args: &PredictArgs) -> Result<String, Box<dyn Error>> {
     if let Some(path) = &args.metrics_out {
         let telemetry = Telemetry::new();
         telemetry.record_span("predict", wall);
-        fs::write(path, telemetry.report().to_json_lines())?;
+        write_atomic(path, telemetry.report().to_json_lines().as_bytes())?;
     }
     let mut summary = if args.quiet {
         String::new()
@@ -454,7 +502,7 @@ fn predict_inner(args: &PredictArgs) -> Result<String, Box<dyn Error>> {
             out.push_str(&l.to_string());
             out.push('\n');
         }
-        fs::write(&args.output, out)?;
+        write_atomic(&args.output, out.as_bytes())?;
         let correct = labels
             .iter()
             .zip(&data.labels)
@@ -476,7 +524,7 @@ fn predict_inner(args: &PredictArgs) -> Result<String, Box<dyn Error>> {
         for v in &values {
             out.push_str(&format!("{v}\n"));
         }
-        fs::write(&args.output, out)?;
+        write_atomic(&args.output, out.as_bytes())?;
         let mse = mean_squared_error(&model, &data);
         return Ok(format!(
             "Mean squared error = {mse:.6} (regression)\nSquared correlation coefficient R^2 = {:.6} (regression)\n",
@@ -495,7 +543,7 @@ fn predict_inner(args: &PredictArgs) -> Result<String, Box<dyn Error>> {
         out.push_str(&l.to_string());
         out.push('\n');
     }
-    fs::write(&args.output, out)?;
+    write_atomic(&args.output, out.as_bytes())?;
 
     let correct = labels
         .iter()
@@ -1374,6 +1422,210 @@ mod tests {
         let msg = run_train(&train).unwrap();
         assert!(msg.contains("solver outcome: converged"), "{msg}");
         assert!(model.exists());
+    }
+
+    #[test]
+    fn checkpoint_dir_train_and_resume_round_trip() {
+        let dir = tmpdir("ckpt_cli");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("train.dat");
+        run_generate(
+            &parse_generate(&sv(&[
+                "--points",
+                "80",
+                "--features",
+                "6",
+                "--seed",
+                "29",
+                "--sep",
+                "4.0",
+                "--flip",
+                "0.0",
+                "-o",
+                data.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+
+        // reference: no journal at all
+        let reference = dir.join("reference.model");
+        let train = parse_train(&sv(&[
+            "-e",
+            "1e-10",
+            data.to_str().unwrap(),
+            reference.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run_train(&train).unwrap();
+
+        // journaled run: byte-identical model, generations on disk
+        let journal_dir = dir.join("journal");
+        let journaled = dir.join("journaled.model");
+        let train = parse_train(&sv(&[
+            "-e",
+            "1e-10",
+            "--checkpoint-dir",
+            journal_dir.to_str().unwrap(),
+            "--checkpoint-every",
+            "5",
+            data.to_str().unwrap(),
+            journaled.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run_train(&train).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&reference).unwrap(),
+            std::fs::read_to_string(&journaled).unwrap(),
+            "journaling must not perturb the model"
+        );
+        let journal = CheckpointJournal::open(&journal_dir, 4).unwrap();
+        assert!(!journal.generations().unwrap().is_empty());
+
+        // resume from the populated journal: byte-identical model again
+        let resumed = dir.join("resumed.model");
+        let train = parse_train(&sv(&[
+            "-e",
+            "1e-10",
+            "--checkpoint-dir",
+            journal_dir.to_str().unwrap(),
+            "--checkpoint-every",
+            "5",
+            "--resume",
+            data.to_str().unwrap(),
+            resumed.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run_train(&train).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&reference).unwrap(),
+            std::fs::read_to_string(&resumed).unwrap(),
+            "resume must reproduce the reference model byte for byte"
+        );
+
+        // editing the data file changes the content salt: the journal is
+        // rejected as belonging to a different run
+        let mut content = std::fs::read_to_string(&data).unwrap();
+        content.push_str("1 1:0.5 2:0.25 3:0 4:0 5:0 6:0\n");
+        std::fs::write(&data, content).unwrap();
+        let err = run_train(&train).unwrap_err();
+        assert!(err.to_string().contains("checkpoint"), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_dir_is_refused_outside_the_lssvm_solver() {
+        let dir = tmpdir("ckpt_refused");
+        let data = dir.join("train.dat");
+        run_generate(
+            &parse_generate(&sv(&[
+                "--points",
+                "40",
+                "--features",
+                "4",
+                "--seed",
+                "31",
+                "-o",
+                data.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        let journal_dir = dir.join("journal");
+        let smo = parse_train(&sv(&[
+            "-a",
+            "smo",
+            "--checkpoint-dir",
+            journal_dir.to_str().unwrap(),
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(run_train(&smo).is_err());
+        let cv = parse_train(&sv(&[
+            "-v",
+            "3",
+            "--checkpoint-dir",
+            journal_dir.to_str().unwrap(),
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(run_train(&cv).is_err());
+    }
+
+    #[test]
+    fn multiclass_checkpoint_uses_per_task_journals() {
+        let dir = tmpdir("ckpt_mc");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("blobs.dat");
+        let blobs = plssvm_data::synthetic::generate_blobs::<f64>(
+            &plssvm_data::synthetic::BlobsConfig::new(90, 4, 3, 5).with_separation(6.0),
+        )
+        .unwrap();
+        let mut content = String::new();
+        for p in 0..blobs.points() {
+            content.push_str(&blobs.labels[p].to_string());
+            for f in 0..blobs.features() {
+                content.push_str(&format!(" {}:{}", f + 1, blobs.x.get(p, f)));
+            }
+            content.push('\n');
+        }
+        std::fs::write(&data, content).unwrap();
+
+        let journal_dir = dir.join("journal");
+        let reference = dir.join("reference.model");
+        let train = parse_train(&sv(&[
+            "-e",
+            "1e-8",
+            data.to_str().unwrap(),
+            reference.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run_train(&train).unwrap();
+
+        let journaled = dir.join("journaled.model");
+        let train = parse_train(&sv(&[
+            "-e",
+            "1e-8",
+            "--checkpoint-dir",
+            journal_dir.to_str().unwrap(),
+            "--checkpoint-every",
+            "3",
+            data.to_str().unwrap(),
+            journaled.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run_train(&train).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&reference).unwrap(),
+            std::fs::read_to_string(&journaled).unwrap()
+        );
+        // one sub-journal per binary subproblem (3 classes OvO -> 3 pairs)
+        for task in 0..3 {
+            assert!(
+                journal_dir.join(format!("task-{task:03}")).is_dir(),
+                "missing sub-journal for task {task}"
+            );
+        }
+
+        let resumed = dir.join("resumed.model");
+        let train = parse_train(&sv(&[
+            "-e",
+            "1e-8",
+            "--checkpoint-dir",
+            journal_dir.to_str().unwrap(),
+            "--checkpoint-every",
+            "3",
+            "--resume",
+            data.to_str().unwrap(),
+            resumed.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run_train(&train).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&reference).unwrap(),
+            std::fs::read_to_string(&resumed).unwrap()
+        );
     }
 
     #[test]

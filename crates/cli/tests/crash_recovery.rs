@@ -1,0 +1,278 @@
+//! Crash-injection recovery through the real `svm-train` binary.
+//!
+//! The end-to-end acceptance property: an `svm-train --checkpoint-dir`
+//! process killed immediately after any checkpoint generation becomes
+//! durable must, when rerun with `--resume`, write a model file
+//! byte-identical to the uninterrupted run's. The kill is injected with
+//! `PLSSVM_CRASH_AFTER_GENERATION` (the journal aborts the process right
+//! after the chosen generation hits disk), exactly the mechanism the
+//! library-level harness uses — here exercised through the same binary,
+//! flags and files a user would touch.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const CRASH_AFTER_ENV: &str = "PLSSVM_CRASH_AFTER_GENERATION";
+
+fn svm_train() -> &'static str {
+    env!("CARGO_BIN_EXE_svm-train")
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("plssvm_bin_crash")
+        .join(format!("{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn generate(data: &Path) {
+    let status = Command::new(env!("CARGO_BIN_EXE_generate-data"))
+        .args([
+            "--points",
+            "90",
+            "--features",
+            "7",
+            "--seed",
+            "47",
+            "--sep",
+            "4.0",
+            "--flip",
+            "0.0",
+            "-o",
+            data.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap();
+    assert!(status.success());
+}
+
+fn train_args(data: &Path, model: &Path, journal: Option<&Path>, resume: bool) -> Vec<String> {
+    let mut args = vec![
+        "-t".into(),
+        "2".into(),
+        "-g".into(),
+        "0.25".into(),
+        "-e".into(),
+        "1e-10".into(),
+        "--backend".into(),
+        "serial".into(),
+    ];
+    if let Some(dir) = journal {
+        args.push("--checkpoint-dir".into());
+        args.push(dir.to_str().unwrap().into());
+        args.push("--checkpoint-every".into());
+        args.push("4".into());
+    }
+    if resume {
+        args.push("--resume".into());
+    }
+    args.push(data.to_str().unwrap().into());
+    args.push(model.to_str().unwrap().into());
+    args
+}
+
+/// Runs `svm-train` to completion, asserting success.
+fn train_ok(data: &Path, model: &Path, journal: Option<&Path>, resume: bool) -> String {
+    let out = Command::new(svm_train())
+        .args(train_args(data, model, journal, resume))
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "svm-train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Runs `svm-train` with crash injection armed and asserts it died by
+/// signal (the journal's abort), leaving no model file behind.
+fn train_crashing(data: &Path, model: &Path, journal: &Path, crash_gen: u64) {
+    let status = Command::new(svm_train())
+        .args(train_args(data, model, Some(journal), false))
+        .env(CRASH_AFTER_ENV, crash_gen.to_string())
+        .status()
+        .unwrap();
+    assert!(
+        status.code().is_none(),
+        "expected death by signal at generation {crash_gen}, got {status:?}"
+    );
+    assert!(
+        !model.exists(),
+        "a crashed run must not leave a model file (atomic write)"
+    );
+}
+
+fn generation_files(journal: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(journal)
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("gen-") && n.ends_with(".ckpt"))
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+/// Kill the binary at several checkpoint generations; every `--resume`
+/// rerun must write a byte-identical model.
+#[test]
+fn kill_and_resume_through_the_binary_is_byte_identical() {
+    let dir = tmpdir("kill");
+    let data = dir.join("train.dat");
+    generate(&data);
+
+    // the uninterrupted reference (no journal involved)
+    let reference = dir.join("reference.model");
+    train_ok(&data, &reference, None, false);
+    let reference_bytes = std::fs::read(&reference).unwrap();
+
+    // how many generations does an uninterrupted journaled run produce?
+    let probe_journal = dir.join("probe-journal");
+    let probe_model = dir.join("probe.model");
+    train_ok(&data, &probe_model, Some(&probe_journal), false);
+    assert_eq!(
+        std::fs::read(&probe_model).unwrap(),
+        reference_bytes,
+        "journaling must not perturb the model"
+    );
+    // retention keeps the last 4 generations; the newest file names the
+    // total generation count
+    let newest = generation_files(&probe_journal).pop().expect("generations");
+    let total: u64 = newest
+        .file_name()
+        .unwrap()
+        .to_str()
+        .unwrap()
+        .trim_start_matches("gen-")
+        .trim_end_matches(".ckpt")
+        .parse()
+        .unwrap();
+    assert!(
+        total >= 3,
+        "need several generations to kill at, got {total}"
+    );
+
+    for crash_gen in [1, total / 2 + 1, total] {
+        let journal = dir.join(format!("journal-g{crash_gen}"));
+        let model = dir.join(format!("crashed-g{crash_gen}.model"));
+        train_crashing(&data, &model, &journal, crash_gen);
+
+        let resumed = dir.join(format!("resumed-g{crash_gen}.model"));
+        let stdout = train_ok(&data, &resumed, Some(&journal), true);
+        assert_eq!(
+            std::fs::read(&resumed).unwrap(),
+            reference_bytes,
+            "resume after crash at generation {crash_gen} must be byte-identical"
+        );
+        assert!(stdout.contains("converged: true"), "{stdout}");
+    }
+}
+
+/// A corrupted newest generation (bit rot after the crash) must fall
+/// back to the previous generation and still converge to the
+/// byte-identical model.
+#[test]
+fn corrupted_tail_falls_back_through_the_binary() {
+    let dir = tmpdir("corrupt");
+    let data = dir.join("train.dat");
+    generate(&data);
+
+    let reference = dir.join("reference.model");
+    train_ok(&data, &reference, None, false);
+
+    let journal = dir.join("journal");
+    let model = dir.join("crashed.model");
+    train_crashing(&data, &model, &journal, 3);
+
+    // flip one payload bit in the newest generation
+    let newest = generation_files(&journal).pop().unwrap();
+    let mut bytes = std::fs::read(&newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&newest, &bytes).unwrap();
+
+    let resumed = dir.join("resumed.model");
+    let stdout = train_ok(&data, &resumed, Some(&journal), true);
+    assert_eq!(
+        std::fs::read(&resumed).unwrap(),
+        std::fs::read(&reference).unwrap(),
+        "fallback to the previous generation must still give the reference model"
+    );
+    assert!(stdout.contains("converged: true"), "{stdout}");
+}
+
+/// `--resume` against a journal from a different training invocation is
+/// a hard, structured error — never a silent wrong-model resume.
+#[test]
+fn resume_against_a_foreign_journal_is_rejected() {
+    let dir = tmpdir("foreign");
+    let data = dir.join("train.dat");
+    generate(&data);
+
+    let journal = dir.join("journal");
+    let model = dir.join("a.model");
+    train_ok(&data, &model, Some(&journal), false);
+
+    // same data, different cost: a different training job
+    let out = Command::new(svm_train())
+        .args([
+            "-t",
+            "2",
+            "-g",
+            "0.25",
+            "-c",
+            "10",
+            "-e",
+            "1e-10",
+            "--backend",
+            "serial",
+            "--checkpoint-dir",
+            journal.to_str().unwrap(),
+            "--resume",
+            data.to_str().unwrap(),
+            dir.join("b.model").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("different training invocation"), "{stderr}");
+    assert!(!dir.join("b.model").exists());
+
+    // --resume without --checkpoint-dir is a usage error (exit code 2)
+    let out = Command::new(svm_train())
+        .args(["--resume", data.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--resume requires --checkpoint-dir"));
+}
+
+/// An empty journal directory (the process died before the first
+/// checkpoint) resumes as a fresh start, not an error.
+#[test]
+fn resume_with_an_empty_journal_is_a_fresh_start() {
+    let dir = tmpdir("empty");
+    let data = dir.join("train.dat");
+    generate(&data);
+
+    let reference = dir.join("reference.model");
+    train_ok(&data, &reference, None, false);
+
+    let journal = dir.join("journal");
+    std::fs::create_dir_all(&journal).unwrap();
+    let model = dir.join("fresh.model");
+    let stdout = train_ok(&data, &model, Some(&journal), true);
+    assert!(stdout.contains("converged: true"), "{stdout}");
+    assert_eq!(
+        std::fs::read(&model).unwrap(),
+        std::fs::read(&reference).unwrap()
+    );
+}

@@ -28,6 +28,19 @@ pub trait LinOp<T: Real>: Sync {
     fn apply(&self, v: &[T], out: &mut [T]);
 }
 
+/// A destination for periodic [`CgState`] snapshots — the hook the durable
+/// checkpoint journal plugs into (see `plssvm_data::checkpoint`).
+///
+/// `persist` is called once per [`CgConfig::checkpoint_interval`]
+/// iterations with the complete solver state. Implementations must handle
+/// their own failures (log, count, emit telemetry): persistence problems
+/// must never abort a numerically healthy solve, so `persist` does not
+/// return a `Result`.
+pub trait CheckpointSink<T: Real>: Sync {
+    /// Persists one snapshot of the running solve.
+    fn persist(&self, state: &CgState<T>);
+}
+
 /// CG solver configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct CgConfig<T> {
@@ -135,6 +148,61 @@ impl<T: Real> CgState<T> {
     /// Residual norm `‖r‖` at the checkpoint (recurrence value).
     pub fn residual_norm(&self) -> T {
         self.delta.max(T::ZERO).sqrt()
+    }
+
+    /// The residual `r` at the checkpoint.
+    pub fn residual(&self) -> &[T] {
+        &self.r
+    }
+
+    /// The search direction `d` at the checkpoint.
+    pub fn direction(&self) -> &[T] {
+        &self.d
+    }
+
+    /// The recurrence scalar `ρ = rᵀz` at the checkpoint.
+    pub fn rho(&self) -> T {
+        self.rho
+    }
+
+    /// The termination measure `δ = rᵀr` at the checkpoint.
+    pub fn delta(&self) -> T {
+        self.delta
+    }
+
+    /// The reference `δ₀ = ‖r₀‖²` the relative criterion compares against.
+    pub fn delta0(&self) -> T {
+        self.delta0
+    }
+
+    /// Reassembles a state from its raw components — the inverse of the
+    /// accessors above, used when deserializing a persisted snapshot.
+    /// The resulting state continues the recurrence exactly as if it had
+    /// never left memory.
+    ///
+    /// # Panics
+    /// Panics if `x`, `r` and `d` do not all have the same length.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_parts(
+        x: Vec<T>,
+        r: Vec<T>,
+        d: Vec<T>,
+        rho: T,
+        delta: T,
+        delta0: T,
+        iterations: usize,
+    ) -> Self {
+        assert_eq!(x.len(), r.len(), "residual length mismatch");
+        assert_eq!(x.len(), d.len(), "direction length mismatch");
+        Self {
+            x,
+            r,
+            d,
+            rho,
+            delta,
+            delta0,
+            iterations,
+        }
     }
 
     /// Builds a fresh-start state at the iterate `x0` with an exactly
@@ -450,6 +518,34 @@ pub fn conjugate_gradients_jacobi_with_metrics<T: Real>(
     conjugate_gradients_impl(op, b, config, Some(diagonal), metrics, None)
 }
 
+/// The fully general entry point: optional Jacobi preconditioning,
+/// telemetry, warm restart **and** a [`CheckpointSink`] receiving every
+/// periodic snapshot. All other `conjugate_gradients*` wrappers delegate
+/// here; passing `None` for `sink` is bit-identical to the corresponding
+/// wrapper, so attaching a durable journal never perturbs the numerics.
+///
+/// # Panics
+/// The combined contracts of [`conjugate_gradients_jacobi`] and
+/// [`conjugate_gradients_resume`].
+pub fn conjugate_gradients_checkpointed<T: Real>(
+    op: &dyn LinOp<T>,
+    b: &[T],
+    config: &CgConfig<T>,
+    diagonal: Option<&[T]>,
+    metrics: Option<&dyn MetricsSink>,
+    resume: Option<&CgState<T>>,
+    sink: Option<&dyn CheckpointSink<T>>,
+) -> CgResult<T> {
+    if let Some(diag) = diagonal {
+        assert_eq!(diag.len(), op.dim(), "diagonal length mismatch");
+        assert!(
+            diag.iter().all(|d| d.to_f64() > 0.0),
+            "Jacobi preconditioner needs a strictly positive diagonal"
+        );
+    }
+    conjugate_gradients_full(op, b, config, diagonal, metrics, resume, sink)
+}
+
 fn conjugate_gradients_impl<T: Real>(
     op: &dyn LinOp<T>,
     b: &[T],
@@ -457,6 +553,18 @@ fn conjugate_gradients_impl<T: Real>(
     diagonal: Option<&[T]>,
     metrics: Option<&dyn MetricsSink>,
     resume: Option<&CgState<T>>,
+) -> CgResult<T> {
+    conjugate_gradients_full(op, b, config, diagonal, metrics, resume, None)
+}
+
+fn conjugate_gradients_full<T: Real>(
+    op: &dyn LinOp<T>,
+    b: &[T],
+    config: &CgConfig<T>,
+    diagonal: Option<&[T]>,
+    metrics: Option<&dyn MetricsSink>,
+    resume: Option<&CgState<T>>,
+    sink: Option<&dyn CheckpointSink<T>>,
 ) -> CgResult<T> {
     let n = op.dim();
     assert_eq!(b.len(), n, "rhs length mismatch");
@@ -631,9 +739,12 @@ fn conjugate_gradients_impl<T: Real>(
         }
         if let Some(k) = config.checkpoint_interval {
             if iterations.is_multiple_of(k) {
-                // the snapshot itself is overwritten by the exit snapshot
-                // below; the observable effect of the periodic cadence is
-                // the telemetry event stream
+                // stream the snapshot to the durable journal (when one is
+                // attached) and record the cadence in telemetry; without a
+                // sink the snapshot only materializes at exit
+                if let Some(out) = sink {
+                    out.persist(&snapshot(&x, &r, &d, rho, delta, iterations));
+                }
                 if let Some(sink) = metrics {
                     sink.record_recovery(RecoverySample::checkpoint(iterations));
                 }
@@ -1114,6 +1225,71 @@ mod tests {
         // checkpointing must not perturb the numerics
         let plain = conjugate_gradients(&op, &b, &CgConfig::with_epsilon(1e-10));
         assert_eq!(plain.x, r.x);
+    }
+
+    #[test]
+    fn checkpoint_sink_receives_every_periodic_snapshot() {
+        use std::sync::Mutex;
+        struct Collect(Mutex<Vec<CgState<f64>>>);
+        impl CheckpointSink<f64> for Collect {
+            fn persist(&self, state: &CgState<f64>) {
+                self.0.lock().unwrap().push(state.clone());
+            }
+        }
+        let n = 30;
+        let op = random_spd(n, 3);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        let cfg = CgConfig {
+            epsilon: 1e-10,
+            checkpoint_interval: Some(2),
+            ..CgConfig::default()
+        };
+        let sink = Collect(Mutex::new(Vec::new()));
+        let r = conjugate_gradients_checkpointed(&op, &b, &cfg, None, None, None, Some(&sink));
+        let snaps = sink.0.into_inner().unwrap();
+        assert_eq!(snaps.len(), r.iterations / 2);
+        for (k, s) in snaps.iter().enumerate() {
+            assert_eq!(s.iterations(), 2 * (k + 1));
+        }
+        // resuming from any streamed snapshot reproduces the full solve
+        let resumed = conjugate_gradients_resume(&op, &b, &cfg, &snaps[1]);
+        assert_eq!(resumed.x, r.x);
+        assert_eq!(resumed.iterations, r.iterations);
+        // attaching a sink must not perturb the numerics
+        let plain = conjugate_gradients(&op, &b, &cfg);
+        assert_eq!(plain.x, r.x);
+    }
+
+    #[test]
+    fn state_raw_parts_roundtrip() {
+        let n = 16;
+        let op = random_spd(n, 5);
+        let b = vec![1.0; n];
+        let cfg = CgConfig {
+            epsilon: 1e-12,
+            max_iterations: Some(4),
+            checkpoint_interval: Some(1),
+            ..CgConfig::default()
+        };
+        let state = conjugate_gradients(&op, &b, &cfg).checkpoint.unwrap();
+        let rebuilt = CgState::from_raw_parts(
+            state.solution().to_vec(),
+            state.residual().to_vec(),
+            state.direction().to_vec(),
+            state.rho(),
+            state.delta(),
+            state.delta0(),
+            state.iterations(),
+        );
+        assert_eq!(rebuilt, state);
+        let full = CgConfig {
+            epsilon: 1e-12,
+            checkpoint_interval: Some(1),
+            ..CgConfig::default()
+        };
+        let a = conjugate_gradients_resume(&op, &b, &full, &state);
+        let b2 = conjugate_gradients_resume(&op, &b, &full, &rebuilt);
+        assert_eq!(a.x, b2.x);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use plssvm_data::DataError;
+use plssvm_data::{CheckpointError, DataError};
 use plssvm_simgpu::SimGpuError;
 
 use crate::cg::SolveOutcome;
@@ -14,6 +14,10 @@ pub enum SvmError {
     Data(DataError),
     /// A simulated-device failure (typically out of device memory).
     Device(SimGpuError),
+    /// The durable checkpoint journal could not be written, or a resume
+    /// was requested but no usable snapshot exists / the journal belongs
+    /// to a different training context.
+    Checkpoint(CheckpointError),
     /// Invalid solver parameters or a solver-level failure.
     Solver(String),
     /// The solve finished without meeting the ε criterion even after the
@@ -36,6 +40,7 @@ impl fmt::Display for SvmError {
         match self {
             SvmError::Data(e) => write!(f, "data error: {e}"),
             SvmError::Device(e) => write!(f, "device error: {e}"),
+            SvmError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
             SvmError::Solver(msg) => write!(f, "solver error: {msg}"),
             SvmError::NonConverged {
                 outcome,
@@ -55,6 +60,7 @@ impl std::error::Error for SvmError {
         match self {
             SvmError::Data(e) => Some(e),
             SvmError::Device(e) => Some(e),
+            SvmError::Checkpoint(e) => Some(e),
             SvmError::Solver(_) | SvmError::NonConverged { .. } => None,
         }
     }
@@ -63,6 +69,12 @@ impl std::error::Error for SvmError {
 impl From<DataError> for SvmError {
     fn from(e: DataError) -> Self {
         SvmError::Data(e)
+    }
+}
+
+impl From<CheckpointError> for SvmError {
+    fn from(e: CheckpointError) -> Self {
+        SvmError::Checkpoint(e)
     }
 }
 

@@ -30,12 +30,56 @@
 use plssvm_data::Real;
 
 use crate::cg::{
-    conjugate_gradients_jacobi_resume_with_metrics, conjugate_gradients_jacobi_with_metrics,
-    conjugate_gradients_resume_with_metrics, conjugate_gradients_with_metrics, BreakdownKind,
-    CgConfig, CgResult, CgState, LinOp, SolveOutcome,
+    conjugate_gradients_checkpointed, BreakdownKind, CgConfig, CgResult, CgState,
+    CheckpointSink as CgCheckpointSink, LinOp, SolveOutcome,
 };
 use crate::kernel::dot;
 use crate::trace::{CgOutcomeSample, MetricsSink, RecoveryKind, RecoverySample};
+
+/// Stable rung identifiers persisted inside durable checkpoint snapshots,
+/// so a resumed run re-enters the escalation ladder at the rung that was
+/// active when the process died instead of redoing earlier rungs.
+pub mod rungs {
+    /// The first, unescalated solve.
+    pub const PRIMARY: u8 = 0;
+    /// Rung 1: restart from the exact residual.
+    pub const RESTART: u8 = 1;
+    /// Rung 2: Jacobi-preconditioned restart.
+    pub const JACOBI: u8 = 2;
+    /// Rung 3: f64 iterative refinement.
+    pub const REFINEMENT: u8 = 3;
+}
+
+/// A checkpoint destination that records which escalation rung each
+/// snapshot belongs to. The durable journal implements this; the ladder
+/// wraps it into a per-rung [`CgCheckpointSink`] for the inner solves.
+pub trait RungCheckpointSink<T: Real>: Sync {
+    /// Persists one snapshot taken while `rung` was active.
+    fn persist(&self, rung: u8, state: &CgState<T>);
+}
+
+/// Adapts a [`RungCheckpointSink`] to the rung-unaware hook of
+/// [`crate::cg`], pinning the rung the surrounding ladder step is on.
+struct RungAdapter<'a, T: Real> {
+    inner: &'a dyn RungCheckpointSink<T>,
+    rung: u8,
+}
+
+impl<T: Real> CgCheckpointSink<T> for RungAdapter<'_, T> {
+    fn persist(&self, state: &CgState<T>) {
+        self.inner.persist(self.rung, state);
+    }
+}
+
+/// A recovered checkpoint: the saved CG state plus the escalation rung it
+/// was taken on.
+#[derive(Debug, Clone)]
+pub struct ResumePoint<T> {
+    /// Which rung was active when the snapshot was written (see [`rungs`]).
+    pub rung: u8,
+    /// The saved solver state.
+    pub state: CgState<T>,
+}
 
 /// Which rungs of the escalation ladder may engage, and how hard the
 /// precision-escalation rung tries.
@@ -150,20 +194,22 @@ fn true_residual_norm<T: Real>(op: &dyn LinOp<T>, b: &[T], x: &[T]) -> f64 {
 /// Solves `A·x = b`, escalating through the recovery ladder on
 /// non-convergence.
 ///
-/// The first attempt is exactly [`conjugate_gradients_with_metrics`] (or
-/// the Jacobi variant when `jacobi` is [`JacobiDiagonal::Immediate`]) —
-/// bit-identical to an unguarded solve. Only when that attempt comes back
-/// non-converged do the policy's rungs engage, each restarting from the
-/// best iterate so far with the relative-residual criterion still
-/// measured against the **original** `‖b‖`.
+/// The first attempt is exactly
+/// [`crate::cg::conjugate_gradients_with_metrics`] (or the Jacobi variant
+/// when `jacobi` is [`JacobiDiagonal::Immediate`]) — bit-identical to an
+/// unguarded solve. Only when that attempt comes back non-converged do
+/// the policy's rungs engage, each restarting from the best iterate so
+/// far with the relative-residual criterion still measured against the
+/// **original** `‖b‖`.
 ///
 /// The consolidated outcome (final classification, total iterations
 /// across rungs, final relative residual) is recorded to `metrics` as the
 /// run's [`CgOutcomeSample`].
 ///
 /// # Panics
-/// The contract of [`conjugate_gradients_with_metrics`]; additionally a
-/// [`JacobiDiagonal::Immediate`] diagonal must be strictly positive.
+/// The contract of [`crate::cg::conjugate_gradients_with_metrics`];
+/// additionally a [`JacobiDiagonal::Immediate`] diagonal must be strictly
+/// positive.
 pub fn solve_with_guardrails<T: Real>(
     op: &dyn LinOp<T>,
     b: &[T],
@@ -172,15 +218,73 @@ pub fn solve_with_guardrails<T: Real>(
     jacobi: JacobiDiagonal<'_, T>,
     metrics: Option<&dyn MetricsSink>,
 ) -> GuardedSolve<T> {
+    solve_with_guardrails_checkpointed(op, b, config, policy, jacobi, metrics, None, None)
+}
+
+/// [`solve_with_guardrails`] with durable-checkpoint plumbing.
+///
+/// `sink`, when present, receives every periodic [`CgState`] snapshot the
+/// inner solves produce, tagged with the escalation rung that was active
+/// — so a crash-recovery journal can restore not just the iterate but the
+/// ladder position. `resume`, when present, is a previously persisted
+/// snapshot: rungs *below* `resume.rung` are skipped entirely (they
+/// already ran before the crash) and the matching rung continues from the
+/// saved state instead of restarting, which keeps an interrupted rung-0
+/// solve bit-exact with an uninterrupted one.
+///
+/// With `sink = None` and `resume = None` this is exactly
+/// [`solve_with_guardrails`].
+#[allow(clippy::too_many_arguments)]
+pub fn solve_with_guardrails_checkpointed<T: Real>(
+    op: &dyn LinOp<T>,
+    b: &[T],
+    config: &CgConfig<T>,
+    policy: &RecoveryPolicy,
+    jacobi: JacobiDiagonal<'_, T>,
+    metrics: Option<&dyn MetricsSink>,
+    sink: Option<&dyn RungCheckpointSink<T>>,
+    resume: Option<&ResumePoint<T>>,
+) -> GuardedSolve<T> {
     let delta0 = dot(b, b);
     let initial_diag: Option<&[T]> = match &jacobi {
         JacobiDiagonal::Immediate(d) => Some(d),
         _ => None,
     };
 
-    let mut result = match initial_diag {
-        Some(diag) => conjugate_gradients_jacobi_with_metrics(op, b, diag, config, metrics),
-        None => conjugate_gradients_with_metrics(op, b, config, metrics),
+    let resume_rung = resume.map(|r| r.rung);
+    // A rung that was already *passed* when the snapshot was taken must
+    // not run again on resume.
+    let already_passed = |rung: u8| resume_rung.is_some_and(|r| r > rung);
+    let resume_state_for = |rung: u8| resume.filter(|r| r.rung == rung).map(|r| r.state.clone());
+    let adapter_for = |rung: u8| sink.map(|inner| RungAdapter { inner, rung });
+
+    let mut result = if already_passed(rungs::PRIMARY) {
+        // The journal says a later rung was active when the process died:
+        // seed the ladder with the saved iterate instead of redoing the
+        // primary solve.
+        let state = &resume.unwrap().state;
+        CgResult {
+            x: state.solution().to_vec(),
+            iterations: 0,
+            initial_residual_norm: T::from_f64(delta0.to_f64().max(0.0).sqrt()),
+            residual_norm: state.residual_norm(),
+            converged: false,
+            outcome: SolveOutcome::IterationBudget,
+            drift_restarts: 0,
+            checkpoint: None,
+        }
+    } else {
+        let adapter = adapter_for(rungs::PRIMARY);
+        let resumed = resume_state_for(rungs::PRIMARY);
+        conjugate_gradients_checkpointed(
+            op,
+            b,
+            config,
+            initial_diag,
+            metrics,
+            resumed.as_ref(),
+            adapter.as_ref().map(|a| a as &dyn CgCheckpointSink<T>),
+        )
     };
     let mut total_iterations = result.iterations;
     let mut escalations = Vec::new();
@@ -207,7 +311,7 @@ pub fn solve_with_guardrails<T: Real>(
     }
 
     // Rung 1: restart from the current iterate with the exact residual.
-    if !result.converged && policy.restart {
+    if !result.converged && policy.restart && !already_passed(rungs::RESTART) {
         emit(
             metrics,
             RecoveryKind::Restart,
@@ -218,21 +322,34 @@ pub fn solve_with_guardrails<T: Real>(
             ),
         );
         escalations.push(RecoveryKind::Restart);
-        let x0 = sanitized(&result.x);
-        let state = CgState::restart_from(op, b, &x0, initial_diag, Some(delta0));
-        result = match initial_diag {
-            Some(diag) => {
-                conjugate_gradients_jacobi_resume_with_metrics(op, b, diag, config, &state, metrics)
+        let state = match resume_state_for(rungs::RESTART) {
+            Some(saved) => saved,
+            None => {
+                let x0 = sanitized(&result.x);
+                CgState::restart_from(op, b, &x0, initial_diag, Some(delta0))
             }
-            None => conjugate_gradients_resume_with_metrics(op, b, config, &state, metrics),
         };
+        let adapter = adapter_for(rungs::RESTART);
+        result = conjugate_gradients_checkpointed(
+            op,
+            b,
+            config,
+            initial_diag,
+            metrics,
+            Some(&state),
+            adapter.as_ref().map(|a| a as &dyn CgCheckpointSink<T>),
+        );
         total_iterations += result.iterations;
         consider(&result, &mut best);
     }
 
     // Rung 2: enable the Jacobi preconditioner.
     let mut owned_diag: Option<Vec<T>> = None;
-    if !result.converged && policy.jacobi && initial_diag.is_none() {
+    if !result.converged
+        && policy.jacobi
+        && initial_diag.is_none()
+        && !already_passed(rungs::JACOBI)
+    {
         if let JacobiDiagonal::Lazy(make) = &jacobi {
             let diag = make();
             // a non-positive or non-finite diagonal cannot precondition an
@@ -250,10 +367,22 @@ pub fn solve_with_guardrails<T: Real>(
                     ),
                 );
                 escalations.push(RecoveryKind::Precondition);
-                let x0 = sanitized(&result.x);
-                let state = CgState::restart_from(op, b, &x0, Some(&diag), Some(delta0));
-                result = conjugate_gradients_jacobi_resume_with_metrics(
-                    op, b, &diag, config, &state, metrics,
+                let state = match resume_state_for(rungs::JACOBI) {
+                    Some(saved) => saved,
+                    None => {
+                        let x0 = sanitized(&result.x);
+                        CgState::restart_from(op, b, &x0, Some(&diag), Some(delta0))
+                    }
+                };
+                let adapter = adapter_for(rungs::JACOBI);
+                result = conjugate_gradients_checkpointed(
+                    op,
+                    b,
+                    config,
+                    Some(&diag),
+                    metrics,
+                    Some(&state),
+                    adapter.as_ref().map(|a| a as &dyn CgCheckpointSink<T>),
                 );
                 total_iterations += result.iterations;
                 consider(&result, &mut best);
@@ -276,8 +405,22 @@ pub fn solve_with_guardrails<T: Real>(
         );
         escalations.push(RecoveryKind::PrecisionEscalation);
         let diag = initial_diag.or(owned_diag.as_deref());
-        let (refined, inner_iterations) =
-            iterative_refinement(op, b, config, policy, diag, &result.x);
+        // On a rung-3 resume, refinement restarts its outer loop from the
+        // persisted iterate (the outer loop has no recurrence to resume —
+        // each correction starts from the measured residual, so restarting
+        // from the saved x loses nothing but the in-flight correction).
+        let resumed_x = resume_state_for(rungs::REFINEMENT).map(|s| s.solution().to_vec());
+        let x_start: &[T] = resumed_x.as_deref().unwrap_or(&result.x);
+        let adapter = adapter_for(rungs::REFINEMENT);
+        let (refined, inner_iterations) = iterative_refinement(
+            op,
+            b,
+            config,
+            policy,
+            diag,
+            x_start,
+            adapter.as_ref().map(|a| a as &dyn CgCheckpointSink<T>),
+        );
         total_iterations += inner_iterations;
         result = refined;
         consider(&result, &mut best);
@@ -332,6 +475,11 @@ pub fn solve_with_guardrails<T: Real>(
 ///
 /// Returns the final [`CgResult`] (in working precision) and the number
 /// of inner iterations consumed.
+///
+/// When `sink` is present, a synthesized working-precision snapshot of
+/// the outer state (iterate + measured residual) is persisted before each
+/// correction, so a crash mid-refinement resumes from the last completed
+/// correction instead of the ladder's entry iterate.
 fn iterative_refinement<T: Real>(
     op: &dyn LinOp<T>,
     b: &[T],
@@ -339,6 +487,7 @@ fn iterative_refinement<T: Real>(
     policy: &RecoveryPolicy,
     diagonal: Option<&[T]>,
     x_start: &[T],
+    sink: Option<&dyn CgCheckpointSink<T>>,
 ) -> (CgResult<T>, usize) {
     let n = op.dim();
     let b64: Vec<f64> = b.iter().map(|&v| v.to_f64()).collect();
@@ -388,13 +537,26 @@ fn iterative_refinement<T: Real>(
         }
         best_rnorm = rnorm;
         best_x64.copy_from_slice(&x64);
+        if let Some(out) = sink {
+            // Synthesize a CgState from the outer iterate: the refinement
+            // loop has no CG recurrence of its own, so the residual also
+            // serves as the direction. `iterations` counts completed
+            // corrections.
+            let r_t: Vec<T> = r64.iter().map(|&v| T::from_f64(v)).collect();
+            let delta = T::from_f64(rnorm * rnorm);
+            out.persist(&CgState::from_raw_parts(
+                x_t.clone(),
+                r_t.clone(),
+                r_t,
+                delta,
+                delta,
+                T::from_f64(norm_b * norm_b),
+                outer,
+            ));
+        }
         let rhs: Vec<T> = r64.iter().map(|&v| T::from_f64(v / rnorm)).collect();
-        let inner = match diagonal {
-            Some(diag) => {
-                conjugate_gradients_jacobi_with_metrics(op, &rhs, diag, &inner_config, None)
-            }
-            None => conjugate_gradients_with_metrics(op, &rhs, &inner_config, None),
-        };
+        let inner =
+            conjugate_gradients_checkpointed(op, &rhs, &inner_config, diagonal, None, None, None);
         inner_iterations += inner.iterations;
         if inner.x.iter().any(|v| !v.is_finite()) {
             outcome = SolveOutcome::Breakdown(BreakdownKind::NonFinite);
@@ -711,6 +873,153 @@ mod tests {
             .sqrt()
             / b64.iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!(true_rel <= 1e-3, "true relative residual {true_rel}");
+    }
+
+    /// Collects every persisted snapshot together with its rung tag.
+    struct Collect<T: Real>(std::sync::Mutex<Vec<(u8, CgState<T>)>>);
+
+    impl<T: Real> Collect<T> {
+        fn new() -> Self {
+            Self(std::sync::Mutex::new(Vec::new()))
+        }
+    }
+
+    impl<T: Real> RungCheckpointSink<T> for Collect<T> {
+        fn persist(&self, rung: u8, state: &CgState<T>) {
+            self.0.lock().unwrap().push((rung, state.clone()));
+        }
+    }
+
+    #[test]
+    fn sink_snapshots_are_tagged_with_the_active_rung() {
+        let n = 60;
+        let op = ill_scaled_spd(n);
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.7).cos()).collect();
+        let diag: Vec<f64> = (0..n).map(|i| op.a[i * n + i]).collect();
+        let cfg = CgConfig {
+            epsilon: 1e-8,
+            max_iterations: Some(n),
+            checkpoint_interval: Some(5),
+            ..CgConfig::default()
+        };
+        let make_diag = || diag.clone();
+        let sink = Collect::new();
+        let guarded = solve_with_guardrails_checkpointed(
+            &op,
+            &b,
+            &cfg,
+            &RecoveryPolicy::default(),
+            JacobiDiagonal::Lazy(&make_diag),
+            None,
+            Some(&sink),
+            None,
+        );
+        assert_eq!(guarded.outcome(), SolveOutcome::Converged);
+        let seen = sink.0.lock().unwrap();
+        let rungs_seen: Vec<u8> = seen.iter().map(|(r, _)| *r).collect();
+        assert!(rungs_seen.contains(&rungs::PRIMARY));
+        assert!(
+            rungs_seen.contains(&rungs::JACOBI),
+            "preconditioned rung must stream snapshots too: {rungs_seen:?}"
+        );
+        // rung tags never decrease: the ladder only climbs
+        assert!(rungs_seen.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn resume_at_jacobi_rung_skips_earlier_rungs_and_converges() {
+        let n = 60;
+        let op = ill_scaled_spd(n);
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.7).cos()).collect();
+        let diag: Vec<f64> = (0..n).map(|i| op.a[i * n + i]).collect();
+        let cfg = CgConfig {
+            epsilon: 1e-8,
+            max_iterations: Some(n),
+            checkpoint_interval: Some(5),
+            ..CgConfig::default()
+        };
+        let make_diag = || diag.clone();
+        let sink = Collect::new();
+        let full = solve_with_guardrails_checkpointed(
+            &op,
+            &b,
+            &cfg,
+            &RecoveryPolicy::default(),
+            JacobiDiagonal::Lazy(&make_diag),
+            None,
+            Some(&sink),
+            None,
+        );
+        assert_eq!(full.outcome(), SolveOutcome::Converged);
+        let snapshots = sink.0.lock().unwrap();
+        let (rung, state) = snapshots
+            .iter()
+            .find(|(r, _)| *r == rungs::JACOBI)
+            .expect("jacobi rung produced a snapshot")
+            .clone();
+
+        // Resume from the mid-jacobi snapshot: rungs 0–1 must not rerun.
+        let resume = ResumePoint { rung, state };
+        let resumed = solve_with_guardrails_checkpointed(
+            &op,
+            &b,
+            &cfg,
+            &RecoveryPolicy::default(),
+            JacobiDiagonal::Lazy(&make_diag),
+            None,
+            None,
+            Some(&resume),
+        );
+        assert_eq!(resumed.outcome(), SolveOutcome::Converged);
+        assert_eq!(
+            resumed.escalations,
+            vec![RecoveryKind::Precondition],
+            "only the resumed rung engages; earlier rungs are skipped"
+        );
+        assert!(resumed.total_iterations < full.total_iterations);
+        // the resumed continuation reproduces the exact tail of the full
+        // jacobi rung: identical final iterate
+        assert_eq!(resumed.result.x, full.result.x);
+    }
+
+    #[test]
+    fn resume_at_primary_rung_is_bit_exact() {
+        let n = 32;
+        let op = random_spd(n, 5);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let cfg = CgConfig {
+            epsilon: 1e-10,
+            checkpoint_interval: Some(3),
+            ..CgConfig::default()
+        };
+        let sink = Collect::new();
+        let full = solve_with_guardrails_checkpointed(
+            &op,
+            &b,
+            &cfg,
+            &RecoveryPolicy::default(),
+            JacobiDiagonal::Unavailable,
+            None,
+            Some(&sink),
+            None,
+        );
+        assert_eq!(full.outcome(), SolveOutcome::Converged);
+        let snapshots = sink.0.lock().unwrap();
+        let (rung, state) = snapshots.last().expect("periodic snapshots taken").clone();
+        assert_eq!(rung, rungs::PRIMARY);
+        let resume = ResumePoint { rung, state };
+        let resumed = solve_with_guardrails_checkpointed(
+            &op,
+            &b,
+            &cfg,
+            &RecoveryPolicy::default(),
+            JacobiDiagonal::Unavailable,
+            None,
+            None,
+            Some(&resume),
+        );
+        assert_eq!(resumed.result.x, full.result.x, "resume must be bit-exact");
+        assert!(resumed.escalations.is_empty());
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 pub mod backend;
 pub mod cg;
+pub mod checkpoint;
 pub mod error;
 pub mod guard;
 pub mod kernel;
@@ -43,6 +44,7 @@ pub use svm::{
 pub mod prelude {
     pub use crate::backend::BackendSelection;
     pub use crate::cg::SolveOutcome;
+    pub use crate::checkpoint::{ContextFingerprint, JournalSink};
     pub use crate::guard::RecoveryPolicy;
     pub use crate::model_selection::{grid_search, GridSearchConfig, GridSearchResult};
     pub use crate::multiclass::{

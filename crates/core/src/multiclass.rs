@@ -15,8 +15,6 @@
 //! pipeline, so all backends (including the simulated multi-GPU split)
 //! apply unchanged.
 
-use std::fs::File;
-use std::io::{BufWriter, Write as _};
 use std::path::Path;
 
 use plssvm_data::dense::DenseMatrix;
@@ -161,12 +159,11 @@ impl<T: Real> MultiClassModel<T> {
         out
     }
 
-    /// Writes the container file.
+    /// Writes the container file atomically and durably (temp file +
+    /// fsync + rename + parent-directory fsync): a crash mid-save can
+    /// never leave a truncated container behind.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), DataError> {
-        let mut w = BufWriter::new(File::create(path)?);
-        w.write_all(self.to_container_string().as_bytes())?;
-        w.flush()?;
-        Ok(())
+        plssvm_data::write_atomic(path, self.to_container_string().as_bytes())
     }
 
     /// Parses a container produced by [`MultiClassModel::to_container_string`].
@@ -327,13 +324,29 @@ pub fn train_multiclass_with_outcomes<T: AtomicScalar>(
     let mut models = Vec::new();
     let mut outcomes = Vec::new();
     let mut total_iterations = 0;
+    // with a durable journal attached, each binary subproblem checkpoints
+    // into its own `task-<k>/` sub-journal (independent generation
+    // numbering), so a crash resumes exactly the subproblem it interrupted
+    let task_trainer = |task: usize| -> Result<Option<LsSvm<T>>, SvmError> {
+        Ok(match &trainer.checkpoint_journal {
+            Some(journal) => Some(
+                trainer
+                    .clone()
+                    .with_checkpoint_journal(journal.for_task(task)?),
+            ),
+            None => None,
+        })
+    };
+    let mut task = 0usize;
     match strategy {
         MultiClassStrategy::OneVsOne => {
             for i in 0..data.classes.len() {
                 for j in (i + 1)..data.classes.len() {
                     let (a, b) = (data.classes[i], data.classes[j]);
                     let subset = data.pair_subset(a, b)?;
-                    let out = trainer.train(&subset)?;
+                    let sub = task_trainer(task)?;
+                    task += 1;
+                    let out = sub.as_ref().unwrap_or(trainer).train(&subset)?;
                     outcomes.push(((a, b), out.outcome));
                     total_iterations += out.iterations;
                     models.push(((a, b), out.model));
@@ -343,7 +356,9 @@ pub fn train_multiclass_with_outcomes<T: AtomicScalar>(
         MultiClassStrategy::OneVsRest => {
             for &c in &data.classes {
                 let subset = data.one_vs_rest(c)?;
-                let out = trainer.train(&subset)?;
+                let sub = task_trainer(task)?;
+                task += 1;
+                let out = sub.as_ref().unwrap_or(trainer).train(&subset)?;
                 outcomes.push(((c, i32::MIN), out.outcome));
                 total_iterations += out.iterations;
                 models.push(((c, i32::MIN), out.model));
@@ -493,6 +508,36 @@ mod tests {
             .with_epsilon(1e-8);
         let model = train_multiclass(&data, &t, MultiClassStrategy::OneVsOne).unwrap();
         assert!(model.accuracy(&data) >= 0.97);
+    }
+
+    #[test]
+    fn journaled_multiclass_uses_per_task_journals_and_resumes() {
+        use plssvm_data::CheckpointJournal;
+        let data = blobs(3, 9);
+        let dir = std::env::temp_dir().join(format!("plssvm_mc_journal_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let journal = CheckpointJournal::open(&dir, 3).unwrap();
+        let reference = train_multiclass(&data, &trainer(), MultiClassStrategy::OneVsOne).unwrap();
+        let journaled_trainer = trainer()
+            .with_checkpoint_interval(3)
+            .with_checkpoint_journal(journal.clone());
+        let journaled =
+            train_multiclass(&data, &journaled_trainer, MultiClassStrategy::OneVsOne).unwrap();
+        assert_eq!(reference, journaled, "journaling must not perturb training");
+        // one sub-journal per class pair, each with its own generations
+        for task in 0..3 {
+            assert!(
+                !journal.for_task(task).unwrap().is_empty().unwrap(),
+                "task {task} wrote no generations"
+            );
+        }
+        // resuming re-enters every subproblem at its newest snapshot and
+        // lands on the bit-identical container
+        let resumed_trainer = journaled_trainer.with_resume(true);
+        let resumed =
+            train_multiclass(&data, &resumed_trainer, MultiClassStrategy::OneVsOne).unwrap();
+        assert_eq!(reference, resumed);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

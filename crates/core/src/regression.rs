@@ -20,10 +20,16 @@ use plssvm_data::model::{KernelSpec, SvrModel};
 use plssvm_data::Real;
 use plssvm_simgpu::device::AtomicScalar;
 
+use plssvm_data::CheckpointJournal;
+
 use crate::backend::{BackendSelection, CpuTilingConfig, DeviceReport, Prepared};
 use crate::cg::{CgConfig, SolveOutcome};
+use crate::checkpoint::{load_resume_point, ContextFingerprint, JournalSink};
 use crate::error::SvmError;
-use crate::guard::{solve_with_guardrails, GuardedSolve, JacobiDiagonal, RecoveryPolicy};
+use crate::guard::{
+    solve_with_guardrails_checkpointed, GuardedSolve, JacobiDiagonal, RecoveryPolicy,
+    RungCheckpointSink,
+};
 use crate::kernel::kernel_row;
 use crate::matrix_free::{bias, full_alpha, reduced_rhs};
 use crate::trace::{spans, MetricsSink, RecoveryKind, SpanRecorder, Telemetry, TelemetryReport};
@@ -68,6 +74,15 @@ pub struct LsSvr<T> {
     /// Snapshot CG state every this many iterations; mirrors
     /// [`crate::svm::LsSvm::checkpoint_interval`].
     pub checkpoint_interval: Option<usize>,
+    /// Durable on-disk checkpoint journal; mirrors
+    /// [`crate::svm::LsSvm::checkpoint_journal`].
+    pub checkpoint_journal: Option<CheckpointJournal>,
+    /// Resume from the journal's newest valid generation; mirrors
+    /// [`crate::svm::LsSvm::resume`].
+    pub resume: bool,
+    /// Extra entropy for the checkpoint context fingerprint; mirrors
+    /// [`crate::svm::LsSvm::checkpoint_salt`].
+    pub checkpoint_salt: u64,
     /// Escalation ladder for non-converged solves; mirrors
     /// [`crate::svm::LsSvm::recovery_policy`].
     pub recovery_policy: RecoveryPolicy,
@@ -85,6 +100,9 @@ impl<T: Real> Default for LsSvr<T> {
             metrics: None,
             fault_plan: None,
             checkpoint_interval: None,
+            checkpoint_journal: None,
+            resume: false,
+            checkpoint_salt: 0,
             recovery_policy: RecoveryPolicy::default(),
         }
     }
@@ -171,6 +189,48 @@ impl<T: AtomicScalar> LsSvr<T> {
         self
     }
 
+    /// Streams snapshots into a durable on-disk journal; mirrors
+    /// [`crate::svm::LsSvm::with_checkpoint_journal`].
+    pub fn with_checkpoint_journal(mut self, journal: CheckpointJournal) -> Self {
+        self.checkpoint_journal = Some(journal);
+        self
+    }
+
+    /// Resumes from the journal's newest valid generation; mirrors
+    /// [`crate::svm::LsSvm::with_resume`].
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Folds extra entropy into the checkpoint context fingerprint;
+    /// mirrors [`crate::svm::LsSvm::with_checkpoint_salt`].
+    pub fn with_checkpoint_salt(mut self, salt: u64) -> Self {
+        self.checkpoint_salt = salt;
+        self
+    }
+
+    /// The checkpoint context fingerprint of this invocation (see
+    /// [`crate::svm::LsSvm`]'s equivalent; the `"svr"` tag keeps
+    /// classification and regression journals mutually exclusive).
+    fn checkpoint_context(&self, data: &RegressionData<T>) -> u64 {
+        let mut fp = ContextFingerprint::new()
+            .push_str("svr")
+            .push_kernel(&self.kernel)
+            .push_f64(self.cost.to_f64())
+            .push_u64(T::BYTES as u64)
+            .push_u64(data.points() as u64)
+            .push_u64(data.features() as u64)
+            .push_u64(self.checkpoint_salt);
+        for p in 0..data.points() {
+            for &v in data.x.row(p) {
+                fp = fp.push_f64(v.to_f64());
+            }
+            fp = fp.push_f64(data.y[p].to_f64());
+        }
+        fp.finish()
+    }
+
     /// Overrides the solver recovery policy; mirrors
     /// [`crate::svm::LsSvm::with_recovery_policy`].
     pub fn with_recovery_policy(mut self, policy: RecoveryPolicy) -> Self {
@@ -234,17 +294,39 @@ impl<T: AtomicScalar> LsSvr<T> {
                 })
                 .collect::<Vec<T>>()
         };
+        let mut resume_point = None;
+        let journal_sink = match &self.checkpoint_journal {
+            Some(journal) => {
+                let context = self.checkpoint_context(data);
+                if self.resume {
+                    resume_point =
+                        load_resume_point::<T>(journal, context, rhs.len(), metrics_ref)?;
+                }
+                Some(JournalSink::new(
+                    journal.clone(),
+                    context,
+                    self.metrics
+                        .as_ref()
+                        .map(|t| Arc::clone(t) as Arc<dyn MetricsSink>),
+                ))
+            }
+            None => None,
+        };
         let GuardedSolve {
             result: solve,
             total_iterations,
             escalations,
-        } = solve_with_guardrails(
+        } = solve_with_guardrails_checkpointed(
             &prepared,
             &rhs,
             &cfg,
             &self.recovery_policy,
             JacobiDiagonal::Lazy(&compute_diagonal),
             metrics_ref,
+            journal_sink
+                .as_ref()
+                .map(|s| s as &dyn RungCheckpointSink<T>),
+            resume_point.as_ref(),
         );
         rec.record(spans::CG_SOLVE, t_solve.elapsed());
         rec.record(spans::CG, t_cg.elapsed());
@@ -498,6 +580,61 @@ mod tests {
         assert!(report.kernels["svm_kernel"].launches >= out.iterations as u64);
         assert!(report.span(spans::CG) >= report.span(spans::CG_SOLVE));
         assert!(report.span(spans::TRAIN) >= report.span(spans::CG));
+    }
+
+    #[test]
+    fn journaled_regression_resumes_bit_exactly() {
+        let data = sinc(120, 0.0, 9);
+        let dir = std::env::temp_dir().join(format!("plssvm_svr_journal_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let journal = CheckpointJournal::open(&dir, 3).unwrap();
+        let reference = rbf_svr().train(&data).unwrap();
+        let journaled = rbf_svr()
+            .with_checkpoint_interval(5)
+            .with_checkpoint_journal(journal.clone())
+            .train(&data)
+            .unwrap();
+        assert_eq!(reference.model.coef, journaled.model.coef);
+        assert!(!journal.is_empty().unwrap());
+        let resumed = rbf_svr()
+            .with_checkpoint_interval(5)
+            .with_checkpoint_journal(journal)
+            .with_resume(true)
+            .train(&data)
+            .unwrap();
+        assert_eq!(resumed.model.coef, reference.model.coef);
+        assert_eq!(resumed.model.rho, reference.model.rho);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn svr_and_svm_journals_are_mutually_exclusive() {
+        // an SVR journal must not be resumable by the classification
+        // trainer even on identical x/y shapes — the "svr" tag in the
+        // context fingerprint separates them
+        let data = sinc(40, 0.0, 11);
+        let dir = std::env::temp_dir().join(format!("plssvm_svr_tag_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let journal = CheckpointJournal::open(&dir, 2).unwrap();
+        LsSvr::new()
+            .with_epsilon(1e-8)
+            .with_checkpoint_interval(3)
+            .with_checkpoint_journal(journal.clone())
+            .train(&data)
+            .unwrap();
+        let err = LsSvr::new()
+            .with_epsilon(1e-8)
+            .with_cost(3.0)
+            .with_checkpoint_interval(3)
+            .with_checkpoint_journal(journal)
+            .with_resume(true)
+            .train(&data)
+            .unwrap_err();
+        assert!(
+            matches!(&err, SvmError::Checkpoint(e) if e.kind() == "context_mismatch"),
+            "{err:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -19,10 +19,16 @@ use plssvm_data::Real;
 use plssvm_simgpu::device::AtomicScalar;
 use plssvm_simgpu::FaultPlan;
 
+use plssvm_data::CheckpointJournal;
+
 use crate::backend::{BackendSelection, CpuTilingConfig, DeviceReport, Prepared};
 use crate::cg::{CgConfig, SolveOutcome};
+use crate::checkpoint::{load_resume_point, ContextFingerprint, JournalSink};
 use crate::error::SvmError;
-use crate::guard::{solve_with_guardrails, GuardedSolve, JacobiDiagonal, RecoveryPolicy};
+use crate::guard::{
+    solve_with_guardrails_checkpointed, GuardedSolve, JacobiDiagonal, RecoveryPolicy,
+    RungCheckpointSink,
+};
 use crate::kernel::kernel_row;
 use crate::matrix_free::{bias, full_alpha, reduced_rhs};
 use crate::timing::ComponentTimes;
@@ -86,6 +92,21 @@ pub struct LsSvm<T> {
     /// recovery event to the metrics sink. `None` (the default) disables
     /// checkpointing.
     pub checkpoint_interval: Option<usize>,
+    /// Durable on-disk checkpoint journal: every periodic snapshot is
+    /// additionally appended as a checksummed generation file, making the
+    /// run crash-safe (see [`crate::checkpoint`]). Requires
+    /// `checkpoint_interval` to actually produce snapshots.
+    pub checkpoint_journal: Option<CheckpointJournal>,
+    /// Resume from the journal's newest valid generation instead of
+    /// starting fresh. The journal must belong to the same training
+    /// context (data, kernel, cost, precision, shape) — a mismatch is a
+    /// hard [`SvmError::Checkpoint`] error. An *empty* journal resumes as
+    /// a fresh start (a crash before the first checkpoint loses nothing).
+    pub resume: bool,
+    /// Extra entropy folded into the checkpoint context fingerprint. The
+    /// CLI sets this to a hash of the training file's bytes so a journal
+    /// written for one data set can never be resumed against another.
+    pub checkpoint_salt: u64,
     /// Escalation ladder engaged when the CG solve comes back
     /// non-converged (see [`crate::guard`]): restart with exact residual,
     /// then Jacobi preconditioning, then (f32 only) f64 iterative
@@ -109,6 +130,9 @@ impl<T: Real> Default for LsSvm<T> {
             metrics: None,
             fault_plan: None,
             checkpoint_interval: None,
+            checkpoint_journal: None,
+            resume: false,
+            checkpoint_salt: 0,
             recovery_policy: RecoveryPolicy::default(),
         }
     }
@@ -194,6 +218,28 @@ impl<T: AtomicScalar> LsSvm<T> {
         self
     }
 
+    /// Streams every periodic snapshot into a durable on-disk journal
+    /// (crash-safe training). Combine with
+    /// [`LsSvm::with_checkpoint_interval`] to control the cadence.
+    pub fn with_checkpoint_journal(mut self, journal: CheckpointJournal) -> Self {
+        self.checkpoint_journal = Some(journal);
+        self
+    }
+
+    /// Resumes from the journal's newest valid generation (requires
+    /// [`LsSvm::with_checkpoint_journal`]).
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Folds extra entropy (e.g. a training-file content hash) into the
+    /// checkpoint context fingerprint.
+    pub fn with_checkpoint_salt(mut self, salt: u64) -> Self {
+        self.checkpoint_salt = salt;
+        self
+    }
+
     /// Overrides the solver recovery policy (which escalation rungs may
     /// engage on a non-converged solve).
     pub fn with_recovery_policy(mut self, policy: RecoveryPolicy) -> Self {
@@ -217,6 +263,28 @@ impl<T: AtomicScalar> LsSvm<T> {
         let data = read_libsvm_file::<T>(train_path, None)?;
         let read = t0.elapsed();
         self.train_inner(&data, read, model_path)
+    }
+
+    /// The fingerprint that must match between the run that wrote a
+    /// checkpoint and the run resuming from it: training data (features
+    /// *and* labels), kernel, cost, working precision, problem shape,
+    /// preconditioning mode, sample weights, plus the caller's salt.
+    fn checkpoint_context(&self, data: &LabeledData<T>) -> u64 {
+        let mut fp = ContextFingerprint::new()
+            .push_kernel(&self.kernel)
+            .push_f64(self.cost.to_f64())
+            .push_u64(T::BYTES as u64)
+            .push_u64(data.points() as u64)
+            .push_u64(data.features() as u64)
+            .push_u64(u64::from(self.jacobi_preconditioner))
+            .push_u64(self.checkpoint_salt);
+        for p in 0..data.points() {
+            for &v in data.x.row(p) {
+                fp = fp.push_f64(v.to_f64());
+            }
+            fp = fp.push_f64(data.y[p].to_f64());
+        }
+        fp.finish()
     }
 
     fn train_inner(
@@ -304,17 +372,41 @@ impl<T: AtomicScalar> LsSvm<T> {
             // otherwise the diagonal is only computed if rung 2 engages
             None => JacobiDiagonal::Lazy(&compute_diagonal),
         };
+        // durable checkpointing: open the sink (and optionally the resume
+        // point) before the solve starts
+        let mut resume_point = None;
+        let journal_sink = match &self.checkpoint_journal {
+            Some(journal) => {
+                let context = self.checkpoint_context(data);
+                if self.resume {
+                    resume_point =
+                        load_resume_point::<T>(journal, context, rhs.len(), metrics_ref)?;
+                }
+                Some(JournalSink::new(
+                    journal.clone(),
+                    context,
+                    self.metrics
+                        .as_ref()
+                        .map(|t| Arc::clone(t) as Arc<dyn MetricsSink>),
+                ))
+            }
+            None => None,
+        };
         let GuardedSolve {
             result: solve,
             total_iterations,
             escalations,
-        } = solve_with_guardrails(
+        } = solve_with_guardrails_checkpointed(
             &prepared,
             &rhs,
             &cg_cfg,
             &self.recovery_policy,
             jacobi,
             metrics_ref,
+            journal_sink
+                .as_ref()
+                .map(|s| s as &dyn RungCheckpointSink<T>),
+            resume_point.as_ref(),
         );
         rec.record(spans::CG_SOLVE, t_solve.elapsed());
         rec.record(spans::CG, t_cg.elapsed());
@@ -859,6 +951,87 @@ mod tests {
         let wrong = DenseMatrix::from_rows(vec![vec![1.0f64, 2.0]]).unwrap();
         let result = std::panic::catch_unwind(|| predict(&out.model, &wrong));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn journaled_training_is_unperturbed_and_resumes_bit_exactly() {
+        let data = planes(80, 6, 44);
+        let dir = std::env::temp_dir().join(format!("plssvm_svm_journal_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let journal = CheckpointJournal::open(&dir, 4).unwrap();
+        let reference = LsSvm::new().with_epsilon(1e-10).train(&data).unwrap();
+        let journaled = LsSvm::new()
+            .with_epsilon(1e-10)
+            .with_checkpoint_interval(5)
+            .with_checkpoint_journal(journal.clone())
+            .train(&data)
+            .unwrap();
+        // streaming snapshots to disk must not perturb the numerics
+        assert_eq!(reference.model.coef, journaled.model.coef);
+        assert_eq!(reference.model.rho, journaled.model.rho);
+        assert!(!journal.is_empty().unwrap());
+
+        // resuming from the newest snapshot replays only the tail of the
+        // solve and still lands on the bit-identical model
+        let resumed = LsSvm::new()
+            .with_epsilon(1e-10)
+            .with_checkpoint_interval(5)
+            .with_checkpoint_journal(journal.clone())
+            .with_resume(true)
+            .train(&data)
+            .unwrap();
+        assert_eq!(resumed.model.coef, reference.model.coef);
+        assert_eq!(resumed.model.rho, reference.model.rho);
+        // the iteration counter is absolute (it continues from the
+        // snapshot), so the resumed run reports the same total
+        assert_eq!(resumed.iterations, reference.iterations);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_against_changed_context_is_rejected() {
+        let data = planes(40, 4, 45);
+        let dir = std::env::temp_dir().join(format!("plssvm_svm_ctx_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let journal = CheckpointJournal::open(&dir, 2).unwrap();
+        LsSvm::new()
+            .with_epsilon(1e-10)
+            .with_checkpoint_interval(3)
+            .with_checkpoint_journal(journal.clone())
+            .train(&data)
+            .unwrap();
+        // different cost → different system → the journal must refuse
+        let err = LsSvm::new()
+            .with_epsilon(1e-10)
+            .with_cost(7.0)
+            .with_checkpoint_interval(3)
+            .with_checkpoint_journal(journal.clone())
+            .with_resume(true)
+            .train(&data)
+            .unwrap_err();
+        assert!(
+            matches!(&err, SvmError::Checkpoint(e) if e.kind() == "context_mismatch"),
+            "{err:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_with_empty_journal_is_a_fresh_start() {
+        let data = planes(30, 4, 46);
+        let dir = std::env::temp_dir().join(format!("plssvm_svm_fresh_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let journal = CheckpointJournal::open(&dir, 2).unwrap();
+        let reference = LsSvm::new().with_epsilon(1e-10).train(&data).unwrap();
+        let out = LsSvm::new()
+            .with_epsilon(1e-10)
+            .with_checkpoint_interval(3)
+            .with_checkpoint_journal(journal)
+            .with_resume(true)
+            .train(&data)
+            .unwrap();
+        assert_eq!(out.model.coef, reference.model.coef);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

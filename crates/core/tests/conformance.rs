@@ -15,6 +15,7 @@ use plssvm_core::trace::{RecoveryKind, Telemetry};
 use plssvm_data::libsvm::LabeledData;
 use plssvm_data::model::KernelSpec;
 use plssvm_data::synthetic::{generate_planes, PlanesConfig};
+use plssvm_data::CheckpointJournal;
 use plssvm_simgpu::device::AtomicScalar;
 use plssvm_simgpu::{hw, Backend as DeviceApi, FaultPlan};
 
@@ -327,6 +328,54 @@ mod eval_halving {
             prop_assert_eq!(full, n * n);
             prop_assert_eq!(2 * sym, full + n);
         }
+    }
+}
+
+/// The durable checkpoint journal is an observer: attaching it — and
+/// resuming from its final generation — must leave every backend's
+/// model byte-identical to the plain run. This extends the kill-matrix
+/// harness (serial/openmp/simgpu) to the full backend list, including
+/// the multi-device splits and the sparse CPU path.
+#[test]
+fn checkpoint_journaling_never_perturbs_any_backend() {
+    let data: LabeledData<f64> = planes(48, 6, 123);
+    for (bname, backend) in cpu_and_device_backends(true) {
+        let plain = train(backend.clone(), KernelSpec::Linear, &data, 1e-10);
+        let dir = std::env::temp_dir().join(format!(
+            "plssvm-conformance-journal-{}-{bname}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let journaled_trainer = |resume: bool| {
+            LsSvm::new()
+                .with_cost(2.0)
+                .with_epsilon(1e-10)
+                .with_backend(backend.clone())
+                .with_checkpoint_interval(4)
+                .with_checkpoint_journal(CheckpointJournal::open(&dir, 4).unwrap())
+                .with_resume(resume)
+        };
+        let journaled = journaled_trainer(false).train(&data).unwrap();
+        assert_eq!(
+            plain.model.coef, journaled.model.coef,
+            "{bname}: journaled alphas"
+        );
+        assert_eq!(
+            plain.model.rho, journaled.model.rho,
+            "{bname}: journaled rho"
+        );
+        assert_eq!(
+            plain.iterations, journaled.iterations,
+            "{bname}: iterations"
+        );
+
+        let resumed = journaled_trainer(true).train(&data).unwrap();
+        assert_eq!(
+            plain.model.coef, resumed.model.coef,
+            "{bname}: resumed alphas"
+        );
+        assert_eq!(plain.model.rho, resumed.model.rho, "{bname}: resumed rho");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 

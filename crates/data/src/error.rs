@@ -2,6 +2,7 @@
 
 use std::fmt;
 use std::io;
+use std::path::{Path, PathBuf};
 
 /// Upper bound on 1-based feature indices accepted by all text parsers.
 ///
@@ -16,6 +17,15 @@ pub const MAX_FEATURE_INDEX: usize = 1 << 24;
 pub enum DataError {
     /// An underlying I/O failure (file not found, permission, …).
     Io(io::Error),
+    /// An I/O failure annotated with the path it happened on. All writers
+    /// that persist artifacts (models, scale ranges, checkpoints, metrics)
+    /// report this variant so the user sees *which* file failed.
+    IoPath {
+        /// The file or directory the operation was acting on.
+        path: PathBuf,
+        /// The underlying OS error.
+        source: io::Error,
+    },
     /// A syntactically invalid input file. Carries the 1-based line number
     /// and a description of what was wrong.
     Parse {
@@ -35,6 +45,9 @@ impl fmt::Display for DataError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DataError::Io(e) => write!(f, "I/O error: {e}"),
+            DataError::IoPath { path, source } => {
+                write!(f, "I/O error on '{}': {source}", path.display())
+            }
             DataError::Parse {
                 line,
                 column: Some(column),
@@ -58,6 +71,7 @@ impl std::error::Error for DataError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DataError::Io(e) => Some(e),
+            DataError::IoPath { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -70,6 +84,14 @@ impl From<io::Error> for DataError {
 }
 
 impl DataError {
+    /// Convenience constructor for path-annotated I/O errors.
+    pub fn io_path(path: impl AsRef<Path>, source: io::Error) -> Self {
+        DataError::IoPath {
+            path: path.as_ref().to_path_buf(),
+            source,
+        }
+    }
+
     /// Convenience constructor for parse errors.
     pub fn parse(line: usize, message: impl Into<String>) -> Self {
         DataError::Parse {
@@ -103,12 +125,17 @@ mod tests {
         assert_eq!(e.to_string(), "invalid data: empty");
         let e = DataError::from(io::Error::new(io::ErrorKind::NotFound, "nope"));
         assert!(e.to_string().contains("nope"));
+        let e = DataError::io_path("/tmp/m.model", io::Error::other("disk"));
+        let msg = e.to_string();
+        assert!(msg.contains("/tmp/m.model") && msg.contains("disk"));
     }
 
     #[test]
     fn io_source_is_preserved() {
         use std::error::Error;
         let e = DataError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(e.source().is_some());
+        let e = DataError::io_path("x", io::Error::new(io::ErrorKind::NotFound, "gone"));
         assert!(e.source().is_some());
         assert!(DataError::Invalid("x".into()).source().is_none());
     }

@@ -1,0 +1,180 @@
+//! Atomic, durable file writes shared by every artifact writer.
+//!
+//! A plain `File::create` + write leaves a truncated file behind when the
+//! process dies mid-write, and even a completed write may not survive a
+//! power loss until the data *and* the directory entry are fsynced. Every
+//! artifact the workspace persists — model files, scale ranges, checkpoint
+//! snapshots, telemetry JSON lines — goes through [`write_atomic`]:
+//!
+//! 1. write the full contents to a unique temporary file in the *same*
+//!    directory (rename is only atomic within a filesystem),
+//! 2. `fsync` the temporary file,
+//! 3. `rename` it over the destination (atomic replace on POSIX),
+//! 4. `fsync` the parent directory so the rename itself is durable.
+//!
+//! Readers therefore observe either the old contents or the complete new
+//! contents, never a torn intermediate state.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Component, Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::DataError;
+
+/// Process-wide counter making concurrent temp names unique.
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// The parent directory of `path`, defaulting to `.` for bare file names.
+fn parent_dir(path: &Path) -> PathBuf {
+    match path.parent() {
+        Some(p) if p.as_os_str().is_empty() => PathBuf::from("."),
+        Some(p) => p.to_path_buf(),
+        None => PathBuf::from("."),
+    }
+}
+
+/// A temp-file name unique across threads and processes, placed next to
+/// the destination so the final rename stays within one filesystem.
+fn temp_path_for(path: &Path) -> PathBuf {
+    let stem = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "artifact".to_owned());
+    let seq = TEMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    parent_dir(path).join(format!(".{stem}.tmp.{}.{seq}", std::process::id()))
+}
+
+/// Fsyncs a directory so a rename inside it survives a crash. Directory
+/// handles cannot be fsynced on all platforms; where the open or sync is
+/// unsupported the error is reported, except on non-unix targets where
+/// directory sync is silently skipped (no durable equivalent exists).
+fn sync_dir(dir: &Path) -> Result<(), DataError> {
+    #[cfg(unix)]
+    {
+        let handle = File::open(dir).map_err(|e| DataError::io_path(dir, e))?;
+        handle.sync_all().map_err(|e| DataError::io_path(dir, e))?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+    }
+    Ok(())
+}
+
+/// Atomically and durably replaces `path` with `bytes`.
+///
+/// On error the destination is untouched (modulo a leftover `.tmp` file,
+/// which subsequent successful writes never observe).
+pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), DataError> {
+    let path = path.as_ref();
+    let tmp = temp_path_for(path);
+    let result = (|| {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&tmp)
+            .map_err(|e| DataError::io_path(&tmp, e))?;
+        file.write_all(bytes)
+            .map_err(|e| DataError::io_path(&tmp, e))?;
+        file.sync_all().map_err(|e| DataError::io_path(&tmp, e))?;
+        drop(file);
+        fs::rename(&tmp, path).map_err(|e| DataError::io_path(path, e))?;
+        sync_dir(&parent_dir(path))
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Durably creates a directory (and its parents), fsyncing the grandparent
+/// so the new entry survives a crash.
+pub fn create_dir_durable(dir: impl AsRef<Path>) -> Result<(), DataError> {
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir).map_err(|e| DataError::io_path(dir, e))?;
+    // Walk up and fsync each ancestor we may have created. Syncing an
+    // already-durable directory is harmless, so sync them all.
+    let mut current = dir.to_path_buf();
+    loop {
+        sync_dir(&current)?;
+        match current.parent() {
+            Some(p)
+                if !p.as_os_str().is_empty()
+                    && !matches!(p.components().next_back(), Some(Component::RootDir)) =>
+            {
+                current = p.to_path_buf();
+            }
+            _ => break,
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("plssvm_io_{tag}_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_new_file() {
+        let dir = temp_dir("new");
+        let path = dir.join("a.txt");
+        write_atomic(&path, b"hello").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"hello");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replaces_existing_file() {
+        let dir = temp_dir("replace");
+        let path = dir.join("a.txt");
+        fs::write(&path, b"old").unwrap();
+        write_atomic(&path, b"new contents").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"new contents");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn no_temp_file_left_behind() {
+        let dir = temp_dir("clean");
+        write_atomic(dir.join("a.txt"), b"x").unwrap();
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn error_reports_path() {
+        let missing = temp_dir("err").join("nope").join("a.txt");
+        let err = write_atomic(&missing, b"x").unwrap_err();
+        assert!(err.to_string().contains("nope"), "{err}");
+    }
+
+    #[test]
+    fn bare_file_name_resolves_to_cwd() {
+        // never mutate the process CWD in a test — just check the helper
+        assert_eq!(parent_dir(Path::new("bare.txt")), PathBuf::from("."));
+        assert_eq!(parent_dir(Path::new("a/b.txt")), PathBuf::from("a"));
+        let tmp = temp_path_for(Path::new("bare.txt"));
+        assert_eq!(tmp.parent(), Some(Path::new(".")));
+    }
+
+    #[test]
+    fn create_dir_durable_is_idempotent() {
+        let dir = temp_dir("mkdir").join("a").join("b");
+        create_dir_durable(&dir).unwrap();
+        create_dir_durable(&dir).unwrap();
+        assert!(dir.is_dir());
+        fs::remove_dir_all(dir.parent().unwrap().parent().unwrap()).ok();
+    }
+}

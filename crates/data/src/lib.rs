@@ -11,6 +11,8 @@
 //!   input is densified, exactly as PLSSVM does),
 //! * [`model`] — LIBSVM-compatible model files,
 //! * [`scale`] — feature scaling to a target interval (the `svm-scale` tool),
+//! * [`checkpoint`] — the durable CG checkpoint format and journal,
+//! * [`io`] — atomic, durable file writes shared by all artifact writers,
 //! * [`synthetic`] — the `generate_data.py` "planes" problem generator built
 //!   on `make_classification` semantics,
 //! * [`sat6`] — a synthetic stand-in for the SAT-6 airborne data set,
@@ -19,8 +21,10 @@
 #![warn(missing_docs)]
 
 pub mod arff;
+pub mod checkpoint;
 pub mod dense;
 pub mod error;
+pub mod io;
 pub mod libsvm;
 pub mod model;
 pub mod multiclass;
@@ -31,8 +35,10 @@ pub mod sparse;
 pub mod split;
 pub mod synthetic;
 
+pub use checkpoint::{CheckpointError, CheckpointJournal, Snapshot};
 pub use dense::{DenseMatrix, SoAMatrix};
 pub use error::{DataError, MAX_FEATURE_INDEX};
+pub use io::write_atomic;
 pub use libsvm::{read_libsvm_file, read_libsvm_str, write_libsvm_file, LabeledData};
 pub use real::Real;
 pub use sparse::CsrMatrix;

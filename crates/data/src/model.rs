@@ -11,11 +11,12 @@
 //! notation (Eq. 10/15).
 
 use std::fs::File;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader};
 use std::path::Path;
 
 use crate::dense::DenseMatrix;
 use crate::error::{DataError, MAX_FEATURE_INDEX};
+use crate::io::write_atomic;
 use crate::libsvm::{token_column, FmtReal};
 use crate::real::Real;
 
@@ -202,11 +203,12 @@ impl<T: Real> SvmModel<T> {
     }
 
     /// Writes the model to a file (the paper's training step 4).
+    ///
+    /// The write is atomic and durable (temp file + fsync + rename +
+    /// parent-directory fsync): a crash mid-save leaves either the old
+    /// model or the complete new one, never a truncated file.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), DataError> {
-        let mut w = BufWriter::new(File::create(path)?);
-        w.write_all(self.to_model_string().as_bytes())?;
-        w.flush()?;
-        Ok(())
+        write_atomic(path, self.to_model_string().as_bytes())
     }
 
     /// Parses a model from its LIBSVM text representation.
@@ -519,12 +521,10 @@ impl<T: Real> SvrModel<T> {
         out
     }
 
-    /// Writes the model file.
+    /// Writes the model file atomically and durably (same guarantees as
+    /// [`SvmModel::save`]).
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), DataError> {
-        let mut w = BufWriter::new(File::create(path)?);
-        w.write_all(self.to_model_string().as_bytes())?;
-        w.flush()?;
-        Ok(())
+        write_atomic(path, self.to_model_string().as_bytes())
     }
 
     /// Parses an `epsilon_svr` model from its text form.

@@ -72,6 +72,17 @@ pub trait Real:
     fn is_finite(self) -> bool;
     /// Fused multiply-add `self * a + b` (maps to the hardware FMA).
     fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Appends the little-endian byte representation to `out`.
+    ///
+    /// Bit-exact (round-trips NaN payloads): checkpoint serialization must
+    /// reproduce the in-memory value exactly, which a `to_f64`/`from_f64`
+    /// detour would not guarantee for `f32`.
+    fn write_le(self, out: &mut Vec<u8>);
+    /// Reads a scalar from its little-endian byte representation.
+    ///
+    /// `bytes` must hold exactly [`Real::BYTES`] bytes; returns `None`
+    /// otherwise.
+    fn from_le(bytes: &[u8]) -> Option<Self>;
 }
 
 macro_rules! impl_real {
@@ -131,6 +142,14 @@ macro_rules! impl_real {
             fn mul_add(self, a: Self, b: Self) -> Self {
                 <$t>::mul_add(self, a, b)
             }
+            #[inline(always)]
+            fn write_le(self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            #[inline(always)]
+            fn from_le(bytes: &[u8]) -> Option<Self> {
+                Some(<$t>::from_le_bytes(bytes.try_into().ok()?))
+            }
         }
     };
 }
@@ -173,6 +192,26 @@ mod tests {
     fn exp_matches_std() {
         assert!((Real::exp(1.0f64) - std::f64::consts::E).abs() < 1e-12);
         assert!((Real::exp(1.0f32) - std::f32::consts::E).abs() < 1e-6);
+    }
+
+    #[test]
+    fn le_bytes_roundtrip_is_bit_exact() {
+        fn roundtrip<T: Real>(v: T) -> T {
+            let mut buf = Vec::new();
+            v.write_le(&mut buf);
+            assert_eq!(buf.len(), T::BYTES);
+            T::from_le(&buf).unwrap()
+        }
+        // NaN payload bits must survive the round trip
+        let quiet = f32::from_bits(0x7fc0_1234);
+        assert_eq!(roundtrip(quiet).to_bits(), quiet.to_bits());
+        let quiet = f64::from_bits(0x7ff8_0000_dead_beef);
+        assert_eq!(roundtrip(quiet).to_bits(), quiet.to_bits());
+        assert_eq!(roundtrip(-0.0f64).to_bits(), (-0.0f64).to_bits());
+        assert_eq!(roundtrip(1.5f32), 1.5f32);
+        // wrong length is rejected, not a panic
+        assert!(<f64 as Real>::from_le(&[0u8; 4]).is_none());
+        assert!(<f32 as Real>::from_le(&[0u8; 8]).is_none());
     }
 
     #[test]

@@ -7,11 +7,12 @@
 //! format so test data can be scaled identically.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, Read};
 use std::path::Path;
 
 use crate::dense::DenseMatrix;
 use crate::error::{DataError, MAX_FEATURE_INDEX};
+use crate::io::write_atomic;
 use crate::libsvm::FmtReal;
 use crate::real::Real;
 
@@ -93,12 +94,11 @@ impl<T: Real> ScalingParams<T> {
         out
     }
 
-    /// Writes the range file to disk.
+    /// Writes the range file to disk atomically and durably (temp file +
+    /// fsync + rename + parent-directory fsync), so an interrupted
+    /// `svm-scale -s` can never leave a truncated range file behind.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), DataError> {
-        let mut w = BufWriter::new(File::create(path)?);
-        w.write_all(self.to_range_string().as_bytes())?;
-        w.flush()?;
-        Ok(())
+        write_atomic(path, self.to_range_string().as_bytes())
     }
 
     /// Parses a range file (`svm-scale -r`).

@@ -269,6 +269,150 @@ fn double_mutations_never_panic() {
     assert!(failures.is_empty(), "{}", failures.join("\n"));
 }
 
+/// A representative valid checkpoint snapshot for the binary mutation
+/// corpus.
+fn checkpoint_seed_bytes() -> Vec<u8> {
+    plssvm_data::checkpoint::Snapshot {
+        rung: 2,
+        context_hash: 0x1234_5678_9abc_def0,
+        iterations: 42,
+        x: vec![0.5, -1.25, 3.0, 0.0625, -7.5],
+        r: vec![1e-3, -2e-4, 5e-5, 0.0, 1e-6],
+        d: vec![0.25, 0.125, -0.5, 1.0, -1.0],
+        rho: 1.5e-6,
+        delta: 2.5e-7,
+        delta0: 4.0,
+    }
+    .to_bytes()
+}
+
+/// Byte-level mutations for the binary snapshot format: flips,
+/// truncations, extensions, zero runs and length-field attacks.
+fn mutate_bytes(seed: &[u8], rng: &mut Lcg) -> Vec<u8> {
+    let mut bytes = seed.to_vec();
+    match rng.below(6) {
+        // flip a random bit
+        0 if !bytes.is_empty() => {
+            let i = rng.below(bytes.len());
+            bytes[i] ^= 1 << rng.below(8);
+        }
+        // truncate at a random point (torn write)
+        1 => {
+            bytes.truncate(rng.below(bytes.len() + 1));
+        }
+        // append garbage (partial next write flushed into the same file)
+        2 => {
+            let extra = rng.below(64) + 1;
+            for _ in 0..extra {
+                bytes.push(rng.next() as u8);
+            }
+        }
+        // zero out a run (sparse-file hole after a crash)
+        3 if !bytes.is_empty() => {
+            let start = rng.below(bytes.len());
+            let len = rng.below(bytes.len() - start) + 1;
+            bytes[start..start + len].iter_mut().for_each(|b| *b = 0);
+        }
+        // overwrite the stored dimension with a huge value: must be a
+        // structured error, never a giant allocation
+        4 if bytes.len() >= 32 => {
+            let dim = u64::MAX - u64::from(rng.next() as u8);
+            bytes[24..32].copy_from_slice(&dim.to_le_bytes());
+        }
+        // swap two random bytes
+        _ if !bytes.is_empty() => {
+            let i = rng.below(bytes.len());
+            let j = rng.below(bytes.len());
+            bytes.swap(i, j);
+        }
+        _ => {}
+    }
+    bytes
+}
+
+/// Every mutated checkpoint file must produce a classified
+/// [`CheckpointError`](plssvm_data::CheckpointError) (or, for mutations
+/// in the rare CRC-colliding blind spots, a valid snapshot) — never a
+/// panic, in either precision.
+#[test]
+fn mutated_checkpoint_bytes_never_panic_the_loader() {
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let seed = checkpoint_seed_bytes();
+    let mut rng = Lcg(0xc4ec_4b01);
+    let mut failures = Vec::new();
+    for round in 0..600 {
+        let mut mutant = mutate_bytes(&seed, &mut rng);
+        if round % 3 == 0 {
+            mutant = mutate_bytes(&mutant, &mut rng);
+        }
+        let m = mutant.clone();
+        if catch_unwind(AssertUnwindSafe(move || {
+            let _ = plssvm_data::checkpoint::Snapshot::<f64>::from_bytes(&m);
+        }))
+        .is_err()
+        {
+            failures.push(format!("f64 loader panicked on round {round}: {mutant:?}"));
+        }
+        let m = mutant.clone();
+        if catch_unwind(AssertUnwindSafe(move || {
+            let _ = plssvm_data::checkpoint::Snapshot::<f32>::from_bytes(&m);
+        }))
+        .is_err()
+        {
+            failures.push(format!("f32 loader panicked on round {round}: {mutant:?}"));
+        }
+    }
+
+    std::panic::set_hook(prev_hook);
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+/// A journal directory full of damaged generation files must recover
+/// (skipping the damage) or report cleanly — `load_latest` never panics
+/// and never errors on integrity damage alone.
+#[test]
+fn journals_of_mutated_generations_recover_or_report_cleanly() {
+    let dir = std::env::temp_dir().join(format!("plssvm-corpus-journal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let seed = checkpoint_seed_bytes();
+    let mut rng = Lcg(0x7031_1e55);
+    for round in 0..40 {
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // generations 1..=4: some valid, some mutants
+        let mut wrote_valid = false;
+        for generation in 1u64..=4 {
+            let content = if rng.below(2) == 0 {
+                wrote_valid = true;
+                seed.clone()
+            } else {
+                mutate_bytes(&seed, &mut rng)
+            };
+            std::fs::write(dir.join(format!("gen-{generation:08}.ckpt")), content).unwrap();
+        }
+        let journal = plssvm_data::CheckpointJournal::open(&dir, 4).unwrap();
+        let (loaded, skipped) = journal
+            .load_latest::<f64>()
+            .unwrap_or_else(|e| panic!("round {round}: load_latest errored: {e}"));
+        if wrote_valid {
+            assert!(
+                loaded.is_some(),
+                "round {round}: a valid generation existed but was not found \
+                 ({} skipped)",
+                skipped.len()
+            );
+        }
+        // every skipped generation carries a classified reason
+        for s in &skipped {
+            assert!(!s.reason.kind().is_empty());
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn hostile_one_liners_error_with_context() {
     // Directly check the adversarial inputs from the issue: a huge sparse

@@ -3,6 +3,7 @@
 use proptest::prelude::*;
 
 use plssvm_data::arff::{read_arff_str, write_arff_string};
+use plssvm_data::checkpoint::Snapshot;
 use plssvm_data::dense::{weighted_allocation, DenseMatrix, SoAMatrix};
 use plssvm_data::libsvm::LabeledData;
 use plssvm_data::scale::ScalingParams;
@@ -113,5 +114,116 @@ proptest! {
         for i in 0..data.points() {
             prop_assert_eq!(data.original_label(data.y[i]), back.original_label(back.y[i]));
         }
+    }
+}
+
+/// Three equal-length state vectors for a checkpoint snapshot.
+fn state_vecs(max_dim: usize) -> impl Strategy<Value = (Vec<f64>, Vec<f64>, Vec<f64>)> {
+    (1..max_dim).prop_flat_map(|n| {
+        let v = || proptest::collection::vec(-1e12..1e12f64, n..=n);
+        (v(), v(), v())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Snapshot → bytes → snapshot is the identity in double precision.
+    #[test]
+    fn checkpoint_snapshot_roundtrip_f64(
+        rung in 0u8..4,
+        context_hash in any::<u64>(),
+        iterations in any::<u64>(),
+        (x, r, d) in state_vecs(24),
+        rho in -1e12..1e12f64,
+        delta in 0.0..1e12f64,
+        delta0 in 1e-12..1e12f64,
+    ) {
+        let snap = Snapshot { rung, context_hash, iterations, x, r, d, rho, delta, delta0 };
+        let back = Snapshot::<f64>::from_bytes(&snap.to_bytes()).unwrap();
+        prop_assert_eq!(back, snap);
+    }
+
+    /// The same identity in single precision, and the two precisions
+    /// reject each other's files as a precision mismatch, not garbage.
+    #[test]
+    fn checkpoint_snapshot_roundtrip_f32(
+        rung in 0u8..4,
+        context_hash in any::<u64>(),
+        iterations in any::<u64>(),
+        (x64, r64, d64) in state_vecs(24),
+        rho in -1e12..1e12f32,
+        delta in 0.0..1e12f32,
+        delta0 in 1e-6..1e12f32,
+    ) {
+        let to32 = |v: &[f64]| v.iter().map(|&a| a as f32).collect::<Vec<f32>>();
+        let snap = Snapshot {
+            rung,
+            context_hash,
+            iterations,
+            x: to32(&x64),
+            r: to32(&r64),
+            d: to32(&d64),
+            rho,
+            delta,
+            delta0,
+        };
+        let bytes = snap.to_bytes();
+        let back = Snapshot::<f32>::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, snap);
+        let cross_rejected = matches!(
+            Snapshot::<f64>::from_bytes(&bytes),
+            Err(plssvm_data::CheckpointError::PrecisionMismatch { expected: 8, found: 4 })
+        );
+        prop_assert!(cross_rejected);
+    }
+
+    /// CRC32 detects every single-bit flip: a snapshot file with any one
+    /// bit flipped must fail to load (no silent state corruption).
+    #[test]
+    fn checkpoint_single_bitflip_is_always_detected(
+        (x, r, d) in state_vecs(12),
+        byte in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let snap = Snapshot {
+            rung: 1,
+            context_hash: 0xabcd,
+            iterations: 17,
+            x, r, d,
+            rho: 0.5,
+            delta: 0.25,
+            delta0: 1.0,
+        };
+        let mut bytes = snap.to_bytes();
+        let i = byte as usize % bytes.len();
+        bytes[i] ^= 1 << bit;
+        prop_assert!(Snapshot::<f64>::from_bytes(&bytes).is_err());
+    }
+
+    /// Non-finite state must be rejected at load time even though it
+    /// serializes with a valid checksum: resuming NaN/inf would poison
+    /// the solve.
+    #[test]
+    fn checkpoint_non_finite_state_is_rejected(
+        (mut x, r, d) in state_vecs(12),
+        poison in prop_oneof![Just(f64::NAN), Just(f64::INFINITY), Just(f64::NEG_INFINITY)],
+        at in any::<u64>(),
+    ) {
+        let i = at as usize % x.len();
+        x[i] = poison;
+        let snap = Snapshot {
+            rung: 0,
+            context_hash: 7,
+            iterations: 3,
+            x, r, d,
+            rho: 1.0,
+            delta: 1.0,
+            delta0: 1.0,
+        };
+        let err = Snapshot::<f64>::from_bytes(&snap.to_bytes()).unwrap_err();
+        let rejected_as_non_finite =
+            matches!(err, plssvm_data::CheckpointError::NonFinite { field: "x" });
+        prop_assert!(rejected_as_non_finite);
     }
 }
