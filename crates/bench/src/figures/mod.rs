@@ -17,6 +17,7 @@ pub mod fig1;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
+pub mod lowrank;
 pub mod multinode;
 pub mod precision;
 pub mod profiling;
@@ -42,6 +43,7 @@ pub const ALL_IDS: &[&str] = &[
     "cov",
     "ablation",
     "ablation_cpu_tiling",
+    "ablation_lowrank",
     "multinode",
     "precision",
 ];
@@ -64,6 +66,7 @@ pub fn run(id: &str, scale: Scale) -> Option<FigureReport> {
         "cov" => cov::run(scale),
         "ablation" => ablation::run(scale),
         "ablation_cpu_tiling" => cpu_tiling::run(scale),
+        "ablation_lowrank" => lowrank::run(scale),
         "multinode" => multinode::run(scale),
         "precision" => precision::run(scale),
         _ => return None,

@@ -5,6 +5,7 @@ use std::fmt;
 use plssvm_core::backend::simgpu::TilingConfig;
 use plssvm_core::backend::BackendSelection;
 use plssvm_core::backend::CpuTilingConfig;
+use plssvm_core::lowrank::{LandmarkStrategy, SolverSelection, DEFAULT_SEED};
 use plssvm_data::model::KernelSpec;
 use plssvm_simgpu::hw;
 use plssvm_simgpu::Backend as DeviceApi;
@@ -121,6 +122,11 @@ pub struct TrainArgs {
     /// Handling of non-converged solves (`--on-nonconverged
     /// error|warn|accept`, default warn), LS-SVM / LS-SVR only.
     pub on_nonconverged: NonConvergedAction,
+    /// Reduced-system solver (`--solver exact|lowrank`), LS-SVM / LS-SVR
+    /// only. The low-rank path needs `--rank` and optionally takes
+    /// `--lowrank-seed` and `--landmarks uniform|leverage`; it is
+    /// incompatible with `--resume`.
+    pub solver: SolverSelection,
     /// Suppress informational output (`-q` / `--quiet`).
     pub quiet: bool,
     /// Print per-kernel telemetry counters with the summary (`--verbose`).
@@ -154,12 +160,17 @@ pub fn parse_train(args: &[String]) -> Result<TrainArgs, CliError> {
         checkpoint_dir: None,
         resume: false,
         on_nonconverged: NonConvergedAction::Warn,
+        solver: SolverSelection::Exact,
         quiet: false,
         verbose: false,
         input: String::new(),
         model: String::new(),
     };
     let mut fault_spec: Option<String> = None;
+    let mut solver_name = "exact".to_owned();
+    let mut rank: Option<usize> = None;
+    let mut lowrank_seed: u64 = DEFAULT_SEED;
+    let mut landmarks = LandmarkStrategy::Uniform;
     let mut backend_name = "openmp".to_owned();
     let mut devices = 1usize;
     let mut row_split = false;
@@ -228,6 +239,20 @@ pub fn parse_train(args: &[String]) -> Result<TrainArgs, CliError> {
             }
             "--checkpoint-dir" => out.checkpoint_dir = Some(take("--checkpoint-dir")?),
             "--resume" => out.resume = true,
+            "--solver" => solver_name = take("--solver")?,
+            "--rank" => {
+                let k: usize = parse_num(&take("--rank")?, "--rank")?;
+                if k == 0 {
+                    return Err(err("--rank must be at least 1"));
+                }
+                rank = Some(k);
+            }
+            "--lowrank-seed" => {
+                lowrank_seed = parse_num(&take("--lowrank-seed")?, "--lowrank-seed")?
+            }
+            "--landmarks" => {
+                landmarks = take("--landmarks")?.parse().map_err(err)?;
+            }
             "--on-nonconverged" => {
                 out.on_nonconverged = match take("--on-nonconverged")?.as_str() {
                     "error" => NonConvergedAction::Error,
@@ -295,6 +320,31 @@ pub fn parse_train(args: &[String]) -> Result<TrainArgs, CliError> {
     if out.checkpoint_dir.is_some() && out.checkpoint_every.is_none() {
         out.checkpoint_every = Some(50);
     }
+    out.solver = match solver_name.as_str() {
+        "exact" => {
+            if rank.is_some() {
+                return Err(err("--rank requires --solver lowrank"));
+            }
+            SolverSelection::Exact
+        }
+        "lowrank" => {
+            let rank = rank.ok_or_else(|| err("--solver lowrank requires --rank"))?;
+            if out.resume {
+                // the checkpoint journal streams exact-CG state only
+                return Err(err("--resume is not supported with --solver lowrank \
+                     (the checkpoint journal streams exact-CG state only)"));
+            }
+            if out.algorithm != Algorithm::LsSvm {
+                return Err(err("--solver lowrank requires the lssvm algorithm"));
+            }
+            SolverSelection::LowRank {
+                rank,
+                seed: lowrank_seed,
+                strategy: landmarks,
+            }
+        }
+        other => return Err(err(format!("unknown solver '{other}'"))),
+    };
 
     if cpu_tile.is_some() && backend_name != "openmp" {
         return Err(err("--cpu-tile requires --backend openmp"));
@@ -974,6 +1024,83 @@ mod tests {
         // resuming without a journal directory is a usage error
         assert!(parse_train(&sv(&["--resume", "x.dat"])).is_err());
         assert!(parse_train(&sv(&["--checkpoint-dir"])).is_err());
+    }
+
+    #[test]
+    fn train_solver_flags() {
+        let a = parse_train(&sv(&["x.dat"])).unwrap();
+        assert_eq!(a.solver, SolverSelection::Exact);
+
+        let a = parse_train(&sv(&["--solver", "lowrank", "--rank", "64", "x.dat"])).unwrap();
+        assert_eq!(
+            a.solver,
+            SolverSelection::LowRank {
+                rank: 64,
+                seed: DEFAULT_SEED,
+                strategy: LandmarkStrategy::Uniform,
+            }
+        );
+
+        let a = parse_train(&sv(&[
+            "--solver",
+            "lowrank",
+            "--rank",
+            "32",
+            "--lowrank-seed",
+            "7",
+            "--landmarks",
+            "leverage",
+            "x.dat",
+        ]))
+        .unwrap();
+        assert_eq!(
+            a.solver,
+            SolverSelection::LowRank {
+                rank: 32,
+                seed: 7,
+                strategy: LandmarkStrategy::Leverage,
+            }
+        );
+
+        // the low-rank solver needs a rank; a rank alone is meaningless
+        assert!(parse_train(&sv(&["--solver", "lowrank", "x.dat"])).is_err());
+        assert!(parse_train(&sv(&["--rank", "8", "x.dat"])).is_err());
+        assert!(parse_train(&sv(&["--solver", "lowrank", "--rank", "0", "x.dat"])).is_err());
+        assert!(parse_train(&sv(&["--solver", "cholesky", "x.dat"])).is_err());
+        assert!(parse_train(&sv(&[
+            "--solver",
+            "lowrank",
+            "--rank",
+            "8",
+            "--landmarks",
+            "grid",
+            "x.dat",
+        ]))
+        .is_err());
+        // SMO has no reduced system to approximate
+        assert!(parse_train(&sv(&[
+            "-a", "smo", "--solver", "lowrank", "--rank", "8", "x.dat",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn train_lowrank_resume_rejected_at_parse() {
+        // the PR 5 journal streams CG state only — the combination must
+        // die as a usage error (exit 2), before any training work
+        let e = parse_train(&sv(&[
+            "--solver",
+            "lowrank",
+            "--rank",
+            "16",
+            "--checkpoint-dir",
+            "ckpt",
+            "--resume",
+            "x.dat",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("--resume"), "{e}");
+        assert!(e.0.contains("lowrank"), "{e}");
     }
 
     #[test]

@@ -35,6 +35,12 @@ fn main() -> ExitCode {
              \x20 --checkpoint-dir d   : durable on-disk checkpoint journal; an interrupted run\n\
              \x20                  can be continued with --resume (LS-SVM/LS-SVR only)\n\
              \x20 --resume       : continue from the newest loadable checkpoint in --checkpoint-dir\n\
+             \x20 --solver s     : exact (default) | lowrank randomized Nystrom solver (lssvm only,\n\
+             \x20                  incompatible with --resume; requires --rank)\n\
+             \x20 --rank k       : number of Nystrom landmarks for --solver lowrank (clamped to the\n\
+             \x20                  system size)\n\
+             \x20 --lowrank-seed n     : landmark sampling seed (default 42, deterministic)\n\
+             \x20 --landmarks s  : uniform (default) | leverage landmark selection strategy\n\
              \x20 --on-nonconverged a  : error | warn (default) | accept a solve that missed epsilon\n\
              \x20 -q, --quiet    : suppress the training summary\n\
              \x20 --verbose      : append per-kernel telemetry counters to the summary\n\

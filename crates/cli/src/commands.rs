@@ -192,6 +192,7 @@ pub fn run_train(args: &TrainArgs) -> Result<String, Box<dyn Error>> {
                 .with_kernel(kernel)
                 .with_cost(args.cost)
                 .with_epsilon(args.epsilon)
+                .with_solver(args.solver)
                 .with_backend(args.backend.clone());
             if let Some(plan) = &args.fault_plan {
                 trainer = trainer.with_fault_plan(plan.clone());
@@ -240,6 +241,9 @@ pub fn run_train(args: &TrainArgs) -> Result<String, Box<dyn Error>> {
                     data.features()
                 ));
                 summary.push_str(&format!("backend: {}\n", out.backend_name));
+                if let Some(solver) = args.solver.provenance() {
+                    summary.push_str(&format!("solver: {solver}\n"));
+                }
                 summary.push_str(&format!(
                     "CG iterations: {} (converged: {}, relative residual {:.3e})\n",
                     out.iterations, out.converged, out.relative_residual
@@ -336,6 +340,7 @@ fn run_train_regression(args: &TrainArgs) -> Result<String, Box<dyn Error>> {
         .with_kernel(kernel)
         .with_cost(args.cost)
         .with_epsilon(args.epsilon)
+        .with_solver(args.solver)
         .with_backend(args.backend.clone());
     if let Some(plan) = &args.fault_plan {
         trainer = trainer.with_fault_plan(plan.clone());
@@ -376,6 +381,9 @@ fn run_train_regression(args: &TrainArgs) -> Result<String, Box<dyn Error>> {
             r_squared(&out.model, &data),
         ));
         summary.push_str(&format!("solver outcome: {}\n", out.outcome));
+        if let Some(solver) = args.solver.provenance() {
+            summary.push_str(&format!("solver: {solver}\n"));
+        }
         if let Some(ladder) = escalation_summary(&out.escalations) {
             summary.push_str(&format!("recovery escalations: {ladder}\n"));
         }
@@ -405,6 +413,7 @@ fn run_train_multiclass(
         .with_kernel(kernel)
         .with_cost(args.cost)
         .with_epsilon(args.epsilon)
+        .with_solver(args.solver)
         .with_backend(args.backend.clone());
     if let Some(k) = args.checkpoint_every {
         trainer = trainer.with_checkpoint_interval(k);
@@ -1626,6 +1635,92 @@ mod tests {
             std::fs::read_to_string(&reference).unwrap(),
             std::fs::read_to_string(&resumed).unwrap()
         );
+    }
+
+    #[test]
+    fn lowrank_solver_trains_and_predicts_like_exact() {
+        let dir = tmpdir("lowrank");
+        let data = dir.join("train.dat");
+        run_generate(
+            &parse_generate(&sv(&[
+                "--points",
+                "120",
+                "--features",
+                "6",
+                "--seed",
+                "37",
+                "--sep",
+                "4.0",
+                "--flip",
+                "0.0",
+                "-o",
+                data.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+
+        let exact_model = dir.join("exact.model");
+        let train = parse_train(&sv(&[
+            "-e",
+            "1e-8",
+            data.to_str().unwrap(),
+            exact_model.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run_train(&train).unwrap();
+
+        let lr_model = dir.join("lowrank.model");
+        let train = parse_train(&sv(&[
+            "-e",
+            "1e-8",
+            "--solver",
+            "lowrank",
+            "--rank",
+            "32",
+            data.to_str().unwrap(),
+            lr_model.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let msg = run_train(&train).unwrap();
+        assert!(
+            msg.contains("solver: lowrank rank=32 seed=42 strategy=uniform"),
+            "{msg}"
+        );
+        assert!(msg.contains("converged: true"), "{msg}");
+
+        // the low-rank model records its provenance in the model file
+        let content = std::fs::read_to_string(&lr_model).unwrap();
+        assert!(content.contains("solver lowrank rank=32"), "{content}");
+        // ... while the exact model stays LIBSVM-plain
+        assert!(!std::fs::read_to_string(&exact_model)
+            .unwrap()
+            .contains("solver "));
+
+        // both models classify the training set equally well
+        for model in [&exact_model, &lr_model] {
+            let preds = dir.join("p.txt");
+            let pm = run_predict(
+                &parse_predict(&sv(&[
+                    data.to_str().unwrap(),
+                    model.to_str().unwrap(),
+                    preds.to_str().unwrap(),
+                ]))
+                .unwrap(),
+            )
+            .unwrap();
+            let acc: f64 = pm
+                .split('=')
+                .nth(1)
+                .unwrap()
+                .trim()
+                .split('%')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert!(acc >= 97.0, "{pm}");
+        }
     }
 
     #[test]

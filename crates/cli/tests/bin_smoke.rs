@@ -204,6 +204,52 @@ fn train_help_and_errors_exit_nonzero() {
 }
 
 #[test]
+fn lowrank_resume_is_a_usage_error_with_exit_code_2() {
+    let dir = tmpdir("lowrank_resume");
+    let data = dir.join("train.dat");
+    run(
+        "generate-data",
+        &[
+            "--points",
+            "40",
+            "--features",
+            "4",
+            "--seed",
+            "7",
+            "-o",
+            data.to_str().unwrap(),
+        ],
+    );
+    // --resume with --solver lowrank is rejected at parse time: the
+    // checkpoint journal streams exact-CG state only
+    let exe = env!("CARGO_BIN_EXE_svm-train");
+    let out = Command::new(exe)
+        .args([
+            "--solver",
+            "lowrank",
+            "--rank",
+            "16",
+            "--checkpoint-dir",
+            dir.join("journal").to_str().unwrap(),
+            "--resume",
+            data.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2), "usage errors must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--resume"), "{stderr}");
+    assert!(stderr.contains("lowrank"), "{stderr}");
+
+    // the help text documents the solver flags
+    let (ok, _, help) = run("svm-train", &["--help"]);
+    assert!(!ok);
+    assert!(help.contains("--solver"), "{help}");
+    assert!(help.contains("--rank"), "{help}");
+    assert!(help.contains("--landmarks"), "{help}");
+}
+
+#[test]
 fn cross_validation_through_the_binary() {
     let dir = tmpdir("cv");
     let data = dir.join("train.dat");

@@ -26,6 +26,14 @@
 //! The ladder only engages on non-convergence: a solve that converges on
 //! the first attempt takes exactly the same code path (and performs
 //! bit-identical arithmetic) as it did before guardrails existed.
+//!
+//! The randomized low-rank solver ([`crate::lowrank`]) sits *in front of*
+//! this ladder as an optional pre-ladder: Nyström direct solve →
+//! [`RecoveryKind::Precondition`] → Nyström-preconditioned CG →
+//! [`RecoveryKind::SolverFallback`] → this exact ladder, started fresh.
+//! Its transitions are prepended to [`GuardedSolve::escalations`], so the
+//! full recovery history reads in chronological order regardless of which
+//! solver the run started on.
 
 use plssvm_data::Real;
 

@@ -25,6 +25,7 @@ pub mod checkpoint;
 pub mod error;
 pub mod guard;
 pub mod kernel;
+pub mod lowrank;
 pub mod matrix_free;
 pub mod model_selection;
 pub mod multiclass;
@@ -46,6 +47,7 @@ pub mod prelude {
     pub use crate::cg::SolveOutcome;
     pub use crate::checkpoint::{ContextFingerprint, JournalSink};
     pub use crate::guard::RecoveryPolicy;
+    pub use crate::lowrank::{LandmarkStrategy, SolverSelection};
     pub use crate::model_selection::{grid_search, GridSearchConfig, GridSearchResult};
     pub use crate::multiclass::{
         train_multiclass, train_multiclass_with_outcomes, MultiClassModel, MultiClassStrategy,

@@ -31,6 +31,7 @@ use crate::guard::{
     RungCheckpointSink,
 };
 use crate::kernel::kernel_row;
+use crate::lowrank::{solve_lowrank, SolverSelection};
 use crate::matrix_free::{bias, full_alpha, reduced_rhs};
 use crate::trace::{spans, MetricsSink, RecoveryKind, SpanRecorder, Telemetry, TelemetryReport};
 
@@ -86,6 +87,9 @@ pub struct LsSvr<T> {
     /// Escalation ladder for non-converged solves; mirrors
     /// [`crate::svm::LsSvm::recovery_policy`].
     pub recovery_policy: RecoveryPolicy,
+    /// Which solver runs the reduced system; mirrors
+    /// [`crate::svm::LsSvm::solver`] (including the resume rejection).
+    pub solver: SolverSelection,
 }
 
 impl<T: Real> Default for LsSvr<T> {
@@ -104,6 +108,7 @@ impl<T: Real> Default for LsSvr<T> {
             resume: false,
             checkpoint_salt: 0,
             recovery_policy: RecoveryPolicy::default(),
+            solver: SolverSelection::default(),
         }
     }
 }
@@ -238,12 +243,27 @@ impl<T: AtomicScalar> LsSvr<T> {
         self
     }
 
+    /// Selects the solver for the reduced system; mirrors
+    /// [`crate::svm::LsSvm::with_solver`].
+    pub fn with_solver(mut self, solver: SolverSelection) -> Self {
+        self.solver = solver;
+        self
+    }
+
     /// Trains on a regression data set.
     pub fn train(&self, data: &RegressionData<T>) -> Result<SvrTrainOutput<T>, SvmError> {
         let t_total = Instant::now();
         if data.points() < 2 {
             return Err(SvmError::Solver(
                 "regression needs at least two data points".into(),
+            ));
+        }
+        if self.resume && matches!(self.solver, SolverSelection::LowRank { .. }) {
+            return Err(SvmError::Solver(
+                "cannot resume a checkpointed run with the low-rank solver: the \
+                 checkpoint journal streams exact-CG state only (drop the resume \
+                 flag or select the exact solver)"
+                    .into(),
             ));
         }
         let mut rec = SpanRecorder::new();
@@ -294,40 +314,62 @@ impl<T: AtomicScalar> LsSvr<T> {
                 })
                 .collect::<Vec<T>>()
         };
-        let mut resume_point = None;
-        let journal_sink = match &self.checkpoint_journal {
-            Some(journal) => {
-                let context = self.checkpoint_context(data);
-                if self.resume {
-                    resume_point =
-                        load_resume_point::<T>(journal, context, rhs.len(), metrics_ref)?;
-                }
-                Some(JournalSink::new(
-                    journal.clone(),
-                    context,
-                    self.metrics
-                        .as_ref()
-                        .map(|t| Arc::clone(t) as Arc<dyn MetricsSink>),
-                ))
-            }
-            None => None,
-        };
         let GuardedSolve {
             result: solve,
             total_iterations,
             escalations,
-        } = solve_with_guardrails_checkpointed(
-            &prepared,
-            &rhs,
-            &cfg,
-            &self.recovery_policy,
-            JacobiDiagonal::Lazy(&compute_diagonal),
-            metrics_ref,
-            journal_sink
-                .as_ref()
-                .map(|s| s as &dyn RungCheckpointSink<T>),
-            resume_point.as_ref(),
-        );
+        } = match self.solver {
+            SolverSelection::LowRank {
+                rank,
+                seed,
+                strategy,
+            } => solve_lowrank(
+                &prepared,
+                prepared.params(),
+                &data.x,
+                &self.kernel,
+                rank,
+                seed,
+                strategy,
+                &rhs,
+                &cfg,
+                &self.recovery_policy,
+                JacobiDiagonal::Lazy(&compute_diagonal),
+                metrics_ref,
+            )?,
+            SolverSelection::Exact => {
+                let mut resume_point = None;
+                let journal_sink = match &self.checkpoint_journal {
+                    Some(journal) => {
+                        let context = self.checkpoint_context(data);
+                        if self.resume {
+                            resume_point =
+                                load_resume_point::<T>(journal, context, rhs.len(), metrics_ref)?;
+                        }
+                        Some(JournalSink::new(
+                            journal.clone(),
+                            context,
+                            self.metrics
+                                .as_ref()
+                                .map(|t| Arc::clone(t) as Arc<dyn MetricsSink>),
+                        ))
+                    }
+                    None => None,
+                };
+                solve_with_guardrails_checkpointed(
+                    &prepared,
+                    &rhs,
+                    &cfg,
+                    &self.recovery_policy,
+                    JacobiDiagonal::Lazy(&compute_diagonal),
+                    metrics_ref,
+                    journal_sink
+                        .as_ref()
+                        .map(|s| s as &dyn RungCheckpointSink<T>),
+                    resume_point.as_ref(),
+                )
+            }
+        };
         rec.record(spans::CG_SOLVE, t_solve.elapsed());
         rec.record(spans::CG, t_cg.elapsed());
         let t_write = Instant::now();
@@ -338,6 +380,7 @@ impl<T: AtomicScalar> LsSvr<T> {
             rho: -b,
             sv: data.x.clone(),
             coef: alpha,
+            solver: self.solver.provenance(),
         };
         rec.record(spans::WRITE, t_write.elapsed());
         rec.record(spans::TRAIN, t_total.elapsed());
@@ -632,6 +675,39 @@ mod tests {
             .unwrap_err();
         assert!(
             matches!(&err, SvmError::Checkpoint(e) if e.kind() == "context_mismatch"),
+            "{err:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lowrank_regression_matches_exact() {
+        let data = sinc(150, 0.0, 21);
+        let exact = rbf_svr().train(&data).unwrap();
+        let lowrank = rbf_svr()
+            .with_solver(SolverSelection::lowrank(40))
+            .train(&data)
+            .unwrap();
+        assert!(lowrank.converged, "{:?}", lowrank.outcome);
+        assert!((exact.model.rho - lowrank.model.rho).abs() < 1e-5);
+        let mse = mean_squared_error(&lowrank.model, &data);
+        assert!(mse < 1e-5, "mse {mse}");
+    }
+
+    #[test]
+    fn lowrank_resume_is_rejected() {
+        let data = sinc(30, 0.0, 22);
+        let dir = std::env::temp_dir().join(format!("plssvm_svr_lr_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let journal = CheckpointJournal::open(&dir, 2).unwrap();
+        let err = rbf_svr()
+            .with_solver(SolverSelection::lowrank(8))
+            .with_checkpoint_journal(journal)
+            .with_resume(true)
+            .train(&data)
+            .unwrap_err();
+        assert!(
+            matches!(&err, SvmError::Solver(msg) if msg.contains("resume")),
             "{err:?}"
         );
         std::fs::remove_dir_all(&dir).ok();

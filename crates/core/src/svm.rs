@@ -30,6 +30,7 @@ use crate::guard::{
     RungCheckpointSink,
 };
 use crate::kernel::kernel_row;
+use crate::lowrank::{solve_lowrank, SolverSelection};
 use crate::matrix_free::{bias, full_alpha, reduced_rhs};
 use crate::timing::ComponentTimes;
 use crate::trace::{spans, MetricsSink, RecoveryKind, SpanRecorder, Telemetry, TelemetryReport};
@@ -114,6 +115,13 @@ pub struct LsSvm<T> {
     /// every rung; [`RecoveryPolicy::disabled`] returns the first
     /// attempt's classified outcome untouched.
     pub recovery_policy: RecoveryPolicy,
+    /// Which solver runs the reduced system (the CLI's `--solver`): the
+    /// exact CG ladder (default) or the randomized low-rank (Nyström)
+    /// path of [`crate::lowrank`]. The low-rank path never streams
+    /// durable checkpoints (an attached journal is left untouched) and
+    /// rejects [`LsSvm::with_resume`] with a structured error — the
+    /// journal carries exact-CG state only.
+    pub solver: SolverSelection,
 }
 
 impl<T: Real> Default for LsSvm<T> {
@@ -134,6 +142,7 @@ impl<T: Real> Default for LsSvm<T> {
             resume: false,
             checkpoint_salt: 0,
             recovery_policy: RecoveryPolicy::default(),
+            solver: SolverSelection::default(),
         }
     }
 }
@@ -247,6 +256,14 @@ impl<T: AtomicScalar> LsSvm<T> {
         self
     }
 
+    /// Selects the solver for the reduced system: exact CG (the default)
+    /// or the randomized low-rank (Nyström) path (see [`crate::lowrank`]).
+    /// Incompatible with [`LsSvm::with_resume`].
+    pub fn with_solver(mut self, solver: SolverSelection) -> Self {
+        self.solver = solver;
+        self
+    }
+
     /// Trains on an in-memory data set (the `read` component is zero).
     pub fn train(&self, data: &LabeledData<T>) -> Result<TrainOutput<T>, SvmError> {
         self.train_inner(data, std::time::Duration::ZERO, None)
@@ -297,6 +314,14 @@ impl<T: AtomicScalar> LsSvm<T> {
         if data.points() < 2 {
             return Err(SvmError::Solver(
                 "training needs at least two data points".into(),
+            ));
+        }
+        if self.resume && matches!(self.solver, SolverSelection::LowRank { .. }) {
+            return Err(SvmError::Solver(
+                "cannot resume a checkpointed run with the low-rank solver: the \
+                 checkpoint journal streams exact-CG state only (drop the resume \
+                 flag or select the exact solver)"
+                    .into(),
             ));
         }
         let mut rec = SpanRecorder::new();
@@ -372,42 +397,64 @@ impl<T: AtomicScalar> LsSvm<T> {
             // otherwise the diagonal is only computed if rung 2 engages
             None => JacobiDiagonal::Lazy(&compute_diagonal),
         };
-        // durable checkpointing: open the sink (and optionally the resume
-        // point) before the solve starts
-        let mut resume_point = None;
-        let journal_sink = match &self.checkpoint_journal {
-            Some(journal) => {
-                let context = self.checkpoint_context(data);
-                if self.resume {
-                    resume_point =
-                        load_resume_point::<T>(journal, context, rhs.len(), metrics_ref)?;
-                }
-                Some(JournalSink::new(
-                    journal.clone(),
-                    context,
-                    self.metrics
-                        .as_ref()
-                        .map(|t| Arc::clone(t) as Arc<dyn MetricsSink>),
-                ))
-            }
-            None => None,
-        };
         let GuardedSolve {
             result: solve,
             total_iterations,
             escalations,
-        } = solve_with_guardrails_checkpointed(
-            &prepared,
-            &rhs,
-            &cg_cfg,
-            &self.recovery_policy,
-            jacobi,
-            metrics_ref,
-            journal_sink
-                .as_ref()
-                .map(|s| s as &dyn RungCheckpointSink<T>),
-            resume_point.as_ref(),
-        );
+        } = match self.solver {
+            SolverSelection::LowRank {
+                rank,
+                seed,
+                strategy,
+            } => solve_lowrank(
+                &prepared,
+                prepared.params(),
+                &data.x,
+                &self.kernel,
+                rank,
+                seed,
+                strategy,
+                &rhs,
+                &cg_cfg,
+                &self.recovery_policy,
+                jacobi,
+                metrics_ref,
+            )?,
+            SolverSelection::Exact => {
+                // durable checkpointing: open the sink (and optionally the
+                // resume point) before the solve starts
+                let mut resume_point = None;
+                let journal_sink = match &self.checkpoint_journal {
+                    Some(journal) => {
+                        let context = self.checkpoint_context(data);
+                        if self.resume {
+                            resume_point =
+                                load_resume_point::<T>(journal, context, rhs.len(), metrics_ref)?;
+                        }
+                        Some(JournalSink::new(
+                            journal.clone(),
+                            context,
+                            self.metrics
+                                .as_ref()
+                                .map(|t| Arc::clone(t) as Arc<dyn MetricsSink>),
+                        ))
+                    }
+                    None => None,
+                };
+                solve_with_guardrails_checkpointed(
+                    &prepared,
+                    &rhs,
+                    &cg_cfg,
+                    &self.recovery_policy,
+                    jacobi,
+                    metrics_ref,
+                    journal_sink
+                        .as_ref()
+                        .map(|s| s as &dyn RungCheckpointSink<T>),
+                    resume_point.as_ref(),
+                )
+            }
+        };
         rec.record(spans::CG_SOLVE, t_solve.elapsed());
         rec.record(spans::CG, t_cg.elapsed());
 
@@ -431,6 +478,7 @@ impl<T: AtomicScalar> LsSvm<T> {
             sv: data.x.clone(),
             coef: alpha,
             nr_sv: [pos, neg],
+            solver: self.solver.provenance(),
         };
         if let Some(path) = model_path {
             model.save(path)?;
@@ -1031,6 +1079,47 @@ mod tests {
             .train(&data)
             .unwrap();
         assert_eq!(out.model.coef, reference.model.coef);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lowrank_solver_matches_exact_training() {
+        let data = planes(100, 6, 50);
+        let exact = LsSvm::new()
+            .with_kernel(KernelSpec::Rbf { gamma: 0.5 })
+            .with_epsilon(1e-8)
+            .train(&data)
+            .unwrap();
+        let lowrank = LsSvm::new()
+            .with_kernel(KernelSpec::Rbf { gamma: 0.5 })
+            .with_epsilon(1e-8)
+            .with_solver(SolverSelection::lowrank(24))
+            .train(&data)
+            .unwrap();
+        assert!(lowrank.converged, "{:?}", lowrank.outcome);
+        assert!((exact.model.rho - lowrank.model.rho).abs() < 1e-5);
+        assert_eq!(
+            accuracy(&exact.model, &data),
+            accuracy(&lowrank.model, &data)
+        );
+    }
+
+    #[test]
+    fn lowrank_resume_is_rejected_with_structured_error() {
+        let data = planes(30, 4, 51);
+        let dir = std::env::temp_dir().join(format!("plssvm_svm_lr_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let journal = CheckpointJournal::open(&dir, 2).unwrap();
+        let err = LsSvm::new()
+            .with_solver(SolverSelection::lowrank(8))
+            .with_checkpoint_journal(journal)
+            .with_resume(true)
+            .train(&data)
+            .unwrap_err();
+        assert!(
+            matches!(&err, SvmError::Solver(msg) if msg.contains("resume")),
+            "{err:?}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -103,6 +103,10 @@ pub enum RecoveryKind {
     /// A numeric fault was detected (non-finite matvec output, breakdown);
     /// emitted at the detection point, before any recovery rung engages.
     NumericFault,
+    /// An approximate solver (the randomized low-rank path) handed the
+    /// problem to the exact escalation ladder after failing to reach the
+    /// requested tolerance.
+    SolverFallback,
 }
 
 impl RecoveryKind {
@@ -117,6 +121,7 @@ impl RecoveryKind {
             RecoveryKind::Precondition => "precondition",
             RecoveryKind::PrecisionEscalation => "precision_escalation",
             RecoveryKind::NumericFault => "numeric_fault",
+            RecoveryKind::SolverFallback => "solver_fallback",
         }
     }
 }
@@ -197,6 +202,33 @@ pub struct CgOutcomeSample {
     pub final_residual_norm: f64,
     /// `‖r‖ / ‖r₀‖` against the *original* right-hand side (deterministic).
     pub relative_residual: f64,
+}
+
+/// One randomized low-rank (Nyström) solve's telemetry: the chosen rank,
+/// landmark strategy, factorization cost and achieved accuracy. Recorded
+/// once per low-rank solve through [`MetricsSink::record_lowrank`]; wall
+/// times are *not* deterministic and are excluded from
+/// [`TelemetryReport::deterministic_summary`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LowRankSample {
+    /// Effective rank `k` after clamping to the reduced dimension.
+    pub rank: usize,
+    /// Landmark strategy name (`uniform` or `leverage`).
+    pub strategy: &'static str,
+    /// Jitter steps taken before the capacitance Cholesky succeeded
+    /// (0 = clean factorization).
+    pub jitter_steps: usize,
+    /// Relative residual `‖b − Q̃x‖/‖b‖` of the *direct* Nyström solve,
+    /// measured against the exact operator (deterministic).
+    pub direct_relative_residual: f64,
+    /// Iterations spent in the Nyström-preconditioned CG polish (0 when
+    /// the direct solve already met the tolerance).
+    pub pcg_iterations: usize,
+    /// Wall-clock spent assembling `C`, `W` and the factorizations (not
+    /// deterministic).
+    pub assembly_wall: Duration,
+    /// Wall-clock of the direct solve + PCG polish (not deterministic).
+    pub solve_wall: Duration,
 }
 
 /// Aggregated counters for one kernel name — the unified schema the
@@ -280,6 +312,14 @@ pub trait MetricsSink: Send + Sync {
     fn record_cg_outcome(&self, sample: CgOutcomeSample) {
         let _ = sample;
     }
+
+    /// Records one randomized low-rank (Nyström) solve: rank, strategy,
+    /// factorization cost and achieved accuracy. When several solves share
+    /// one sink the most recent sample wins. Default: discard — sinks
+    /// that predate the low-rank solver keep compiling.
+    fn record_lowrank(&self, sample: LowRankSample) {
+        let _ = sample;
+    }
 }
 
 #[derive(Debug, Default)]
@@ -290,6 +330,7 @@ struct TelemetryState {
     cg_initial_residual_norm: Option<f64>,
     cg: Vec<CgIterationSample>,
     cg_outcome: Option<CgOutcomeSample>,
+    lowrank: Option<LowRankSample>,
     spans: Vec<SpanRecord>,
     recovery: Vec<RecoverySample>,
 }
@@ -345,6 +386,7 @@ impl Telemetry {
             cg_initial_residual_norm: s.cg_initial_residual_norm,
             cg: s.cg.clone(),
             cg_outcome: s.cg_outcome,
+            lowrank: s.lowrank.clone(),
             spans: s.spans.clone(),
             recovery: s.recovery.clone(),
         }
@@ -396,6 +438,10 @@ impl MetricsSink for Telemetry {
     fn record_cg_outcome(&self, sample: CgOutcomeSample) {
         self.lock().cg_outcome = Some(sample);
     }
+
+    fn record_lowrank(&self, sample: LowRankSample) {
+        self.lock().lowrank = Some(sample);
+    }
 }
 
 /// Immutable snapshot of one training run's telemetry.
@@ -418,6 +464,9 @@ pub struct TelemetryReport {
     /// iteration count and final relative residual. `None` when no solve
     /// ran against this sink.
     pub cg_outcome: Option<CgOutcomeSample>,
+    /// The (most recent) randomized low-rank solve's sample. `None` when
+    /// no low-rank solve ran against this sink.
+    pub lowrank: Option<LowRankSample>,
     /// Recorded wall-clock spans, in recording order.
     pub spans: Vec<SpanRecord>,
     /// Fault-tolerance events (retries, failovers, straggler detections,
@@ -504,6 +553,18 @@ impl TelemetryReport {
                 o.relative_residual.to_bits()
             );
         }
+        if let Some(l) = &self.lowrank {
+            let _ = writeln!(
+                out,
+                "lowrank rank={} strategy={} jitter_steps={} \
+                 direct_residual_bits={:016x} pcg_iterations={}",
+                l.rank,
+                l.strategy,
+                l.jitter_steps,
+                l.direct_relative_residual.to_bits(),
+                l.pcg_iterations
+            );
+        }
         for s in &self.recovery {
             let _ = writeln!(
                 out,
@@ -535,11 +596,15 @@ impl TelemetryReport {
     ///   `breakdown_indefinite|breakdown_nonfinite|iteration_budget",`
     ///   `"iterations":n,"final_residual_norm":x,"relative_residual":x}` —
     ///   present when a solve ran against a guardrail-aware solver
+    /// * `{"type":"lowrank","rank":n,"strategy":"uniform|leverage",`
+    ///   `"jitter_steps":n,"direct_relative_residual":x,`
+    ///   `"pcg_iterations":n,"assembly_wall_s":x,"solve_wall_s":x}` —
+    ///   present when the randomized low-rank solver ran
     /// * `{"type":"span","path":"train/cg","wall_s":x}`
     /// * `{"type":"recovery","kind":"retry|failover|straggler|checkpoint|`
-    ///   `restart|precondition|precision_escalation|numeric_fault",`
-    ///   `"device":n|null,"at_launch":n|null,"iteration":n|null,`
-    ///   `"detail":"..."}`
+    ///   `restart|precondition|precision_escalation|numeric_fault|`
+    ///   `solver_fallback","device":n|null,"at_launch":n|null,`
+    ///   `"iteration":n|null,"detail":"..."}`
     ///
     /// Non-finite floats serialize as `null`; all other values are plain
     /// JSON numbers or strings.
@@ -592,6 +657,21 @@ impl TelemetryReport {
                 o.iterations,
                 json_f64(o.final_residual_norm),
                 json_f64(o.relative_residual)
+            );
+        }
+        if let Some(l) = &self.lowrank {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"lowrank\",\"rank\":{},\"strategy\":{},\
+                 \"jitter_steps\":{},\"direct_relative_residual\":{},\
+                 \"pcg_iterations\":{},\"assembly_wall_s\":{},\"solve_wall_s\":{}}}",
+                l.rank,
+                json_str(l.strategy),
+                l.jitter_steps,
+                json_f64(l.direct_relative_residual),
+                l.pcg_iterations,
+                json_f64(l.assembly_wall.as_secs_f64()),
+                json_f64(l.solve_wall.as_secs_f64())
             );
         }
         for s in &self.spans {
@@ -825,6 +905,39 @@ mod tests {
         let summary = r.deterministic_summary();
         assert!(summary.contains("recovery=retry device=1 launch=5 iter=-"));
         assert!(summary.contains("recovery=checkpoint device=- launch=- iter=8"));
+    }
+
+    #[test]
+    fn lowrank_sample_is_recorded_and_serialized() {
+        let t = Telemetry::new();
+        t.record_lowrank(LowRankSample {
+            rank: 64,
+            strategy: "uniform",
+            jitter_steps: 2,
+            direct_relative_residual: 1e-3,
+            pcg_iterations: 7,
+            assembly_wall: Duration::from_micros(123),
+            solve_wall: Duration::from_micros(456),
+        });
+        let r = t.report();
+        assert_eq!(r.lowrank.as_ref().unwrap().rank, 64);
+        let json = r.to_json_lines();
+        assert!(json.contains("\"type\":\"lowrank\""));
+        assert!(json.contains("\"rank\":64"));
+        assert!(json.contains("\"strategy\":\"uniform\""));
+        assert!(json.contains("\"pcg_iterations\":7"));
+        // deterministic summary includes the rank/residual but no wall time
+        let wall_free = {
+            let t2 = Telemetry::new();
+            t2.record_lowrank(LowRankSample {
+                assembly_wall: Duration::from_secs(9),
+                solve_wall: Duration::from_secs(9),
+                ..r.lowrank.clone().unwrap()
+            });
+            t2.report().deterministic_summary()
+        };
+        assert_eq!(r.deterministic_summary(), wall_free);
+        assert!(r.deterministic_summary().contains("lowrank rank=64"));
     }
 
     #[test]

@@ -141,6 +141,148 @@ fn single_point_dataset_is_classified_not_panicked() {
     }
 }
 
+mod lowrank {
+    //! Adversarial fixtures for the randomized low-rank solver: abusive
+    //! ranks, degenerate sketches, and problems the Nyström direct solve
+    //! cannot crack — each must end in a structured error or a
+    //! classified outcome with the lowrank→exact-CG escalation on
+    //! record, never a panic.
+
+    use super::*;
+    use plssvm_core::lowrank::{LandmarkStrategy, SolverSelection};
+    use plssvm_core::SvmError;
+
+    #[test]
+    fn rank_zero_is_a_structured_error() {
+        let data = planes(30, 3);
+        let err = LsSvm::<f64>::new()
+            .with_solver(SolverSelection::lowrank(0))
+            .train(&data)
+            .unwrap_err();
+        assert!(
+            matches!(err, SvmError::Solver(_)),
+            "rank 0 must be a solver error, got {err}"
+        );
+        assert!(err.to_string().contains("rank"), "{err}");
+    }
+
+    #[test]
+    fn rank_one_and_oversized_ranks_train_classified() {
+        // rank 1: a single landmark is a legal (if crude) sketch; rank
+        // 10·m documents the clamp to the reduced-system dimension.
+        // Both must produce classified outcomes, not panics.
+        let data = planes(40, 7);
+        for rank in [1, 400] {
+            let out = LsSvm::<f64>::new()
+                .with_kernel(KernelSpec::Rbf { gamma: 0.5 })
+                .with_cost(2.0)
+                .with_epsilon(1e-8)
+                .with_solver(SolverSelection::lowrank(rank))
+                .train(&data)
+                .unwrap();
+            assert_eq!(out.converged, out.outcome.is_converged(), "rank {rank}");
+            assert!(out.relative_residual.is_finite(), "rank {rank}");
+            assert!(
+                out.converged,
+                "rank {rank} should still converge via escalation"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_rows_make_a_degenerate_sketch_not_a_panic() {
+        // 24 points, each an exact duplicate of one of two base rows:
+        // any sketch with more than two landmarks picks duplicate
+        // columns, so S = W + CᵀD⁻¹C is singular up to the jitter
+        // ladder. Training must survive with a classified outcome.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..24 {
+            if i % 2 == 0 {
+                rows.push(vec![1.0, 2.0, 3.0, 4.0]);
+                y.push(1.0);
+            } else {
+                rows.push(vec![-1.0, -2.0, -3.0, -4.0]);
+                y.push(-1.0);
+            }
+        }
+        let data = LabeledData::new(DenseMatrix::from_rows(rows).unwrap(), y).unwrap();
+        for strategy in [LandmarkStrategy::Uniform, LandmarkStrategy::Leverage] {
+            let out = LsSvm::<f64>::new()
+                .with_kernel(KernelSpec::Rbf { gamma: 0.5 })
+                .with_cost(1e8)
+                .with_epsilon(1e-10)
+                .with_solver(SolverSelection::LowRank {
+                    rank: 12,
+                    seed: 42,
+                    strategy,
+                })
+                .train(&data)
+                .unwrap();
+            assert_eq!(
+                out.converged,
+                out.outcome.is_converged(),
+                "{strategy:?}: classification"
+            );
+            assert!(out.relative_residual.is_finite(), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn ill_conditioned_fixture_trains_only_via_recorded_escalation_to_exact_cg() {
+        // gamma = 1e6 drives K to a numerical identity, which a rank-4
+        // Nyström sketch cannot represent: the direct Woodbury solve
+        // misses epsilon, the Nyström-preconditioned CG inherits the
+        // useless preconditioner, and only the fallback to the exact
+        // guarded ladder trains the model. Every transition must be on
+        // the telemetry record.
+        let data = planes(60, 17);
+        let telemetry = Telemetry::shared();
+        let out = LsSvm::<f64>::new()
+            .with_kernel(KernelSpec::Rbf { gamma: 1e6 })
+            .with_cost(1e12)
+            .with_epsilon(1e-10)
+            .with_max_iterations(300)
+            .with_solver(SolverSelection::lowrank(4))
+            .with_metrics(telemetry.clone())
+            .train(&data)
+            .unwrap();
+
+        assert_eq!(out.converged, out.outcome.is_converged());
+        assert!(
+            out.escalations.contains(&RecoveryKind::Precondition),
+            "the Nyström-PCG rung must have engaged: {:?}",
+            out.escalations
+        );
+        assert!(
+            out.escalations.contains(&RecoveryKind::SolverFallback),
+            "training must have fallen back to exact CG: {:?}",
+            out.escalations
+        );
+        assert!(
+            out.converged,
+            "the exact ladder must rescue the run (outcome {})",
+            out.outcome
+        );
+
+        // telemetry carries the same story: both lowrank transitions as
+        // recovery events, plus the low-rank sample itself
+        let report = out.telemetry.as_ref().unwrap();
+        for kind in [RecoveryKind::Precondition, RecoveryKind::SolverFallback] {
+            assert!(
+                report.recovery.iter().any(|s| s.kind == kind),
+                "recovery telemetry misses {kind:?}"
+            );
+        }
+        let sample = report.lowrank.as_ref().expect("lowrank sample recorded");
+        assert_eq!(sample.rank, 4);
+        assert!(sample.direct_relative_residual > 1e-10);
+        let json = report.to_json_lines();
+        assert!(json.contains("\"kind\":\"solver_fallback\""), "{json}");
+        assert!(json.contains("\"type\":\"lowrank\""), "{json}");
+    }
+}
+
 #[test]
 fn f32_svr_trains_only_via_precision_escalation() {
     // Regression targets at scale 1e25: every individual value fits f32,

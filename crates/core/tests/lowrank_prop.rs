@@ -1,0 +1,182 @@
+//! Property tests for the randomized low-rank (Nyström) solver path.
+//!
+//! Three contracts, exercised over randomized fixtures:
+//!
+//! 1. **Determinism** — the same sampling seed gives bit-identical
+//!    landmark sets (nested across ranks, since the partial
+//!    Fisher–Yates draws are rank-independent) and bit-identical
+//!    trained models regardless of the OpenMP thread count.
+//! 2. **Rank monotonicity** — on a PSD fixture the direct-solve
+//!    relative residual is non-increasing in the rank: uniform
+//!    landmark sets with one seed are nested, so a larger rank can
+//!    only improve the Nyström approximation in the PSD order. The
+//!    assertion carries a small slack because PSD-order improvement
+//!    guarantees the trend, not pointwise strictness for a single
+//!    right-hand side in floating point.
+//! 3. **Robustness** — rank-deficient Gram matrices (duplicated
+//!    training rows) never panic: the Cholesky jitter ladder and the
+//!    escalation path always return a model.
+
+use std::sync::Arc;
+
+use plssvm_core::backend::BackendSelection;
+use plssvm_core::lowrank::{LandmarkStrategy, SolverSelection};
+use plssvm_core::svm::LsSvm;
+use plssvm_core::trace::Telemetry;
+use plssvm_data::libsvm::LabeledData;
+use plssvm_data::model::KernelSpec;
+use plssvm_data::sampling::sample_uniform;
+use plssvm_data::synthetic::{generate_planes, PlanesConfig};
+use proptest::prelude::*;
+
+fn planes(points: usize, features: usize, seed: u64) -> LabeledData<f64> {
+    generate_planes(
+        &PlanesConfig::new(points, features, seed)
+            .with_cluster_sep(3.0)
+            .with_flip_fraction(0.0),
+    )
+    .unwrap()
+}
+
+/// Trains with the low-rank solver and returns the model plus the
+/// direct-solve relative residual from the telemetry sample.
+fn train_lowrank(
+    data: &LabeledData<f64>,
+    rank: usize,
+    seed: u64,
+    threads: usize,
+    cost: f64,
+) -> (Vec<f64>, f64, f64) {
+    let telemetry = Telemetry::shared();
+    let out = LsSvm::new()
+        .with_kernel(KernelSpec::Rbf { gamma: 0.5 })
+        .with_cost(cost)
+        .with_epsilon(1e-10)
+        .with_backend(BackendSelection::openmp(Some(threads)))
+        .with_solver(SolverSelection::LowRank {
+            rank,
+            seed,
+            strategy: LandmarkStrategy::Uniform,
+        })
+        .with_metrics(Arc::clone(&telemetry))
+        .train(data)
+        .unwrap();
+    let sample = out
+        .telemetry
+        .expect("telemetry enabled")
+        .lowrank
+        .expect("low-rank sample recorded");
+    (
+        out.model.coef.clone(),
+        out.model.rho,
+        sample.direct_relative_residual,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Landmark sampling is deterministic and nested: the same seed
+    /// reproduces the set bit for bit, and the rank-k set is a subset
+    /// of the rank-k' set for k ≤ k' (the i-th Fisher–Yates draw does
+    /// not depend on the requested rank).
+    #[test]
+    fn landmarks_are_deterministic_and_nested(
+        n in 8usize..200,
+        seed in any::<u64>(),
+        k1 in 1usize..32,
+        extra in 0usize..32,
+    ) {
+        let k1 = k1.min(n);
+        let k2 = (k1 + extra).min(n);
+        let a = sample_uniform(n, k1, seed);
+        prop_assert_eq!(&a, &sample_uniform(n, k1, seed));
+        let b = sample_uniform(n, k2, seed);
+        for i in &a {
+            prop_assert!(b.contains(i), "rank-{k1} landmark {i} missing at rank {k2}");
+        }
+    }
+
+    /// Same seed + same rank ⇒ bit-identical model on any thread count.
+    #[test]
+    fn model_is_bit_identical_across_thread_counts(
+        data_seed in 0u64..1000,
+        sample_seed in any::<u64>(),
+        rank in 4usize..24,
+    ) {
+        let data = planes(40, 5, data_seed);
+        let (coef1, rho1, _) = train_lowrank(&data, rank, sample_seed, 1, 2.0);
+        for threads in [2, 4] {
+            let (coef, rho, _) = train_lowrank(&data, rank, sample_seed, threads, 2.0);
+            prop_assert_eq!(&coef1, &coef, "{} threads", threads);
+            prop_assert_eq!(rho1, rho, "{} threads", threads);
+        }
+    }
+
+    /// Nested landmark sets ⇒ the direct-solve residual does not get
+    /// worse as the rank grows (up to floating-point slack), and the
+    /// full-rank factorization is exact.
+    #[test]
+    fn direct_residual_is_non_increasing_in_rank(
+        data_seed in 0u64..1000,
+        sample_seed in any::<u64>(),
+    ) {
+        let data = planes(48, 6, data_seed);
+        // moderate cost keeps the ridge diagonal significant, so the
+        // Woodbury inverse stays well conditioned and the residual
+        // tracks the (monotone, by nestedness) approximation error; a
+        // tiny ridge would amplify the error non-monotonically instead
+        let residuals: Vec<f64> = [6usize, 12, 24, 47]
+            .iter()
+            .map(|&k| train_lowrank(&data, k, sample_seed, 2, 2.0).2)
+            .collect();
+        for w in residuals.windows(2) {
+            prop_assert!(
+                w[1] <= w[0] * 1.05 + 1e-10,
+                "residual increased with rank: {:?}",
+                residuals
+            );
+        }
+        // rank = n: Nyström is exact, the direct solve hits machine noise
+        prop_assert!(residuals[3] <= 1e-8, "{:?}", residuals);
+    }
+
+    /// Duplicated rows make the Gram matrix exactly rank deficient; the
+    /// jitter ladder (and, if it gives up, the escalation to exact CG)
+    /// must always produce a model without panicking.
+    #[test]
+    fn rank_deficient_fixtures_never_panic(
+        data_seed in 0u64..1000,
+        sample_seed in any::<u64>(),
+        rank in 2usize..32,
+    ) {
+        let base = planes(24, 4, data_seed);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for p in 0..base.points() {
+            let row: Vec<f64> = (0..base.features()).map(|f| base.x.get(p, f)).collect();
+            // every point twice: the kernel matrix has at most 24
+            // distinct rows, so any rank > 24 sketch is degenerate
+            rows.push(row.clone());
+            rows.push(row);
+            y.push(base.y[p]);
+            y.push(base.y[p]);
+        }
+        let data = LabeledData::new(
+            plssvm_data::DenseMatrix::from_rows(rows).unwrap(),
+            y,
+        )
+        .unwrap();
+        let out = LsSvm::new()
+            .with_kernel(KernelSpec::Rbf { gamma: 0.5 })
+            .with_cost(1e6)
+            .with_epsilon(1e-6)
+            .with_solver(SolverSelection::LowRank {
+                rank,
+                seed: sample_seed,
+                strategy: LandmarkStrategy::Uniform,
+            })
+            .train(&data);
+        prop_assert!(out.is_ok(), "{:?}", out.err().map(|e| e.to_string()));
+    }
+}

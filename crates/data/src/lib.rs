@@ -16,7 +16,9 @@
 //! * [`synthetic`] — the `generate_data.py` "planes" problem generator built
 //!   on `make_classification` semantics,
 //! * [`sat6`] — a synthetic stand-in for the SAT-6 airborne data set,
-//! * [`split`] — train/test splitting utilities.
+//! * [`split`] — train/test splitting utilities,
+//! * [`sampling`] — deterministic landmark/sketch sampling for the
+//!   randomized low-rank (Nyström) solver path.
 
 #![warn(missing_docs)]
 
@@ -29,6 +31,7 @@ pub mod libsvm;
 pub mod model;
 pub mod multiclass;
 pub mod real;
+pub mod sampling;
 pub mod sat6;
 pub mod scale;
 pub mod sparse;

@@ -117,6 +117,11 @@ pub struct SvmModel<T> {
     pub coef: Vec<T>,
     /// Number of support vectors per class (`labels` order).
     pub nr_sv: [usize; 2],
+    /// Solver provenance (a PLSSVM extension header key, e.g.
+    /// `lowrank rank=64 seed=42 strategy=uniform`): written only when the
+    /// model came from a non-default solver, so exactly-solved models stay
+    /// byte-compatible with LIBSVM.
+    pub solver: Option<String>,
 }
 
 impl<T: Real> SvmModel<T> {
@@ -189,6 +194,9 @@ impl<T: Real> SvmModel<T> {
         out.push_str(&format!("rho {}\n", FmtReal(self.rho)));
         out.push_str(&format!("label {} {}\n", self.labels[0], self.labels[1]));
         out.push_str(&format!("nr_sv {} {}\n", self.nr_sv[0], self.nr_sv[1]));
+        if let Some(solver) = &self.solver {
+            out.push_str(&format!("solver {solver}\n"));
+        }
         out.push_str("SV\n");
         for (i, row) in self.sv.rows_iter().enumerate() {
             out.push_str(&format!("{}", FmtReal(self.coef[i])));
@@ -234,6 +242,7 @@ fn parse_model<T: Real>(
     let mut labels: Option<[i32; 2]> = None;
     let mut nr_sv: Option<[usize; 2]> = None;
     let mut total_sv: Option<usize> = None;
+    let mut solver: Option<String> = None;
     let mut in_sv = false;
 
     let mut sv_rows: Vec<Vec<(usize, T)>> = Vec::new();
@@ -323,6 +332,7 @@ fn parse_model<T: Real>(
                     }
                     nr_sv = Some([parts[0], parts[1]]);
                 }
+                "solver" => solver = Some(rest.to_owned()),
                 "SV" => in_sv = true,
                 other => {
                     return Err(DataError::parse(
@@ -429,6 +439,7 @@ fn parse_model<T: Real>(
         sv,
         coef,
         nr_sv,
+        solver,
     };
     model.validate()?;
     Ok(model)
@@ -450,6 +461,8 @@ pub struct SvrModel<T> {
     pub sv: DenseMatrix<T>,
     /// Per-support-vector coefficient `αᵢ`.
     pub coef: Vec<T>,
+    /// Solver provenance; mirrors [`SvmModel::solver`].
+    pub solver: Option<String>,
 }
 
 impl<T: Real> SvrModel<T> {
@@ -508,6 +521,9 @@ impl<T: Real> SvrModel<T> {
         out.push_str("nr_class 2\n"); // LIBSVM writes 2 for SVR as well
         out.push_str(&format!("total_sv {}\n", self.total_sv()));
         out.push_str(&format!("rho {}\n", FmtReal(self.rho)));
+        if let Some(solver) = &self.solver {
+            out.push_str(&format!("solver {solver}\n"));
+        }
         out.push_str("SV\n");
         for (i, row) in self.sv.rows_iter().enumerate() {
             out.push_str(&format!("{}", FmtReal(self.coef[i])));
@@ -557,6 +573,7 @@ fn parse_svr_model<T: Real>(content: &str) -> Result<SvrModel<T>, DataError> {
     let mut coef0: T = T::ZERO;
     let mut rho: Option<T> = None;
     let mut total_sv: Option<usize> = None;
+    let mut solver: Option<String> = None;
     let mut in_sv = false;
     let mut sv_rows: Vec<Vec<(usize, T)>> = Vec::new();
     let mut coef: Vec<T> = Vec::new();
@@ -612,6 +629,7 @@ fn parse_svr_model<T: Real>(content: &str) -> Result<SvrModel<T>, DataError> {
                             .map_err(|_| DataError::parse(lineno, "invalid rho"))?,
                     )
                 }
+                "solver" => solver = Some(rest.to_owned()),
                 "SV" => in_sv = true,
                 other => {
                     return Err(DataError::parse(
@@ -711,6 +729,7 @@ fn parse_svr_model<T: Real>(content: &str) -> Result<SvrModel<T>, DataError> {
         rho,
         sv,
         coef,
+        solver,
     };
     model.validate()?;
     Ok(model)
@@ -733,6 +752,7 @@ mod tests {
             .unwrap(),
             coef: vec![0.7, -1.1, 0.4],
             nr_sv: [2, 1],
+            solver: None,
         }
     }
 
@@ -866,6 +886,7 @@ mod tests {
             rho: 1.25,
             sv: DenseMatrix::from_rows(vec![vec![0.5, -1.0], vec![2.0, 0.0]]).unwrap(),
             coef: vec![0.3, -0.7],
+            solver: None,
         }
     }
 
@@ -947,6 +968,25 @@ SV
         assert!((m.sv.get(0, 0) + 7.1054273e-15).abs() < 1e-25);
         assert_eq!(m.sv.get(2, 1), 0.75);
         assert!(matches!(m.kernel, KernelSpec::Rbf { gamma } if gamma == 0.25));
+    }
+
+    #[test]
+    fn solver_provenance_roundtrips_and_defaults_absent() {
+        // the default (exact) model writes no solver key at all
+        let plain = sample_model().to_model_string();
+        assert!(!plain.contains("solver"));
+
+        let mut m = sample_model();
+        m.solver = Some("lowrank rank=64 seed=42 strategy=uniform".into());
+        let s = m.to_model_string();
+        assert!(s.contains("solver lowrank rank=64 seed=42 strategy=uniform\n"));
+        let m2 = SvmModel::<f64>::from_model_string(&s).unwrap();
+        assert_eq!(m, m2);
+
+        let mut r = sample_svr();
+        r.solver = Some("lowrank rank=8 seed=1 strategy=leverage".into());
+        let r2 = SvrModel::<f64>::from_model_string(&r.to_model_string()).unwrap();
+        assert_eq!(r, r2);
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Deterministic landmark/sketch sampling for the randomized low-rank
+//! (Nyström) solver path.
+//!
+//! Both samplers draw **without replacement**, are fully determined by
+//! their `seed` (the vendored [`StdRng`] is platform-independent), and
+//! return the chosen indices **sorted ascending** so downstream kernel
+//! panel assembly walks the data in a cache-friendly, reproducible order.
+//! No call touches global state, so the same seed produces bit-identical
+//! landmark sets regardless of thread count or call site.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Draws `k` distinct indices uniformly from `0..n` (partial
+/// Fisher–Yates), sorted ascending. `k` is clamped to `n`.
+pub fn sample_uniform(n: usize, k: usize, seed: u64) -> Vec<usize> {
+    let k = k.min(n);
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pool: Vec<usize> = (0..n).collect();
+    // partial Fisher–Yates: after i swaps, pool[..i] is a uniform
+    // k-subset prefix
+    for i in 0..k {
+        let j = rng.random_range(i..n);
+        pool.swap(i, j);
+    }
+    let mut picked = pool[..k].to_vec();
+    picked.sort_unstable();
+    picked
+}
+
+/// Draws `k` distinct indices from `0..weights.len()` with probability
+/// proportional to `weights[i]`, sorted ascending (Efraimidis–Spirakis
+/// weighted reservoir keys: index `i` gets key `u_i^(1/w_i)`, the `k`
+/// largest keys win).
+///
+/// Non-finite or non-positive weights participate with key `-inf`, i.e.
+/// they are only chosen once every positively weighted index has been
+/// taken. `k` is clamped to the number of indices.
+pub fn sample_weighted(weights: &[f64], k: usize, seed: u64) -> Vec<usize> {
+    let n = weights.len();
+    let k = k.min(n);
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // keys in log space for numerical robustness: ln(u)/w is monotone in
+    // u^(1/w) for w > 0
+    let mut keyed: Vec<(f64, usize)> = weights
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            let u: f64 = rng.random();
+            let key = if w.is_finite() && w > 0.0 {
+                // u in [0,1): ln(0) = -inf is a valid (worst) key
+                u.ln() / w
+            } else {
+                f64::NEG_INFINITY
+            };
+            (key, i)
+        })
+        .collect();
+    // ties (e.g. several -inf keys) break by index, so the selection is a
+    // total, deterministic order
+    keyed.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut picked: Vec<usize> = keyed[..k].iter().map(|&(_, i)| i).collect();
+    picked.sort_unstable();
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_valid(indices: &[usize], n: usize, k: usize) {
+        assert_eq!(indices.len(), k.min(n));
+        for w in indices.windows(2) {
+            assert!(w[0] < w[1], "not sorted/distinct: {indices:?}");
+        }
+        for &i in indices {
+            assert!(i < n);
+        }
+    }
+
+    #[test]
+    fn uniform_is_deterministic_sorted_distinct() {
+        for (n, k, seed) in [(10, 3, 0), (100, 100, 7), (50, 1, 42), (1, 1, 9)] {
+            let a = sample_uniform(n, k, seed);
+            let b = sample_uniform(n, k, seed);
+            assert_eq!(a, b);
+            assert_valid(&a, n, k);
+        }
+    }
+
+    #[test]
+    fn uniform_edge_cases() {
+        assert!(sample_uniform(10, 0, 1).is_empty());
+        assert!(sample_uniform(0, 5, 1).is_empty());
+        // k > n clamps to n and yields every index
+        assert_eq!(sample_uniform(4, 99, 3), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn uniform_seeds_differ() {
+        let a = sample_uniform(1000, 10, 1);
+        let b = sample_uniform(1000, 10, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn uniform_covers_the_range() {
+        // over many seeds every index must appear at least once
+        let mut seen = vec![false; 12];
+        for seed in 0..200 {
+            for i in sample_uniform(12, 3, seed) {
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn weighted_is_deterministic_sorted_distinct() {
+        let w: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let a = sample_weighted(&w, 6, 11);
+        let b = sample_weighted(&w, 6, 11);
+        assert_eq!(a, b);
+        assert_valid(&a, 20, 6);
+    }
+
+    #[test]
+    fn weighted_prefers_heavy_indices() {
+        // one index carries almost all the mass: it must (essentially)
+        // always be selected
+        let mut w = vec![1e-6; 50];
+        w[17] = 1e6;
+        let mut hits = 0;
+        for seed in 0..100 {
+            if sample_weighted(&w, 5, seed).contains(&17) {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 99, "heavy index picked only {hits}/100 times");
+    }
+
+    #[test]
+    fn weighted_handles_degenerate_weights() {
+        // zero/negative/NaN weights never panic and only fill up after the
+        // positive ones are exhausted
+        let w = [0.0, -1.0, f64::NAN, 2.0, 3.0];
+        let picked = sample_weighted(&w, 2, 5);
+        assert_eq!(picked, vec![3, 4]);
+        // asking for more than the positive mass still returns k indices
+        let picked = sample_weighted(&w, 4, 5);
+        assert_valid(&picked, 5, 4);
+        assert!(picked.contains(&3) && picked.contains(&4));
+        // all-degenerate weights fall back to index order
+        let picked = sample_weighted(&[0.0, 0.0, 0.0], 2, 5);
+        assert_eq!(picked, vec![0, 1]);
+    }
+
+    #[test]
+    fn weighted_edge_cases() {
+        assert!(sample_weighted(&[], 3, 1).is_empty());
+        assert!(sample_weighted(&[1.0, 2.0], 0, 1).is_empty());
+        assert_eq!(sample_weighted(&[1.0, 2.0], 9, 1), vec![0, 1]);
+    }
+}

@@ -451,6 +451,7 @@ impl<'a, T: Real, R: KernelRows<T>> SmoSolver<'a, T, R> {
             sv,
             coef,
             nr_sv: [pos_sv, sv_indices.len() - pos_sv],
+            solver: None,
         };
         Ok(SmoOutput {
             model,

@@ -392,6 +392,7 @@ impl<T: Real> ThunderSolver<T> {
             sv,
             coef,
             nr_sv: [pos_sv, sv_indices.len() - pos_sv],
+            solver: None,
         };
         Ok(ThunderOutput {
             model,
