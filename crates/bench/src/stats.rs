@@ -29,6 +29,18 @@ pub fn coefficient_of_variation(xs: &[f64]) -> f64 {
     }
 }
 
+/// Nearest-rank percentile (`p` in `[0, 100]`); 0 for an empty slice.
+/// Sorts a copy, so callers can pass raw latency samples.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// Least squares fit of `y = a·x^b` through log-log regression.
 /// Returns `(a, b)`. Requires positive data.
 pub fn fit_power_law(xs: &[f64], ys: &[f64]) -> (f64, f64) {

@@ -574,6 +574,83 @@ pub fn parse_scale(args: &[String]) -> Result<ScaleArgs, CliError> {
     Ok(out)
 }
 
+/// Parsed `svm-serve` invocation: `svm-serve [options] model_file`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeArgs {
+    /// Model file to serve (anything `svm-train` writes: binary,
+    /// multiclass container, or epsilon-SVR).
+    pub model: String,
+    /// TCP listen address (`--listen host:port`); `None` = stdin mode.
+    pub listen: Option<String>,
+    /// Flush a micro-batch at this many queued requests (`--max-batch`).
+    pub max_batch: usize,
+    /// Flush a micro-batch once its oldest request waited this long in
+    /// microseconds (`--max-wait-us`).
+    pub max_wait_us: u64,
+    /// Write serve telemetry as JSON lines to this file
+    /// (`--metrics-out`): request/batch/queue/reload statistics.
+    pub metrics_out: Option<String>,
+    /// Poll the model file for hot reload every this many milliseconds
+    /// (`--reload-poll-ms`); 0 disables watching.
+    pub reload_poll_ms: u64,
+    /// Suppress informational output on stderr (`-q` / `--quiet`).
+    pub quiet: bool,
+}
+
+/// Parses `svm-serve` arguments.
+pub fn parse_serve(args: &[String]) -> Result<ServeArgs, CliError> {
+    let mut out = ServeArgs {
+        model: String::new(),
+        listen: None,
+        max_batch: 64,
+        max_wait_us: 2_000,
+        metrics_out: None,
+        reload_poll_ms: 200,
+        quiet: false,
+    };
+    let mut stdin_explicit = false;
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| {
+            it.next()
+                .map(|s| s.to_owned())
+                .ok_or_else(|| err(format!("missing value for {name}")))
+        };
+        match arg.as_str() {
+            "--listen" => out.listen = Some(take("--listen")?),
+            "--stdin" => stdin_explicit = true,
+            "--max-batch" => out.max_batch = parse_num(&take("--max-batch")?, "--max-batch")?,
+            "--max-wait-us" => {
+                out.max_wait_us = parse_num(&take("--max-wait-us")?, "--max-wait-us")?
+            }
+            "--metrics-out" => out.metrics_out = Some(take("--metrics-out")?),
+            "--reload-poll-ms" => {
+                out.reload_poll_ms = parse_num(&take("--reload-poll-ms")?, "--reload-poll-ms")?
+            }
+            "-q" | "--quiet" => out.quiet = true,
+            flag if flag.starts_with('-') && flag.len() > 1 => {
+                return Err(err(format!("unknown option '{flag}'")))
+            }
+            _ => positional.push(arg.clone()),
+        }
+    }
+    if stdin_explicit && out.listen.is_some() {
+        return Err(err("--stdin and --listen are mutually exclusive"));
+    }
+    if out.max_batch == 0 {
+        return Err(err("--max-batch must be at least 1"));
+    }
+    if positional.len() != 1 {
+        return Err(err(format!(
+            "expected 1 positional argument (model_file), got {}",
+            positional.len()
+        )));
+    }
+    out.model = positional[0].clone();
+    Ok(out)
+}
+
 /// Parsed `generate-data` invocation.
 #[derive(Debug, Clone)]
 pub struct GenerateArgs {
@@ -1134,6 +1211,50 @@ mod tests {
         // negative bound values parse
         let a = parse_scale(&sv(&["-l", "-2", "d.dat"])).unwrap();
         assert_eq!(a.lower, -2.0);
+    }
+
+    #[test]
+    fn serve_args() {
+        let a = parse_serve(&sv(&["m.model"])).unwrap();
+        assert_eq!(a.model, "m.model");
+        assert_eq!(a.listen, None);
+        assert_eq!((a.max_batch, a.max_wait_us), (64, 2_000));
+        assert_eq!(a.metrics_out, None);
+        assert_eq!(a.reload_poll_ms, 200);
+        assert!(!a.quiet);
+
+        let a = parse_serve(&sv(&[
+            "--listen",
+            "127.0.0.1:7777",
+            "--max-batch",
+            "8",
+            "--max-wait-us",
+            "500",
+            "--metrics-out",
+            "m.json",
+            "--reload-poll-ms",
+            "0",
+            "-q",
+            "m.model",
+        ]))
+        .unwrap();
+        assert_eq!(a.listen.as_deref(), Some("127.0.0.1:7777"));
+        assert_eq!((a.max_batch, a.max_wait_us), (8, 500));
+        assert_eq!(a.metrics_out.as_deref(), Some("m.json"));
+        assert_eq!(a.reload_poll_ms, 0);
+        assert!(a.quiet);
+
+        // explicit stdin mode is the default, spelled out
+        let a = parse_serve(&sv(&["--stdin", "m.model"])).unwrap();
+        assert_eq!(a.listen, None);
+
+        assert!(parse_serve(&sv(&[])).is_err()); // no model
+        assert!(parse_serve(&sv(&["a.model", "b.model"])).is_err());
+        assert!(parse_serve(&sv(&["--max-batch", "0", "m.model"])).is_err());
+        assert!(parse_serve(&sv(&["--max-batch", "x", "m.model"])).is_err());
+        assert!(parse_serve(&sv(&["--listen"])).is_err()); // missing value
+        assert!(parse_serve(&sv(&["--stdin", "--listen", "h:1", "m.model"])).is_err());
+        assert!(parse_serve(&sv(&["--bogus", "m.model"])).is_err());
     }
 
     #[test]

@@ -1,0 +1,33 @@
+//! `svm-serve` — long-lived batched inference server.
+//!
+//! Serves any model `svm-train` can write (binary, multiclass, SVR) over
+//! newline-delimited JSON or LIBSVM-format request lines, coalescing
+//! concurrent requests into micro-batches. Reads stdin by default, or
+//! listens on TCP with `--listen host:port`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match plssvm_cli::args::parse_serve(&args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!(
+                "svm-serve: {e}\n\
+                 usage: svm-serve [options] model_file\n\
+                 options: --stdin (default) | --listen host:port\n\
+                 \x20        --max-batch n (64) | --max-wait-us n (2000)\n\
+                 \x20        --reload-poll-ms n (200, 0 = off)\n\
+                 \x20        --metrics-out file | -q, --quiet"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match plssvm_cli::commands::run_serve(&parsed) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("svm-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -27,9 +27,14 @@ use plssvm_data::scale::ScalingParams;
 use plssvm_data::synthetic::{generate_planes, PlanesConfig};
 use plssvm_data::{write_atomic, CheckpointJournal};
 
+use plssvm_serve::{
+    serve_lines, serve_tcp, spawn_watcher, Engine, EngineConfig, PollTrigger, ServeModel,
+    SystemClock,
+};
+
 use crate::args::{
     kernel_from_args, Algorithm, GenerateArgs, McStrategy, NonConvergedAction, PredictArgs,
-    ScaleArgs, TrainArgs,
+    ScaleArgs, ServeArgs, TrainArgs,
 };
 
 /// True if the path names an ARFF file (PLSSVM's second input format).
@@ -611,6 +616,83 @@ pub fn run_generate(args: &GenerateArgs) -> Result<String, Box<dyn Error>> {
         data.features(),
         args.output
     ))
+}
+
+/// Runs `svm-serve`: loads the model, builds the micro-batching engine,
+/// optionally watches the model file for hot reloads, then serves
+/// newline-delimited requests from stdin (default) or TCP until the
+/// input closes. Responses go to stdout / the socket; status lines go
+/// to stderr so piped output stays pure protocol.
+pub fn run_serve(args: &ServeArgs) -> Result<(), Box<dyn Error>> {
+    let model =
+        ServeModel::load(&args.model).map_err(|e| format!("loading '{}': {e}", args.model))?;
+    let telemetry = args.metrics_out.is_some().then(Telemetry::shared);
+    let engine = Arc::new(Engine::new(
+        model,
+        EngineConfig {
+            max_batch: args.max_batch,
+            max_wait_us: args.max_wait_us,
+        },
+        Arc::new(SystemClock::new()),
+        telemetry.clone().map(|t| t as Arc<dyn MetricsSink>),
+    ));
+    if !args.quiet {
+        let (kind, features, total_sv) = engine.model_info();
+        eprintln!(
+            "svm-serve: serving {kind} model '{}' ({features} features, {total_sv} SVs), \
+             max_batch={}, max_wait_us={}",
+            args.model, args.max_batch, args.max_wait_us
+        );
+    }
+    // hot reload: the watcher thread polls the model file's signature
+    // and swaps generations atomically; it lives until process exit
+    if args.reload_poll_ms > 0 {
+        let trigger = PollTrigger::new(
+            &args.model,
+            std::time::Duration::from_millis(args.reload_poll_ms),
+        );
+        let _watcher = spawn_watcher(
+            Arc::clone(&engine),
+            std::path::PathBuf::from(&args.model),
+            Box::new(trigger),
+        );
+    }
+    let snapshot = || {
+        if let (Some(path), Some(t)) = (&args.metrics_out, &telemetry) {
+            if let Err(e) = write_atomic(path, t.report().to_json_lines().as_bytes()) {
+                eprintln!("svm-serve: failed to write metrics to '{path}': {e}");
+            }
+        }
+    };
+    match &args.listen {
+        None => {
+            let stdout = std::io::stdout();
+            // BufReader over Stdin (not StdinLock, which is not Send —
+            // the reader moves onto a pipeline thread); BufWriter over
+            // stdout because serve_lines flushes at every pipeline
+            // drain, keeping interactive use prompt and bursts cheap
+            serve_lines(
+                &engine,
+                std::io::BufReader::new(std::io::stdin()),
+                std::io::BufWriter::new(stdout.lock()),
+            )?;
+            engine.shutdown();
+            snapshot();
+            if !args.quiet {
+                eprintln!("svm-serve: input closed, exiting");
+            }
+        }
+        Some(addr) => {
+            let listener =
+                std::net::TcpListener::bind(addr).map_err(|e| format!("binding '{addr}': {e}"))?;
+            if !args.quiet {
+                eprintln!("svm-serve: listening on {}", listener.local_addr()?);
+            }
+            let stop = std::sync::atomic::AtomicBool::new(false);
+            serve_tcp(&engine, listener, &stop, &snapshot)?;
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

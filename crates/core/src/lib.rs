@@ -38,7 +38,8 @@ pub mod weighted;
 
 pub use error::SvmError;
 pub use svm::{
-    accuracy, predict, predict_decision_values, predict_labels, train, LsSvm, TrainOutput,
+    accuracy, predict, predict_decision_values, predict_labels, train, try_predict_decision_values,
+    try_predict_labels, LsSvm, TrainOutput,
 };
 
 /// Convenient glob-import surface for downstream users.
@@ -53,9 +54,12 @@ pub mod prelude {
         train_multiclass, train_multiclass_with_outcomes, MultiClassModel, MultiClassStrategy,
         MultiClassTrainOutput,
     };
-    pub use crate::regression::{mean_squared_error, predict_values, r_squared, LsSvr};
+    pub use crate::regression::{
+        mean_squared_error, predict_values, r_squared, try_predict_values, LsSvr,
+    };
     pub use crate::svm::{
-        accuracy, predict, predict_labels, predict_linear, train, LsSvm, TrainOutput,
+        accuracy, predict, predict_labels, predict_linear, train, try_predict_decision_values,
+        try_predict_labels, LsSvm, TrainOutput,
     };
     pub use crate::trace::{MetricsSink, Telemetry, TelemetryReport};
     pub use crate::validation::{cross_validate, CvResult};

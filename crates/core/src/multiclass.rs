@@ -80,6 +80,21 @@ impl<T: Real> MultiClassModel<T> {
         self.models.len()
     }
 
+    /// Fallible [`MultiClassModel::predict`]: returns a structured
+    /// [`SvmError::Solver`] instead of panicking when the query batch is
+    /// empty, has zero-feature rows, or does not match the model's
+    /// feature count — the contract the serving layer needs for
+    /// untrusted requests.
+    pub fn try_predict(&self, x: &DenseMatrix<T>) -> Result<Vec<i32>, SvmError> {
+        let features = self
+            .models
+            .first()
+            .map(|(_, m)| m.features())
+            .ok_or_else(|| SvmError::Solver("multiclass model holds no binary models".into()))?;
+        crate::svm::validate_query_batch(features, x)?;
+        Ok(self.predict(x))
+    }
+
     /// Predicts original class labels for every row of `x`.
     pub fn predict(&self, x: &DenseMatrix<T>) -> Vec<i32> {
         let k = self.classes.len();
@@ -538,6 +553,25 @@ mod tests {
             train_multiclass(&data, &resumed_trainer, MultiClassStrategy::OneVsOne).unwrap();
         assert_eq!(reference, resumed);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn try_predict_rejects_degenerate_batches() {
+        let data = blobs(3, 10);
+        let model = train_multiclass(&data, &trainer(), MultiClassStrategy::OneVsOne).unwrap();
+        let err = model
+            .try_predict(&DenseMatrix::<f64>::zeros(0, 6))
+            .unwrap_err();
+        assert!(err.to_string().contains("empty"), "{err}");
+        let err = model
+            .try_predict(&DenseMatrix::<f64>::zeros(2, 0))
+            .unwrap_err();
+        assert!(err.to_string().contains("zero features"), "{err}");
+        let err = model
+            .try_predict(&DenseMatrix::<f64>::zeros(2, 9))
+            .unwrap_err();
+        assert!(err.to_string().contains("expects 6"), "{err}");
+        assert_eq!(model.try_predict(&data.x).unwrap(), model.predict(&data.x));
     }
 
     #[test]

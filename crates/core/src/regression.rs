@@ -409,7 +409,6 @@ impl<T: AtomicScalar> LsSvr<T> {
 /// row of `x`, computed in parallel over the test points with the panel
 /// micro-kernel (`PANEL_MR` support vectors per feature pass).
 pub fn predict_values<T: Real>(model: &SvrModel<T>, x: &DenseMatrix<T>) -> Vec<T> {
-    use crate::kernel::{kernel_panel, PANEL_MR};
     assert_eq!(
         x.cols(),
         model.features(),
@@ -417,6 +416,25 @@ pub fn predict_values<T: Real>(model: &SvrModel<T>, x: &DenseMatrix<T>) -> Vec<T
         x.cols(),
         model.features()
     );
+    predict_values_panel(model, x)
+}
+
+/// Fallible [`predict_values`]: returns a structured
+/// [`crate::error::SvmError::Solver`] instead of panicking when the query
+/// batch is empty, has zero-feature rows, or does not match the model's
+/// feature count.
+pub fn try_predict_values<T: Real>(
+    model: &SvrModel<T>,
+    x: &DenseMatrix<T>,
+) -> Result<Vec<T>, crate::error::SvmError> {
+    crate::svm::validate_query_batch(model.features(), x)?;
+    Ok(predict_values_panel(model, x))
+}
+
+/// The panel-microkernel regression sweep shared by the panicking and
+/// fallible entry points.
+fn predict_values_panel<T: Real>(model: &SvrModel<T>, x: &DenseMatrix<T>) -> Vec<T> {
+    use crate::kernel::{kernel_panel, PANEL_MR};
     let b = model.bias();
     let m = model.sv.rows();
     (0..x.rows())

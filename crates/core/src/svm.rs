@@ -561,8 +561,10 @@ pub fn train<T: AtomicScalar>(
 /// (Eq. 10), computed in parallel over the test points with the panel
 /// micro-kernel: each feature pass evaluates `PANEL_MR` support vectors
 /// against the test point at once.
+///
+/// Panics on a feature-count mismatch; long-lived callers that must never
+/// panic on untrusted query batches use [`try_predict_decision_values`].
 pub fn predict_decision_values<T: Real>(model: &SvmModel<T>, x: &DenseMatrix<T>) -> Vec<T> {
-    use crate::kernel::{kernel_panel, PANEL_MR};
     assert_eq!(
         x.cols(),
         model.features(),
@@ -570,6 +572,62 @@ pub fn predict_decision_values<T: Real>(model: &SvmModel<T>, x: &DenseMatrix<T>)
         x.cols(),
         model.features()
     );
+    decision_values_panel(model, x)
+}
+
+/// Fallible [`predict_decision_values`]: returns a structured
+/// [`SvmError::Solver`] instead of panicking when the query batch is
+/// empty, has zero-feature rows, or does not match the model's feature
+/// count — the contract the serving layer needs for untrusted requests.
+pub fn try_predict_decision_values<T: Real>(
+    model: &SvmModel<T>,
+    x: &DenseMatrix<T>,
+) -> Result<Vec<T>, SvmError> {
+    validate_query_batch(model.features(), x)?;
+    Ok(decision_values_panel(model, x))
+}
+
+/// Fallible [`predict_labels`] with the same validation as
+/// [`try_predict_decision_values`].
+pub fn try_predict_labels<T: Real>(
+    model: &SvmModel<T>,
+    x: &DenseMatrix<T>,
+) -> Result<Vec<i32>, SvmError> {
+    Ok(try_predict_decision_values(model, x)?
+        .into_iter()
+        .map(|d| model.decide(d))
+        .collect())
+}
+
+/// Shared query-batch validation for the fallible prediction entry
+/// points: rejects empty batches, zero-feature rows and feature-count
+/// mismatches with a structured error instead of a panic.
+pub(crate) fn validate_query_batch<T: Real>(
+    model_features: usize,
+    x: &DenseMatrix<T>,
+) -> Result<(), SvmError> {
+    if x.rows() == 0 {
+        return Err(SvmError::Solver("prediction batch is empty".into()));
+    }
+    if x.cols() == 0 {
+        return Err(SvmError::Solver(
+            "prediction rows have zero features".into(),
+        ));
+    }
+    if x.cols() != model_features {
+        return Err(SvmError::Solver(format!(
+            "query has {} features, model expects {}",
+            x.cols(),
+            model_features
+        )));
+    }
+    Ok(())
+}
+
+/// The panel-microkernel decision-value sweep shared by the panicking and
+/// fallible entry points.
+fn decision_values_panel<T: Real>(model: &SvmModel<T>, x: &DenseMatrix<T>) -> Vec<T> {
+    use crate::kernel::{kernel_panel, PANEL_MR};
     let b = model.bias();
     let m = model.sv.rows();
     (0..x.rows())
@@ -999,6 +1057,34 @@ mod tests {
         let wrong = DenseMatrix::from_rows(vec![vec![1.0f64, 2.0]]).unwrap();
         let result = std::panic::catch_unwind(|| predict(&out.model, &wrong));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn try_predict_rejects_degenerate_batches_without_panicking() {
+        let data = planes(20, 4, 9);
+        let out = LsSvm::new().train(&data).unwrap();
+        // empty batch: structured error, not a panic or a silent empty vec
+        let empty = DenseMatrix::<f64>::zeros(0, 4);
+        let err = try_predict_decision_values(&out.model, &empty).unwrap_err();
+        assert!(err.to_string().contains("empty"), "{err}");
+        // zero-feature rows
+        let zero_features = DenseMatrix::<f64>::zeros(3, 0);
+        let err = try_predict_decision_values(&out.model, &zero_features).unwrap_err();
+        assert!(err.to_string().contains("zero features"), "{err}");
+        // feature-count mismatch carries both counts
+        let wrong = DenseMatrix::from_rows(vec![vec![1.0f64, 2.0]]).unwrap();
+        let err = try_predict_labels(&out.model, &wrong).unwrap_err();
+        assert!(
+            err.to_string().contains('2') && err.to_string().contains('4'),
+            "{err}"
+        );
+        // a valid batch matches the panicking entry point bit-for-bit
+        let ok = try_predict_decision_values(&out.model, &data.x).unwrap();
+        assert_eq!(ok, predict_decision_values(&out.model, &data.x));
+        assert_eq!(
+            try_predict_labels(&out.model, &data.x).unwrap(),
+            predict_labels(&out.model, &data.x)
+        );
     }
 
     #[test]

@@ -231,6 +231,104 @@ pub struct LowRankSample {
     pub solve_wall: Duration,
 }
 
+/// One flushed micro-batch of the serving layer (`svm-serve`): how many
+/// coalesced requests it carried, how long the oldest of them queued, and
+/// how long the batched prediction took. Timing fields are measured on the
+/// server's injected clock, so they are deterministic exactly when the
+/// clock is (manual clocks in tests, wall time in production) — serve
+/// samples are therefore excluded from
+/// [`TelemetryReport::deterministic_summary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeBatchSample {
+    /// Requests coalesced into this batch.
+    pub batch_size: usize,
+    /// Requests still queued after this batch was taken.
+    pub queue_depth: usize,
+    /// Queue wait of the oldest request in the batch, in clock µs.
+    pub queued_us: u64,
+    /// Batched prediction time, in clock µs.
+    pub process_us: u64,
+}
+
+/// One completed serving request: submit-to-response latency and whether
+/// it produced a prediction (vs a structured per-request error).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeRequestSample {
+    /// Submit-to-response latency in clock µs.
+    pub latency_us: u64,
+    /// `true` when the request was answered with a prediction.
+    pub ok: bool,
+}
+
+/// One model hot-reload attempt of the serving layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeReloadSample {
+    /// The model generation serving *after* the attempt (bumped on an
+    /// accepted swap, unchanged on a rejected one).
+    pub generation: u64,
+    /// Whether the new model file was validated and swapped in.
+    pub accepted: bool,
+    /// Human-readable context (model kind/features, or the load error).
+    pub detail: String,
+}
+
+/// Bounded-memory aggregation of the serving layer's telemetry: batch-size
+/// histogram, queue/latency counters and the reload audit trail. A
+/// long-lived server records unbounded request streams, so per-request
+/// samples are folded into counters instead of stored.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeStats {
+    /// Micro-batches flushed.
+    pub batches: u64,
+    /// Batch-size histogram: `size → batches of exactly that size`.
+    pub batch_size_hist: BTreeMap<usize, u64>,
+    /// Largest queue depth observed at a batch flush.
+    pub max_queue_depth: usize,
+    /// Sum over batches of the oldest request's queue wait (clock µs).
+    pub queued_us_sum: u64,
+    /// Sum of batched prediction times (clock µs).
+    pub process_us_sum: u64,
+    /// Requests answered (predictions and structured errors).
+    pub requests: u64,
+    /// Requests answered with a structured per-request error.
+    pub request_errors: u64,
+    /// Sum of request latencies (clock µs).
+    pub latency_us_sum: u64,
+    /// Largest single request latency (clock µs).
+    pub latency_us_max: u64,
+    /// Every hot-reload attempt, in order (reloads are rare events, so
+    /// the full audit trail is kept).
+    pub reloads: Vec<ServeReloadSample>,
+}
+
+impl ServeStats {
+    /// Whether anything was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.batches == 0 && self.requests == 0 && self.reloads.is_empty()
+    }
+
+    /// Mean batch size (0 when no batch flushed).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        let total: u64 = self
+            .batch_size_hist
+            .iter()
+            .map(|(size, count)| *size as u64 * count)
+            .sum();
+        total as f64 / self.batches as f64
+    }
+
+    /// Mean request latency in clock µs (0 when no request completed).
+    pub fn mean_latency_us(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        self.latency_us_sum as f64 / self.requests as f64
+    }
+}
+
 /// Aggregated counters for one kernel name — the unified schema the
 /// per-backend bookkeeping folds into.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -320,6 +418,24 @@ pub trait MetricsSink: Send + Sync {
     fn record_lowrank(&self, sample: LowRankSample) {
         let _ = sample;
     }
+
+    /// Records one flushed serving micro-batch. Default: discard — sinks
+    /// that predate the serving layer keep compiling.
+    fn record_serve_batch(&self, sample: ServeBatchSample) {
+        let _ = sample;
+    }
+
+    /// Records one completed serving request. Default: discard — sinks
+    /// that predate the serving layer keep compiling.
+    fn record_serve_request(&self, sample: ServeRequestSample) {
+        let _ = sample;
+    }
+
+    /// Records one model hot-reload attempt. Default: discard — sinks
+    /// that predate the serving layer keep compiling.
+    fn record_serve_reload(&self, sample: ServeReloadSample) {
+        let _ = sample;
+    }
 }
 
 #[derive(Debug, Default)]
@@ -333,6 +449,7 @@ struct TelemetryState {
     lowrank: Option<LowRankSample>,
     spans: Vec<SpanRecord>,
     recovery: Vec<RecoverySample>,
+    serve: ServeStats,
 }
 
 /// The standard [`MetricsSink`]: collects everything behind a lock and
@@ -389,6 +506,7 @@ impl Telemetry {
             lowrank: s.lowrank.clone(),
             spans: s.spans.clone(),
             recovery: s.recovery.clone(),
+            serve: s.serve.clone(),
         }
     }
 
@@ -442,6 +560,31 @@ impl MetricsSink for Telemetry {
     fn record_lowrank(&self, sample: LowRankSample) {
         self.lock().lowrank = Some(sample);
     }
+
+    fn record_serve_batch(&self, sample: ServeBatchSample) {
+        let mut s = self.lock();
+        let serve = &mut s.serve;
+        serve.batches += 1;
+        *serve.batch_size_hist.entry(sample.batch_size).or_default() += 1;
+        serve.max_queue_depth = serve.max_queue_depth.max(sample.queue_depth);
+        serve.queued_us_sum += sample.queued_us;
+        serve.process_us_sum += sample.process_us;
+    }
+
+    fn record_serve_request(&self, sample: ServeRequestSample) {
+        let mut s = self.lock();
+        let serve = &mut s.serve;
+        serve.requests += 1;
+        if !sample.ok {
+            serve.request_errors += 1;
+        }
+        serve.latency_us_sum += sample.latency_us;
+        serve.latency_us_max = serve.latency_us_max.max(sample.latency_us);
+    }
+
+    fn record_serve_reload(&self, sample: ServeReloadSample) {
+        self.lock().serve.reloads.push(sample);
+    }
 }
 
 /// Immutable snapshot of one training run's telemetry.
@@ -472,6 +615,11 @@ pub struct TelemetryReport {
     /// Fault-tolerance events (retries, failovers, straggler detections,
     /// solver checkpoints), in recording order.
     pub recovery: Vec<RecoverySample>,
+    /// Aggregated serving-layer telemetry (`svm-serve`): batch-size
+    /// histogram, queue/latency counters and the hot-reload audit trail.
+    /// Empty unless a server recorded into this sink. Timing-dependent,
+    /// so excluded from [`TelemetryReport::deterministic_summary`].
+    pub serve: ServeStats,
 }
 
 impl TelemetryReport {
@@ -605,6 +753,16 @@ impl TelemetryReport {
     ///   `restart|precondition|precision_escalation|numeric_fault|`
     ///   `solver_fallback","device":n|null,"at_launch":n|null,`
     ///   `"iteration":n|null,"detail":"..."}`
+    /// * `{"type":"serve_batches","count":n,"max_queue_depth":n,`
+    ///   `"queued_us_sum":n,"process_us_sum":n,"mean_batch_size":x}` —
+    ///   present when a server recorded batches into this sink
+    /// * `{"type":"serve_batch_size","size":n,"count":n}` — one line per
+    ///   batch-size histogram bucket
+    /// * `{"type":"serve_requests","count":n,"errors":n,`
+    ///   `"latency_us_sum":n,"latency_us_max":n,"mean_latency_us":x}` —
+    ///   present when a server completed requests against this sink
+    /// * `{"type":"serve_reload","generation":n,"accepted":true|false,`
+    ///   `"detail":"..."}` — one line per hot-reload attempt
     ///
     /// Non-finite floats serialize as `null`; all other values are plain
     /// JSON numbers or strings.
@@ -695,12 +853,53 @@ impl TelemetryReport {
                 json_str(&s.detail)
             );
         }
+        if self.serve.batches > 0 {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"serve_batches\",\"count\":{},\"max_queue_depth\":{},\
+                 \"queued_us_sum\":{},\"process_us_sum\":{},\"mean_batch_size\":{}}}",
+                self.serve.batches,
+                self.serve.max_queue_depth,
+                self.serve.queued_us_sum,
+                self.serve.process_us_sum,
+                json_f64(self.serve.mean_batch_size())
+            );
+            for (size, count) in &self.serve.batch_size_hist {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"serve_batch_size\",\"size\":{size},\"count\":{count}}}"
+                );
+            }
+        }
+        if self.serve.requests > 0 {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"serve_requests\",\"count\":{},\"errors\":{},\
+                 \"latency_us_sum\":{},\"latency_us_max\":{},\"mean_latency_us\":{}}}",
+                self.serve.requests,
+                self.serve.request_errors,
+                self.serve.latency_us_sum,
+                self.serve.latency_us_max,
+                json_f64(self.serve.mean_latency_us())
+            );
+        }
+        for r in &self.serve.reloads {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"serve_reload\",\"generation\":{},\"accepted\":{},\"detail\":{}}}",
+                r.generation,
+                r.accepted,
+                json_str(&r.detail)
+            );
+        }
         out
     }
 }
 
-/// Formats an `f64` as a JSON value (`null` for non-finite values).
-fn json_f64(v: f64) -> String {
+/// Formats an `f64` as a JSON value (`null` for non-finite values) — the
+/// convention of every JSON line this module (and the serving layer's
+/// wire protocol) emits.
+pub fn json_f64(v: f64) -> String {
     if v.is_finite() {
         let s = format!("{v:?}");
         // Rust renders integral floats as "1.0" — already valid JSON.
@@ -711,7 +910,7 @@ fn json_f64(v: f64) -> String {
 }
 
 /// Formats a string as a JSON string literal with minimal escaping.
-fn json_str(s: &str) -> String {
+pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -938,6 +1137,69 @@ mod tests {
         };
         assert_eq!(r.deterministic_summary(), wall_free);
         assert!(r.deterministic_summary().contains("lowrank rank=64"));
+    }
+
+    #[test]
+    fn serve_stats_aggregate_boundedly_and_serialize() {
+        let t = Telemetry::new();
+        t.record_serve_batch(ServeBatchSample {
+            batch_size: 3,
+            queue_depth: 5,
+            queued_us: 100,
+            process_us: 40,
+        });
+        t.record_serve_batch(ServeBatchSample {
+            batch_size: 3,
+            queue_depth: 1,
+            queued_us: 50,
+            process_us: 60,
+        });
+        t.record_serve_batch(ServeBatchSample {
+            batch_size: 1,
+            queue_depth: 0,
+            queued_us: 0,
+            process_us: 10,
+        });
+        t.record_serve_request(ServeRequestSample {
+            latency_us: 200,
+            ok: true,
+        });
+        t.record_serve_request(ServeRequestSample {
+            latency_us: 400,
+            ok: false,
+        });
+        t.record_serve_reload(ServeReloadSample {
+            generation: 2,
+            accepted: true,
+            detail: "binary model, 8 features".into(),
+        });
+        t.record_serve_reload(ServeReloadSample {
+            generation: 2,
+            accepted: false,
+            detail: "torn file".into(),
+        });
+        let r = t.report();
+        assert_eq!(r.serve.batches, 3);
+        assert_eq!(r.serve.batch_size_hist[&3], 2);
+        assert_eq!(r.serve.batch_size_hist[&1], 1);
+        assert_eq!(r.serve.max_queue_depth, 5);
+        assert_eq!(r.serve.requests, 2);
+        assert_eq!(r.serve.request_errors, 1);
+        assert_eq!(r.serve.latency_us_max, 400);
+        assert!((r.serve.mean_batch_size() - 7.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.serve.mean_latency_us(), 300.0);
+        let json = r.to_json_lines();
+        assert!(json.contains("\"type\":\"serve_batches\",\"count\":3"));
+        assert!(json.contains("{\"type\":\"serve_batch_size\",\"size\":3,\"count\":2}"));
+        assert!(json.contains("\"type\":\"serve_requests\",\"count\":2,\"errors\":1"));
+        assert!(json.contains("\"type\":\"serve_reload\",\"generation\":2,\"accepted\":false"));
+        // serve telemetry is timing-dependent: the deterministic subset
+        // must not change when a server records into the sink
+        let empty = Telemetry::new().report();
+        assert_eq!(r.deterministic_summary(), empty.deterministic_summary());
+        // sinks never touched by a server emit no serve lines
+        assert!(!empty.to_json_lines().contains("serve_"));
+        assert!(empty.serve.is_empty() && !r.serve.is_empty());
     }
 
     #[test]

@@ -1,0 +1,485 @@
+//! The bounded micro-batching queue: requests coalesce until `max_batch`
+//! of them are pending or the oldest has waited `max_wait_us`, then flush
+//! as one batch into the panelized prediction path.
+//!
+//! The design is testable-first, split in two layers:
+//!
+//! * [`BatchQueue`] — a *pure* state machine. `push` and `poll` take the
+//!   current time as an explicit argument and never block, so every
+//!   flush-on-max-batch vs flush-on-deadline interleaving is pinned by a
+//!   plain unit test with hand-picked timestamps.
+//! * [`Batcher`] — the threaded wrapper: one worker thread drives the
+//!   queue against an injected [`Clock`], submitters get a [`Ticket`]
+//!   (one-shot slot) their response is routed back through. With a
+//!   [`crate::clock::ManualClock`] the worker's timing behavior is
+//!   deterministic; with the [`crate::clock::SystemClock`] it serves real
+//!   traffic.
+//!
+//! Ordering guarantee: batches preserve FIFO submission order, both
+//! within a batch (queue order) and across batches (an earlier request is
+//! never flushed later than a later one).
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use plssvm_core::trace::{MetricsSink, ServeBatchSample};
+
+use crate::clock::Clock;
+
+/// What [`BatchQueue::poll`] decided.
+#[derive(Debug, PartialEq, Eq)]
+pub enum QueuePoll<R> {
+    /// A batch is due: process it now.
+    Ready(Flush<R>),
+    /// Requests are pending but the batch is neither full nor overdue —
+    /// wait until the contained deadline (µs) unless new work arrives.
+    WaitUntil(u64),
+    /// Nothing is queued.
+    Empty,
+}
+
+/// One flushed batch plus its queue bookkeeping.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Flush<R> {
+    /// The coalesced requests, in FIFO submission order.
+    pub items: Vec<R>,
+    /// How long the oldest request in the batch queued, in clock µs.
+    pub oldest_wait_us: u64,
+    /// Requests still queued after this batch was taken.
+    pub remaining: usize,
+}
+
+/// The pure micro-batching state machine (no threads, no clock — time is
+/// an argument).
+#[derive(Debug)]
+pub struct BatchQueue<R> {
+    items: VecDeque<(R, u64)>,
+    max_batch: usize,
+    max_wait_us: u64,
+}
+
+impl<R> BatchQueue<R> {
+    /// A queue flushing at `max_batch` requests (clamped to ≥ 1) or when
+    /// the oldest pending request is `max_wait_us` old.
+    pub fn new(max_batch: usize, max_wait_us: u64) -> Self {
+        Self {
+            items: VecDeque::new(),
+            max_batch: max_batch.max(1),
+            max_wait_us,
+        }
+    }
+
+    /// Enqueues a request observed at `now_us`.
+    pub fn push(&mut self, item: R, now_us: u64) {
+        self.items.push_back((item, now_us));
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Decides, at `now_us`, whether a batch is due: full (`max_batch`
+    /// pending) or overdue (oldest pending request past `max_wait_us`).
+    pub fn poll(&mut self, now_us: u64) -> QueuePoll<R> {
+        let Some((_, oldest)) = self.items.front() else {
+            return QueuePoll::Empty;
+        };
+        let deadline = oldest.saturating_add(self.max_wait_us);
+        if self.items.len() >= self.max_batch || now_us >= deadline {
+            QueuePoll::Ready(self.take_batch(now_us))
+        } else {
+            QueuePoll::WaitUntil(deadline)
+        }
+    }
+
+    /// Takes a batch immediately regardless of deadline (shutdown drain).
+    pub fn flush_now(&mut self, now_us: u64) -> QueuePoll<R> {
+        if self.items.is_empty() {
+            QueuePoll::Empty
+        } else {
+            QueuePoll::Ready(self.take_batch(now_us))
+        }
+    }
+
+    fn take_batch(&mut self, now_us: u64) -> Flush<R> {
+        let n = self.items.len().min(self.max_batch);
+        let mut items = Vec::with_capacity(n);
+        let mut oldest_wait_us = 0;
+        for i in 0..n {
+            let (item, enqueued) = self.items.pop_front().expect("n <= len");
+            if i == 0 {
+                oldest_wait_us = now_us.saturating_sub(enqueued);
+            }
+            items.push(item);
+        }
+        Flush {
+            items,
+            oldest_wait_us,
+            remaining: self.items.len(),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum TicketSlot<S> {
+    Pending,
+    Done(S),
+    /// The batcher dropped the request without an answer (processor
+    /// panic, or shutdown before submission) — the submitter sees `None`.
+    Closed,
+}
+
+#[derive(Debug)]
+struct TicketState<S> {
+    slot: Mutex<TicketSlot<S>>,
+    cv: Condvar,
+}
+
+/// A one-shot response slot: the submitter blocks on [`Ticket::wait`],
+/// the batcher worker fills it when the request's batch completes.
+#[derive(Debug)]
+pub struct Ticket<S> {
+    state: Arc<TicketState<S>>,
+}
+
+impl<S> Clone for Ticket<S> {
+    fn clone(&self) -> Self {
+        Self {
+            state: Arc::clone(&self.state),
+        }
+    }
+}
+
+impl<S> Default for Ticket<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S> Ticket<S> {
+    /// A fresh, unfilled ticket.
+    pub fn new() -> Self {
+        Self {
+            state: Arc::new(TicketState {
+                slot: Mutex::new(TicketSlot::Pending),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// A ticket that is already closed (used when submitting after
+    /// shutdown).
+    pub fn closed() -> Self {
+        let t = Self::new();
+        t.close();
+        t
+    }
+
+    /// Blocks until the response arrives; `None` means the request was
+    /// dropped without an answer (processor panic or shutdown race) —
+    /// callers turn that into a structured internal error, never a hang.
+    pub fn wait(&self) -> Option<S> {
+        let mut slot = self.state.slot.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match std::mem::replace(&mut *slot, TicketSlot::Pending) {
+                TicketSlot::Done(v) => return Some(v),
+                TicketSlot::Closed => {
+                    *slot = TicketSlot::Closed;
+                    return None;
+                }
+                TicketSlot::Pending => {
+                    slot = self.state.cv.wait(slot).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+
+    /// Non-blocking probe: `true` while neither filled nor closed (lets
+    /// deterministic tests assert "no flush has happened yet").
+    pub fn is_pending(&self) -> bool {
+        matches!(
+            *self.state.slot.lock().unwrap_or_else(|e| e.into_inner()),
+            TicketSlot::Pending
+        )
+    }
+
+    fn fill(&self, v: S) {
+        let mut slot = self.state.slot.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = TicketSlot::Done(v);
+        self.state.cv.notify_all();
+    }
+
+    fn close(&self) {
+        let mut slot = self.state.slot.lock().unwrap_or_else(|e| e.into_inner());
+        if matches!(*slot, TicketSlot::Pending) {
+            *slot = TicketSlot::Closed;
+        }
+        self.state.cv.notify_all();
+    }
+}
+
+type Process<R, S> = dyn Fn(Vec<R>) -> Vec<S> + Send + Sync;
+
+struct BatcherShared<R, S> {
+    queue: Mutex<BatchQueue<(R, Ticket<S>)>>,
+    clock: Arc<dyn Clock>,
+    process: Box<Process<R, S>>,
+    metrics: Option<Arc<dyn MetricsSink>>,
+    shutdown: AtomicBool,
+}
+
+/// The threaded micro-batcher: submit requests from any thread, a single
+/// worker coalesces them through a [`BatchQueue`] and routes each
+/// response back through the submitter's [`Ticket`].
+pub struct Batcher<R, S> {
+    shared: Arc<BatcherShared<R, S>>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl<R: Send + 'static, S: Send + 'static> Batcher<R, S> {
+    /// Spawns the worker. `process` maps a batch of requests to exactly
+    /// one response per request, in order; if it panics or returns the
+    /// wrong arity, the affected tickets are *closed* (submitters see
+    /// `None`) instead of hanging.
+    pub fn new(
+        max_batch: usize,
+        max_wait_us: u64,
+        clock: Arc<dyn Clock>,
+        metrics: Option<Arc<dyn MetricsSink>>,
+        process: impl Fn(Vec<R>) -> Vec<S> + Send + Sync + 'static,
+    ) -> Self {
+        let shared = Arc::new(BatcherShared {
+            queue: Mutex::new(BatchQueue::new(max_batch, max_wait_us)),
+            clock,
+            process: Box::new(process),
+            metrics,
+            shutdown: AtomicBool::new(false),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("plssvm-batcher".into())
+            .spawn(move || worker_loop(&worker_shared))
+            .expect("spawn batcher worker");
+        Self {
+            shared,
+            worker: Mutex::new(Some(worker)),
+        }
+    }
+
+    /// Enqueues a request; the returned ticket resolves when its batch is
+    /// processed. After [`Batcher::shutdown`] the ticket is immediately
+    /// closed.
+    pub fn submit(&self, req: R) -> Ticket<S> {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Ticket::closed();
+        }
+        let ticket = Ticket::new();
+        {
+            let mut queue = self.lock_queue();
+            queue.push((req, ticket.clone()), self.shared.clock.now_us());
+        }
+        self.shared.clock.wake();
+        ticket
+    }
+
+    /// Requests currently queued (not yet flushed into a batch).
+    pub fn queue_depth(&self) -> usize {
+        self.lock_queue().len()
+    }
+
+    /// Stops accepting new requests, drains everything already queued
+    /// (no request is dropped), and joins the worker. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.clock.wake();
+        let handle = self.worker.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+
+    fn lock_queue(&self) -> std::sync::MutexGuard<'_, BatchQueue<(R, Ticket<S>)>> {
+        self.shared.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<R, S> Drop for Batcher<R, S> {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.clock.wake();
+        let handle = self.worker.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop<R, S>(shared: &BatcherShared<R, S>) {
+    loop {
+        let shutting_down = shared.shutdown.load(Ordering::SeqCst);
+        // sample the wake counter BEFORE polling: a submit landing after
+        // the poll bumps it, so the wait below returns immediately
+        let seen = shared.clock.wake_count();
+        let now = shared.clock.now_us();
+        let action = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if shutting_down {
+                queue.flush_now(now)
+            } else {
+                queue.poll(now)
+            }
+        };
+        match action {
+            QueuePoll::Ready(flush) => run_batch(shared, flush),
+            QueuePoll::WaitUntil(deadline) => shared.clock.wait_until(seen, Some(deadline)),
+            QueuePoll::Empty => {
+                if shutting_down {
+                    return;
+                }
+                shared.clock.wait_until(seen, None);
+            }
+        }
+    }
+}
+
+fn run_batch<R, S>(shared: &BatcherShared<R, S>, flush: Flush<(R, Ticket<S>)>) {
+    let Flush {
+        items,
+        oldest_wait_us,
+        remaining,
+    } = flush;
+    let batch_size = items.len();
+    let (requests, tickets): (Vec<R>, Vec<Ticket<S>>) = items.into_iter().unzip();
+    let started = shared.clock.now_us();
+    let result = catch_unwind(AssertUnwindSafe(|| (shared.process)(requests)));
+    let process_us = shared.clock.now_us().saturating_sub(started);
+    match result {
+        Ok(responses) => {
+            let mut responses = responses.into_iter();
+            for ticket in &tickets {
+                match responses.next() {
+                    Some(r) => ticket.fill(r),
+                    // arity bug in the processor: close instead of hanging
+                    None => ticket.close(),
+                }
+            }
+        }
+        Err(_) => {
+            // the processor panicked: every submitter gets a closed
+            // ticket (→ structured internal error), the worker survives
+            for ticket in &tickets {
+                ticket.close();
+            }
+        }
+    }
+    if let Some(metrics) = &shared.metrics {
+        metrics.record_serve_batch(ServeBatchSample {
+            batch_size,
+            queue_depth: remaining,
+            queued_us: oldest_wait_us,
+            process_us,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_flushes_on_max_batch_regardless_of_time() {
+        let mut q = BatchQueue::new(3, 1_000);
+        q.push("a", 0);
+        q.push("b", 0);
+        assert_eq!(q.poll(0), QueuePoll::WaitUntil(1_000));
+        q.push("c", 0);
+        match q.poll(0) {
+            QueuePoll::Ready(f) => {
+                assert_eq!(f.items, vec!["a", "b", "c"]);
+                assert_eq!(f.remaining, 0);
+                assert_eq!(f.oldest_wait_us, 0);
+            }
+            other => panic!("expected Ready, got {other:?}"),
+        }
+        assert_eq!(q.poll(0), QueuePoll::Empty);
+    }
+
+    #[test]
+    fn queue_flushes_on_deadline_exactly() {
+        let mut q = BatchQueue::new(10, 500);
+        q.push(1, 100);
+        assert_eq!(q.poll(100), QueuePoll::WaitUntil(600));
+        assert_eq!(q.poll(599), QueuePoll::WaitUntil(600));
+        match q.poll(600) {
+            QueuePoll::Ready(f) => {
+                assert_eq!(f.items, vec![1]);
+                assert_eq!(f.oldest_wait_us, 500);
+            }
+            other => panic!("expected Ready, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_backlog_drains_in_fifo_chunks() {
+        let mut q = BatchQueue::new(2, 100);
+        for i in 0..5 {
+            q.push(i, 0);
+        }
+        let mut batches = Vec::new();
+        while let QueuePoll::Ready(f) = q.poll(1_000) {
+            batches.push(f.items);
+        }
+        assert_eq!(batches, vec![vec![0, 1], vec![2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn deadline_follows_oldest_pending_request() {
+        let mut q = BatchQueue::new(10, 200);
+        q.push("old", 50);
+        q.push("new", 240);
+        // deadline is the OLDEST request's enqueue + max_wait
+        assert_eq!(q.poll(240), QueuePoll::WaitUntil(250));
+        match q.poll(250) {
+            QueuePoll::Ready(f) => {
+                assert_eq!(f.items, vec!["old", "new"]);
+                assert_eq!(f.oldest_wait_us, 200);
+            }
+            other => panic!("expected Ready, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flush_now_drains_without_deadline() {
+        let mut q = BatchQueue::new(10, 1_000_000);
+        assert_eq!(q.flush_now(0), QueuePoll::Empty);
+        q.push(7, 0);
+        match q.flush_now(1) {
+            QueuePoll::Ready(f) => assert_eq!(f.items, vec![7]),
+            other => panic!("expected Ready, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ticket_roundtrip_and_close() {
+        let t = Ticket::new();
+        t.fill(42);
+        assert_eq!(t.wait(), Some(42));
+        let t: Ticket<i32> = Ticket::new();
+        t.close();
+        assert_eq!(t.wait(), None);
+        // close after fill does not destroy the response
+        let t = Ticket::new();
+        t.fill(7);
+        t.close();
+        assert_eq!(t.wait(), Some(7));
+    }
+}

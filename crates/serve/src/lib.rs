@@ -1,0 +1,30 @@
+//! PLSSVM serving layer: a long-lived batched inference service.
+//!
+//! The crate turns any model the CLI can produce — binary, multiclass or
+//! SVR, any kernel — into a server that accepts concurrent requests over
+//! a newline-delimited wire protocol ([`protocol`]), coalesces them
+//! through a bounded micro-batching queue ([`batcher`]) into the
+//! panelized prediction path, and supports hot model reloads with zero
+//! dropped requests ([`reload`]).
+//!
+//! Everything timing-dependent is built against the injectable
+//! [`clock::Clock`] so batching deadlines and reload behavior are
+//! deterministically testable without sleeps.
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod clock;
+pub mod engine;
+pub mod model;
+pub mod net;
+pub mod protocol;
+pub mod reload;
+
+pub use batcher::{BatchQueue, Batcher, Flush, QueuePoll, Ticket};
+pub use clock::{Clock, ManualClock, SystemClock};
+pub use engine::{Engine, EngineConfig};
+pub use model::{Prediction, ServeModel};
+pub use net::{serve_lines, serve_tcp};
+pub use protocol::{parse_line, ParsedLine, Query, QueryFormat};
+pub use reload::{attempt_reload, spawn_watcher, ManualTrigger, PollTrigger, ReloadTrigger};

@@ -1,0 +1,206 @@
+//! Model loading and dispatch for the serving layer.
+//!
+//! [`ServeModel`] wraps any model the CLI toolchain can produce — a
+//! binary classifier, a multiclass container, or an ε-SVR — behind one
+//! `predict_batch` entry point. Dispatch mirrors `svm-predict` exactly
+//! (container header → multiclass, `svm_type epsilon_svr` → regression,
+//! otherwise binary), and models are always evaluated in `f64` like the
+//! CLI does, so served predictions are bit-identical to offline ones.
+
+use plssvm_core::multiclass::MultiClassModel;
+use plssvm_core::regression::try_predict_values;
+use plssvm_core::try_predict_decision_values;
+use plssvm_data::dense::DenseMatrix;
+use plssvm_data::model::{peek_svm_type, SvmModel, SvrModel};
+
+/// One served prediction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Prediction {
+    /// A class label (multiclass models).
+    Label(i32),
+    /// A class label plus the raw decision value (binary models).
+    LabelWithDecision(i32, f64),
+    /// A regression value (SVR models).
+    Value(f64),
+}
+
+/// A loaded model of any kind the CLI can produce, ready to serve.
+#[derive(Debug, Clone)]
+pub enum ServeModel {
+    /// A binary LS-SVM classifier.
+    Binary(SvmModel<f64>),
+    /// A multiclass container (one-vs-one or one-vs-rest).
+    Multiclass(MultiClassModel<f64>),
+    /// An ε-SVR regression model.
+    Svr(SvrModel<f64>),
+}
+
+impl ServeModel {
+    /// Parses a model from its text representation, dispatching on the
+    /// model kind the same way `svm-predict` does.
+    pub fn from_text(content: &str) -> Result<Self, String> {
+        let model = if content.starts_with("plssvm_multiclass") {
+            ServeModel::Multiclass(
+                MultiClassModel::<f64>::from_container_string(content)
+                    .map_err(|e| format!("multiclass model: {e}"))?,
+            )
+        } else if peek_svm_type(content) == Some("epsilon_svr") {
+            ServeModel::Svr(
+                SvrModel::<f64>::from_model_string(content)
+                    .map_err(|e| format!("svr model: {e}"))?,
+            )
+        } else {
+            ServeModel::Binary(
+                SvmModel::<f64>::from_model_string(content).map_err(|e| format!("model: {e}"))?,
+            )
+        };
+        if model.features() == 0 {
+            return Err("model has zero features".into());
+        }
+        if model.total_sv() == 0 {
+            return Err("model has no support vectors".into());
+        }
+        Ok(model)
+    }
+
+    /// Loads and validates a model file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, String> {
+        let path = path.as_ref();
+        let content =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        Self::from_text(&content)
+    }
+
+    /// Expected number of features per query row.
+    pub fn features(&self) -> usize {
+        match self {
+            ServeModel::Binary(m) => m.features(),
+            ServeModel::Multiclass(m) => m.models.first().map(|(_, m)| m.features()).unwrap_or(0),
+            ServeModel::Svr(m) => m.features(),
+        }
+    }
+
+    /// Total number of support vectors (summed over binary submodels).
+    pub fn total_sv(&self) -> usize {
+        match self {
+            ServeModel::Binary(m) => m.total_sv(),
+            ServeModel::Multiclass(m) => m.models.iter().map(|(_, m)| m.total_sv()).sum(),
+            ServeModel::Svr(m) => m.total_sv(),
+        }
+    }
+
+    /// Human-readable model kind for status messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeModel::Binary(_) => "binary",
+            ServeModel::Multiclass(_) => "multiclass",
+            ServeModel::Svr(_) => "svr",
+        }
+    }
+
+    /// Predicts one dense batch through the panelized prediction path,
+    /// returning a structured error (never panicking) on degenerate
+    /// batches.
+    pub fn predict_batch(&self, x: &DenseMatrix<f64>) -> Result<Vec<Prediction>, String> {
+        match self {
+            ServeModel::Binary(m) => {
+                let decisions = try_predict_decision_values(m, x).map_err(|e| e.to_string())?;
+                Ok(decisions
+                    .into_iter()
+                    .map(|d| Prediction::LabelWithDecision(m.decide(d), d))
+                    .collect())
+            }
+            ServeModel::Multiclass(m) => Ok(m
+                .try_predict(x)
+                .map_err(|e| e.to_string())?
+                .into_iter()
+                .map(Prediction::Label)
+                .collect()),
+            ServeModel::Svr(m) => Ok(try_predict_values(m, x)
+                .map_err(|e| e.to_string())?
+                .into_iter()
+                .map(Prediction::Value)
+                .collect()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BINARY: &str = "svm_type c_svc\nkernel_type linear\nnr_class 2\ntotal_sv 2\nrho 0\nlabel 1 -1\nnr_sv 1 1\nSV\n1 1:1\n-1 2:1\n";
+    const SVR: &str =
+        "svm_type epsilon_svr\nkernel_type linear\nnr_class 2\ntotal_sv 1\nrho -1\nSV\n2 1:1 2:0\n";
+
+    #[test]
+    fn dispatches_binary_and_predicts_with_decision() {
+        let m = ServeModel::from_text(BINARY).unwrap();
+        assert_eq!(m.kind(), "binary");
+        assert_eq!(m.features(), 2);
+        // f(x) = x1 - x2
+        let x = DenseMatrix::from_vec(2, 2, vec![3.0, 1.0, 0.0, 5.0]);
+        let p = m.predict_batch(&x).unwrap();
+        assert_eq!(
+            p,
+            vec![
+                Prediction::LabelWithDecision(1, 2.0),
+                Prediction::LabelWithDecision(-1, -5.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn dispatches_svr_and_predicts_values() {
+        let m = ServeModel::from_text(SVR).unwrap();
+        assert_eq!(m.kind(), "svr");
+        // f(x) = 2·x1 + 1
+        let x = DenseMatrix::from_vec(1, 2, vec![3.0, 9.0]);
+        assert_eq!(m.predict_batch(&x).unwrap(), vec![Prediction::Value(7.0)]);
+    }
+
+    #[test]
+    fn dispatches_multiclass_container() {
+        use plssvm_core::prelude::*;
+        use plssvm_data::synthetic::{generate_blobs, BlobsConfig};
+
+        let data = generate_blobs::<f64>(&BlobsConfig::new(30, 4, 3, 5)).unwrap();
+        let trained = train_multiclass(
+            &data,
+            &LsSvm::new().with_epsilon(1e-6),
+            MultiClassStrategy::OneVsOne,
+        )
+        .unwrap();
+        let m = ServeModel::from_text(&trained.to_container_string()).unwrap();
+        assert_eq!(m.kind(), "multiclass");
+        assert_eq!(m.features(), 4);
+        let x = data.x.select_rows(&[0, 1]);
+        let served = m.predict_batch(&x).unwrap();
+        let direct = trained.predict(&x);
+        let served_labels: Vec<i32> = served
+            .iter()
+            .map(|p| match p {
+                Prediction::Label(l) => *l,
+                other => panic!("multiclass must serve labels, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(served_labels, direct);
+    }
+
+    #[test]
+    fn degenerate_batches_are_structured_errors() {
+        let m = ServeModel::from_text(BINARY).unwrap();
+        let empty = DenseMatrix::<f64>::zeros(0, 2);
+        assert!(m.predict_batch(&empty).unwrap_err().contains("empty"));
+        let wrong = DenseMatrix::<f64>::zeros(1, 3);
+        assert!(m.predict_batch(&wrong).unwrap_err().contains("expects 2"));
+    }
+
+    #[test]
+    fn garbage_model_text_is_rejected() {
+        assert!(ServeModel::from_text("not a model").is_err());
+        assert!(ServeModel::from_text("").is_err());
+        // truncated mid-header
+        assert!(ServeModel::from_text("svm_type c_svc\nkernel_type linear\n").is_err());
+    }
+}

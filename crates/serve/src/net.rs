@@ -1,0 +1,214 @@
+//! Transport: newline-delimited serving over stdin/stdout or TCP.
+//!
+//! Both modes share [`serve_lines`]: a reader thread parses and submits
+//! lines into the engine while the writer resolves responses in strict
+//! FIFO submission order — so the micro-batcher can coalesce requests
+//! that are still streaming in, yet clients always receive answers in
+//! the order they sent requests.
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use crate::engine::{Engine, Pending};
+
+/// How many submitted-but-unresolved requests one connection may have in
+/// flight before its reader blocks (bounds memory per connection).
+const PIPELINE_DEPTH: usize = 1024;
+
+/// Serves one line stream: requests from `input`, responses to `output`,
+/// one line each, FIFO. Returns when `input` reaches EOF (or the first
+/// I/O error on either side).
+pub fn serve_lines<R, W>(engine: &Engine, input: R, mut output: W) -> std::io::Result<()>
+where
+    R: BufRead + Send,
+    W: Write,
+{
+    std::thread::scope(|s| {
+        let (tx, rx) = mpsc::sync_channel::<Pending>(PIPELINE_DEPTH);
+        let reader = s.spawn(move || -> std::io::Result<()> {
+            // manual read_line loop: one reused buffer instead of a
+            // fresh String per request
+            let mut input = input;
+            let mut line = String::new();
+            loop {
+                line.clear();
+                if input.read_line(&mut line)? == 0 {
+                    return Ok(());
+                }
+                let trimmed = line.trim_end_matches(['\n', '\r']);
+                if let Some(pending) = engine.handle_line(trimmed) {
+                    if tx.send(pending).is_err() {
+                        // writer side failed; stop reading
+                        return Ok(());
+                    }
+                }
+            }
+        });
+        // drain-then-flush: resolve every response that is already
+        // available before paying for a flush, so pipelined streams cost
+        // one flush per burst while a lone request still flushes
+        // immediately before the writer blocks again
+        let mut write_result: std::io::Result<()> = Ok(());
+        'serve: while let Ok(first) = rx.recv() {
+            let mut pending = first;
+            loop {
+                let response = engine.resolve(pending);
+                if let Err(e) = output
+                    .write_all(response.as_bytes())
+                    .and_then(|()| output.write_all(b"\n"))
+                {
+                    write_result = Err(e);
+                    break 'serve;
+                }
+                match rx.try_recv() {
+                    Ok(next) => pending = next,
+                    Err(_) => break,
+                }
+            }
+            if let Err(e) = output.flush() {
+                write_result = Err(e);
+                break;
+            }
+        }
+        let read_result = reader.join().unwrap_or(Ok(()));
+        write_result.and(read_result)
+    })
+}
+
+/// Accept loop: serves each TCP connection on its own thread (all
+/// connections share the engine and therefore the micro-batcher, so
+/// concurrent clients coalesce into shared batches). `stop` makes the
+/// loop exit after in-flight connections finish; `on_disconnect` runs
+/// when a connection closes (the CLI snapshots metrics there).
+pub fn serve_tcp(
+    engine: &Engine,
+    listener: TcpListener,
+    stop: &AtomicBool,
+    on_disconnect: &(dyn Fn() + Sync),
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    std::thread::scope(|s| {
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let _ = stream.set_nodelay(true);
+                    s.spawn(move || {
+                        let Ok(read_half) = stream.try_clone() else {
+                            return;
+                        };
+                        // buffered write half: serve_lines flushes at
+                        // every pipeline drain, so responses still leave
+                        // promptly while bursts cost one syscall each
+                        let _ = serve_lines(
+                            engine,
+                            BufReader::new(read_half),
+                            std::io::BufWriter::new(stream),
+                        );
+                        on_disconnect();
+                    });
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SystemClock;
+    use crate::engine::EngineConfig;
+    use crate::model::ServeModel;
+    use std::io::Cursor;
+    use std::sync::Arc;
+
+    const BINARY: &str = "svm_type c_svc\nkernel_type linear\nnr_class 2\ntotal_sv 2\nrho 0\nlabel 1 -1\nnr_sv 1 1\nSV\n1 1:1\n-1 2:1\n";
+
+    fn engine(max_batch: usize, max_wait_us: u64) -> Engine {
+        Engine::new(
+            ServeModel::from_text(BINARY).unwrap(),
+            EngineConfig {
+                max_batch,
+                max_wait_us,
+            },
+            Arc::new(SystemClock::new()),
+            None,
+        )
+    }
+
+    #[test]
+    fn serve_lines_answers_fifo_and_skips_comments() {
+        // batching on (max_batch 8): responses must still come back in
+        // submission order
+        let e = engine(8, 200);
+        let input = "1 1:3 2:1\n# comment\n1:0 2:5\n\nbad ::\n{\"id\":1,\"features\":[1,0]}\n";
+        let mut out = Vec::new();
+        serve_lines(&e, Cursor::new(input), &mut out).unwrap();
+        e.shutdown();
+        let out = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4, "{out}");
+        assert_eq!(lines[0], "1");
+        assert_eq!(lines[1], "-1");
+        assert!(lines[2].starts_with("{\"error\":"));
+        assert_eq!(lines[3], "{\"id\":1,\"label\":1,\"decision\":1.0}");
+    }
+
+    #[test]
+    fn serve_tcp_roundtrips_concurrent_connections() {
+        use std::io::{BufRead, Write};
+        use std::net::TcpStream;
+
+        let e = Arc::new(engine(16, 500));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let e2 = Arc::clone(&e);
+        let stop2 = Arc::clone(&stop);
+        let server = std::thread::spawn(move || {
+            serve_tcp(&e2, listener, &stop2, &|| {}).unwrap();
+        });
+
+        let clients: Vec<_> = (0..3)
+            .map(|c| {
+                std::thread::spawn(move || {
+                    let stream = TcpStream::connect(addr).unwrap();
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut write = stream;
+                    let mut answers = Vec::new();
+                    for i in 0..20 {
+                        // alternate positive / negative queries per client
+                        let line = if (c + i) % 2 == 0 {
+                            "1 1:3\n"
+                        } else {
+                            "1 2:3\n"
+                        };
+                        write.write_all(line.as_bytes()).unwrap();
+                        let mut resp = String::new();
+                        reader.read_line(&mut resp).unwrap();
+                        answers.push(resp.trim().to_string());
+                        let expect = if (c + i) % 2 == 0 { "1" } else { "-1" };
+                        assert_eq!(resp.trim(), expect, "client {c} request {i}");
+                    }
+                    answers.len()
+                })
+            })
+            .collect();
+        for c in clients {
+            assert_eq!(c.join().unwrap(), 20);
+        }
+        stop.store(true, Ordering::SeqCst);
+        server.join().unwrap();
+        e.shutdown();
+    }
+}

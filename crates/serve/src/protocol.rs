@@ -1,0 +1,574 @@
+//! The newline-delimited wire protocol.
+//!
+//! Each request is one line, in either of two formats, auto-detected per
+//! line:
+//!
+//! * **JSON** — a line starting with `{`:
+//!   `{"id": 17, "features": [0.5, -1.0, 2.0]}`. The `id` is optional and
+//!   echoed back verbatim; unknown keys are tolerated and skipped. The
+//!   `features` array is dense, feature 0 first.
+//! * **LIBSVM** — anything else: `label idx:val idx:val ...` with 1-based
+//!   indices, exactly the training/test file row format. The label is
+//!   ignored for inference (but must parse); lines whose first token
+//!   already contains `:` are treated as label-free feature lists.
+//!
+//! Blank lines and `#` comment lines are ignored (no response line).
+//! Responses preserve request order. LIBSVM-format requests get the same
+//! bare output `svm-predict` writes (a label, or a regression value);
+//! JSON requests get a JSON object; malformed lines get a structured
+//! `{"error": "..."}` line — never a panic, never a dropped connection.
+
+use plssvm_core::trace::{json_f64, json_str};
+use plssvm_data::MAX_FEATURE_INDEX;
+
+use crate::model::Prediction;
+
+/// Which wire format a request arrived in (echoed in the response).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryFormat {
+    /// A `{...}` JSON object line.
+    Json,
+    /// A LIBSVM data row.
+    Libsvm,
+}
+
+/// A parsed inference request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Raw JSON token of the request's `id`, echoed back verbatim.
+    pub id: Option<String>,
+    /// Sparse features: 0-based `(index, value)` pairs. Densification
+    /// happens at batch time against the *current* model, so a reload
+    /// that changes the feature count yields per-request errors instead
+    /// of stale-shape panics.
+    pub entries: Vec<(usize, f64)>,
+    /// The format the request arrived in.
+    pub format: QueryFormat,
+}
+
+/// Outcome of parsing one input line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParsedLine {
+    /// A well-formed request.
+    Query(Query),
+    /// Blank or comment line: no response is emitted.
+    Ignored,
+    /// A malformed line: answer with a structured error, keep serving.
+    Error {
+        /// Format the line was recognized as (best effort).
+        format: QueryFormat,
+        /// The request id if it was parseable before the error.
+        id: Option<String>,
+        /// Human-readable parse failure.
+        message: String,
+    },
+}
+
+/// Parses one wire line (without its trailing newline).
+pub fn parse_line(line: &str) -> ParsedLine {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return ParsedLine::Ignored;
+    }
+    if trimmed.starts_with('{') {
+        match parse_json_query(trimmed) {
+            Ok(q) => ParsedLine::Query(q),
+            Err((id, message)) => ParsedLine::Error {
+                format: QueryFormat::Json,
+                id,
+                message,
+            },
+        }
+    } else {
+        match parse_libsvm_query(trimmed) {
+            Ok(q) => ParsedLine::Query(q),
+            Err(message) => ParsedLine::Error {
+                format: QueryFormat::Libsvm,
+                id: None,
+                message,
+            },
+        }
+    }
+}
+
+/// Formats the response line (no trailing newline) for a request.
+///
+/// LIBSVM requests answer exactly like `svm-predict` output rows: the
+/// bare label for classifiers, the bare value for SVR. JSON requests and
+/// all errors answer with a JSON object.
+pub fn format_response(
+    format: QueryFormat,
+    id: Option<&str>,
+    result: &Result<Prediction, String>,
+) -> String {
+    match (format, result) {
+        (QueryFormat::Libsvm, Ok(Prediction::Label(l)))
+        | (QueryFormat::Libsvm, Ok(Prediction::LabelWithDecision(l, _))) => l.to_string(),
+        (QueryFormat::Libsvm, Ok(Prediction::Value(v))) => format!("{v}"),
+        (_, Err(message)) => {
+            let mut out = String::from("{");
+            if let Some(id) = id {
+                out.push_str(&format!("\"id\":{id},"));
+            }
+            out.push_str(&format!("\"error\":{}}}", json_str(message)));
+            out
+        }
+        (QueryFormat::Json, Ok(pred)) => {
+            let mut out = String::from("{");
+            if let Some(id) = id {
+                out.push_str(&format!("\"id\":{id},"));
+            }
+            match pred {
+                Prediction::Label(l) => out.push_str(&format!("\"label\":{l}")),
+                Prediction::LabelWithDecision(l, d) => {
+                    out.push_str(&format!("\"label\":{l},\"decision\":{}", json_f64(*d)));
+                }
+                Prediction::Value(v) => out.push_str(&format!("\"value\":{}", json_f64(*v))),
+            }
+            out.push('}');
+            out
+        }
+    }
+}
+
+fn parse_libsvm_query(line: &str) -> Result<Query, String> {
+    let mut tokens = line.split_whitespace().peekable();
+    let first = tokens.peek().copied().ok_or("empty request line")?;
+    if !first.contains(':') {
+        // a label is present; inference ignores it but a garbage token is
+        // a malformed line, not a silently-dropped one
+        let label = tokens.next().expect("peeked");
+        if label.parse::<f64>().is_err() {
+            return Err(format!("invalid label '{label}'"));
+        }
+    }
+    let mut entries = Vec::new();
+    for tok in tokens {
+        let (idx, val) = tok
+            .split_once(':')
+            .ok_or_else(|| format!("expected index:value, got '{tok}'"))?;
+        let idx: usize = idx
+            .parse()
+            .map_err(|_| format!("invalid feature index '{idx}'"))?;
+        if idx == 0 {
+            return Err("feature indices are 1-based; got index 0".into());
+        }
+        if idx > MAX_FEATURE_INDEX {
+            return Err(format!(
+                "feature index {idx} exceeds the supported maximum {MAX_FEATURE_INDEX}"
+            ));
+        }
+        let val: f64 = val
+            .parse()
+            .map_err(|_| format!("invalid feature value '{val}'"))?;
+        if !val.is_finite() {
+            return Err(format!("non-finite feature value '{val}'"));
+        }
+        entries.push((idx - 1, val));
+    }
+    Ok(Query {
+        id: None,
+        entries,
+        format: QueryFormat::Libsvm,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON object reader (the workspace is dependency-free by design;
+// this covers exactly what the wire protocol needs: one flat object with
+// an optional scalar `id`, a numeric `features` array, and skippable
+// unknown values of any shape).
+// ---------------------------------------------------------------------------
+
+/// Nesting depth cap while skipping unknown values — corpus fuzzing must
+/// not be able to blow the stack with `[[[[...]]]]`.
+const MAX_SKIP_DEPTH: usize = 64;
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+type JsonError = (Option<String>, String);
+
+fn parse_json_query(line: &str) -> Result<Query, JsonError> {
+    let mut id: Option<String> = None;
+    let mut features: Option<Vec<f64>> = None;
+    let mut c = Cursor {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    let fail = |id: &Option<String>, msg: String| (id.clone(), msg);
+
+    c.expect(b'{').map_err(|m| fail(&id, m))?;
+    c.skip_ws();
+    if !c.eat(b'}') {
+        loop {
+            let key = c.parse_string().map_err(|m| fail(&id, m))?;
+            c.expect(b':').map_err(|m| fail(&id, m))?;
+            match key.as_str() {
+                "id" => {
+                    let raw = c.raw_value().map_err(|m| fail(&id, m))?;
+                    id = Some(raw);
+                }
+                "features" => {
+                    features = Some(c.parse_number_array().map_err(|m| fail(&id, m))?);
+                }
+                _ => {
+                    c.raw_value().map_err(|m| fail(&id, m))?;
+                }
+            }
+            c.skip_ws();
+            if c.eat(b',') {
+                continue;
+            }
+            c.expect(b'}').map_err(|m| fail(&id, m))?;
+            break;
+        }
+    }
+    c.skip_ws();
+    if c.pos != c.bytes.len() {
+        return Err(fail(&id, "trailing content after JSON object".into()));
+    }
+    let features = features.ok_or_else(|| fail(&id, "missing \"features\" array".into()))?;
+    if features.len() > MAX_FEATURE_INDEX {
+        return Err(fail(
+            &id,
+            format!(
+                "features array length {} exceeds the supported maximum {MAX_FEATURE_INDEX}",
+                features.len()
+            ),
+        ));
+    }
+    for v in &features {
+        if !v.is_finite() {
+            return Err(fail(&id, "non-finite feature value".into()));
+        }
+    }
+    Ok(Query {
+        id,
+        entries: features.into_iter().enumerate().collect(),
+        format: QueryFormat::Json,
+    })
+}
+
+impl<'a> Cursor<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(match self.bytes.get(self.pos) {
+                Some(&got) => format!("expected '{}', found '{}'", b as char, got as char),
+                None => format!("expected '{}', found end of line", b as char),
+            })
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "invalid \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("invalid \\u escape '{hex}'"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(format!(
+                                "invalid escape '\\{}'",
+                                other.map(|&b| b as char).unwrap_or(' ')
+                            ))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // copy the full UTF-8 code point, not byte by byte
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| "invalid UTF-8".to_string())?;
+                    let ch = s.chars().next().ok_or("unterminated string")?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err("expected a number".into());
+        }
+        let tok = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        tok.parse::<f64>()
+            .map_err(|_| format!("invalid number '{tok}'"))
+    }
+
+    fn parse_number_array(&mut self) -> Result<Vec<f64>, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        if self.eat(b']') {
+            return Ok(out);
+        }
+        loop {
+            out.push(self.parse_number()?);
+            if self.eat(b',') {
+                continue;
+            }
+            self.expect(b']')?;
+            return Ok(out);
+        }
+    }
+
+    /// Skips one JSON value of any shape, returning its raw text (used to
+    /// echo `id` back verbatim and to tolerate unknown keys).
+    fn raw_value(&mut self) -> Result<String, String> {
+        self.skip_ws();
+        let start = self.pos;
+        self.skip_value(0)?;
+        let raw = &self.bytes[start..self.pos];
+        Ok(std::str::from_utf8(raw)
+            .map_err(|_| "invalid UTF-8".to_string())?
+            .trim()
+            .to_string())
+    }
+
+    fn skip_value(&mut self, depth: usize) -> Result<(), String> {
+        if depth > MAX_SKIP_DEPTH {
+            return Err("JSON nesting too deep".into());
+        }
+        match self.peek() {
+            Some(b'"') => {
+                self.parse_string()?;
+                Ok(())
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                if self.eat(b'}') {
+                    return Ok(());
+                }
+                loop {
+                    self.parse_string()?;
+                    self.expect(b':')?;
+                    self.skip_value(depth + 1)?;
+                    if self.eat(b',') {
+                        continue;
+                    }
+                    return self.expect(b'}');
+                }
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                if self.eat(b']') {
+                    return Ok(());
+                }
+                loop {
+                    self.skip_value(depth + 1)?;
+                    if self.eat(b',') {
+                        continue;
+                    }
+                    return self.expect(b']');
+                }
+            }
+            Some(b't') => self.expect_word("true"),
+            Some(b'f') => self.expect_word("false"),
+            Some(b'n') => self.expect_word("null"),
+            Some(_) => {
+                self.parse_number()?;
+                Ok(())
+            }
+            None => Err("expected a value, found end of line".into()),
+        }
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(format!("expected '{word}'"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn query(line: &str) -> Query {
+        match parse_line(line) {
+            ParsedLine::Query(q) => q,
+            other => panic!("expected Query for {line:?}, got {other:?}"),
+        }
+    }
+
+    fn error(line: &str) -> (QueryFormat, Option<String>, String) {
+        match parse_line(line) {
+            ParsedLine::Error {
+                format,
+                id,
+                message,
+            } => (format, id, message),
+            other => panic!("expected Error for {line:?}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn libsvm_line_with_and_without_label() {
+        let q = query("1 1:0.5 3:-2");
+        assert_eq!(q.format, QueryFormat::Libsvm);
+        assert_eq!(q.entries, vec![(0, 0.5), (2, -2.0)]);
+        // label-free: first token already contains ':'
+        let q = query("1:0.5 2:1.5");
+        assert_eq!(q.entries, vec![(0, 0.5), (1, 1.5)]);
+        // zero-entry rows are legal LIBSVM (all features zero)
+        let q = query("-1");
+        assert_eq!(q.entries, vec![]);
+    }
+
+    #[test]
+    fn libsvm_malformed_lines_are_structured_errors() {
+        assert!(error("abc 1:0.5").2.contains("invalid label"));
+        assert!(error("1 0:5").2.contains("1-based"));
+        assert!(error("1 2:xyz").2.contains("invalid feature value"));
+        assert!(error("1 x:1").2.contains("invalid feature index"));
+        assert!(error("1 17000000:1").2.contains("maximum"));
+        assert!(error("1 1:inf").2.contains("non-finite"));
+        assert!(error("1 notapair").2.contains("index:value"));
+    }
+
+    #[test]
+    fn json_line_roundtrip_with_id_and_unknown_keys() {
+        let q = query(r#"{"id": 17, "features": [0.5, -1, 2e0], "meta": {"a": [1, null]}}"#);
+        assert_eq!(q.format, QueryFormat::Json);
+        assert_eq!(q.id.as_deref(), Some("17"));
+        assert_eq!(q.entries, vec![(0, 0.5), (1, -1.0), (2, 2.0)]);
+        // string ids echo with their quotes
+        let q = query(r#"{"features": [], "id": "req-1"}"#);
+        assert_eq!(q.id.as_deref(), Some("\"req-1\""));
+        assert_eq!(q.entries, vec![]);
+        // no id is fine
+        assert_eq!(query(r#"{"features":[1]}"#).id, None);
+    }
+
+    #[test]
+    fn json_malformed_lines_are_structured_errors() {
+        let (f, _, m) = error(r#"{"features": [1, 2"#);
+        assert_eq!(f, QueryFormat::Json);
+        assert!(!m.is_empty());
+        // id survives when parsed before the failure, so the error can be routed
+        let (_, id, m) = error(r#"{"id": 9, "features": [1, "x"]}"#);
+        assert_eq!(id.as_deref(), Some("9"));
+        assert!(m.contains("number"));
+        assert!(error(r#"{}"#).2.contains("missing \"features\""));
+        assert!(error(r#"{"features": [1]} extra"#).2.contains("trailing"));
+        assert!(error(r#"{"features": [1e999]}"#).2.contains("non-finite"));
+        let deep = format!(
+            r#"{{"x": {}1{}, "features": [1]}}"#,
+            "[".repeat(100),
+            "]".repeat(100)
+        );
+        assert!(error(&deep).2.contains("nesting"));
+    }
+
+    #[test]
+    fn blank_and_comment_lines_are_ignored() {
+        assert_eq!(parse_line(""), ParsedLine::Ignored);
+        assert_eq!(parse_line("   \t"), ParsedLine::Ignored);
+        assert_eq!(parse_line("# comment"), ParsedLine::Ignored);
+    }
+
+    #[test]
+    fn responses_match_cli_output_for_libsvm_format() {
+        // bit-identical to svm-predict's output rows
+        let r = format_response(QueryFormat::Libsvm, None, &Ok(Prediction::Label(-1)));
+        assert_eq!(r, "-1");
+        let r = format_response(
+            QueryFormat::Libsvm,
+            None,
+            &Ok(Prediction::LabelWithDecision(1, 0.25)),
+        );
+        assert_eq!(r, "1");
+        let v = 0.30000000000000004_f64;
+        let r = format_response(QueryFormat::Libsvm, None, &Ok(Prediction::Value(v)));
+        assert_eq!(r, format!("{v}"));
+    }
+
+    #[test]
+    fn responses_serialize_json_format() {
+        let r = format_response(
+            QueryFormat::Json,
+            Some("17"),
+            &Ok(Prediction::LabelWithDecision(1, 0.5)),
+        );
+        assert_eq!(r, r#"{"id":17,"label":1,"decision":0.5}"#);
+        let r = format_response(QueryFormat::Json, None, &Ok(Prediction::Label(2)));
+        assert_eq!(r, r#"{"label":2}"#);
+        let r = format_response(
+            QueryFormat::Json,
+            Some("\"a\""),
+            &Ok(Prediction::Value(1.5)),
+        );
+        assert_eq!(r, r#"{"id":"a","value":1.5}"#);
+        let r = format_response(QueryFormat::Json, None, &Err("bad \"line\"".to_string()));
+        assert_eq!(r, r#"{"error":"bad \"line\""}"#);
+        let r = format_response(QueryFormat::Libsvm, None, &Err("nope".to_string()));
+        assert_eq!(r, r#"{"error":"nope"}"#);
+    }
+}
