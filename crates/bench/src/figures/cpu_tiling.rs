@@ -1,17 +1,25 @@
-//! CPU tiling ablation: the blocked, SIMD-friendly matvec engine vs the
+//! CPU tiling ablation: the blocked, SIMD-dispatched matvec engine vs the
 //! scalar row sweep it replaced.
 //!
 //! The blocked engine (`plssvm_core::backend::cpu_blocked`) evaluates the
-//! kernel on `MR×NR` panels with independent register accumulators (so the
-//! compiler can vectorize across the panel) and walks the implicit matrix
-//! in cache-sized tiles; the symmetric schedule additionally restricts the
-//! walk to the upper triangle, halving the kernel evaluations. This study
-//! measures all three effects on one `K·v` matvec of the linear kernel:
+//! kernel on `MR×NR` panels with independent register accumulators and
+//! walks the implicit matrix in cache-sized tiles; the symmetric schedule
+//! additionally restricts the walk to the upper triangle, halving the
+//! kernel evaluations. Since PR 8 the panel primitives dispatch to
+//! explicit SIMD micro-kernels (`plssvm_core::simd`), so the study now
+//! separates four effects on one `K·v` matvec of the linear kernel:
 //!
 //! 1. scalar baseline — the pre-blocking parallel backend loop: one
 //!    `kernel_row` per `(i, j)` pair over the full matrix;
-//! 2. blocked, full schedule — panels + tiles, no symmetry;
-//! 3. blocked, symmetric schedule — the default, at several tile edges.
+//! 2. blocked, full schedule — panels + tiles, no symmetry, scalar tier;
+//! 3. `scalar-panel-*` — blocked symmetric schedule pinned to the scalar
+//!    tier (bit-identical to the pre-SIMD engine), at several tile edges;
+//! 4. `simd-panel-*` — the same symmetric 64×64 schedule on every SIMD
+//!    tier the host supports, plus the auto-dispatched default.
+//!
+//! Each row reports achieved GFLOP/s against a single-core roofline
+//! (`plssvm_simgpu::hw::GpuSpec::peak_flops`) built from the CI host's
+//! nominal clock and the tier's FMA width.
 //!
 //! Reproduce with
 //! `cargo run --release -p plssvm-bench --bin figures -- ablation_cpu_tiling`.
@@ -21,15 +29,47 @@ use std::time::Instant;
 use plssvm_core::backend::parallel::ParallelBackend;
 use plssvm_core::backend::CpuTilingConfig;
 use plssvm_core::kernel::kernel_row;
+use plssvm_core::simd::Isa;
 use plssvm_data::dense::DenseMatrix;
 use plssvm_data::model::KernelSpec;
+use plssvm_simgpu::hw::{GpuSpec, Precision};
 
 use crate::figures::common::{planes_data, FigureReport, Scale, Table};
+
+/// Nominal single-core clock of the CI host (Intel Xeon @ 2.10 GHz), used
+/// for the roofline peak. A different host shifts every `peak_frac` by the
+/// same factor, so the relative comparison across tiers stands regardless.
+const NOMINAL_GHZ: f64 = 2.1;
 
 fn time_it(mut f: impl FnMut()) -> f64 {
     let t0 = Instant::now();
     f();
     t0.elapsed().as_secs_f64()
+}
+
+/// Single-core roofline for one ISA tier, expressed as a simgpu
+/// [`GpuSpec`]: one fused multiply-add pipe of the tier's f64 width per
+/// cycle (`lanes × 2` FLOP/cycle) at the nominal clock. Bandwidth and
+/// capacity are the host's nominal single-channel figures; only the
+/// compute peak enters this study.
+fn host_roofline(isa: Isa) -> GpuSpec {
+    let fp64_tflops = NOMINAL_GHZ * 1e9 * 2.0 * isa.lanes_f64() as f64 / 1e12;
+    GpuSpec {
+        name: "host-core",
+        fp64_tflops,
+        fp32_tflops: 2.0 * fp64_tflops,
+        mem_bandwidth_gbs: 12.8,
+        memory_gib: 16.0,
+        link_bandwidth_gbs: 0.0,
+        launch_overhead_us: 0.0,
+        compute_capability: 0.0,
+    }
+}
+
+/// Physical FLOPs of `evals` linear-kernel evaluations folded into the
+/// matvec: a d-length FMA dot (2d) plus the `·v` accumulate (2).
+fn matvec_flops(evals: u128, d: usize) -> f64 {
+    evals as f64 * (2.0 * d as f64 + 2.0)
 }
 
 /// The pre-blocking matvec: a scalar `kernel_row` per matrix entry, full
@@ -51,8 +91,12 @@ fn scalar_row_matvec(
     }
 }
 
-/// Runs the study on an `m × d` problem.
-fn run_sized(m: usize, d: usize) -> FigureReport {
+/// Runs the study on an `m × d` problem. When `assert_blocked_wins` is
+/// set (the small-scale smoke run in CI), the blocked scalar path must
+/// not lose to the scalar row sweep — this pins the tile auto-clamping
+/// fix for the small-n regression (`blocked-nosym` used to run 0.63× at
+/// tile 64 before `CpuTilingConfig::effective_for`).
+fn run_sized(m: usize, d: usize, assert_blocked_wins: bool) -> FigureReport {
     let data = planes_data(m, d, 777);
     let n = m - 1;
     let v: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.37).sin()).collect();
@@ -64,50 +108,83 @@ fn run_sized(m: usize, d: usize) -> FigureReport {
         "d",
         "tile",
         "symmetry",
+        "isa",
         "seconds",
         "speedup",
+        "gflops",
+        "roofline_gflops",
+        "peak_frac",
         "kernel_evals",
     ]);
 
     // --- baseline: scalar full-row sweep ---
     let mut reference = vec![0.0; n];
     let t_scalar = time_it(|| scalar_row_matvec(&data.x, &kernel, &v, &mut reference));
+    let scalar_evals = n as u128 * n as u128;
+    let scalar_gflops = matvec_flops(scalar_evals, d) / t_scalar / 1e9;
+    let scalar_peak = host_roofline(Isa::Scalar).peak_flops(Precision::F64) / 1e9;
     table.row(vec![
         "scalar-rows".into(),
         n.to_string(),
         d.to_string(),
         "-".into(),
         "false".into(),
+        "scalar".into(),
         format!("{t_scalar:.6}"),
         "1.00".into(),
-        (n as u128 * n as u128).to_string(),
+        format!("{scalar_gflops:.2}"),
+        format!("{scalar_peak:.1}"),
+        format!("{:.2}", scalar_gflops / scalar_peak),
+        scalar_evals.to_string(),
     ]);
 
-    // --- blocked variants ---
-    let mut max_dev = 0.0f64;
-    let mut default_speedup = 0.0f64;
-    let variants: Vec<(String, CpuTilingConfig)> = std::iter::once((
+    // --- blocked variants: scalar-pinned sweep, then SIMD tiers ---
+    let mut variants: Vec<(String, CpuTilingConfig)> = vec![(
         "blocked-nosym".to_string(),
-        CpuTilingConfig::default().with_symmetry(false),
-    ))
-    .chain([16usize, 32, 64, 128, 256].into_iter().map(|edge| {
+        CpuTilingConfig::default()
+            .with_symmetry(false)
+            .with_isa(Isa::Scalar),
+    )];
+    variants.extend([16usize, 32, 64, 128, 256].into_iter().map(|edge| {
         (
-            format!("blocked-sym-{edge}"),
-            CpuTilingConfig::new(edge, edge),
+            format!("scalar-panel-{edge}"),
+            CpuTilingConfig::new(edge, edge).with_isa(Isa::Scalar),
         )
-    }))
-    .collect();
+    }));
+    for isa in Isa::available().into_iter().filter(|i| i.is_simd()) {
+        variants.push((
+            format!("simd-panel-{isa}"),
+            CpuTilingConfig::new(64, 64).with_isa(isa),
+        ));
+    }
+    // the dispatched default: whatever `Isa::select()` resolves on this host
+    variants.push(("panel-auto".to_string(), CpuTilingConfig::new(64, 64)));
+
+    let mut max_dev = 0.0f64;
+    let mut scalar_panel = (0.0f64, 0.0f64); // (seconds, speedup) of scalar-panel-64
+    let mut best_simd: Option<(String, f64)> = None; // (variant, seconds)
+    let mut blocked_nosym_speedup = 0.0f64;
     for (name, tiling) in variants {
         let backend =
             ParallelBackend::new(data.x.clone(), kernel, 1.0, None, tiling).expect("valid tiling");
+        let isa = tiling.resolved_isa();
         let mut out = vec![0.0; n];
         let t = time_it(|| backend.kernel_matvec(&v, &mut out));
         for (a, b) in reference.iter().zip(&out) {
             max_dev = max_dev.max((a - b).abs());
         }
         let speedup = t_scalar / t;
-        if name == "blocked-sym-64" {
-            default_speedup = speedup;
+        let evals = backend.matvec_evals();
+        let gflops = matvec_flops(evals, d) / t / 1e9;
+        let peak = host_roofline(isa).peak_flops(Precision::F64) / 1e9;
+        if name == "scalar-panel-64" {
+            scalar_panel = (t, speedup);
+        }
+        if name == "blocked-nosym" {
+            blocked_nosym_speedup = speedup;
+        }
+        if name.starts_with("simd-panel") && best_simd.as_ref().is_none_or(|(_, tb)| t < *tb) {
+            best_simd = Some((name.clone(), t));
         }
         table.row(vec![
             name,
@@ -115,9 +192,13 @@ fn run_sized(m: usize, d: usize) -> FigureReport {
             d.to_string(),
             tiling.row_tile.to_string(),
             tiling.symmetry.to_string(),
+            isa.name().into(),
             format!("{t:.6}"),
             format!("{speedup:.2}"),
-            backend.matvec_evals().to_string(),
+            format!("{gflops:.2}"),
+            format!("{peak:.1}"),
+            format!("{:.2}", gflops / peak),
+            evals.to_string(),
         ]);
     }
 
@@ -127,18 +208,154 @@ fn run_sized(m: usize, d: usize) -> FigureReport {
     ));
     body.push_str(&table.to_aligned());
     body.push_str(&format!(
-        "Default tiling (64x64, symmetric) speedup {default_speedup:.2}x over the scalar \
-         row sweep; max abs deviation across all variants {max_dev:.2e}. The \
-         symmetric rows also show the kernel-evaluation halving (n(n+1)/2 vs n²) \
-         that unified telemetry reports per matvec.\n"
+        "Scalar-panel default (64x64, symmetric, forced-scalar tier — bit-identical \
+         to the pre-SIMD engine) speedup {:.2}x over the scalar row sweep; max abs \
+         deviation across all variants {max_dev:.2e}. The symmetric rows also show \
+         the kernel-evaluation halving (n(n+1)/2 vs n²) that unified telemetry \
+         reports per matvec.\n",
+        scalar_panel.1
     ));
+    if let Some((best_name, best_t)) = &best_simd {
+        body.push_str(&format!(
+            "SIMD dispatch: {best_name} runs {:.2}x the scalar-panel engine \
+             ({:.2}x the scalar row sweep). Roofline peaks assume one FMA pipe \
+             of the tier's f64 width at {NOMINAL_GHZ} GHz nominal.\n",
+            scalar_panel.0 / best_t,
+            t_scalar / best_t,
+        ));
+    } else {
+        body.push_str("SIMD dispatch: no vector tier available on this host.\n");
+    }
+    body.push_str(&widen_probe_note(d));
+    if assert_blocked_wins {
+        // Small-n smoke contract: with tile auto-clamping the blocked path
+        // must never lose to the scalar row sweep (0.9 leaves room for
+        // timer noise on shared runners; the regression this pins was
+        // 0.63x).
+        assert!(
+            blocked_nosym_speedup >= 0.9,
+            "blocked-nosym fell below the scalar row sweep at n={n} \
+             (speedup {blocked_nosym_speedup:.2}x < 0.9x): tile auto-clamping regressed"
+        );
+        assert!(
+            scalar_panel.1 >= 0.9,
+            "scalar-panel-64 fell below the scalar row sweep at n={n} \
+             (speedup {:.2}x < 0.9x): tile auto-clamping regressed",
+            scalar_panel.1
+        );
+    }
     let csv = table.write_csv("ablation_cpu_tiling.csv");
 
     FigureReport {
         id: "ablation_cpu_tiling".into(),
-        title: "blocked CPU matvec engine: panels, tiles and symmetry".into(),
+        title: "blocked CPU matvec engine: panels, tiles, symmetry and SIMD dispatch".into(),
         body,
         csv_files: vec![csv],
+    }
+}
+
+/// Panel-widening probe: times an MR-doubled (8×4) fused AVX-512 panel
+/// against two dispatched 4×4 panels over the same 8×4 row block. The
+/// fused shape halves the `b`-row load traffic per FMA but needs 32 f64
+/// accumulators — exactly the AVX-512 register file, leaving none for
+/// loads (and twice the AVX2 file). The measured ratio decides whether
+/// widening `PANEL_MR` pays; see EXPERIMENTS.md for the verdict.
+fn widen_probe_note(d: usize) -> String {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if Isa::Avx512.supported() {
+            let rows: Vec<Vec<f64>> = (0..12)
+                .map(|r| (0..d).map(|c| ((r * d + c) as f64 * 0.173).sin()).collect())
+                .collect();
+            let a: [&[f64]; 8] = std::array::from_fn(|i| rows[i].as_slice());
+            let b: [&[f64]; 4] = std::array::from_fn(|j| rows[8 + j].as_slice());
+            let reps = if cfg!(debug_assertions) {
+                2_000
+            } else {
+                (16_000_000 / d.max(1)).clamp(10_000, 200_000)
+            };
+            let mut fused = [[0.0f64; 4]; 8];
+            let t_fused = time_it(|| {
+                for _ in 0..reps {
+                    unsafe { widen_probe::panel_dot_8x4_avx512(&a, &b, &mut fused) };
+                    std::hint::black_box(&fused);
+                }
+            });
+            let ra_lo: Vec<&[f64]> = a[..4].to_vec();
+            let ra_hi: Vec<&[f64]> = a[4..].to_vec();
+            let rb: Vec<&[f64]> = b.to_vec();
+            let t_pair = time_it(|| {
+                for _ in 0..reps {
+                    let lo = plssvm_core::simd::panel_dot(Isa::Avx512, &ra_lo, &rb);
+                    let hi = plssvm_core::simd::panel_dot(Isa::Avx512, &ra_hi, &rb);
+                    std::hint::black_box((lo, hi));
+                }
+            });
+            // correctness sanity: the fused panel must agree with dispatch
+            let lo = plssvm_core::simd::panel_dot(Isa::Avx512, &ra_lo, &rb);
+            for (i, row) in lo.iter().enumerate() {
+                for (j, &want) in row.iter().enumerate() {
+                    assert!(
+                        (fused[i][j] - want).abs() <= 1e-9 * want.abs().max(1.0),
+                        "widen probe mismatch at [{i}][{j}]"
+                    );
+                }
+            }
+            return format!(
+                "Panel-widening probe (avx512, d={d}): fused 8x4 {:.2}x vs two \
+                 dispatched 4x4 panels ({:.3}s vs {:.3}s over {reps} reps).\n",
+                t_pair / t_fused,
+                t_fused,
+                t_pair
+            );
+        }
+    }
+    let _ = d;
+    "Panel-widening probe: skipped (needs avx512).\n".to_string()
+}
+
+#[cfg(target_arch = "x86_64")]
+mod widen_probe {
+    //! One-off fused 8×4 f64 micro-kernel for the widening experiment.
+    //! Mirrors the 4×4 structure in `plssvm_core::simd` (vector FMA chain,
+    //! fixed-order lane reduction, scalar `mul_add` tail) but holds the
+    //! full 8×4 accumulator block live across the depth loop.
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX-512F and all row slices
+    /// share one length.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn panel_dot_8x4_avx512(a: &[&[f64]; 8], b: &[&[f64]; 4], out: &mut [[f64; 4]; 8]) {
+        const W: usize = 8;
+        let d = b[0].len();
+        let chunks = d / W;
+        let mut acc = [[_mm512_setzero_pd(); 4]; 8];
+        for c in 0..chunks {
+            let base = c * W;
+            let vb: [__m512d; 4] =
+                std::array::from_fn(|j| _mm512_loadu_pd(b[j].as_ptr().add(base)));
+            for (i, acc_row) in acc.iter_mut().enumerate() {
+                let va = _mm512_loadu_pd(a[i].as_ptr().add(base));
+                for (slot, &vbj) in acc_row.iter_mut().zip(&vb) {
+                    *slot = _mm512_fmadd_pd(va, vbj, *slot);
+                }
+            }
+        }
+        for (i, acc_row) in acc.iter().enumerate() {
+            for (j, vec_acc) in acc_row.iter().enumerate() {
+                let mut lanes = [0.0f64; W];
+                _mm512_storeu_pd(lanes.as_mut_ptr(), *vec_acc);
+                let mut sum = lanes[0];
+                for &lane in &lanes[1..] {
+                    sum += lane;
+                }
+                for k in chunks * W..d {
+                    sum = a[i][k].mul_add(b[j][k], sum);
+                }
+                out[i][j] = sum;
+            }
+        }
     }
 }
 
@@ -148,7 +365,9 @@ pub fn run(scale: Scale) -> FigureReport {
         Scale::Small => (1024, 64),
         Scale::Medium => (16384, 128),
     };
-    run_sized(m, d)
+    // the small-scale run doubles as the CI smoke gate for the small-n
+    // tile-clamping fix; the medium run is the committed figure
+    run_sized(m, d, scale == Scale::Small)
 }
 
 #[cfg(test)]
@@ -157,12 +376,14 @@ mod tests {
 
     #[test]
     fn cpu_tiling_study_runs_and_reports() {
-        // tiny size: the unit test runs unoptimized
-        let r = run_sized(96, 8);
+        // tiny size: the unit test runs unoptimized, so no timing asserts
+        let r = run_sized(96, 8, false);
         assert_eq!(r.id, "ablation_cpu_tiling");
         assert!(r.body.contains("scalar-rows"), "{}", r.body);
-        assert!(r.body.contains("blocked-sym-64"), "{}", r.body);
+        assert!(r.body.contains("scalar-panel-64"), "{}", r.body);
+        assert!(r.body.contains("panel-auto"), "{}", r.body);
         assert!(r.body.contains("max abs deviation"), "{}", r.body);
+        assert!(r.body.contains("Panel-widening probe"), "{}", r.body);
         assert_eq!(r.csv_files.len(), 1);
         // n = 95: the symmetric rows must report n(n+1)/2 evaluations
         assert!(
@@ -170,5 +391,24 @@ mod tests {
             "{}",
             r.body
         );
+    }
+
+    #[test]
+    fn simd_rows_present_when_host_has_vector_tiers() {
+        let r = run_sized(64, 16, false);
+        for isa in Isa::available() {
+            if isa.is_simd() {
+                assert!(r.body.contains(&format!("simd-panel-{isa}")), "{}", r.body);
+            }
+        }
+    }
+
+    #[test]
+    fn roofline_scales_with_lane_width() {
+        let s = host_roofline(Isa::Scalar).peak_flops(Precision::F64);
+        let a2 = host_roofline(Isa::Avx2).peak_flops(Precision::F64);
+        let a5 = host_roofline(Isa::Avx512).peak_flops(Precision::F64);
+        assert_eq!(a2, 4.0 * s);
+        assert_eq!(a5, 8.0 * s);
     }
 }

@@ -11,6 +11,7 @@ use plssvm_core::multiclass::{
     train_multiclass_with_outcomes, MultiClassModel, MultiClassStrategy,
 };
 use plssvm_core::regression::{mean_squared_error, predict_values, r_squared, LsSvr};
+use plssvm_core::simd::FORCE_ISA_ENV;
 use plssvm_core::svm::{accuracy, predict_labels, LsSvm};
 use plssvm_core::trace::{MetricsSink, RecoveryKind, Telemetry, TelemetryReport};
 use plssvm_core::validation::cross_validate;
@@ -59,6 +60,30 @@ fn telemetry_for(args: &TrainArgs) -> Option<Arc<Telemetry>> {
     (args.metrics_out.is_some() || args.verbose).then(Telemetry::shared)
 }
 
+/// A warning line when `PLSSVM_FORCE_ISA` holds an unparseable value —
+/// the engine itself silently falls back to auto-detection
+/// ([`Isa::select`] never fails), so the CLI is where the typo surfaces.
+fn force_isa_warning() -> Option<String> {
+    plssvm_core::simd::Isa::forced()
+        .err()
+        .map(|e| format!("WARNING: {}: {e}; using auto-detection\n", FORCE_ISA_ENV))
+}
+
+/// Renders the SIMD dispatch decision for `--verbose` summaries and the
+/// serve startup log, e.g. `avx2 (f32x8/f64x4, panel 4x4), auto-detected`.
+fn isa_summary_line() -> String {
+    let (isa, forced) = plssvm_core::simd::Isa::select_with_provenance();
+    format!(
+        "{}, {}",
+        isa.summary(),
+        if forced {
+            "forced via PLSSVM_FORCE_ISA"
+        } else {
+            "auto-detected"
+        }
+    )
+}
+
 /// Generations retained by the on-disk checkpoint journal: the newest
 /// plus fallbacks in case the tail is damaged.
 const JOURNAL_KEEP: usize = 4;
@@ -88,6 +113,21 @@ fn emit_telemetry(
         write_atomic(path, report.to_json_lines().as_bytes())?;
     }
     if args.verbose {
+        if let Some(d) = &report.dispatch {
+            summary.push_str(&format!(
+                "simd dispatch: {} (f32x{}/f64x{}, panel {}x{}), {}\n",
+                d.isa,
+                d.lanes_f32,
+                d.lanes_f64,
+                d.panel_mr,
+                d.panel_nr,
+                if d.forced {
+                    "forced via PLSSVM_FORCE_ISA"
+                } else {
+                    "auto-detected"
+                }
+            ));
+        }
         summary.push_str(&format!(
             "telemetry: {} kernel launches, {} FLOPs, {} bytes moved\n",
             report.total_launches(),
@@ -149,6 +189,13 @@ fn escalation_summary(escalations: &[RecoveryKind]) -> Option<String> {
 
 /// Runs `svm-train`; returns the human-readable summary printed to stdout.
 pub fn run_train(args: &TrainArgs) -> Result<String, Box<dyn Error>> {
+    match force_isa_warning() {
+        Some(warning) => Ok(format!("{warning}{}", train_inner(args)?)),
+        None => train_inner(args),
+    }
+}
+
+fn train_inner(args: &TrainArgs) -> Result<String, Box<dyn Error>> {
     // -s 3: regression (LS-SVR)
     if args.svm_type == 3 {
         return run_train_regression(args);
@@ -487,12 +534,14 @@ pub fn run_predict(args: &PredictArgs) -> Result<String, Box<dyn Error>> {
         telemetry.record_span("predict", wall);
         write_atomic(path, telemetry.report().to_json_lines().as_bytes())?;
     }
-    let mut summary = if args.quiet {
-        String::new()
-    } else {
-        accuracy_summary
-    };
+    let mut summary = force_isa_warning().unwrap_or_default();
+    if !args.quiet {
+        summary.push_str(&accuracy_summary);
+    }
     if args.verbose {
+        // prediction resolves the tier per call (no long-lived backend),
+        // so report what the panel engine will dispatch to on this host
+        summary.push_str(&format!("simd dispatch: {}\n", isa_summary_line()));
         summary.push_str(&format!(
             "prediction wall time: {:.3} s\n",
             wall.as_secs_f64()
@@ -636,6 +685,9 @@ pub fn run_serve(args: &ServeArgs) -> Result<(), Box<dyn Error>> {
         Arc::new(SystemClock::new()),
         telemetry.clone().map(|t| t as Arc<dyn MetricsSink>),
     ));
+    if let Some(warning) = force_isa_warning() {
+        eprint!("svm-serve: {warning}");
+    }
     if !args.quiet {
         let (kind, features, total_sv) = engine.model_info();
         eprintln!(
@@ -643,6 +695,7 @@ pub fn run_serve(args: &ServeArgs) -> Result<(), Box<dyn Error>> {
              max_batch={}, max_wait_us={}",
             args.model, args.max_batch, args.max_wait_us
         );
+        eprintln!("svm-serve: simd dispatch {}", isa_summary_line());
     }
     // hot reload: the watcher thread polls the model file's signature
     // and swaps generations atomically; it lives until process exit

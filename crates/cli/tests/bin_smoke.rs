@@ -179,6 +179,102 @@ fn fault_injected_training_through_the_binary() {
     assert!(stderr.contains("fault"), "{stderr}");
 }
 
+/// Like [`run`], with extra environment variables set for the child —
+/// the only race-free way to test `PLSSVM_FORCE_ISA` (mutating the
+/// parent's environment would leak across parallel tests).
+fn run_env(bin: &str, args: &[&str], envs: &[(&str, &str)]) -> (bool, String, String) {
+    let exe = match bin {
+        "svm-train" => env!("CARGO_BIN_EXE_svm-train"),
+        "svm-predict" => env!("CARGO_BIN_EXE_svm-predict"),
+        _ => panic!("unknown binary {bin}"),
+    };
+    let mut cmd = Command::new(exe);
+    cmd.args(args);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("spawn");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn force_isa_env_round_trips_through_the_binaries() {
+    let dir = tmpdir("force_isa");
+    let data = dir.join("train.dat");
+    let model = dir.join("train.model");
+    let preds = dir.join("preds.txt");
+    let (ok, _, stderr) = run(
+        "generate-data",
+        &[
+            "--points",
+            "60",
+            "--features",
+            "5",
+            "--seed",
+            "19",
+            "--sep",
+            "4.0",
+            "--flip",
+            "0.0",
+            "-o",
+            data.to_str().unwrap(),
+        ],
+    );
+    assert!(ok, "{stderr}");
+
+    // forcing the scalar tier is honored and surfaced in --verbose
+    let (ok, stdout, stderr) = run_env(
+        "svm-train",
+        &[
+            "-e",
+            "1e-8",
+            "--verbose",
+            data.to_str().unwrap(),
+            model.to_str().unwrap(),
+        ],
+        &[("PLSSVM_FORCE_ISA", "scalar")],
+    );
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("simd dispatch: scalar"), "{stdout}");
+    assert!(stdout.contains("forced via PLSSVM_FORCE_ISA"), "{stdout}");
+    assert!(model.exists());
+
+    // predict surfaces the dispatch too
+    let (ok, stdout, stderr) = run_env(
+        "svm-predict",
+        &[
+            "--verbose",
+            data.to_str().unwrap(),
+            model.to_str().unwrap(),
+            preds.to_str().unwrap(),
+        ],
+        &[("PLSSVM_FORCE_ISA", "scalar")],
+    );
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("simd dispatch: scalar"), "{stdout}");
+
+    // a typo in the override warns but never fails the run: the engine
+    // falls back to auto-detection
+    let (ok, stdout, stderr) = run_env(
+        "svm-train",
+        &[
+            "-e",
+            "1e-8",
+            "--verbose",
+            data.to_str().unwrap(),
+            model.to_str().unwrap(),
+        ],
+        &[("PLSSVM_FORCE_ISA", "avx9000")],
+    );
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("WARNING: PLSSVM_FORCE_ISA"), "{stdout}");
+    assert!(stdout.contains("auto-detected"), "{stdout}");
+}
+
 #[test]
 fn train_help_and_errors_exit_nonzero() {
     let (ok, _, stderr) = run("svm-train", &["--help"]);

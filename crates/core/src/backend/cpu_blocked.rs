@@ -39,6 +39,7 @@ use plssvm_data::Real;
 
 use crate::error::SvmError;
 use crate::kernel::{kernel_panel, kernel_row, PANEL_MR, PANEL_NR};
+use crate::simd::Isa;
 
 /// Upper bound on the number of partial output buffers (and parallel
 /// tasks) of the symmetric matvec. Keeps the reduction memory at
@@ -65,6 +66,11 @@ pub struct CpuTilingConfig {
     /// Disabling this recovers the full `n²` row sweep (useful for
     /// ablations; every output row is then computed independently).
     pub symmetry: bool,
+    /// ISA tier for the panel micro-kernels. `None` (the default) defers
+    /// to [`Isa::select`] — runtime detection plus the `PLSSVM_FORCE_ISA`
+    /// override; `Some` pins the tier programmatically (clamped to what
+    /// the host supports before any vector code runs).
+    pub isa: Option<Isa>,
 }
 
 impl Default for CpuTilingConfig {
@@ -73,6 +79,7 @@ impl Default for CpuTilingConfig {
             row_tile: 64,
             col_tile: 64,
             symmetry: true,
+            isa: None,
         }
     }
 }
@@ -84,6 +91,7 @@ impl CpuTilingConfig {
             row_tile,
             col_tile,
             symmetry: true,
+            isa: None,
         }
     }
 
@@ -91,6 +99,49 @@ impl CpuTilingConfig {
     pub fn with_symmetry(mut self, symmetry: bool) -> Self {
         self.symmetry = symmetry;
         self
+    }
+
+    /// Pins the panel micro-kernels to a specific ISA tier.
+    pub fn with_isa(mut self, isa: Isa) -> Self {
+        self.isa = Some(isa);
+        self
+    }
+
+    /// The ISA tier this configuration dispatches to, after runtime
+    /// detection / the environment override and the supported-tier clamp.
+    pub fn resolved_isa(&self) -> Isa {
+        self.isa
+            .map(Isa::clamp_supported)
+            .unwrap_or_else(Isa::select)
+    }
+
+    /// Problem-size-aware tiles for an `n`-dimensional matvec.
+    ///
+    /// Both schedules clamp tiles to `n` (tiles beyond the problem change
+    /// nothing but bloat the bookkeeping). The non-symmetric row sweep
+    /// additionally shrinks `row_tile` on small problems so the row range
+    /// splits into at least [`MAX_PARTIAL_GROUPS`] independent chunks —
+    /// without this, small-`n` parallel runs degenerate to a handful of
+    /// oversized chunks and lose to the scalar sweep on load imbalance.
+    ///
+    /// Numerics are unaffected in both cases: the symmetric clamp leaves
+    /// the tile schedule literally identical (a tile already never extends
+    /// past `n`), and non-symmetric rows accumulate their columns in
+    /// strictly increasing `j` order regardless of tiling, so every output
+    /// bit is the same.
+    pub fn effective_for(&self, n: usize) -> CpuTilingConfig {
+        let n = n.max(1);
+        let mut eff = *self;
+        eff.row_tile = eff.row_tile.min(n);
+        eff.col_tile = eff.col_tile.min(n);
+        if !eff.symmetry {
+            let balanced = n
+                .div_ceil(MAX_PARTIAL_GROUPS)
+                .next_multiple_of(PANEL_MR)
+                .max(PANEL_MR);
+            eff.row_tile = eff.row_tile.min(balanced);
+        }
+        eff
     }
 
     /// Rejects degenerate (zero-sized) tiles.
@@ -146,6 +197,7 @@ fn gather_rows<'a, T: Real>(
 fn symmetric_off_tile<T: Real>(
     data: &DenseMatrix<T>,
     kernel: &KernelSpec<T>,
+    isa: Isa,
     (i0, i1): (usize, usize),
     (j0, j1): (usize, usize),
     v: &[T],
@@ -159,7 +211,7 @@ fn symmetric_off_tile<T: Real>(
         let mut j = j0;
         while j < j1 {
             let jh = gather_rows(data, j, (j1 - j).min(PANEL_NR), &mut rb);
-            let panel = kernel_panel(kernel, &ra[..ih], &rb[..jh]);
+            let panel = kernel_panel(kernel, isa, &ra[..ih], &rb[..jh]);
             for (a, prow) in panel.iter().enumerate().take(ih) {
                 let va = v[i + a];
                 let mut acc = out[i + a];
@@ -182,6 +234,7 @@ fn symmetric_off_tile<T: Real>(
 fn symmetric_diag_tile<T: Real>(
     data: &DenseMatrix<T>,
     kernel: &KernelSpec<T>,
+    isa: Isa,
     (i0, i1): (usize, usize),
     v: &[T],
     out: &mut [T],
@@ -202,7 +255,7 @@ fn symmetric_diag_tile<T: Real>(
         }
         // complete micro-tiles to the right of the straddling block
         if i + ih < i1 {
-            symmetric_off_tile(data, kernel, (i, i + ih), (i + ih, i1), v, out);
+            symmetric_off_tile(data, kernel, isa, (i, i + ih), (i + ih, i1), v, out);
         }
         i += ih;
     }
@@ -222,16 +275,17 @@ pub(crate) fn symmetric_group_matvec<T: Real>(
     groups: usize,
     out: &mut [T],
 ) {
+    let isa = cfg.resolved_isa();
     let tile_rows = n.div_ceil(cfg.row_tile);
     let mut ti = group;
     while ti < tile_rows {
         let i0 = ti * cfg.row_tile;
         let i1 = (i0 + cfg.row_tile).min(n);
-        symmetric_diag_tile(data, kernel, (i0, i1), v, out);
+        symmetric_diag_tile(data, kernel, isa, (i0, i1), v, out);
         let mut j0 = i1;
         while j0 < n {
             let j1 = (j0 + cfg.col_tile).min(n);
-            symmetric_off_tile(data, kernel, (i0, i1), (j0, j1), v, out);
+            symmetric_off_tile(data, kernel, isa, (i0, i1), (j0, j1), v, out);
             j0 = j1;
         }
         ti += groups;
@@ -252,6 +306,7 @@ pub(crate) fn full_rows_matvec<T: Real>(
     out: &mut [T],
 ) {
     out.fill(T::ZERO);
+    let isa = cfg.resolved_isa();
     let row1 = row0 + out.len();
     let mut ra: [&[T]; PANEL_MR] = [&[]; PANEL_MR];
     let mut rb: [&[T]; PANEL_MR] = [&[]; PANEL_MR];
@@ -264,7 +319,7 @@ pub(crate) fn full_rows_matvec<T: Real>(
             let mut j = j0;
             while j < j1 {
                 let jh = gather_rows(data, j, (j1 - j).min(PANEL_NR), &mut rb);
-                let panel = kernel_panel(kernel, &ra[..ih], &rb[..jh]);
+                let panel = kernel_panel(kernel, isa, &ra[..ih], &rb[..jh]);
                 for (a, prow) in panel.iter().enumerate().take(ih) {
                     let mut acc = out[i - row0 + a];
                     for (b, &k) in prow.iter().enumerate().take(jh) {
@@ -395,6 +450,89 @@ mod tests {
         assert_eq!(cfg.partial_groups(3), 1);
         assert_eq!(cfg.partial_groups(17), 5);
         assert_eq!(CpuTilingConfig::new(1, 1).partial_groups(100_000), 64);
+    }
+
+    #[test]
+    fn every_isa_tier_matches_naive_on_both_schedules() {
+        let data = sample(39, 9);
+        let n = 38;
+        let v: Vec<f64> = (0..n).map(|i| ((i * 3) as f64 * 0.21).cos()).collect();
+        for kernel in specs() {
+            let reference = naive(&data, &kernel, n, &v);
+            for isa in Isa::available() {
+                let sym = CpuTilingConfig::new(16, 16).with_isa(isa);
+                let mut out = vec![0.0; n];
+                symmetric_group_matvec(&data, &kernel, &sym, n, &v, 0, 1, &mut out);
+                let nosym = sym.with_symmetry(false);
+                let mut rows = vec![0.0; n];
+                full_rows_matvec(&data, &kernel, &nosym, n, &v, 0, &mut rows);
+                for i in 0..n {
+                    assert!(
+                        (out[i] - reference[i]).abs() < 1e-9,
+                        "{kernel:?} {isa:?} sym row {i}: {} vs {}",
+                        out[i],
+                        reference[i]
+                    );
+                    assert!(
+                        (rows[i] - reference[i]).abs() < 1e-9,
+                        "{kernel:?} {isa:?} nosym row {i}: {} vs {}",
+                        rows[i],
+                        reference[i]
+                    );
+                }
+            }
+        }
+    }
+
+    /// Tile auto-selection in the non-symmetric schedule must not change a
+    /// single output bit — rows accumulate their columns in strictly
+    /// increasing `j` order regardless of tiling.
+    #[test]
+    fn nosym_output_bits_are_tiling_independent() {
+        let data = sample(40, 7);
+        let n = 39;
+        let v: Vec<f64> = (0..n).map(|i| ((i * 13) as f64 * 0.07).sin()).collect();
+        let kernel = KernelSpec::Rbf { gamma: 0.4 };
+        let mut reference = vec![0.0; n];
+        let base = CpuTilingConfig::new(64, 64).with_symmetry(false);
+        full_rows_matvec(&data, &kernel, &base, n, &v, 0, &mut reference);
+        for cfg in [
+            base.effective_for(n),
+            CpuTilingConfig::new(4, 4).with_symmetry(false),
+            CpuTilingConfig::new(7, 128).with_symmetry(false),
+        ] {
+            let mut out = vec![0.0; n];
+            full_rows_matvec(&data, &kernel, &cfg, n, &v, 0, &mut out);
+            for i in 0..n {
+                assert_eq!(out[i].to_bits(), reference[i].to_bits(), "{cfg:?} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn effective_tiles_clamp_to_problem_size_and_keep_groups() {
+        let cfg = CpuTilingConfig::default();
+        // symmetric: pure clamp, schedule invariant
+        let eff = cfg.effective_for(10);
+        assert_eq!((eff.row_tile, eff.col_tile), (10, 10));
+        assert_eq!(eff.partial_groups(10), cfg.partial_groups(10));
+        assert_eq!(cfg.effective_for(1000), cfg);
+        // non-symmetric: small n splits into many chunks for balance
+        let nosym = cfg.with_symmetry(false);
+        let eff = nosym.effective_for(1023);
+        assert_eq!(eff.row_tile, 16);
+        assert!(eff.row_tile % PANEL_MR == 0);
+        // large n: unchanged
+        assert_eq!(nosym.effective_for(16384).row_tile, 64);
+        // never grows a tile the user shrank
+        assert_eq!(
+            CpuTilingConfig::new(1, 1)
+                .with_symmetry(false)
+                .effective_for(1023)
+                .row_tile,
+            1
+        );
+        assert_eq!(cfg.effective_for(0).row_tile, 1);
     }
 
     #[test]

@@ -453,11 +453,39 @@ impl<T: AtomicScalar> Prepared<T> {
             let (flops, bytes) = self.q_kernel_cost();
             sink.record_launch("q_kernel", 1, flops, bytes, 0.0);
         }
+        if let Some(isa) = self.isa() {
+            // "forced" only when the env override is what produced this
+            // tier — a tier pinned programmatically (with_isa) is not
+            let forced = matches!(
+                crate::simd::Isa::forced(),
+                Ok(Some(f)) if f.clamp_supported() == isa
+            );
+            sink.record_dispatch(crate::trace::DispatchSample {
+                isa: isa.name(),
+                forced,
+                panel_mr: crate::kernel::PANEL_MR,
+                panel_nr: crate::kernel::PANEL_NR,
+                lanes_f32: isa.lanes_f32(),
+                lanes_f64: isa.lanes_f64(),
+            });
+        }
         self.metrics = Some(sink);
     }
 
     fn is_cpu(&self) -> bool {
         !matches!(self.imp, PreparedImpl::SimGpu(_))
+    }
+
+    /// The SIMD ISA tier the blocked panel engine dispatches to, resolved
+    /// once at construction and cached for the backend's lifetime. `None`
+    /// for backends that do not run the panel micro-kernels (the sparse
+    /// row sweep and the simulated devices).
+    pub fn isa(&self) -> Option<crate::simd::Isa> {
+        match &self.imp {
+            PreparedImpl::Serial(b) => Some(b.isa()),
+            PreparedImpl::Parallel(b) => Some(b.isa()),
+            PreparedImpl::Sparse(_) | PreparedImpl::SimGpu(_) => None,
+        }
     }
 
     /// *Physical* kernel evaluations one matvec performs on this backend:
@@ -656,6 +684,7 @@ impl<T: AtomicScalar> LinOp<T> for Prepared<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernel::{PANEL_MR, PANEL_NR};
     use plssvm_data::dense::DenseMatrix;
     use plssvm_data::synthetic::{generate_planes, PlanesConfig};
     use plssvm_simgpu::hw;
@@ -849,6 +878,35 @@ mod tests {
                 "{}",
                 sel.name()
             );
+        }
+    }
+
+    #[test]
+    fn blocked_cpu_backends_report_simd_dispatch() {
+        use crate::trace::Telemetry;
+        let (data, _) = sample_dense(16, 4);
+        // the panel-engine backends cache an ISA tier and emit one
+        // dispatch sample when a sink is attached; the sparse row sweep
+        // and the simulated devices run no panel micro-kernels
+        for sel in [BackendSelection::Serial, BackendSelection::openmp(Some(2))] {
+            let mut p = Prepared::new(&sel, &data, None, &KernelSpec::Linear, 1.0).unwrap();
+            let isa = p.isa().expect("panel backend has a cached tier");
+            let t = Telemetry::shared();
+            p.set_metrics(t.clone());
+            let d = t.report().dispatch.expect("dispatch sample recorded");
+            assert_eq!(d.isa, isa.name(), "{}", sel.name());
+            assert_eq!((d.panel_mr, d.panel_nr), (PANEL_MR, PANEL_NR));
+            assert_eq!(d.lanes_f64, isa.lanes_f64());
+        }
+        for sel in [
+            BackendSelection::SparseCpu { threads: Some(2) },
+            BackendSelection::sim_gpu(hw::A100, DeviceApi::Cuda),
+        ] {
+            let mut p = Prepared::new(&sel, &data, None, &KernelSpec::Linear, 1.0).unwrap();
+            assert!(p.isa().is_none(), "{}", sel.name());
+            let t = Telemetry::shared();
+            p.set_metrics(t.clone());
+            assert!(t.report().dispatch.is_none(), "{}", sel.name());
         }
     }
 

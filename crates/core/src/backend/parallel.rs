@@ -32,6 +32,7 @@ use plssvm_data::Real;
 use crate::backend::cpu_blocked::{full_rows_matvec, symmetric_group_matvec, CpuTilingConfig};
 use crate::error::SvmError;
 use crate::matrix_free::QTildeParams;
+use crate::simd::Isa;
 
 /// The multi-threaded CPU backend.
 pub struct ParallelBackend<T> {
@@ -52,9 +53,14 @@ impl<T: Real> ParallelBackend<T> {
         kernel: KernelSpec<T>,
         cost: T,
         threads: Option<usize>,
-        tiling: CpuTilingConfig,
+        mut tiling: CpuTilingConfig,
     ) -> Result<Self, SvmError> {
         tiling.validate()?;
+        // pin the micro-kernel ISA tier once — detection plus the
+        // PLSSVM_FORCE_ISA override are resolved here, never per matvec
+        if tiling.isa.is_none() {
+            tiling.isa = Some(Isa::select());
+        }
         let pool = match threads {
             None => None,
             Some(0) => return Err(SvmError::Solver("thread count must be at least 1".into())),
@@ -65,7 +71,7 @@ impl<T: Real> ParallelBackend<T> {
                     .map_err(|e| SvmError::Solver(format!("thread pool: {e}")))?,
             ),
         };
-        let params = QTildeParams::compute_dense(&data, &kernel, cost);
+        let params = QTildeParams::compute_dense(&data, &kernel, cost, tiling.resolved_isa());
         Ok(Self {
             data,
             kernel,
@@ -90,6 +96,11 @@ impl<T: Real> ParallelBackend<T> {
         &self.tiling
     }
 
+    /// The ISA tier the panel micro-kernels dispatch to.
+    pub fn isa(&self) -> Isa {
+        self.tiling.resolved_isa()
+    }
+
     /// Number of worker threads this backend computes with.
     pub fn threads(&self) -> usize {
         self.pool
@@ -106,7 +117,8 @@ impl<T: Real> ParallelBackend<T> {
         debug_assert_eq!(out.len(), n);
         let data = &self.data;
         let kernel = &self.kernel;
-        let cfg = &self.tiling;
+        // problem-size-aware tiles (bit-neutral, see CpuTilingConfig docs)
+        let cfg = &self.tiling.effective_for(n);
 
         if cfg.symmetry {
             let groups = cfg.partial_groups(n);
@@ -205,11 +217,22 @@ mod tests {
         let kernel = KernelSpec::Linear;
         let n = data.rows() - 1;
         let v: Vec<f64> = (0..n).map(|i| 1.0 / (i + 1) as f64).collect();
-        for cfg in [
+        let mut configs = vec![
             CpuTilingConfig::default(),
             CpuTilingConfig::new(8, 8),
             CpuTilingConfig::default().with_symmetry(false),
-        ] {
+        ];
+        // every ISA tier must be thread-count deterministic, not just the
+        // auto-selected one
+        for isa in Isa::available() {
+            configs.push(CpuTilingConfig::default().with_isa(isa));
+            configs.push(
+                CpuTilingConfig::new(8, 8)
+                    .with_symmetry(false)
+                    .with_isa(isa),
+            );
+        }
+        for cfg in configs {
             let mut reference = vec![0.0; n];
             ParallelBackend::new(data.clone(), kernel, 1.0, Some(1), cfg)
                 .unwrap()

@@ -20,22 +20,28 @@ use plssvm_data::Real;
 
 use crate::backend::cpu_blocked::{symmetric_group_matvec, CpuTilingConfig};
 use crate::matrix_free::QTildeParams;
+use crate::simd::Isa;
 
 /// The serial CPU backend.
 pub struct SerialBackend<T> {
     data: DenseMatrix<T>,
     kernel: KernelSpec<T>,
     params: QTildeParams<T>,
+    tiling: CpuTilingConfig,
 }
 
 impl<T: Real> SerialBackend<T> {
-    /// Prepares the backend: computes the cached `q⃗` and `k_mm`.
+    /// Prepares the backend: computes the cached `q⃗` and `k_mm`. The panel
+    /// micro-kernel ISA tier is resolved once here ([`Isa::select`]) and
+    /// pinned for the backend's lifetime.
     pub fn new(data: DenseMatrix<T>, kernel: KernelSpec<T>, cost: T) -> Self {
-        let params = QTildeParams::compute_dense(&data, &kernel, cost);
+        let tiling = CpuTilingConfig::default().with_isa(Isa::select());
+        let params = QTildeParams::compute_dense(&data, &kernel, cost, tiling.resolved_isa());
         Self {
             data,
             kernel,
             params,
+            tiling,
         }
     }
 
@@ -49,6 +55,11 @@ impl<T: Real> SerialBackend<T> {
         &self.data
     }
 
+    /// The ISA tier the panel micro-kernels dispatch to.
+    pub fn isa(&self) -> Isa {
+        self.tiling.resolved_isa()
+    }
+
     /// `out = K·v` with `Kᵢⱼ = k(xᵢ,xⱼ)` over the first `m−1` points:
     /// the blocked symmetric schedule run sequentially as a single group,
     /// accumulating straight into `out`.
@@ -57,7 +68,7 @@ impl<T: Real> SerialBackend<T> {
         debug_assert_eq!(v.len(), n);
         debug_assert_eq!(out.len(), n);
         out.fill(T::ZERO);
-        let cfg = CpuTilingConfig::default();
+        let cfg = self.tiling.effective_for(n);
         symmetric_group_matvec(&self.data, &self.kernel, &cfg, n, v, 0, 1, out);
     }
 }
@@ -110,7 +121,7 @@ mod tests {
         let d = generate_planes::<f64>(&PlanesConfig::new(17, 4, 5)).unwrap();
         let soa = plssvm_data::dense::SoAMatrix::from_dense(&d.x, 8);
         for kernel in [KernelSpec::Linear, KernelSpec::Rbf { gamma: 0.7 }] {
-            let dense = QTildeParams::compute_dense(&d.x, &kernel, 2.0);
+            let dense = QTildeParams::compute_dense(&d.x, &kernel, 2.0, crate::simd::Isa::select());
             let via_soa = QTildeParams::compute(&soa, &kernel, 2.0);
             assert_eq!(dense.dim(), via_soa.dim());
             for i in 0..dense.dim() {

@@ -17,6 +17,8 @@ use plssvm_data::dense::SoAMatrix;
 use plssvm_data::model::KernelSpec;
 use plssvm_data::Real;
 
+use crate::simd::{self, Isa};
+
 /// LIBSVM's default `γ = 1 / num_features`.
 ///
 /// Zero-feature data is rejected at backend construction
@@ -118,7 +120,10 @@ pub type Panel<T> = [[T; PANEL_NR]; PANEL_MR];
 /// GEMM-style panel inner products: `out[a][b] = ⟨ra[a], rb[b]⟩` for up to
 /// [`PANEL_MR`]×[`PANEL_NR`] row pairs in a single pass over the features.
 ///
-/// The full-tile fast path keeps all `MR·NR` accumulators live across the
+/// This is the **scalar tier** of the panel engine — the reference the
+/// explicit SIMD kernels of [`crate::simd`] are tested against, selected
+/// by dispatch whenever vector code is unavailable or forced off. The
+/// full-tile fast path keeps all `MR·NR` accumulators live across the
 /// feature loop — independent fused multiply–add chains the compiler can
 /// hold in registers and auto-vectorize, instead of the latency-bound
 /// single chain of [`dot`]. Partial tiles fall back to per-pair [`dot`]s.
@@ -185,16 +190,20 @@ pub fn panel_dist_sq<T: Real>(ra: &[&[T]], rb: &[&[T]]) -> Panel<T> {
 /// and the prediction paths. All four kernel functions are supported: the
 /// inner-product kernels (linear, polynomial, sigmoid) post-process a
 /// [`panel_dot`], the RBF kernel a [`panel_dist_sq`].
+///
+/// The inner products run on the micro-kernels of the given [`Isa`] tier
+/// (see [`crate::simd`]); `Isa::Scalar` reproduces the pre-SIMD engine
+/// bit-for-bit. The transcendental postprocessing is always scalar.
 #[inline]
-pub fn kernel_panel<T: Real>(spec: &KernelSpec<T>, ra: &[&[T]], rb: &[&[T]]) -> Panel<T> {
+pub fn kernel_panel<T: Real>(spec: &KernelSpec<T>, isa: Isa, ra: &[&[T]], rb: &[&[T]]) -> Panel<T> {
     match *spec {
-        KernelSpec::Linear => panel_dot(ra, rb),
+        KernelSpec::Linear => simd::panel_dot(isa, ra, rb),
         KernelSpec::Polynomial {
             degree,
             gamma,
             coef0,
         } => {
-            let mut p = panel_dot(ra, rb);
+            let mut p = simd::panel_dot(isa, ra, rb);
             for row in &mut p {
                 for v in row {
                     *v = gamma.mul_add(*v, coef0).powi(degree);
@@ -203,7 +212,7 @@ pub fn kernel_panel<T: Real>(spec: &KernelSpec<T>, ra: &[&[T]], rb: &[&[T]]) -> 
             p
         }
         KernelSpec::Rbf { gamma } => {
-            let mut p = panel_dist_sq(ra, rb);
+            let mut p = simd::panel_dist_sq(isa, ra, rb);
             for row in &mut p {
                 for v in row {
                     *v = (-gamma * *v).exp();
@@ -212,7 +221,7 @@ pub fn kernel_panel<T: Real>(spec: &KernelSpec<T>, ra: &[&[T]], rb: &[&[T]]) -> 
             p
         }
         KernelSpec::Sigmoid { gamma, coef0 } => {
-            let mut p = panel_dot(ra, rb);
+            let mut p = simd::panel_dot(isa, ra, rb);
             for row in &mut p {
                 for v in row {
                     *v = gamma.mul_add(*v, coef0).tanh();
@@ -375,28 +384,72 @@ mod tests {
 
     #[test]
     fn panels_match_scalar_evaluation_for_all_kernels() {
-        for d in [1, 3, 8] {
-            let ra_owned = panel_rows(d, 1);
-            let rb_owned = panel_rows(d, 9);
-            let ra: Vec<&[f64]> = ra_owned.iter().map(|r| r.as_slice()).collect();
-            let rb: Vec<&[f64]> = rb_owned.iter().map(|r| r.as_slice()).collect();
-            for spec in all_specs() {
-                // full tiles and every partial-tile shape
-                for mh in 1..=PANEL_MR {
-                    for nh in 1..=PANEL_NR {
-                        let p = kernel_panel(&spec, &ra[..mh], &rb[..nh]);
-                        for (a, row_a) in ra[..mh].iter().enumerate() {
-                            for (b, row_b) in rb[..nh].iter().enumerate() {
-                                let reference = kernel_row(&spec, row_a, row_b);
-                                assert!(
-                                    (p[a][b] - reference).abs() < 1e-12,
-                                    "{spec:?} d={d} tile {mh}x{nh} entry ({a},{b}): \
-                                     {} vs {reference}",
-                                    p[a][b]
-                                );
+        for isa in Isa::available() {
+            for d in [1, 3, 8, 17] {
+                let ra_owned = panel_rows(d, 1);
+                let rb_owned = panel_rows(d, 9);
+                let ra: Vec<&[f64]> = ra_owned.iter().map(|r| r.as_slice()).collect();
+                let rb: Vec<&[f64]> = rb_owned.iter().map(|r| r.as_slice()).collect();
+                for spec in all_specs() {
+                    // full tiles and every partial-tile shape
+                    for mh in 1..=PANEL_MR {
+                        for nh in 1..=PANEL_NR {
+                            let p = kernel_panel(&spec, isa, &ra[..mh], &rb[..nh]);
+                            for (a, row_a) in ra[..mh].iter().enumerate() {
+                                for (b, row_b) in rb[..nh].iter().enumerate() {
+                                    let reference = kernel_row(&spec, row_a, row_b);
+                                    assert!(
+                                        (p[a][b] - reference).abs() < 1e-12,
+                                        "{spec:?} {isa:?} d={d} tile {mh}x{nh} entry ({a},{b}): \
+                                         {} vs {reference}",
+                                        p[a][b]
+                                    );
+                                }
                             }
                         }
                     }
+                }
+            }
+        }
+    }
+
+    /// The scalar tier of the dispatched panel must reproduce the panel
+    /// evaluators of this module exactly (the pre-SIMD engine).
+    #[test]
+    fn scalar_tier_kernel_panel_is_bit_identical_to_scalar_panels() {
+        let ra_owned = panel_rows(11, 3);
+        let rb_owned = panel_rows(11, 6);
+        let ra: Vec<&[f64]> = ra_owned.iter().map(|r| r.as_slice()).collect();
+        let rb: Vec<&[f64]> = rb_owned.iter().map(|r| r.as_slice()).collect();
+        for spec in all_specs() {
+            let dispatched = kernel_panel(&spec, Isa::Scalar, &ra, &rb);
+            let reference = match spec {
+                KernelSpec::Rbf { gamma } => {
+                    let mut p = panel_dist_sq(&ra, &rb);
+                    for row in &mut p {
+                        for v in row {
+                            *v = (-gamma * *v).exp();
+                        }
+                    }
+                    p
+                }
+                ref s => {
+                    let mut p = panel_dot(&ra, &rb);
+                    for row in &mut p {
+                        for v in row {
+                            *v = finish_inner_product(s, *v);
+                        }
+                    }
+                    p
+                }
+            };
+            for a in 0..PANEL_MR {
+                for b in 0..PANEL_NR {
+                    assert_eq!(
+                        dispatched[a][b].to_bits(),
+                        reference[a][b].to_bits(),
+                        "{spec:?} entry ({a},{b})"
+                    );
                 }
             }
         }

@@ -30,6 +30,7 @@ pub mod matrix_free;
 pub mod model_selection;
 pub mod multiclass;
 pub mod regression;
+pub mod simd;
 pub mod svm;
 pub mod timing;
 pub mod trace;
@@ -57,6 +58,7 @@ pub mod prelude {
     pub use crate::regression::{
         mean_squared_error, predict_values, r_squared, try_predict_values, LsSvr,
     };
+    pub use crate::simd::Isa;
     pub use crate::svm::{
         accuracy, predict, predict_labels, predict_linear, train, try_predict_decision_values,
         try_predict_labels, LsSvm, TrainOutput,

@@ -176,6 +176,7 @@ fn assemble_block<T: Real>(kernel: &KernelSpec<T>, rows_a: &[&[T]], rows_b: &[&[
     if m == 0 || k == 0 {
         return out;
     }
+    let isa = crate::simd::Isa::select();
     let mut i = 0;
     while i < m {
         let h = (m - i).min(PANEL_MR);
@@ -186,7 +187,7 @@ fn assemble_block<T: Real>(kernel: &KernelSpec<T>, rows_a: &[&[T]], rows_b: &[&[
         let mut j = 0;
         while j < k {
             let w = (k - j).min(PANEL_NR);
-            let panel = kernel_panel(kernel, &ra[..h], &rows_b[j..j + w]);
+            let panel = kernel_panel(kernel, isa, &ra[..h], &rows_b[j..j + w]);
             for (a, prow) in panel.iter().enumerate().take(h) {
                 for (bq, &val) in prow.iter().enumerate().take(w) {
                     out[(i + a) * k + (j + bq)] = val.to_f64();

@@ -59,9 +59,14 @@ impl<T: Real> QTildeParams<T> {
     /// Same computation over row-major data (the CPU backends work on the
     /// untransformed layout — the paper applies the SoA transform only for
     /// its GPU backends, §IV-E). Evaluated through the panel micro-kernel
-    /// of [`crate::kernel::kernel_panel`], `PANEL_MR` points against `x_m`
-    /// per feature pass.
-    pub fn compute_dense(data: &DenseMatrix<T>, kernel: &KernelSpec<T>, cost: T) -> Self {
+    /// of [`crate::kernel::kernel_panel`] on the given ISA tier,
+    /// `PANEL_MR` points against `x_m` per feature pass.
+    pub fn compute_dense(
+        data: &DenseMatrix<T>,
+        kernel: &KernelSpec<T>,
+        cost: T,
+        isa: crate::simd::Isa,
+    ) -> Self {
         use crate::kernel::{kernel_panel, PANEL_MR};
         let m = data.rows();
         assert!(m >= 2, "need at least two data points");
@@ -74,7 +79,7 @@ impl<T: Real> QTildeParams<T> {
             for (a, slot) in ra.iter_mut().enumerate().take(h) {
                 *slot = data.row(i + a);
             }
-            let panel = kernel_panel(kernel, &ra[..h], &[last]);
+            let panel = kernel_panel(kernel, isa, &ra[..h], &[last]);
             q.extend(panel.iter().take(h).map(|row| row[0]));
             i += h;
         }

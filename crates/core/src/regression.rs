@@ -437,6 +437,7 @@ fn predict_values_panel<T: Real>(model: &SvrModel<T>, x: &DenseMatrix<T>) -> Vec
     use crate::kernel::{kernel_panel, PANEL_MR};
     let b = model.bias();
     let m = model.sv.rows();
+    let isa = crate::simd::Isa::select();
     (0..x.rows())
         .into_par_iter()
         .map(|p| {
@@ -449,7 +450,7 @@ fn predict_values_panel<T: Real>(model: &SvrModel<T>, x: &DenseMatrix<T>) -> Vec
                 for (a, slot) in ra.iter_mut().enumerate().take(h) {
                     *slot = model.sv.row(i + a);
                 }
-                let panel = kernel_panel(&model.kernel, &ra[..h], &[row]);
+                let panel = kernel_panel(&model.kernel, isa, &ra[..h], &[row]);
                 for (a, prow) in panel.iter().enumerate().take(h) {
                     acc = model.coef[i + a].mul_add(prow[0], acc);
                 }

@@ -630,6 +630,7 @@ fn decision_values_panel<T: Real>(model: &SvmModel<T>, x: &DenseMatrix<T>) -> Ve
     use crate::kernel::{kernel_panel, PANEL_MR};
     let b = model.bias();
     let m = model.sv.rows();
+    let isa = crate::simd::Isa::select();
     (0..x.rows())
         .into_par_iter()
         .map(|p| {
@@ -642,7 +643,7 @@ fn decision_values_panel<T: Real>(model: &SvmModel<T>, x: &DenseMatrix<T>) -> Ve
                 for (a, slot) in ra.iter_mut().enumerate().take(h) {
                     *slot = model.sv.row(i + a);
                 }
-                let panel = kernel_panel(&model.kernel, &ra[..h], &[row]);
+                let panel = kernel_panel(&model.kernel, isa, &ra[..h], &[row]);
                 for (a, prow) in panel.iter().enumerate().take(h) {
                     acc = model.coef[i + a].mul_add(prow[0], acc);
                 }
@@ -674,7 +675,7 @@ pub fn predict_labels<T: Real>(model: &SvmModel<T>, x: &DenseMatrix<T>) -> Vec<i
 /// (Eq. 4 of the paper). `bias` is `−rho`. Computed in parallel over
 /// `PANEL_MR`-point panels sharing one feature pass over `w`.
 pub fn predict_linear<T: Real>(w: &[T], bias: T, x: &DenseMatrix<T>) -> Vec<T> {
-    use crate::kernel::{panel_dot, PANEL_MR};
+    use crate::kernel::PANEL_MR;
     assert_eq!(
         w.len(),
         x.cols(),
@@ -682,6 +683,7 @@ pub fn predict_linear<T: Real>(w: &[T], bias: T, x: &DenseMatrix<T>) -> Vec<T> {
         w.len(),
         x.cols()
     );
+    let isa = crate::simd::Isa::select();
     let mut out = vec![T::ZERO; x.rows()];
     out.par_chunks_mut(PANEL_MR)
         .enumerate()
@@ -691,7 +693,7 @@ pub fn predict_linear<T: Real>(w: &[T], bias: T, x: &DenseMatrix<T>) -> Vec<T> {
             for (a, slot) in ra.iter_mut().enumerate().take(chunk.len()) {
                 *slot = x.row(base + a);
             }
-            let panel = panel_dot(&ra[..chunk.len()], &[w]);
+            let panel = crate::simd::panel_dot(isa, &ra[..chunk.len()], &[w]);
             for (a, o) in chunk.iter_mut().enumerate() {
                 *o = panel[a][0] + bias;
             }

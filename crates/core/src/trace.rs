@@ -231,6 +231,30 @@ pub struct LowRankSample {
     pub solve_wall: Duration,
 }
 
+/// The SIMD dispatch decision of a blocked CPU backend: which ISA tier
+/// the panel micro-kernels resolved to, whether it was forced through
+/// `PLSSVM_FORCE_ISA`, and the resulting panel/lane geometry. Recorded
+/// once when a prepared backend is attached to a sink through
+/// [`MetricsSink::record_dispatch`]; fully deterministic for a given host
+/// and environment, but host-dependent — so it is serialized to the JSON
+/// lines yet excluded from [`TelemetryReport::deterministic_summary`]
+/// (which must stay byte-identical across hosts of different ISA tiers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchSample {
+    /// Stable lowercase tier name (`scalar`, `neon`, `avx2`, `avx512`).
+    pub isa: &'static str,
+    /// Whether `PLSSVM_FORCE_ISA` selected the tier (vs auto-detection).
+    pub forced: bool,
+    /// Panel micro-kernel rows (`PANEL_MR`).
+    pub panel_mr: usize,
+    /// Panel micro-kernel columns (`PANEL_NR`).
+    pub panel_nr: usize,
+    /// `f32` SIMD lanes of the tier (1 for scalar).
+    pub lanes_f32: usize,
+    /// `f64` SIMD lanes of the tier (1 for scalar).
+    pub lanes_f64: usize,
+}
+
 /// One flushed micro-batch of the serving layer (`svm-serve`): how many
 /// coalesced requests it carried, how long the oldest of them queued, and
 /// how long the batched prediction took. Timing fields are measured on the
@@ -419,6 +443,14 @@ pub trait MetricsSink: Send + Sync {
         let _ = sample;
     }
 
+    /// Records the SIMD dispatch decision of a blocked CPU backend (ISA
+    /// tier, forced/auto, panel and lane geometry). When several backends
+    /// share one sink the most recent sample wins. Default: discard —
+    /// sinks that predate the SIMD engine keep compiling.
+    fn record_dispatch(&self, sample: DispatchSample) {
+        let _ = sample;
+    }
+
     /// Records one flushed serving micro-batch. Default: discard — sinks
     /// that predate the serving layer keep compiling.
     fn record_serve_batch(&self, sample: ServeBatchSample) {
@@ -447,6 +479,7 @@ struct TelemetryState {
     cg: Vec<CgIterationSample>,
     cg_outcome: Option<CgOutcomeSample>,
     lowrank: Option<LowRankSample>,
+    dispatch: Option<DispatchSample>,
     spans: Vec<SpanRecord>,
     recovery: Vec<RecoverySample>,
     serve: ServeStats,
@@ -504,6 +537,7 @@ impl Telemetry {
             cg: s.cg.clone(),
             cg_outcome: s.cg_outcome,
             lowrank: s.lowrank.clone(),
+            dispatch: s.dispatch,
             spans: s.spans.clone(),
             recovery: s.recovery.clone(),
             serve: s.serve.clone(),
@@ -561,6 +595,10 @@ impl MetricsSink for Telemetry {
         self.lock().lowrank = Some(sample);
     }
 
+    fn record_dispatch(&self, sample: DispatchSample) {
+        self.lock().dispatch = Some(sample);
+    }
+
     fn record_serve_batch(&self, sample: ServeBatchSample) {
         let mut s = self.lock();
         let serve = &mut s.serve;
@@ -610,6 +648,11 @@ pub struct TelemetryReport {
     /// The (most recent) randomized low-rank solve's sample. `None` when
     /// no low-rank solve ran against this sink.
     pub lowrank: Option<LowRankSample>,
+    /// The (most recent) blocked CPU backend's SIMD dispatch decision.
+    /// `None` when no blocked CPU backend was attached to this sink.
+    /// Host-dependent, so excluded from
+    /// [`TelemetryReport::deterministic_summary`].
+    pub dispatch: Option<DispatchSample>,
     /// Recorded wall-clock spans, in recording order.
     pub spans: Vec<SpanRecord>,
     /// Fault-tolerance events (retries, failovers, straggler detections,
@@ -748,6 +791,10 @@ impl TelemetryReport {
     ///   `"jitter_steps":n,"direct_relative_residual":x,`
     ///   `"pcg_iterations":n,"assembly_wall_s":x,"solve_wall_s":x}` —
     ///   present when the randomized low-rank solver ran
+    /// * `{"type":"simd_dispatch","isa":"scalar|neon|avx2|avx512",`
+    ///   `"forced":true|false,"panel_mr":n,"panel_nr":n,"lanes_f32":n,`
+    ///   `"lanes_f64":n}` — present when a blocked CPU backend reported
+    ///   its micro-kernel dispatch decision
     /// * `{"type":"span","path":"train/cg","wall_s":x}`
     /// * `{"type":"recovery","kind":"retry|failover|straggler|checkpoint|`
     ///   `restart|precondition|precision_escalation|numeric_fault|`
@@ -830,6 +877,19 @@ impl TelemetryReport {
                 l.pcg_iterations,
                 json_f64(l.assembly_wall.as_secs_f64()),
                 json_f64(l.solve_wall.as_secs_f64())
+            );
+        }
+        if let Some(d) = &self.dispatch {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"simd_dispatch\",\"isa\":{},\"forced\":{},\
+                 \"panel_mr\":{},\"panel_nr\":{},\"lanes_f32\":{},\"lanes_f64\":{}}}",
+                json_str(d.isa),
+                d.forced,
+                d.panel_mr,
+                d.panel_nr,
+                d.lanes_f32,
+                d.lanes_f64
             );
         }
         for s in &self.spans {
@@ -1137,6 +1197,31 @@ mod tests {
         };
         assert_eq!(r.deterministic_summary(), wall_free);
         assert!(r.deterministic_summary().contains("lowrank rank=64"));
+    }
+
+    #[test]
+    fn dispatch_sample_serializes_but_stays_out_of_deterministic_summary() {
+        let t = Telemetry::new();
+        t.record_dispatch(DispatchSample {
+            isa: "avx2",
+            forced: true,
+            panel_mr: 4,
+            panel_nr: 4,
+            lanes_f32: 8,
+            lanes_f64: 4,
+        });
+        let r = t.report();
+        assert_eq!(r.dispatch.as_ref().unwrap().isa, "avx2");
+        let json = r.to_json_lines();
+        assert!(json.contains(
+            "{\"type\":\"simd_dispatch\",\"isa\":\"avx2\",\"forced\":true,\
+             \"panel_mr\":4,\"panel_nr\":4,\"lanes_f32\":8,\"lanes_f64\":4}"
+        ));
+        // the deterministic subset must stay byte-identical across hosts
+        // of different ISA tiers, so the dispatch line is JSON-only
+        let empty = Telemetry::new().report();
+        assert_eq!(r.deterministic_summary(), empty.deterministic_summary());
+        assert!(!empty.to_json_lines().contains("simd_dispatch"));
     }
 
     #[test]

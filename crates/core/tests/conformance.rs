@@ -10,6 +10,7 @@
 use std::sync::Arc;
 
 use plssvm_core::backend::{BackendSelection, CpuTilingConfig};
+use plssvm_core::simd::Isa;
 use plssvm_core::svm::{predict_labels, LsSvm, TrainOutput};
 use plssvm_core::trace::{RecoveryKind, Telemetry};
 use plssvm_data::libsvm::LabeledData;
@@ -106,46 +107,70 @@ fn assert_conforms<T: AtomicScalar>(
     );
 }
 
-fn cpu_and_device_backends(linear: bool) -> Vec<(&'static str, BackendSelection)> {
+fn cpu_and_device_backends(linear: bool) -> Vec<(String, BackendSelection)> {
     let mut v = vec![
-        ("openmp", BackendSelection::openmp(Some(2))),
+        ("openmp".to_owned(), BackendSelection::openmp(Some(2))),
         // tile-size extremes: degenerate 1×1 tiles, tiles far larger than
         // the problem, and the symmetry-free schedule must all agree
         (
-            "openmp-tile-1",
+            "openmp-tile-1".to_owned(),
             BackendSelection::OpenMp {
                 threads: Some(2),
                 tiling: CpuTilingConfig::new(1, 1),
             },
         ),
         (
-            "openmp-tile-4096",
+            "openmp-tile-4096".to_owned(),
             BackendSelection::OpenMp {
                 threads: Some(2),
                 tiling: CpuTilingConfig::new(4096, 4096),
             },
         ),
         (
-            "openmp-nosym",
+            "openmp-nosym".to_owned(),
             BackendSelection::OpenMp {
                 threads: Some(2),
                 tiling: CpuTilingConfig::default().with_symmetry(false),
             },
         ),
-        ("sparse", BackendSelection::SparseCpu { threads: None }),
         (
-            "simgpu",
+            "sparse".to_owned(),
+            BackendSelection::SparseCpu { threads: None },
+        ),
+        (
+            "simgpu".to_owned(),
             BackendSelection::sim_gpu(hw::A100, DeviceApi::Cuda),
         ),
         (
-            "simgpu-rows-2",
+            "simgpu-rows-2".to_owned(),
             BackendSelection::sim_multi_gpu_rows(hw::A100, DeviceApi::Cuda, 2),
         ),
     ];
+    // one row per SIMD tier the host supports (always includes the
+    // forced-scalar tier): every micro-kernel path must conform at the
+    // same tolerance as the pre-existing backends, on both schedules
+    for isa in Isa::available() {
+        v.push((
+            format!("openmp-isa-{isa}"),
+            BackendSelection::OpenMp {
+                threads: Some(2),
+                tiling: CpuTilingConfig::default().with_isa(isa),
+            },
+        ));
+        v.push((
+            format!("openmp-nosym-isa-{isa}"),
+            BackendSelection::OpenMp {
+                threads: Some(2),
+                tiling: CpuTilingConfig::default()
+                    .with_symmetry(false)
+                    .with_isa(isa),
+            },
+        ));
+    }
     if linear {
         // the feature-wise split is linear-kernel only (paper §III-C-5)
         v.push((
-            "simgpu-features-2",
+            "simgpu-features-2".to_owned(),
             BackendSelection::sim_multi_gpu(hw::A100, DeviceApi::Cuda, 2),
         ));
     }
