@@ -19,19 +19,31 @@
 //! throughput, p50/p99/mean latency, batch-size distribution) and
 //! asserts batched throughput is at least 5x single-request throughput
 //! unless `--smoke` (CI's quick leg) is given.
+//!
+//! `serve_bench overload` instead runs the **overload sweep**: it
+//! estimates the serving capacity of one pipelined connection, then
+//! offers paced open-loop load at 1×/2×/4× that capacity against a
+//! bounded queue (`--queue-watermark`-style admission plus a dequeue
+//! deadline) and reports, per multiplier, offered load vs goodput, the
+//! shed rate, and the p99 latency of the requests that were admitted
+//! and served — `bench_results/serve_overload.csv`. Every request must
+//! come back with exactly one structured reply; above capacity the
+//! server is expected to shed rather than stall.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use plssvm_bench::results_path;
 use plssvm_bench::stats::{mean, percentile};
 use plssvm_core::svm::LsSvm;
 use plssvm_core::trace::{MetricsSink, Telemetry};
 use plssvm_data::synthetic::{generate_planes, PlanesConfig};
-use plssvm_serve::{serve_tcp, Engine, EngineConfig, ServeModel, SystemClock};
+use plssvm_serve::{
+    serve_tcp, ConnectionOptions, Engine, EngineConfig, ServeModel, ServerControl, SystemClock,
+};
 
 /// Total requests per mode (the "16k-row synthetic workload").
 const REQUESTS: usize = 16_384;
@@ -81,14 +93,11 @@ fn build_requests(n: usize) -> Vec<String> {
         .collect()
 }
 
-fn engine(model: ServeModel, max_batch: usize, max_wait_us: u64) -> (Engine, Arc<Telemetry>) {
+fn engine(model: ServeModel, config: EngineConfig) -> (Engine, Arc<Telemetry>) {
     let telemetry = Telemetry::shared();
     let e = Engine::new(
         model,
-        EngineConfig {
-            max_batch,
-            max_wait_us,
-        },
+        config,
         Arc::new(SystemClock::new()),
         Some(Arc::clone(&telemetry) as Arc<dyn MetricsSink>),
     );
@@ -103,25 +112,47 @@ struct ModeResult {
 /// Starts a server on an ephemeral loopback port, runs `clients` against
 /// it (the closure does its own timing, after connection setup), then
 /// shuts the server down cleanly.
-fn with_server<F>(max_batch: usize, max_wait_us: u64, clients: F) -> (ModeResult, Arc<Telemetry>)
+fn with_server<T, F>(config: EngineConfig, clients: F) -> (T, Arc<Telemetry>)
 where
-    F: FnOnce(std::net::SocketAddr) -> ModeResult,
+    F: FnOnce(std::net::SocketAddr) -> T,
 {
-    let (engine, telemetry) = engine(build_model(), max_batch, max_wait_us);
+    let (engine, telemetry) = engine(build_model(), config);
     let engine = Arc::new(engine);
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let addr = listener.local_addr().expect("local addr");
     let stop = Arc::new(AtomicBool::new(false));
+    let control = Arc::new(ServerControl::unlimited());
     let server = {
         let engine = Arc::clone(&engine);
         let stop = Arc::clone(&stop);
-        std::thread::spawn(move || serve_tcp(&engine, listener, &stop, &|| {}))
+        let control = Arc::clone(&control);
+        std::thread::spawn(move || {
+            serve_tcp(
+                &engine,
+                listener,
+                &control,
+                ConnectionOptions::default(),
+                &stop,
+                &|| {},
+            )
+        })
     };
     let result = clients(addr);
     stop.store(true, Ordering::SeqCst);
     server.join().expect("server thread").expect("serve_tcp");
     engine.shutdown();
     (result, telemetry)
+}
+
+/// The latency modes measure the unbounded-queue serving path exactly as
+/// PR 7 shipped it: no watermark, no deadline.
+fn latency_config(max_batch: usize, max_wait_us: u64) -> EngineConfig {
+    EngineConfig {
+        max_batch,
+        max_wait_us,
+        queue_watermark: 0,
+        deadline_us: 0,
+    }
 }
 
 /// Connects and completes one warm-up round trip so connection setup,
@@ -141,7 +172,7 @@ fn connect_warm(addr: std::net::SocketAddr) -> (TcpStream, BufReader<TcpStream>)
 /// Strict request-response over one connection: write a line, block for
 /// its answer, repeat. Every request pays the full wire round trip.
 fn run_single(requests: &[String]) -> (ModeResult, Arc<Telemetry>) {
-    with_server(1, 0, |addr| {
+    with_server(latency_config(1, 0), |addr| {
         let (mut stream, mut reader) = connect_warm(addr);
         let mut lat = Vec::with_capacity(requests.len());
         let mut line = String::new();
@@ -167,7 +198,7 @@ fn run_single(requests: &[String]) -> (ModeResult, Arc<Telemetry>) {
 /// coalesce within and across connections.
 fn run_batched(requests: &[String]) -> (ModeResult, Arc<Telemetry>) {
     let shard = requests.len() / CLIENTS;
-    with_server(512, 500, |addr| {
+    with_server(latency_config(512, 500), |addr| {
         // every connection is up and warmed before the timer starts
         let conns: Vec<(TcpStream, BufReader<TcpStream>)> =
             (0..CLIENTS).map(|_| connect_warm(addr)).collect();
@@ -277,8 +308,199 @@ where
     best.expect("at least one repetition")
 }
 
+// ---------------------------------------------------------------------------
+// Overload sweep: paced open-loop load above capacity.
+// ---------------------------------------------------------------------------
+
+/// One paced open-loop measurement point.
+struct OverloadPoint {
+    multiplier: f64,
+    offered_rps: f64,
+    goodput_rps: f64,
+    shed_rate: f64,
+    admitted_p99_us: f64,
+    ok: usize,
+    overloaded: usize,
+    expired: usize,
+}
+
+/// The bounded-queue server the overload sweep runs against: a small
+/// batch budget, a tight watermark, and a dequeue deadline — the
+/// configuration an operator would run to keep tail latency bounded.
+fn overload_config() -> EngineConfig {
+    EngineConfig {
+        max_batch: 64,
+        max_wait_us: 200,
+        queue_watermark: 256,
+        deadline_us: 5_000,
+    }
+}
+
+/// Estimates the sustainable *goodput* of one pipelined connection under
+/// the bounded-queue overload config: stream `requests` unpaced and
+/// count only the requests actually served — the rate the watermarked
+/// queue can sustain is the capacity the sweep's multipliers scale.
+fn estimate_capacity(requests: &[String]) -> f64 {
+    let (rps, _) = with_server(overload_config(), |addr| {
+        let (stream, mut reader) = connect_warm(addr);
+        let start = Instant::now();
+        let raw = stream.try_clone().expect("clone stream");
+        let served = std::thread::scope(|s| {
+            let mut writer = std::io::BufWriter::new(stream);
+            s.spawn(move || {
+                for line in requests {
+                    writer.write_all(line.as_bytes()).expect("write");
+                }
+                writer.flush().expect("flush");
+                raw.shutdown(Shutdown::Write).ok();
+            });
+            let mut line = String::new();
+            let mut served = 0usize;
+            for _ in 0..requests.len() {
+                line.clear();
+                reader.read_line(&mut line).expect("read");
+                if !line.starts_with('{') {
+                    served += 1;
+                }
+            }
+            served
+        });
+        served.max(1) as f64 / start.elapsed().as_secs_f64()
+    });
+    rps
+}
+
+/// Offers `requests` at `offered_rps` (paced open loop: the sender holds
+/// the schedule even when replies lag) and classifies every reply.
+fn run_overload_point(requests: &[String], multiplier: f64, offered_rps: f64) -> OverloadPoint {
+    let (point, _) = with_server(overload_config(), |addr| {
+        let (stream, mut reader) = connect_warm(addr);
+        let raw = stream.try_clone().expect("clone stream");
+        let interval = Duration::from_secs_f64(1.0 / offered_rps);
+        let start = Instant::now();
+        let (sent, done, replies) = std::thread::scope(|s| {
+            let mut writer = std::io::BufWriter::new(stream);
+            let sender = s.spawn(move || {
+                let mut sent = Vec::with_capacity(requests.len());
+                for (i, line) in requests.iter().enumerate() {
+                    // hold the offered schedule: sleep for coarse gaps,
+                    // spin out the sub-millisecond remainder
+                    let target = start + interval.mul_f64(i as f64);
+                    loop {
+                        let now = Instant::now();
+                        if now >= target {
+                            break;
+                        }
+                        let remaining = target - now;
+                        if remaining > Duration::from_millis(1) {
+                            std::thread::sleep(remaining - Duration::from_millis(1));
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                    sent.push(Instant::now());
+                    writer.write_all(line.as_bytes()).expect("write");
+                    writer.flush().expect("flush");
+                }
+                raw.shutdown(Shutdown::Write).ok();
+                sent
+            });
+            let mut done = Vec::with_capacity(requests.len());
+            let mut replies = Vec::with_capacity(requests.len());
+            let mut line = String::new();
+            for _ in 0..requests.len() {
+                line.clear();
+                let read = reader.read_line(&mut line).expect("read");
+                assert!(read > 0, "server closed before answering every request");
+                done.push(Instant::now());
+                replies.push(line.trim_end().to_string());
+            }
+            (sender.join().expect("sender"), done, replies)
+        });
+        let wall_s = start.elapsed().as_secs_f64();
+        let (mut ok, mut overloaded, mut expired) = (0usize, 0usize, 0usize);
+        let mut ok_latencies = Vec::with_capacity(replies.len());
+        for ((reply, s), d) in replies.iter().zip(&sent).zip(&done) {
+            if reply.contains("\"error\":\"overloaded\"") {
+                overloaded += 1;
+            } else if reply.contains("\"error\":\"deadline_exceeded\"") {
+                expired += 1;
+            } else {
+                assert!(
+                    !reply.starts_with('{'),
+                    "unexpected error reply under overload: {reply}"
+                );
+                ok += 1;
+                ok_latencies.push(d.duration_since(*s).as_secs_f64() * 1e6);
+            }
+        }
+        OverloadPoint {
+            multiplier,
+            offered_rps,
+            goodput_rps: ok as f64 / wall_s,
+            shed_rate: (overloaded + expired) as f64 / replies.len() as f64,
+            admitted_p99_us: percentile(&ok_latencies, 99.0),
+            ok,
+            overloaded,
+            expired,
+        }
+    });
+    point
+}
+
+fn run_overload_sweep(smoke: bool) {
+    let n = if smoke { SMOKE_REQUESTS } else { REQUESTS };
+    let requests = build_requests(n);
+    let capacity = estimate_capacity(&requests);
+    println!("serve_bench overload: capacity estimate {capacity:.0} req/s ({n} requests/point)");
+
+    let mut csv = String::from("multiplier,offered_rps,goodput_rps,shed_rate,admitted_p99_us\n");
+    let mut points = Vec::new();
+    for multiplier in [1.0, 2.0, 4.0] {
+        let p = run_overload_point(&requests, multiplier, capacity * multiplier);
+        println!(
+            "  {multiplier:.0}x: offered {:.0} rps, goodput {:.0} rps, shed {:.1}% \
+             (overloaded {}, deadline {}), admitted p99 {:.0} us, ok {}",
+            p.offered_rps,
+            p.goodput_rps,
+            p.shed_rate * 100.0,
+            p.overloaded,
+            p.expired,
+            p.admitted_p99_us,
+            p.ok,
+        );
+        csv.push_str(&format!(
+            "{:.0},{:.1},{:.1},{:.4},{:.1}\n",
+            p.multiplier, p.offered_rps, p.goodput_rps, p.shed_rate, p.admitted_p99_us
+        ));
+        points.push(p);
+    }
+    let path = results_path("serve_overload.csv");
+    std::fs::write(&path, csv).expect("write csv");
+    println!("wrote {}", path.display());
+
+    // every point answered all n requests (asserted inline); above
+    // capacity the server must shed rather than queue without bound
+    if !smoke {
+        let at_4x = points.last().expect("three points");
+        assert!(
+            at_4x.overloaded + at_4x.expired > 0,
+            "4x capacity must shed with a 256-deep watermark"
+        );
+        assert!(
+            at_4x.ok > 0,
+            "the server must keep some goodput while shedding"
+        );
+        println!("SUCCESS: sheds above capacity, goodput stays nonzero");
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    if std::env::args().any(|a| a == "overload") {
+        run_overload_sweep(smoke);
+        return;
+    }
     let n = if smoke { SMOKE_REQUESTS } else { REQUESTS };
     let reps = if smoke { 1 } else { 3 };
     let requests = build_requests(n);

@@ -593,6 +593,19 @@ pub struct ServeArgs {
     /// Poll the model file for hot reload every this many milliseconds
     /// (`--reload-poll-ms`); 0 disables watching.
     pub reload_poll_ms: u64,
+    /// Maximum concurrent TCP connections (`--max-connections`); excess
+    /// connections get one structured refusal line. 0 = unlimited.
+    pub max_connections: usize,
+    /// Shed requests with `overloaded` once this many are queued
+    /// (`--queue-watermark`); 0 disables shedding.
+    pub queue_watermark: usize,
+    /// Answer `deadline_exceeded` to requests queued longer than this
+    /// many microseconds (`--deadline-us`); 0 disables deadlines.
+    pub deadline_us: u64,
+    /// Per-line read budget in milliseconds (`--client-timeout-ms`): a
+    /// client stalling mid-line longer than this is answered
+    /// `client_timeout` and disconnected. 0 disables.
+    pub client_timeout_ms: u64,
     /// Suppress informational output on stderr (`-q` / `--quiet`).
     pub quiet: bool,
 }
@@ -606,6 +619,10 @@ pub fn parse_serve(args: &[String]) -> Result<ServeArgs, CliError> {
         max_wait_us: 2_000,
         metrics_out: None,
         reload_poll_ms: 200,
+        max_connections: 256,
+        queue_watermark: 1_024,
+        deadline_us: 0,
+        client_timeout_ms: 10_000,
         quiet: false,
     };
     let mut stdin_explicit = false;
@@ -627,6 +644,19 @@ pub fn parse_serve(args: &[String]) -> Result<ServeArgs, CliError> {
             "--metrics-out" => out.metrics_out = Some(take("--metrics-out")?),
             "--reload-poll-ms" => {
                 out.reload_poll_ms = parse_num(&take("--reload-poll-ms")?, "--reload-poll-ms")?
+            }
+            "--max-connections" => {
+                out.max_connections = parse_num(&take("--max-connections")?, "--max-connections")?
+            }
+            "--queue-watermark" => {
+                out.queue_watermark = parse_num(&take("--queue-watermark")?, "--queue-watermark")?
+            }
+            "--deadline-us" => {
+                out.deadline_us = parse_num(&take("--deadline-us")?, "--deadline-us")?
+            }
+            "--client-timeout-ms" => {
+                out.client_timeout_ms =
+                    parse_num(&take("--client-timeout-ms")?, "--client-timeout-ms")?
             }
             "-q" | "--quiet" => out.quiet = true,
             flag if flag.starts_with('-') && flag.len() > 1 => {
@@ -1221,6 +1251,12 @@ mod tests {
         assert_eq!((a.max_batch, a.max_wait_us), (64, 2_000));
         assert_eq!(a.metrics_out, None);
         assert_eq!(a.reload_poll_ms, 200);
+        // overload-hardening defaults: capped connections, bounded
+        // queue, slow-client timeout on, per-request deadline off
+        assert_eq!(a.max_connections, 256);
+        assert_eq!(a.queue_watermark, 1_024);
+        assert_eq!(a.deadline_us, 0);
+        assert_eq!(a.client_timeout_ms, 10_000);
         assert!(!a.quiet);
 
         let a = parse_serve(&sv(&[
@@ -1234,6 +1270,14 @@ mod tests {
             "m.json",
             "--reload-poll-ms",
             "0",
+            "--max-connections",
+            "4",
+            "--queue-watermark",
+            "16",
+            "--deadline-us",
+            "2500",
+            "--client-timeout-ms",
+            "250",
             "-q",
             "m.model",
         ]))
@@ -1242,7 +1286,26 @@ mod tests {
         assert_eq!((a.max_batch, a.max_wait_us), (8, 500));
         assert_eq!(a.metrics_out.as_deref(), Some("m.json"));
         assert_eq!(a.reload_poll_ms, 0);
+        assert_eq!(a.max_connections, 4);
+        assert_eq!(a.queue_watermark, 16);
+        assert_eq!(a.deadline_us, 2_500);
+        assert_eq!(a.client_timeout_ms, 250);
         assert!(a.quiet);
+
+        // 0 disables each overload knob without erroring
+        let a = parse_serve(&sv(&[
+            "--max-connections",
+            "0",
+            "--queue-watermark",
+            "0",
+            "--client-timeout-ms",
+            "0",
+            "m.model",
+        ]))
+        .unwrap();
+        assert_eq!(a.max_connections, 0);
+        assert_eq!(a.queue_watermark, 0);
+        assert_eq!(a.client_timeout_ms, 0);
 
         // explicit stdin mode is the default, spelled out
         let a = parse_serve(&sv(&["--stdin", "m.model"])).unwrap();
@@ -1252,6 +1315,8 @@ mod tests {
         assert!(parse_serve(&sv(&["a.model", "b.model"])).is_err());
         assert!(parse_serve(&sv(&["--max-batch", "0", "m.model"])).is_err());
         assert!(parse_serve(&sv(&["--max-batch", "x", "m.model"])).is_err());
+        assert!(parse_serve(&sv(&["--max-connections", "x", "m.model"])).is_err());
+        assert!(parse_serve(&sv(&["--deadline-us"])).is_err()); // missing value
         assert!(parse_serve(&sv(&["--listen"])).is_err()); // missing value
         assert!(parse_serve(&sv(&["--stdin", "--listen", "h:1", "m.model"])).is_err());
         assert!(parse_serve(&sv(&["--bogus", "m.model"])).is_err());

@@ -4,6 +4,14 @@
 //! newline-delimited JSON or LIBSVM-format request lines, coalescing
 //! concurrent requests into micro-batches. Reads stdin by default, or
 //! listens on TCP with `--listen host:port`.
+//!
+//! Overload hardening: `--max-connections` caps concurrency,
+//! `--queue-watermark` sheds excess requests with `overloaded`,
+//! `--deadline-us` answers `deadline_exceeded` to requests that queued
+//! too long, and `--client-timeout-ms` disconnects stalled peers.
+//! SIGTERM/SIGINT (or a `shutdown` control line) drains gracefully:
+//! in-flight requests finish, new lines answer `shutting_down`, and the
+//! process exits 0 after a deterministic summary.
 
 use std::process::ExitCode;
 
@@ -17,6 +25,10 @@ fn main() -> ExitCode {
                  usage: svm-serve [options] model_file\n\
                  options: --stdin (default) | --listen host:port\n\
                  \x20        --max-batch n (64) | --max-wait-us n (2000)\n\
+                 \x20        --max-connections n (256, 0 = unlimited)\n\
+                 \x20        --queue-watermark n (1024, 0 = off)\n\
+                 \x20        --deadline-us n (0 = off)\n\
+                 \x20        --client-timeout-ms n (10000, 0 = off)\n\
                  \x20        --reload-poll-ms n (200, 0 = off)\n\
                  \x20        --metrics-out file | -q, --quiet"
             );

@@ -29,8 +29,8 @@ use plssvm_data::synthetic::{generate_planes, PlanesConfig};
 use plssvm_data::{write_atomic, CheckpointJournal};
 
 use plssvm_serve::{
-    serve_lines, serve_tcp, spawn_watcher, Engine, EngineConfig, PollTrigger, ServeModel,
-    SystemClock,
+    serve_lines, serve_tcp, spawn_watcher, ConnectionOptions, Engine, EngineConfig, PollTrigger,
+    ServeModel, ServerControl, SystemClock,
 };
 
 use crate::args::{
@@ -670,20 +670,27 @@ pub fn run_generate(args: &GenerateArgs) -> Result<String, Box<dyn Error>> {
 /// Runs `svm-serve`: loads the model, builds the micro-batching engine,
 /// optionally watches the model file for hot reloads, then serves
 /// newline-delimited requests from stdin (default) or TCP until the
-/// input closes. Responses go to stdout / the socket; status lines go
-/// to stderr so piped output stays pure protocol.
+/// input closes or a drain is requested (SIGTERM/SIGINT or the
+/// `shutdown` control line). Responses go to stdout / the socket;
+/// status lines go to stderr so piped output stays pure protocol.
+/// A graceful drain finishes in-flight requests and returns `Ok` — the
+/// process exits 0 after printing a deterministic final summary.
 pub fn run_serve(args: &ServeArgs) -> Result<(), Box<dyn Error>> {
     let model =
         ServeModel::load(&args.model).map_err(|e| format!("loading '{}': {e}", args.model))?;
-    let telemetry = args.metrics_out.is_some().then(Telemetry::shared);
+    // telemetry is always on: the overload counters feed the final
+    // drain summary even when --metrics-out is absent
+    let telemetry = Telemetry::shared();
     let engine = Arc::new(Engine::new(
         model,
         EngineConfig {
             max_batch: args.max_batch,
             max_wait_us: args.max_wait_us,
+            queue_watermark: args.queue_watermark,
+            deadline_us: args.deadline_us,
         },
         Arc::new(SystemClock::new()),
-        telemetry.clone().map(|t| t as Arc<dyn MetricsSink>),
+        Some(Arc::clone(&telemetry) as Arc<dyn MetricsSink>),
     ));
     if let Some(warning) = force_isa_warning() {
         eprint!("svm-serve: {warning}");
@@ -695,10 +702,16 @@ pub fn run_serve(args: &ServeArgs) -> Result<(), Box<dyn Error>> {
              max_batch={}, max_wait_us={}",
             args.model, args.max_batch, args.max_wait_us
         );
+        eprintln!(
+            "svm-serve: admission max_connections={} queue_watermark={} deadline_us={} \
+             client_timeout_ms={}",
+            args.max_connections, args.queue_watermark, args.deadline_us, args.client_timeout_ms
+        );
         eprintln!("svm-serve: simd dispatch {}", isa_summary_line());
     }
     // hot reload: the watcher thread polls the model file's signature
-    // and swaps generations atomically; it lives until process exit
+    // and swaps generations atomically (with a failure-storm circuit
+    // breaker); it lives until process exit
     if args.reload_poll_ms > 0 {
         let trigger = PollTrigger::new(
             &args.model,
@@ -711,11 +724,15 @@ pub fn run_serve(args: &ServeArgs) -> Result<(), Box<dyn Error>> {
         );
     }
     let snapshot = || {
-        if let (Some(path), Some(t)) = (&args.metrics_out, &telemetry) {
-            if let Err(e) = write_atomic(path, t.report().to_json_lines().as_bytes()) {
+        if let Some(path) = &args.metrics_out {
+            if let Err(e) = write_atomic(path, telemetry.report().to_json_lines().as_bytes()) {
                 eprintln!("svm-serve: failed to write metrics to '{path}': {e}");
             }
         }
+    };
+    let opts = ConnectionOptions {
+        client_timeout: (args.client_timeout_ms > 0)
+            .then(|| std::time::Duration::from_millis(args.client_timeout_ms)),
     };
     match &args.listen {
         None => {
@@ -733,6 +750,7 @@ pub fn run_serve(args: &ServeArgs) -> Result<(), Box<dyn Error>> {
             snapshot();
             if !args.quiet {
                 eprintln!("svm-serve: input closed, exiting");
+                eprint_drain_summary(&telemetry);
             }
         }
         Some(addr) => {
@@ -741,11 +759,44 @@ pub fn run_serve(args: &ServeArgs) -> Result<(), Box<dyn Error>> {
             if !args.quiet {
                 eprintln!("svm-serve: listening on {}", listener.local_addr()?);
             }
-            let stop = std::sync::atomic::AtomicBool::new(false);
-            serve_tcp(&engine, listener, &stop, &snapshot)?;
+            // SIGTERM/SIGINT flip the drain flag; the accept loop then
+            // stops accepting, wakes blocked readers, finishes in-flight
+            // requests, and serve_tcp returns Ok — exit code 0
+            crate::signals::install_drain_handler();
+            let control = ServerControl::new(args.max_connections);
+            serve_tcp(
+                &engine,
+                listener,
+                &control,
+                opts,
+                crate::signals::drain_flag(),
+                &snapshot,
+            )?;
+            engine.shutdown();
+            snapshot();
+            if !args.quiet {
+                eprint_drain_summary(&telemetry);
+            }
         }
     }
     Ok(())
+}
+
+/// The final deterministic drain summary: counts only (no timings), so
+/// a fixed request schedule prints byte-identical lines across runs.
+fn eprint_drain_summary(telemetry: &Telemetry) {
+    let serve = telemetry.report().serve;
+    eprintln!(
+        "svm-serve: drained; requests={} errors={} shed_overloaded={} deadline_exceeded={} \
+         rejected_draining={} refused_connections={} reload_backoffs={}",
+        serve.requests,
+        serve.request_errors,
+        serve.shed_overloaded,
+        serve.shed_deadline,
+        serve.shed_draining,
+        serve.refused_connections,
+        serve.reload_backoffs.len(),
+    );
 }
 
 #[cfg(test)]

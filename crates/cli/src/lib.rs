@@ -14,5 +14,6 @@
 
 pub mod args;
 pub mod commands;
+pub mod signals;
 
 pub use args::CliError;

@@ -1,0 +1,56 @@
+//! SIGTERM/SIGINT → drain-flag bridge for `svm-serve`.
+//!
+//! The workspace is dependency-free by design (no `libc` crate), so the
+//! unix implementation declares the two symbols it needs itself. The
+//! handler does the only async-signal-safe thing possible: one atomic
+//! store into a static flag, which the serve accept loop polls to begin
+//! a graceful drain. On non-unix targets installation is a no-op and
+//! the flag simply never flips (drain still works via the `shutdown`
+//! control line).
+
+use std::sync::atomic::AtomicBool;
+
+/// Set by the signal handler; the accept loop treats it as its `stop`
+/// flag and begins a graceful drain when it flips.
+static DRAIN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        // signal(2): returns the previous handler (opaque here).
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // async-signal-safe: a lone atomic store, nothing else
+        super::DRAIN.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs the SIGTERM/SIGINT handlers (idempotent). Call before
+/// entering the serve loop.
+pub fn install_drain_handler() {
+    imp::install();
+}
+
+/// The flag the handlers flip; wire it as the serve loop's `stop`.
+pub fn drain_flag() -> &'static AtomicBool {
+    &DRAIN
+}

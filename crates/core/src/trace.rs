@@ -296,6 +296,38 @@ pub struct ServeReloadSample {
     pub detail: String,
 }
 
+/// Why the serving layer refused to do work — the overload-control events
+/// of `svm-serve`'s admission/deadline/drain layer. Every shed request or
+/// refused connection still receives a structured reply; these samples are
+/// the server-side count of those replies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeShedKind {
+    /// A request was shed at admission: the batch queue was at its
+    /// watermark, so the request was answered `overloaded` immediately
+    /// instead of queuing unboundedly.
+    Overloaded,
+    /// An admitted request waited past its deadline and was answered
+    /// `deadline_exceeded` at dequeue time without taking a batch slot.
+    DeadlineExceeded,
+    /// A request arrived while the server was draining and was answered
+    /// `shutting_down`.
+    ShuttingDown,
+    /// A connection was refused at the `--max-connections` cap (answered
+    /// with a one-line structured error before close).
+    RefusedConnection,
+}
+
+/// One engagement of the hot-reload circuit breaker: after a run of
+/// consecutive failed reloads the watcher backs off exponentially while
+/// the old generation keeps serving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeReloadBackoffSample {
+    /// Consecutive failed reload attempts when the backoff engaged.
+    pub consecutive_failures: u64,
+    /// How long reload attempts are suppressed, in clock µs.
+    pub backoff_us: u64,
+}
+
 /// Bounded-memory aggregation of the serving layer's telemetry: batch-size
 /// histogram, queue/latency counters and the reload audit trail. A
 /// long-lived server records unbounded request streams, so per-request
@@ -323,12 +355,33 @@ pub struct ServeStats {
     /// Every hot-reload attempt, in order (reloads are rare events, so
     /// the full audit trail is kept).
     pub reloads: Vec<ServeReloadSample>,
+    /// Requests shed at admission with an `overloaded` reply.
+    pub shed_overloaded: u64,
+    /// Admitted requests answered `deadline_exceeded` at dequeue time.
+    pub shed_deadline: u64,
+    /// Requests answered `shutting_down` while the server drained.
+    pub shed_draining: u64,
+    /// Connections refused at the connection cap (each got a one-line
+    /// structured error before close).
+    pub refused_connections: u64,
+    /// Every engagement of the reload circuit breaker, in order.
+    pub reload_backoffs: Vec<ServeReloadBackoffSample>,
 }
 
 impl ServeStats {
     /// Whether anything was recorded.
     pub fn is_empty(&self) -> bool {
-        self.batches == 0 && self.requests == 0 && self.reloads.is_empty()
+        self.batches == 0 && self.requests == 0 && self.reloads.is_empty() && !self.overloaded()
+    }
+
+    /// Whether any overload-control event (shed, deadline, drain
+    /// rejection, refused connection, reload backoff) was recorded.
+    pub fn overloaded(&self) -> bool {
+        self.shed_overloaded > 0
+            || self.shed_deadline > 0
+            || self.shed_draining > 0
+            || self.refused_connections > 0
+            || !self.reload_backoffs.is_empty()
     }
 
     /// Mean batch size (0 when no batch flushed).
@@ -466,6 +519,21 @@ pub trait MetricsSink: Send + Sync {
     /// Records one model hot-reload attempt. Default: discard — sinks
     /// that predate the serving layer keep compiling.
     fn record_serve_reload(&self, sample: ServeReloadSample) {
+        let _ = sample;
+    }
+
+    /// Records one overload-control event of the serving layer (shed
+    /// request, expired deadline, drain rejection, or refused
+    /// connection). Default: discard — sinks that predate the overload
+    /// layer keep compiling.
+    fn record_serve_shed(&self, kind: ServeShedKind) {
+        let _ = kind;
+    }
+
+    /// Records one engagement of the hot-reload circuit breaker.
+    /// Default: discard — sinks that predate the overload layer keep
+    /// compiling.
+    fn record_serve_reload_backoff(&self, sample: ServeReloadBackoffSample) {
         let _ = sample;
     }
 }
@@ -623,6 +691,21 @@ impl MetricsSink for Telemetry {
     fn record_serve_reload(&self, sample: ServeReloadSample) {
         self.lock().serve.reloads.push(sample);
     }
+
+    fn record_serve_shed(&self, kind: ServeShedKind) {
+        let mut s = self.lock();
+        let serve = &mut s.serve;
+        match kind {
+            ServeShedKind::Overloaded => serve.shed_overloaded += 1,
+            ServeShedKind::DeadlineExceeded => serve.shed_deadline += 1,
+            ServeShedKind::ShuttingDown => serve.shed_draining += 1,
+            ServeShedKind::RefusedConnection => serve.refused_connections += 1,
+        }
+    }
+
+    fn record_serve_reload_backoff(&self, sample: ServeReloadBackoffSample) {
+        self.lock().serve.reload_backoffs.push(sample);
+    }
 }
 
 /// Immutable snapshot of one training run's telemetry.
@@ -769,6 +852,22 @@ impl TelemetryReport {
                 s.detail
             );
         }
+        // overload-control counters are event counts, not timings: under a
+        // manual clock (or any fixed request schedule) they are exactly
+        // reproducible, so they belong to the deterministic subset —
+        // unlike the latency/queue timing stats, which stay JSON-only
+        if self.serve.overloaded() {
+            let _ = writeln!(
+                out,
+                "serve_overload shed={} deadline_exceeded={} rejected_draining={} \
+                 refused_connections={} reload_backoffs={}",
+                self.serve.shed_overloaded,
+                self.serve.shed_deadline,
+                self.serve.shed_draining,
+                self.serve.refused_connections,
+                self.serve.reload_backoffs.len()
+            );
+        }
         out
     }
 
@@ -810,6 +909,12 @@ impl TelemetryReport {
     ///   present when a server completed requests against this sink
     /// * `{"type":"serve_reload","generation":n,"accepted":true|false,`
     ///   `"detail":"..."}` — one line per hot-reload attempt
+    /// * `{"type":"serve_overload","shed":n,"deadline_exceeded":n,`
+    ///   `"rejected_draining":n,"refused_connections":n}` — present when
+    ///   the server's admission/deadline/drain layer shed any work
+    /// * `{"type":"serve_reload_backoff","consecutive_failures":n,`
+    ///   `"backoff_us":n}` — one line per reload circuit-breaker
+    ///   engagement
     ///
     /// Non-finite floats serialize as `null`; all other values are plain
     /// JSON numbers or strings.
@@ -950,6 +1055,25 @@ impl TelemetryReport {
                 r.generation,
                 r.accepted,
                 json_str(&r.detail)
+            );
+        }
+        if self.serve.overloaded() {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"serve_overload\",\"shed\":{},\"deadline_exceeded\":{},\
+                 \"rejected_draining\":{},\"refused_connections\":{}}}",
+                self.serve.shed_overloaded,
+                self.serve.shed_deadline,
+                self.serve.shed_draining,
+                self.serve.refused_connections
+            );
+        }
+        for b in &self.serve.reload_backoffs {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"serve_reload_backoff\",\"consecutive_failures\":{},\
+                 \"backoff_us\":{}}}",
+                b.consecutive_failures, b.backoff_us
             );
         }
         out
@@ -1285,6 +1409,51 @@ mod tests {
         // sinks never touched by a server emit no serve lines
         assert!(!empty.to_json_lines().contains("serve_"));
         assert!(empty.serve.is_empty() && !r.serve.is_empty());
+    }
+
+    #[test]
+    fn serve_overload_counters_reach_deterministic_summary_and_json() {
+        let t = Telemetry::new();
+        t.record_serve_shed(ServeShedKind::Overloaded);
+        t.record_serve_shed(ServeShedKind::Overloaded);
+        t.record_serve_shed(ServeShedKind::DeadlineExceeded);
+        t.record_serve_shed(ServeShedKind::ShuttingDown);
+        t.record_serve_shed(ServeShedKind::RefusedConnection);
+        t.record_serve_reload_backoff(ServeReloadBackoffSample {
+            consecutive_failures: 3,
+            backoff_us: 1_000_000,
+        });
+        let r = t.report();
+        assert_eq!(r.serve.shed_overloaded, 2);
+        assert_eq!(r.serve.shed_deadline, 1);
+        assert_eq!(r.serve.shed_draining, 1);
+        assert_eq!(r.serve.refused_connections, 1);
+        assert_eq!(r.serve.reload_backoffs.len(), 1);
+        assert!(r.serve.overloaded() && !r.serve.is_empty());
+        // unlike the timing-dependent serve stats, shed COUNTS are exact
+        // under a fixed request schedule, so they pin into the
+        // deterministic summary — and only when something was shed
+        let summary = r.deterministic_summary();
+        assert!(
+            summary.contains(
+                "serve_overload shed=2 deadline_exceeded=1 rejected_draining=1 \
+                 refused_connections=1 reload_backoffs=1"
+            ),
+            "{summary}"
+        );
+        let json = r.to_json_lines();
+        assert!(json.contains(
+            "{\"type\":\"serve_overload\",\"shed\":2,\"deadline_exceeded\":1,\
+             \"rejected_draining\":1,\"refused_connections\":1}"
+        ));
+        assert!(json.contains(
+            "{\"type\":\"serve_reload_backoff\",\"consecutive_failures\":3,\
+             \"backoff_us\":1000000}"
+        ));
+        // an overload-free run keeps both serializations untouched
+        let clean = Telemetry::new().report();
+        assert!(!clean.deterministic_summary().contains("serve_overload"));
+        assert!(!clean.to_json_lines().contains("serve_overload"));
     }
 
     #[test]

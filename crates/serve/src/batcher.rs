@@ -18,6 +18,19 @@
 //! Ordering guarantee: batches preserve FIFO submission order, both
 //! within a batch (queue order) and across batches (an earlier request is
 //! never flushed later than a later one).
+//!
+//! Overload policy (both knobs default off in [`Batcher::new`], on via
+//! [`BatcherConfig`]):
+//!
+//! * **Watermark shed** — [`Batcher::try_submit`] refuses once the queue
+//!   holds `queue_watermark` requests, so the backlog (and therefore
+//!   worst-case queueing latency) is bounded instead of growing without
+//!   limit under sustained overload.
+//! * **Dequeue-time deadlines** — a request that already waited longer
+//!   than `deadline_us` when its batch is taken is split into
+//!   [`Flush::expired`] and answered through the `expire` hook without
+//!   ever occupying a batch slot, so overload never wastes compute on
+//!   answers nobody is waiting for.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -25,9 +38,49 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-use plssvm_core::trace::{MetricsSink, ServeBatchSample};
+use plssvm_core::trace::{MetricsSink, ServeBatchSample, ServeShedKind};
 
 use crate::clock::Clock;
+
+/// Batching and admission knobs for a [`Batcher`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatcherConfig {
+    /// Flush when this many requests are pending (clamped to ≥ 1).
+    pub max_batch: usize,
+    /// Flush when the oldest pending request is this old (clock µs).
+    pub max_wait_us: u64,
+    /// Shed new submissions once the queue already holds this many
+    /// requests; `0` disables the watermark (unbounded queue).
+    pub queue_watermark: usize,
+    /// Per-request queueing deadline in clock µs, enforced at dequeue
+    /// time: a request that waited *strictly longer* than this is
+    /// expired instead of batched. `0` disables deadlines.
+    pub deadline_us: u64,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            max_wait_us: 2_000,
+            queue_watermark: 1_024,
+            deadline_us: 0,
+        }
+    }
+}
+
+/// Why [`Batcher::try_submit`] refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shed {
+    /// The queue is at or above its watermark; `depth` is the observed
+    /// backlog at refusal time.
+    Overloaded {
+        /// Queue depth observed when the request was shed.
+        depth: usize,
+    },
+    /// The batcher is shutting down (draining); no new work is admitted.
+    ShuttingDown,
+}
 
 /// What [`BatchQueue::poll`] decided.
 #[derive(Debug, PartialEq, Eq)]
@@ -44,8 +97,12 @@ pub enum QueuePoll<R> {
 /// One flushed batch plus its queue bookkeeping.
 #[derive(Debug, PartialEq, Eq)]
 pub struct Flush<R> {
-    /// The coalesced requests, in FIFO submission order.
+    /// The coalesced requests, in FIFO submission order. May be empty
+    /// when a poll woke only to expire overdue requests.
     pub items: Vec<R>,
+    /// Requests that waited past their deadline, in FIFO order; they are
+    /// answered `deadline_exceeded` and never occupy a batch slot.
+    pub expired: Vec<R>,
     /// How long the oldest request in the batch queued, in clock µs.
     pub oldest_wait_us: u64,
     /// Requests still queued after this batch was taken.
@@ -59,17 +116,35 @@ pub struct BatchQueue<R> {
     items: VecDeque<(R, u64)>,
     max_batch: usize,
     max_wait_us: u64,
+    deadline_us: u64,
 }
 
 impl<R> BatchQueue<R> {
     /// A queue flushing at `max_batch` requests (clamped to ≥ 1) or when
-    /// the oldest pending request is `max_wait_us` old.
+    /// the oldest pending request is `max_wait_us` old, with no
+    /// per-request deadline.
     pub fn new(max_batch: usize, max_wait_us: u64) -> Self {
+        Self::with_deadline(max_batch, max_wait_us, 0)
+    }
+
+    /// Like [`BatchQueue::new`], but a request that queued strictly
+    /// longer than `deadline_us` is expired at dequeue time (`0`
+    /// disables deadlines).
+    pub fn with_deadline(max_batch: usize, max_wait_us: u64, deadline_us: u64) -> Self {
         Self {
             items: VecDeque::new(),
             max_batch: max_batch.max(1),
             max_wait_us,
+            deadline_us,
         }
+    }
+
+    /// The instant (clock µs) at which a request enqueued at `enq` goes
+    /// from "late" to "expired": strictly past its deadline, so a wake
+    /// scheduled exactly here always observes the expiry.
+    fn expiry_at(&self, enq: u64) -> u64 {
+        debug_assert!(self.deadline_us > 0);
+        enq.saturating_add(self.deadline_us).saturating_add(1)
     }
 
     /// Enqueues a request observed at `now_us`.
@@ -88,30 +163,64 @@ impl<R> BatchQueue<R> {
     }
 
     /// Decides, at `now_us`, whether a batch is due: full (`max_batch`
-    /// pending) or overdue (oldest pending request past `max_wait_us`).
+    /// pending), overdue (oldest pending request past `max_wait_us`), or
+    /// — with deadlines on — the oldest request strictly past
+    /// `deadline_us` (it must be expired promptly, not left to rot until
+    /// the flush timer fires).
     pub fn poll(&mut self, now_us: u64) -> QueuePoll<R> {
         let Some((_, oldest)) = self.items.front() else {
             return QueuePoll::Empty;
         };
-        let deadline = oldest.saturating_add(self.max_wait_us);
-        if self.items.len() >= self.max_batch || now_us >= deadline {
-            QueuePoll::Ready(self.take_batch(now_us))
+        let flush_at = oldest.saturating_add(self.max_wait_us);
+        let expiry_at = if self.deadline_us > 0 {
+            self.expiry_at(*oldest)
         } else {
-            QueuePoll::WaitUntil(deadline)
+            u64::MAX
+        };
+        if self.items.len() >= self.max_batch || now_us >= flush_at.min(expiry_at) {
+            QueuePoll::Ready(self.take_batch(now_us, false))
+        } else {
+            QueuePoll::WaitUntil(flush_at.min(expiry_at))
         }
     }
 
-    /// Takes a batch immediately regardless of deadline (shutdown drain).
+    /// Takes a batch immediately regardless of the flush timer (shutdown
+    /// drain). Requests already past their deadline still expire.
     pub fn flush_now(&mut self, now_us: u64) -> QueuePoll<R> {
         if self.items.is_empty() {
             QueuePoll::Empty
         } else {
-            QueuePoll::Ready(self.take_batch(now_us))
+            QueuePoll::Ready(self.take_batch(now_us, true))
         }
     }
 
-    fn take_batch(&mut self, now_us: u64) -> Flush<R> {
-        let n = self.items.len().min(self.max_batch);
+    fn take_batch(&mut self, now_us: u64, force: bool) -> Flush<R> {
+        // enqueue timestamps are non-decreasing (one monotonic clock), so
+        // everything expired sits in a prefix of the FIFO
+        let mut expired = Vec::new();
+        if self.deadline_us > 0 {
+            while let Some((_, enq)) = self.items.front() {
+                if now_us >= self.expiry_at(*enq) {
+                    expired.push(self.items.pop_front().expect("front exists").0);
+                } else {
+                    break;
+                }
+            }
+        }
+        // after expiring the prefix, the survivors may be neither full
+        // nor overdue (the wake was for the expiry alone): leave them
+        // queued rather than flushing an undersized batch early
+        let due = force
+            || self.items.len() >= self.max_batch
+            || self
+                .items
+                .front()
+                .is_some_and(|(_, enq)| now_us >= enq.saturating_add(self.max_wait_us));
+        let n = if due {
+            self.items.len().min(self.max_batch)
+        } else {
+            0
+        };
         let mut items = Vec::with_capacity(n);
         let mut oldest_wait_us = 0;
         for i in 0..n {
@@ -123,6 +232,7 @@ impl<R> BatchQueue<R> {
         }
         Flush {
             items,
+            expired,
             oldest_wait_us,
             remaining: self.items.len(),
         }
@@ -228,11 +338,16 @@ impl<S> Ticket<S> {
 }
 
 type Process<R, S> = dyn Fn(Vec<R>) -> Vec<S> + Send + Sync;
+type Expire<R, S> = dyn Fn(R) -> S + Send + Sync;
 
 struct BatcherShared<R, S> {
     queue: Mutex<BatchQueue<(R, Ticket<S>)>>,
+    watermark: usize,
     clock: Arc<dyn Clock>,
     process: Box<Process<R, S>>,
+    /// Maps an expired request to its `deadline_exceeded` response;
+    /// absent (deadline off), expired tickets would be closed instead.
+    expire: Option<Box<Expire<R, S>>>,
     metrics: Option<Arc<dyn MetricsSink>>,
     shutdown: AtomicBool,
 }
@@ -257,10 +372,37 @@ impl<R: Send + 'static, S: Send + 'static> Batcher<R, S> {
         metrics: Option<Arc<dyn MetricsSink>>,
         process: impl Fn(Vec<R>) -> Vec<S> + Send + Sync + 'static,
     ) -> Self {
+        let config = BatcherConfig {
+            max_batch,
+            max_wait_us,
+            queue_watermark: 0,
+            deadline_us: 0,
+        };
+        Self::with_config(config, clock, metrics, None, process)
+    }
+
+    /// Like [`Batcher::new`], but with the full admission policy: a
+    /// queue watermark for [`Batcher::try_submit`] and a per-request
+    /// deadline. `expire` maps a request that waited past its deadline
+    /// to the response its submitter receives (e.g. a structured
+    /// `deadline_exceeded` error); pass `None` only with deadlines off.
+    pub fn with_config(
+        config: BatcherConfig,
+        clock: Arc<dyn Clock>,
+        metrics: Option<Arc<dyn MetricsSink>>,
+        expire: Option<Box<Expire<R, S>>>,
+        process: impl Fn(Vec<R>) -> Vec<S> + Send + Sync + 'static,
+    ) -> Self {
         let shared = Arc::new(BatcherShared {
-            queue: Mutex::new(BatchQueue::new(max_batch, max_wait_us)),
+            queue: Mutex::new(BatchQueue::with_deadline(
+                config.max_batch,
+                config.max_wait_us,
+                config.deadline_us,
+            )),
+            watermark: config.queue_watermark,
             clock,
             process: Box::new(process),
+            expire,
             metrics,
             shutdown: AtomicBool::new(false),
         });
@@ -289,6 +431,28 @@ impl<R: Send + 'static, S: Send + 'static> Batcher<R, S> {
         }
         self.shared.clock.wake();
         ticket
+    }
+
+    /// Admission-controlled submit: refuses instead of queueing when the
+    /// batcher is draining ([`Shed::ShuttingDown`]) or the queue is at
+    /// its watermark ([`Shed::Overloaded`]). The refusal is immediate —
+    /// a shed request never holds a queue slot or a batch slot, which is
+    /// what keeps admitted-request latency bounded under overload.
+    pub fn try_submit(&self, req: R) -> Result<Ticket<S>, Shed> {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(Shed::ShuttingDown);
+        }
+        let ticket = Ticket::new();
+        {
+            let mut queue = self.lock_queue();
+            let depth = queue.len();
+            if self.shared.watermark > 0 && depth >= self.shared.watermark {
+                return Err(Shed::Overloaded { depth });
+            }
+            queue.push((req, ticket.clone()), self.shared.clock.now_us());
+        }
+        self.shared.clock.wake();
+        Ok(ticket)
     }
 
     /// Requests currently queued (not yet flushed into a batch).
@@ -354,9 +518,26 @@ fn worker_loop<R, S>(shared: &BatcherShared<R, S>) {
 fn run_batch<R, S>(shared: &BatcherShared<R, S>, flush: Flush<(R, Ticket<S>)>) {
     let Flush {
         items,
+        expired,
         oldest_wait_us,
         remaining,
     } = flush;
+    for (req, ticket) in expired {
+        match &shared.expire {
+            Some(expire) => ticket.fill(expire(req)),
+            // deadline configured but no expiry mapper: close (→
+            // structured internal error) rather than hang the submitter
+            None => ticket.close(),
+        }
+        if let Some(metrics) = &shared.metrics {
+            metrics.record_serve_shed(ServeShedKind::DeadlineExceeded);
+        }
+    }
+    if items.is_empty() {
+        // the wake was for expiries alone — no batch ran, so no batch
+        // sample: batch metrics only ever describe real processor calls
+        return;
+    }
     let batch_size = items.len();
     let (requests, tickets): (Vec<R>, Vec<Ticket<S>>) = items.into_iter().unzip();
     let started = shared.clock.now_us();
@@ -464,6 +645,94 @@ mod tests {
         q.push(7, 0);
         match q.flush_now(1) {
             QueuePoll::Ready(f) => assert_eq!(f.items, vec![7]),
+            other => panic!("expected Ready, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_expires_strictly_after_wait_exceeds_budget() {
+        let mut q = BatchQueue::with_deadline(10, 1_000, 200);
+        q.push("r", 100);
+        // the queue must wake at the expiry instant (enq + deadline + 1),
+        // which beats the flush timer (enq + max_wait)
+        assert_eq!(q.poll(100), QueuePoll::WaitUntil(301));
+        // waited EXACTLY the deadline: still live, still only waiting
+        assert_eq!(q.poll(300), QueuePoll::WaitUntil(301));
+        match q.poll(301) {
+            QueuePoll::Ready(f) => {
+                assert_eq!(f.expired, vec!["r"]);
+                assert!(f.items.is_empty());
+                assert_eq!(f.remaining, 0);
+            }
+            other => panic!("expected Ready, got {other:?}"),
+        }
+        assert_eq!(q.poll(302), QueuePoll::Empty);
+    }
+
+    #[test]
+    fn expired_prefix_splits_from_live_batch() {
+        let mut q = BatchQueue::with_deadline(10, 50, 200);
+        q.push("dead1", 0);
+        q.push("dead2", 10);
+        q.push("live", 250);
+        // at 300: both old requests are strictly past 200µs of waiting,
+        // "live" (waited 50 = its flush timer) flushes as a normal batch
+        match q.poll(300) {
+            QueuePoll::Ready(f) => {
+                assert_eq!(f.expired, vec!["dead1", "dead2"]);
+                assert_eq!(f.items, vec!["live"]);
+                assert_eq!(f.oldest_wait_us, 50);
+                assert_eq!(f.remaining, 0);
+            }
+            other => panic!("expected Ready, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expiry_wake_leaves_fresh_survivors_queued() {
+        let mut q = BatchQueue::with_deadline(10, 500, 100);
+        q.push("dead", 0);
+        q.push("fresh", 90);
+        // 101: "dead" expires; "fresh" (waited 11µs of its 500µs flush
+        // window) must NOT be flushed early just because the wake fired
+        match q.poll(101) {
+            QueuePoll::Ready(f) => {
+                assert_eq!(f.expired, vec!["dead"]);
+                assert!(f.items.is_empty());
+                assert_eq!(f.remaining, 1);
+            }
+            other => panic!("expected Ready, got {other:?}"),
+        }
+        // the next poll re-arms on the survivor's own deadlines
+        assert_eq!(q.poll(101), QueuePoll::WaitUntil(191));
+    }
+
+    #[test]
+    fn flush_now_still_expires_overdue_requests() {
+        let mut q = BatchQueue::with_deadline(10, 1_000_000, 100);
+        q.push("dead", 0);
+        q.push("live", 150);
+        match q.flush_now(200) {
+            QueuePoll::Ready(f) => {
+                assert_eq!(f.expired, vec!["dead"]);
+                assert_eq!(f.items, vec!["live"]);
+            }
+            other => panic!("expected Ready, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_equal_to_max_wait_flushes_instead_of_expiring() {
+        // the flush timer fires at enq+max_wait, the expiry strictly
+        // after (enq+deadline+1): an on-time flush wins the race
+        let mut q = BatchQueue::with_deadline(10, 200, 200);
+        q.push("r", 0);
+        assert_eq!(q.poll(0), QueuePoll::WaitUntil(200));
+        match q.poll(200) {
+            QueuePoll::Ready(f) => {
+                assert_eq!(f.items, vec!["r"]);
+                assert!(f.expired.is_empty());
+            }
             other => panic!("expected Ready, got {other:?}"),
         }
     }

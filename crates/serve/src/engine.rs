@@ -13,23 +13,34 @@
 //! that changes the feature count therefore turns stale-shaped requests
 //! into structured per-request errors instead of panics.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
-use plssvm_core::trace::{MetricsSink, ServeRequestSample};
+use plssvm_core::trace::{MetricsSink, ServeRequestSample, ServeShedKind};
 use plssvm_data::dense::DenseMatrix;
 
-use crate::batcher::{Batcher, Ticket};
+use crate::batcher::{Batcher, BatcherConfig, Shed, Ticket};
 use crate::clock::Clock;
 use crate::model::{Prediction, ServeModel};
-use crate::protocol::{format_response, parse_line, ParsedLine, Query, QueryFormat};
+use crate::protocol::{
+    format_response, parse_line, ParsedLine, Query, QueryFormat, ERR_DEADLINE, ERR_OVERLOADED,
+    ERR_SHUTTING_DOWN,
+};
 
-/// Micro-batching knobs.
+/// Micro-batching and admission knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
     /// Flush a batch as soon as this many requests are queued.
     pub max_batch: usize,
     /// Flush a batch once its oldest request has waited this long (µs).
     pub max_wait_us: u64,
+    /// Shed requests with `overloaded` once this many are already
+    /// queued; `0` disables shedding (unbounded queue, PR 7 behavior).
+    pub queue_watermark: usize,
+    /// Answer `deadline_exceeded` to any request that queued strictly
+    /// longer than this (µs) without spending a batch slot on it; `0`
+    /// disables deadlines.
+    pub deadline_us: u64,
 }
 
 impl Default for EngineConfig {
@@ -37,6 +48,8 @@ impl Default for EngineConfig {
         Self {
             max_batch: 64,
             max_wait_us: 2_000,
+            queue_watermark: 1_024,
+            deadline_us: 0,
         }
     }
 }
@@ -76,6 +89,17 @@ pub enum Pending {
         /// Submission timestamp (clock µs) for latency accounting.
         submitted_us: u64,
     },
+    /// The request was shed at admission (queue watermark hit, or the
+    /// server is draining): answer immediately with the structured
+    /// overload error. Already counted as a shed, not a served request.
+    Shed {
+        /// Wire format to answer in.
+        format: QueryFormat,
+        /// Request id to echo.
+        id: Option<String>,
+        /// Why it was shed (selects the error message).
+        kind: ServeShedKind,
+    },
 }
 
 /// The batched inference engine.
@@ -84,6 +108,7 @@ pub struct Engine {
     slot: Arc<Mutex<Arc<Generation>>>,
     clock: Arc<dyn Clock>,
     metrics: Option<Arc<dyn MetricsSink>>,
+    draining: AtomicBool,
 }
 
 impl Engine {
@@ -96,11 +121,17 @@ impl Engine {
     ) -> Self {
         let slot = Arc::new(Mutex::new(Arc::new(Generation { id: 1, model })));
         let process_slot = Arc::clone(&slot);
-        let batcher = Batcher::new(
-            config.max_batch,
-            config.max_wait_us,
+        let batcher_config = BatcherConfig {
+            max_batch: config.max_batch,
+            max_wait_us: config.max_wait_us,
+            queue_watermark: config.queue_watermark,
+            deadline_us: config.deadline_us,
+        };
+        let batcher = Batcher::with_config(
+            batcher_config,
             Arc::clone(&clock),
             metrics.clone(),
+            Some(Box::new(|_job: Job| Err(ERR_DEADLINE.to_string()))),
             move |jobs: Vec<Job>| {
                 // snapshot the generation ONCE per batch: every request in
                 // the batch is answered by the same fully-loaded model
@@ -113,6 +144,7 @@ impl Engine {
             slot,
             clock,
             metrics,
+            draining: AtomicBool::new(false),
         }
     }
 
@@ -135,21 +167,36 @@ impl Engine {
         }
     }
 
-    /// Queues a parsed request into the micro-batcher.
+    /// Queues a parsed request into the micro-batcher, or sheds it when
+    /// the server is draining or the queue is at its watermark. Sheds
+    /// are counted here (at the decision point), exactly once.
     pub fn submit(&self, query: Query) -> Pending {
         let Query {
             id,
             entries,
             format,
         } = query;
-        let submitted_us = self.clock.now_us();
-        let ticket = self.batcher.submit(entries);
-        Pending::Queued {
-            format,
-            id,
-            ticket,
-            submitted_us,
+        if self.draining.load(Ordering::SeqCst) {
+            return self.shed(format, id, ServeShedKind::ShuttingDown);
         }
+        let submitted_us = self.clock.now_us();
+        match self.batcher.try_submit(entries) {
+            Ok(ticket) => Pending::Queued {
+                format,
+                id,
+                ticket,
+                submitted_us,
+            },
+            Err(Shed::Overloaded { .. }) => self.shed(format, id, ServeShedKind::Overloaded),
+            Err(Shed::ShuttingDown) => self.shed(format, id, ServeShedKind::ShuttingDown),
+        }
+    }
+
+    fn shed(&self, format: QueryFormat, id: Option<String>, kind: ServeShedKind) -> Pending {
+        if let Some(metrics) = &self.metrics {
+            metrics.record_serve_shed(kind);
+        }
+        Pending::Shed { format, id, kind }
     }
 
     /// Blocks until the request's batch completes and formats its
@@ -176,6 +223,17 @@ impl Engine {
                 let latency = self.clock.now_us().saturating_sub(submitted_us);
                 self.record_request(latency, outcome.is_ok());
                 format_response(format, id.as_deref(), &outcome)
+            }
+            Pending::Shed { format, id, kind } => {
+                let message = match kind {
+                    // connection refusals never reach here (they are
+                    // handled before a request exists), but a capacity
+                    // refusal is still "overloaded" if one ever did
+                    ServeShedKind::Overloaded | ServeShedKind::RefusedConnection => ERR_OVERLOADED,
+                    ServeShedKind::DeadlineExceeded => ERR_DEADLINE,
+                    ServeShedKind::ShuttingDown => ERR_SHUTTING_DOWN,
+                };
+                format_response(format, id.as_deref(), &Err(message.to_string()))
             }
         }
     }
@@ -221,6 +279,19 @@ impl Engine {
     /// Requests currently waiting in the micro-batch queue.
     pub fn queue_depth(&self) -> usize {
         self.batcher.queue_depth()
+    }
+
+    /// Flips the engine to draining: every request submitted from now
+    /// on is shed with `shutting_down`, while requests already queued
+    /// finish on their generation. Idempotent; the batcher keeps running
+    /// until [`Engine::shutdown`] so in-flight tickets still resolve.
+    pub fn set_draining(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`Engine::set_draining`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
     }
 
     /// Stops the batcher, draining all queued requests first.
@@ -296,6 +367,7 @@ mod tests {
             EngineConfig {
                 max_batch: 1,
                 max_wait_us: 0,
+                ..EngineConfig::default()
             },
             Arc::new(SystemClock::new()),
             None,
@@ -347,10 +419,32 @@ mod tests {
     }
 
     #[test]
-    fn shutdown_closes_later_submissions_without_hanging() {
+    fn shutdown_sheds_later_submissions_without_hanging() {
         let e = engine();
         e.shutdown();
         let r = e.respond_line("1 1:1").unwrap();
-        assert!(r.contains("request dropped"), "{r}");
+        assert_eq!(r, r#"{"error":"shutting_down"}"#);
+    }
+
+    #[test]
+    fn draining_engine_sheds_new_requests_but_parse_errors_stay_parse_errors() {
+        let e = engine();
+        e.set_draining();
+        assert!(e.is_draining());
+        // new well-formed requests: structured shutting_down, id echoed
+        assert_eq!(
+            e.respond_line(r#"{"id":3,"features":[1,0]}"#).as_deref(),
+            Some(r#"{"id":3,"error":"shutting_down"}"#)
+        );
+        assert_eq!(
+            e.respond_line("1 1:1").as_deref(),
+            Some(r#"{"error":"shutting_down"}"#)
+        );
+        // malformed lines still answer with their parse error
+        let r = e.respond_line("garbage ::").unwrap();
+        assert!(r.contains("error") && !r.contains("shutting_down"), "{r}");
+        // comments still need no reply
+        assert_eq!(e.respond_line("# c"), None);
+        e.shutdown();
     }
 }

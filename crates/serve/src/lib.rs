@@ -7,12 +7,19 @@
 //! panelized prediction path, and supports hot model reloads with zero
 //! dropped requests ([`reload`]).
 //!
+//! The serving path is overload-hardened: connection admission and
+//! graceful drain live in [`admission`], queue watermark shedding and
+//! dequeue-time deadlines in [`batcher`], and slow-client read budgets
+//! in [`net`] — every refused or expired request is answered with a
+//! structured error line, never a silent drop.
+//!
 //! Everything timing-dependent is built against the injectable
 //! [`clock::Clock`] so batching deadlines and reload behavior are
 //! deterministically testable without sleeps.
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod batcher;
 pub mod clock;
 pub mod engine;
@@ -21,10 +28,21 @@ pub mod net;
 pub mod protocol;
 pub mod reload;
 
-pub use batcher::{BatchQueue, Batcher, Flush, QueuePoll, Ticket};
+pub use admission::{ConnGuard, ServerControl};
+pub use batcher::{BatchQueue, Batcher, BatcherConfig, Flush, QueuePoll, Shed, Ticket};
 pub use clock::{Clock, ManualClock, SystemClock};
-pub use engine::{Engine, EngineConfig};
+pub use engine::{Engine, EngineConfig, Pending};
 pub use model::{Prediction, ServeModel};
-pub use net::{serve_lines, serve_tcp};
-pub use protocol::{parse_line, ParsedLine, Query, QueryFormat};
-pub use reload::{attempt_reload, spawn_watcher, ManualTrigger, PollTrigger, ReloadTrigger};
+pub use net::{
+    serve_connection, serve_lines, serve_tcp, ConnectionOptions, TimedRead,
+    ERR_CLIENT_TIMEOUT_LINE, ERR_LINE_TOO_LONG_LINE, ERR_REFUSED_DRAINING_LINE, ERR_REFUSED_LINE,
+    MAX_LINE_BYTES,
+};
+pub use protocol::{
+    parse_control, parse_line, Control, ParsedLine, Query, QueryFormat, DRAIN_ACK, ERR_DEADLINE,
+    ERR_OVERLOADED, ERR_SHUTTING_DOWN,
+};
+pub use reload::{
+    attempt_reload, spawn_watcher, spawn_watcher_with_breaker, BreakerConfig, ManualTrigger,
+    PollTrigger, ReloadAttempt, ReloadBreaker, ReloadTrigger,
+};

@@ -1,46 +1,229 @@
 //! Transport: newline-delimited serving over stdin/stdout or TCP.
 //!
-//! Both modes share [`serve_lines`]: a reader thread parses and submits
-//! lines into the engine while the writer resolves responses in strict
-//! FIFO submission order — so the micro-batcher can coalesce requests
-//! that are still streaming in, yet clients always receive answers in
-//! the order they sent requests.
+//! Both modes share [`serve_connection`]: a reader thread parses and
+//! submits lines into the engine while the writer resolves responses in
+//! strict FIFO submission order — so the micro-batcher can coalesce
+//! requests that are still streaming in, yet clients always receive
+//! answers in the order they sent requests.
+//!
+//! The transport is where overload hardening meets the outside world:
+//!
+//! * Reads go through [`read_request_line`], which enforces a per-line
+//!   byte cap and a per-line time budget — a slowloris peer dribbling
+//!   bytes or an endless unterminated line gets a structured error and
+//!   a close, never a pinned thread.
+//! * [`serve_tcp`] admits connections through a
+//!   [`ServerControl`](crate::admission::ServerControl): past
+//!   `--max-connections` the accept loop answers one structured JSON
+//!   error line and closes instead of spawning an unbounded thread.
+//! * The `shutdown` control line (or the `stop` flag, wired to
+//!   SIGTERM/SIGINT) begins a graceful drain: the accept loop stops,
+//!   blocked readers wake to EOF, buffered lines answer
+//!   `shutting_down`, in-flight requests finish, and `serve_tcp`
+//!   returns `Ok` after every connection thread joined.
 
 use std::io::{BufRead, BufReader, ErrorKind, Write};
-use std::net::TcpListener;
+use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use plssvm_core::trace::ServeShedKind;
+
+use crate::admission::ServerControl;
 use crate::engine::{Engine, Pending};
+use crate::protocol::{parse_control, Control, DRAIN_ACK};
 
 /// How many submitted-but-unresolved requests one connection may have in
 /// flight before its reader blocks (bounds memory per connection).
 const PIPELINE_DEPTH: usize = 1024;
 
+/// Per-line byte cap: a peer streaming an endless unterminated line is
+/// answered with a structured error instead of growing a buffer forever.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// The final response line sent when a client exhausted its per-line
+/// read budget (`--client-timeout-ms`).
+pub const ERR_CLIENT_TIMEOUT_LINE: &str = r#"{"error":"client_timeout"}"#;
+
+/// The final response line sent when a request line exceeded
+/// [`MAX_LINE_BYTES`].
+pub const ERR_LINE_TOO_LONG_LINE: &str = r#"{"error":"line_too_long"}"#;
+
+/// The refusal line sent to a connection past `--max-connections`.
+pub const ERR_REFUSED_LINE: &str = r#"{"error":"overloaded","reason":"max_connections"}"#;
+
+/// The refusal line sent to a connection accepted mid-drain.
+pub const ERR_REFUSED_DRAINING_LINE: &str = r#"{"error":"shutting_down"}"#;
+
+/// A buffered reader whose blocking reads can be bounded in time.
+///
+/// The default implementation is a no-op (in-memory readers and stdin
+/// cannot time out); the [`TcpStream`]-backed implementation arms the
+/// socket's read timeout so [`read_request_line`] can enforce a per-line
+/// budget against a stalled peer.
+pub trait TimedRead: BufRead {
+    /// Bounds how long one underlying read may block. `None` disables.
+    fn set_read_timeout(&mut self, _timeout: Option<Duration>) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl TimedRead for BufReader<TcpStream> {
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.get_ref().set_read_timeout(timeout)
+    }
+}
+
+impl<T: AsRef<[u8]>> TimedRead for std::io::Cursor<T> {}
+impl TimedRead for std::io::StdinLock<'_> {}
+impl TimedRead for BufReader<std::io::Stdin> {}
+impl TimedRead for std::io::Empty {}
+impl<T: TimedRead + ?Sized> TimedRead for &mut T {
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        (**self).set_read_timeout(timeout)
+    }
+}
+
+/// Outcome of reading one request line.
+#[derive(Debug, PartialEq, Eq)]
+pub enum LineRead {
+    /// One complete line (trailing `\n`/`\r` stripped). A final
+    /// unterminated line at EOF is also delivered this way.
+    Line(String),
+    /// Clean end of stream.
+    Eof,
+    /// The per-line time budget ran out mid-line (stalled client).
+    TimedOut,
+    /// The line exceeded [`MAX_LINE_BYTES`] without a newline.
+    TooLong,
+}
+
+/// Reads one newline-terminated request line under a time budget.
+///
+/// `budget` bounds the wall-clock time one *line* may take to arrive in
+/// full; the caller must also have armed the transport's own read
+/// timeout (see [`TimedRead::set_read_timeout`]) so no single blocking
+/// read can exceed it either. Invalid UTF-8 is replaced (the parse layer
+/// then rejects it as a malformed request) — a binary-garbage client
+/// gets a structured error, never a dropped connection.
+pub fn read_request_line(
+    input: &mut impl TimedRead,
+    budget: Option<Duration>,
+) -> std::io::Result<LineRead> {
+    let start = Instant::now();
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        if budget.is_some_and(|b| start.elapsed() > b) {
+            return Ok(LineRead::TimedOut);
+        }
+        let available = match input.fill_buf() {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                return Ok(LineRead::TimedOut)
+            }
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            return Ok(if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line(finish_line(buf))
+            });
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(nl) => {
+                if buf.len().saturating_add(nl) > MAX_LINE_BYTES {
+                    return Ok(LineRead::TooLong);
+                }
+                buf.extend_from_slice(&available[..nl]);
+                input.consume(nl + 1);
+                return Ok(LineRead::Line(finish_line(buf)));
+            }
+            None => {
+                let n = available.len();
+                if buf.len().saturating_add(n) > MAX_LINE_BYTES {
+                    return Ok(LineRead::TooLong);
+                }
+                buf.extend_from_slice(available);
+                input.consume(n);
+            }
+        }
+    }
+}
+
+fn finish_line(buf: Vec<u8>) -> String {
+    let mut line = String::from_utf8_lossy(&buf).into_owned();
+    while line.ends_with(['\n', '\r']) {
+        line.pop();
+    }
+    line
+}
+
+/// Per-connection transport knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConnectionOptions {
+    /// Per-line read budget (and socket write timeout): a client that
+    /// stalls mid-line longer than this gets `client_timeout` and a
+    /// close. `None` disables (stdin mode, tests).
+    pub client_timeout: Option<Duration>,
+}
+
+/// What the reader thread hands the writer: either a submitted request
+/// to resolve, or a transport-level line to emit verbatim (drain acks,
+/// timeout errors) — routed through the same FIFO so replies never
+/// reorder.
+enum ReaderMsg {
+    Pending(Pending),
+    Verbatim(&'static str),
+}
+
 /// Serves one line stream: requests from `input`, responses to `output`,
-/// one line each, FIFO. Returns when `input` reaches EOF (or the first
-/// I/O error on either side).
-pub fn serve_lines<R, W>(engine: &Engine, input: R, mut output: W) -> std::io::Result<()>
+/// one line each, FIFO. Returns when `input` reaches EOF, the client
+/// times out or overflows a line (after a final structured error line),
+/// a `shutdown` control line arrives (after its ack), or on the first
+/// I/O error.
+pub fn serve_connection<R, W>(
+    engine: &Engine,
+    input: R,
+    mut output: W,
+    opts: ConnectionOptions,
+    control: &ServerControl,
+) -> std::io::Result<()>
 where
-    R: BufRead + Send,
+    R: TimedRead + Send,
     W: Write,
 {
     std::thread::scope(|s| {
-        let (tx, rx) = mpsc::sync_channel::<Pending>(PIPELINE_DEPTH);
+        let (tx, rx) = mpsc::sync_channel::<ReaderMsg>(PIPELINE_DEPTH);
         let reader = s.spawn(move || -> std::io::Result<()> {
-            // manual read_line loop: one reused buffer instead of a
-            // fresh String per request
             let mut input = input;
-            let mut line = String::new();
+            input.set_read_timeout(opts.client_timeout)?;
             loop {
-                line.clear();
-                if input.read_line(&mut line)? == 0 {
+                let line = match read_request_line(&mut input, opts.client_timeout)? {
+                    LineRead::Line(line) => line,
+                    LineRead::Eof => return Ok(()),
+                    LineRead::TimedOut => {
+                        let _ = tx.send(ReaderMsg::Verbatim(ERR_CLIENT_TIMEOUT_LINE));
+                        return Ok(());
+                    }
+                    LineRead::TooLong => {
+                        let _ = tx.send(ReaderMsg::Verbatim(ERR_LINE_TOO_LONG_LINE));
+                        return Ok(());
+                    }
+                };
+                // control lines are transport-level: ack through the FIFO
+                // (so it lands after every earlier response), start the
+                // drain, and stop reading — this connection is done
+                if let Some(Control::Shutdown) = parse_control(&line) {
+                    let _ = tx.send(ReaderMsg::Verbatim(DRAIN_ACK));
+                    engine.set_draining();
+                    control.begin_drain();
                     return Ok(());
                 }
-                let trimmed = line.trim_end_matches(['\n', '\r']);
-                if let Some(pending) = engine.handle_line(trimmed) {
-                    if tx.send(pending).is_err() {
+                if let Some(pending) = engine.handle_line(&line) {
+                    if tx.send(ReaderMsg::Pending(pending)).is_err() {
                         // writer side failed; stop reading
                         return Ok(());
                     }
@@ -53,18 +236,25 @@ where
         // immediately before the writer blocks again
         let mut write_result: std::io::Result<()> = Ok(());
         'serve: while let Ok(first) = rx.recv() {
-            let mut pending = first;
+            let mut msg = first;
             loop {
-                let response = engine.resolve(pending);
+                let response;
+                let line = match msg {
+                    ReaderMsg::Pending(pending) => {
+                        response = engine.resolve(pending);
+                        response.as_str()
+                    }
+                    ReaderMsg::Verbatim(line) => line,
+                };
                 if let Err(e) = output
-                    .write_all(response.as_bytes())
+                    .write_all(line.as_bytes())
                     .and_then(|()| output.write_all(b"\n"))
                 {
                     write_result = Err(e);
                     break 'serve;
                 }
                 match rx.try_recv() {
-                    Ok(next) => pending = next,
+                    Ok(next) => msg = next,
                     Err(_) => break,
                 }
             }
@@ -78,14 +268,41 @@ where
     })
 }
 
+/// [`serve_connection`] with no timeout and a private, unlimited
+/// [`ServerControl`] — the stdin/stdout mode and the single-stream test
+/// entry point. A `shutdown` control line still drains the engine (new
+/// submissions shed `shutting_down`) and ends the stream.
+pub fn serve_lines<R, W>(engine: &Engine, input: R, output: W) -> std::io::Result<()>
+where
+    R: TimedRead + Send,
+    W: Write,
+{
+    let control = ServerControl::unlimited();
+    serve_connection(
+        engine,
+        input,
+        output,
+        ConnectionOptions::default(),
+        &control,
+    )
+}
+
 /// Accept loop: serves each TCP connection on its own thread (all
 /// connections share the engine and therefore the micro-batcher, so
-/// concurrent clients coalesce into shared batches). `stop` makes the
-/// loop exit after in-flight connections finish; `on_disconnect` runs
-/// when a connection closes (the CLI snapshots metrics there).
+/// concurrent clients coalesce into shared batches).
+///
+/// Admission goes through `control`: connections past the cap get one
+/// structured refusal line and a close. Setting `stop` (the CLI wires it
+/// to SIGTERM/SIGINT) — or a `shutdown` control line on any connection —
+/// begins a graceful drain: the engine sheds new requests as
+/// `shutting_down`, blocked readers wake, and this function returns `Ok`
+/// once every connection thread has joined. `on_disconnect` runs when a
+/// connection closes (the CLI snapshots metrics there).
 pub fn serve_tcp(
     engine: &Engine,
     listener: TcpListener,
+    control: &ServerControl,
+    opts: ConnectionOptions,
     stop: &AtomicBool,
     on_disconnect: &(dyn Fn() + Sync),
 ) -> std::io::Result<()> {
@@ -93,25 +310,46 @@ pub fn serve_tcp(
     std::thread::scope(|s| {
         loop {
             if stop.load(Ordering::SeqCst) {
+                engine.set_draining();
+                control.begin_drain();
+            }
+            if control.is_draining() {
+                // engine-side shedding must be on before we stop
+                // accepting, whichever path initiated the drain
+                engine.set_draining();
                 return Ok(());
             }
             match listener.accept() {
                 Ok((stream, _peer)) => {
                     let _ = stream.set_nodelay(true);
-                    s.spawn(move || {
-                        let Ok(read_half) = stream.try_clone() else {
-                            return;
-                        };
-                        // buffered write half: serve_lines flushes at
-                        // every pipeline drain, so responses still leave
-                        // promptly while bursts cost one syscall each
-                        let _ = serve_lines(
-                            engine,
-                            BufReader::new(read_half),
-                            std::io::BufWriter::new(stream),
-                        );
-                        on_disconnect();
-                    });
+                    match control.register(stream.try_clone().ok()) {
+                        Some(guard) => {
+                            s.spawn(move || {
+                                let _guard = guard;
+                                let Ok(read_half) = stream.try_clone() else {
+                                    return;
+                                };
+                                if let Some(t) = opts.client_timeout {
+                                    // a peer that never reads its replies
+                                    // must not wedge the writer either
+                                    let _ = stream.set_write_timeout(Some(t));
+                                }
+                                // buffered write half: serve_connection
+                                // flushes at every pipeline drain, so
+                                // responses still leave promptly while
+                                // bursts cost one syscall each
+                                let _ = serve_connection(
+                                    engine,
+                                    BufReader::new(read_half),
+                                    std::io::BufWriter::new(stream),
+                                    opts,
+                                    control,
+                                );
+                                on_disconnect();
+                            });
+                        }
+                        None => refuse_connection(engine, control, stream),
+                    }
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(10));
@@ -119,7 +357,25 @@ pub fn serve_tcp(
                 Err(e) => return Err(e),
             }
         }
+        // thread::scope joins the per-connection threads here: by the
+        // time serve_tcp returns, no reader/writer is still running
     })
+}
+
+/// Answers a connection the cap (or a drain) refused: one structured
+/// JSON line, best-effort with a short write timeout, then close.
+fn refuse_connection(engine: &Engine, control: &ServerControl, mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let line = if control.is_draining() {
+        ERR_REFUSED_DRAINING_LINE
+    } else {
+        ERR_REFUSED_LINE
+    };
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.write_all(b"\n");
+    if let Some(metrics) = engine.metrics() {
+        metrics.record_serve_shed(ServeShedKind::RefusedConnection);
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +384,7 @@ mod tests {
     use crate::clock::SystemClock;
     use crate::engine::EngineConfig;
     use crate::model::ServeModel;
+    use crate::protocol::ERR_SHUTTING_DOWN;
     use std::io::Cursor;
     use std::sync::Arc;
 
@@ -139,6 +396,7 @@ mod tests {
             EngineConfig {
                 max_batch,
                 max_wait_us,
+                ..EngineConfig::default()
             },
             Arc::new(SystemClock::new()),
             None,
@@ -172,11 +430,21 @@ mod tests {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let stop = Arc::new(AtomicBool::new(false));
+        let control = Arc::new(ServerControl::unlimited());
 
         let e2 = Arc::clone(&e);
         let stop2 = Arc::clone(&stop);
+        let control2 = Arc::clone(&control);
         let server = std::thread::spawn(move || {
-            serve_tcp(&e2, listener, &stop2, &|| {}).unwrap();
+            serve_tcp(
+                &e2,
+                listener,
+                &control2,
+                ConnectionOptions::default(),
+                &stop2,
+                &|| {},
+            )
+            .unwrap();
         });
 
         let clients: Vec<_> = (0..3)
@@ -209,6 +477,123 @@ mod tests {
         }
         stop.store(true, Ordering::SeqCst);
         server.join().unwrap();
+        assert_eq!(control.active_connections(), 0, "connection guard leak");
+        e.shutdown();
+    }
+
+    /// A reader that yields some data, then fails with `TimedOut` — the
+    /// deterministic stand-in for a stalled socket.
+    struct StallingReader {
+        data: Cursor<Vec<u8>>,
+        stalled: bool,
+    }
+
+    impl std::io::Read for StallingReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = std::io::Read::read(&mut self.data, buf)?;
+            if n == 0 {
+                self.stalled = true;
+                return Err(std::io::Error::new(ErrorKind::TimedOut, "stalled peer"));
+            }
+            Ok(n)
+        }
+    }
+
+    impl BufRead for StallingReader {
+        fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+            if self.data.position() as usize >= self.data.get_ref().len() {
+                self.stalled = true;
+                return Err(std::io::Error::new(ErrorKind::TimedOut, "stalled peer"));
+            }
+            self.data.fill_buf()
+        }
+        fn consume(&mut self, amt: usize) {
+            self.data.consume(amt);
+        }
+    }
+
+    impl TimedRead for StallingReader {}
+
+    #[test]
+    fn read_request_line_handles_eof_partial_and_timeout() {
+        let mut c = Cursor::new(b"full line\npartial".to_vec());
+        assert_eq!(
+            read_request_line(&mut c, None).unwrap(),
+            LineRead::Line("full line".into())
+        );
+        // a final unterminated line still parses (read_line semantics)
+        assert_eq!(
+            read_request_line(&mut c, None).unwrap(),
+            LineRead::Line("partial".into())
+        );
+        assert_eq!(read_request_line(&mut c, None).unwrap(), LineRead::Eof);
+
+        // a stall mid-line surfaces as TimedOut, not an error
+        let mut s = StallingReader {
+            data: Cursor::new(b"1 1:3\nhalf a li".to_vec()),
+            stalled: false,
+        };
+        assert_eq!(
+            read_request_line(&mut s, None).unwrap(),
+            LineRead::Line("1 1:3".into())
+        );
+        assert_eq!(read_request_line(&mut s, None).unwrap(), LineRead::TimedOut);
+        assert!(s.stalled);
+    }
+
+    #[test]
+    fn read_request_line_caps_line_length() {
+        let mut huge = vec![b'x'; MAX_LINE_BYTES + 10];
+        huge.push(b'\n');
+        let mut c = Cursor::new(huge);
+        assert_eq!(read_request_line(&mut c, None).unwrap(), LineRead::TooLong);
+    }
+
+    #[test]
+    fn read_request_line_replaces_invalid_utf8() {
+        let mut c = Cursor::new(b"\xff\xfe 1:1\n".to_vec());
+        match read_request_line(&mut c, None).unwrap() {
+            LineRead::Line(l) => assert!(l.contains('\u{fffd}')),
+            other => panic!("expected Line, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stalled_client_gets_final_timeout_line() {
+        let e = engine(1, 0);
+        let input = StallingReader {
+            data: Cursor::new(b"1 1:3\n{\"id\":2,\"feat".to_vec()),
+            stalled: false,
+        };
+        let mut out = Vec::new();
+        let control = ServerControl::unlimited();
+        serve_connection(&e, input, &mut out, ConnectionOptions::default(), &control).unwrap();
+        e.shutdown();
+        let out = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines, vec!["1", ERR_CLIENT_TIMEOUT_LINE], "{out}");
+    }
+
+    #[test]
+    fn shutdown_control_line_acks_drains_and_ends_stream() {
+        let e = engine(8, 200);
+        let control = ServerControl::unlimited();
+        let input = Cursor::new("1 1:3\nshutdown\n1 2:9\n".as_bytes().to_vec());
+        let mut out = Vec::new();
+        serve_connection(&e, input, &mut out, ConnectionOptions::default(), &control).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        // the request before shutdown is answered, the ack follows, and
+        // the line after shutdown is never read
+        assert_eq!(lines, vec!["1", DRAIN_ACK], "{out}");
+        assert!(control.is_draining());
+        assert!(e.is_draining());
+        // a later stream on the same engine sheds with shutting_down
+        let input = Cursor::new("1 1:3\n".as_bytes().to_vec());
+        let mut out = Vec::new();
+        serve_connection(&e, input, &mut out, ConnectionOptions::default(), &control).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        assert_eq!(out.trim(), format!("{{\"error\":\"{ERR_SHUTTING_DOWN}\"}}"));
         e.shutdown();
     }
 }

@@ -23,6 +23,36 @@ use plssvm_data::MAX_FEATURE_INDEX;
 
 use crate::model::Prediction;
 
+/// Error message for requests shed at the admission watermark.
+pub const ERR_OVERLOADED: &str = "overloaded";
+/// Error message for requests that queued past their deadline.
+pub const ERR_DEADLINE: &str = "deadline_exceeded";
+/// Error message for requests arriving while the server drains.
+pub const ERR_SHUTTING_DOWN: &str = "shutting_down";
+/// The acknowledgement line sent in response to the `shutdown` control
+/// line before the drain begins.
+pub const DRAIN_ACK: &str = r#"{"ok":"draining"}"#;
+
+/// An out-of-band control line (not an inference request).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// `shutdown` — begin a graceful drain (the in-band equivalent of
+    /// SIGTERM, used by tests and orchestration scripts).
+    Shutdown,
+}
+
+/// Recognizes control lines. Deliberately **not** part of
+/// [`parse_line`]: control is a transport-level concern the connection
+/// loop checks first, so the protocol corpus tests (which replay
+/// arbitrary mutated lines through the engine) can never trigger a
+/// drain by accident.
+pub fn parse_control(line: &str) -> Option<Control> {
+    match line.trim() {
+        "shutdown" => Some(Control::Shutdown),
+        _ => None,
+    }
+}
+
 /// Which wire format a request arrived in (echoed in the response).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueryFormat {
@@ -532,6 +562,18 @@ mod tests {
         assert_eq!(parse_line(""), ParsedLine::Ignored);
         assert_eq!(parse_line("   \t"), ParsedLine::Ignored);
         assert_eq!(parse_line("# comment"), ParsedLine::Ignored);
+    }
+
+    #[test]
+    fn control_lines_are_transport_level_only() {
+        assert_eq!(parse_control("shutdown"), Some(Control::Shutdown));
+        assert_eq!(parse_control("  shutdown \t"), Some(Control::Shutdown));
+        assert_eq!(parse_control("shutdown now"), None);
+        assert_eq!(parse_control("1 1:0.5"), None);
+        // parse_line must NOT recognize it — it falls through to LIBSVM
+        // parsing (and errors there), so replayed corpora cannot drain
+        // an engine by accident
+        assert!(matches!(parse_line("shutdown"), ParsedLine::Error { .. }));
     }
 
     #[test]

@@ -12,13 +12,22 @@
 //! Change detection is abstracted behind [`ReloadTrigger`] so tests
 //! drive reloads deterministically ([`ManualTrigger`]) while production
 //! polls the file signature ([`PollTrigger`]).
+//!
+//! A *reload failure storm* — a deploy loop repeatedly writing garbage,
+//! or a file that flaps — is contained by [`ReloadBreaker`]: after
+//! `threshold` consecutive rejections the breaker suppresses further
+//! load attempts for an exponentially growing backoff window (emitting
+//! `serve_reload_backoff` telemetry), so the server is not stuck
+//! re-parsing a broken multi-megabyte model file at every poll tick
+//! while the old generation keeps serving. One successful reload fully
+//! resets the breaker.
 
 use std::path::{Path, PathBuf};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, SystemTime};
 
-use plssvm_core::trace::ServeReloadSample;
+use plssvm_core::trace::{ServeReloadBackoffSample, ServeReloadSample};
 
 use crate::engine::Engine;
 use crate::model::ServeModel;
@@ -141,22 +150,137 @@ fn record(engine: &Engine, generation: u64, accepted: bool, detail: String) {
     }
 }
 
-/// Spawns the watcher thread: every trigger firing attempts one reload.
-/// The thread exits when the trigger reports `false` (handle dropped).
-pub fn spawn_watcher(
+/// Circuit-breaker knobs for reload failure storms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures at which the breaker engages.
+    pub threshold: u64,
+    /// Backoff window after the `threshold`-th consecutive failure
+    /// (clock µs); doubles with each further failure.
+    pub base_backoff_us: u64,
+    /// Upper bound on the backoff window (clock µs).
+    pub max_backoff_us: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 3,
+            base_backoff_us: 1_000_000,
+            max_backoff_us: 60_000_000,
+        }
+    }
+}
+
+/// What one [`ReloadBreaker::attempt`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReloadAttempt {
+    /// The new model installed; contains the new generation id.
+    Installed(u64),
+    /// The file failed to load/validate; the old generation serves.
+    Rejected(String),
+    /// The breaker is open: no load was attempted. Contains the clock
+    /// instant (µs) at which attempts resume.
+    Suppressed {
+        /// Clock µs until which further attempts are suppressed.
+        until_us: u64,
+    },
+}
+
+/// Reload circuit breaker: wraps [`attempt_reload`] with
+/// consecutive-failure counting and exponential backoff against the
+/// engine's [`Clock`](crate::clock::Clock) — deterministic on a
+/// [`ManualClock`](crate::clock::ManualClock).
+#[derive(Debug)]
+pub struct ReloadBreaker {
+    config: BreakerConfig,
+    consecutive_failures: u64,
+    blocked_until_us: u64,
+}
+
+impl ReloadBreaker {
+    /// A closed (pass-through) breaker.
+    pub fn new(config: BreakerConfig) -> Self {
+        Self {
+            config,
+            consecutive_failures: 0,
+            blocked_until_us: 0,
+        }
+    }
+
+    /// Consecutive failed reloads since the last success.
+    pub fn consecutive_failures(&self) -> u64 {
+        self.consecutive_failures
+    }
+
+    /// One trigger firing: attempts a reload unless the breaker is in a
+    /// backoff window. Failures past the threshold open the breaker
+    /// exponentially and emit [`ServeReloadBackoffSample`] telemetry;
+    /// one success closes it fully.
+    pub fn attempt(&mut self, engine: &Engine, path: &Path) -> ReloadAttempt {
+        let now = engine.clock().now_us();
+        if now < self.blocked_until_us {
+            return ReloadAttempt::Suppressed {
+                until_us: self.blocked_until_us,
+            };
+        }
+        match attempt_reload(engine, path) {
+            Ok(generation) => {
+                self.consecutive_failures = 0;
+                self.blocked_until_us = 0;
+                ReloadAttempt::Installed(generation)
+            }
+            Err(e) => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.config.threshold {
+                    let doublings = (self.consecutive_failures - self.config.threshold).min(63);
+                    let backoff_us = self
+                        .config
+                        .base_backoff_us
+                        .saturating_mul(1u64 << doublings)
+                        .min(self.config.max_backoff_us);
+                    self.blocked_until_us = now.saturating_add(backoff_us);
+                    if let Some(metrics) = engine.metrics() {
+                        metrics.record_serve_reload_backoff(ServeReloadBackoffSample {
+                            consecutive_failures: self.consecutive_failures,
+                            backoff_us,
+                        });
+                    }
+                }
+                ReloadAttempt::Rejected(e)
+            }
+        }
+    }
+}
+
+/// Spawns the watcher thread: every trigger firing attempts one reload,
+/// gated by a [`ReloadBreaker`] with the given config. The thread exits
+/// when the trigger reports `false` (handle dropped).
+pub fn spawn_watcher_with_breaker(
     engine: Arc<Engine>,
     path: PathBuf,
     mut trigger: Box<dyn ReloadTrigger>,
+    config: BreakerConfig,
 ) -> std::thread::JoinHandle<()> {
     std::thread::Builder::new()
         .name("plssvm-reload".into())
         .spawn(move || {
+            let mut breaker = ReloadBreaker::new(config);
             while trigger.wait() {
                 // rejection already recorded; the old model keeps serving
-                let _ = attempt_reload(&engine, &path);
+                let _ = breaker.attempt(&engine, &path);
             }
         })
         .expect("spawn reload watcher")
+}
+
+/// [`spawn_watcher_with_breaker`] with the default breaker config.
+pub fn spawn_watcher(
+    engine: Arc<Engine>,
+    path: PathBuf,
+    trigger: Box<dyn ReloadTrigger>,
+) -> std::thread::JoinHandle<()> {
+    spawn_watcher_with_breaker(engine, path, trigger, BreakerConfig::default())
 }
 
 #[cfg(test)]
@@ -181,6 +305,7 @@ mod tests {
             EngineConfig {
                 max_batch: 1,
                 max_wait_us: 0,
+                ..EngineConfig::default()
             },
             Arc::new(SystemClock::new()),
             None,

@@ -137,6 +137,7 @@ fn engine() -> Engine {
         EngineConfig {
             max_batch: 1,
             max_wait_us: 0,
+            ..EngineConfig::default()
         },
         Arc::new(SystemClock::new()),
         None,

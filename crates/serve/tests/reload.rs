@@ -11,8 +11,12 @@ use std::process::Command;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use plssvm_core::trace::Telemetry;
 use plssvm_data::write_atomic;
-use plssvm_serve::{attempt_reload, Engine, EngineConfig, ManualTrigger, ServeModel, SystemClock};
+use plssvm_serve::{
+    attempt_reload, BreakerConfig, Engine, EngineConfig, ManualClock, ManualTrigger, ReloadAttempt,
+    ReloadBreaker, ServeModel, SystemClock,
+};
 
 /// Model A: f(x) = x1 − x2, so `1 1:1` answers `1`.
 const MODEL_A: &str = "svm_type c_svc\nkernel_type linear\nnr_class 2\ntotal_sv 2\nrho 0\nlabel 1 -1\nnr_sv 1 1\nSV\n1 1:1\n-1 2:1\n";
@@ -40,6 +44,7 @@ fn engine_from(model: &str) -> Engine {
         EngineConfig {
             max_batch: 4,
             max_wait_us: 200,
+            ..EngineConfig::default()
         },
         Arc::new(SystemClock::new()),
         None,
@@ -132,6 +137,133 @@ fn torn_and_garbage_files_are_rejected_while_old_model_serves() {
     write_atomic(&path, MODEL_B.as_bytes()).unwrap();
     attempt_reload(&engine, &path).unwrap();
     assert_eq!(engine.respond_line("1 1:1").as_deref(), Some("-1"));
+    engine.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Reload-failure storms: the circuit breaker on a ManualClock.
+// ---------------------------------------------------------------------------
+
+/// A reload-failure storm must engage the breaker at the threshold, back
+/// off exponentially (emitting telemetry), keep the old generation
+/// serving bit-identically throughout, and recover fully — counters
+/// reset — the moment a good file lands after the window.
+#[test]
+fn reload_failure_storm_engages_breaker_and_recovers() {
+    let dir = scratch_dir("storm");
+    let path = dir.join("model.txt");
+    write_atomic(&path, MODEL_A.as_bytes()).unwrap();
+
+    let telemetry = Telemetry::shared();
+    let clock = Arc::new(ManualClock::new());
+    let engine = Engine::new(
+        ServeModel::from_text(MODEL_A).unwrap(),
+        EngineConfig {
+            max_batch: 1,
+            max_wait_us: 0,
+            ..EngineConfig::default()
+        },
+        clock.clone(),
+        Some(telemetry.clone() as _),
+    );
+    let probe = engine.respond_line("1 1:1").unwrap();
+    assert_eq!(probe, "1");
+
+    let mut breaker = ReloadBreaker::new(BreakerConfig {
+        threshold: 3,
+        base_backoff_us: 1_000_000,
+        max_backoff_us: 4_000_000,
+    });
+    std::fs::write(&path, b"\x00garbage, not a model\xff").unwrap();
+
+    // failures below the threshold: plain rejections, no backoff yet
+    for expected_failures in 1..3u64 {
+        assert!(matches!(
+            breaker.attempt(&engine, &path),
+            ReloadAttempt::Rejected(_)
+        ));
+        assert_eq!(breaker.consecutive_failures(), expected_failures);
+        assert_eq!(
+            engine.respond_line("1 1:1").unwrap(),
+            probe,
+            "old model must keep serving bit-identically"
+        );
+    }
+    assert!(telemetry.report().serve.reload_backoffs.is_empty());
+
+    // the threshold-th failure opens the breaker: 1s window at t=0
+    assert!(matches!(
+        breaker.attempt(&engine, &path),
+        ReloadAttempt::Rejected(_)
+    ));
+    assert!(matches!(
+        breaker.attempt(&engine, &path),
+        ReloadAttempt::Suppressed {
+            until_us: 1_000_000
+        }
+    ));
+    // suppressed attempts never touch the file: even a vanished file
+    // cannot produce an error inside the window
+    std::fs::remove_file(&path).unwrap();
+    assert!(matches!(
+        breaker.attempt(&engine, &path),
+        ReloadAttempt::Suppressed { .. }
+    ));
+    std::fs::write(&path, b"\x00garbage, not a model\xff").unwrap();
+
+    // the window elapses: next failure doubles the backoff (2s)…
+    clock.advance(1_000_000);
+    assert!(matches!(
+        breaker.attempt(&engine, &path),
+        ReloadAttempt::Rejected(_)
+    ));
+    clock.advance(1_999_999);
+    assert!(matches!(
+        breaker.attempt(&engine, &path),
+        ReloadAttempt::Suppressed {
+            until_us: 3_000_000
+        }
+    ));
+    // …and the one after caps at max_backoff (4s, not 8s)
+    clock.advance(1);
+    assert!(matches!(
+        breaker.attempt(&engine, &path),
+        ReloadAttempt::Rejected(_)
+    ));
+    assert_eq!(breaker.consecutive_failures(), 5);
+    assert_eq!(
+        engine.generation(),
+        1,
+        "no failed reload may bump the generation"
+    );
+    assert_eq!(engine.respond_line("1 1:1").unwrap(), probe);
+
+    // a good file after the window recovers and fully resets the breaker
+    clock.advance(4_000_000);
+    write_atomic(&path, MODEL_B.as_bytes()).unwrap();
+    assert!(matches!(
+        breaker.attempt(&engine, &path),
+        ReloadAttempt::Installed(2)
+    ));
+    assert_eq!(breaker.consecutive_failures(), 0);
+    assert_eq!(engine.respond_line("1 1:1").as_deref(), Some("-1"));
+
+    // the reset is total: a fresh failure starts the count from one
+    std::fs::write(&path, b"\x00garbage again\xff").unwrap();
+    assert!(matches!(
+        breaker.attempt(&engine, &path),
+        ReloadAttempt::Rejected(_)
+    ));
+    assert_eq!(breaker.consecutive_failures(), 1);
+
+    // the backoff audit trail: exactly the three windows, doubling to the cap
+    let samples = telemetry.report().serve.reload_backoffs;
+    let trail: Vec<(u64, u64)> = samples
+        .iter()
+        .map(|s| (s.consecutive_failures, s.backoff_us))
+        .collect();
+    assert_eq!(trail, vec![(3, 1_000_000), (4, 2_000_000), (5, 4_000_000)]);
     engine.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
