@@ -476,7 +476,7 @@ fn run_overload_sweep(smoke: bool) {
         points.push(p);
     }
     let path = results_path("serve_overload.csv");
-    std::fs::write(&path, csv).expect("write csv");
+    plssvm_data::write_atomic(&path, csv.as_bytes()).expect("write csv");
     println!("wrote {}", path.display());
 
     // every point answered all n requests (asserted inline); above
@@ -516,7 +516,7 @@ fn main() {
     push_mode_rows(&mut csv, "batched", &batched, &batched_t);
     csv.push_str(&format!("summary,speedup,{speedup:.2}\n"));
     let path = results_path("serve_latency.csv");
-    std::fs::write(&path, csv).expect("write csv");
+    plssvm_data::write_atomic(&path, csv.as_bytes()).expect("write csv");
     println!("wrote {}", path.display());
 
     if !smoke {

@@ -123,7 +123,7 @@ impl Table {
     /// Writes the CSV into `bench_results/` and returns the path string.
     pub fn write_csv(&self, name: &str) -> String {
         let path = crate::results_path(name);
-        std::fs::write(&path, self.to_csv()).ok();
+        plssvm_data::write_atomic(&path, self.to_csv().as_bytes()).ok();
         path.display().to_string()
     }
 }

@@ -7,6 +7,7 @@ use plssvm_core::backend::BackendSelection;
 use plssvm_core::backend::CpuTilingConfig;
 use plssvm_core::lowrank::{LandmarkStrategy, SolverSelection, DEFAULT_SEED};
 use plssvm_data::model::KernelSpec;
+use plssvm_data::vfs::FaultPlan as IoFaultPlan;
 use plssvm_simgpu::hw;
 use plssvm_simgpu::Backend as DeviceApi;
 use plssvm_simgpu::FaultPlan;
@@ -60,6 +61,18 @@ pub enum NonConvergedAction {
     Warn,
     /// Write the model silently.
     Accept,
+}
+
+/// What `svm-train` does when the checkpoint journal degrades mid-run
+/// (persistent storage faults exhausted the retry budget and
+/// checkpointing was disabled) — `--on-io-degraded`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoDegradedAction {
+    /// Refuse the model: exit with code 4 and no model file.
+    Error,
+    /// Write the model but print a warning (the default — losing the
+    /// journal costs resumability, not correctness).
+    Warn,
 }
 
 /// Parsed `svm-train` invocation.
@@ -122,6 +135,15 @@ pub struct TrainArgs {
     /// Handling of non-converged solves (`--on-nonconverged
     /// error|warn|accept`, default warn), LS-SVM / LS-SVR only.
     pub on_nonconverged: NonConvergedAction,
+    /// Deterministic storage-fault injection plan (`--io-faults`):
+    /// every durable write (model, checkpoint journal, metrics) runs
+    /// through a [`FaultVfs`](plssvm_data::FaultVfs) replaying this
+    /// plan. Spec grammar: `kind:class@n[~substr][!]` entries separated
+    /// by `;` or `,`, or `seed:N[@H]` for a randomized plan.
+    pub io_faults: Option<IoFaultPlan>,
+    /// Handling of a degraded checkpoint journal
+    /// (`--on-io-degraded error|warn`, default warn).
+    pub on_io_degraded: IoDegradedAction,
     /// Reduced-system solver (`--solver exact|lowrank`), LS-SVM / LS-SVR
     /// only. The low-rank path needs `--rank` and optionally takes
     /// `--lowrank-seed` and `--landmarks uniform|leverage`; it is
@@ -160,6 +182,8 @@ pub fn parse_train(args: &[String]) -> Result<TrainArgs, CliError> {
         checkpoint_dir: None,
         resume: false,
         on_nonconverged: NonConvergedAction::Warn,
+        io_faults: None,
+        on_io_degraded: IoDegradedAction::Warn,
         solver: SolverSelection::Exact,
         quiet: false,
         verbose: false,
@@ -262,6 +286,24 @@ pub fn parse_train(args: &[String]) -> Result<TrainArgs, CliError> {
                         return Err(err(format!(
                             "unknown --on-nonconverged action '{other}' \
                              (expected error, warn or accept)"
+                        )))
+                    }
+                }
+            }
+            "--io-faults" => {
+                let spec = take("--io-faults")?;
+                out.io_faults = Some(
+                    IoFaultPlan::parse(&spec)
+                        .map_err(|e| err(format!("invalid --io-faults spec '{spec}': {e}")))?,
+                );
+            }
+            "--on-io-degraded" => {
+                out.on_io_degraded = match take("--on-io-degraded")?.as_str() {
+                    "error" => IoDegradedAction::Error,
+                    "warn" => IoDegradedAction::Warn,
+                    other => {
+                        return Err(err(format!(
+                            "unknown --on-io-degraded action '{other}' (expected error or warn)"
                         )))
                     }
                 }
@@ -1224,6 +1266,47 @@ mod tests {
         }
         assert!(parse_train(&sv(&["--on-nonconverged", "panic", "x.dat"])).is_err());
         assert!(parse_train(&sv(&["--on-nonconverged"])).is_err());
+    }
+
+    #[test]
+    fn train_io_faults_flag() {
+        let a = parse_train(&sv(&["x.dat"])).unwrap();
+        assert!(a.io_faults.is_none());
+        assert_eq!(a.on_io_degraded, IoDegradedAction::Warn);
+
+        // explicit plans parse at the arg layer (usage errors → exit 2)
+        let a = parse_train(&sv(&["--io-faults", "enospc:write@2", "x.dat"])).unwrap();
+        let plan = a.io_faults.expect("plan parsed");
+        assert_eq!(plan.specs().len(), 1);
+
+        // the storage plan needs no simulated device backend: it works
+        // on the default CPU path (unlike --fault-plan)
+        let a = parse_train(&sv(&[
+            "--io-faults",
+            "eio:sync@1~journal!;bitrot:read@3",
+            "x.dat",
+        ]))
+        .unwrap();
+        assert_eq!(a.io_faults.unwrap().specs().len(), 2);
+
+        // seeded plans parse through the same grammar
+        let a = parse_train(&sv(&["--io-faults", "seed:7", "x.dat"])).unwrap();
+        assert!(!a.io_faults.unwrap().is_empty());
+
+        for (name, expected) in [
+            ("error", IoDegradedAction::Error),
+            ("warn", IoDegradedAction::Warn),
+        ] {
+            let a = parse_train(&sv(&["--on-io-degraded", name, "x.dat"])).unwrap();
+            assert_eq!(a.on_io_degraded, expected);
+        }
+
+        // malformed specs and unknown actions are usage errors
+        assert!(parse_train(&sv(&["--io-faults", "explode:write@1", "x.dat"])).is_err());
+        assert!(parse_train(&sv(&["--io-faults", "enospc:read@1", "x.dat"])).is_err());
+        assert!(parse_train(&sv(&["--io-faults"])).is_err());
+        assert!(parse_train(&sv(&["--on-io-degraded", "panic", "x.dat"])).is_err());
+        assert!(parse_train(&sv(&["--on-io-degraded"])).is_err());
     }
 
     #[test]

@@ -42,11 +42,18 @@ fn main() -> ExitCode {
              \x20 --lowrank-seed n     : landmark sampling seed (default 42, deterministic)\n\
              \x20 --landmarks s  : uniform (default) | leverage landmark selection strategy\n\
              \x20 --on-nonconverged a  : error | warn (default) | accept a solve that missed epsilon\n\
+             \x20 --io-faults p  : inject deterministic storage faults into every durable write\n\
+             \x20                  (model, checkpoint journal, metrics), e.g.\n\
+             \x20                  'enospc:write@3;eio:sync@1~journal!' or 'seed:N'\n\
+             \x20 --on-io-degraded a   : error | warn (default) when the checkpoint journal\n\
+             \x20                  degrades mid-run (persistent write failures)\n\
              \x20 -q, --quiet    : suppress the training summary\n\
              \x20 --verbose      : append per-kernel telemetry counters to the summary\n\
              input files: LIBSVM format, or ARFF when the extension is .arff\n\
              exit codes: 0 success, 1 runtime error, 2 usage error,\n\
-             \x20           3 non-converged under --on-nonconverged error"
+             \x20           3 non-converged under --on-nonconverged error,\n\
+             \x20           4 storage failure (final write failed after retries, or\n\
+             \x20           degraded journal under --on-io-degraded error)"
         );
         return ExitCode::from(2);
     }
@@ -69,6 +76,11 @@ fn main() -> ExitCode {
                 .is_some_and(|s| matches!(s, plssvm_core::SvmError::NonConverged { .. }));
             if non_converged {
                 ExitCode::from(3)
+            } else if e
+                .downcast_ref::<plssvm_cli::commands::StorageError>()
+                .is_some()
+            {
+                ExitCode::from(4)
             } else {
                 ExitCode::FAILURE
             }

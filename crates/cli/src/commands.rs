@@ -18,6 +18,7 @@ use plssvm_core::validation::cross_validate;
 use plssvm_core::SvmError;
 use plssvm_data::arff::read_arff_file;
 use plssvm_data::checkpoint::fnv1a64;
+use plssvm_data::io::write_atomic_with;
 use plssvm_data::libsvm::{
     read_libsvm_file, read_libsvm_regression_file, write_libsvm_string, LabeledData, RegressionData,
 };
@@ -26,7 +27,8 @@ use plssvm_data::multiclass::read_libsvm_multiclass_file;
 use plssvm_data::sat6::{generate_sat6, Sat6Config};
 use plssvm_data::scale::ScalingParams;
 use plssvm_data::synthetic::{generate_planes, PlanesConfig};
-use plssvm_data::{write_atomic, CheckpointJournal};
+use plssvm_data::vfs::Vfs;
+use plssvm_data::{write_atomic, CheckpointJournal, FaultVfs, RealVfs};
 
 use plssvm_serve::{
     serve_lines, serve_tcp, spawn_watcher, ConnectionOptions, Engine, EngineConfig, PollTrigger,
@@ -34,9 +36,71 @@ use plssvm_serve::{
 };
 
 use crate::args::{
-    kernel_from_args, Algorithm, GenerateArgs, McStrategy, NonConvergedAction, PredictArgs,
-    ScaleArgs, ServeArgs, TrainArgs,
+    kernel_from_args, Algorithm, GenerateArgs, IoDegradedAction, McStrategy, NonConvergedAction,
+    PredictArgs, ScaleArgs, ServeArgs, TrainArgs,
 };
+
+/// A durable-storage failure that survived the retry policy. The
+/// binaries map it to exit code 4, distinct from generic runtime
+/// errors, so operators can tell "the disk is dying" from "the solve
+/// failed".
+#[derive(Debug)]
+pub struct StorageError(pub String);
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "storage failure: {}", self.0)
+    }
+}
+
+impl Error for StorageError {}
+
+/// The VFS every durability-bearing path of this invocation runs
+/// through: a passthrough normally, a deterministic [`FaultVfs`]
+/// replaying `--io-faults`.
+fn vfs_for(args: &TrainArgs) -> Arc<dyn Vfs> {
+    match &args.io_faults {
+        Some(plan) => Arc::new(FaultVfs::new(plan.clone())),
+        None => Arc::new(RealVfs),
+    }
+}
+
+/// Writes a final artifact (model, metrics) through the VFS, retrying
+/// transient faults; an exhausted retry budget surfaces as
+/// [`StorageError`] → exit code 4.
+fn write_final<E: std::fmt::Display>(
+    metrics: Option<&dyn MetricsSink>,
+    what: &str,
+    op: impl FnMut() -> Result<(), E>,
+) -> Result<(), StorageError> {
+    let policy = plssvm_core::resilience::IoRetryPolicy::default();
+    plssvm_core::resilience::with_io_retry(&policy, metrics, what, op)
+        .map_err(|e| StorageError(format!("{what}: {e}")))
+}
+
+/// Applies the `--on-io-degraded` policy when the checkpoint journal
+/// was disabled mid-run by persistent storage faults: `error` refuses
+/// the model (exit code 4), `warn` returns a summary line.
+fn apply_io_degraded_policy(
+    action: IoDegradedAction,
+    degraded: bool,
+) -> Result<Option<String>, Box<dyn Error>> {
+    if !degraded {
+        return Ok(None);
+    }
+    match action {
+        IoDegradedAction::Error => Err(Box::new(StorageError(
+            "checkpoint journal degraded (writes kept failing after retries); \
+             model refused (--on-io-degraded error)"
+                .into(),
+        ))),
+        IoDegradedAction::Warn => Ok(Some(
+            "WARNING: checkpoint journal degraded; checkpointing was disabled mid-run \
+             and the model cannot be resumed from it (--on-io-degraded warn)\n"
+                .to_owned(),
+        )),
+    }
+}
 
 /// True if the path names an ARFF file (PLSSVM's second input format).
 fn is_arff(path: &str) -> bool {
@@ -92,11 +156,14 @@ const JOURNAL_KEEP: usize = 4;
 /// given. The training-file *content* hash becomes the checkpoint salt,
 /// so a journal can never be resumed against a different (or edited)
 /// data file even if every hyperparameter matches.
-fn journal_for(args: &TrainArgs) -> Result<Option<(CheckpointJournal, u64)>, Box<dyn Error>> {
+fn journal_for(
+    args: &TrainArgs,
+    vfs: &Arc<dyn Vfs>,
+) -> Result<Option<(CheckpointJournal, u64)>, Box<dyn Error>> {
     let Some(dir) = &args.checkpoint_dir else {
         return Ok(None);
     };
-    let journal = CheckpointJournal::open(dir, JOURNAL_KEEP)?;
+    let journal = CheckpointJournal::open_with_vfs(dir, JOURNAL_KEEP, Arc::clone(vfs))?;
     let salt = fnv1a64(&fs::read(&args.input)?);
     Ok(Some((journal, salt)))
 }
@@ -106,11 +173,18 @@ fn journal_for(args: &TrainArgs) -> Result<Option<(CheckpointJournal, u64)>, Box
 /// `--verbose` was.
 fn emit_telemetry(
     args: &TrainArgs,
+    vfs: &dyn Vfs,
     report: &TelemetryReport,
     summary: &mut String,
 ) -> Result<(), Box<dyn Error>> {
     if let Some(path) = &args.metrics_out {
-        write_atomic(path, report.to_json_lines().as_bytes())?;
+        write_final(None, "metrics write", || {
+            write_atomic_with(
+                vfs,
+                std::path::Path::new(path),
+                report.to_json_lines().as_bytes(),
+            )
+        })?;
     }
     if args.verbose {
         if let Some(d) = &report.dispatch {
@@ -210,6 +284,7 @@ fn train_inner(args: &TrainArgs) -> Result<String, Box<dyn Error>> {
     }
     let data = read_classification(&args.input)?;
     let kernel = kernel_from_args(args, data.features());
+    let vfs = vfs_for(args);
     let mut summary = String::new();
 
     // -v k: cross validation instead of model training (LIBSVM behaviour)
@@ -252,7 +327,7 @@ fn train_inner(args: &TrainArgs) -> Result<String, Box<dyn Error>> {
             if let Some(k) = args.checkpoint_every {
                 trainer = trainer.with_checkpoint_interval(k);
             }
-            if let Some((journal, salt)) = journal_for(args)? {
+            if let Some((journal, salt)) = journal_for(args, &vfs)? {
                 trainer = trainer
                     .with_checkpoint_journal(journal)
                     .with_checkpoint_salt(salt)
@@ -282,8 +357,20 @@ fn train_inner(args: &TrainArgs) -> Result<String, Box<dyn Error>> {
                 out.relative_residual,
                 out.iterations,
             )?;
-            out.model.save(&args.model)?;
+            // ... and so does --on-io-degraded error when the journal died
+            let degraded = apply_io_degraded_policy(args.on_io_degraded, out.io_degraded)?;
+            write_final(
+                telemetry.as_deref().map(|t| t as &dyn MetricsSink),
+                "model write",
+                || {
+                    out.model
+                        .save_with(vfs.as_ref(), std::path::Path::new(&args.model))
+                },
+            )?;
             if let Some(w) = warning {
+                summary.push_str(&w);
+            }
+            if let Some(w) = degraded {
                 summary.push_str(&w);
             }
             if !args.quiet {
@@ -314,7 +401,7 @@ fn train_inner(args: &TrainArgs) -> Result<String, Box<dyn Error>> {
                 }
             }
             if let Some(report) = &out.telemetry {
-                emit_telemetry(args, report, &mut summary)?;
+                emit_telemetry(args, vfs.as_ref(), report, &mut summary)?;
             }
             if !args.quiet {
                 summary.push_str(&format!(
@@ -341,7 +428,10 @@ fn train_inner(args: &TrainArgs) -> Result<String, Box<dyn Error>> {
             } else {
                 plssvm_smo::solver::train_dense(&data, &config)?
             };
-            out.model.save(&args.model)?;
+            write_final(None, "model write", || {
+                out.model
+                    .save_with(vfs.as_ref(), std::path::Path::new(&args.model))
+            })?;
             summary.push_str(&format!(
                 "SMO ({}) trained: {} iterations, {} SVs, obj {:.6}\n",
                 if args.algorithm == Algorithm::Smo {
@@ -366,7 +456,10 @@ fn train_inner(args: &TrainArgs) -> Result<String, Box<dyn Error>> {
                 ..Default::default()
             };
             let out = plssvm_smo::ThunderSolver::new(config)?.train(&data)?;
-            out.model.save(&args.model)?;
+            write_final(None, "model write", || {
+                out.model
+                    .save_with(vfs.as_ref(), std::path::Path::new(&args.model))
+            })?;
             summary.push_str(&format!(
                 "ThunderSVM-style trained: {} outer / {} inner iterations, {} SVs\n",
                 out.outer_iterations,
@@ -388,6 +481,7 @@ fn run_train_regression(args: &TrainArgs) -> Result<String, Box<dyn Error>> {
     }
     let data: RegressionData<f64> = read_libsvm_regression_file(&args.input, None)?;
     let kernel = kernel_from_args(args, data.features());
+    let vfs = vfs_for(args);
     let mut trainer = LsSvr::new()
         .with_kernel(kernel)
         .with_cost(args.cost)
@@ -400,7 +494,7 @@ fn run_train_regression(args: &TrainArgs) -> Result<String, Box<dyn Error>> {
     if let Some(k) = args.checkpoint_every {
         trainer = trainer.with_checkpoint_interval(k);
     }
-    if let Some((journal, salt)) = journal_for(args)? {
+    if let Some((journal, salt)) = journal_for(args, &vfs)? {
         trainer = trainer
             .with_checkpoint_journal(journal)
             .with_checkpoint_salt(salt)
@@ -417,9 +511,20 @@ fn run_train_regression(args: &TrainArgs) -> Result<String, Box<dyn Error>> {
         out.relative_residual,
         out.iterations,
     )?;
-    out.model.save(&args.model)?;
+    let degraded = apply_io_degraded_policy(args.on_io_degraded, out.io_degraded)?;
+    write_final(
+        telemetry.as_deref().map(|t| t as &dyn MetricsSink),
+        "model write",
+        || {
+            out.model
+                .save_with(vfs.as_ref(), std::path::Path::new(&args.model))
+        },
+    )?;
     let mut summary = String::new();
     if let Some(w) = warning {
+        summary.push_str(&w);
+    }
+    if let Some(w) = degraded {
         summary.push_str(&w);
     }
     if !args.quiet {
@@ -441,7 +546,7 @@ fn run_train_regression(args: &TrainArgs) -> Result<String, Box<dyn Error>> {
         }
     }
     if let Some(report) = &out.telemetry {
-        emit_telemetry(args, report, &mut summary)?;
+        emit_telemetry(args, vfs.as_ref(), report, &mut summary)?;
     }
     Ok(summary)
 }
@@ -461,6 +566,7 @@ fn run_train_multiclass(
         return Err("cross validation currently supports binary problems only".into());
     }
     let kernel = kernel_from_args(args, data.features());
+    let vfs = vfs_for(args);
     let mut trainer = LsSvm::new()
         .with_kernel(kernel)
         .with_cost(args.cost)
@@ -472,7 +578,7 @@ fn run_train_multiclass(
     }
     // each binary subproblem checkpoints into its own task-<k>/
     // sub-journal (handled by the multiclass driver)
-    if let Some((journal, salt)) = journal_for(args)? {
+    if let Some((journal, salt)) = journal_for(args, &vfs)? {
         trainer = trainer
             .with_checkpoint_journal(journal)
             .with_checkpoint_salt(salt)
@@ -511,9 +617,15 @@ fn run_train_multiclass(
             NonConvergedAction::Accept => {}
         }
     }
+    let degraded = apply_io_degraded_policy(args.on_io_degraded, out.io_degraded)?;
     let model = out.model;
-    model.save(&args.model)?;
+    write_final(None, "model write", || {
+        model.save_with(vfs.as_ref(), std::path::Path::new(&args.model))
+    })?;
     let mut summary = warning.unwrap_or_default();
+    if let Some(w) = degraded {
+        summary.push_str(&w);
+    }
     summary.push_str(&format!(
         "multi-class LS-SVM ({}) trained: {} classes, {} binary models\ntraining accuracy: {:.2}%\n",
         strategy.name(),
@@ -554,7 +666,8 @@ pub fn run_predict(args: &PredictArgs) -> Result<String, Box<dyn Error>> {
 /// (multiclass container, SVR, or binary) and returns the accuracy /
 /// error report.
 fn predict_inner(args: &PredictArgs) -> Result<String, Box<dyn Error>> {
-    let content = fs::read_to_string(&args.model)?;
+    let content = fs::read_to_string(&args.model)
+        .map_err(|e| format!("reading model '{}': {e}", args.model))?;
     // dispatch on the model kind: multiclass container, SVR, or binary
     if content.starts_with("plssvm_multiclass") {
         let model = MultiClassModel::<f64>::from_container_string(&content)?;
@@ -1907,6 +2020,192 @@ mod tests {
                 .unwrap();
             assert!(acc >= 97.0, "{pm}");
         }
+    }
+
+    #[test]
+    fn io_faults_transient_fault_retries_to_an_identical_model() {
+        let dir = tmpdir("io_faults_transient");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("train.dat");
+        run_generate(
+            &parse_generate(&sv(&[
+                "--points",
+                "50",
+                "--features",
+                "4",
+                "--seed",
+                "41",
+                "--sep",
+                "4.0",
+                "--flip",
+                "0.0",
+                "-o",
+                data.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+
+        let reference = dir.join("reference.model");
+        let train = parse_train(&sv(&[
+            "-e",
+            "1e-8",
+            data.to_str().unwrap(),
+            reference.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run_train(&train).unwrap();
+
+        // a transient EIO on the first model-write operation is retried
+        // away; the written model is byte-identical to the fault-free one
+        let faulted = dir.join("faulted.model");
+        let train = parse_train(&sv(&[
+            "-e",
+            "1e-8",
+            "--io-faults",
+            "eio:write@0~model",
+            data.to_str().unwrap(),
+            faulted.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run_train(&train).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&reference).unwrap(),
+            std::fs::read_to_string(&faulted).unwrap(),
+            "a retried transient fault must not perturb the artifact"
+        );
+    }
+
+    #[test]
+    fn io_faults_persistent_model_write_fault_is_a_storage_error() {
+        let dir = tmpdir("io_faults_persistent");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("train.dat");
+        run_generate(
+            &parse_generate(&sv(&[
+                "--points",
+                "50",
+                "--features",
+                "4",
+                "--seed",
+                "43",
+                "--sep",
+                "4.0",
+                "--flip",
+                "0.0",
+                "-o",
+                data.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        let model = dir.join("refused.model");
+        let train = parse_train(&sv(&[
+            "-e",
+            "1e-8",
+            "--io-faults",
+            "enospc:write@0~model!",
+            data.to_str().unwrap(),
+            model.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let err = run_train(&train).unwrap_err();
+        err.downcast_ref::<StorageError>()
+            .expect("exhausted retries must surface as StorageError (exit code 4)");
+        assert!(
+            !model.exists(),
+            "a failed atomic write must not leave a model file"
+        );
+    }
+
+    #[test]
+    fn io_faults_dead_journal_degrades_or_refuses_by_policy() {
+        let dir = tmpdir("io_faults_degraded");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("train.dat");
+        run_generate(
+            &parse_generate(&sv(&[
+                "--points",
+                "60",
+                "--features",
+                "5",
+                "--seed",
+                "47",
+                "--sep",
+                "4.0",
+                "--flip",
+                "0.0",
+                "-o",
+                data.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+
+        let reference = dir.join("reference.model");
+        let train = parse_train(&sv(&[
+            "-e",
+            "1e-10",
+            data.to_str().unwrap(),
+            reference.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run_train(&train).unwrap();
+
+        // every journal write fails persistently: checkpointing degrades,
+        // training continues, and the default policy warns but still
+        // writes a byte-identical model
+        let journal_dir = dir.join("journal");
+        let model = dir.join("degraded.model");
+        let train = parse_train(&sv(&[
+            "-e",
+            "1e-10",
+            "--checkpoint-dir",
+            journal_dir.to_str().unwrap(),
+            "--checkpoint-every",
+            "3",
+            "--io-faults",
+            "eio:write@0~gen-!",
+            data.to_str().unwrap(),
+            model.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let msg = run_train(&train).unwrap();
+        assert!(
+            msg.contains("WARNING: checkpoint journal degraded"),
+            "{msg}"
+        );
+        assert_eq!(
+            std::fs::read_to_string(&reference).unwrap(),
+            std::fs::read_to_string(&model).unwrap(),
+            "a dead journal must not perturb the model"
+        );
+
+        // --on-io-degraded error refuses the model instead
+        let journal_dir = dir.join("journal_err");
+        let model = dir.join("refused.model");
+        let train = parse_train(&sv(&[
+            "-e",
+            "1e-10",
+            "--checkpoint-dir",
+            journal_dir.to_str().unwrap(),
+            "--checkpoint-every",
+            "3",
+            "--io-faults",
+            "eio:write@0~gen-!",
+            "--on-io-degraded",
+            "error",
+            data.to_str().unwrap(),
+            model.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let err = run_train(&train).unwrap_err();
+        err.downcast_ref::<StorageError>()
+            .expect("degraded journal under error policy must be a StorageError");
+        assert!(!model.exists());
     }
 
     #[test]

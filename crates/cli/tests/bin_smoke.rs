@@ -398,3 +398,77 @@ fn arff_input_through_the_binary() {
     assert!(ok, "{stderr}");
     assert!(stdout.contains("training accuracy"), "{stdout}");
 }
+
+#[test]
+fn storage_faults_through_the_binary_exit_4_or_retry_to_success() {
+    let dir = tmpdir("io_faults");
+    let data = dir.join("train.dat");
+    run(
+        "generate-data",
+        &[
+            "--points",
+            "50",
+            "--features",
+            "4",
+            "--seed",
+            "19",
+            "--sep",
+            "4.0",
+            "--flip",
+            "0.0",
+            "-o",
+            data.to_str().unwrap(),
+        ],
+    );
+
+    // a persistent ENOSPC on every model-write operation: distinct exit
+    // code 4 (storage failure), no model file left behind
+    let model = dir.join("refused.model");
+    let exe = env!("CARGO_BIN_EXE_svm-train");
+    let out = Command::new(exe)
+        .args([
+            "-e",
+            "1e-8",
+            "--io-faults",
+            "enospc:write@0~model!",
+            data.to_str().unwrap(),
+            model.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(4), "storage failures must exit 4");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("storage failure"), "{stderr}");
+    assert!(stderr.contains("ENOSPC"), "{stderr}");
+    assert!(!model.exists(), "no torn model may survive");
+
+    // a transient fault on the same operation is retried to success
+    let model = dir.join("retried.model");
+    let (ok, _, stderr) = run(
+        "svm-train",
+        &[
+            "-e",
+            "1e-8",
+            "--io-faults",
+            "enospc:write@0~model",
+            data.to_str().unwrap(),
+            model.to_str().unwrap(),
+        ],
+    );
+    assert!(ok, "{stderr}");
+    assert!(model.exists());
+
+    // a malformed plan is a usage error (exit 2)
+    let out = Command::new(exe)
+        .args(["--io-faults", "explode:write@1", data.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+
+    // the help text documents the storage-fault flags and exit code 4
+    let (ok, _, help) = run("svm-train", &["--help"]);
+    assert!(!ok);
+    assert!(help.contains("--io-faults"), "{help}");
+    assert!(help.contains("--on-io-degraded"), "{help}");
+    assert!(help.contains("4 storage failure"), "{help}");
+}

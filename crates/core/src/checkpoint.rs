@@ -102,15 +102,21 @@ impl Default for ContextFingerprint {
 /// Streams every rung-tagged solver snapshot into a durable
 /// [`CheckpointJournal`].
 ///
-/// Append failures (disk full, permissions) are demoted to `recovery`
-/// telemetry: the solve continues, it just stops being crash-safe from
-/// that point on. Snapshots containing non-finite values are skipped
-/// outright — the on-disk format rejects them at load time, so writing
-/// one would only waste a generation.
+/// Append failures are first retried under an
+/// [`IoRetryPolicy`](crate::resilience::IoRetryPolicy) (each retry an
+/// `io_retry` telemetry event). A failure that survives the whole retry
+/// budget is treated as persistent: the sink *degrades* — checkpointing
+/// is disabled for the rest of the solve, one `io_degraded` event is
+/// recorded, and the solve continues (it just stops being crash-safe
+/// from that point on). Snapshots containing non-finite values are
+/// skipped outright — the on-disk format rejects them at load time, so
+/// writing one would only waste a generation.
 pub struct JournalSink {
     journal: CheckpointJournal,
     context_hash: u64,
     metrics: Option<Arc<dyn MetricsSink>>,
+    retry: crate::resilience::IoRetryPolicy,
+    degraded: std::sync::atomic::AtomicBool,
 }
 
 impl JournalSink {
@@ -124,22 +130,41 @@ impl JournalSink {
             journal,
             context_hash,
             metrics,
+            retry: crate::resilience::IoRetryPolicy::default(),
+            degraded: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Overrides the append retry policy (tests use zero backoff).
+    pub fn with_retry_policy(mut self, retry: crate::resilience::IoRetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// True once persistent append failures disabled checkpointing for
+    /// the rest of the solve.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn emit_kind(&self, kind: RecoveryKind, iteration: usize, detail: String) {
+        if let Some(m) = &self.metrics {
+            m.record_recovery(RecoverySample::solver(kind, iteration, detail));
         }
     }
 
     fn emit(&self, iteration: usize, detail: String) {
-        if let Some(m) = &self.metrics {
-            m.record_recovery(RecoverySample::solver(
-                RecoveryKind::Checkpoint,
-                iteration,
-                detail,
-            ));
-        }
+        self.emit_kind(RecoveryKind::Checkpoint, iteration, detail);
     }
 }
 
 impl<T: Real> RungCheckpointSink<T> for JournalSink {
     fn persist(&self, rung: u8, state: &CgState<T>) {
+        if self.is_degraded() {
+            // Persistent storage failure already disabled checkpointing;
+            // skip silently so a dying disk doesn't spam the telemetry.
+            return;
+        }
         let finite = state.solution().iter().all(|v| v.is_finite())
             && state.residual().iter().all(|v| v.is_finite())
             && state.direction().iter().all(|v| v.is_finite())
@@ -164,15 +189,31 @@ impl<T: Real> RungCheckpointSink<T> for JournalSink {
             delta: state.delta(),
             delta0: state.delta0(),
         };
-        match self.journal.append(&snapshot) {
+        let metrics = self.metrics.as_deref();
+        let attempt =
+            crate::resilience::with_io_retry(&self.retry, metrics, "checkpoint append", || {
+                self.journal.append(&snapshot)
+            });
+        match attempt {
             Ok(generation) => self.emit(
                 state.iterations(),
                 format!("durable checkpoint generation {generation} (rung {rung})"),
             ),
-            Err(e) => self.emit(
-                state.iterations(),
-                format!("checkpoint append failed ({}): {e}", e.kind()),
-            ),
+            Err(e) => {
+                // Persistent failure: degrade rather than abort — a live
+                // solve is worth more than its crash insurance.
+                self.degraded
+                    .store(true, std::sync::atomic::Ordering::Relaxed);
+                self.emit_kind(
+                    RecoveryKind::IoDegraded,
+                    state.iterations(),
+                    format!(
+                        "checkpointing disabled after {} failed attempt(s) ({}): {e}",
+                        self.retry.max_attempts.max(1),
+                        e.kind()
+                    ),
+                );
+            }
         }
     }
 }

@@ -30,6 +30,7 @@ pub mod matrix_free;
 pub mod model_selection;
 pub mod multiclass;
 pub mod regression;
+pub mod resilience;
 pub mod simd;
 pub mod svm;
 pub mod timing;

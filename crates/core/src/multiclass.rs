@@ -181,6 +181,12 @@ impl<T: Real> MultiClassModel<T> {
         plssvm_data::write_atomic(path, self.to_container_string().as_bytes())
     }
 
+    /// [`MultiClassModel::save`] through an explicit
+    /// [`Vfs`](plssvm_data::vfs::Vfs).
+    pub fn save_with(&self, vfs: &dyn plssvm_data::vfs::Vfs, path: &Path) -> Result<(), DataError> {
+        plssvm_data::write_atomic_with(vfs, path, self.to_container_string().as_bytes())
+    }
+
     /// Parses a container produced by [`MultiClassModel::to_container_string`].
     pub fn from_container_string(content: &str) -> Result<Self, DataError> {
         let mut lines = content.lines().peekable();
@@ -275,7 +281,8 @@ impl<T: Real> MultiClassModel<T> {
 
     /// Loads a container file.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, DataError> {
-        let content = std::fs::read_to_string(path)?;
+        let path = path.as_ref();
+        let content = std::fs::read_to_string(path).map_err(|e| DataError::io_path(path, e))?;
         Self::from_container_string(&content)
     }
 }
@@ -294,6 +301,10 @@ pub struct MultiClassTrainOutput<T> {
     /// CG iterations summed over all binary subproblems (each already
     /// summed across its escalation rungs).
     pub total_iterations: usize,
+    /// True when any binary subproblem lost its durable checkpointing to
+    /// persistent storage failures (see
+    /// [`crate::svm::TrainOutput::io_degraded`]).
+    pub io_degraded: bool,
 }
 
 impl<T> MultiClassTrainOutput<T> {
@@ -339,6 +350,7 @@ pub fn train_multiclass_with_outcomes<T: AtomicScalar>(
     let mut models = Vec::new();
     let mut outcomes = Vec::new();
     let mut total_iterations = 0;
+    let mut io_degraded = false;
     // with a durable journal attached, each binary subproblem checkpoints
     // into its own `task-<k>/` sub-journal (independent generation
     // numbering), so a crash resumes exactly the subproblem it interrupted
@@ -364,6 +376,7 @@ pub fn train_multiclass_with_outcomes<T: AtomicScalar>(
                     let out = sub.as_ref().unwrap_or(trainer).train(&subset)?;
                     outcomes.push(((a, b), out.outcome));
                     total_iterations += out.iterations;
+                    io_degraded |= out.io_degraded;
                     models.push(((a, b), out.model));
                 }
             }
@@ -376,6 +389,7 @@ pub fn train_multiclass_with_outcomes<T: AtomicScalar>(
                 let out = sub.as_ref().unwrap_or(trainer).train(&subset)?;
                 outcomes.push(((c, i32::MIN), out.outcome));
                 total_iterations += out.iterations;
+                io_degraded |= out.io_degraded;
                 models.push(((c, i32::MIN), out.model));
             }
         }
@@ -388,6 +402,7 @@ pub fn train_multiclass_with_outcomes<T: AtomicScalar>(
         },
         outcomes,
         total_iterations,
+        io_degraded,
     })
 }
 

@@ -134,6 +134,10 @@ pub struct SvrTrainOutput<T> {
     /// The unified observability report (`Some` iff a sink was attached
     /// via [`LsSvr::with_metrics`]).
     pub telemetry: Option<TelemetryReport>,
+    /// True when persistent storage failures disabled durable
+    /// checkpointing partway through the solve (see
+    /// [`crate::svm::TrainOutput::io_degraded`]).
+    pub io_degraded: bool,
 }
 
 impl<T: AtomicScalar> LsSvr<T> {
@@ -314,6 +318,7 @@ impl<T: AtomicScalar> LsSvr<T> {
                 })
                 .collect::<Vec<T>>()
         };
+        let mut io_degraded = false;
         let GuardedSolve {
             result: solve,
             total_iterations,
@@ -356,7 +361,7 @@ impl<T: AtomicScalar> LsSvr<T> {
                     }
                     None => None,
                 };
-                solve_with_guardrails_checkpointed(
+                let guarded = solve_with_guardrails_checkpointed(
                     &prepared,
                     &rhs,
                     &cfg,
@@ -367,7 +372,9 @@ impl<T: AtomicScalar> LsSvr<T> {
                         .as_ref()
                         .map(|s| s as &dyn RungCheckpointSink<T>),
                     resume_point.as_ref(),
-                )
+                );
+                io_degraded = journal_sink.as_ref().is_some_and(JournalSink::is_degraded);
+                guarded
             }
         };
         rec.record(spans::CG_SOLVE, t_solve.elapsed());
@@ -401,6 +408,7 @@ impl<T: AtomicScalar> LsSvr<T> {
             relative_residual: solve.relative_residual().to_f64(),
             device,
             telemetry,
+            io_degraded,
         })
     }
 }

@@ -397,6 +397,7 @@ impl<T: AtomicScalar> LsSvm<T> {
             // otherwise the diagonal is only computed if rung 2 engages
             None => JacobiDiagonal::Lazy(&compute_diagonal),
         };
+        let mut io_degraded = false;
         let GuardedSolve {
             result: solve,
             total_iterations,
@@ -441,7 +442,7 @@ impl<T: AtomicScalar> LsSvm<T> {
                     }
                     None => None,
                 };
-                solve_with_guardrails_checkpointed(
+                let guarded = solve_with_guardrails_checkpointed(
                     &prepared,
                     &rhs,
                     &cg_cfg,
@@ -452,7 +453,9 @@ impl<T: AtomicScalar> LsSvm<T> {
                         .as_ref()
                         .map(|s| s as &dyn RungCheckpointSink<T>),
                     resume_point.as_ref(),
-                )
+                );
+                io_degraded = journal_sink.as_ref().is_some_and(JournalSink::is_degraded);
+                guarded
             }
         };
         rec.record(spans::CG_SOLVE, t_solve.elapsed());
@@ -509,6 +512,7 @@ impl<T: AtomicScalar> LsSvm<T> {
             linear_w,
             device,
             telemetry,
+            io_degraded,
         })
     }
 }
@@ -546,6 +550,11 @@ pub struct TrainOutput<T> {
     /// via [`LsSvm::with_metrics`]): per-iteration CG telemetry, unified
     /// kernel-launch counters and hierarchical timing spans.
     pub telemetry: Option<TelemetryReport>,
+    /// True when persistent storage failures disabled durable
+    /// checkpointing partway through the solve (an `io_degraded`
+    /// telemetry event carries the detail). The model itself is
+    /// unaffected — the run just lost its crash insurance.
+    pub io_degraded: bool,
 }
 
 /// Trains with the given configuration — convenience wrapper around

@@ -107,6 +107,13 @@ pub enum RecoveryKind {
     /// problem to the exact escalation ladder after failing to reach the
     /// requested tolerance.
     SolverFallback,
+    /// A storage operation failed transiently and was retried (with
+    /// capped backoff); the retry succeeded or the attempt budget ran out.
+    IoRetry,
+    /// Storage kept failing past the retry budget and a durability
+    /// feature degraded gracefully (e.g. checkpointing disabled while
+    /// training continues).
+    IoDegraded,
 }
 
 impl RecoveryKind {
@@ -122,6 +129,8 @@ impl RecoveryKind {
             RecoveryKind::PrecisionEscalation => "precision_escalation",
             RecoveryKind::NumericFault => "numeric_fault",
             RecoveryKind::SolverFallback => "solver_fallback",
+            RecoveryKind::IoRetry => "io_retry",
+            RecoveryKind::IoDegraded => "io_degraded",
         }
     }
 }

@@ -165,7 +165,8 @@ fn parse_label(tok: &str, lineno: usize) -> Result<i32, DataError> {
 
 /// Reads an ARFF file from disk.
 pub fn read_arff_file<T: Real>(path: impl AsRef<Path>) -> Result<LabeledData<T>, DataError> {
-    let content = std::fs::read_to_string(path)?;
+    let path = path.as_ref();
+    let content = std::fs::read_to_string(path).map_err(|e| DataError::io_path(path, e))?;
     read_arff_str(&content)
 }
 
@@ -189,14 +190,13 @@ pub fn write_arff_string<T: Real>(data: &LabeledData<T>, relation: &str) -> Stri
     out
 }
 
-/// Writes a data set to an ARFF file.
+/// Writes a data set to an ARFF file atomically and durably.
 pub fn write_arff_file<T: Real>(
     path: impl AsRef<Path>,
     data: &LabeledData<T>,
     relation: &str,
 ) -> Result<(), DataError> {
-    std::fs::write(path, write_arff_string(data, relation))?;
-    Ok(())
+    crate::io::write_atomic(path, write_arff_string(data, relation).as_bytes())
 }
 
 #[cfg(test)]

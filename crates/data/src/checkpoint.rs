@@ -38,12 +38,13 @@
 //! All integers and scalars are little-endian; `p` is the precision.
 
 use std::fmt;
-use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::error::DataError;
-use crate::io::{create_dir_durable, write_atomic};
+use crate::io::{create_dir_durable_with, write_atomic_with};
 use crate::real::Real;
+use crate::vfs::{RealVfs, Vfs};
 
 /// Magic bytes opening every snapshot file.
 pub const MAGIC: [u8; 8] = *b"PLSSVMCK";
@@ -421,6 +422,7 @@ pub struct CheckpointJournal {
     dir: PathBuf,
     keep: usize,
     crash_after: Option<u64>,
+    vfs: Arc<dyn Vfs>,
 }
 
 impl CheckpointJournal {
@@ -430,8 +432,20 @@ impl CheckpointJournal {
     /// Reads [`CRASH_AFTER_ENV`] once at open time for the deterministic
     /// crash-injection harness.
     pub fn open(dir: impl AsRef<Path>, keep: usize) -> Result<Self, CheckpointError> {
+        Self::open_with_vfs(dir, keep, Arc::new(RealVfs))
+    }
+
+    /// [`CheckpointJournal::open`] over an explicit [`Vfs`]; every
+    /// journal operation — append, retention deletion, generation
+    /// listing, load — goes through it, so a
+    /// [`FaultVfs`](crate::vfs::FaultVfs) can fault any of them.
+    pub fn open_with_vfs(
+        dir: impl AsRef<Path>,
+        keep: usize,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<Self, CheckpointError> {
         let dir = dir.as_ref().to_path_buf();
-        create_dir_durable(&dir)?;
+        create_dir_durable_with(vfs.as_ref(), &dir)?;
         let crash_after = std::env::var(CRASH_AFTER_ENV)
             .ok()
             .and_then(|v| v.parse().ok());
@@ -439,6 +453,7 @@ impl CheckpointJournal {
             dir,
             keep: keep.max(1),
             crash_after,
+            vfs,
         })
     }
 
@@ -457,11 +472,12 @@ impl CheckpointJournal {
     /// Each task gets its own generation numbering under `task-<k>/`.
     pub fn for_task(&self, task: usize) -> Result<Self, CheckpointError> {
         let dir = self.dir.join(format!("task-{task:03}"));
-        create_dir_durable(&dir)?;
+        create_dir_durable_with(self.vfs.as_ref(), &dir)?;
         Ok(Self {
             dir,
             keep: self.keep,
             crash_after: self.crash_after,
+            vfs: Arc::clone(&self.vfs),
         })
     }
 
@@ -471,8 +487,8 @@ impl CheckpointJournal {
 
     /// All generation numbers present in the directory, ascending.
     pub fn generations(&self) -> Result<Vec<u64>, CheckpointError> {
-        let entries = match fs::read_dir(&self.dir) {
-            Ok(e) => e,
+        let names = match self.vfs.list_dir(&self.dir) {
+            Ok(n) => n,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
             Err(e) => {
                 return Err(CheckpointError::Io {
@@ -482,9 +498,7 @@ impl CheckpointJournal {
             }
         };
         let mut gens = Vec::new();
-        for entry in entries.flatten() {
-            let name = entry.file_name();
-            let name = name.to_string_lossy();
+        for name in names {
             if let Some(num) = name
                 .strip_prefix("gen-")
                 .and_then(|rest| rest.strip_suffix(".ckpt"))
@@ -513,7 +527,7 @@ impl CheckpointJournal {
         let existing = self.generations()?;
         let generation = existing.last().map_or(1, |g| g + 1);
         let bytes = snapshot.to_bytes();
-        write_atomic(self.generation_path(generation), &bytes)?;
+        write_atomic_with(self.vfs.as_ref(), &self.generation_path(generation), &bytes)?;
         if self.crash_after == Some(generation) {
             // Deterministic crash injection for the recovery harness:
             // die *after* the generation is durable, the worst possible
@@ -522,7 +536,10 @@ impl CheckpointJournal {
         }
         for &old in existing.iter() {
             if old + self.keep as u64 <= generation {
-                let _ = fs::remove_file(self.generation_path(old));
+                // Retention failures (e.g. injected ENOSPC/EIO on the
+                // unlink) are ignored: old generations are garbage, not
+                // state, and the new generation is already durable.
+                let _ = self.vfs.remove_file(&self.generation_path(old));
             }
         }
         Ok(generation)
@@ -541,7 +558,9 @@ impl CheckpointJournal {
         let mut skipped = Vec::new();
         for generation in self.generations()?.into_iter().rev() {
             let path = self.generation_path(generation);
-            let attempt = fs::read(&path)
+            let attempt = self
+                .vfs
+                .read(&path)
                 .map_err(|e| CheckpointError::Io {
                     path: path.clone(),
                     source: e,
@@ -567,6 +586,7 @@ impl CheckpointJournal {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn sample<T: Real>() -> Snapshot<T> {
         Snapshot {

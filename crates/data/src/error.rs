@@ -109,6 +109,17 @@ impl DataError {
             message: message.into(),
         }
     }
+
+    /// Annotates a bare [`DataError::Io`] with the path it happened on.
+    /// Every other variant (including an already-annotated `IoPath`) is
+    /// returned unchanged — readers call this so no I/O failure reaches
+    /// the user without naming the offending file.
+    pub fn with_path(self, path: impl AsRef<Path>) -> Self {
+        match self {
+            DataError::Io(source) => DataError::io_path(path, source),
+            other => other,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -9,18 +9,24 @@
 //! 1. write the full contents to a unique temporary file in the *same*
 //!    directory (rename is only atomic within a filesystem),
 //! 2. `fsync` the temporary file,
-//! 3. `rename` it over the destination (atomic replace on POSIX),
-//! 4. `fsync` the parent directory so the rename itself is durable.
+//! 3. verify the temporary file's on-disk length matches what was
+//!    written (a silent short write must not be installed),
+//! 4. `rename` it over the destination (atomic replace on POSIX),
+//! 5. `fsync` the parent directory so the rename itself is durable.
 //!
 //! Readers therefore observe either the old contents or the complete new
 //! contents, never a torn intermediate state.
+//!
+//! All filesystem access goes through a [`Vfs`] so the storage-fault
+//! injector ([`crate::vfs::FaultVfs`]) can exercise every failure point;
+//! [`write_atomic`] is the production entry point over [`RealVfs`], and
+//! [`write_atomic_with`] takes an explicit [`Vfs`].
 
-use std::fs::{self, File, OpenOptions};
-use std::io::Write;
 use std::path::{Component, Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::error::DataError;
+use crate::vfs::{RealVfs, Vfs};
 
 /// Process-wide counter making concurrent temp names unique.
 static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -45,59 +51,68 @@ fn temp_path_for(path: &Path) -> PathBuf {
     parent_dir(path).join(format!(".{stem}.tmp.{}.{seq}", std::process::id()))
 }
 
-/// Fsyncs a directory so a rename inside it survives a crash. Directory
-/// handles cannot be fsynced on all platforms; where the open or sync is
-/// unsupported the error is reported, except on non-unix targets where
-/// directory sync is silently skipped (no durable equivalent exists).
-fn sync_dir(dir: &Path) -> Result<(), DataError> {
-    #[cfg(unix)]
-    {
-        let handle = File::open(dir).map_err(|e| DataError::io_path(dir, e))?;
-        handle.sync_all().map_err(|e| DataError::io_path(dir, e))?;
-    }
-    #[cfg(not(unix))]
-    {
-        let _ = dir;
-    }
-    Ok(())
-}
-
-/// Atomically and durably replaces `path` with `bytes`.
+/// Atomically and durably replaces `path` with `bytes` via [`RealVfs`].
 ///
 /// On error the destination is untouched (modulo a leftover `.tmp` file,
 /// which subsequent successful writes never observe).
 pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), DataError> {
-    let path = path.as_ref();
+    write_atomic_with(&RealVfs, path.as_ref(), bytes)
+}
+
+/// Atomically and durably replaces `path` with `bytes` through `vfs`.
+///
+/// Identical guarantees to [`write_atomic`]; the explicit [`Vfs`] lets
+/// fault-injection harnesses and the `--io-faults` CLI flag drive every
+/// step (temp write, fsync, length check, rename, directory fsync)
+/// through scheduled storage failures.
+pub fn write_atomic_with(vfs: &dyn Vfs, path: &Path, bytes: &[u8]) -> Result<(), DataError> {
     let tmp = temp_path_for(path);
     let result = (|| {
-        let mut file = OpenOptions::new()
-            .write(true)
-            .create_new(true)
-            .open(&tmp)
+        vfs.create_write(&tmp, bytes)
             .map_err(|e| DataError::io_path(&tmp, e))?;
-        file.write_all(bytes)
+        vfs.sync_file(&tmp)
             .map_err(|e| DataError::io_path(&tmp, e))?;
-        file.sync_all().map_err(|e| DataError::io_path(&tmp, e))?;
-        drop(file);
-        fs::rename(&tmp, path).map_err(|e| DataError::io_path(path, e))?;
-        sync_dir(&parent_dir(path))
+        // A short write that reported success would otherwise be renamed
+        // into place as a "valid" artifact; refuse to install it.
+        let on_disk = vfs
+            .file_len(&tmp)
+            .map_err(|e| DataError::io_path(&tmp, e))?;
+        if on_disk != bytes.len() as u64 {
+            return Err(DataError::io_path(
+                &tmp,
+                std::io::Error::other(format!(
+                    "short write: {on_disk} of {} bytes reached disk",
+                    bytes.len()
+                )),
+            ));
+        }
+        vfs.rename(&tmp, path)
+            .map_err(|e| DataError::io_path(path, e))?;
+        vfs.sync_dir(&parent_dir(path))
+            .map_err(|e| DataError::io_path(parent_dir(path), e))
     })();
     if result.is_err() {
-        let _ = fs::remove_file(&tmp);
+        let _ = vfs.remove_file(&tmp);
     }
     result
 }
 
 /// Durably creates a directory (and its parents), fsyncing the grandparent
-/// so the new entry survives a crash.
+/// so the new entry survives a crash. Uses [`RealVfs`].
 pub fn create_dir_durable(dir: impl AsRef<Path>) -> Result<(), DataError> {
-    let dir = dir.as_ref();
-    fs::create_dir_all(dir).map_err(|e| DataError::io_path(dir, e))?;
+    create_dir_durable_with(&RealVfs, dir.as_ref())
+}
+
+/// [`create_dir_durable`] through an explicit [`Vfs`].
+pub fn create_dir_durable_with(vfs: &dyn Vfs, dir: &Path) -> Result<(), DataError> {
+    vfs.create_dir_all(dir)
+        .map_err(|e| DataError::io_path(dir, e))?;
     // Walk up and fsync each ancestor we may have created. Syncing an
     // already-durable directory is harmless, so sync them all.
     let mut current = dir.to_path_buf();
     loop {
-        sync_dir(&current)?;
+        vfs.sync_dir(&current)
+            .map_err(|e| DataError::io_path(&current, e))?;
         match current.parent() {
             Some(p)
                 if !p.as_os_str().is_empty()
@@ -114,6 +129,7 @@ pub fn create_dir_durable(dir: impl AsRef<Path>) -> Result<(), DataError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn temp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("plssvm_io_{tag}_{}", std::process::id()));
@@ -176,5 +192,24 @@ mod tests {
         create_dir_durable(&dir).unwrap();
         assert!(dir.is_dir());
         fs::remove_dir_all(dir.parent().unwrap().parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn short_write_is_refused_and_old_contents_survive() {
+        use crate::vfs::{FaultKind, FaultPlan, FaultVfs, OpClass};
+        let dir = temp_dir("short");
+        let path = dir.join("a.txt");
+        fs::write(&path, b"old contents").unwrap();
+        let vfs = FaultVfs::new(FaultPlan::new().fault(
+            FaultKind::ShortWrite,
+            OpClass::Write,
+            0,
+            None,
+            false,
+        ));
+        let err = write_atomic_with(&vfs, &path, b"replacement!").unwrap_err();
+        assert!(err.to_string().contains("short write"), "{err}");
+        assert_eq!(fs::read(&path).unwrap(), b"old contents");
+        fs::remove_dir_all(&dir).ok();
     }
 }

@@ -13,6 +13,9 @@
 //! * [`scale`] — feature scaling to a target interval (the `svm-scale` tool),
 //! * [`checkpoint`] — the durable CG checkpoint format and journal,
 //! * [`io`] — atomic, durable file writes shared by all artifact writers,
+//! * [`vfs`] — the virtual filesystem those writes go through, with a
+//!   deterministic storage-fault injector ([`vfs::FaultVfs`]) for chaos
+//!   testing the durability paths,
 //! * [`synthetic`] — the `generate_data.py` "planes" problem generator built
 //!   on `make_classification` semantics,
 //! * [`sat6`] — a synthetic stand-in for the SAT-6 airborne data set,
@@ -37,11 +40,13 @@ pub mod scale;
 pub mod sparse;
 pub mod split;
 pub mod synthetic;
+pub mod vfs;
 
 pub use checkpoint::{CheckpointError, CheckpointJournal, Snapshot};
 pub use dense::{DenseMatrix, SoAMatrix};
 pub use error::{DataError, MAX_FEATURE_INDEX};
-pub use io::write_atomic;
+pub use io::{write_atomic, write_atomic_with};
 pub use libsvm::{read_libsvm_file, read_libsvm_str, write_libsvm_file, LabeledData};
 pub use real::Real;
 pub use sparse::CsrMatrix;
+pub use vfs::{FaultPlan, FaultVfs, RealVfs, Vfs};

@@ -6,7 +6,7 @@
 //! that behaviour.
 
 use std::fs::File;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader};
 use std::path::Path;
 
 use crate::dense::DenseMatrix;
@@ -228,7 +228,8 @@ pub fn read_libsvm_regression_file<T: Real>(
     path: impl AsRef<Path>,
     num_features: Option<usize>,
 ) -> Result<RegressionData<T>, DataError> {
-    let content = std::fs::read_to_string(path)?;
+    let path = path.as_ref();
+    let content = std::fs::read_to_string(path).map_err(|e| DataError::io_path(path, e))?;
     read_libsvm_regression_str(&content, num_features)
 }
 
@@ -276,8 +277,9 @@ pub fn read_libsvm_file<T: Real>(
     path: impl AsRef<Path>,
     num_features: Option<usize>,
 ) -> Result<LabeledData<T>, DataError> {
-    let reader = BufReader::new(File::open(path)?);
-    parse_lines(reader.lines(), num_features)
+    let path = path.as_ref();
+    let file = File::open(path).map_err(|e| DataError::io_path(path, e))?;
+    parse_lines(BufReader::new(file).lines(), num_features).map_err(|e| e.with_path(path))
 }
 
 fn parse_lines<T: Real>(
@@ -430,16 +432,15 @@ pub fn write_libsvm_string<T: Real>(data: &LabeledData<T>, sparse: bool) -> Stri
     out
 }
 
-/// Writes a data set to a LIBSVM-format file. See [`write_libsvm_string`].
+/// Writes a data set to a LIBSVM-format file atomically and durably (the
+/// same temp-file + fsync + rename discipline as every other artifact
+/// writer). See [`write_libsvm_string`].
 pub fn write_libsvm_file<T: Real>(
     path: impl AsRef<Path>,
     data: &LabeledData<T>,
     sparse: bool,
 ) -> Result<(), DataError> {
-    let mut w = BufWriter::new(File::create(path)?);
-    w.write_all(write_libsvm_string(data, sparse).as_bytes())?;
-    w.flush()?;
-    Ok(())
+    crate::io::write_atomic(path, write_libsvm_string(data, sparse).as_bytes())
 }
 
 /// Formats a real so that it round-trips exactly through `parse` while

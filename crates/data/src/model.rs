@@ -219,6 +219,11 @@ impl<T: Real> SvmModel<T> {
         write_atomic(path, self.to_model_string().as_bytes())
     }
 
+    /// [`SvmModel::save`] through an explicit [`Vfs`](crate::vfs::Vfs).
+    pub fn save_with(&self, vfs: &dyn crate::vfs::Vfs, path: &Path) -> Result<(), DataError> {
+        crate::io::write_atomic_with(vfs, path, self.to_model_string().as_bytes())
+    }
+
     /// Parses a model from its LIBSVM text representation.
     pub fn from_model_string(content: &str) -> Result<Self, DataError> {
         parse_model(content.lines().map(|l| Ok(l.to_owned())))
@@ -226,8 +231,9 @@ impl<T: Real> SvmModel<T> {
 
     /// Loads a model from a file.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, DataError> {
-        let reader = BufReader::new(File::open(path)?);
-        parse_model(reader.lines())
+        let path = path.as_ref();
+        let file = File::open(path).map_err(|e| DataError::io_path(path, e))?;
+        parse_model(BufReader::new(file).lines()).map_err(|e| e.with_path(path))
     }
 }
 
@@ -543,6 +549,11 @@ impl<T: Real> SvrModel<T> {
         write_atomic(path, self.to_model_string().as_bytes())
     }
 
+    /// [`SvrModel::save`] through an explicit [`Vfs`](crate::vfs::Vfs).
+    pub fn save_with(&self, vfs: &dyn crate::vfs::Vfs, path: &Path) -> Result<(), DataError> {
+        crate::io::write_atomic_with(vfs, path, self.to_model_string().as_bytes())
+    }
+
     /// Parses an `epsilon_svr` model from its text form.
     pub fn from_model_string(content: &str) -> Result<Self, DataError> {
         parse_svr_model(content)
@@ -550,7 +561,8 @@ impl<T: Real> SvrModel<T> {
 
     /// Loads a model from a file.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, DataError> {
-        let content = std::fs::read_to_string(path)?;
+        let path = path.as_ref();
+        let content = std::fs::read_to_string(path).map_err(|e| DataError::io_path(path, e))?;
         parse_svr_model(&content)
     }
 }

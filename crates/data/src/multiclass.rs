@@ -209,7 +209,8 @@ pub fn read_libsvm_multiclass_file<T: Real>(
     path: impl AsRef<Path>,
     num_features: Option<usize>,
 ) -> Result<MultiClassData<T>, DataError> {
-    let content = std::fs::read_to_string(path)?;
+    let path = path.as_ref();
+    let content = std::fs::read_to_string(path).map_err(|e| DataError::io_path(path, e))?;
     read_libsvm_multiclass_str(&content, num_features)
 }
 

@@ -101,6 +101,11 @@ impl<T: Real> ScalingParams<T> {
         write_atomic(path, self.to_range_string().as_bytes())
     }
 
+    /// [`ScalingParams::save`] through an explicit [`Vfs`](crate::vfs::Vfs).
+    pub fn save_with(&self, vfs: &dyn crate::vfs::Vfs, path: &Path) -> Result<(), DataError> {
+        crate::io::write_atomic_with(vfs, path, self.to_range_string().as_bytes())
+    }
+
     /// Parses a range file (`svm-scale -r`).
     pub fn from_range_string(content: &str) -> Result<Self, DataError> {
         let mut lines = content.lines().enumerate();
@@ -178,8 +183,12 @@ impl<T: Real> ScalingParams<T> {
 
     /// Loads a range file from disk.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, DataError> {
+        let path = path.as_ref();
         let mut content = String::new();
-        BufReader::new(File::open(path)?).read_to_string(&mut content)?;
+        let file = File::open(path).map_err(|e| DataError::io_path(path, e))?;
+        BufReader::new(file)
+            .read_to_string(&mut content)
+            .map_err(|e| DataError::io_path(path, e))?;
         Self::from_range_string(&content)
     }
 }

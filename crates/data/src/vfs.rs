@@ -1,0 +1,1025 @@
+//! Virtual filesystem with deterministic, seedable storage-fault injection.
+//!
+//! Every durability guarantee in the workspace — atomic artifact writes,
+//! the checkpoint journal, model/scale/prediction writers, svm-serve's
+//! hot-reload loader — ultimately rests on a filesystem that is assumed
+//! to be perfect. Multi-hour, disk-resident training is exactly the
+//! regime where that assumption breaks: ENOSPC mid-write, EIO on fsync,
+//! torn renames, short reads from failing media. This module makes those
+//! failures *reproducible*:
+//!
+//! * [`Vfs`] — the narrow filesystem interface every durability-bearing
+//!   path goes through (create+write, fsync, rename, read, list, remove),
+//! * [`RealVfs`] — the pass-through production implementation,
+//! * [`FaultVfs`] — a deterministic fault injector in the spirit of the
+//!   device-level `FaultPlan` of `plssvm-simgpu`: faults are scheduled at
+//!   exact per-operation-class indices (no wall clock, no randomness at
+//!   injection time), optionally restricted to paths containing a
+//!   substring, transient (fire once) or persistent (fire from the
+//!   trigger on). A failing chaos run replays bit-for-bit.
+//!
+//! ## Fault model
+//!
+//! | kind         | op classes                  | effect                                     |
+//! |--------------|-----------------------------|--------------------------------------------|
+//! | `enospc`     | write, sync, rename, mkdir  | half the bytes land, then "no space" error |
+//! | `eio`        | any                         | the operation fails with an I/O error      |
+//! | `shortwrite` | write                       | silently writes half the bytes             |
+//! | `tornwrite`  | write                       | like `shortwrite`, but metadata *lies*     |
+//! | `fsyncfail`  | sync                        | the fsync reports failure                  |
+//! | `renamefail` | rename                      | the rename reports failure                 |
+//! | `shortread`  | read                        | silently returns a prefix of the file      |
+//! | `bitrot`     | read                        | silently flips one bit mid-buffer          |
+//!
+//! `shortwrite` is caught by [`crate::io::write_atomic_with`]'s post-sync
+//! length verification; `tornwrite` additionally falsifies
+//! [`Vfs::file_len`] for the damaged file (modelling a page cache that
+//! acknowledges data the disk lost), so the damage is only discoverable
+//! at *read* time — the scenario the checkpoint CRC and every loader's
+//! validation exist for.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use crate::error::DataError;
+
+/// The narrow filesystem interface durability-bearing code goes through.
+///
+/// Implementations must be thread-safe: the checkpoint journal and the
+/// serve reload loader call into one shared instance from worker threads.
+pub trait Vfs: Send + Sync + fmt::Debug {
+    /// Creates `path` (which must not already exist) holding `bytes`.
+    fn create_write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Fsyncs the file at `path` so its contents survive a power loss.
+    fn sync_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Fsyncs the directory at `path` so renames inside it are durable.
+    /// A no-op on platforms without directory fsync.
+    fn sync_dir(&self, path: &Path) -> io::Result<()>;
+
+    /// Atomically renames `from` over `to` (same filesystem).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Removes the file at `path`.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Reads the whole file at `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Reads the whole file at `path` as UTF-8 text.
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        String::from_utf8(self.read(path)?).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                "stream did not contain valid UTF-8",
+            )
+        })
+    }
+
+    /// The file names (not full paths) inside directory `dir`.
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<String>>;
+
+    /// Creates directory `dir` and all missing parents.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+
+    /// The current length of the file at `path` in bytes. A metadata
+    /// lookup, not a fault-eligible operation — but see
+    /// [`FaultKind::TornWrite`], which makes it lie.
+    fn file_len(&self, path: &Path) -> io::Result<u64>;
+}
+
+/// Pass-through [`Vfs`] over the real filesystem. The production default
+/// everywhere: `write_atomic(path, bytes)` is
+/// `write_atomic_with(&RealVfs, path, bytes)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealVfs;
+
+impl Vfs for RealVfs {
+    fn create_write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut file = OpenOptions::new().write(true).create_new(true).open(path)?;
+        file.write_all(bytes)
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        File::open(path)?.sync_all()
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        #[cfg(unix)]
+        {
+            File::open(path)?.sync_all()
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = path;
+            Ok(())
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        fs::read_to_string(path)
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            names.push(entry?.file_name().to_string_lossy().into_owned());
+        }
+        Ok(names)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        Ok(fs::metadata(path)?.len())
+    }
+}
+
+/// The class of filesystem operation a fault can trigger on. Each class
+/// has its own deterministic operation counter inside [`FaultVfs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// [`Vfs::create_write`].
+    Write,
+    /// [`Vfs::sync_file`] and [`Vfs::sync_dir`].
+    Sync,
+    /// [`Vfs::rename`].
+    Rename,
+    /// [`Vfs::read`] / [`Vfs::read_to_string`].
+    Read,
+    /// [`Vfs::remove_file`].
+    Remove,
+    /// [`Vfs::list_dir`].
+    List,
+    /// [`Vfs::create_dir_all`].
+    Mkdir,
+}
+
+impl OpClass {
+    /// All classes, in counter order.
+    pub const ALL: [OpClass; 7] = [
+        OpClass::Write,
+        OpClass::Sync,
+        OpClass::Rename,
+        OpClass::Read,
+        OpClass::Remove,
+        OpClass::List,
+        OpClass::Mkdir,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            OpClass::Write => 0,
+            OpClass::Sync => 1,
+            OpClass::Rename => 2,
+            OpClass::Read => 3,
+            OpClass::Remove => 4,
+            OpClass::List => 5,
+            OpClass::Mkdir => 6,
+        }
+    }
+
+    /// The stable lower-case name used by the spec grammar.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OpClass::Write => "write",
+            OpClass::Sync => "sync",
+            OpClass::Rename => "rename",
+            OpClass::Read => "read",
+            OpClass::Remove => "remove",
+            OpClass::List => "list",
+            OpClass::Mkdir => "mkdir",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "write" => OpClass::Write,
+            "sync" => OpClass::Sync,
+            "rename" => OpClass::Rename,
+            "read" => OpClass::Read,
+            "remove" => OpClass::Remove,
+            "list" => OpClass::List,
+            "mkdir" => OpClass::Mkdir,
+            _ => return None,
+        })
+    }
+}
+
+/// What an injected storage fault does. See the module-level fault table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Out of space: half the bytes land, then the op reports ENOSPC.
+    Enospc,
+    /// Generic I/O failure of the whole operation.
+    Eio,
+    /// Silent short write: half the bytes land, the op reports success.
+    /// Caught by the post-sync length verification of `write_atomic`.
+    ShortWrite,
+    /// Torn write: like [`FaultKind::ShortWrite`] but [`Vfs::file_len`]
+    /// keeps reporting the *intended* length (the page cache acknowledged
+    /// data the disk lost), so the damage survives write-side
+    /// verification and must be caught by the reader's validation.
+    TornWrite,
+    /// The fsync reports failure; data may or may not be durable.
+    FsyncFail,
+    /// The rename reports failure; the destination is untouched.
+    RenameFail,
+    /// Silent short read: the first half of the file is returned.
+    ShortRead,
+    /// Silent single-bit corruption in the returned buffer.
+    BitRot,
+}
+
+impl FaultKind {
+    /// Every fault kind, for sweep harnesses.
+    pub const ALL: [FaultKind; 8] = [
+        FaultKind::Enospc,
+        FaultKind::Eio,
+        FaultKind::ShortWrite,
+        FaultKind::TornWrite,
+        FaultKind::FsyncFail,
+        FaultKind::RenameFail,
+        FaultKind::ShortRead,
+        FaultKind::BitRot,
+    ];
+
+    /// The stable lower-case name used by the spec grammar.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::Enospc => "enospc",
+            FaultKind::Eio => "eio",
+            FaultKind::ShortWrite => "shortwrite",
+            FaultKind::TornWrite => "tornwrite",
+            FaultKind::FsyncFail => "fsyncfail",
+            FaultKind::RenameFail => "renamefail",
+            FaultKind::ShortRead => "shortread",
+            FaultKind::BitRot => "bitrot",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "enospc" => FaultKind::Enospc,
+            "eio" => FaultKind::Eio,
+            "shortwrite" => FaultKind::ShortWrite,
+            "tornwrite" => FaultKind::TornWrite,
+            "fsyncfail" => FaultKind::FsyncFail,
+            "renamefail" => FaultKind::RenameFail,
+            "shortread" => FaultKind::ShortRead,
+            "bitrot" => FaultKind::BitRot,
+            _ => return None,
+        })
+    }
+
+    /// True when this kind can fire on operations of `class`.
+    pub fn applies_to(self, class: OpClass) -> bool {
+        match self {
+            FaultKind::Eio => true,
+            FaultKind::Enospc => matches!(
+                class,
+                OpClass::Write | OpClass::Sync | OpClass::Rename | OpClass::Mkdir
+            ),
+            FaultKind::ShortWrite | FaultKind::TornWrite => class == OpClass::Write,
+            FaultKind::FsyncFail => class == OpClass::Sync,
+            FaultKind::RenameFail => class == OpClass::Rename,
+            FaultKind::ShortRead | FaultKind::BitRot => class == OpClass::Read,
+        }
+    }
+}
+
+/// One scheduled storage fault: `kind` fires on the `at_op`-th operation
+/// of `class` (0-based; counted among operations whose path contains
+/// `path_pattern` when one is set).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// What happens.
+    pub kind: FaultKind,
+    /// The operation class the fault triggers on.
+    pub class: OpClass,
+    /// 0-based index among matching operations at which the fault fires.
+    pub at_op: u64,
+    /// When set, only operations whose path contains this substring are
+    /// counted (and faulted).
+    pub path_pattern: Option<String>,
+    /// Transient faults fire exactly once; persistent faults fire on the
+    /// trigger and on every later matching operation.
+    pub persistent: bool,
+}
+
+impl FaultSpec {
+    /// Serializes back into the spec grammar (`kind:class@n[~pat][!]`).
+    pub fn to_spec(&self) -> String {
+        let mut out = format!(
+            "{}:{}@{}",
+            self.kind.as_str(),
+            self.class.as_str(),
+            self.at_op
+        );
+        if let Some(p) = &self.path_pattern {
+            out.push('~');
+            out.push_str(p);
+        }
+        if self.persistent {
+            out.push('!');
+        }
+        out
+    }
+}
+
+/// A deterministic schedule of storage faults.
+///
+/// Build explicitly with [`FaultPlan::fault`], parse a textual spec with
+/// [`FaultPlan::parse`] (the CLI's `--io-faults` grammar), or generate a
+/// reproducible pseudo-random plan with [`FaultPlan::seeded`].
+///
+/// ```
+/// use plssvm_data::vfs::FaultPlan;
+///
+/// let plan = FaultPlan::parse("enospc:write@3; shortread:read@0~model!").unwrap();
+/// let same = FaultPlan::parse(&plan.to_spec()).unwrap();
+/// assert_eq!(plan, same);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults; a [`FaultVfs`] over it is a pure
+    /// pass-through, byte-identical to [`RealVfs`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one scheduled fault. Panics if `kind` cannot fire on
+    /// `class` — schedules are authored by tests and the CLI parser,
+    /// both of which validate first.
+    pub fn fault(
+        mut self,
+        kind: FaultKind,
+        class: OpClass,
+        at_op: u64,
+        path_pattern: Option<&str>,
+        persistent: bool,
+    ) -> Self {
+        assert!(
+            kind.applies_to(class),
+            "fault kind '{}' cannot fire on '{}' operations",
+            kind.as_str(),
+            class.as_str()
+        );
+        self.specs.push(FaultSpec {
+            kind,
+            class,
+            at_op,
+            path_pattern: path_pattern.map(str::to_owned),
+            persistent,
+        });
+        self
+    }
+
+    /// All scheduled faults, in insertion order (which is also match
+    /// priority when several specs hit the same operation).
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    /// True if the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Serializes the plan into the spec grammar.
+    pub fn to_spec(&self) -> String {
+        self.specs
+            .iter()
+            .map(FaultSpec::to_spec)
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+
+    /// A reproducible pseudo-random plan: `seed` fully determines the
+    /// schedule. Faults land on operation indices `0..horizon` with a mix
+    /// of kinds, classes and persistence; the same seed always produces
+    /// the same plan (and therefore the same injected faults on the same
+    /// operation sequence).
+    pub fn seeded(seed: u64, horizon: u64) -> Self {
+        let mut rng = Lcg::new(seed);
+        let horizon = horizon.max(1);
+        let count = (horizon / 8).clamp(1, 16);
+        let mut plan = FaultPlan::new();
+        for _ in 0..count {
+            let class = match rng.next_below(5) {
+                0 => OpClass::Write,
+                1 => OpClass::Sync,
+                2 => OpClass::Rename,
+                3 => OpClass::Read,
+                _ => OpClass::Remove,
+            };
+            let applicable: Vec<FaultKind> = FaultKind::ALL
+                .into_iter()
+                .filter(|k| k.applies_to(class))
+                .collect();
+            let kind = applicable[rng.next_below(applicable.len() as u64) as usize];
+            let at_op = rng.next_below(horizon);
+            let persistent = rng.next_below(4) == 0;
+            plan.specs.push(FaultSpec {
+                kind,
+                class,
+                at_op,
+                path_pattern: None,
+                persistent,
+            });
+        }
+        plan
+    }
+
+    /// Parses the `--io-faults` spec grammar. Entries are separated by
+    /// `;` or `,`:
+    ///
+    /// * `seed:N` or `seed:N@H` — a [`FaultPlan::seeded`] plan over
+    ///   operation horizon `H` (default 64),
+    /// * `kind:class@n` — `kind` fires on the `n`-th operation of
+    ///   `class` (0-based),
+    /// * an optional `~substr` suffix counts (and faults) only
+    ///   operations on paths containing `substr`,
+    /// * a trailing `!` makes the fault persistent (it keeps firing).
+    ///
+    /// Example: `enospc:write@3;eio:read@0~gen-!`.
+    pub fn parse(spec: &str) -> Result<Self, DataError> {
+        let mut plan = FaultPlan::new();
+        for raw in spec.split([';', ',']) {
+            let entry = raw.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            if let Some(rest) = entry.strip_prefix("seed:") {
+                let (seed_str, horizon_str) = match rest.split_once('@') {
+                    Some((s, h)) => (s, Some(h)),
+                    None => (rest, None),
+                };
+                let seed: u64 = seed_str.parse().map_err(|_| {
+                    DataError::Invalid(format!("io-faults: invalid seed in '{entry}'"))
+                })?;
+                let horizon: u64 = match horizon_str {
+                    Some(h) => h.parse().map_err(|_| {
+                        DataError::Invalid(format!("io-faults: invalid horizon in '{entry}'"))
+                    })?,
+                    None => 64,
+                };
+                plan.specs.extend(Self::seeded(seed, horizon).specs);
+                continue;
+            }
+            let (persistent, entry) = match entry.strip_suffix('!') {
+                Some(e) => (true, e),
+                None => (false, entry),
+            };
+            let (kind_str, rest) = entry.split_once(':').ok_or_else(|| {
+                DataError::Invalid(format!(
+                    "io-faults: expected 'kind:class@n' or 'seed:N', got '{entry}'"
+                ))
+            })?;
+            let kind = FaultKind::parse(kind_str).ok_or_else(|| {
+                DataError::Invalid(format!("io-faults: unknown fault kind '{kind_str}'"))
+            })?;
+            let (class_str, rest) = rest.split_once('@').ok_or_else(|| {
+                DataError::Invalid(format!("io-faults: missing '@op-index' in '{entry}'"))
+            })?;
+            let class = OpClass::parse(class_str).ok_or_else(|| {
+                DataError::Invalid(format!("io-faults: unknown op class '{class_str}'"))
+            })?;
+            if !kind.applies_to(class) {
+                return Err(DataError::Invalid(format!(
+                    "io-faults: fault kind '{kind_str}' cannot fire on '{class_str}' operations"
+                )));
+            }
+            let (at_str, pattern) = match rest.split_once('~') {
+                Some((a, p)) => (a, Some(p.to_owned())),
+                None => (rest, None),
+            };
+            let at_op: u64 = at_str.parse().map_err(|_| {
+                DataError::Invalid(format!("io-faults: invalid op index in '{entry}'"))
+            })?;
+            plan.specs.push(FaultSpec {
+                kind,
+                class,
+                at_op,
+                path_pattern: pattern,
+                persistent,
+            });
+        }
+        Ok(plan)
+    }
+}
+
+/// Deterministic LCG (same constants as the mutation corpora).
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Self(
+            seed.wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407),
+        )
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn next_below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// One fault that actually fired, for harness assertions and telemetry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// What fired.
+    pub kind: FaultKind,
+    /// The operation class it fired on.
+    pub class: OpClass,
+    /// The per-class operation index at which it fired.
+    pub op_index: u64,
+    /// The path the operation was acting on.
+    pub path: PathBuf,
+}
+
+#[derive(Debug)]
+struct FaultState {
+    /// Per-class operation counters (every op of the class, matched or not).
+    counters: [u64; 7],
+    /// Per-spec count of *matching* operations seen so far.
+    seen: Vec<u64>,
+    /// Per-spec count of firings (transient specs stop at 1).
+    fired: Vec<u64>,
+    /// Audit log of everything that fired.
+    log: Vec<InjectedFault>,
+    /// Lengths [`FaultKind::TornWrite`] promised for damaged files.
+    torn_lens: HashMap<PathBuf, u64>,
+}
+
+/// A [`Vfs`] decorator injecting the faults scheduled by a [`FaultPlan`].
+///
+/// With an empty plan every operation is a pure pass-through to the
+/// inner [`Vfs`] — byte-identical behaviour to [`RealVfs`], pinned by a
+/// property test. All state is behind one mutex, so injection order is
+/// deterministic even under concurrent use (per-class counters order
+/// operations, not wall clock).
+#[derive(Debug)]
+pub struct FaultVfs {
+    inner: Arc<dyn Vfs>,
+    plan: FaultPlan,
+    state: Mutex<FaultState>,
+}
+
+impl FaultVfs {
+    /// Wraps [`RealVfs`] with `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self::over(Arc::new(RealVfs), plan)
+    }
+
+    /// Wraps an arbitrary inner [`Vfs`] with `plan`.
+    pub fn over(inner: Arc<dyn Vfs>, plan: FaultPlan) -> Self {
+        let n = plan.specs.len();
+        Self {
+            inner,
+            plan,
+            state: Mutex::new(FaultState {
+                counters: [0; 7],
+                seen: vec![0; n],
+                fired: vec![0; n],
+                log: Vec::new(),
+                torn_lens: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Everything that fired so far, in firing order.
+    pub fn injected(&self) -> Vec<InjectedFault> {
+        self.state.lock().unwrap().log.clone()
+    }
+
+    /// Total number of faults that fired so far.
+    pub fn total_injected(&self) -> usize {
+        self.state.lock().unwrap().log.len()
+    }
+
+    /// The number of operations of `class` observed so far (faulted or
+    /// not). Chaos sweeps run once fault-free to size their schedules.
+    pub fn ops(&self, class: OpClass) -> u64 {
+        self.state.lock().unwrap().counters[class.index()]
+    }
+
+    /// Checks the plan for a fault on this (class, path) op; returns the
+    /// kind to inject, if any. Always advances the counters.
+    fn check(&self, class: OpClass, path: &Path) -> Option<FaultKind> {
+        let mut state = self.state.lock().unwrap();
+        let state = &mut *state;
+        let op_index = state.counters[class.index()];
+        state.counters[class.index()] += 1;
+        let path_str = path.to_string_lossy();
+        let mut hit = None;
+        // Visit every spec (each keeps its own matching-op count), fire
+        // the first eligible one.
+        for (i, spec) in self.plan.specs.iter().enumerate() {
+            if spec.class != class {
+                continue;
+            }
+            if let Some(p) = &spec.path_pattern {
+                if !path_str.contains(p.as_str()) {
+                    continue;
+                }
+            }
+            let s = state.seen[i];
+            state.seen[i] += 1;
+            let eligible = if spec.persistent {
+                s >= spec.at_op
+            } else {
+                s == spec.at_op && state.fired[i] == 0
+            };
+            if eligible && hit.is_none() {
+                state.fired[i] += 1;
+                hit = Some(spec.kind);
+            }
+        }
+        if let Some(kind) = hit {
+            state.log.push(InjectedFault {
+                kind,
+                class,
+                op_index,
+                path: path.to_path_buf(),
+            });
+        }
+        hit
+    }
+}
+
+fn injected_err(kind: FaultKind, class: OpClass, path: &Path) -> io::Error {
+    let what = match kind {
+        FaultKind::Enospc => "ENOSPC (no space left on device)",
+        FaultKind::Eio => "EIO (input/output error)",
+        FaultKind::FsyncFail => "EIO (fsync failed)",
+        FaultKind::RenameFail => "EIO (rename failed)",
+        _ => "injected fault",
+    };
+    io::Error::other(format!(
+        "injected {what} on {} of '{}'",
+        class.as_str(),
+        path.display()
+    ))
+}
+
+impl Vfs for FaultVfs {
+    fn create_write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.check(OpClass::Write, path) {
+            None => self.inner.create_write(path, bytes),
+            Some(FaultKind::Eio) => Err(injected_err(FaultKind::Eio, OpClass::Write, path)),
+            Some(FaultKind::Enospc) => {
+                // realistic ENOSPC: a prefix lands before the error
+                let _ = self.inner.create_write(path, &bytes[..bytes.len() / 2]);
+                Err(injected_err(FaultKind::Enospc, OpClass::Write, path))
+            }
+            Some(FaultKind::ShortWrite) => self.inner.create_write(path, &bytes[..bytes.len() / 2]),
+            Some(FaultKind::TornWrite) => {
+                self.inner.create_write(path, &bytes[..bytes.len() / 2])?;
+                self.state
+                    .lock()
+                    .unwrap()
+                    .torn_lens
+                    .insert(path.to_path_buf(), bytes.len() as u64);
+                Ok(())
+            }
+            Some(other) => {
+                debug_assert!(false, "{other:?} cannot fire on writes");
+                self.inner.create_write(path, bytes)
+            }
+        }
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        match self.check(OpClass::Sync, path) {
+            None => self.inner.sync_file(path),
+            Some(kind) => Err(injected_err(kind, OpClass::Sync, path)),
+        }
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        match self.check(OpClass::Sync, path) {
+            None => self.inner.sync_dir(path),
+            Some(kind) => Err(injected_err(kind, OpClass::Sync, path)),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.check(OpClass::Rename, to) {
+            None => {
+                self.inner.rename(from, to)?;
+                // a torn temp file carries its lie to the destination
+                let mut state = self.state.lock().unwrap();
+                if let Some(len) = state.torn_lens.remove(from) {
+                    state.torn_lens.insert(to.to_path_buf(), len);
+                }
+                Ok(())
+            }
+            Some(kind) => Err(injected_err(kind, OpClass::Rename, to)),
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        match self.check(OpClass::Remove, path) {
+            None => {
+                self.inner.remove_file(path)?;
+                self.state.lock().unwrap().torn_lens.remove(path);
+                Ok(())
+            }
+            Some(kind) => Err(injected_err(kind, OpClass::Remove, path)),
+        }
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        match self.check(OpClass::Read, path) {
+            None => self.inner.read(path),
+            Some(FaultKind::ShortRead) => {
+                let mut bytes = self.inner.read(path)?;
+                bytes.truncate(bytes.len() / 2);
+                Ok(bytes)
+            }
+            Some(FaultKind::BitRot) => {
+                let mut bytes = self.inner.read(path)?;
+                if !bytes.is_empty() {
+                    let mid = bytes.len() / 2;
+                    bytes[mid] ^= 0x10;
+                }
+                Ok(bytes)
+            }
+            Some(kind) => Err(injected_err(kind, OpClass::Read, path)),
+        }
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<String>> {
+        match self.check(OpClass::List, dir) {
+            None => self.inner.list_dir(dir),
+            Some(kind) => Err(injected_err(kind, OpClass::List, dir)),
+        }
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        match self.check(OpClass::Mkdir, dir) {
+            None => self.inner.create_dir_all(dir),
+            Some(kind) => Err(injected_err(kind, OpClass::Mkdir, dir)),
+        }
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        // metadata lookups are not fault-eligible, but a torn write's lie
+        // lives here: the promised length masks the truncation
+        if let Some(len) = self.state.lock().unwrap().torn_lens.get(path) {
+            return Ok(*len);
+        }
+        self.inner.file_len(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "plssvm-vfs-{tag}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn spec_grammar_round_trips() {
+        let plan = FaultPlan::parse("enospc:write@3; shortread:read@0~model!").unwrap();
+        assert_eq!(plan.specs().len(), 2);
+        assert_eq!(plan.specs()[0].kind, FaultKind::Enospc);
+        assert_eq!(plan.specs()[0].class, OpClass::Write);
+        assert_eq!(plan.specs()[0].at_op, 3);
+        assert!(!plan.specs()[0].persistent);
+        assert_eq!(plan.specs()[1].path_pattern.as_deref(), Some("model"));
+        assert!(plan.specs()[1].persistent);
+        let reparsed = FaultPlan::parse(&plan.to_spec()).unwrap();
+        assert_eq!(plan, reparsed);
+    }
+
+    #[test]
+    fn spec_grammar_rejects_bad_entries() {
+        assert!(FaultPlan::parse("nonsense").is_err());
+        assert!(FaultPlan::parse("badkind:write@0").is_err());
+        assert!(FaultPlan::parse("eio:badclass@0").is_err());
+        assert!(FaultPlan::parse("eio:write@x").is_err());
+        assert!(FaultPlan::parse("seed:abc").is_err());
+        // kind/class applicability is validated at parse time
+        assert!(FaultPlan::parse("bitrot:write@0").is_err());
+        assert!(FaultPlan::parse("enospc:read@0").is_err());
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let a = FaultPlan::seeded(42, 64);
+        let b = FaultPlan::seeded(42, 64);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let c = FaultPlan::seeded(43, 64);
+        assert_ne!(a, c, "different seeds should differ (overwhelmingly)");
+        // seed entries in the grammar expand to the same plan
+        let parsed = FaultPlan::parse("seed:42@64").unwrap();
+        assert_eq!(parsed, a);
+    }
+
+    #[test]
+    fn transient_fault_fires_exactly_once() {
+        let dir = tmpdir("transient");
+        let vfs =
+            FaultVfs::new(FaultPlan::new().fault(FaultKind::Eio, OpClass::Write, 1, None, false));
+        assert!(vfs.create_write(&dir.join("a"), b"aa").is_ok());
+        assert!(vfs.create_write(&dir.join("b"), b"bb").is_err());
+        assert!(vfs.create_write(&dir.join("c"), b"cc").is_ok());
+        assert_eq!(vfs.total_injected(), 1);
+        assert_eq!(vfs.ops(OpClass::Write), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn persistent_fault_keeps_firing() {
+        let dir = tmpdir("persistent");
+        let vfs =
+            FaultVfs::new(FaultPlan::new().fault(FaultKind::Eio, OpClass::Write, 1, None, true));
+        assert!(vfs.create_write(&dir.join("a"), b"aa").is_ok());
+        assert!(vfs.create_write(&dir.join("b"), b"bb").is_err());
+        assert!(vfs.create_write(&dir.join("c"), b"cc").is_err());
+        assert_eq!(vfs.total_injected(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn path_pattern_scopes_fault_and_counting() {
+        let dir = tmpdir("pattern");
+        let vfs = FaultVfs::new(FaultPlan::new().fault(
+            FaultKind::Eio,
+            OpClass::Write,
+            0,
+            Some("model"),
+            false,
+        ));
+        // non-matching writes neither fire nor advance the spec's count
+        assert!(vfs.create_write(&dir.join("data.csv"), b"x").is_ok());
+        assert!(vfs.create_write(&dir.join("my.model"), b"x").is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn enospc_leaves_partial_file_and_errors_with_path() {
+        let dir = tmpdir("enospc");
+        let target = dir.join("out.bin");
+        let vfs = FaultVfs::new(FaultPlan::new().fault(
+            FaultKind::Enospc,
+            OpClass::Write,
+            0,
+            None,
+            false,
+        ));
+        let err = vfs.create_write(&target, b"0123456789").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("ENOSPC"), "{msg}");
+        assert!(msg.contains("out.bin"), "{msg}");
+        assert_eq!(fs::read(&target).unwrap(), b"01234");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn short_write_is_silent_but_len_is_truthful() {
+        let dir = tmpdir("shortwrite");
+        let target = dir.join("out.bin");
+        let vfs = FaultVfs::new(FaultPlan::new().fault(
+            FaultKind::ShortWrite,
+            OpClass::Write,
+            0,
+            None,
+            false,
+        ));
+        vfs.create_write(&target, b"0123456789").unwrap();
+        assert_eq!(vfs.file_len(&target).unwrap(), 5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_lies_about_length_until_removed() {
+        let dir = tmpdir("torn");
+        let target = dir.join("out.bin");
+        let moved = dir.join("final.bin");
+        let vfs = FaultVfs::new(FaultPlan::new().fault(
+            FaultKind::TornWrite,
+            OpClass::Write,
+            0,
+            None,
+            false,
+        ));
+        vfs.create_write(&target, b"0123456789").unwrap();
+        // metadata claims all ten bytes landed...
+        assert_eq!(vfs.file_len(&target).unwrap(), 10);
+        // ...but the disk truth is half of them
+        assert_eq!(fs::read(&target).unwrap().len(), 5);
+        // the lie follows the file through a rename
+        vfs.rename(&target, &moved).unwrap();
+        assert_eq!(vfs.file_len(&moved).unwrap(), 10);
+        vfs.remove_file(&moved).unwrap();
+        assert!(vfs.file_len(&moved).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_rot_flips_one_bit_on_read() {
+        let dir = tmpdir("bitrot");
+        let target = dir.join("data.bin");
+        fs::write(&target, b"0123456789").unwrap();
+        let vfs =
+            FaultVfs::new(FaultPlan::new().fault(FaultKind::BitRot, OpClass::Read, 0, None, false));
+        let rotten = vfs.read(&target).unwrap();
+        let clean = fs::read(&target).unwrap();
+        assert_eq!(rotten.len(), clean.len());
+        let diffs: Vec<usize> = (0..clean.len())
+            .filter(|&i| rotten[i] != clean[i])
+            .collect();
+        assert_eq!(diffs.len(), 1);
+        assert_eq!((rotten[diffs[0]] ^ clean[diffs[0]]).count_ones(), 1);
+        // second read is clean (transient)
+        assert_eq!(vfs.read(&target).unwrap(), clean);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn short_read_returns_prefix() {
+        let dir = tmpdir("shortread");
+        let target = dir.join("data.bin");
+        fs::write(&target, b"0123456789").unwrap();
+        let vfs = FaultVfs::new(FaultPlan::new().fault(
+            FaultKind::ShortRead,
+            OpClass::Read,
+            0,
+            None,
+            false,
+        ));
+        assert_eq!(vfs.read(&target).unwrap(), b"01234");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn real_vfs_round_trip() {
+        let dir = tmpdir("real");
+        let vfs = RealVfs;
+        let sub = dir.join("a/b");
+        vfs.create_dir_all(&sub).unwrap();
+        let f = sub.join("x.txt");
+        vfs.create_write(&f, b"hello").unwrap();
+        assert!(
+            vfs.create_write(&f, b"again").is_err(),
+            "create_new semantics"
+        );
+        vfs.sync_file(&f).unwrap();
+        vfs.sync_dir(&sub).unwrap();
+        assert_eq!(vfs.read(&f).unwrap(), b"hello");
+        assert_eq!(vfs.read_to_string(&f).unwrap(), "hello");
+        assert_eq!(vfs.file_len(&f).unwrap(), 5);
+        let g = sub.join("y.txt");
+        vfs.rename(&f, &g).unwrap();
+        assert_eq!(vfs.list_dir(&sub).unwrap(), vec!["y.txt".to_string()]);
+        vfs.remove_file(&g).unwrap();
+        assert!(vfs.list_dir(&sub).unwrap().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,400 @@
+//! Storage-fault chaos harness: a fault injected at *any* operation of
+//! the durable-write workload must yield a structured error or a clean
+//! success — never a panic, and never a corrupt artifact that a
+//! subsequent load accepts.
+//!
+//! The sweep first runs the workload fault-free to count how many
+//! operations of each class it performs, then replays it once per
+//! (class, operation index, applicable fault kind) with exactly that
+//! fault scheduled. Every run checks the same invariants, so a failing
+//! combination reproduces bit-for-bit from its printed label.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use plssvm_data::checkpoint::{CheckpointJournal, Snapshot};
+use plssvm_data::io::write_atomic_with;
+use plssvm_data::scale::ScalingParams;
+use plssvm_data::vfs::{FaultKind, OpClass};
+use plssvm_data::{FaultPlan, FaultVfs, Vfs};
+
+const OLD_MODEL: &[u8] = b"generation-1 model: rho 0.125\n";
+const NEW_MODEL: &[u8] = b"generation-2 model: rho 0.250\n";
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("plssvm_io_faults_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A deterministic snapshot whose content encodes its index, so a loaded
+/// snapshot can be matched against exactly what was appended.
+fn snap(i: u64) -> Snapshot<f64> {
+    Snapshot {
+        rung: 0,
+        context_hash: 0x5EED,
+        iterations: 10 + i,
+        x: vec![i as f64, 1.5, -2.0],
+        r: vec![0.5, i as f64 * 0.25, 3.0],
+        d: vec![-1.0, 2.0, i as f64],
+        rho: 0.75,
+        delta: 1e-6,
+        delta0: 100.0,
+    }
+}
+
+/// What the workload observed; the invariant checks run on this.
+struct RunReport {
+    atomic_write: Result<(), String>,
+    journal_opened: bool,
+    appended: Vec<u64>,
+    append_errors: Vec<String>,
+    load: Result<Option<Snapshot<f64>>, String>,
+}
+
+/// The durable-write workload under test: one atomic artifact replace
+/// over pre-existing contents, then a short checkpoint journal life
+/// cycle (open, four appends under a retention window of two, load).
+fn workload(dir: &Path, vfs: Arc<FaultVfs>) -> RunReport {
+    let model = dir.join("model.txt");
+    let atomic_write =
+        write_atomic_with(vfs.as_ref(), &model, NEW_MODEL).map_err(|e| e.to_string());
+
+    let mut appended = Vec::new();
+    let mut append_errors = Vec::new();
+    let mut journal_opened = false;
+    let load = match CheckpointJournal::open_with_vfs(
+        dir.join("journal"),
+        2,
+        Arc::clone(&vfs) as Arc<dyn Vfs>,
+    ) {
+        Ok(journal) => {
+            journal_opened = true;
+            for i in 0..4 {
+                match journal.append(&snap(i)) {
+                    Ok(generation) => appended.push(generation),
+                    Err(e) => append_errors.push(e.to_string()),
+                }
+            }
+            journal
+                .load_latest::<f64>()
+                .map(|(loaded, _skipped)| loaded.map(|l| l.snapshot))
+                .map_err(|e| e.to_string())
+        }
+        Err(e) => Err(e.to_string()),
+    };
+    RunReport {
+        atomic_write,
+        journal_opened,
+        appended,
+        append_errors,
+        load,
+    }
+}
+
+/// The invariants every fault combination must uphold.
+fn check_invariants(label: &str, dir: &Path, report: &RunReport, vfs: &FaultVfs) {
+    // 1. The atomic artifact is never silently torn — with one modeled
+    //    exception: a `tornwrite` fault *is* a lying page cache, the one
+    //    failure mode fsync-based code cannot observe at write time. It
+    //    may leave a reported success over a prefix of the new bytes;
+    //    that is exactly why every structured artifact (checkpoint,
+    //    model) validates at load time. Anything else: success means
+    //    the new bytes, a structured error means old or new, whole.
+    let torn_model_write = vfs
+        .injected()
+        .iter()
+        .any(|f| f.kind == FaultKind::TornWrite && f.path.to_string_lossy().contains("model"));
+    let on_disk = std::fs::read(dir.join("model.txt")).unwrap();
+    match &report.atomic_write {
+        Ok(()) if torn_model_write => assert!(
+            NEW_MODEL.starts_with(&on_disk[..]),
+            "{label}: a torn write must leave a prefix of the new bytes: {on_disk:?}"
+        ),
+        Ok(()) => assert_eq!(
+            on_disk, NEW_MODEL,
+            "{label}: write_atomic reported success but the new bytes are not on disk"
+        ),
+        Err(e) => assert!(
+            on_disk == OLD_MODEL || on_disk == NEW_MODEL,
+            "{label}: torn artifact after structured error '{e}': {on_disk:?}"
+        ),
+    }
+    // 2. Append failures are structured, not silent: every append either
+    //    returned a generation or an error string (when the journal
+    //    failed to open at all, that open error stands in for them).
+    if report.journal_opened {
+        assert_eq!(
+            report.appended.len() + report.append_errors.len(),
+            4,
+            "{label}: appends must account for every snapshot"
+        );
+    } else {
+        assert!(
+            report.load.is_err(),
+            "{label}: a failed journal open must surface as a structured error"
+        );
+    }
+    // 3. The journal never serves corrupt state: a loaded snapshot is
+    //    bit-identical to one that was actually appended.
+    if let Ok(Some(loaded)) = &report.load {
+        let matches_appended = (0..4).map(snap).any(|s| &s == loaded);
+        assert!(
+            matches_appended,
+            "{label}: load_latest returned a snapshot that was never appended: {loaded:?}"
+        );
+    }
+}
+
+/// Runs the workload with exactly one scheduled fault and checks the
+/// invariants; a panic anywhere inside fails the sweep.
+fn run_one(tag: &str, plan: FaultPlan, expect_injection: bool) {
+    let label = format!("[{tag}: {}]", plan.to_spec());
+    let dir = tmpdir(tag);
+    std::fs::write(dir.join("model.txt"), OLD_MODEL).unwrap();
+    let vfs = Arc::new(FaultVfs::new(plan));
+    let report = workload(&dir, Arc::clone(&vfs));
+    if expect_injection {
+        assert!(
+            vfs.total_injected() > 0,
+            "{label}: the scheduled fault never fired"
+        );
+    }
+    check_invariants(&label, &dir, &report, &vfs);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fault_free_run_is_clean_and_counts_operations() {
+    let dir = tmpdir("clean");
+    std::fs::write(dir.join("model.txt"), OLD_MODEL).unwrap();
+    let vfs = Arc::new(FaultVfs::new(FaultPlan::new()));
+    let report = workload(&dir, Arc::clone(&vfs));
+    assert!(report.atomic_write.is_ok());
+    assert_eq!(report.appended, vec![1, 2, 3, 4]);
+    assert!(report.append_errors.is_empty());
+    assert_eq!(report.load.as_ref().unwrap().as_ref(), Some(&snap(3)));
+    assert_eq!(vfs.total_injected(), 0);
+    // the sweep below relies on the workload actually exercising every
+    // operation class it iterates over
+    for class in [
+        OpClass::Write,
+        OpClass::Sync,
+        OpClass::Rename,
+        OpClass::Read,
+        OpClass::Remove,
+        OpClass::List,
+        OpClass::Mkdir,
+    ] {
+        assert!(
+            vfs.ops(class) > 0,
+            "workload never performs a {class:?} operation"
+        );
+    }
+    check_invariants("[clean]", &dir, &report, &vfs);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chaos_sweep_every_fault_kind_at_every_operation() {
+    // count the fault-free operations per class once
+    let dir = tmpdir("count");
+    std::fs::write(dir.join("model.txt"), OLD_MODEL).unwrap();
+    let counter = Arc::new(FaultVfs::new(FaultPlan::new()));
+    workload(&dir, Arc::clone(&counter));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut runs = 0usize;
+    for class in [
+        OpClass::Write,
+        OpClass::Sync,
+        OpClass::Rename,
+        OpClass::Read,
+        OpClass::Remove,
+        OpClass::List,
+        OpClass::Mkdir,
+    ] {
+        let ops = counter.ops(class);
+        for at_op in 0..ops {
+            for kind in FaultKind::ALL {
+                if !kind.applies_to(class) {
+                    continue;
+                }
+                for persistent in [false, true] {
+                    let plan = FaultPlan::new().fault(kind, class, at_op, None, persistent);
+                    run_one("sweep", plan, true);
+                    runs += 1;
+                }
+            }
+        }
+    }
+    assert!(runs > 100, "sweep degenerated to {runs} runs");
+}
+
+#[test]
+fn seeded_chaos_plans_hold_the_invariants() {
+    for seed in 0..32 {
+        // seeded plans may schedule beyond the workload's horizon, so an
+        // injection is not guaranteed — the invariants still are
+        run_one("seeded", FaultPlan::seeded(seed, 48), false);
+    }
+}
+
+#[test]
+fn enospc_during_retention_deletion_keeps_the_journal_serviceable() {
+    let dir = tmpdir("retention");
+    // every unlink of a generation file fails persistently
+    let plan = FaultPlan::new().fault(FaultKind::Eio, OpClass::Remove, 0, Some("gen-"), true);
+    let vfs = Arc::new(FaultVfs::new(plan));
+    let journal =
+        CheckpointJournal::open_with_vfs(dir.join("journal"), 2, Arc::clone(&vfs) as Arc<dyn Vfs>)
+            .unwrap();
+    for i in 0..6 {
+        journal
+            .append(&snap(i))
+            .unwrap_or_else(|e| panic!("append {i} must survive a failing retention unlink: {e}"));
+    }
+    assert!(vfs.total_injected() > 0, "retention unlinks never faulted");
+    // pruning failed, so old generations pile up beyond the window ...
+    assert!(journal.generations().unwrap().len() > 2);
+    // ... but the newest state is intact and loads
+    let (loaded, skipped) = journal.load_latest::<f64>().unwrap();
+    assert_eq!(loaded.unwrap().snapshot, snap(5));
+    assert!(skipped.is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn enospc_in_the_temp_stage_leaves_the_old_artifact_loadable() {
+    let dir = tmpdir("temp_stage");
+    let path = dir.join("ranges.txt");
+    // a fitted scaling artifact is the pre-existing good state
+    let m =
+        plssvm_data::dense::DenseMatrix::from_rows(vec![vec![0.0, 10.0], vec![4.0, 20.0]]).unwrap();
+    let params = ScalingParams::<f64>::fit(&m, -1.0, 1.0).unwrap();
+    params.save(&path).unwrap();
+    let reference = std::fs::read(&path).unwrap();
+
+    // every write (the temp-file stage of the atomic replace) hits ENOSPC
+    let plan = FaultPlan::new().fault(FaultKind::Enospc, OpClass::Write, 0, None, true);
+    let vfs = FaultVfs::new(plan);
+    let shifted = ScalingParams::<f64>::fit(&m, 0.0, 2.0).unwrap();
+    let err = shifted
+        .save_with(&vfs, &path)
+        .expect_err("a persistent ENOSPC must fail the save");
+    assert!(err.to_string().contains("ENOSPC"), "{err}");
+
+    // the destination was never touched: bytes identical, and it still
+    // parses back into the original params
+    assert_eq!(std::fs::read(&path).unwrap(), reference);
+    let reloaded = ScalingParams::<f64>::load(&path).unwrap();
+    let mut copy = m.clone();
+    params.apply(&mut copy.clone()).unwrap();
+    reloaded.apply(&mut copy).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_write_on_the_newest_generation_falls_back_to_the_previous() {
+    let dir = tmpdir("torn_tail");
+    // count journal writes for three appends (each atomic write is one
+    // create_write on a gen- temp file)
+    let counter = Arc::new(FaultVfs::new(FaultPlan::new()));
+    let journal = CheckpointJournal::open_with_vfs(
+        dir.join("journal"),
+        4,
+        Arc::clone(&counter) as Arc<dyn Vfs>,
+    )
+    .unwrap();
+    for i in 0..3 {
+        journal.append(&snap(i)).unwrap();
+    }
+    let writes = counter.ops(OpClass::Write);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // replay with the *last* journal write torn: the page cache lies, so
+    // the append itself reports success and only the load notices
+    let plan = FaultPlan::new().fault(
+        FaultKind::TornWrite,
+        OpClass::Write,
+        writes - 1,
+        Some("gen-"),
+        false,
+    );
+    let vfs = Arc::new(FaultVfs::new(plan));
+    let journal =
+        CheckpointJournal::open_with_vfs(dir.join("journal"), 4, Arc::clone(&vfs) as Arc<dyn Vfs>)
+            .unwrap();
+    for i in 0..3 {
+        journal.append(&snap(i)).unwrap();
+    }
+    assert_eq!(vfs.total_injected(), 1, "the torn write must have fired");
+    let (loaded, skipped) = journal.load_latest::<f64>().unwrap();
+    assert_eq!(
+        loaded.unwrap().snapshot,
+        snap(1),
+        "the damaged tail must fall back to the previous generation"
+    );
+    assert_eq!(skipped.len(), 1);
+    assert!(
+        skipped[0].reason.is_integrity_failure(),
+        "the skip must be classified as damage: {:?}",
+        skipped[0].reason
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn read_faults_on_load_skip_to_an_intact_generation() {
+    let dir = tmpdir("read_faults");
+    let clean = Arc::new(FaultVfs::new(FaultPlan::new()));
+    let journal = CheckpointJournal::open_with_vfs(
+        dir.join("journal"),
+        4,
+        Arc::clone(&clean) as Arc<dyn Vfs>,
+    )
+    .unwrap();
+    for i in 0..3 {
+        journal.append(&snap(i)).unwrap();
+    }
+
+    // bit rot on the newest generation's read: CRC rejects it, the
+    // previous generation serves
+    let plan = FaultPlan::new().fault(FaultKind::BitRot, OpClass::Read, 0, Some("gen-"), false);
+    let journal = CheckpointJournal::open_with_vfs(
+        dir.join("journal"),
+        4,
+        Arc::new(FaultVfs::new(plan)) as Arc<dyn Vfs>,
+    )
+    .unwrap();
+    let (loaded, skipped) = journal.load_latest::<f64>().unwrap();
+    assert_eq!(loaded.unwrap().snapshot, snap(1));
+    assert_eq!(skipped.len(), 1);
+
+    // a short read truncates the newest generation: same fallback
+    let plan = FaultPlan::new().fault(FaultKind::ShortRead, OpClass::Read, 0, Some("gen-"), false);
+    let journal = CheckpointJournal::open_with_vfs(
+        dir.join("journal"),
+        4,
+        Arc::new(FaultVfs::new(plan)) as Arc<dyn Vfs>,
+    )
+    .unwrap();
+    let (loaded, skipped) = journal.load_latest::<f64>().unwrap();
+    assert_eq!(loaded.unwrap().snapshot, snap(1));
+    assert_eq!(skipped.len(), 1);
+
+    // persistent read faults on every generation: a structured "nothing
+    // loadable", never a panic and never garbage
+    let plan = FaultPlan::new().fault(FaultKind::ShortRead, OpClass::Read, 0, Some("gen-"), true);
+    let journal = CheckpointJournal::open_with_vfs(
+        dir.join("journal"),
+        4,
+        Arc::new(FaultVfs::new(plan)) as Arc<dyn Vfs>,
+    )
+    .unwrap();
+    let (loaded, skipped) = journal.load_latest::<f64>().unwrap();
+    assert!(loaded.is_none());
+    assert_eq!(skipped.len(), 3, "every generation must be reported");
+    let _ = std::fs::remove_dir_all(&dir);
+}

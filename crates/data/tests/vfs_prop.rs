@@ -1,0 +1,183 @@
+//! Property tests of the VFS layer: a fault-free [`FaultVfs`] is
+//! indistinguishable from [`RealVfs`], and seeded fault plans replay
+//! identically.
+
+use std::path::{Path, PathBuf};
+
+use proptest::prelude::*;
+
+use plssvm_data::vfs::{FaultPlan, FaultVfs, OpClass, RealVfs, Vfs};
+
+/// One randomized filesystem operation over a small closed name space.
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    /// Which [`Vfs`] method to call.
+    selector: u8,
+    /// Primary file/dir selector.
+    a: u8,
+    /// Secondary file selector (rename target, content variant).
+    b: u8,
+}
+
+const FILES: [&str; 4] = ["f0.txt", "f1.txt", "gen-0001.ckpt", "model.txt"];
+const DIRS: [&str; 3] = ["sub", "sub/nested", "journal"];
+
+fn file(dir: &Path, i: u8) -> PathBuf {
+    dir.join(FILES[i as usize % FILES.len()])
+}
+
+fn subdir(dir: &Path, i: u8) -> PathBuf {
+    dir.join(DIRS[i as usize % DIRS.len()])
+}
+
+/// Applies one op, folding the outcome into a comparable string. Paths
+/// never appear in the digest (the two replay dirs differ), only the
+/// operation result shape and any payload bytes.
+fn apply(vfs: &dyn Vfs, dir: &Path, op: Op, step: usize) -> String {
+    match op.selector % 9 {
+        0 => {
+            let content = format!("content-{step}-{}", op.b);
+            digest(
+                "create",
+                vfs.create_write(&file(dir, op.a), content.as_bytes()),
+            )
+        }
+        1 => digest("sync_file", vfs.sync_file(&file(dir, op.a))),
+        2 => digest("sync_dir", vfs.sync_dir(dir)),
+        3 => digest("rename", vfs.rename(&file(dir, op.a), &file(dir, op.b))),
+        4 => digest("remove", vfs.remove_file(&file(dir, op.a))),
+        5 => match vfs.read(&file(dir, op.a)) {
+            Ok(bytes) => format!("read ok {bytes:?}"),
+            Err(e) => format!("read err {:?}", e.kind()),
+        },
+        6 => match vfs.list_dir(dir) {
+            Ok(mut names) => {
+                names.sort();
+                format!("list ok {names:?}")
+            }
+            Err(e) => format!("list err {:?}", e.kind()),
+        },
+        7 => digest("mkdir", vfs.create_dir_all(&subdir(dir, op.a))),
+        _ => match vfs.file_len(&file(dir, op.a)) {
+            Ok(n) => format!("len ok {n}"),
+            Err(e) => format!("len err {:?}", e.kind()),
+        },
+    }
+}
+
+fn digest(what: &str, r: std::io::Result<()>) -> String {
+    match r {
+        Ok(()) => format!("{what} ok"),
+        Err(e) => format!("{what} err {:?}", e.kind()),
+    }
+}
+
+/// The observable on-disk state after a run: sorted relative paths with
+/// file contents.
+fn state(dir: &Path) -> Vec<String> {
+    fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) {
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let entry = entry.unwrap();
+            let path = entry.path();
+            let rel = path
+                .strip_prefix(root)
+                .unwrap()
+                .to_string_lossy()
+                .into_owned();
+            if path.is_dir() {
+                out.push(format!("dir {rel}"));
+                walk(root, &path, out);
+            } else {
+                out.push(format!("file {rel} {:?}", std::fs::read(&path).unwrap()));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(dir, dir, &mut out);
+    out.sort();
+    out
+}
+
+fn fresh_dir(tag: &str, case: usize) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "plssvm_vfs_prop_{tag}_{case}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (0u8..=255, 0u8..8, 0u8..8).prop_map(|(selector, a, b)| Op { selector, a, b }),
+        1..40,
+    )
+}
+
+static CASE: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A FaultVfs with an empty plan behaves byte-identically to RealVfs
+    /// on any operation sequence: same per-op outcomes, same final
+    /// on-disk state.
+    #[test]
+    fn empty_plan_fault_vfs_is_byte_identical_to_real_vfs(ops in ops()) {
+        let case = CASE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let real_dir = fresh_dir("real", case);
+        let fault_dir = fresh_dir("fault", case);
+        let real = RealVfs;
+        let fault = FaultVfs::new(FaultPlan::new());
+        for (step, op) in ops.iter().enumerate() {
+            let a = apply(&real, &real_dir, *op, step);
+            let b = apply(&fault, &fault_dir, *op, step);
+            prop_assert_eq!(a, b, "diverged at step {}", step);
+        }
+        prop_assert_eq!(state(&real_dir), state(&fault_dir));
+        prop_assert_eq!(fault.total_injected(), 0);
+        let _ = std::fs::remove_dir_all(&real_dir);
+        let _ = std::fs::remove_dir_all(&fault_dir);
+    }
+
+    /// Two FaultVfs instances over the same seeded plan replay the same
+    /// operation sequence identically: same outcomes, same on-disk
+    /// state, same injected-fault log (modulo the replay directory).
+    #[test]
+    fn same_seed_plans_replay_identically(ops in ops(), seed in 0u64..1000) {
+        let case = CASE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir_a = fresh_dir("seed_a", case);
+        let dir_b = fresh_dir("seed_b", case);
+        let vfs_a = FaultVfs::new(FaultPlan::seeded(seed, 32));
+        let vfs_b = FaultVfs::new(FaultPlan::seeded(seed, 32));
+        for (step, op) in ops.iter().enumerate() {
+            let a = apply(&vfs_a, &dir_a, *op, step);
+            let b = apply(&vfs_b, &dir_b, *op, step);
+            prop_assert_eq!(a, b, "diverged at step {}", step);
+        }
+        prop_assert_eq!(state(&dir_a), state(&dir_b));
+        // the injected-fault audit logs agree on everything but the dir
+        let log = |v: &FaultVfs, root: &Path| -> Vec<String> {
+            v.injected()
+                .iter()
+                .map(|f| {
+                    let name = if f.path == root {
+                        "<root>".to_owned()
+                    } else {
+                        format!("{:?}", f.path.file_name())
+                    };
+                    format!("{:?} {:?} @{} on {name}", f.kind, f.class, f.op_index)
+                })
+                .collect()
+        };
+        prop_assert_eq!(log(&vfs_a, &dir_a), log(&vfs_b, &dir_b));
+        // per-class op counters replay too
+        for class in [OpClass::Write, OpClass::Sync, OpClass::Rename, OpClass::Read,
+                      OpClass::Remove, OpClass::List, OpClass::Mkdir] {
+            prop_assert_eq!(vfs_a.ops(class), vfs_b.ops(class));
+        }
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+}

@@ -43,6 +43,6 @@ pub use protocol::{
     ERR_OVERLOADED, ERR_SHUTTING_DOWN,
 };
 pub use reload::{
-    attempt_reload, spawn_watcher, spawn_watcher_with_breaker, BreakerConfig, ManualTrigger,
-    PollTrigger, ReloadAttempt, ReloadBreaker, ReloadTrigger,
+    attempt_reload, attempt_reload_with, spawn_watcher, spawn_watcher_with_breaker, BreakerConfig,
+    ManualTrigger, PollTrigger, ReloadAttempt, ReloadBreaker, ReloadTrigger,
 };

@@ -65,9 +65,20 @@ impl ServeModel {
 
     /// Loads and validates a model file.
     pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, String> {
-        let path = path.as_ref();
-        let content =
-            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        Self::load_with(&plssvm_data::RealVfs, path.as_ref())
+    }
+
+    /// [`ServeModel::load`] through an explicit
+    /// [`Vfs`](plssvm_data::vfs::Vfs), so reload harnesses can inject
+    /// torn/short reads and bit rot at the loader. Damage surfaces as a
+    /// structured rejection (parse/validation failure), never a panic.
+    pub fn load_with(
+        vfs: &dyn plssvm_data::vfs::Vfs,
+        path: &std::path::Path,
+    ) -> Result<Self, String> {
+        let content = vfs
+            .read_to_string(path)
+            .map_err(|e| format!("read {}: {e}", path.display()))?;
         Self::from_text(&content)
     }
 

@@ -121,7 +121,18 @@ impl ReloadTrigger for ManualTrigger {
 /// install it. On any failure the old model keeps serving and the
 /// rejection is recorded. Returns the new generation id on success.
 pub fn attempt_reload(engine: &Engine, path: &Path) -> Result<u64, String> {
-    match ServeModel::load(path) {
+    attempt_reload_with(engine, &plssvm_data::RealVfs, path)
+}
+
+/// [`attempt_reload`] through an explicit [`Vfs`](plssvm_data::vfs::Vfs):
+/// fault harnesses inject short reads / bit rot at the loader and the
+/// damage is rejected like any other invalid model, never installed.
+pub fn attempt_reload_with(
+    engine: &Engine,
+    vfs: &dyn plssvm_data::vfs::Vfs,
+    path: &Path,
+) -> Result<u64, String> {
+    match ServeModel::load_with(vfs, path) {
         Ok(model) => {
             let detail = format!(
                 "installed {} model, {} features, {} SVs",
@@ -218,13 +229,25 @@ impl ReloadBreaker {
     /// exponentially and emit [`ServeReloadBackoffSample`] telemetry;
     /// one success closes it fully.
     pub fn attempt(&mut self, engine: &Engine, path: &Path) -> ReloadAttempt {
+        self.attempt_with(engine, &plssvm_data::RealVfs, path)
+    }
+
+    /// [`ReloadBreaker::attempt`] through an explicit
+    /// [`Vfs`](plssvm_data::vfs::Vfs), so a scheduled fault plan drives
+    /// the breaker's open/backoff/reset states deterministically.
+    pub fn attempt_with(
+        &mut self,
+        engine: &Engine,
+        vfs: &dyn plssvm_data::vfs::Vfs,
+        path: &Path,
+    ) -> ReloadAttempt {
         let now = engine.clock().now_us();
         if now < self.blocked_until_us {
             return ReloadAttempt::Suppressed {
                 until_us: self.blocked_until_us,
             };
         }
-        match attempt_reload(engine, path) {
+        match attempt_reload_with(engine, vfs, path) {
             Ok(generation) => {
                 self.consecutive_failures = 0;
                 self.blocked_until_us = 0;
